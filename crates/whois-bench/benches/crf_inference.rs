@@ -1,0 +1,86 @@
+//! CRF inference latency: Viterbi and forward–backward as a function of
+//! sequence length (appendix A's `O(n²T)` claim: time should scale
+//! linearly in `T` for fixed `n`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whois_crf::{backward, forward, viterbi, Crf, Sequence};
+
+fn model(states: usize, feats: usize) -> Crf {
+    let pair: Vec<bool> = (0..feats).map(|f| f % 3 == 0).collect();
+    let mut m = Crf::new(states, feats, &pair);
+    let dim = m.dim();
+    m.set_weights((0..dim).map(|i| ((i as f64) * 0.137).sin() * 0.1).collect());
+    m
+}
+
+fn sequence(len: usize, feats: usize) -> Sequence {
+    Sequence::new(
+        (0..len)
+            .map(|t| {
+                let mut v: Vec<u32> = (0..12).map(|k| ((t * 31 + k * 7) % feats) as u32).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect(),
+    )
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let m6 = model(6, 5000);
+    let m12 = model(12, 2000);
+
+    let mut group = c.benchmark_group("crf_inference");
+    group.sample_size(30);
+    for len in [20usize, 60, 120] {
+        let seq = sequence(len, 5000);
+        group.bench_with_input(BenchmarkId::new("viterbi_n6", len), &seq, |b, seq| {
+            b.iter(|| {
+                let table = m6.score_table(seq);
+                viterbi(&table)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_backward_n6", len),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    let table = m6.score_table(seq);
+                    let fwd = forward(&table);
+                    let beta = backward(&table);
+                    (fwd.log_z, beta.len())
+                })
+            },
+        );
+    }
+    let seq = sequence(60, 2000);
+    group.bench_function("viterbi_n12_len60", |b| {
+        b.iter(|| {
+            let table = m12.score_table(&seq);
+            viterbi(&table)
+        })
+    });
+
+    // Ablation: log-space vs scaled (Rabiner) forward-backward.
+    let seq = sequence(60, 5000);
+    let table = m6.score_table(&seq);
+    group.bench_function("fb_logspace_n6_len60", |b| {
+        b.iter(|| {
+            let fwd = forward(&table);
+            let beta = backward(&table);
+            (fwd.log_z, beta.len())
+        })
+    });
+    group.bench_function("fb_scaled_n6_len60", |b| {
+        b.iter(|| {
+            let exp = whois_crf::scaled::ExpTable::new(&table);
+            let fwd = whois_crf::scaled::forward_scaled(&exp);
+            let beta = whois_crf::scaled::backward_scaled(&exp, &fwd);
+            (fwd.log_z, beta.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Training cost: one parallel objective/gradient evaluation (the unit
+//! of L-BFGS work) and one SGD epoch, as a function of corpus size —
+//! plus the L-BFGS vs. SGD ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whois_bench::{corpus, first_level_examples};
+use whois_crf::{Crf, Instance, Objective};
+use whois_model::Label;
+use whois_parser::{Encoder, FeatureOptions};
+
+fn instances(n: usize) -> (Crf, Vec<Instance>) {
+    let domains = corpus(11, n);
+    let examples = first_level_examples(&domains);
+    let encoder = Encoder::fit(
+        examples.iter().map(|e| e.text.as_str()),
+        FeatureOptions::default(),
+        1,
+    );
+    let crf = Crf::new(
+        whois_model::BlockLabel::COUNT,
+        encoder.dictionary().len(),
+        &encoder.pair_eligibility(),
+    );
+    let data = examples
+        .iter()
+        .map(|e| {
+            Instance::new(
+                encoder.encode_text(&e.text),
+                e.labels.iter().map(|l| l.index()).collect(),
+            )
+        })
+        .collect();
+    (crf, data)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crf_training");
+    group.sample_size(10);
+    for n in [50usize, 200] {
+        let (crf, data) = instances(n);
+        let dim = crf.dim();
+        group.bench_with_input(
+            BenchmarkId::new("objective_eval_parallel", n),
+            &n,
+            |b, _| {
+                let mut obj = Objective::new(crf.clone(), &data, 1e-3, 0);
+                let w = vec![0.0; dim];
+                let mut g = vec![0.0; dim];
+                b.iter(|| obj.eval(&w, &mut g))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("objective_eval_single_thread", n),
+            &n,
+            |b, _| {
+                let mut obj = Objective::new(crf.clone(), &data, 1e-3, 1);
+                let w = vec![0.0; dim];
+                let mut g = vec![0.0; dim];
+                b.iter(|| obj.eval(&w, &mut g))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("sgd_epoch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = crf.clone();
+                whois_crf::sgd::train_sgd(
+                    &mut m,
+                    &data,
+                    &whois_crf::sgd::SgdConfig {
+                        epochs: 1,
+                        ..Default::default()
+                    },
+                )
+                .steps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

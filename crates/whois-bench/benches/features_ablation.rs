@@ -1,0 +1,94 @@
+//! Feature-family ablation (DESIGN.md §4): how much accuracy the
+//! title/value suffixes, layout markers, word classes, and pair features
+//! each contribute, and what they cost in training time.
+//!
+//! Criterion measures the *training* cost per configuration; the bench
+//! also prints held-out accuracy per configuration once at startup, so a
+//! single run yields both halves of the ablation table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whois_bench::*;
+use whois_parser::{FeatureOptions, LevelParser, ParserConfig};
+
+fn configs() -> Vec<(&'static str, FeatureOptions)> {
+    let full = FeatureOptions::default();
+    vec![
+        ("full", full),
+        (
+            "no_title_value",
+            FeatureOptions {
+                title_value: false,
+                ..full
+            },
+        ),
+        (
+            "no_markers",
+            FeatureOptions {
+                markers: false,
+                ..full
+            },
+        ),
+        (
+            "no_classes",
+            FeatureOptions {
+                classes: false,
+                ..full
+            },
+        ),
+        (
+            "no_pair_features",
+            FeatureOptions {
+                pair_features: false,
+                ..full
+            },
+        ),
+        (
+            "no_prev_line",
+            FeatureOptions {
+                prev_line: false,
+                ..full
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Small training set so feature families actually matter.
+    let train_domains = corpus(19, 60);
+    let test_domains = corpus(23, 400);
+    let train = first_level_examples(&train_domains);
+    let test = first_level_examples(&test_domains);
+
+    println!("\nfeature ablation, 60 training / 400 test records:");
+    println!("{:<18} {:>10} {:>10}", "config", "line_err", "dict_size");
+    for (name, opts) in configs() {
+        let cfg = ParserConfig {
+            features: opts,
+            ..Default::default()
+        };
+        let parser = LevelParser::train(&train, &cfg);
+        let stats = parser.evaluate(&test);
+        println!(
+            "{:<18} {:>10.5} {:>10}",
+            name,
+            stats.line_error_rate(),
+            parser.encoder().dictionary().len()
+        );
+    }
+
+    let mut group = c.benchmark_group("features_ablation_training");
+    group.sample_size(10);
+    for (name, opts) in configs() {
+        let cfg = ParserConfig {
+            features: opts,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("train60", name), &cfg, |b, cfg| {
+            b.iter(|| LevelParser::train(&train, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Crawl throughput over loopback TCP: the two-step thin→thick pipeline
+//! in domains per second, with and without server-side rate limiting.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use whois_bench::corpus;
+use whois_net::{
+    Crawler, CrawlerConfig, InMemoryStore, RateLimitConfig, ServerConfig, WhoisServer,
+};
+
+struct Fleet {
+    _registry: WhoisServer,
+    _registrars: Vec<WhoisServer>,
+    registry_addr: std::net::SocketAddr,
+    resolver: HashMap<String, std::net::SocketAddr>,
+    zone: Vec<String>,
+}
+
+fn fleet(n: usize, limited: bool) -> Fleet {
+    let domains = corpus(29, n);
+    let mut thin = InMemoryStore::new();
+    let mut per_reg: HashMap<&str, InMemoryStore> = HashMap::new();
+    for d in &domains {
+        thin.insert(&d.facts.domain, d.thin_text());
+        per_reg
+            .entry(d.registrar.whois_server)
+            .or_default()
+            .insert(&d.facts.domain, d.rendered.text());
+    }
+    let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+    let mut resolver = HashMap::new();
+    let mut registrars = Vec::new();
+    for (host, store) in per_reg {
+        let cfg = if limited {
+            ServerConfig {
+                rate_limit: RateLimitConfig {
+                    burst: 16,
+                    per_second: 2000.0,
+                    penalty: Duration::from_millis(5),
+                },
+                ..Default::default()
+            }
+        } else {
+            ServerConfig::default()
+        };
+        let server = WhoisServer::start(store, cfg).unwrap();
+        resolver.insert(host.to_string(), server.addr());
+        registrars.push(server);
+    }
+    Fleet {
+        registry_addr: registry.addr(),
+        _registry: registry,
+        _registrars: registrars,
+        resolver,
+        zone: domains.iter().map(|d| d.facts.domain.clone()).collect(),
+    }
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_crawl");
+    group.sample_size(10);
+
+    let open = fleet(100, false);
+    group.throughput(Throughput::Elements(open.zone.len() as u64));
+    group.bench_function("crawl_100_domains_unlimited", |b| {
+        b.iter(|| {
+            let crawler = Arc::new(Crawler::new(
+                open.registry_addr,
+                open.resolver.clone(),
+                CrawlerConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+            ));
+            let report = crawler.crawl(&open.zone);
+            assert!(report.coverage() > 0.85, "coverage {}", report.coverage());
+            report.results.len()
+        })
+    });
+
+    let limited = fleet(100, true);
+    group.throughput(Throughput::Elements(limited.zone.len() as u64));
+    group.bench_function("crawl_100_domains_rate_limited", |b| {
+        b.iter(|| {
+            let crawler = Arc::new(Crawler::new(
+                limited.registry_addr,
+                limited.resolver.clone(),
+                CrawlerConfig {
+                    workers: 4,
+                    retry_pause: Duration::from_millis(8),
+                    ..Default::default()
+                },
+            ));
+            let report = crawler.crawl(&limited.zone);
+            assert!(report.coverage() > 0.75, "coverage {}", report.coverage());
+            report.results.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

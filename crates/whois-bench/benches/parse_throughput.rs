@@ -1,0 +1,61 @@
+//! End-to-end parse throughput: statistical vs. rule-based vs.
+//! template-based, in records per second — the practical side of
+//! applying a parser to a 102M-record crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use whois_bench::*;
+use whois_parser::{ParserConfig, WhoisParser};
+use whois_rules::RuleBasedParser;
+use whois_templates::TemplateParser;
+
+fn bench_parse(c: &mut Criterion) {
+    let train = corpus(13, 400);
+    let test = corpus(17, 200);
+    let raws: Vec<whois_model::RawRecord> = test.iter().map(|d| d.raw()).collect();
+
+    let statistical = WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    );
+    let rules = RuleBasedParser::full();
+    let mut templates = TemplateParser::new();
+    for (reg, text, gold) in template_examples(&train) {
+        let lines = whois_model::non_empty_lines(&text);
+        templates.add_example(&reg, &lines, &gold);
+    }
+    let template_keys: Vec<String> = test.iter().map(|d| d.registrar.name.to_string()).collect();
+
+    let mut group = c.benchmark_group("parse_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("statistical_200_records", |b| {
+        b.iter(|| {
+            raws.iter()
+                .map(|r| statistical.parse(r).has_registrant() as usize)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("rule_based_200_records", |b| {
+        b.iter(|| {
+            raws.iter()
+                .map(|r| rules.parse(r).has_registrant() as usize)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("template_200_records", |b| {
+        b.iter(|| {
+            raws.iter()
+                .zip(&template_keys)
+                .filter(|(r, key)| {
+                    let lines = r.lines();
+                    templates.label_blocks(key, &lines).is_some()
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

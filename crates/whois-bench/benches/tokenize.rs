@@ -1,0 +1,52 @@
+//! Tokenization throughput: line annotation and dictionary encoding
+//! (the front half of the parse path, relevant to the "102M records"
+//! feasibility claim).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use whois_bench::{corpus, first_level_examples};
+use whois_parser::{Encoder, FeatureOptions};
+
+fn bench_tokenize(c: &mut Criterion) {
+    let domains = corpus(7, 300);
+    let texts: Vec<String> = domains.iter().map(|d| d.rendered.text()).collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("tokenize");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("annotate_300_records", |b| {
+        b.iter(|| {
+            let mut lines = 0usize;
+            for t in &texts {
+                lines += whois_tokenize::annotate_record(t).len();
+            }
+            lines
+        })
+    });
+
+    let encoder = Encoder::fit(
+        first_level_examples(&domains)
+            .iter()
+            .map(|e| e.text.as_str()),
+        FeatureOptions::default(),
+        2,
+    );
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("encode_300_records", |b| {
+        b.iter_batched(
+            || texts.clone(),
+            |texts| {
+                let mut positions = 0usize;
+                for t in &texts {
+                    positions += encoder.encode_text(t).len();
+                }
+                positions
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenize);
+criterion_main!(benches);

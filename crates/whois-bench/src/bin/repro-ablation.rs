@@ -1,0 +1,203 @@
+//! Ablation study over the design choices DESIGN.md calls out:
+//! feature families (§3.3), dictionary trimming, and L-BFGS vs. SGD.
+//!
+//! ```text
+//! repro-ablation [--train 100] [--test 1000] [--seed 42]
+//! ```
+//!
+//! Expected shape: the `@T`/`@V` suffixes and layout markers carry real
+//! accuracy at small training sizes; pair features help block-boundary
+//! detection; both optimizers converge to similar accuracy with SGD
+//! cheaper per pass.
+
+use std::time::Instant;
+use whois_bench::*;
+use whois_crf::lbfgs::LbfgsConfig;
+use whois_crf::sgd::SgdConfig;
+use whois_crf::{TrainConfig, TrainerKind};
+use whois_parser::{FeatureOptions, LevelParser, ParserConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let train_n: usize = args.get_or("train", 100);
+    let test_n: usize = args.get_or("test", 1000);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let train_domains = corpus(seed, train_n);
+    let test_domains = corpus(seed ^ 0xab1a, test_n);
+    let train = first_level_examples(&train_domains);
+    let test = first_level_examples(&test_domains);
+    // The generalization test sets: drifted schemas and unseen TLD
+    // formats — where the paper's feature families earn their keep
+    // (in-distribution, word features alone already separate the known
+    // registrar formats).
+    let drifted = first_level_examples(&whois_gen::corpus::generate_corpus(
+        whois_gen::corpus::GenConfig {
+            drift_fraction: 1.0,
+            ..whois_gen::corpus::GenConfig::new(seed ^ 0xd1f7, test_n.min(400))
+        },
+    ));
+    let tld_tests: Vec<_> = whois_model::Tld::TABLE2_TLDS
+        .iter()
+        .map(|tld| {
+            let s = whois_gen::tlds::tld_sample(tld, seed).unwrap();
+            whois_parser::TrainExample {
+                text: s.text(),
+                labels: s.block_labels().labels(),
+            }
+        })
+        .collect();
+
+    println!("# Ablation study ({train_n} train / {test_n} test records)\n");
+
+    // --- Feature families ---
+    println!("## Feature families");
+    println!(
+        "{:<20} {:>10} {:>11} {:>11} {:>10} {:>9}",
+        "config", "line_err", "drift_err", "newtld_err", "features", "train_s"
+    );
+    let full = FeatureOptions::default();
+    let configs = [
+        ("full", full),
+        (
+            "no_title_value",
+            FeatureOptions {
+                title_value: false,
+                ..full
+            },
+        ),
+        (
+            "no_markers",
+            FeatureOptions {
+                markers: false,
+                ..full
+            },
+        ),
+        (
+            "no_classes",
+            FeatureOptions {
+                classes: false,
+                ..full
+            },
+        ),
+        (
+            "no_pair_features",
+            FeatureOptions {
+                pair_features: false,
+                ..full
+            },
+        ),
+        (
+            "no_prev_line",
+            FeatureOptions {
+                prev_line: false,
+                ..full
+            },
+        ),
+        (
+            "words_only",
+            FeatureOptions {
+                title_value: false,
+                markers: false,
+                classes: false,
+                pair_features: false,
+                prev_line: false,
+            },
+        ),
+    ];
+    for (name, features) in configs {
+        let cfg = ParserConfig {
+            features,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let parser = LevelParser::train(&train, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = parser.evaluate(&test);
+        let drift_stats = parser.evaluate(&drifted);
+        let tld_stats = parser.evaluate(&tld_tests);
+        println!(
+            "{:<20} {:>10.5} {:>11.5} {:>11.5} {:>10} {:>9.1}",
+            name,
+            stats.line_error_rate(),
+            drift_stats.line_error_rate(),
+            tld_stats.line_error_rate(),
+            parser.encoder().dictionary().len(),
+            secs
+        );
+    }
+
+    // --- Dictionary trimming ---
+    println!("\n## Dictionary trim threshold (min word count)");
+    println!("{:<8} {:>10} {:>10}", "min", "line_err", "features");
+    for min in [1u32, 2, 3, 5, 10] {
+        let cfg = ParserConfig {
+            min_word_count: min,
+            ..Default::default()
+        };
+        let parser = LevelParser::train(&train, &cfg);
+        let stats = parser.evaluate(&test);
+        println!(
+            "{:<8} {:>10.5} {:>10}",
+            min,
+            stats.line_error_rate(),
+            parser.encoder().dictionary().len()
+        );
+    }
+
+    // --- Optimizers ---
+    println!("\n## Optimizer (same data, same features)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>9}",
+        "optimizer", "line_err", "doc_err", "train_s"
+    );
+    let optimizers: Vec<(&str, TrainConfig)> = vec![
+        ("lbfgs(default)", TrainConfig::default()),
+        (
+            "lbfgs(maxiter=25)",
+            TrainConfig {
+                kind: TrainerKind::Lbfgs(LbfgsConfig {
+                    max_iters: 25,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        ),
+        (
+            "sgd(10 epochs)",
+            TrainConfig {
+                l2: 1e-4,
+                threads: 0,
+                kind: TrainerKind::Sgd(SgdConfig::default()),
+            },
+        ),
+        (
+            "sgd(40 epochs)",
+            TrainConfig {
+                l2: 1e-4,
+                threads: 0,
+                kind: TrainerKind::Sgd(SgdConfig {
+                    epochs: 40,
+                    ..Default::default()
+                }),
+            },
+        ),
+    ];
+    for (name, train_cfg) in optimizers {
+        let cfg = ParserConfig {
+            train: train_cfg,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let parser = LevelParser::train(&train, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let stats = parser.evaluate(&test);
+        println!(
+            "{:<24} {:>10.5} {:>10.5} {:>9.1}",
+            name,
+            stats.line_error_rate(),
+            stats.document_error_rate(),
+            secs
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 1: the transition-detecting features between blocks.
+//!
+//! ```text
+//! repro-fig1 [--train 2000] [--seed 42] [--per-edge 3]
+//! ```
+//!
+//! Shape to reproduce: words like `created` detect the start of the date
+//! block, `admin`/`administrative`/`contact` the other-contacts block,
+//! and layout markers (`NL`, `SHL`, `SYM`) detect block boundaries.
+
+use whois_bench::*;
+use whois_parser::{inspect, LevelParser, ParserConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get_or("train", 2000);
+    let seed: u64 = args.get_or("seed", 42);
+    let per_edge: usize = args.get_or("per-edge", 3);
+
+    eprintln!("[fig1] training first-level CRF on {n} records");
+    let domains = corpus(seed, n);
+    let examples = first_level_examples(&domains);
+    let parser = LevelParser::train(&examples, &ParserConfig::default());
+
+    println!("# Figure 1: top transition-detecting features between blocks");
+    print!("{}", inspect::render_transition_graph(&parser, per_edge));
+}

@@ -1,0 +1,42 @@
+//! Second-level CRF evaluation: registrant sub-field accuracy with a
+//! per-label confusion matrix.
+//!
+//! The paper trains the twelve-state second-level CRF (§3.2) but reports
+//! accuracy only for the first level; this binary records where our
+//! second level stands so EXPERIMENTS.md can document both.
+//!
+//! ```text
+//! repro-level2 [--train 1000] [--test 1000] [--seed 42]
+//! ```
+
+use whois_bench::*;
+use whois_parser::{LevelParser, ParserConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let train_n: usize = args.get_or("train", 1000);
+    let test_n: usize = args.get_or("test", 1000);
+    let seed: u64 = args.get_or("seed", 42);
+
+    let train_domains = corpus(seed, train_n);
+    let test_domains = corpus(seed ^ 0x12e7, test_n);
+    let train = second_level_examples(&train_domains);
+    let test = second_level_examples(&test_domains);
+    eprintln!(
+        "[level2] {} training / {} test registrant blocks",
+        train.len(),
+        test.len()
+    );
+
+    let parser = LevelParser::train(&train, &ParserConfig::default());
+    let stats = parser.evaluate(&test);
+    println!("# Second-level (registrant sub-field) CRF");
+    println!(
+        "line error {:.5}  block error {:.5}  over {} blocks / {} lines\n",
+        stats.line_error_rate(),
+        stats.document_error_rate(),
+        stats.documents,
+        stats.lines
+    );
+    println!("{}", parser.confusion(&test).render());
+}

@@ -1,0 +1,28 @@
+//! Table 1: the heaviest-weight word features per first-level label.
+//!
+//! ```text
+//! repro-table1 [--train 2000] [--seed 42] [--topk 10]
+//! ```
+//!
+//! Shape to reproduce: `registrant@T`/`organization@T` cue the registrant
+//! block, `registrar@T`/URL cues the registrar block, year/date tokens
+//! cue dates, `admin@T`/`tech@T`/`billing@T` cue other contacts, and
+//! legalese words cue null.
+
+use whois_bench::*;
+use whois_parser::{inspect, LevelParser, ParserConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get_or("train", 2000);
+    let seed: u64 = args.get_or("seed", 42);
+    let topk: usize = args.get_or("topk", 10);
+
+    eprintln!("[table1] training first-level CRF on {n} records");
+    let domains = corpus(seed, n);
+    let examples = first_level_examples(&domains);
+    let parser = LevelParser::train(&examples, &ParserConfig::default());
+
+    println!("# Table 1: heavily weighted emission features per label");
+    print!("{}", inspect::render_emission_table(&parser, topk));
+}

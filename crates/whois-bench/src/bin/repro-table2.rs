@@ -1,0 +1,62 @@
+//! Table 2: generalization to new, unseen TLDs.
+//!
+//! Both parsers are built from `com` data only, then evaluated on one
+//! sample record from each of the twelve new TLDs (each TLD has a single
+//! consistent template, so one record suffices — exactly the paper's
+//! setup). Reported as `errors/total` mislabeled lines per TLD.
+//!
+//! ```text
+//! repro-table2 [--train 2000] [--seed 42]
+//! ```
+//!
+//! Shape to reproduce: the statistical parser is never worse than the
+//! rule-based one and both make errors on some TLDs, with the rule-based
+//! parser far worse on several (the paper: asia, biz, coop, travel, us).
+
+use whois_bench::*;
+use whois_gen::tlds;
+use whois_model::Tld;
+use whois_parser::{LevelParser, ParserConfig, TrainExample};
+use whois_rules::RuleBasedParser;
+
+fn main() {
+    let args = Args::from_env();
+    let n: usize = args.get_or("train", 2000);
+    let seed: u64 = args.get_or("seed", 42);
+
+    eprintln!("[table2] building both parsers from {n} com records");
+    let domains = corpus(seed, n);
+    let stat = LevelParser::train(&first_level_examples(&domains), &ParserConfig::default());
+    let rules = RuleBasedParser::fit(&rule_examples(&domains));
+
+    println!("# Table 2: mislabeled lines on records from new TLDs (errors/total)");
+    println!("{:<10} {:>12} {:>12}", "tld", "rule-based", "statistical");
+    let mut rule_worse = 0;
+    let mut stat_worse = 0;
+    for tld in Tld::TABLE2_TLDS {
+        let sample = tlds::tld_sample(tld, seed).expect("table-2 tld");
+        let gold = sample.block_labels();
+        let text = sample.text();
+        let example = TrainExample {
+            text: text.clone(),
+            labels: gold.labels(),
+        };
+        let stat_err = stat.evaluate(std::slice::from_ref(&example)).line_errors;
+        let rule_err = rules.evaluate(&[(text, gold.labels())]).line_errors;
+        let total = gold.len();
+        println!(
+            "{:<10} {:>9}/{:<3} {:>9}/{:<3}",
+            tld, rule_err, total, stat_err, total
+        );
+        if rule_err > stat_err {
+            rule_worse += 1;
+        }
+        if stat_err > rule_err {
+            stat_worse += 1;
+        }
+    }
+    println!(
+        "\nstatistical better on {rule_worse} TLDs, worse on {stat_worse} \
+         (paper: rule-based never better, far worse on 5)"
+    );
+}

@@ -1,0 +1,187 @@
+//! # whois-bench
+//!
+//! Shared harness for the paper-reproduction binaries (`repro-*`, one per
+//! table/figure — see `DESIGN.md` §5 for the index) and the criterion
+//! benches.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use whois_gen::corpus::{generate_corpus, GenConfig, GeneratedDomain};
+use whois_model::{BlockLabel, RegistrantLabel};
+use whois_parser::TrainExample;
+
+/// Tiny `--key value` argument parser for the repro binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parse from `std::env::args`.
+    pub fn from_env() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                let value = argv.get(i + 1).cloned().unwrap_or_default();
+                pairs.push((key.to_string(), value));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Look up a raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Typed lookup with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Comma-separated list lookup with default.
+    pub fn get_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+/// Generate the standard experiment corpus.
+pub fn corpus(seed: u64, count: usize) -> Vec<GeneratedDomain> {
+    generate_corpus(GenConfig::new(seed, count))
+}
+
+/// First-level training examples from generated domains.
+pub fn first_level_examples(domains: &[GeneratedDomain]) -> Vec<TrainExample<BlockLabel>> {
+    domains
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+/// Second-level training examples (registrant blocks).
+pub fn second_level_examples(domains: &[GeneratedDomain]) -> Vec<TrainExample<RegistrantLabel>> {
+    domains
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            if reg.is_empty() {
+                return None;
+            }
+            Some(TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect()
+}
+
+/// `(text, gold)` examples for the rule-based parser.
+pub fn rule_examples(domains: &[GeneratedDomain]) -> Vec<(String, Vec<BlockLabel>)> {
+    domains
+        .iter()
+        .map(|d| (d.rendered.text(), d.block_labels().labels()))
+        .collect()
+}
+
+/// `(registrar, text, gold)` examples for the template parser.
+pub fn template_examples(domains: &[GeneratedDomain]) -> Vec<(String, String, Vec<BlockLabel>)> {
+    domains
+        .iter()
+        .map(|d| {
+            (
+                d.registrar.name.to_string(),
+                d.rendered.text(),
+                d.block_labels().labels(),
+            )
+        })
+        .collect()
+}
+
+/// Deterministically shuffle indices `0..n`.
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut ChaCha8Rng::seed_from_u64(seed));
+    idx
+}
+
+/// Split indices into `k` folds (round-robin so folds are format-mixed).
+pub fn folds(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    let order = shuffled_indices(n, seed);
+    let mut folds = vec![Vec::new(); k.max(1)];
+    for (i, idx) in order.into_iter().enumerate() {
+        folds[i % k.max(1)].push(idx);
+    }
+    folds
+}
+
+/// Mean and (population) standard deviation of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_everything() {
+        let f = folds(100, 5, 1);
+        assert_eq!(f.len(), 5);
+        let total: usize = f.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        let mut all: Vec<usize> = f.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert!(f.iter().all(|fold| fold.len() == 20));
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn example_builders_align() {
+        let c = corpus(3, 20);
+        let first = first_level_examples(&c);
+        assert_eq!(first.len(), 20);
+        for (ex, d) in first.iter().zip(&c) {
+            assert_eq!(
+                whois_model::non_empty_lines(&ex.text).len(),
+                ex.labels.len(),
+                "domain {}",
+                d.facts.domain
+            );
+        }
+        let second = second_level_examples(&c);
+        assert!(!second.is_empty());
+        assert_eq!(rule_examples(&c).len(), 20);
+        assert_eq!(template_examples(&c).len(), 20);
+    }
+}

@@ -1,0 +1,142 @@
+//! Diagnostics: brute-force inference and gradient checking.
+//!
+//! These routines are exponential in the sequence length and exist to
+//! validate the dynamic-programming implementations on tiny inputs. The
+//! property-based tests in this crate (and the ablation benches in
+//! `whois-bench`) use them as ground truth.
+
+use crate::model::Crf;
+use crate::numerics::log_sum_exp;
+use crate::sequence::Sequence;
+
+/// Enumerate every label sequence for a chain of length `len` over `n`
+/// states, calling `visit(path)` for each.
+pub fn enumerate_paths(n: usize, len: usize, mut visit: impl FnMut(&[usize])) {
+    if len == 0 {
+        visit(&[]);
+        return;
+    }
+    let mut path = vec![0usize; len];
+    loop {
+        visit(&path);
+        // Odometer increment.
+        let mut t = 0;
+        loop {
+            path[t] += 1;
+            if path[t] < n {
+                break;
+            }
+            path[t] = 0;
+            t += 1;
+            if t == len {
+                return;
+            }
+        }
+    }
+}
+
+/// `log Z(x)` computed by summing over all `n^T` paths (eq. 3 literally).
+pub fn brute_force_log_z(crf: &Crf, seq: &Sequence) -> f64 {
+    let mut scores = Vec::new();
+    enumerate_paths(crf.num_states(), seq.len(), |path| {
+        scores.push(crf.path_score(seq, path));
+    });
+    log_sum_exp(&scores)
+}
+
+/// The argmax path found by exhaustive search (ties broken by enumeration
+/// order, which matches Viterbi's first-index tie-breaking only when the
+/// scores differ; tests should use distinct weights).
+pub fn brute_force_viterbi(crf: &Crf, seq: &Sequence) -> (Vec<usize>, f64) {
+    let mut best_score = f64::NEG_INFINITY;
+    let mut best_path = Vec::new();
+    enumerate_paths(crf.num_states(), seq.len(), |path| {
+        let s = crf.path_score(seq, path);
+        if s > best_score {
+            best_score = s;
+            best_path = path.to_vec();
+        }
+    });
+    (best_path, best_score)
+}
+
+/// Central finite-difference gradient of `f` at `x`.
+///
+/// `f` may be evaluated many times; this is `O(dim)` evaluations.
+pub fn finite_difference_grad<F>(mut f: F, x: &[f64], eps: f64) -> Vec<f64>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let mut grad = vec![0.0; x.len()];
+    let mut xp = x.to_vec();
+    for k in 0..x.len() {
+        let orig = xp[k];
+        xp[k] = orig + eps;
+        let fp = f(&xp);
+        xp[k] = orig - eps;
+        let fm = f(&xp);
+        xp[k] = orig;
+        grad[k] = (fp - fm) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Maximum absolute difference between two equal-length vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{forward, viterbi};
+
+    #[test]
+    fn enumerate_counts_paths() {
+        let mut count = 0;
+        enumerate_paths(3, 4, |_| count += 1);
+        assert_eq!(count, 81);
+        let mut count = 0;
+        enumerate_paths(5, 0, |p| {
+            assert!(p.is_empty());
+            count += 1;
+        });
+        assert_eq!(count, 1, "empty chain has exactly the empty path");
+    }
+
+    #[test]
+    fn brute_force_agrees_with_dp() {
+        let mut crf = Crf::new(3, 4, &[true, false, true, false]);
+        let dim = crf.dim();
+        crf.set_weights(
+            (0..dim)
+                .map(|i| ((i * 31 % 17) as f64 - 8.0) * 0.13)
+                .collect(),
+        );
+        let seq = Sequence::new(vec![vec![0, 3], vec![1, 2], vec![0], vec![2, 3]]);
+        let table = crf.score_table(&seq);
+        let fwd = forward(&table);
+        assert!((fwd.log_z - brute_force_log_z(&crf, &seq)).abs() < 1e-9);
+        let (dp_path, dp_score) = viterbi(&table);
+        let (bf_path, bf_score) = brute_force_viterbi(&crf, &seq);
+        assert!((dp_score - bf_score).abs() < 1e-9);
+        assert_eq!(dp_path, bf_path);
+    }
+
+    #[test]
+    fn finite_difference_on_quadratic() {
+        let grad = finite_difference_grad(|x| x[0] * x[0] + 3.0 * x[1], &[2.0, 5.0], 1e-5);
+        assert!((grad[0] - 4.0).abs() < 1e-6);
+        assert!((grad[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

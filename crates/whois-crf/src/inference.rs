@@ -1,0 +1,315 @@
+//! Probabilistic inference by dynamic programming (appendix A of the
+//! paper).
+//!
+//! All routines operate on a pre-computed [`ScoreTable`] and run in
+//! `O(n²T)`:
+//!
+//! * [`forward`] — log-space α recursion; yields `log Z(x)` (eq. 10).
+//! * [`backward`] — log-space β recursion.
+//! * [`node_marginals`] / [`edge_marginals`] — posterior marginals
+//!   `Pr(y_t | x)` and `Pr(y_{t-1}, y_t | x)` (eq. 12), needed for the
+//!   gradient.
+//! * [`viterbi`] — most likely labeling with backtracking (eqs. 13–17).
+
+use crate::model::ScoreTable;
+use crate::numerics::{arg_max, log_sum_exp};
+
+/// Result of the forward pass: the α lattice (log-domain, `len × n`) and
+/// `log Z(x)`.
+#[derive(Clone, Debug)]
+pub struct Forward {
+    /// `alpha[t*n + j] = log Σ_{y_1..y_{t-1}} exp(score of prefix ending in j)`.
+    pub alpha: Vec<f64>,
+    /// The log partition function.
+    pub log_z: f64,
+}
+
+/// Run the forward recursion.
+///
+/// For the empty sequence `log_z = 0` (the empty product has probability
+/// 1).
+pub fn forward(table: &ScoreTable) -> Forward {
+    let n = table.n;
+    let t_len = table.len;
+    if t_len == 0 {
+        return Forward {
+            alpha: Vec::new(),
+            log_z: 0.0,
+        };
+    }
+    let mut alpha = vec![0.0; t_len * n];
+    alpha[..n].copy_from_slice(table.emit_at(0));
+    let mut scratch = vec![0.0; n];
+    for t in 1..t_len {
+        let edge = table.trans_at(t);
+        let emit = table.emit_at(t);
+        let (prev_rows, cur_rows) = alpha.split_at_mut(t * n);
+        let prev = &prev_rows[(t - 1) * n..];
+        let cur = &mut cur_rows[..n];
+        for j in 0..n {
+            for i in 0..n {
+                scratch[i] = prev[i] + edge[i * n + j];
+            }
+            cur[j] = log_sum_exp(&scratch) + emit[j];
+        }
+    }
+    let log_z = log_sum_exp(&alpha[(t_len - 1) * n..]);
+    Forward { alpha, log_z }
+}
+
+/// Run the backward recursion, returning the β lattice (log-domain,
+/// `len × n`), where `beta[t*n + i] = log Σ exp(score of suffix after t
+/// given y_t = i)`.
+pub fn backward(table: &ScoreTable) -> Vec<f64> {
+    let n = table.n;
+    let t_len = table.len;
+    if t_len == 0 {
+        return Vec::new();
+    }
+    let mut beta = vec![0.0; t_len * n];
+    // Last row is all zeros (log 1).
+    let mut scratch = vec![0.0; n];
+    for t in (0..t_len - 1).rev() {
+        let edge = table.trans_at(t + 1);
+        let emit_next = table.emit_at(t + 1);
+        for i in 0..n {
+            for j in 0..n {
+                scratch[j] = edge[i * n + j] + emit_next[j] + beta[(t + 1) * n + j];
+            }
+            beta[t * n + i] = log_sum_exp(&scratch);
+        }
+    }
+    beta
+}
+
+/// Posterior node marginals `Pr(y_t = j | x)` as a `len × n` matrix.
+pub fn node_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f64> {
+    let n = table.n;
+    let mut out = vec![0.0; table.len * n];
+    for t in 0..table.len {
+        for j in 0..n {
+            out[t * n + j] = (fwd.alpha[t * n + j] + beta[t * n + j] - fwd.log_z).exp();
+        }
+    }
+    out
+}
+
+/// Posterior edge marginals `Pr(y_{t-1} = i, y_t = j | x)` as a
+/// `(len-1) × n × n` tensor indexed `[(t-1)*n*n + i*n + j]` (eq. 12).
+pub fn edge_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f64> {
+    let n = table.n;
+    if table.len < 2 {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; (table.len - 1) * n * n];
+    for t in 1..table.len {
+        let edge = table.trans_at(t);
+        let emit = table.emit_at(t);
+        let block = &mut out[(t - 1) * n * n..t * n * n];
+        for i in 0..n {
+            for j in 0..n {
+                block[i * n + j] =
+                    (fwd.alpha[(t - 1) * n + i] + edge[i * n + j] + emit[j] + beta[t * n + j]
+                        - fwd.log_z)
+                        .exp();
+            }
+        }
+    }
+    out
+}
+
+/// Viterbi decoding: the most likely label sequence and its unnormalized
+/// log-score (eqs. 13–17). Returns an empty path for the empty sequence.
+pub fn viterbi(table: &ScoreTable) -> (Vec<usize>, f64) {
+    let n = table.n;
+    let t_len = table.len;
+    if t_len == 0 {
+        return (Vec::new(), 0.0);
+    }
+    // v[t*n + j] = best prefix score ending in state j at t.
+    let mut v = vec![0.0; t_len * n];
+    let mut back = vec![0usize; t_len * n];
+    v[..n].copy_from_slice(table.emit_at(0));
+    let mut scratch = vec![0.0; n];
+    for t in 1..t_len {
+        let edge = table.trans_at(t);
+        let emit = table.emit_at(t);
+        for j in 0..n {
+            for i in 0..n {
+                scratch[i] = v[(t - 1) * n + i] + edge[i * n + j];
+            }
+            let best = arg_max(&scratch);
+            back[t * n + j] = best;
+            v[t * n + j] = scratch[best] + emit[j];
+        }
+    }
+    let last = &v[(t_len - 1) * n..];
+    let mut state = arg_max(last);
+    let best_score = last[state];
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = state;
+    for t in (1..t_len).rev() {
+        state = back[t * n + state];
+        path[t - 1] = state;
+    }
+    (path, best_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Crf;
+    use crate::sequence::Sequence;
+
+    /// A small model with pseudo-random but deterministic weights.
+    fn model(n_states: usize, n_feats: usize) -> Crf {
+        let pair: Vec<bool> = (0..n_feats).map(|f| f % 2 == 0).collect();
+        let mut m = Crf::new(n_states, n_feats, &pair);
+        let dim = m.dim();
+        m.set_weights((0..dim).map(|i| ((i as f64) * 0.7).sin()).collect());
+        m
+    }
+
+    fn seq3() -> Sequence {
+        Sequence::new(vec![vec![0, 2], vec![1], vec![0, 3]])
+    }
+
+    #[test]
+    fn log_z_matches_brute_force() {
+        let m = model(3, 4);
+        let seq = seq3();
+        let table = m.score_table(&seq);
+        let fwd = forward(&table);
+        // Enumerate all 27 paths.
+        let mut scores = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    scores.push(m.path_score(&seq, &[a, b, c]));
+                }
+            }
+        }
+        let brute = crate::numerics::log_sum_exp(&scores);
+        assert!(
+            (fwd.log_z - brute).abs() < 1e-9,
+            "{} vs {}",
+            fwd.log_z,
+            brute
+        );
+    }
+
+    #[test]
+    fn backward_gives_same_log_z() {
+        let m = model(3, 4);
+        let table = m.score_table(&seq3());
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        // log Z = logsumexp_j (emit_0[j] + beta_0[j]).
+        let n = table.n;
+        let terms: Vec<f64> = (0..n).map(|j| table.emit_at(0)[j] + beta[j]).collect();
+        let z2 = crate::numerics::log_sum_exp(&terms);
+        assert!((fwd.log_z - z2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_marginals_sum_to_one() {
+        let m = model(4, 5);
+        let table = m.score_table(&Sequence::new(vec![vec![0], vec![1, 2], vec![3], vec![4]]));
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        let nm = node_marginals(&table, &fwd, &beta);
+        for t in 0..table.len {
+            let s: f64 = nm[t * 4..(t + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "t={t} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn edge_marginals_are_consistent_with_node_marginals() {
+        let m = model(3, 4);
+        let table = m.score_table(&seq3());
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        let nm = node_marginals(&table, &fwd, &beta);
+        let em = edge_marginals(&table, &fwd, &beta);
+        let n = 3;
+        for t in 1..table.len {
+            for j in 0..n {
+                let row_sum: f64 = (0..n).map(|i| em[(t - 1) * n * n + i * n + j]).sum();
+                assert!(
+                    (row_sum - nm[t * n + j]).abs() < 1e-9,
+                    "marginalizing over i must recover node marginal"
+                );
+            }
+            for i in 0..n {
+                let col_sum: f64 = (0..n).map(|j| em[(t - 1) * n * n + i * n + j]).sum();
+                assert!((col_sum - nm[(t - 1) * n + i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn viterbi_matches_brute_force() {
+        let m = model(3, 4);
+        let seq = seq3();
+        let table = m.score_table(&seq);
+        let (path, score) = viterbi(&table);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_path = vec![];
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let s = m.path_score(&seq, &[a, b, c]);
+                    if s > best {
+                        best = s;
+                        best_path = vec![a, b, c];
+                    }
+                }
+            }
+        }
+        assert_eq!(path, best_path);
+        assert!((score - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_position_sequence() {
+        let m = model(3, 4);
+        let seq = Sequence::new(vec![vec![1, 3]]);
+        let table = m.score_table(&seq);
+        let fwd = forward(&table);
+        let (path, score) = viterbi(&table);
+        assert_eq!(path.len(), 1);
+        // Highest-emission state wins.
+        let e = table.emit_at(0);
+        assert_eq!(path[0], crate::numerics::arg_max(e));
+        assert!((score - e[path[0]]).abs() < 1e-12);
+        // log Z over one position is logsumexp of emissions.
+        assert!((fwd.log_z - crate::numerics::log_sum_exp(e)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_is_benign() {
+        let m = model(2, 2);
+        let table = m.score_table(&Sequence::default());
+        let fwd = forward(&table);
+        assert_eq!(fwd.log_z, 0.0);
+        assert!(backward(&table).is_empty());
+        let (path, score) = viterbi(&table);
+        assert!(path.is_empty());
+        assert_eq!(score, 0.0);
+        assert!(edge_marginals(&table, &fwd, &backward(&table)).is_empty());
+    }
+
+    #[test]
+    fn zero_weights_give_uniform_marginals() {
+        let m = Crf::without_pair_features(4, 3);
+        let table = m.score_table(&Sequence::new(vec![vec![0], vec![1], vec![2]]));
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        let nm = node_marginals(&table, &fwd, &beta);
+        for &p in &nm {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+        assert!((fwd.log_z - 3.0 * 4.0_f64.ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,334 @@
+//! Limited-memory BFGS (L-BFGS) minimizer.
+//!
+//! The paper estimates its CRF parameters with "iterative, gradient-based
+//! methods such as L-BFGS" [Nocedal & Wright], using a modified
+//! implementation that runs the gradient in parallel. This is a standard
+//! two-loop-recursion L-BFGS with Armijo backtracking line search, written
+//! against a simple closure interface so it can minimize any smooth
+//! function of `R^d` — in practice the [`crate::objective::Objective`],
+//! whose gradient is already parallel.
+
+use crate::numerics::{axpy, dot, l2_norm};
+
+/// Configuration for [`minimize`].
+#[derive(Clone, Debug)]
+pub struct LbfgsConfig {
+    /// History size `m` (number of curvature pairs kept).
+    pub memory: usize,
+    /// Maximum number of iterations (gradient evaluations may exceed this
+    /// due to line search).
+    pub max_iters: usize,
+    /// Stop when `‖∇f‖ / max(1, ‖x‖)` falls below this.
+    pub grad_tol: f64,
+    /// Stop when the relative objective decrease falls below this.
+    pub obj_tol: f64,
+    /// Armijo sufficient-decrease constant `c₁`.
+    pub armijo_c1: f64,
+    /// Line-search backtracking factor in `(0, 1)`.
+    pub backtrack: f64,
+    /// Maximum backtracking steps per iteration.
+    pub max_line_search: usize,
+}
+
+impl Default for LbfgsConfig {
+    fn default() -> Self {
+        LbfgsConfig {
+            memory: 10,
+            max_iters: 200,
+            grad_tol: 1e-5,
+            obj_tol: 1e-8,
+            armijo_c1: 1e-4,
+            backtrack: 0.5,
+            max_line_search: 40,
+        }
+    }
+}
+
+/// Why the optimizer stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Gradient norm fell below `grad_tol`.
+    GradientConverged,
+    /// Relative objective change fell below `obj_tol`.
+    ObjectiveConverged,
+    /// `max_iters` reached.
+    MaxIterations,
+    /// The line search could not find a decreasing step (the gradient may
+    /// be inconsistent with the objective, or we are at numerical
+    /// precision).
+    LineSearchFailed,
+}
+
+/// Result of a minimization run.
+#[derive(Clone, Debug)]
+pub struct LbfgsResult {
+    /// The final iterate.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Gradient norm at `x`.
+    pub grad_norm: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Total objective/gradient evaluations.
+    pub evaluations: usize,
+    /// Why optimization stopped.
+    pub stop: StopReason,
+}
+
+/// Minimize `f` starting from `x0`.
+///
+/// `f(x, grad)` must write `∇f(x)` into `grad` and return `f(x)`.
+pub fn minimize<F>(mut f: F, x0: Vec<f64>, cfg: &LbfgsConfig) -> LbfgsResult
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let dim = x0.len();
+    let mut x = x0;
+    let mut grad = vec![0.0; dim];
+    let mut value = f(&x, &mut grad);
+    let mut evaluations = 1;
+
+    // Curvature history (s_k = x_{k+1} - x_k, y_k = g_{k+1} - g_k).
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+
+    let mut direction = vec![0.0; dim];
+    let mut x_new = vec![0.0; dim];
+    let mut grad_new = vec![0.0; dim];
+
+    for iter in 0..cfg.max_iters {
+        let gnorm = l2_norm(&grad);
+        if gnorm / l2_norm(&x).max(1.0) < cfg.grad_tol {
+            return LbfgsResult {
+                x,
+                value,
+                grad_norm: gnorm,
+                iterations: iter,
+                evaluations,
+                stop: StopReason::GradientConverged,
+            };
+        }
+
+        // Two-loop recursion: direction = -H·grad.
+        direction.copy_from_slice(&grad);
+        let k = s_hist.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            alphas[i] = rho_hist[i] * dot(&s_hist[i], &direction);
+            axpy(-alphas[i], &y_hist[i], &mut direction);
+        }
+        if k > 0 {
+            // Initial Hessian scaling γ = sᵀy / yᵀy.
+            let last = k - 1;
+            let gamma = dot(&s_hist[last], &y_hist[last]) / dot(&y_hist[last], &y_hist[last]);
+            for d in direction.iter_mut() {
+                *d *= gamma;
+            }
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &direction);
+            axpy(alphas[i] - beta, &s_hist[i], &mut direction);
+        }
+        for d in direction.iter_mut() {
+            *d = -*d;
+        }
+
+        // Ensure a descent direction; fall back to steepest descent.
+        let mut dir_dot_grad = dot(&direction, &grad);
+        if dir_dot_grad >= 0.0 {
+            for (d, g) in direction.iter_mut().zip(&grad) {
+                *d = -g;
+            }
+            dir_dot_grad = -dot(&grad, &grad);
+        }
+
+        // Backtracking Armijo line search.
+        let mut step = if k == 0 { (1.0 / gnorm).min(1.0) } else { 1.0 };
+        let mut found = false;
+        let mut value_new = value;
+        for _ in 0..cfg.max_line_search {
+            for ((xn, &xi), &di) in x_new.iter_mut().zip(&x).zip(&direction) {
+                *xn = xi + step * di;
+            }
+            value_new = f(&x_new, &mut grad_new);
+            evaluations += 1;
+            if value_new <= value + cfg.armijo_c1 * step * dir_dot_grad {
+                found = true;
+                break;
+            }
+            step *= cfg.backtrack;
+        }
+        if !found {
+            return LbfgsResult {
+                x,
+                value,
+                grad_norm: gnorm,
+                iterations: iter,
+                evaluations,
+                stop: StopReason::LineSearchFailed,
+            };
+        }
+
+        // Update curvature history.
+        let mut s = vec![0.0; dim];
+        for ((si, &xn), &xi) in s.iter_mut().zip(&x_new).zip(&x) {
+            *si = xn - xi;
+        }
+        let mut y = vec![0.0; dim];
+        for ((yi, &gn), &gi) in y.iter_mut().zip(&grad_new).zip(&grad) {
+            *yi = gn - gi;
+        }
+        let ys = dot(&y, &s);
+        if ys > 1e-10 {
+            if s_hist.len() == cfg.memory {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+            rho_hist.push(1.0 / ys);
+            s_hist.push(s);
+            y_hist.push(y);
+        }
+
+        let rel_decrease = (value - value_new).abs() / value.abs().max(1.0);
+        x.copy_from_slice(&x_new);
+        grad.copy_from_slice(&grad_new);
+        value = value_new;
+
+        if rel_decrease < cfg.obj_tol {
+            return LbfgsResult {
+                grad_norm: l2_norm(&grad),
+                x,
+                value,
+                iterations: iter + 1,
+                evaluations,
+                stop: StopReason::ObjectiveConverged,
+            };
+        }
+    }
+
+    LbfgsResult {
+        grad_norm: l2_norm(&grad),
+        x,
+        value,
+        iterations: cfg.max_iters,
+        evaluations,
+        stop: StopReason::MaxIterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_exactly() {
+        // f(x) = ½ Σ a_i (x_i - c_i)², minimum at c.
+        let a = [1.0, 10.0, 0.5];
+        let c = [3.0, -2.0, 7.0];
+        let result = minimize(
+            |x, g| {
+                let mut v = 0.0;
+                for i in 0..3 {
+                    g[i] = a[i] * (x[i] - c[i]);
+                    v += 0.5 * a[i] * (x[i] - c[i]).powi(2);
+                }
+                v
+            },
+            vec![0.0; 3],
+            &LbfgsConfig::default(),
+        );
+        for i in 0..3 {
+            assert!(
+                (result.x[i] - c[i]).abs() < 1e-4,
+                "dim {i}: {}",
+                result.x[i]
+            );
+        }
+        assert!(result.value < 1e-8);
+        assert!(matches!(
+            result.stop,
+            StopReason::GradientConverged | StopReason::ObjectiveConverged
+        ));
+    }
+
+    #[test]
+    fn minimizes_rosenbrock() {
+        let result = minimize(
+            |x, g| {
+                let (a, b) = (1.0, 100.0);
+                g[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+                g[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+                (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2)
+            },
+            vec![-1.2, 1.0],
+            &LbfgsConfig {
+                max_iters: 500,
+                obj_tol: 1e-14,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (result.x[0] - 1.0).abs() < 1e-3 && (result.x[1] - 1.0).abs() < 1e-3,
+            "converged to {:?} after {} iters ({:?})",
+            result.x,
+            result.iterations,
+            result.stop
+        );
+    }
+
+    #[test]
+    fn converges_in_few_iterations_on_convex_logistic() {
+        // 1-D logistic-style convex function: f(x) = ln(1 + e^x) - 0.3 x.
+        let result = minimize(
+            |x, g| {
+                let s = 1.0 / (1.0 + (-x[0]).exp());
+                g[0] = s - 0.3;
+                (1.0 + x[0].exp()).ln() - 0.3 * x[0]
+            },
+            vec![5.0],
+            &LbfgsConfig::default(),
+        );
+        // Minimum where sigmoid(x) = 0.3 → x = ln(0.3/0.7).
+        let expected = (0.3_f64 / 0.7).ln();
+        assert!((result.x[0] - expected).abs() < 1e-4);
+        assert!(result.iterations < 50);
+    }
+
+    #[test]
+    fn respects_max_iters() {
+        let cfg = LbfgsConfig {
+            max_iters: 2,
+            grad_tol: 0.0,
+            obj_tol: 0.0,
+            ..Default::default()
+        };
+        let result = minimize(
+            |x, g| {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            },
+            vec![100.0],
+            &cfg,
+        );
+        assert_eq!(result.stop, StopReason::MaxIterations);
+        assert_eq!(result.iterations, 2);
+    }
+
+    #[test]
+    fn already_at_minimum_stops_immediately() {
+        let result = minimize(
+            |x, g| {
+                g[0] = 2.0 * x[0];
+                x[0] * x[0]
+            },
+            vec![0.0],
+            &LbfgsConfig::default(),
+        );
+        assert_eq!(result.stop, StopReason::GradientConverged);
+        assert_eq!(result.iterations, 0);
+        assert_eq!(result.evaluations, 1);
+    }
+}

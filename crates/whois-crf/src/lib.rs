@@ -1,0 +1,48 @@
+//! # whois-crf
+//!
+//! A from-scratch **linear-chain conditional random field** — the
+//! statistical model of *"Who is .com? Learning to Parse WHOIS Records"*
+//! (IMC 2015, §3.1 and appendix A).
+//!
+//! The paper implemented its own CRF rather than using MALLET/CRF++, with a
+//! specialized feature pipeline, stochastic gradient descent, and a
+//! parallelized L-BFGS; this crate does the same:
+//!
+//! * **Model** ([`Crf`]): binary indicator features over
+//!   `(y_t, x_t)` (emission), `(y_{t-1}, y_t)` (transition), and
+//!   `(y_{t-1}, y_t, x_t)` (observed transition / "pair") tuples. Observation
+//!   features arrive as pre-encoded dense ids (see `whois-tokenize`'s
+//!   `Dictionary`), so the model itself is domain-agnostic.
+//! * **Inference** ([`inference`]): log-space forward–backward for the
+//!   partition function `Z(x)` and marginals, and Viterbi decoding with
+//!   backtracking — both `O(n²T)` exactly as in appendix A.
+//! * **Training** ([`objective`], [`lbfgs`], [`sgd`]): maximum conditional
+//!   log-likelihood with L2 regularization. The objective and gradient are
+//!   computed in parallel across records with `crossbeam` scoped threads;
+//!   the optimizers are a limited-memory BFGS (two-loop recursion, Armijo
+//!   backtracking) and an averaged SGD.
+//! * **Diagnostics** ([`diagnostics`]): brute-force enumeration of tiny
+//!   chains and finite-difference gradient checking, used heavily by the
+//!   property-based test suite.
+//!
+//! The model serializes with `serde`, so trained parsers can be saved and
+//! reloaded.
+
+#![allow(clippy::needless_range_loop)] // index-based DP loops mirror the appendix-A math
+
+pub mod diagnostics;
+pub mod inference;
+pub mod lbfgs;
+pub mod model;
+pub mod numerics;
+pub mod objective;
+pub mod scaled;
+pub mod sequence;
+pub mod sgd;
+pub mod train;
+
+pub use inference::{backward, edge_marginals, forward, node_marginals, viterbi};
+pub use model::{Crf, ScoreTable};
+pub use objective::Objective;
+pub use sequence::{Instance, Sequence};
+pub use train::{train, TrainConfig, TrainReport, TrainerKind};

@@ -1,0 +1,396 @@
+//! The CRF model: parameter layout and score-table construction.
+//!
+//! The posterior of the paper's CRF (eq. 2) is
+//!
+//! ```text
+//! Pr(y|x) = 1/Z(x) · exp( Σ_t Σ_k θ_k f_k(y_{t-1}, y_t, x_t) )
+//! ```
+//!
+//! with three families of binary features `f_k`:
+//!
+//! 1. **Transition**: fires when `(y_{t-1}, y_t) = (i, j)` — `n²` features.
+//! 2. **Emission** (eq. 6–7): fires when observation feature `f` is active
+//!    at `t` and `y_t = j` — `F·n` features.
+//! 3. **Pair** (eq. 8): fires when a *pair-eligible* observation feature
+//!    `p` is active at `t` and `(y_{t-1}, y_t) = (i, j)` — `P·n²` features.
+//!    Pair eligibility is chosen by the caller (the WHOIS parser makes
+//!    title words, markers, and classes eligible); restricting the set
+//!    keeps the parameter count near the paper's ~1M rather than `F·n²`.
+//!
+//! All parameters live in one flat `Vec<f64>` so the optimizers can treat
+//! the model as a point in `R^d`:
+//!
+//! ```text
+//! [ transition: n²  |  emission: F·n  |  pair: P·n²  ]
+//! ```
+//!
+//! Features that test only `y_t` (families 1–2 at `t = 0` have no
+//! `y_{t-1}`) follow the paper's convention: at the first position only
+//! emission features apply.
+
+use crate::sequence::Sequence;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "not pair-eligible" in the pair map.
+const NOT_PAIR: u32 = u32::MAX;
+
+/// A linear-chain CRF with binary indicator features.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Crf {
+    num_states: usize,
+    num_obs_features: usize,
+    /// `pair_map[f]` = compact pair index of observation feature `f`, or
+    /// [`NOT_PAIR`].
+    pair_map: Vec<u32>,
+    num_pair_features: usize,
+    /// Flat parameter vector; see module docs for layout.
+    weights: Vec<f64>,
+}
+
+/// Per-sequence potentials, materialized once per record before inference.
+///
+/// * `emit[t*n + j]` — sum of emission weights active at `t` for state `j`.
+/// * `trans[(t-1)*n*n + i*n + j]` — transition plus pair weights between
+///   positions `t-1` and `t` (empty when `len < 2`).
+///
+/// With these tables every inference routine is a dense `O(n²T)` sweep
+/// (appendix A of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreTable {
+    /// Number of states `n`.
+    pub n: usize,
+    /// Sequence length `T`.
+    pub len: usize,
+    /// Emission potentials, `len * n`.
+    pub emit: Vec<f64>,
+    /// Edge potentials, `(len-1) * n * n`.
+    pub trans: Vec<f64>,
+}
+
+impl Crf {
+    /// Create a zero-initialized CRF.
+    ///
+    /// * `num_states` — size of the label space `n`.
+    /// * `num_obs_features` — size of the observation-feature dictionary
+    ///   `F`; sequences may only contain ids `< F`.
+    /// * `pair_eligible` — for each observation feature, whether it also
+    ///   generates `(y_{t-1}, y_t, x_t)` pair features. Must have length
+    ///   `F`.
+    ///
+    /// # Panics
+    /// Panics if `pair_eligible.len() != num_obs_features` or
+    /// `num_states == 0`.
+    pub fn new(num_states: usize, num_obs_features: usize, pair_eligible: &[bool]) -> Self {
+        assert!(num_states > 0, "CRF needs at least one state");
+        assert_eq!(
+            pair_eligible.len(),
+            num_obs_features,
+            "pair eligibility must cover every observation feature"
+        );
+        let mut pair_map = vec![NOT_PAIR; num_obs_features];
+        let mut num_pair_features = 0usize;
+        for (f, &eligible) in pair_eligible.iter().enumerate() {
+            if eligible {
+                pair_map[f] = num_pair_features as u32;
+                num_pair_features += 1;
+            }
+        }
+        let dim = num_states * num_states
+            + num_obs_features * num_states
+            + num_pair_features * num_states * num_states;
+        Crf {
+            num_states,
+            num_obs_features,
+            pair_map,
+            num_pair_features,
+            weights: vec![0.0; dim],
+        }
+    }
+
+    /// Convenience constructor with no pair features.
+    pub fn without_pair_features(num_states: usize, num_obs_features: usize) -> Self {
+        Crf::new(num_states, num_obs_features, &vec![false; num_obs_features])
+    }
+
+    /// Number of states `n`.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Size of the observation-feature dictionary `F`.
+    pub fn num_obs_features(&self) -> usize {
+        self.num_obs_features
+    }
+
+    /// Number of pair-eligible observation features `P`.
+    pub fn num_pair_features(&self) -> usize {
+        self.num_pair_features
+    }
+
+    /// Total parameter count (the model's dimensionality).
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The flat parameter vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mutable access to the flat parameter vector (used by optimizers).
+    pub fn weights_mut(&mut self) -> &mut [f64] {
+        &mut self.weights
+    }
+
+    /// Replace the parameter vector.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.dim()`.
+    pub fn set_weights(&mut self, w: Vec<f64>) {
+        assert_eq!(w.len(), self.dim(), "weight vector has wrong dimension");
+        self.weights = w;
+    }
+
+    /// Parameter index of the transition feature `(i → j)`.
+    #[inline]
+    pub fn trans_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.num_states && j < self.num_states);
+        i * self.num_states + j
+    }
+
+    /// Parameter index of the emission feature `(f, j)`.
+    #[inline]
+    pub fn emit_index(&self, f: u32, j: usize) -> usize {
+        debug_assert!((f as usize) < self.num_obs_features && j < self.num_states);
+        self.num_states * self.num_states + f as usize * self.num_states + j
+    }
+
+    /// Parameter index of the pair feature `(f, i → j)`, if `f` is
+    /// pair-eligible.
+    #[inline]
+    pub fn pair_index(&self, f: u32, i: usize, j: usize) -> Option<usize> {
+        let p = self.pair_map[f as usize];
+        if p == NOT_PAIR {
+            return None;
+        }
+        let n = self.num_states;
+        Some(n * n + self.num_obs_features * n + (p as usize * n + i) * n + j)
+    }
+
+    /// Whether observation feature `f` is pair-eligible.
+    #[inline]
+    pub fn is_pair_eligible(&self, f: u32) -> bool {
+        self.pair_map[f as usize] != NOT_PAIR
+    }
+
+    /// Materialize the potentials of `seq` under the current weights.
+    ///
+    /// # Panics
+    /// Panics if the sequence contains a feature id `>= F`.
+    pub fn score_table(&self, seq: &Sequence) -> ScoreTable {
+        let n = self.num_states;
+        let t_len = seq.len();
+        let mut emit = vec![0.0; t_len * n];
+        let base_trans = &self.weights[..n * n];
+        let mut trans = if t_len > 1 {
+            let mut v = Vec::with_capacity((t_len - 1) * n * n);
+            for _ in 1..t_len {
+                v.extend_from_slice(base_trans);
+            }
+            v
+        } else {
+            Vec::new()
+        };
+
+        for (t, feats) in seq.obs.iter().enumerate() {
+            let emit_row = &mut emit[t * n..(t + 1) * n];
+            for &f in feats {
+                assert!(
+                    (f as usize) < self.num_obs_features,
+                    "feature id {f} out of range (F = {})",
+                    self.num_obs_features
+                );
+                let base = self.emit_index(f, 0);
+                for j in 0..n {
+                    emit_row[j] += self.weights[base + j];
+                }
+                // Pair features contribute to the edge entering position t
+                // (they condition on y_{t-1}); position 0 has no such edge.
+                if t > 0 {
+                    if let Some(pbase) = self.pair_index(f, 0, 0) {
+                        let edge = &mut trans[(t - 1) * n * n..t * n * n];
+                        for (e, w) in edge.iter_mut().zip(&self.weights[pbase..pbase + n * n]) {
+                            *e += *w;
+                        }
+                    }
+                }
+            }
+        }
+
+        ScoreTable {
+            n,
+            len: t_len,
+            emit,
+            trans,
+        }
+    }
+
+    /// Unnormalized log-score `Σ_t Σ_k θ_k f_k` of a specific labeling.
+    ///
+    /// # Panics
+    /// Panics if `labels` misaligns with `seq` or contains an out-of-range
+    /// state.
+    pub fn path_score(&self, seq: &Sequence, labels: &[usize]) -> f64 {
+        assert_eq!(seq.len(), labels.len(), "label length mismatch");
+        let mut score = 0.0;
+        for (t, (feats, &j)) in seq.obs.iter().zip(labels).enumerate() {
+            assert!(j < self.num_states, "label out of range");
+            if t > 0 {
+                let i = labels[t - 1];
+                score += self.weights[self.trans_index(i, j)];
+                for &f in feats {
+                    if let Some(idx) = self.pair_index(f, i, j) {
+                        score += self.weights[idx];
+                    }
+                }
+            }
+            for &f in feats {
+                score += self.weights[self.emit_index(f, 0) + j];
+            }
+        }
+        score
+    }
+}
+
+impl ScoreTable {
+    /// Emission potentials at position `t` (slice of length `n`).
+    #[inline]
+    pub fn emit_at(&self, t: usize) -> &[f64] {
+        &self.emit[t * self.n..(t + 1) * self.n]
+    }
+
+    /// Edge potentials between positions `t-1` and `t` (row-major `n×n`,
+    /// indexed `[i*n + j]`), for `t` in `1..len`.
+    #[inline]
+    pub fn trans_at(&self, t: usize) -> &[f64] {
+        debug_assert!(t >= 1 && t < self.len);
+        &self.trans[(t - 1) * self.n * self.n..t * self.n * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_crf() -> Crf {
+        // 2 states, 3 observation features, feature 2 pair-eligible.
+        Crf::new(2, 3, &[false, false, true])
+    }
+
+    #[test]
+    fn dimension_layout() {
+        let m = tiny_crf();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_obs_features(), 3);
+        assert_eq!(m.num_pair_features(), 1);
+        // 4 transition + 6 emission + 4 pair.
+        assert_eq!(m.dim(), 14);
+        assert!(m.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn indices_are_disjoint_and_dense() {
+        let m = tiny_crf();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(seen.insert(m.trans_index(i, j)));
+            }
+        }
+        for f in 0..3u32 {
+            for j in 0..2 {
+                assert!(seen.insert(m.emit_index(f, j)));
+            }
+        }
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(seen.insert(m.pair_index(2, i, j).unwrap()));
+            }
+        }
+        assert_eq!(m.pair_index(0, 0, 0), None);
+        assert_eq!(seen.len(), m.dim());
+        assert_eq!(*seen.iter().max().unwrap(), m.dim() - 1);
+    }
+
+    #[test]
+    fn score_table_accumulates_emissions() {
+        let mut m = tiny_crf();
+        let dim = m.dim();
+        m.set_weights((0..dim).map(|i| i as f64 * 0.1).collect());
+        let seq = Sequence::new(vec![vec![0, 1], vec![2]]);
+        let table = m.score_table(&seq);
+        assert_eq!(table.len, 2);
+        // Position 0: features 0 and 1 active.
+        let e0 = table.emit_at(0);
+        let expected_j0 = m.weights()[m.emit_index(0, 0)] + m.weights()[m.emit_index(1, 0)];
+        assert!((e0[0] - expected_j0).abs() < 1e-12);
+        // Edge 0→1 includes base transition plus pair weights of feature 2.
+        let edge = table.trans_at(1);
+        let expect = m.weights()[m.trans_index(1, 0)] + m.weights()[m.pair_index(2, 1, 0).unwrap()];
+        assert!((edge[2] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_features_do_not_affect_first_position() {
+        let mut m = tiny_crf();
+        let dim = m.dim();
+        m.set_weights(vec![1.0; dim]);
+        let seq = Sequence::new(vec![vec![2]]);
+        let table = m.score_table(&seq);
+        // Only the emission weight contributes.
+        assert_eq!(table.emit_at(0), &[1.0, 1.0]);
+        assert!(table.trans.is_empty());
+    }
+
+    #[test]
+    fn path_score_matches_table_sum() {
+        let mut m = tiny_crf();
+        let w: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.37).sin()).collect();
+        m.set_weights(w);
+        let seq = Sequence::new(vec![vec![0], vec![1, 2], vec![2]]);
+        let labels = vec![1, 0, 1];
+        let table = m.score_table(&seq);
+        let mut manual = table.emit_at(0)[1];
+        manual += table.trans_at(1)[2] + table.emit_at(1)[0];
+        manual += table.trans_at(2)[1] + table.emit_at(2)[1];
+        assert!((m.path_score(&seq, &labels) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_feature_beyond_dictionary() {
+        let m = tiny_crf();
+        m.score_table(&Sequence::new(vec![vec![99]]));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_scores() {
+        let mut m = tiny_crf();
+        let w: Vec<f64> = (0..m.dim()).map(|i| i as f64).collect();
+        m.set_weights(w);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Crf = serde_json::from_str(&json).unwrap();
+        let seq = Sequence::new(vec![vec![0, 2], vec![1]]);
+        assert_eq!(back.path_score(&seq, &[0, 1]), m.path_score(&seq, &[0, 1]));
+        assert_eq!(back.dim(), m.dim());
+    }
+
+    #[test]
+    fn empty_sequence_has_empty_table() {
+        let m = tiny_crf();
+        let table = m.score_table(&Sequence::default());
+        assert_eq!(table.len, 0);
+        assert!(table.emit.is_empty());
+        assert!(table.trans.is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Numerically stable helpers for log-space inference.
+
+/// `log(sum_i exp(xs[i]))`, computed stably by factoring out the maximum.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Index of the maximum element (first occurrence on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn arg_max(xs: &[f64]) -> usize {
+    assert!(!xs.is_empty(), "arg_max of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Euclidean norm of a vector.
+pub fn l2_norm(xs: &[f64]) -> f64 {
+    xs.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of equal-length vectors.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS axpy).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of unequal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_on_small_values() {
+        let xs = [0.1_f64, -0.5, 1.3];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        let v = log_sum_exp(&xs);
+        assert!((v - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        let v = log_sum_exp(&xs);
+        assert!((v - (-1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_neg_inf_entries() {
+        let xs = [f64::NEG_INFINITY, 0.0];
+        assert!((log_sum_exp(&xs) - 0.0).abs() < 1e-12);
+        assert_eq!(
+            log_sum_exp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn arg_max_first_on_ties() {
+        assert_eq!(arg_max(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(arg_max(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn arg_max_panics_on_empty() {
+        arg_max(&[]);
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((dot(&[1.0, 2.0], &[3.0, 4.0]) - 11.0).abs() < 1e-12);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Scaled (probability-domain) forward–backward — the classical
+//! alternative to log-space inference.
+//!
+//! Instead of working with log-potentials and log-sum-exp, this variant
+//! exponentiates the potentials once and normalizes each α row to sum to
+//! 1, accumulating `log Z` from the per-row scale factors (Rabiner-style
+//! scaling). It trades one `exp` per table entry for the removal of all
+//! `ln`/`exp` calls from the inner recursion — the `crf_inference` bench
+//! measures whether that wins.
+//!
+//! Both implementations must agree to floating-point accuracy; the
+//! property tests enforce it.
+
+use crate::model::ScoreTable;
+
+/// Exponentiated potentials with per-row scaling.
+#[derive(Clone, Debug)]
+pub struct ScaledForward {
+    /// Normalized α rows, `len × n` (each row sums to 1).
+    pub alpha: Vec<f64>,
+    /// `log Z(x)` accumulated from the scale factors.
+    pub log_z: f64,
+    /// Per-row log scale factors (needed by the scaled backward pass).
+    pub log_scales: Vec<f64>,
+}
+
+/// Exponentiate the score table once (shared by forward and backward).
+///
+/// To avoid overflow the per-position emission maxima are subtracted
+/// before exponentiation and re-added to `log Z` through the scale
+/// accounting.
+pub struct ExpTable {
+    n: usize,
+    len: usize,
+    /// `exp(emit - rowmax)`, `len × n`.
+    emit: Vec<f64>,
+    /// Per-position emission maxima.
+    emit_max: Vec<f64>,
+    /// `exp(trans)`, `(len-1) × n × n`.
+    trans: Vec<f64>,
+}
+
+impl ExpTable {
+    /// Build from a score table.
+    pub fn new(table: &ScoreTable) -> Self {
+        let n = table.n;
+        let len = table.len;
+        let mut emit = vec![0.0; len * n];
+        let mut emit_max = vec![0.0; len];
+        for t in 0..len {
+            let row = table.emit_at(t);
+            let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            emit_max[t] = m;
+            for j in 0..n {
+                emit[t * n + j] = (row[j] - m).exp();
+            }
+        }
+        let trans = table.trans.iter().map(|&x| x.exp()).collect();
+        ExpTable {
+            n,
+            len,
+            emit,
+            emit_max,
+            trans,
+        }
+    }
+}
+
+/// Scaled forward pass.
+pub fn forward_scaled(exp: &ExpTable) -> ScaledForward {
+    let n = exp.n;
+    let len = exp.len;
+    if len == 0 {
+        return ScaledForward {
+            alpha: Vec::new(),
+            log_z: 0.0,
+            log_scales: Vec::new(),
+        };
+    }
+    let mut alpha = vec![0.0; len * n];
+    let mut log_scales = vec![0.0; len];
+    let mut log_z = 0.0;
+
+    // t = 0.
+    let mut norm = 0.0;
+    for j in 0..n {
+        alpha[j] = exp.emit[j];
+        norm += alpha[j];
+    }
+    for j in 0..n {
+        alpha[j] /= norm;
+    }
+    log_scales[0] = norm.ln() + exp.emit_max[0];
+    log_z += log_scales[0];
+
+    for t in 1..len {
+        let edge = &exp.trans[(t - 1) * n * n..t * n * n];
+        let mut norm = 0.0;
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += alpha[(t - 1) * n + i] * edge[i * n + j];
+            }
+            let v = s * exp.emit[t * n + j];
+            alpha[t * n + j] = v;
+            norm += v;
+        }
+        for j in 0..n {
+            alpha[t * n + j] /= norm;
+        }
+        log_scales[t] = norm.ln() + exp.emit_max[t];
+        log_z += log_scales[t];
+    }
+
+    ScaledForward {
+        alpha,
+        log_z,
+        log_scales,
+    }
+}
+
+/// Scaled backward pass; returns β rows scaled by the same factors as the
+/// forward pass (so `alpha[t] .* beta[t]` are the node marginals directly).
+pub fn backward_scaled(exp: &ExpTable, fwd: &ScaledForward) -> Vec<f64> {
+    let n = exp.n;
+    let len = exp.len;
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut beta = vec![0.0; len * n];
+    for i in 0..n {
+        beta[(len - 1) * n + i] = 1.0;
+    }
+    for t in (0..len - 1).rev() {
+        let edge = &exp.trans[t * n * n..(t + 1) * n * n];
+        // Scale this row by the forward scale of t+1 (excluding emit_max,
+        // which is folded into exp.emit already).
+        let scale = (fwd.log_scales[t + 1] - exp.emit_max[t + 1]).exp();
+        for i in 0..n {
+            let mut s = 0.0;
+            for j in 0..n {
+                s += edge[i * n + j] * exp.emit[(t + 1) * n + j] * beta[(t + 1) * n + j];
+            }
+            beta[t * n + i] = s / scale;
+        }
+    }
+    beta
+}
+
+/// Node marginals from the scaled quantities.
+pub fn node_marginals_scaled(fwd: &ScaledForward, beta: &[f64], n: usize) -> Vec<f64> {
+    let len = beta.len() / n.max(1);
+    let mut out = vec![0.0; beta.len()];
+    for t in 0..len {
+        let mut norm = 0.0;
+        for j in 0..n {
+            let v = fwd.alpha[t * n + j] * beta[t * n + j];
+            out[t * n + j] = v;
+            norm += v;
+        }
+        // Normalize defensively (scales cancel analytically; this absorbs
+        // floating-point drift).
+        if norm > 0.0 {
+            for j in 0..n {
+                out[t * n + j] /= norm;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{backward, forward, node_marginals};
+    use crate::model::Crf;
+    use crate::sequence::Sequence;
+
+    fn model_and_seq(scale: f64) -> (Crf, Sequence) {
+        let mut m = Crf::new(4, 6, &[true, false, true, false, true, false]);
+        let dim = m.dim();
+        m.set_weights(
+            (0..dim)
+                .map(|i| ((i as f64) * 0.618).sin() * scale)
+                .collect(),
+        );
+        let seq = Sequence::new(vec![
+            vec![0, 3],
+            vec![1, 2, 5],
+            vec![4],
+            vec![0, 1, 2],
+            vec![3, 5],
+        ]);
+        (m, seq)
+    }
+
+    #[test]
+    fn scaled_log_z_matches_log_space() {
+        for scale in [0.1, 1.0, 5.0] {
+            let (m, seq) = model_and_seq(scale);
+            let table = m.score_table(&seq);
+            let log_fwd = forward(&table);
+            let exp = ExpTable::new(&table);
+            let scaled = forward_scaled(&exp);
+            assert!(
+                (log_fwd.log_z - scaled.log_z).abs() < 1e-9,
+                "scale {scale}: {} vs {}",
+                log_fwd.log_z,
+                scaled.log_z
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_marginals_match_log_space() {
+        let (m, seq) = model_and_seq(2.0);
+        let table = m.score_table(&seq);
+        let log_fwd = forward(&table);
+        let log_beta = backward(&table);
+        let expected = node_marginals(&table, &log_fwd, &log_beta);
+
+        let exp = ExpTable::new(&table);
+        let fwd = forward_scaled(&exp);
+        let beta = backward_scaled(&exp, &fwd);
+        let got = node_marginals_scaled(&fwd, &beta, table.n);
+        for (a, b) in expected.iter().zip(&got) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_alpha_rows_are_normalized() {
+        let (m, seq) = model_and_seq(1.0);
+        let table = m.score_table(&seq);
+        let exp = ExpTable::new(&table);
+        let fwd = forward_scaled(&exp);
+        for t in 0..seq.len() {
+            let s: f64 = fwd.alpha[t * 4..(t + 1) * 4].iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_benign() {
+        let (m, _) = model_and_seq(1.0);
+        let table = m.score_table(&Sequence::default());
+        let exp = ExpTable::new(&table);
+        let fwd = forward_scaled(&exp);
+        assert_eq!(fwd.log_z, 0.0);
+        assert!(backward_scaled(&exp, &fwd).is_empty());
+    }
+
+    #[test]
+    fn scaled_survives_large_potentials() {
+        // Potentials of ±40 would overflow naive exponentiation of path
+        // scores; row scaling keeps everything finite.
+        let (m, seq) = model_and_seq(40.0);
+        let table = m.score_table(&seq);
+        let log_fwd = forward(&table);
+        let exp = ExpTable::new(&table);
+        let scaled = forward_scaled(&exp);
+        assert!(scaled.log_z.is_finite());
+        assert!(
+            (log_fwd.log_z - scaled.log_z).abs() < 1e-6 * log_fwd.log_z.abs().max(1.0),
+            "{} vs {}",
+            log_fwd.log_z,
+            scaled.log_z
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Encoded input sequences and training instances.
+//!
+//! The CRF is agnostic to the WHOIS domain: each position `t` of a sequence
+//! carries the *dense ids* of the binary observation features that fire on
+//! line `t` (the ids come from `whois-tokenize::Dictionary`). Feature ids
+//! within a position must be sorted and unique, which `Dictionary::encode`
+//! guarantees.
+
+use serde::{Deserialize, Serialize};
+
+/// An observation sequence: one sorted id-set of active features per
+/// position.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    /// `obs[t]` = active observation-feature ids at position `t`.
+    pub obs: Vec<Vec<u32>>,
+}
+
+impl Sequence {
+    /// Build from per-position feature-id sets.
+    pub fn new(obs: Vec<Vec<u32>>) -> Self {
+        Sequence { obs }
+    }
+
+    /// Sequence length `T`.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// The largest feature id appearing anywhere in the sequence, if any.
+    pub fn max_feature_id(&self) -> Option<u32> {
+        self.obs.iter().flatten().copied().max()
+    }
+}
+
+/// A labeled training instance: an observation sequence plus its gold label
+/// indices (each in `0..num_states`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    /// The observations.
+    pub seq: Sequence,
+    /// Gold labels, `labels.len() == seq.len()`.
+    pub labels: Vec<usize>,
+}
+
+impl Instance {
+    /// Build an instance.
+    ///
+    /// # Panics
+    /// Panics if the label sequence length differs from the observation
+    /// sequence length.
+    pub fn new(seq: Sequence, labels: Vec<usize>) -> Self {
+        assert_eq!(
+            seq.len(),
+            labels.len(),
+            "labels must align with observations"
+        );
+        Instance { seq, labels }
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the empty instance.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_basics() {
+        let s = Sequence::new(vec![vec![0, 3], vec![], vec![7]]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.max_feature_id(), Some(7));
+        assert_eq!(Sequence::default().max_feature_id(), None);
+    }
+
+    #[test]
+    fn instance_alignment_enforced() {
+        let s = Sequence::new(vec![vec![1], vec![2]]);
+        let i = Instance::new(s.clone(), vec![0, 1]);
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+        let result = std::panic::catch_unwind(|| Instance::new(s, vec![0]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = Instance::new(Sequence::new(vec![vec![1, 2], vec![3]]), vec![1, 0]);
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+    }
+}

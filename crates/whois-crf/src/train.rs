@@ -1,0 +1,208 @@
+//! High-level training entry point.
+//!
+//! Wraps the two optimizers behind one configuration type so callers
+//! (the WHOIS parser, the benches) can switch between the paper's L-BFGS
+//! and SGD without caring about their internals.
+
+use crate::lbfgs::{self, LbfgsConfig, StopReason};
+use crate::model::Crf;
+use crate::objective::Objective;
+use crate::sequence::Instance;
+use crate::sgd::{train_sgd, SgdConfig};
+use std::time::Instant;
+
+/// Which optimizer to run.
+#[derive(Clone, Debug)]
+pub enum TrainerKind {
+    /// Batch L-BFGS over the full (parallelized) objective.
+    Lbfgs(LbfgsConfig),
+    /// Stochastic gradient descent.
+    Sgd(SgdConfig),
+}
+
+/// Training configuration.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// L2 regularization strength λ. For [`TrainerKind::Sgd`] this
+    /// overrides the λ inside the SGD config so both paths share one knob.
+    pub l2: f64,
+    /// Worker threads for the batch objective (`0` = all cores).
+    pub threads: usize,
+    /// The optimizer.
+    pub kind: TrainerKind,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            l2: 1e-3,
+            threads: 0,
+            kind: TrainerKind::Lbfgs(LbfgsConfig::default()),
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Default SGD configuration (10 epochs).
+    pub fn sgd() -> Self {
+        TrainConfig {
+            l2: 1e-4,
+            threads: 0,
+            kind: TrainerKind::Sgd(SgdConfig::default()),
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Final value of the (regularized, mean) objective — for SGD this is
+    /// the online NLL estimate of the last epoch.
+    pub final_objective: f64,
+    /// Optimizer iterations (L-BFGS) or gradient steps (SGD).
+    pub iterations: usize,
+    /// Whether the optimizer reported convergence (always `true` for SGD,
+    /// which runs a fixed number of epochs).
+    pub converged: bool,
+    /// Wall-clock training time in seconds.
+    pub seconds: f64,
+}
+
+/// Train `crf` in place on `data`.
+///
+/// Returns a [`TrainReport`]. Training an empty dataset is a no-op that
+/// reports zero iterations.
+pub fn train(crf: &mut Crf, data: &[Instance], cfg: &TrainConfig) -> TrainReport {
+    let start = Instant::now();
+    if data.is_empty() {
+        return TrainReport {
+            final_objective: 0.0,
+            iterations: 0,
+            converged: true,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+    }
+    match &cfg.kind {
+        TrainerKind::Lbfgs(lcfg) => {
+            let mut obj = Objective::new(crf.clone(), data, cfg.l2, cfg.threads);
+            let x0 = crf.weights().to_vec();
+            let result = lbfgs::minimize(|w, g| obj.eval(w, g), x0, lcfg);
+            crf.set_weights(result.x);
+            TrainReport {
+                final_objective: result.value,
+                iterations: result.iterations,
+                converged: matches!(
+                    result.stop,
+                    StopReason::GradientConverged | StopReason::ObjectiveConverged
+                ),
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+        TrainerKind::Sgd(scfg) => {
+            let mut scfg = scfg.clone();
+            scfg.l2 = cfg.l2;
+            let report = train_sgd(crf, data, &scfg);
+            TrainReport {
+                final_objective: report.final_mean_nll,
+                iterations: report.steps,
+                converged: true,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::viterbi;
+    use crate::sequence::Sequence;
+
+    fn data() -> Vec<Instance> {
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            out.push(Instance::new(
+                Sequence::new(vec![vec![0], vec![1], vec![2]]),
+                vec![0, 1, 2],
+            ));
+            out.push(Instance::new(
+                Sequence::new(vec![vec![2], vec![2]]),
+                vec![2, 2],
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn lbfgs_training_fits_data() {
+        let mut crf = Crf::without_pair_features(3, 3);
+        let report = train(&mut crf, &data(), &TrainConfig::default());
+        assert!(report.converged, "L-BFGS should converge on a toy task");
+        assert!(report.iterations > 0);
+        let (path, _) = viterbi(&crf.score_table(&Sequence::new(vec![vec![0], vec![1], vec![2]])));
+        assert_eq!(path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sgd_training_fits_data() {
+        let mut crf = Crf::without_pair_features(3, 3);
+        let report = train(&mut crf, &data(), &TrainConfig::sgd());
+        assert!(report.converged);
+        let (path, _) = viterbi(&crf.score_table(&Sequence::new(vec![vec![2], vec![2]])));
+        assert_eq!(path, vec![2, 2]);
+    }
+
+    #[test]
+    fn both_optimizers_reach_similar_objectives() {
+        let d = data();
+        let mut a = Crf::without_pair_features(3, 3);
+        let mut b = Crf::without_pair_features(3, 3);
+        train(&mut a, &d, &TrainConfig::default());
+        train(
+            &mut b,
+            &d,
+            &TrainConfig {
+                l2: 1e-3,
+                threads: 1,
+                kind: TrainerKind::Sgd(SgdConfig {
+                    epochs: 50,
+                    ..Default::default()
+                }),
+            },
+        );
+        let mut obj = Objective::new(a.clone(), &d, 1e-3, 1);
+        let mut g = vec![0.0; a.dim()];
+        let fa = obj.eval(a.weights(), &mut g);
+        let fb = obj.eval(b.weights(), &mut g);
+        assert!(
+            (fa - fb).abs() < 0.1,
+            "optimizers should approach the same convex optimum: {fa} vs {fb}"
+        );
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        let mut crf = Crf::without_pair_features(2, 2);
+        let report = train(&mut crf, &[], &TrainConfig::default());
+        assert_eq!(report.iterations, 0);
+        assert!(report.converged);
+        assert!(crf.weights().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn training_resumes_from_existing_weights() {
+        // Incremental adaptation (§5.3): training again with more data
+        // starts from the current weights rather than zero.
+        let mut crf = Crf::without_pair_features(3, 3);
+        train(&mut crf, &data(), &TrainConfig::default());
+        let w1 = crf.weights().to_vec();
+        // One more record with a new pattern; a short run should keep the
+        // old behaviour and learn the new one.
+        let mut extended = data();
+        extended.push(Instance::new(Sequence::new(vec![vec![1]]), vec![1]));
+        train(&mut crf, &extended, &TrainConfig::default());
+        assert_ne!(crf.weights(), w1.as_slice());
+        let (path, _) = viterbi(&crf.score_table(&Sequence::new(vec![vec![0], vec![1], vec![2]])));
+        assert_eq!(path, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,567 @@
+//! The top-level corpus generator.
+//!
+//! [`CorpusGenerator`] is a seeded iterator of [`GeneratedDomain`]s. Each
+//! domain combines a creation year (Figure 4a), a registrar (Table 5,
+//! year-blended), a registrant country (Table 3 / Figure 4b, further
+//! shaped by the registrar's own mix per Figure 5), optional privacy
+//! protection (Figure 4b adoption, registrar-specific services per
+//! Tables 6–7), occasional brand-company ownership (Table 4), and the
+//! registrar's template family rendered into a thick record with full
+//! ground truth — plus the matching Verisign-style **thin** record for the
+//! crawler.
+
+use crate::distributions;
+use crate::drift;
+use crate::entity::{self, gen_entity};
+use crate::families;
+use crate::registrars::{Registrar, RegistrarDirectory};
+use crate::style::{ContactFacts, DomainFacts, RenderedRecord, SimpleDate, Template};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+use whois_model::{BlockLabel, LabeledRecord, RawRecord, RegistrantLabel};
+
+/// Configuration of a corpus run.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Master seed; identical configs generate identical corpora.
+    pub seed: u64,
+    /// Number of domains to generate.
+    pub count: usize,
+    /// Fraction of domains rendered through a drift-mutated variant of
+    /// their registrar's template (schema-change experiments; default 0).
+    pub drift_fraction: f64,
+    /// TLD to generate under (`"com"` unless exercising Table 2).
+    pub tld: String,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x_c0ffee,
+            count: 1000,
+            drift_fraction: 0.0,
+            tld: "com".to_string(),
+        }
+    }
+}
+
+impl GenConfig {
+    /// Convenience constructor.
+    pub fn new(seed: u64, count: usize) -> Self {
+        GenConfig {
+            seed,
+            count,
+            ..Default::default()
+        }
+    }
+}
+
+/// One generated domain with facts, rendered record, and ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedDomain {
+    /// All underlying facts (the survey's ground truth).
+    pub facts: DomainFacts,
+    /// The sponsoring registrar.
+    pub registrar: &'static Registrar,
+    /// The rendered thick record with per-line labels.
+    pub rendered: RenderedRecord,
+    /// Registrant country ISO code before any privacy substitution
+    /// (empty = unknown). What the *record* shows is in `facts`.
+    pub true_country: &'static str,
+    /// Whether a drift-mutated template was used.
+    pub drifted: bool,
+}
+
+impl GeneratedDomain {
+    /// The thick record as seen on the wire.
+    pub fn raw(&self) -> RawRecord {
+        self.rendered.to_raw()
+    }
+
+    /// First-level ground truth.
+    pub fn block_labels(&self) -> LabeledRecord<BlockLabel> {
+        self.rendered.block_labels()
+    }
+
+    /// Second-level (registrant sub-field) ground truth.
+    pub fn registrant_labels(&self) -> LabeledRecord<RegistrantLabel> {
+        self.rendered.registrant_labels()
+    }
+
+    /// The Verisign-style thin record for this domain (what the `com`
+    /// registry returns; §2.2).
+    pub fn thin_text(&self) -> String {
+        let f = &self.facts;
+        let mut s = String::new();
+        s.push_str("Whois Server Version 2.0\n\n");
+        s.push_str(
+            "Domain names in the .com and .net domains can now be registered\n\
+             with many different competing registrars. Go to http://www.internic.net\n\
+             for detailed information.\n\n",
+        );
+        s.push_str(&format!("   Domain Name: {}\n", f.domain.to_uppercase()));
+        s.push_str(&format!(
+            "   Registrar: {}\n",
+            f.registrar_name.to_uppercase()
+        ));
+        s.push_str(&format!("   Sponsoring Registrar IANA ID: {}\n", f.iana_id));
+        s.push_str(&format!("   Whois Server: {}\n", f.whois_server));
+        s.push_str(&format!("   Referral URL: {}\n", f.registrar_url));
+        for ns in &f.name_servers {
+            s.push_str(&format!("   Name Server: {}\n", ns.to_uppercase()));
+        }
+        for st in &f.statuses {
+            s.push_str(&format!("   Status: {st}\n"));
+        }
+        s.push_str(&format!(
+            "   Updated Date: {}\n",
+            f.updated.render(crate::style::DateStyle::DayMonYear)
+        ));
+        s.push_str(&format!(
+            "   Creation Date: {}\n",
+            f.created.render(crate::style::DateStyle::DayMonYear)
+        ));
+        s.push_str(&format!(
+            "   Expiration Date: {}\n",
+            f.expires.render(crate::style::DateStyle::DayMonYear)
+        ));
+        s.push_str("\n>>> Last update of whois database: 2015-02-06T10:00:00Z <<<\n");
+        s
+    }
+}
+
+/// Seeded iterator of generated domains.
+pub struct CorpusGenerator {
+    cfg: GenConfig,
+    rng: ChaCha8Rng,
+    directory: RegistrarDirectory,
+    templates: HashMap<String, Template>,
+    drifted_templates: HashMap<String, Template>,
+    seen_domains: HashSet<String>,
+    produced: usize,
+    next_contact_id: u64,
+}
+
+impl CorpusGenerator {
+    /// Create a generator for `cfg`.
+    pub fn new(cfg: GenConfig) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut templates = HashMap::new();
+        for t in families::com_families() {
+            templates.insert(t.family.clone(), t);
+        }
+        CorpusGenerator {
+            rng,
+            directory: RegistrarDirectory::new(),
+            templates,
+            drifted_templates: HashMap::new(),
+            seen_domains: HashSet::new(),
+            produced: 0,
+            next_contact_id: 1,
+            cfg,
+        }
+    }
+
+    /// The registrar directory in use.
+    pub fn directory(&self) -> &RegistrarDirectory {
+        &self.directory
+    }
+
+    fn fresh_domain_name(&mut self) -> String {
+        for _ in 0..8 {
+            let candidate = entity::gen_domain_name(&mut self.rng, &self.cfg.tld);
+            if self.seen_domains.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+        // Guaranteed-unique fallback.
+        let candidate = format!(
+            "{}{}.{}",
+            entity::gen_domain_name(&mut self.rng, "x")
+                .strip_suffix(".x")
+                .unwrap(),
+            self.produced,
+            self.cfg.tld
+        );
+        self.seen_domains.insert(candidate.clone());
+        candidate
+    }
+
+    fn contact_from_entity(&mut self, e: &entity::Entity, registrar: &Registrar) -> ContactFacts {
+        let id = format!(
+            "{}{:08X}",
+            registrar
+                .name
+                .chars()
+                .filter(|c| c.is_ascii_uppercase())
+                .take(3)
+                .collect::<String>(),
+            self.next_contact_id
+        );
+        self.next_contact_id += 1;
+        ContactFacts {
+            id,
+            name: e.name.clone(),
+            org: e.org.clone(),
+            street: e.street.clone(),
+            street2: e.street2.clone(),
+            city: e.city.clone(),
+            state: e.state.clone(),
+            postcode: e.postcode.clone(),
+            country_name: if e.country_code.is_empty() {
+                String::new()
+            } else {
+                e.country_name.clone()
+            },
+            country_code: e.country_code.to_string(),
+            phone: e.phone.clone(),
+            fax: e.fax.clone(),
+            email: e.email.clone(),
+        }
+    }
+
+    /// Replace a contact with a privacy-proxy identity.
+    fn privacy_contact(&mut self, service: &str, domain: &str) -> ContactFacts {
+        let id = format!("PP{:08X}", self.next_contact_id);
+        self.next_contact_id += 1;
+        let service_domain = format!(
+            "{}.example",
+            service
+                .to_lowercase()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+        );
+        ContactFacts {
+            id,
+            name: "Registration Private".into(),
+            org: Some(service.to_string()),
+            street: "14455 N. Hayden Road".into(),
+            street2: Some("Suite 219".into()),
+            city: "Scottsdale".into(),
+            state: "AZ".into(),
+            postcode: "85260".into(),
+            country_name: "United States".into(),
+            country_code: "US".into(),
+            phone: "+1.4806242599".into(),
+            fax: None,
+            email: format!("{}@{}", domain.replace('.', "-"), service_domain),
+        }
+    }
+
+    fn sample_dates(&mut self) -> (SimpleDate, SimpleDate, SimpleDate) {
+        let year = distributions::sample_year(&mut self.rng);
+        let created = SimpleDate::new(
+            year,
+            self.rng.random_range(1..=12),
+            self.rng.random_range(1..=28),
+        );
+        let updated_year = self.rng.random_range(created.y..=2014).max(created.y);
+        let updated = SimpleDate::new(
+            updated_year,
+            self.rng.random_range(1..=12),
+            self.rng.random_range(1..=28),
+        );
+        // Registered domains in the Feb-2015 zone must not be expired.
+        let expires = SimpleDate::new(
+            2015 + self.rng.random_range(0..=2),
+            self.rng.random_range(3..=12),
+            created.d,
+        );
+        (created, updated, expires)
+    }
+
+    /// Generate the next domain.
+    fn generate_one(&mut self) -> GeneratedDomain {
+        let (created, updated, expires) = self.sample_dates();
+        let u: f64 = self.rng.random();
+        let registrar = self.directory.sample(created.y, u);
+
+        // Country: blend of the global per-year distribution (Table 3 /
+        // Figure 4b) and the registrar's own mix (Figure 5), weighted by
+        // how "national" the registrar is.
+        let true_country: &'static str = if self.rng.random_bool(registrar.mix_weight) {
+            *distributions::weighted_choice(registrar.country_mix, self.rng.random())
+        } else {
+            distributions::sample_country(&mut self.rng, created.y)
+        };
+
+        let domain = self.fresh_domain_name();
+
+        // Registrant entity (or brand company portfolio domain).
+        let brand_total: f64 = distributions::BRAND_COMPANIES.iter().map(|(_, w)| w).sum();
+        let is_brand = self.rng.random_bool((brand_total / 1e6).min(1.0));
+        let mut registrant_entity = gen_entity(&mut self.rng, true_country);
+        if is_brand {
+            let brand =
+                *distributions::weighted_choice(distributions::BRAND_COMPANIES, self.rng.random());
+            registrant_entity.org = Some(brand.to_string());
+            registrant_entity.name = "Domain Administrator".into();
+        }
+        // Records with unknown country omit the country fields.
+        let mut registrant = self.contact_from_entity(&registrant_entity, registrar);
+        if true_country.is_empty() {
+            registrant.country_code = String::new();
+            registrant.country_name = String::new();
+        }
+
+        // Privacy protection: year-level adoption scaled by the
+        // registrar's own propensity relative to the global ~20%.
+        let rate =
+            (distributions::privacy_rate(created.y) * registrar.privacy_rate / 0.20).min(0.95);
+        let privacy_service = if !is_brand && self.rng.random_bool(rate) {
+            Some(
+                (*distributions::weighted_choice(registrar.privacy_services, self.rng.random()))
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        if let Some(service) = &privacy_service {
+            let service = service.clone();
+            registrant = self.privacy_contact(&service, &domain);
+        }
+
+        // Admin/tech usually mirror the registrant.
+        let admin = if self.rng.random_bool(0.85) {
+            Some(if self.rng.random_bool(0.75) {
+                registrant.clone()
+            } else {
+                let e = gen_entity(&mut self.rng, true_country);
+                self.contact_from_entity(&e, registrar)
+            })
+        } else {
+            None
+        };
+        let tech = admin.clone().filter(|_| self.rng.random_bool(0.9));
+
+        let ns_count = self.rng.random_range(2..=3);
+        let sld = domain.split('.').next().unwrap_or("x").to_string();
+        let name_servers: Vec<String> = (1..=ns_count)
+            .map(|i| {
+                if self.rng.random_bool(0.5) {
+                    format!("ns{i}.{domain}")
+                } else {
+                    format!("ns{i}.{sld}-dns.net")
+                }
+            })
+            .collect();
+        let mut statuses = vec!["clientTransferProhibited".to_string()];
+        if self.rng.random_bool(0.3) {
+            statuses.push("clientDeleteProhibited".to_string());
+        }
+
+        let facts = DomainFacts {
+            domain: domain.clone(),
+            registrar_name: registrar.name.to_string(),
+            whois_server: registrar.whois_server.to_string(),
+            iana_id: registrar.iana_id,
+            abuse_email: format!(
+                "abuse@{}",
+                registrar.whois_server.trim_start_matches("whois.")
+            ),
+            abuse_phone: "+1.5555551212".into(),
+            registrar_url: registrar.url.to_string(),
+            created,
+            updated,
+            expires,
+            name_servers,
+            statuses,
+            registrant,
+            admin,
+            tech,
+            billing: None,
+            privacy_service,
+        };
+
+        // Render, through a drifted template for the configured fraction.
+        let drifted = self.rng.random_bool(self.cfg.drift_fraction);
+        let rendered = if drifted {
+            let family = registrar.family;
+            if !self.drifted_templates.contains_key(family) {
+                let base = self.templates.get(family).expect("family exists").clone();
+                let mutated = drift::mutate(&base, self.cfg.seed ^ 0xd41f7);
+                self.drifted_templates.insert(family.to_string(), mutated);
+            }
+            self.drifted_templates[family].render(&facts)
+        } else {
+            self.templates[registrar.family].render(&facts)
+        };
+
+        self.produced += 1;
+        GeneratedDomain {
+            facts,
+            registrar,
+            rendered,
+            true_country,
+            drifted,
+        }
+    }
+}
+
+impl Iterator for CorpusGenerator {
+    type Item = GeneratedDomain;
+
+    fn next(&mut self) -> Option<GeneratedDomain> {
+        if self.produced >= self.cfg.count {
+            return None;
+        }
+        Some(self.generate_one())
+    }
+}
+
+/// Generate the whole corpus into memory (convenience for tests and small
+/// experiments; the survey pipeline streams instead).
+pub fn generate_corpus(cfg: GenConfig) -> Vec<GeneratedDomain> {
+    CorpusGenerator::new(cfg).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_corpus(GenConfig::new(7, 50));
+        let b = generate_corpus(GenConfig::new(7, 50));
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.facts.domain, y.facts.domain);
+            assert_eq!(x.rendered.text(), y.rendered.text());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_corpus(GenConfig::new(1, 10));
+        let b = generate_corpus(GenConfig::new(2, 10));
+        assert_ne!(
+            a.iter().map(|d| d.facts.domain.clone()).collect::<Vec<_>>(),
+            b.iter().map(|d| d.facts.domain.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn domains_are_unique() {
+        let corpus = generate_corpus(GenConfig::new(3, 2000));
+        let set: HashSet<_> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
+        assert_eq!(set.len(), corpus.len());
+    }
+
+    #[test]
+    fn ground_truth_aligns_with_chunker() {
+        for d in generate_corpus(GenConfig::new(11, 200)) {
+            let raw = d.raw();
+            assert_eq!(
+                raw.lines().len(),
+                d.block_labels().len(),
+                "domain {} misaligned",
+                d.facts.domain
+            );
+        }
+    }
+
+    #[test]
+    fn thin_records_reference_registrar_server() {
+        let corpus = generate_corpus(GenConfig::new(5, 20));
+        for d in corpus {
+            let thin = d.thin_text();
+            assert!(thin.contains(&format!("Whois Server: {}", d.registrar.whois_server)));
+            assert!(thin.contains(&d.facts.domain.to_uppercase()));
+            assert!(thin.contains("Creation Date:"));
+        }
+    }
+
+    #[test]
+    fn privacy_domains_have_proxy_registrant() {
+        let corpus = generate_corpus(GenConfig::new(13, 3000));
+        let private: Vec<_> = corpus
+            .iter()
+            .filter(|d| d.facts.privacy_service.is_some())
+            .collect();
+        assert!(
+            !private.is_empty(),
+            "some privacy-protected domains expected"
+        );
+        for d in &private {
+            let org = d.facts.registrant.org.as_deref().unwrap_or("");
+            assert_eq!(org, d.facts.privacy_service.as_deref().unwrap());
+            assert!(d.facts.registrant.email.contains("@"));
+        }
+        // Adoption should be meaningful but minority overall.
+        let rate = private.len() as f64 / corpus.len() as f64;
+        assert!((0.05..0.40).contains(&rate), "privacy rate {rate}");
+    }
+
+    #[test]
+    fn registrar_share_is_roughly_calibrated() {
+        let corpus = generate_corpus(GenConfig::new(17, 4000));
+        let godaddy = corpus
+            .iter()
+            .filter(|d| d.registrar.name.starts_with("GoDaddy"))
+            .count() as f64
+            / corpus.len() as f64;
+        assert!(
+            (godaddy - 0.34).abs() < 0.05,
+            "GoDaddy share {godaddy} far from Table 5"
+        );
+    }
+
+    #[test]
+    fn unknown_country_records_omit_country() {
+        let corpus = generate_corpus(GenConfig::new(19, 3000));
+        let unknown: Vec<_> = corpus
+            .iter()
+            .filter(|d| d.true_country.is_empty() && d.facts.privacy_service.is_none())
+            .collect();
+        assert!(!unknown.is_empty());
+        for d in unknown {
+            assert!(d.facts.registrant.country_code.is_empty());
+            assert!(!d.rendered.text().contains("Country: \n"));
+        }
+    }
+
+    #[test]
+    fn drift_fraction_produces_drifted_records() {
+        let cfg = GenConfig {
+            drift_fraction: 0.5,
+            ..GenConfig::new(23, 400)
+        };
+        let corpus = generate_corpus(cfg);
+        let drifted = corpus.iter().filter(|d| d.drifted).count();
+        assert!(
+            (100..300).contains(&drifted),
+            "drifted count {drifted} not near half"
+        );
+        // Drifted and undrifted records from the same registrar differ in
+        // format.
+        let by_reg: HashMap<&str, Vec<&GeneratedDomain>> =
+            corpus.iter().fold(HashMap::new(), |mut m, d| {
+                m.entry(d.registrar.name).or_default().push(d);
+                m
+            });
+        let mut compared = false;
+        for domains in by_reg.values() {
+            let d0 = domains.iter().find(|d| d.drifted);
+            let u0 = domains.iter().find(|d| !d.drifted);
+            if let (Some(d), Some(u)) = (d0, u0) {
+                // Compare titles only (values differ anyway): first line.
+                let dt = d.rendered.text();
+                let ut = u.rendered.text();
+                assert_ne!(dt, ut);
+                compared = true;
+            }
+        }
+        assert!(compared);
+    }
+
+    #[test]
+    fn creation_years_span_the_window() {
+        let corpus = generate_corpus(GenConfig::new(29, 3000));
+        let years: HashSet<i32> = corpus.iter().map(|d| d.facts.created.y).collect();
+        assert!(years.contains(&2014));
+        assert!(years.iter().any(|&y| y < 2000));
+        assert!(corpus.iter().all(|d| d.facts.expires.y >= 2015));
+    }
+}

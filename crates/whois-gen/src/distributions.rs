@@ -1,0 +1,282 @@
+//! Calibrated marginal distributions for the synthetic corpus.
+//!
+//! These reproduce the paper's published aggregates:
+//!
+//! * **Creation-date histogram** (Figure 4a): exponential-ish growth from
+//!   1995 through 2014, with the dot-com bump around 2000.
+//! * **Registrant country by creation year** (Table 3 + Figure 4b): the US
+//!   share declines over time while China grows sharply; the all-time
+//!   aggregate approximates Table 3 (US 47.6%, CN 9.6%, GB 4.7%, ...).
+//! * **Privacy-protection adoption by year** (Figure 4b): rising past 20%
+//!   by 2014, with Table 7's service mix.
+//! * **Unknown-country rate**: ~3.4% of records lack a country (Table 3's
+//!   "(Unknown)" row).
+
+use rand::Rng;
+
+/// Relative number of `.com` creations per year, 1995–2014 (Figure 4a's
+/// shape: growth, dot-com bump in 2000, dip, then accelerating growth to
+/// ~25M in 2014).
+pub const YEAR_WEIGHTS: &[(i32, f64)] = &[
+    (1995, 0.2),
+    (1996, 0.5),
+    (1997, 0.9),
+    (1998, 1.4),
+    (1999, 2.8),
+    (2000, 4.6),
+    (2001, 2.6),
+    (2002, 2.2),
+    (2003, 2.6),
+    (2004, 3.4),
+    (2005, 4.4),
+    (2006, 6.0),
+    (2007, 7.4),
+    (2008, 8.2),
+    (2009, 8.8),
+    (2010, 10.2),
+    (2011, 11.8),
+    (2012, 13.6),
+    (2013, 15.8),
+    (2014, 25.9),
+];
+
+/// Country distribution for early (pre-2008) registrations. Chosen so the
+/// all-time mixture approximates Table 3's left column.
+const COUNTRY_EARLY: &[(&str, f64)] = &[
+    ("US", 0.515),
+    ("GB", 0.0544),
+    ("DE", 0.0450),
+    ("FR", 0.0355),
+    ("CA", 0.0331),
+    ("CN", 0.0415),
+    ("ES", 0.0234),
+    ("AU", 0.0167),
+    ("JP", 0.0144),
+    ("IN", 0.0103),
+    ("TR", 0.0120),
+    ("VN", 0.0070),
+    ("RU", 0.0210),
+    ("NL", 0.0330),
+    ("IT", 0.0300),
+    ("BR", 0.0230),
+    ("HK", 0.0330),
+    ("", 0.0371), // unknown
+];
+
+/// Country distribution for 2014 registrations (Table 3's right column).
+const COUNTRY_2014: &[(&str, f64)] = &[
+    ("US", 0.411),
+    ("CN", 0.182),
+    ("GB", 0.035),
+    ("FR", 0.029),
+    ("CA", 0.025),
+    ("IN", 0.025),
+    ("JP", 0.021),
+    ("DE", 0.019),
+    ("ES", 0.017),
+    ("TR", 0.017),
+    ("NL", 0.025),
+    ("IT", 0.020),
+    ("BR", 0.025),
+    ("RU", 0.025),
+    ("VN", 0.020),
+    ("AU", 0.020),
+    ("HK", 0.030),
+    ("", 0.029), // unknown
+];
+
+/// Privacy-service market shares (Table 7).
+pub const PRIVACY_SERVICES: &[(&str, f64)] = &[
+    ("Domains By Proxy, LLC", 0.357),
+    ("WhoisGuard", 0.069),
+    ("Whois Privacy Protect", 0.068),
+    ("FBO REGISTRANT", 0.049),
+    ("PrivacyProtect.org", 0.042),
+    ("Aliyun", 0.039),
+    ("Perfect Privacy, LLC", 0.034),
+    ("Happy DreamHost", 0.028),
+    ("MuuMuuDomain", 0.022),
+    ("1&1 Internet Inc.", 0.020),
+    ("Private Registration", 0.08),
+    ("Hidden by Whois Privacy Protection Service", 0.06),
+];
+
+/// Brand companies and their approximate `.com` portfolio sizes
+/// (Table 4), expressed per million generated domains.
+pub const BRAND_COMPANIES: &[(&str, f64)] = &[
+    ("Amazon Technologies, Inc.", 202.0),
+    ("AOL Inc.", 168.0),
+    ("Microsoft Corporation", 164.0),
+    ("21st Century Fox America, Inc.", 140.0),
+    ("Warner Bros. Entertainment Inc.", 134.0),
+    ("Yahoo! Inc.", 103.0),
+    ("Disney Enterprises, Inc.", 101.0),
+    ("Google Inc.", 65.0),
+    ("AT&T Services, Inc.", 39.0),
+    ("eBay Inc.", 25.0),
+    ("Nike, Inc.", 25.0),
+];
+
+/// Sample from a weighted table given a uniform draw in `[0, 1)`;
+/// weights need not be normalized.
+pub fn weighted_choice<T>(table: &[(T, f64)], u: f64) -> &T {
+    let total: f64 = table.iter().map(|(_, w)| w).sum();
+    let mut acc = 0.0;
+    let target = u * total;
+    for (item, w) in table {
+        acc += w;
+        if target < acc {
+            return item;
+        }
+    }
+    &table[table.len() - 1].0
+}
+
+/// Sample a creation year per Figure 4a.
+pub fn sample_year<R: Rng + ?Sized>(rng: &mut R) -> i32 {
+    *weighted_choice(YEAR_WEIGHTS, rng.random())
+}
+
+/// Interpolation weight toward the 2014 country distribution: 0 before
+/// 2008, 1 at 2014.
+fn year_blend(year: i32) -> f64 {
+    ((year - 2008) as f64 / 6.0).clamp(0.0, 1.0)
+}
+
+/// Sample a registrant country code for `year` (empty string = country
+/// unknown / missing from the record).
+pub fn sample_country<R: Rng + ?Sized>(rng: &mut R, year: i32) -> &'static str {
+    let w = year_blend(year);
+    // Blend by choosing which table to sample from.
+    let table = if rng.random_bool(w) {
+        COUNTRY_2014
+    } else {
+        COUNTRY_EARLY
+    };
+    *weighted_choice(table, rng.random::<f64>())
+}
+
+/// Privacy-protection adoption rate for domains created in `year`
+/// (Figure 4b: negligible in the 1990s, passing 20% in 2014).
+pub fn privacy_rate(year: i32) -> f64 {
+    match year {
+        i32::MIN..=1999 => 0.005,
+        2000..=2004 => 0.02 + 0.01 * (year - 2000) as f64,
+        2005..=2009 => 0.07 + 0.02 * (year - 2005) as f64,
+        2010..=2013 => 0.15 + 0.02 * (year - 2010) as f64,
+        _ => 0.22,
+    }
+}
+
+/// Sample a privacy service (Table 7 mix).
+pub fn sample_privacy_service<R: Rng + ?Sized>(rng: &mut R) -> &'static str {
+    *weighted_choice(PRIVACY_SERVICES, rng.random::<f64>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let table = [("a", 1.0), ("b", 3.0)];
+        assert_eq!(*weighted_choice(&table, 0.0), "a");
+        assert_eq!(*weighted_choice(&table, 0.2), "a");
+        assert_eq!(*weighted_choice(&table, 0.3), "b");
+        assert_eq!(*weighted_choice(&table, 0.99), "b");
+    }
+
+    #[test]
+    fn year_histogram_shape() {
+        let mut r = rng();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..100_000 {
+            *counts.entry(sample_year(&mut r)).or_insert(0usize) += 1;
+        }
+        // 2014 is the largest year; 2000 bump exceeds 2001-2002.
+        let c = |y: i32| *counts.get(&y).unwrap_or(&0);
+        assert!(c(2014) > c(2013));
+        assert!(c(2000) > c(2001));
+        assert!(c(2000) > c(2002));
+        assert!(c(1995) < c(2005));
+        // All years present.
+        for (y, _) in YEAR_WEIGHTS {
+            assert!(c(*y) > 0, "year {y} never sampled");
+        }
+    }
+
+    #[test]
+    fn country_all_time_aggregate_matches_table3() {
+        // Sample (year, country) jointly and check the aggregate marginals.
+        let mut r = rng();
+        let n = 200_000;
+        let mut us = 0usize;
+        let mut cn = 0usize;
+        let mut unknown = 0usize;
+        for _ in 0..n {
+            let year = sample_year(&mut r);
+            match sample_country(&mut r, year) {
+                "US" => us += 1,
+                "CN" => cn += 1,
+                "" => unknown += 1,
+                _ => {}
+            }
+        }
+        let us_share = us as f64 / n as f64;
+        let cn_share = cn as f64 / n as f64;
+        let unk_share = unknown as f64 / n as f64;
+        assert!((us_share - 0.476).abs() < 0.04, "US share {us_share}");
+        assert!((cn_share - 0.096).abs() < 0.03, "CN share {cn_share}");
+        assert!(
+            (unk_share - 0.034).abs() < 0.015,
+            "unknown share {unk_share}"
+        );
+    }
+
+    #[test]
+    fn country_2014_matches_right_column() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut cn = 0usize;
+        for _ in 0..n {
+            if sample_country(&mut r, 2014) == "CN" {
+                cn += 1;
+            }
+        }
+        let share = cn as f64 / n as f64;
+        assert!((share - 0.182).abs() < 0.01, "CN 2014 share {share}");
+    }
+
+    #[test]
+    fn privacy_rate_increases_and_passes_20_percent() {
+        assert!(privacy_rate(1996) < 0.01);
+        assert!(privacy_rate(2005) < privacy_rate(2010));
+        assert!(privacy_rate(2010) < privacy_rate(2014));
+        assert!(privacy_rate(2014) > 0.20);
+    }
+
+    #[test]
+    fn privacy_service_mix_has_dbp_on_top() {
+        let mut r = rng();
+        let mut dbp = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            if sample_privacy_service(&mut r).starts_with("Domains By Proxy") {
+                dbp += 1;
+            }
+        }
+        let share = dbp as f64 / n as f64;
+        assert!((share - 0.357 / 0.878).abs() < 0.03, "DBP share {share}");
+    }
+
+    #[test]
+    fn brand_companies_table_present() {
+        assert_eq!(BRAND_COMPANIES.len(), 11);
+        assert!(BRAND_COMPANIES[0].1 > BRAND_COMPANIES[10].1, "sorted desc");
+    }
+}

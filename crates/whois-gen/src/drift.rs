@@ -1,0 +1,166 @@
+//! Schema-drift mutators.
+//!
+//! The paper observed "one large registrar modifying their schema
+//! significantly during the four months of WHOIS measurements" and showed
+//! that template parsers break under such drift while the statistical
+//! parser adapts with a handful of labeled examples (§2.3, §5.3).
+//! [`mutate`] derives a drifted variant of a template: field titles are
+//! re-worded, the separator changes, block order shifts, and a new banner
+//! appears — the kinds of changes registrars actually make.
+
+use crate::style::{Element, Template};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Title-word substitutions applied by the retitle mutation.
+const SYNONYMS: &[(&str, &str)] = &[
+    ("Registrant", "Holder"),
+    ("REGISTRANT", "HOLDER"),
+    ("Owner", "Registrant"),
+    ("OWNER", "REGISTRANT"),
+    ("Creation Date", "Created On"),
+    ("Created", "Registered"),
+    ("CREATED", "REGISTERED"),
+    ("Updated Date", "Last Modified"),
+    ("Expiration", "Expiry"),
+    ("EXPIRATION", "EXPIRY"),
+    ("Expires", "Valid Until"),
+    ("Email", "E-mail"),
+    ("EMAIL", "E-MAIL"),
+    ("Postal Code", "ZIP"),
+    ("Phone", "Telephone"),
+    ("PHONE", "TELEPHONE"),
+    ("Organization", "Organisation"),
+    ("Street", "Address Line"),
+    ("Name Server", "Nameserver"),
+    ("Domain Status", "Status"),
+];
+
+fn retitle(text: &str) -> String {
+    for (from, to) in SYNONYMS {
+        if text.contains(from) {
+            return text.replace(from, to);
+        }
+    }
+    text.to_string()
+}
+
+/// Derive a drifted variant of `base`, deterministically from `seed`.
+///
+/// The variant keeps the same fields and ground-truth labels (it is the
+/// same *information*, re-formatted), renamed to `"{family}+drift"`.
+pub fn mutate(base: &Template, seed: u64) -> Template {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ base.family.len() as u64);
+    let mut elements: Vec<Element> = base.elements.clone();
+
+    // 1. Retitle a majority of titled fields.
+    for el in elements.iter_mut() {
+        if let Element::Titled { title, .. } = el {
+            if rng.random_bool(0.8) {
+                *title = retitle(title);
+            }
+        }
+        if let Element::Header { text, .. } = el {
+            if rng.random_bool(0.8) {
+                *text = retitle(text);
+            }
+        }
+    }
+
+    // 2. Change the separator on every titled field (pick one new style).
+    let new_sep = match rng.random_range(0..3) {
+        0 => " : ",
+        1 => ":   ",
+        _ => ": ",
+    };
+    for el in elements.iter_mut() {
+        if let Element::Titled { sep, .. } = el {
+            if sep.trim() == ":" {
+                *sep = new_sep.to_string();
+            }
+        }
+    }
+
+    // 3. Rotate the leading run of titled fields (field reordering).
+    let lead = elements
+        .iter()
+        .take_while(|e| matches!(e, Element::Titled { .. } | Element::Banner(_)))
+        .count();
+    if lead >= 3 {
+        let k = rng.random_range(1..lead);
+        elements[..lead].rotate_left(k);
+    }
+
+    // 4. Prepend a new banner.
+    elements.insert(
+        0,
+        Element::Banner(format!(
+            "WHOIS lookup service v{}.{}",
+            rng.random_range(2..6),
+            rng.random_range(0..10)
+        )),
+    );
+
+    Template {
+        family: format!("{}+drift", base.family),
+        dates: base.dates,
+        elements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::family_by_name;
+    use crate::style::fixtures::sample_facts;
+
+    #[test]
+    fn mutate_is_deterministic() {
+        let base = family_by_name("icann-standard").unwrap();
+        let a = mutate(&base, 99);
+        let b = mutate(&base, 99);
+        assert_eq!(a, b);
+        let c = mutate(&base, 100);
+        assert_ne!(a, c, "different seeds drift differently");
+    }
+
+    #[test]
+    fn drifted_template_renders_different_text_same_labels() {
+        let base = family_by_name("icann-standard").unwrap();
+        let drifted = mutate(&base, 5);
+        let facts = sample_facts();
+        let r0 = base.render(&facts);
+        let r1 = drifted.render(&facts);
+        assert_ne!(r0.text(), r1.text(), "format must change");
+        // Same multiset of block labels (information preserved), modulo the
+        // one extra null banner.
+        let mut l0: Vec<_> = r0.block_labels().labels();
+        let mut l1: Vec<_> = r1.block_labels().labels();
+        l0.sort_by_key(|l| format!("{l:?}"));
+        l1.sort_by_key(|l| format!("{l:?}"));
+        assert_eq!(l1.len(), l0.len() + 1, "one banner added");
+    }
+
+    #[test]
+    fn retitle_changes_known_words() {
+        assert_eq!(retitle("Registrant Name"), "Holder Name");
+        assert_eq!(retitle("Creation Date"), "Created On");
+        assert_eq!(retitle("Unrelated Title"), "Unrelated Title");
+    }
+
+    #[test]
+    fn drift_of_every_family_still_aligns_with_chunker() {
+        let facts = sample_facts();
+        for base in crate::families::com_families() {
+            let drifted = mutate(&base, 1234);
+            let r = drifted.render(&facts);
+            assert_eq!(
+                r.to_raw().lines().len(),
+                r.block_labels().len(),
+                "family {} drift misaligns",
+                drifted.family
+            );
+            assert!(drifted.family.ends_with("+drift"));
+        }
+    }
+}

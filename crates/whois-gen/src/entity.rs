@@ -1,0 +1,628 @@
+//! Deterministic generators for registrant entities: people,
+//! organizations, postal addresses, phone numbers, e-mail addresses.
+//!
+//! All sampling is driven by a caller-supplied RNG so corpora are fully
+//! reproducible from a seed.
+
+use rand::Rng;
+
+/// A country with the data needed to render realistic contact blocks.
+#[derive(Clone, Debug)]
+pub struct CountrySpec {
+    /// Display name as commonly written in WHOIS records.
+    pub name: &'static str,
+    /// ISO 3166-1 alpha-2 code.
+    pub code: &'static str,
+    /// International dialing prefix.
+    pub dial: &'static str,
+    /// Representative cities with their state/province and a postcode
+    /// pattern (`#` = random digit, `A` = random upper-case letter).
+    pub cities: &'static [(&'static str, &'static str, &'static str)],
+}
+
+/// The countries the generator knows how to render.
+///
+/// Shares are *not* attached here — see `distributions` — this is purely
+/// rendering data.
+pub const COUNTRIES: &[CountrySpec] = &[
+    CountrySpec {
+        name: "United States",
+        code: "US",
+        dial: "+1",
+        cities: &[
+            ("San Diego", "CA", "#####"),
+            ("New York", "NY", "#####"),
+            ("Scottsdale", "AZ", "#####"),
+            ("Bellevue", "WA", "#####"),
+            ("Austin", "TX", "#####"),
+            ("Jacksonville", "FL", "#####"),
+            ("Columbus", "OH", "#####"),
+            ("Denver", "CO", "#####"),
+        ],
+    },
+    CountrySpec {
+        name: "China",
+        code: "CN",
+        dial: "+86",
+        cities: &[
+            ("Beijing", "Beijing", "######"),
+            ("Hangzhou", "Zhejiang", "######"),
+            ("Shanghai", "Shanghai", "######"),
+            ("Shenzhen", "Guangdong", "######"),
+            ("Chengdu", "Sichuan", "######"),
+        ],
+    },
+    CountrySpec {
+        name: "United Kingdom",
+        code: "GB",
+        dial: "+44",
+        cities: &[
+            ("London", "England", "A## #AA"),
+            ("Manchester", "England", "A## #AA"),
+            ("Edinburgh", "Scotland", "A## #AA"),
+            ("Cardiff", "Wales", "A## #AA"),
+        ],
+    },
+    CountrySpec {
+        name: "Germany",
+        code: "DE",
+        dial: "+49",
+        cities: &[
+            ("Berlin", "Berlin", "#####"),
+            ("Munich", "Bavaria", "#####"),
+            ("Hamburg", "Hamburg", "#####"),
+            ("Cologne", "NRW", "#####"),
+        ],
+    },
+    CountrySpec {
+        name: "France",
+        code: "FR",
+        dial: "+33",
+        cities: &[
+            ("Paris", "Ile-de-France", "#####"),
+            ("Lyon", "Rhone", "#####"),
+            ("Marseille", "PACA", "#####"),
+        ],
+    },
+    CountrySpec {
+        name: "Canada",
+        code: "CA",
+        dial: "+1",
+        cities: &[
+            ("Toronto", "ON", "A#A #A#"),
+            ("Vancouver", "BC", "A#A #A#"),
+            ("Montreal", "QC", "A#A #A#"),
+        ],
+    },
+    CountrySpec {
+        name: "Spain",
+        code: "ES",
+        dial: "+34",
+        cities: &[
+            ("Madrid", "Madrid", "#####"),
+            ("Barcelona", "Catalonia", "#####"),
+            ("Valencia", "Valencia", "#####"),
+        ],
+    },
+    CountrySpec {
+        name: "Australia",
+        code: "AU",
+        dial: "+61",
+        cities: &[
+            ("Sydney", "NSW", "####"),
+            ("Melbourne", "VIC", "####"),
+            ("Brisbane", "QLD", "####"),
+        ],
+    },
+    CountrySpec {
+        name: "Japan",
+        code: "JP",
+        dial: "+81",
+        cities: &[
+            ("Tokyo", "Tokyo", "###-####"),
+            ("Osaka", "Osaka", "###-####"),
+            ("Kyoto", "Kyoto", "###-####"),
+        ],
+    },
+    CountrySpec {
+        name: "India",
+        code: "IN",
+        dial: "+91",
+        cities: &[
+            ("Mumbai", "Maharashtra", "######"),
+            ("Bangalore", "Karnataka", "######"),
+            ("New Delhi", "Delhi", "######"),
+        ],
+    },
+    CountrySpec {
+        name: "Turkey",
+        code: "TR",
+        dial: "+90",
+        cities: &[
+            ("Istanbul", "Istanbul", "#####"),
+            ("Ankara", "Ankara", "#####"),
+        ],
+    },
+    CountrySpec {
+        name: "Vietnam",
+        code: "VN",
+        dial: "+84",
+        cities: &[
+            ("Hanoi", "Hanoi", "######"),
+            ("Ho Chi Minh City", "Ho Chi Minh", "######"),
+        ],
+    },
+    CountrySpec {
+        name: "Russia",
+        code: "RU",
+        dial: "+7",
+        cities: &[
+            ("Moscow", "Moscow", "######"),
+            ("Saint Petersburg", "SPB", "######"),
+        ],
+    },
+    CountrySpec {
+        name: "Hong Kong",
+        code: "HK",
+        dial: "+852",
+        cities: &[("Hong Kong", "HK", "")],
+    },
+    CountrySpec {
+        name: "Netherlands",
+        code: "NL",
+        dial: "+31",
+        cities: &[
+            ("Amsterdam", "NH", "#### AA"),
+            ("Rotterdam", "ZH", "#### AA"),
+        ],
+    },
+    CountrySpec {
+        name: "Brazil",
+        code: "BR",
+        dial: "+55",
+        cities: &[
+            ("Sao Paulo", "SP", "#####-###"),
+            ("Rio de Janeiro", "RJ", "#####-###"),
+        ],
+    },
+    CountrySpec {
+        name: "Italy",
+        code: "IT",
+        dial: "+39",
+        cities: &[("Rome", "RM", "#####"), ("Milan", "MI", "#####")],
+    },
+];
+
+/// Look up a country spec by ISO code. Falls back to the US spec for
+/// unknown codes so rendering never fails.
+pub fn country_by_code(code: &str) -> &'static CountrySpec {
+    COUNTRIES
+        .iter()
+        .find(|c| c.code == code)
+        .unwrap_or(&COUNTRIES[0])
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "James",
+    "Mary",
+    "Wei",
+    "Li",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Susan",
+    "Richard",
+    "Jessica",
+    "Joseph",
+    "Sarah",
+    "Thomas",
+    "Karen",
+    "Hiroshi",
+    "Yuki",
+    "Kenji",
+    "Akira",
+    "Pierre",
+    "Marie",
+    "Jean",
+    "Sophie",
+    "Hans",
+    "Anna",
+    "Klaus",
+    "Greta",
+    "Carlos",
+    "Lucia",
+    "Miguel",
+    "Elena",
+    "Raj",
+    "Priya",
+    "Arjun",
+    "Ananya",
+    "Ahmet",
+    "Elif",
+    "Ivan",
+    "Olga",
+    "Nguyen",
+    "Linh",
+    "Chen",
+    "Xia",
+    "Oliver",
+    "Charlotte",
+    "Jack",
+    "Amelia",
+    "Lucas",
+    "Emma",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Wang",
+    "Zhang",
+    "Li",
+    "Liu",
+    "Chen",
+    "Yang",
+    "Tanaka",
+    "Suzuki",
+    "Sato",
+    "Watanabe",
+    "Mueller",
+    "Schmidt",
+    "Schneider",
+    "Fischer",
+    "Martin",
+    "Bernard",
+    "Dubois",
+    "Petit",
+    "Rodriguez",
+    "Martinez",
+    "Fernandez",
+    "Lopez",
+    "Patel",
+    "Sharma",
+    "Singh",
+    "Kumar",
+    "Yilmaz",
+    "Kaya",
+    "Ivanov",
+    "Petrov",
+    "Tran",
+    "Pham",
+    "Taylor",
+    "Wilson",
+    "Clark",
+    "Walker",
+    "Hall",
+    "Young",
+    "King",
+    "Wright",
+    "Scott",
+    "Green",
+];
+
+const STREET_NAMES: &[&str] = &[
+    "Main",
+    "Oak",
+    "Maple",
+    "Cedar",
+    "Pine",
+    "Elm",
+    "Washington",
+    "Lake",
+    "Hill",
+    "Park",
+    "River",
+    "Spring",
+    "Church",
+    "Market",
+    "Broad",
+    "Center",
+    "Union",
+    "High",
+    "School",
+    "Gilman",
+    "Campus",
+    "Harbor",
+    "Sunset",
+    "Meadow",
+    "Forest",
+    "Garden",
+    "Mill",
+    "Bridge",
+];
+
+const STREET_SUFFIXES: &[&str] = &[
+    "St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Way", "Court", "Street", "Avenue", "Drive", "Road",
+];
+
+const ORG_HEADS: &[&str] = &[
+    "Pacific",
+    "Global",
+    "United",
+    "Sunrise",
+    "Golden",
+    "Silver",
+    "Blue Sky",
+    "Red Rock",
+    "Evergreen",
+    "Summit",
+    "Pioneer",
+    "Atlas",
+    "Orion",
+    "Vertex",
+    "Nimbus",
+    "Quantum",
+    "Stellar",
+    "Harbor",
+    "Crescent",
+    "Phoenix",
+    "Cascade",
+    "Aurora",
+    "Zenith",
+    "Delta",
+    "Apex",
+    "Fusion",
+];
+
+const ORG_TAILS: &[&str] = &[
+    "Trading Co.",
+    "Technologies",
+    "Solutions",
+    "Consulting",
+    "Media Group",
+    "Holdings",
+    "Industries",
+    "Networks",
+    "Digital",
+    "Studios",
+    "Ventures",
+    "Enterprises",
+    "Labs",
+    "Logistics",
+    "Services Ltd.",
+    "International",
+    "Partners",
+    "Systems",
+    "Software",
+    "Design",
+];
+
+const EMAIL_PROVIDERS: &[&str] = &[
+    "gmail.com",
+    "yahoo.com",
+    "hotmail.com",
+    "outlook.com",
+    "163.com",
+    "qq.com",
+    "mail.ru",
+    "web.de",
+    "orange.fr",
+];
+
+const DOMAIN_WORDS: &[&str] = &[
+    "shop", "best", "my", "the", "top", "new", "pro", "web", "net", "online", "store", "blog",
+    "tech", "cloud", "data", "smart", "fast", "easy", "go", "get", "buy", "sale", "deal", "home",
+    "world", "city", "star", "sun", "moon", "sky", "red", "blue", "green", "gold", "silver",
+    "mega", "super", "ultra", "prime", "first", "alpha", "beta", "delta", "omega", "zen", "fox",
+    "wolf", "bear", "eagle", "lion", "tiger", "panda", "koi", "sakura", "tokyo", "pari", "berlin",
+    "vista", "nova", "luna", "terra", "aqua", "pixel", "byte", "code", "apps", "game", "play",
+    "media", "press", "news", "daily", "info", "guide", "wiki", "hub", "spot", "zone", "land",
+    "ville", "port", "bay", "creek", "ridge", "peak", "vale", "glen", "ford", "stead",
+];
+
+/// A generated person or organization with a full postal identity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entity {
+    /// Personal name (`First Last`).
+    pub name: String,
+    /// Organization name; people registering personally reuse their own
+    /// name with some probability, matching real records.
+    pub org: Option<String>,
+    /// Street address.
+    pub street: String,
+    /// Optional second street line (suite / unit).
+    pub street2: Option<String>,
+    /// City.
+    pub city: String,
+    /// State or province.
+    pub state: String,
+    /// Postal code rendered from the country's pattern.
+    pub postcode: String,
+    /// Country display name.
+    pub country_name: String,
+    /// ISO country code.
+    pub country_code: &'static str,
+    /// Phone in `+CC.NNNNNNNNNN` WHOIS convention.
+    pub phone: String,
+    /// Fax, present for a minority of registrants.
+    pub fax: Option<String>,
+    /// Contact e-mail.
+    pub email: String,
+}
+
+/// Render a postcode pattern (`#` digit, `A` letter).
+pub fn render_postcode<R: Rng + ?Sized>(rng: &mut R, pattern: &str) -> String {
+    pattern
+        .chars()
+        .map(|c| match c {
+            '#' => char::from(b'0' + rng.random_range(0..10u8)),
+            'A' => char::from(b'A' + rng.random_range(0..26u8)),
+            other => other,
+        })
+        .collect()
+}
+
+/// Pick a uniformly random element of a non-empty slice.
+pub fn pick<'a, T, R: Rng + ?Sized>(rng: &mut R, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// Generate a phone number in the `+CC.NNNNNNNNN` convention used by most
+/// registrars.
+pub fn gen_phone<R: Rng + ?Sized>(rng: &mut R, dial: &str) -> String {
+    let digits: String = (0..10)
+        .map(|_| char::from(b'0' + rng.random_range(0..10u8)))
+        .collect();
+    format!("{}.{}", dial, digits)
+}
+
+/// Generate an entity resident in the country with ISO code `country_code`.
+pub fn gen_entity<R: Rng + ?Sized>(rng: &mut R, country_code: &str) -> Entity {
+    let spec = country_by_code(country_code);
+    let first = pick(rng, FIRST_NAMES);
+    let last = pick(rng, LAST_NAMES);
+    let name = format!("{first} {last}");
+    let org = if rng.random_bool(0.45) {
+        Some(format!("{} {}", pick(rng, ORG_HEADS), pick(rng, ORG_TAILS)))
+    } else if rng.random_bool(0.3) {
+        Some(name.clone())
+    } else {
+        None
+    };
+    let (city, state, zip_pattern) = *pick(rng, spec.cities);
+    let street = format!(
+        "{} {} {}",
+        rng.random_range(1..9999),
+        pick(rng, STREET_NAMES),
+        pick(rng, STREET_SUFFIXES)
+    );
+    let street2 = if rng.random_bool(0.18) {
+        Some(format!("Suite {}", rng.random_range(1..999)))
+    } else {
+        None
+    };
+    let email_domain = pick(rng, EMAIL_PROVIDERS);
+    let email = format!(
+        "{}{}{}@{}",
+        first.to_lowercase(),
+        if rng.random_bool(0.5) { "." } else { "" },
+        last.to_lowercase(),
+        email_domain
+    );
+    Entity {
+        name,
+        org,
+        street,
+        street2,
+        city: city.to_string(),
+        state: state.to_string(),
+        postcode: render_postcode(rng, zip_pattern),
+        country_name: spec.name.to_string(),
+        country_code: spec.code,
+        phone: gen_phone(rng, spec.dial),
+        fax: if rng.random_bool(0.25) {
+            Some(gen_phone(rng, spec.dial))
+        } else {
+            None
+        },
+        email,
+    }
+}
+
+/// Generate a plausible second-level domain name under `tld`.
+pub fn gen_domain_name<R: Rng + ?Sized>(rng: &mut R, tld: &str) -> String {
+    let parts = rng.random_range(2..=3);
+    let mut s = String::new();
+    for _ in 0..parts {
+        s.push_str(*pick(rng, DOMAIN_WORDS));
+    }
+    if rng.random_bool(0.15) {
+        s.push_str(&rng.random_range(1..100).to_string());
+    }
+    format!("{s}.{tld}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn entity_generation_is_deterministic() {
+        let a = gen_entity(&mut rng(), "US");
+        let b = gen_entity(&mut rng(), "US");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn entity_fields_are_consistent_with_country() {
+        let mut r = rng();
+        for code in ["US", "CN", "JP", "GB", "DE"] {
+            let e = gen_entity(&mut r, code);
+            assert_eq!(e.country_code, code);
+            let spec = country_by_code(code);
+            assert_eq!(e.country_name, spec.name);
+            assert!(e.phone.starts_with(spec.dial));
+            assert!(e.email.contains('@'));
+            assert!(!e.postcode.contains('#'), "pattern fully rendered");
+            assert!(!e.city.is_empty() && !e.street.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_country_falls_back_to_us() {
+        assert_eq!(country_by_code("ZZ").code, "US");
+    }
+
+    #[test]
+    fn postcode_patterns_render() {
+        let mut r = rng();
+        let p = render_postcode(&mut r, "A## #AA");
+        assert_eq!(p.len(), 7);
+        assert!(p.chars().next().unwrap().is_ascii_uppercase());
+        assert!(p.chars().nth(1).unwrap().is_ascii_digit());
+        assert_eq!(render_postcode(&mut r, ""), "");
+        assert_eq!(render_postcode(&mut r, "X-Y"), "X-Y");
+    }
+
+    #[test]
+    fn domain_names_are_valid_shape() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = gen_domain_name(&mut r, "com");
+            assert!(d.ends_with(".com"));
+            let sld = d.strip_suffix(".com").unwrap();
+            assert!(!sld.is_empty());
+            assert!(sld.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn entities_vary_across_draws() {
+        let mut r = rng();
+        let entities: Vec<Entity> = (0..50).map(|_| gen_entity(&mut r, "US")).collect();
+        let names: std::collections::HashSet<_> = entities.iter().map(|e| &e.name).collect();
+        assert!(
+            names.len() > 20,
+            "names should be diverse, got {}",
+            names.len()
+        );
+        assert!(entities.iter().any(|e| e.org.is_some()));
+        assert!(entities.iter().any(|e| e.org.is_none()));
+        assert!(entities.iter().any(|e| e.fax.is_some()));
+    }
+
+    #[test]
+    fn phone_format_is_whois_convention() {
+        let mut r = rng();
+        let p = gen_phone(&mut r, "+86");
+        assert!(p.starts_with("+86."));
+        assert_eq!(p.len(), "+86.".len() + 10);
+    }
+}

@@ -1,0 +1,1039 @@
+//! Concrete `.com` registrar template families.
+//!
+//! `com`'s thin registry lets every registrar format thick records as it
+//! pleases; the paper found 400+ registrar-specific templates in
+//! deft-whois for `com` alone. This module reproduces that diversity with
+//! eight structural **builders** (modern ICANN-uniform, legacy
+//! label-free blocks, contextual blocks, ellipsis, tabbed, key=value,
+//! bracketed, shouting-caps) crossed with title-synonym/boilerplate/date
+//! variants, yielding 40+ distinct families.
+//!
+//! All families are deterministic data — no RNG — so a family name is a
+//! stable identifier across runs.
+
+use crate::style::{ContactField, DateStyle, Element, Field, Template};
+use whois_model::{BlockLabel, ContactKind};
+
+/// Legal boilerplate variants (all lines alphanumeric ⇒ labelable `null`).
+pub const BOILERPLATE_SHORT: &[&str] = &[
+    "The data in this whois database is provided for information purposes only.",
+    "By submitting a whois query you agree to abide by this policy.",
+];
+
+pub const BOILERPLATE_LONG: &[&str] = &[
+    "TERMS OF USE: You are not authorized to access or query our Whois",
+    "database through the use of electronic processes that are high-volume and",
+    "automated except as reasonably necessary to register domain names or",
+    "modify existing registrations. Whois database is provided as a service to",
+    "the internet community. The data is for information purposes only and",
+    "we do not guarantee its accuracy. By submitting this query you agree",
+    "to abide by the following terms of use. You agree that you may use this",
+    "data only for lawful purposes and that under no circumstances will you",
+    "use this data to allow or otherwise support the transmission of mass",
+    "unsolicited commercial advertising or solicitations via e-mail or spam.",
+];
+
+pub const BOILERPLATE_NOTICE: &[&str] = &[
+    "NOTICE: The expiration date displayed in this record is the date the",
+    "registrar's sponsorship of the domain name registration in the registry is",
+    "currently set to expire. Please consult the registrar to learn more.",
+];
+
+pub const BOILERPLATE_PRIVACY: &[&str] = &[
+    "Some of the data in this record has been redacted by a privacy service.",
+    "To contact the domain holder please use the listed proxy email address.",
+    "Learn more about our privacy services at our website.",
+];
+
+fn titled(title: &str, sep: &str, field: Field) -> Element {
+    Element::Titled {
+        title: title.to_string(),
+        sep: sep.to_string(),
+        field,
+        indent: 0,
+    }
+}
+
+fn titled_in(indent: usize, title: &str, sep: &str, field: Field) -> Element {
+    Element::Titled {
+        title: title.to_string(),
+        sep: sep.to_string(),
+        field,
+        indent,
+    }
+}
+
+fn bare(indent: usize, field: Field) -> Element {
+    Element::Bare { field, indent }
+}
+
+fn reg(cf: ContactField) -> Field {
+    Field::Contact(ContactKind::Registrant, cf)
+}
+
+fn contact(kind: ContactKind, cf: ContactField) -> Field {
+    Field::Contact(kind, cf)
+}
+
+/// Title synonyms per contact block prefix for the ICANN-uniform builder.
+struct UniformTitles {
+    registrant: &'static str,
+    admin: &'static str,
+    tech: &'static str,
+    created: &'static str,
+    updated: &'static str,
+    expires: &'static str,
+    org: &'static str,
+    email: &'static str,
+    postcode: &'static str,
+}
+
+/// The modern 2013-RAA-style layout used (with small mutations) by most
+/// large registrars.
+fn icann_uniform(
+    name: &str,
+    dates: DateStyle,
+    t: &UniformTitles,
+    with_admin_tech: bool,
+    boiler: &'static [&'static str],
+    sep: &str,
+) -> Template {
+    let mut elements = vec![
+        titled("Domain Name", sep, Field::DomainName { upper: false }),
+        titled("Registrar WHOIS Server", sep, Field::WhoisServer),
+        titled("Registrar URL", sep, Field::RegistrarUrl),
+        titled(t.updated, sep, Field::Updated),
+        titled(t.created, sep, Field::Created),
+        titled(t.expires, sep, Field::Expires),
+        titled("Registrar", sep, Field::RegistrarName),
+        titled("Registrar IANA ID", sep, Field::IanaId),
+        titled("Registrar Abuse Contact Email", sep, Field::AbuseEmail),
+        titled("Registrar Abuse Contact Phone", sep, Field::AbusePhone),
+        titled("Domain Status", sep, Field::Status(0)),
+        titled("Domain Status", sep, Field::Status(1)),
+    ];
+    let contact_block = |kind: ContactKind, prefix: &str, elements: &mut Vec<Element>| {
+        elements.push(titled(
+            &format!("{prefix} ID"),
+            sep,
+            contact(kind, ContactField::Id),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Name"),
+            sep,
+            contact(kind, ContactField::Name),
+        ));
+        elements.push(titled(
+            &format!("{prefix} {}", t.org),
+            sep,
+            contact(kind, ContactField::Org),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Street"),
+            sep,
+            contact(kind, ContactField::Street1),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Street"),
+            sep,
+            contact(kind, ContactField::Street2),
+        ));
+        elements.push(titled(
+            &format!("{prefix} City"),
+            sep,
+            contact(kind, ContactField::City),
+        ));
+        elements.push(titled(
+            &format!("{prefix} State/Province"),
+            sep,
+            contact(kind, ContactField::State),
+        ));
+        elements.push(titled(
+            &format!("{prefix} {}", t.postcode),
+            sep,
+            contact(kind, ContactField::Postcode),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Country"),
+            sep,
+            contact(kind, ContactField::CountryCode),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Phone"),
+            sep,
+            contact(kind, ContactField::Phone),
+        ));
+        elements.push(titled(
+            &format!("{prefix} Fax"),
+            sep,
+            contact(kind, ContactField::Fax),
+        ));
+        elements.push(titled(
+            &format!("{prefix} {}", t.email),
+            sep,
+            contact(kind, ContactField::Email),
+        ));
+    };
+    contact_block(ContactKind::Registrant, t.registrant, &mut elements);
+    if with_admin_tech {
+        contact_block(ContactKind::Admin, t.admin, &mut elements);
+        contact_block(ContactKind::Tech, t.tech, &mut elements);
+    }
+    elements.push(titled("Name Server", sep, Field::NameServer(0)));
+    elements.push(titled("Name Server", sep, Field::NameServer(1)));
+    elements.push(titled("Name Server", sep, Field::NameServer(2)));
+    elements.push(titled("DNSSEC", sep, Field::Dnssec));
+    elements.push(Element::Blank);
+    elements.push(Element::Boilerplate(boiler));
+    Template {
+        family: name.to_string(),
+        dates,
+        elements,
+    }
+}
+
+/// Legacy Network-Solutions-style format: label-free contact blocks.
+fn legacy_blocks(
+    name: &str,
+    dates: DateStyle,
+    created_title: &str,
+    expires_title: &str,
+    with_org_line: bool,
+    boiler: &'static [&'static str],
+) -> Template {
+    let mut elements = vec![
+        Element::Boilerplate(boiler),
+        Element::Blank,
+        titled("Registration Service Provider", ": ", Field::RegistrarName),
+        titled("Registrar WHOIS Server", ": ", Field::WhoisServer),
+        Element::Blank,
+        Element::Header {
+            text: "Registrant:".into(),
+            of: ContactKind::Registrant,
+        },
+    ];
+    if with_org_line {
+        elements.push(bare(3, reg(ContactField::Org)));
+    }
+    elements.push(bare(3, reg(ContactField::Name)));
+    elements.push(bare(3, reg(ContactField::Street1)));
+    elements.push(bare(3, reg(ContactField::Street2)));
+    elements.push(bare(3, reg(ContactField::CityStateZip)));
+    elements.push(bare(3, reg(ContactField::CountryName)));
+    elements.push(Element::Blank);
+    elements.extend([
+        titled_in(3, "Domain Name", ": ", Field::DomainName { upper: true }),
+        Element::Blank,
+        Element::Header {
+            text: "Administrative Contact:".into(),
+            of: ContactKind::Admin,
+        },
+        bare(6, contact(ContactKind::Admin, ContactField::Name)),
+        bare(6, contact(ContactKind::Admin, ContactField::Email)),
+        bare(6, contact(ContactKind::Admin, ContactField::Phone)),
+        Element::Header {
+            text: "Technical Contact:".into(),
+            of: ContactKind::Tech,
+        },
+        bare(6, contact(ContactKind::Tech, ContactField::Name)),
+        bare(6, contact(ContactKind::Tech, ContactField::Email)),
+        bare(6, contact(ContactKind::Tech, ContactField::Phone)),
+        Element::Blank,
+        titled_in(3, created_title, ": ", Field::Created),
+        titled_in(3, expires_title, ": ", Field::Expires),
+        Element::Blank,
+        Element::Literal {
+            text: "   Domain servers in listed order:".into(),
+            label: BlockLabel::Domain,
+        },
+        bare(6, Field::NameServer(0)),
+        bare(6, Field::NameServer(1)),
+        bare(6, Field::NameServer(2)),
+    ]);
+    Template {
+        family: name.to_string(),
+        dates,
+        elements,
+    }
+}
+
+/// Contextual block format: a header then *titled* sub-fields, indented.
+fn contextual(name: &str, dates: DateStyle, sep: &str, owner_word: &str) -> Template {
+    let sub = |kind: ContactKind, title: &str, cf: ContactField| {
+        titled_in(4, title, sep, contact(kind, cf))
+    };
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Banner("WHOIS information".into()),
+            Element::Blank,
+            titled("Domain", sep, Field::DomainName { upper: false }),
+            titled("Registrar", sep, Field::RegistrarName),
+            titled("Whois Server", sep, Field::WhoisServer),
+            titled("Registered", sep, Field::Created),
+            titled("Modified", sep, Field::Updated),
+            titled("Expires", sep, Field::Expires),
+            titled("Status", sep, Field::Status(0)),
+            titled("Nserver", sep, Field::NameServer(0)),
+            titled("Nserver", sep, Field::NameServer(1)),
+            Element::Blank,
+            Element::Header {
+                text: format!("{owner_word}:"),
+                of: ContactKind::Registrant,
+            },
+            sub(ContactKind::Registrant, "Name", ContactField::Name),
+            sub(ContactKind::Registrant, "Organisation", ContactField::Org),
+            sub(ContactKind::Registrant, "Address", ContactField::Street1),
+            sub(ContactKind::Registrant, "City", ContactField::City),
+            sub(
+                ContactKind::Registrant,
+                "Postal Code",
+                ContactField::Postcode,
+            ),
+            sub(
+                ContactKind::Registrant,
+                "Country",
+                ContactField::CountryCode,
+            ),
+            sub(ContactKind::Registrant, "Phone", ContactField::Phone),
+            sub(ContactKind::Registrant, "Email", ContactField::Email),
+            Element::Blank,
+            Element::Header {
+                text: "Admin Contact:".into(),
+                of: ContactKind::Admin,
+            },
+            sub(ContactKind::Admin, "Name", ContactField::Name),
+            sub(ContactKind::Admin, "Email", ContactField::Email),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_SHORT),
+        ],
+    }
+}
+
+/// Ellipsis separators (`Record expires on..........2016-01-01`).
+fn ellipsis(name: &str, dates: DateStyle) -> Template {
+    let dots = "..........";
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Banner("Registration Service Provided By".into()),
+            titled("Domain name", dots, Field::DomainName { upper: false }),
+            titled("Registrar of Record", dots, Field::RegistrarName),
+            titled("Record created on", dots, Field::Created),
+            titled("Record expires on", dots, Field::Expires),
+            titled("Record last updated on", dots, Field::Updated),
+            Element::Blank,
+            Element::Header {
+                text: "Registrant".into(),
+                of: ContactKind::Registrant,
+            },
+            bare(4, reg(ContactField::Name)),
+            bare(4, reg(ContactField::Org)),
+            bare(4, reg(ContactField::Street1)),
+            bare(4, reg(ContactField::City)),
+            bare(4, reg(ContactField::Postcode)),
+            bare(4, reg(ContactField::CountryName)),
+            titled_in(4, "Phone", dots, reg(ContactField::Phone)),
+            titled_in(4, "Email", dots, reg(ContactField::Email)),
+            Element::Blank,
+            titled("Domain servers", dots, Field::NameServer(0)),
+            titled("Domain servers", dots, Field::NameServer(1)),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_NOTICE),
+        ],
+    }
+}
+
+/// Tab-separated titles.
+fn tabbed(name: &str, dates: DateStyle) -> Template {
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            titled("domain", "\t", Field::DomainName { upper: false }),
+            titled("registrar", "\t", Field::RegistrarName),
+            titled("whois-server", "\t", Field::WhoisServer),
+            titled("created", "\t", Field::Created),
+            titled("changed", "\t", Field::Updated),
+            titled("expires", "\t", Field::Expires),
+            titled("nserver", "\t", Field::NameServer(0)),
+            titled("nserver", "\t", Field::NameServer(1)),
+            titled("status", "\t", Field::Status(0)),
+            Element::Blank,
+            titled("owner-name", "\t", reg(ContactField::Name)),
+            titled("owner-org", "\t", reg(ContactField::Org)),
+            titled("owner-street", "\t", reg(ContactField::Street1)),
+            titled("owner-city", "\t", reg(ContactField::City)),
+            titled("owner-zip", "\t", reg(ContactField::Postcode)),
+            titled("owner-country", "\t", reg(ContactField::CountryCode)),
+            titled("owner-phone", "\t", reg(ContactField::Phone)),
+            titled("owner-email", "\t", reg(ContactField::Email)),
+            Element::Blank,
+            titled(
+                "admin-name",
+                "\t",
+                contact(ContactKind::Admin, ContactField::Name),
+            ),
+            titled(
+                "admin-email",
+                "\t",
+                contact(ContactKind::Admin, ContactField::Email),
+            ),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_SHORT),
+        ],
+    }
+}
+
+/// `key = value` format.
+fn key_equals(name: &str, dates: DateStyle) -> Template {
+    let s = " = ";
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Banner("% This query returned 1 object".into()),
+            titled("domain", s, Field::DomainName { upper: false }),
+            titled("registrar", s, Field::RegistrarName),
+            titled("created", s, Field::Created),
+            titled("last-modified", s, Field::Updated),
+            titled("expires", s, Field::Expires),
+            titled("ns0", s, Field::NameServer(0)),
+            titled("ns1", s, Field::NameServer(1)),
+            Element::Blank,
+            titled("registrant-id", s, reg(ContactField::Id)),
+            titled("registrant-name", s, reg(ContactField::Name)),
+            titled("registrant-organization", s, reg(ContactField::Org)),
+            titled("registrant-street", s, reg(ContactField::Street1)),
+            titled("registrant-city", s, reg(ContactField::City)),
+            titled("registrant-state", s, reg(ContactField::State)),
+            titled("registrant-zip", s, reg(ContactField::Postcode)),
+            titled("registrant-country", s, reg(ContactField::CountryCode)),
+            titled("registrant-phone", s, reg(ContactField::Phone)),
+            titled("registrant-email", s, reg(ContactField::Email)),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_SHORT),
+        ],
+    }
+}
+
+/// Bracketed titles with no separator (`[Domain Name] EXAMPLE.COM`) — the
+/// GMO/JPRS visual style.
+fn bracketed(name: &str, dates: DateStyle) -> Template {
+    let t = |title: &str, field: Field| titled(&format!("[{title}]"), " ", field);
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            t("Domain Name", Field::DomainName { upper: true }),
+            Element::Blank,
+            t("Registrar", Field::RegistrarName),
+            t("Created on", Field::Created),
+            t("Expires on", Field::Expires),
+            t("Last updated on", Field::Updated),
+            Element::Blank,
+            t("Registrant Name", reg(ContactField::Name)),
+            t("Registrant Organization", reg(ContactField::Org)),
+            t("Registrant Address", reg(ContactField::Street1)),
+            t("Registrant City", reg(ContactField::City)),
+            t("Registrant Postal Code", reg(ContactField::Postcode)),
+            t("Registrant Country", reg(ContactField::CountryName)),
+            t("Registrant Email", reg(ContactField::Email)),
+            t("Registrant Phone", reg(ContactField::Phone)),
+            Element::Blank,
+            t("Name Server", Field::NameServer(0)),
+            t("Name Server", Field::NameServer(1)),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_SHORT),
+        ],
+    }
+}
+
+/// Numbered-field reseller format (`1. Domain Name: x`): the numbering
+/// defeats naive title matching but the CRF's word features see through
+/// it.
+fn numbered(name: &str, dates: DateStyle) -> Template {
+    let t = |i: usize, title: &str, field: Field| titled(&format!("{i}. {title}"), ": ", field);
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Banner("Whois lookup result".into()),
+            t(1, "Domain Name", Field::DomainName { upper: false }),
+            t(2, "Registrar", Field::RegistrarName),
+            t(3, "Registration Date", Field::Created),
+            t(4, "Expiration Date", Field::Expires),
+            t(5, "Registrant Name", reg(ContactField::Name)),
+            t(6, "Registrant Company", reg(ContactField::Org)),
+            t(7, "Registrant Address", reg(ContactField::Street1)),
+            t(8, "Registrant City", reg(ContactField::City)),
+            t(9, "Registrant Postal Code", reg(ContactField::Postcode)),
+            t(10, "Registrant Country", reg(ContactField::CountryCode)),
+            t(11, "Registrant Phone", reg(ContactField::Phone)),
+            t(12, "Registrant Email", reg(ContactField::Email)),
+            t(13, "Name Server", Field::NameServer(0)),
+            t(14, "Name Server", Field::NameServer(1)),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_SHORT),
+        ],
+    }
+}
+
+/// A thick record that opens with thin-registry-looking indented fields
+/// and appends a contextual registrant tail — the hybrid shape some
+/// resellers produce by concatenating both responses.
+fn thin_plus_tail(name: &str, dates: DateStyle) -> Template {
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Banner("Whois Server Version 2.0".into()),
+            Element::Blank,
+            titled_in(3, "Domain Name", ": ", Field::DomainName { upper: true }),
+            titled_in(3, "Registrar", ": ", Field::RegistrarName),
+            titled_in(3, "Whois Server", ": ", Field::WhoisServer),
+            titled_in(3, "Referral URL", ": ", Field::RegistrarUrl),
+            titled_in(3, "Name Server", ": ", Field::NameServer(0)),
+            titled_in(3, "Name Server", ": ", Field::NameServer(1)),
+            titled_in(3, "Status", ": ", Field::Status(0)),
+            titled_in(3, "Updated Date", ": ", Field::Updated),
+            titled_in(3, "Creation Date", ": ", Field::Created),
+            titled_in(3, "Expiration Date", ": ", Field::Expires),
+            Element::Blank,
+            Element::Header {
+                text: "Registrant:".into(),
+                of: ContactKind::Registrant,
+            },
+            bare(2, reg(ContactField::Name)),
+            bare(2, reg(ContactField::Org)),
+            bare(2, reg(ContactField::Street1)),
+            bare(2, reg(ContactField::CityStateZip)),
+            bare(2, reg(ContactField::CountryName)),
+            titled_in(2, "Email", ": ", reg(ContactField::Email)),
+            titled_in(2, "Tel", ": ", reg(ContactField::Phone)),
+            Element::Blank,
+            Element::Boilerplate(BOILERPLATE_NOTICE),
+        ],
+    }
+}
+
+/// ALL-CAPS titles (older reseller formats).
+fn shouting(name: &str, dates: DateStyle) -> Template {
+    Template {
+        family: name.to_string(),
+        dates,
+        elements: vec![
+            Element::Boilerplate(BOILERPLATE_NOTICE),
+            Element::Blank,
+            titled("DOMAIN NAME", ": ", Field::DomainName { upper: true }),
+            titled("SPONSORING REGISTRAR", ": ", Field::RegistrarName),
+            titled("CREATED DATE", ": ", Field::Created),
+            titled("UPDATED DATE", ": ", Field::Updated),
+            titled("EXPIRATION DATE", ": ", Field::Expires),
+            titled("STATUS", ": ", Field::Status(0)),
+            titled("NAMESERVER", ": ", Field::NameServer(0)),
+            titled("NAMESERVER", ": ", Field::NameServer(1)),
+            Element::Blank,
+            titled("OWNER NAME", ": ", reg(ContactField::Name)),
+            titled("OWNER ORGANIZATION", ": ", reg(ContactField::Org)),
+            titled("OWNER STREET", ": ", reg(ContactField::Street1)),
+            titled("OWNER CITY", ": ", reg(ContactField::City)),
+            titled("OWNER STATE", ": ", reg(ContactField::State)),
+            titled("OWNER POSTAL CODE", ": ", reg(ContactField::Postcode)),
+            titled("OWNER COUNTRY", ": ", reg(ContactField::CountryCode)),
+            titled("OWNER PHONE", ": ", reg(ContactField::Phone)),
+            titled("OWNER EMAIL", ": ", reg(ContactField::Email)),
+        ],
+    }
+}
+
+/// All `.com` registrar families known to the generator.
+///
+/// Family names are stable identifiers; `registrars` assigns families to
+/// registrars and `drift` derives mutated variants from them.
+pub fn com_families() -> Vec<Template> {
+    let mut out = Vec::new();
+
+    // ICANN-uniform variants: the workhorse layout with per-registrar
+    // title quirks, date styles, boilerplate and contact-block coverage.
+    let uniform_variants: [(
+        &str,
+        DateStyle,
+        UniformTitles,
+        bool,
+        &'static [&'static str],
+        &str,
+    ); 14] = [
+        (
+            "icann-standard",
+            DateStyle::IsoT,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Creation Date",
+                updated: "Updated Date",
+                expires: "Registrar Registration Expiration Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_LONG,
+            ": ",
+        ),
+        (
+            "icann-compact",
+            DateStyle::Iso,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Creation Date",
+                updated: "Updated Date",
+                expires: "Expiration Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            false,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-holder",
+            DateStyle::IsoT,
+            UniformTitles {
+                registrant: "Holder",
+                admin: "Administrative Contact",
+                tech: "Technical Contact",
+                created: "Created On",
+                updated: "Last Updated On",
+                expires: "Expiration Date",
+                org: "Organisation",
+                email: "E-mail",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-space",
+            DateStyle::IsoSpace,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Registration Time",
+                updated: "Update Time",
+                expires: "Expiration Time",
+                org: "Organization",
+                email: "Email",
+                postcode: "Zip Code",
+            },
+            true,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-dmy",
+            DateStyle::DayMonYear,
+            UniformTitles {
+                registrant: "Registrant Contact",
+                admin: "Admin Contact",
+                tech: "Tech Contact",
+                created: "Created",
+                updated: "Updated",
+                expires: "Expires",
+                org: "Company",
+                email: "Email Address",
+                postcode: "Zip",
+            },
+            true,
+            BOILERPLATE_NOTICE,
+            ": ",
+        ),
+        (
+            "icann-slash",
+            DateStyle::Slash,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Domain Registration Date",
+                updated: "Domain Last Updated Date",
+                expires: "Domain Expiration Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_LONG,
+            ": ",
+        ),
+        (
+            "icann-dot-dates",
+            DateStyle::Dot,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Administrative",
+                tech: "Technical",
+                created: "Created Date",
+                updated: "Modified Date",
+                expires: "Expires Date",
+                org: "Org",
+                email: "Mail",
+                postcode: "Postcode",
+            },
+            false,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-privacy-heavy",
+            DateStyle::IsoT,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Creation Date",
+                updated: "Updated Date",
+                expires: "Registry Expiry Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_PRIVACY,
+            ": ",
+        ),
+        (
+            "icann-owner",
+            DateStyle::Iso,
+            UniformTitles {
+                registrant: "Owner",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Created",
+                updated: "Changed",
+                expires: "Expires",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            false,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-wide-sep",
+            DateStyle::IsoT,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Creation Date",
+                updated: "Updated Date",
+                expires: "Expiration Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_LONG,
+            ":  ",
+        ),
+        (
+            "icann-cn",
+            DateStyle::IsoSpace,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Registration Date",
+                updated: "Update Date",
+                expires: "Expiration Date",
+                org: "Registrant Organization",
+                email: "Contact Email",
+                postcode: "ZIP Code",
+            },
+            false,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-reseller",
+            DateStyle::IsoT,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Creation Date",
+                updated: "Updated Date",
+                expires: "Registrar Registration Expiration Date",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            true,
+            BOILERPLATE_NOTICE,
+            ": ",
+        ),
+        (
+            "icann-min",
+            DateStyle::Iso,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin",
+                tech: "Tech",
+                created: "Created",
+                updated: "Updated",
+                expires: "Expires",
+                org: "Organization",
+                email: "Email",
+                postcode: "Postal Code",
+            },
+            false,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+        (
+            "icann-de",
+            DateStyle::Iso,
+            UniformTitles {
+                registrant: "Registrant",
+                admin: "Admin-C",
+                tech: "Tech-C",
+                created: "Created",
+                updated: "Last Update",
+                expires: "Expires",
+                org: "Organisation",
+                email: "E-Mail",
+                postcode: "PostalCode",
+            },
+            true,
+            BOILERPLATE_SHORT,
+            ": ",
+        ),
+    ];
+    for (name, dates, titles, admin_tech, boiler, sep) in uniform_variants {
+        out.push(icann_uniform(name, dates, &titles, admin_tech, boiler, sep));
+    }
+
+    // Legacy label-free block formats.
+    out.push(legacy_blocks(
+        "legacy-netsol",
+        DateStyle::DayMonYear,
+        "Record created on",
+        "Record expires on",
+        true,
+        BOILERPLATE_LONG,
+    ));
+    out.push(legacy_blocks(
+        "legacy-register",
+        DateStyle::DayMonYear,
+        "Created on",
+        "Expires on",
+        true,
+        BOILERPLATE_NOTICE,
+    ));
+    out.push(legacy_blocks(
+        "legacy-noorg",
+        DateStyle::Slash,
+        "Record created on",
+        "Record expires on",
+        false,
+        BOILERPLATE_SHORT,
+    ));
+    out.push(legacy_blocks(
+        "legacy-fastdomain",
+        DateStyle::Iso,
+        "Created",
+        "Expires",
+        true,
+        BOILERPLATE_SHORT,
+    ));
+
+    // Contextual header + titled sub-fields.
+    out.push(contextual(
+        "ctx-registrant",
+        DateStyle::Iso,
+        ": ",
+        "Registrant",
+    ));
+    out.push(contextual(
+        "ctx-owner",
+        DateStyle::DayMonYear,
+        ": ",
+        "Owner",
+    ));
+    out.push(contextual("ctx-holder", DateStyle::Dot, ": ", "Holder"));
+    out.push(contextual("ctx-wide", DateStyle::Iso, " : ", "Registrant"));
+
+    // Ellipsis, tab, key=value, bracketed, shouting.
+    out.push(ellipsis("dots-pdr", DateStyle::DayMonYear));
+    out.push(ellipsis("dots-directi", DateStyle::Iso));
+    out.push(ellipsis("dots-long", DateStyle::Slash));
+    out.push(tabbed("tab-joker", DateStyle::Iso));
+    out.push(tabbed("tab-eu", DateStyle::Dot));
+    out.push(tabbed("tab-compact", DateStyle::IsoSpace));
+    out.push(key_equals("eq-ovh", DateStyle::Iso));
+    out.push(key_equals("eq-nordic", DateStyle::Dot));
+    out.push(key_equals("eq-min", DateStyle::DayMonYear));
+    out.push(bracketed("bracket-gmo", DateStyle::Slash));
+    out.push(bracketed("bracket-jp2", DateStyle::Iso));
+    out.push(bracketed("bracket-mixed", DateStyle::IsoT));
+    out.push(shouting("caps-reseller", DateStyle::Slash));
+    out.push(shouting("caps-melbourne", DateStyle::DayMonYear));
+    out.push(shouting("caps-min", DateStyle::Iso));
+
+    // Quirkier shapes.
+    out.push(numbered("numbered-reseller", DateStyle::Iso));
+    out.push(numbered("numbered-asia", DateStyle::IsoSpace));
+    out.push(thin_plus_tail("thinlike-hybrid", DateStyle::DayMonYear));
+    out.push(thin_plus_tail("thinlike-hybrid2", DateStyle::Iso));
+
+    out
+}
+
+/// Look up a family by name.
+pub fn family_by_name(name: &str) -> Option<Template> {
+    com_families().into_iter().find(|t| t.family == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::{DomainFacts, SimpleDate};
+
+    fn facts() -> DomainFacts {
+        let c = |tag: &str| crate::style::ContactFacts {
+            id: format!("H{tag}1"),
+            name: "Jane Roe".into(),
+            org: Some("Blue Sky Ventures".into()),
+            street: "12 Oak Ave".into(),
+            street2: Some("Suite 9".into()),
+            city: "Austin".into(),
+            state: "TX".into(),
+            postcode: "73301".into(),
+            country_name: "United States".into(),
+            country_code: "US".into(),
+            phone: "+1.5125550147".into(),
+            fax: Some("+1.5125550148".into()),
+            email: "jane@example.net".into(),
+        };
+        DomainFacts {
+            domain: "bluesky.com".into(),
+            registrar_name: "eNom, Inc.".into(),
+            whois_server: "whois.enom.com".into(),
+            iana_id: 48,
+            abuse_email: "abuse@enom.com".into(),
+            abuse_phone: "+1.4252982646".into(),
+            registrar_url: "http://www.enom.com".into(),
+            created: SimpleDate::new(2009, 4, 15),
+            updated: SimpleDate::new(2014, 4, 2),
+            expires: SimpleDate::new(2015, 4, 15),
+            name_servers: vec!["ns1.bluesky.com".into(), "ns2.bluesky.com".into()],
+            statuses: vec!["clientTransferProhibited".into()],
+            registrant: c("R"),
+            admin: Some(c("A")),
+            tech: Some(c("T")),
+            billing: None,
+            privacy_service: None,
+        }
+    }
+
+    #[test]
+    fn at_least_forty_families_with_unique_names() {
+        let fams = com_families();
+        assert!(fams.len() >= 40, "got {}", fams.len());
+        let names: std::collections::HashSet<_> = fams.iter().map(|t| t.family.clone()).collect();
+        assert_eq!(names.len(), fams.len(), "family names must be unique");
+    }
+
+    #[test]
+    fn every_family_renders_all_six_blocks_or_documents_why() {
+        let f = facts();
+        for t in com_families() {
+            let r = t.render(&f);
+            let labels = r.block_labels();
+            assert!(!labels.is_empty(), "{} rendered nothing", t.family);
+            let have: std::collections::HashSet<_> = labels.lines.iter().map(|l| l.label).collect();
+            use whois_model::BlockLabel::*;
+            for needed in [Registrar, Domain, Date, Registrant] {
+                assert!(
+                    have.contains(&needed),
+                    "family {} missing block {:?}",
+                    t.family,
+                    needed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_family_exposes_registrant_email_or_name() {
+        let f = facts();
+        for t in com_families() {
+            let reg = t.render(&f).registrant_labels();
+            assert!(
+                !reg.is_empty(),
+                "family {} has no registrant sub-block",
+                t.family
+            );
+            let has_name = reg
+                .lines
+                .iter()
+                .any(|l| l.label == whois_model::RegistrantLabel::Name);
+            assert!(has_name, "family {} lacks registrant name", t.family);
+        }
+    }
+
+    #[test]
+    fn families_are_textually_distinct() {
+        let f = facts();
+        let mut rendered: Vec<String> =
+            com_families().iter().map(|t| t.render(&f).text()).collect();
+        let total = rendered.len();
+        rendered.sort();
+        rendered.dedup();
+        assert_eq!(rendered.len(), total, "two families render identically");
+    }
+
+    #[test]
+    fn family_lookup() {
+        assert!(family_by_name("icann-standard").is_some());
+        assert!(family_by_name("legacy-netsol").is_some());
+        assert!(family_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn legacy_blocks_have_context_structure() {
+        let t = family_by_name("legacy-netsol").unwrap();
+        let r = t.render(&facts());
+        let text = r.text();
+        assert!(text.contains("Registrant:\n"));
+        assert!(text.contains("Austin, TX 73301"));
+        assert!(text.contains("Record created on"));
+    }
+
+    #[test]
+    fn ground_truth_line_counts_match_chunker() {
+        // The rendered ground truth must agree with what
+        // `non_empty_lines` will extract from the raw text.
+        let f = facts();
+        for t in com_families() {
+            let r = t.render(&f);
+            let raw = r.to_raw();
+            assert_eq!(
+                raw.lines().len(),
+                r.block_labels().len(),
+                "family {} chunker/ground-truth mismatch",
+                t.family
+            );
+        }
+    }
+}

@@ -1,0 +1,882 @@
+//! The registrar directory: market shares, template assignments, country
+//! mixes, privacy services — calibrated to Tables 5–7 and Figure 5 of the
+//! paper.
+
+/// A registrar as the generator models it.
+#[derive(Clone, Debug)]
+pub struct Registrar {
+    /// Display name as written in WHOIS records.
+    pub name: &'static str,
+    /// Host name of the registrar's thick WHOIS server.
+    pub whois_server: &'static str,
+    /// IANA ID.
+    pub iana_id: u32,
+    /// Public URL.
+    pub url: &'static str,
+    /// Template family used for thick records.
+    pub family: &'static str,
+    /// Market share over all time (fraction; Table 5 left).
+    pub share_all: f64,
+    /// Market share among 2014 creations (Table 5 right).
+    pub share_2014: f64,
+    /// Registrant-country mix `(ISO code, weight)`; an empty code means
+    /// "country field missing" (Figure 5's `[]` bucket for HiChina).
+    pub country_mix: &'static [(&'static str, f64)],
+    /// How strongly this registrar's own mix (vs. the global per-year
+    /// distribution) determines a registrant's country. National
+    /// registrars (HiChina, GMO, ...) are sticky; generic US registrars
+    /// track the global market.
+    pub mix_weight: f64,
+    /// Fraction of this registrar's domains using privacy protection.
+    pub privacy_rate: f64,
+    /// Privacy services offered `(service name, weight)`.
+    pub privacy_services: &'static [(&'static str, f64)],
+    /// Relative weight in the synthetic DBL blacklist (Table 9 skew).
+    pub abuse_weight: f64,
+}
+
+/// Mostly-US mix with a global tail.
+const MIX_US: &[(&str, f64)] = &[
+    ("US", 0.66),
+    ("CN", 0.02),
+    ("GB", 0.06),
+    ("CA", 0.05),
+    ("AU", 0.03),
+    ("IN", 0.03),
+    ("DE", 0.03),
+    ("FR", 0.03),
+    ("ES", 0.02),
+    ("JP", 0.02),
+    ("TR", 0.02),
+    ("BR", 0.02),
+    ("NL", 0.02),
+    ("RU", 0.01),
+];
+
+/// eNom's mix per Figure 5: US, GB, CA on top.
+const MIX_ENOM: &[(&str, f64)] = &[
+    ("US", 0.55),
+    ("GB", 0.12),
+    ("CA", 0.09),
+    ("AU", 0.05),
+    ("IN", 0.05),
+    ("DE", 0.04),
+    ("FR", 0.03),
+    ("JP", 0.03),
+    ("TR", 0.02),
+    ("VN", 0.02),
+];
+
+/// Chinese registrars: CN dominant, a visible missing-country bucket, HK.
+const MIX_CN: &[(&str, f64)] = &[
+    ("CN", 0.75),
+    ("", 0.14),
+    ("HK", 0.05),
+    ("US", 0.04),
+    ("JP", 0.02),
+    ("VN", 0.01),
+];
+
+/// GMO per Figure 5: overwhelmingly Japanese.
+const MIX_JP: &[(&str, f64)] = &[
+    ("JP", 0.82),
+    ("US", 0.08),
+    ("VN", 0.04),
+    ("CN", 0.03),
+    ("", 0.03),
+];
+
+/// Melbourne IT per Figure 5: US first, then AU, then JP.
+const MIX_MELBOURNE: &[(&str, f64)] = &[
+    ("US", 0.45),
+    ("AU", 0.27),
+    ("JP", 0.12),
+    ("GB", 0.08),
+    ("NZ", 0.04),
+    ("CA", 0.04),
+];
+
+/// European registrars.
+const MIX_EU: &[(&str, f64)] = &[
+    ("DE", 0.30),
+    ("FR", 0.20),
+    ("GB", 0.15),
+    ("ES", 0.10),
+    ("NL", 0.07),
+    ("US", 0.08),
+    ("IT", 0.05),
+    ("CH", 0.05),
+];
+
+/// Turkey/RU-leaning reseller mix.
+const MIX_EMERGING: &[(&str, f64)] = &[
+    ("TR", 0.30),
+    ("RU", 0.20),
+    ("IN", 0.15),
+    ("US", 0.12),
+    ("VN", 0.10),
+    ("CN", 0.08),
+    ("", 0.05),
+];
+
+/// The registrar directory.
+///
+/// Shares follow Table 5; they need not sum to 1 — the remainder becomes
+/// the long tail, which the generator spreads over the `(Other)` entries
+/// at the bottom of the list.
+pub const REGISTRARS: &[Registrar] = &[
+    Registrar {
+        name: "GoDaddy.com, LLC",
+        whois_server: "whois.godaddy.com",
+        mix_weight: 0.40,
+        iana_id: 146,
+        url: "http://www.godaddy.com",
+        family: "icann-standard",
+        share_all: 0.342,
+        share_2014: 0.344,
+        country_mix: MIX_US,
+        privacy_rate: 0.19,
+        privacy_services: &[("Domains By Proxy, LLC", 1.0)],
+        abuse_weight: 0.208,
+    },
+    Registrar {
+        name: "eNom, Inc.",
+        whois_server: "whois.enom.com",
+        mix_weight: 0.45,
+        iana_id: 48,
+        url: "http://www.enom.com",
+        family: "icann-compact",
+        share_all: 0.087,
+        share_2014: 0.077,
+        country_mix: MIX_ENOM,
+        privacy_rate: 0.28,
+        privacy_services: &[("WhoisGuard", 0.6), ("Whois Privacy Protect", 0.4)],
+        abuse_weight: 0.251,
+    },
+    Registrar {
+        name: "Network Solutions, LLC",
+        whois_server: "whois.networksolutions.com",
+        mix_weight: 0.40,
+        iana_id: 2,
+        url: "http://www.networksolutions.com",
+        family: "legacy-netsol",
+        share_all: 0.050,
+        share_2014: 0.043,
+        country_mix: MIX_US,
+        privacy_rate: 0.08,
+        privacy_services: &[("Perfect Privacy, LLC", 1.0)],
+        abuse_weight: 0.036,
+    },
+    Registrar {
+        name: "1&1 Internet AG",
+        whois_server: "whois.1and1.com",
+        mix_weight: 0.85,
+        iana_id: 83,
+        url: "http://1and1.com",
+        family: "icann-de",
+        share_all: 0.030,
+        share_2014: 0.021,
+        country_mix: MIX_EU,
+        privacy_rate: 0.17,
+        privacy_services: &[("1&1 Internet Inc.", 1.0)],
+        abuse_weight: 0.01,
+    },
+    Registrar {
+        name: "Wild West Domains, LLC",
+        whois_server: "whois.wildwestdomains.com",
+        mix_weight: 0.40,
+        iana_id: 440,
+        url: "http://www.wildwestdomains.com",
+        family: "icann-reseller",
+        share_all: 0.026,
+        share_2014: 0.024,
+        country_mix: MIX_US,
+        privacy_rate: 0.22,
+        privacy_services: &[("Domains By Proxy, LLC", 1.0)],
+        abuse_weight: 0.012,
+    },
+    Registrar {
+        name: "HiChina Zhicheng Technology Ltd.",
+        whois_server: "whois.hichina.com",
+        mix_weight: 0.85,
+        iana_id: 420,
+        url: "http://www.net.cn",
+        family: "icann-cn",
+        share_all: 0.021,
+        share_2014: 0.037,
+        country_mix: MIX_CN,
+        privacy_rate: 0.25,
+        privacy_services: &[("Aliyun", 1.0)],
+        abuse_weight: 0.015,
+    },
+    Registrar {
+        name: "PDR Ltd. d/b/a PublicDomainRegistry.com",
+        whois_server: "whois.publicdomainregistry.com",
+        mix_weight: 0.70,
+        iana_id: 303,
+        url: "http://www.publicdomainregistry.com",
+        family: "dots-pdr",
+        share_all: 0.021,
+        share_2014: 0.030,
+        country_mix: MIX_EMERGING,
+        privacy_rate: 0.21,
+        privacy_services: &[("PrivacyProtect.org", 1.0)],
+        abuse_weight: 0.025,
+    },
+    Registrar {
+        name: "Register.com, Inc.",
+        whois_server: "whois.register.com",
+        mix_weight: 0.40,
+        iana_id: 9,
+        url: "http://www.register.com",
+        family: "legacy-register",
+        share_all: 0.020,
+        share_2014: 0.021,
+        country_mix: MIX_US,
+        privacy_rate: 0.20,
+        privacy_services: &[("FBO REGISTRANT", 1.0)],
+        abuse_weight: 0.045,
+    },
+    Registrar {
+        name: "FastDomain Inc.",
+        whois_server: "whois.fastdomain.com",
+        mix_weight: 0.40,
+        iana_id: 1154,
+        url: "http://www.fastdomain.com",
+        family: "legacy-fastdomain",
+        share_all: 0.019,
+        share_2014: 0.015,
+        country_mix: MIX_US,
+        privacy_rate: 0.21,
+        privacy_services: &[("FastDomain Inc. Privacy", 1.0)],
+        abuse_weight: 0.008,
+    },
+    Registrar {
+        name: "GMO Internet, Inc. d/b/a Onamae.com",
+        whois_server: "whois.discount-domain.com",
+        mix_weight: 0.88,
+        iana_id: 49,
+        url: "http://www.onamae.com",
+        family: "bracket-gmo",
+        share_all: 0.018,
+        share_2014: 0.024,
+        country_mix: MIX_JP,
+        privacy_rate: 0.37,
+        privacy_services: &[
+            ("MuuMuuDomain", 0.45),
+            ("Happy DreamHost", 0.0),
+            ("Whois Privacy Protection Service by onamae.com", 0.55),
+        ],
+        abuse_weight: 0.205,
+    },
+    Registrar {
+        name: "Xin Net Technology Corporation",
+        whois_server: "whois.paycenter.com.cn",
+        mix_weight: 0.85,
+        iana_id: 120,
+        url: "http://www.xinnet.com",
+        family: "icann-space",
+        share_all: 0.012,
+        share_2014: 0.033,
+        country_mix: MIX_CN,
+        privacy_rate: 0.10,
+        privacy_services: &[("Xin Net Privacy", 1.0)],
+        abuse_weight: 0.027,
+    },
+    Registrar {
+        name: "Melbourne IT Ltd",
+        whois_server: "whois.melbourneit.com",
+        mix_weight: 0.85,
+        iana_id: 13,
+        url: "http://www.melbourneit.com.au",
+        family: "caps-melbourne",
+        share_all: 0.012,
+        share_2014: 0.008,
+        country_mix: MIX_MELBOURNE,
+        privacy_rate: 0.05,
+        privacy_services: &[("Melbourne IT Privacy", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "DreamHost, LLC",
+        whois_server: "whois.dreamhost.com",
+        mix_weight: 0.40,
+        iana_id: 431,
+        url: "http://www.dreamhost.com",
+        family: "ctx-registrant",
+        share_all: 0.010,
+        share_2014: 0.011,
+        country_mix: MIX_US,
+        privacy_rate: 0.45,
+        privacy_services: &[("Happy DreamHost", 1.0)],
+        abuse_weight: 0.006,
+    },
+    Registrar {
+        name: "Moniker Online Services LLC",
+        whois_server: "whois.moniker.com",
+        mix_weight: 0.40,
+        iana_id: 228,
+        url: "http://www.moniker.com",
+        family: "icann-owner",
+        share_all: 0.008,
+        share_2014: 0.006,
+        country_mix: MIX_US,
+        privacy_rate: 0.30,
+        privacy_services: &[("Moniker Privacy Services", 1.0)],
+        abuse_weight: 0.038,
+    },
+    Registrar {
+        name: "Name.com, Inc.",
+        whois_server: "whois.name.com",
+        mix_weight: 0.40,
+        iana_id: 625,
+        url: "http://www.name.com",
+        family: "icann-min",
+        share_all: 0.008,
+        share_2014: 0.009,
+        country_mix: MIX_US,
+        privacy_rate: 0.26,
+        privacy_services: &[("Whois Privacy Protect", 1.0)],
+        abuse_weight: 0.022,
+    },
+    Registrar {
+        name: "Bizcn.com, Inc.",
+        whois_server: "whois.bizcn.com",
+        mix_weight: 0.85,
+        iana_id: 471,
+        url: "http://www.bizcn.com",
+        family: "icann-cn",
+        share_all: 0.006,
+        share_2014: 0.009,
+        country_mix: MIX_CN,
+        privacy_rate: 0.12,
+        privacy_services: &[("Bizcn Whois Protect", 1.0)],
+        abuse_weight: 0.023,
+    },
+    Registrar {
+        name: "Tucows Domains Inc.",
+        whois_server: "whois.tucows.com",
+        mix_weight: 0.40,
+        iana_id: 69,
+        url: "http://www.tucows.com",
+        family: "ctx-owner",
+        share_all: 0.014,
+        share_2014: 0.012,
+        country_mix: MIX_US,
+        privacy_rate: 0.24,
+        privacy_services: &[("Contact Privacy Inc.", 1.0)],
+        abuse_weight: 0.01,
+    },
+    Registrar {
+        name: "OVH SAS",
+        whois_server: "whois.ovh.com",
+        mix_weight: 0.85,
+        iana_id: 433,
+        url: "http://www.ovh.com",
+        family: "eq-ovh",
+        share_all: 0.007,
+        share_2014: 0.008,
+        country_mix: MIX_EU,
+        privacy_rate: 0.33,
+        privacy_services: &[("OVH OwO Privacy", 1.0)],
+        abuse_weight: 0.005,
+    },
+    Registrar {
+        name: "Key-Systems GmbH",
+        whois_server: "whois.rrpproxy.net",
+        mix_weight: 0.85,
+        iana_id: 269,
+        url: "http://www.key-systems.net",
+        family: "tab-eu",
+        share_all: 0.006,
+        share_2014: 0.006,
+        country_mix: MIX_EU,
+        privacy_rate: 0.15,
+        privacy_services: &[("WhoisProxy.com", 1.0)],
+        abuse_weight: 0.008,
+    },
+    Registrar {
+        name: "Launchpad.com Inc.",
+        whois_server: "whois.launchpad.com",
+        mix_weight: 0.40,
+        iana_id: 955,
+        url: "http://www.launchpad.com",
+        family: "icann-holder",
+        share_all: 0.006,
+        share_2014: 0.007,
+        country_mix: MIX_US,
+        privacy_rate: 0.20,
+        privacy_services: &[("Whois Privacy Protect", 1.0)],
+        abuse_weight: 0.005,
+    },
+    // Long-tail registrars that absorb the remaining share.
+    Registrar {
+        name: "NameSilo, LLC",
+        whois_server: "whois.namesilo.com",
+        mix_weight: 0.40,
+        iana_id: 1479,
+        url: "http://www.namesilo.com",
+        family: "icann-dmy",
+        share_all: 0.005,
+        share_2014: 0.007,
+        country_mix: MIX_US,
+        privacy_rate: 0.40,
+        privacy_services: &[("PrivacyGuardian.org", 1.0)],
+        abuse_weight: 0.012,
+    },
+    Registrar {
+        name: "Gandi SAS",
+        whois_server: "whois.gandi.net",
+        mix_weight: 0.85,
+        iana_id: 81,
+        url: "http://www.gandi.net",
+        family: "ctx-holder",
+        share_all: 0.005,
+        share_2014: 0.005,
+        country_mix: MIX_EU,
+        privacy_rate: 0.18,
+        privacy_services: &[("Gandi Privacy", 1.0)],
+        abuse_weight: 0.003,
+    },
+    Registrar {
+        name: "Alantron Bilisim Ltd.",
+        whois_server: "whois.alantron.com",
+        mix_weight: 0.85,
+        iana_id: 1163,
+        url: "http://www.alantron.com",
+        family: "caps-reseller",
+        share_all: 0.004,
+        share_2014: 0.006,
+        country_mix: MIX_EMERGING,
+        privacy_rate: 0.09,
+        privacy_services: &[("Alantron Gizlilik", 1.0)],
+        abuse_weight: 0.015,
+    },
+    Registrar {
+        name: "Todaynic.com, Inc.",
+        whois_server: "whois.todaynic.com",
+        mix_weight: 0.85,
+        iana_id: 697,
+        url: "http://www.todaynic.com",
+        family: "dots-directi",
+        share_all: 0.004,
+        share_2014: 0.006,
+        country_mix: MIX_CN,
+        privacy_rate: 0.11,
+        privacy_services: &[("Todaynic Privacy", 1.0)],
+        abuse_weight: 0.012,
+    },
+    Registrar {
+        name: "Joker.com GmbH",
+        whois_server: "whois.joker.com",
+        mix_weight: 0.85,
+        iana_id: 113,
+        url: "http://www.joker.com",
+        family: "tab-joker",
+        share_all: 0.004,
+        share_2014: 0.003,
+        country_mix: MIX_EU,
+        privacy_rate: 0.14,
+        privacy_services: &[("Joker Privacy Services", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "Interlink Co., Ltd.",
+        whois_server: "whois.interlink.co.jp",
+        mix_weight: 0.88,
+        iana_id: 1479,
+        url: "http://www.interlink.or.jp",
+        family: "bracket-jp2",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_JP,
+        privacy_rate: 0.30,
+        privacy_services: &[("MuuMuuDomain", 1.0)],
+        abuse_weight: 0.01,
+    },
+    Registrar {
+        name: "Nordreg AB",
+        whois_server: "whois.nordreg.se",
+        mix_weight: 0.85,
+        iana_id: 638,
+        url: "http://www.nordreg.se",
+        family: "eq-nordic",
+        share_all: 0.003,
+        share_2014: 0.003,
+        country_mix: MIX_EU,
+        privacy_rate: 0.12,
+        privacy_services: &[("Nordreg Privacy", 1.0)],
+        abuse_weight: 0.002,
+    },
+    Registrar {
+        name: "Vista.com Registrar LLC",
+        whois_server: "whois.vistaregistrar.com",
+        mix_weight: 0.40,
+        iana_id: 1600,
+        url: "http://www.vistaregistrar.com",
+        family: "ctx-wide",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_US,
+        privacy_rate: 0.16,
+        privacy_services: &[("Private Registration", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "Dot Holding Inc.",
+        whois_server: "whois.dotholding.net",
+        mix_weight: 0.70,
+        iana_id: 1601,
+        url: "http://www.dotholding.net",
+        family: "icann-dot-dates",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_EMERGING,
+        privacy_rate: 0.13,
+        privacy_services: &[("Hidden by Whois Privacy Protection Service", 1.0)],
+        abuse_weight: 0.01,
+    },
+    Registrar {
+        name: "Webfusion Ltd.",
+        whois_server: "whois.123-reg.co.uk",
+        mix_weight: 0.85,
+        iana_id: 1515,
+        url: "http://www.123-reg.co.uk",
+        family: "icann-wide-sep",
+        share_all: 0.004,
+        share_2014: 0.004,
+        country_mix: &[
+            ("GB", 0.70),
+            ("US", 0.10),
+            ("IE", 0.05),
+            ("FR", 0.05),
+            ("DE", 0.05),
+            ("ES", 0.05),
+        ],
+        privacy_rate: 0.15,
+        privacy_services: &[("Identity Protection Service", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "Universal Registrar Co.",
+        whois_server: "whois.universalregistrar.example",
+        mix_weight: 0.40,
+        iana_id: 1700,
+        url: "http://www.universalregistrar.example",
+        family: "icann-privacy-heavy",
+        share_all: 0.004,
+        share_2014: 0.005,
+        country_mix: MIX_US,
+        privacy_rate: 0.55,
+        privacy_services: &[
+            ("Private Registration", 0.5),
+            ("Whois Privacy Protect", 0.5),
+        ],
+        abuse_weight: 0.006,
+    },
+    Registrar {
+        name: "Atlantic Domains LLC",
+        whois_server: "whois.atlanticdomains.example",
+        mix_weight: 0.40,
+        iana_id: 1701,
+        url: "http://www.atlanticdomains.example",
+        family: "icann-slash",
+        share_all: 0.004,
+        share_2014: 0.004,
+        country_mix: MIX_US,
+        privacy_rate: 0.18,
+        privacy_services: &[("Perfect Privacy, LLC", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "Numbered Names LLC",
+        whois_server: "whois.numberednames.example",
+        mix_weight: 0.40,
+        iana_id: 1703,
+        url: "http://www.numberednames.example",
+        family: "numbered-reseller",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_US,
+        privacy_rate: 0.20,
+        privacy_services: &[("Whois Privacy Protect", 1.0)],
+        abuse_weight: 0.006,
+    },
+    Registrar {
+        name: "Pacific Rim Domains Co.",
+        whois_server: "whois.pacificrim.example",
+        mix_weight: 0.80,
+        iana_id: 1704,
+        url: "http://www.pacificrim.example",
+        family: "numbered-asia",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_CN,
+        privacy_rate: 0.12,
+        privacy_services: &[("Aliyun", 1.0)],
+        abuse_weight: 0.008,
+    },
+    Registrar {
+        name: "Hybrid Hosting Registrar",
+        whois_server: "whois.hybridhosting.example",
+        mix_weight: 0.40,
+        iana_id: 1705,
+        url: "http://www.hybridhosting.example",
+        family: "thinlike-hybrid",
+        share_all: 0.003,
+        share_2014: 0.003,
+        country_mix: MIX_US,
+        privacy_rate: 0.15,
+        privacy_services: &[("Private Registration", 1.0)],
+        abuse_weight: 0.004,
+    },
+    Registrar {
+        name: "Istanbul Web Services",
+        whois_server: "whois.istanbulweb.example",
+        mix_weight: 0.85,
+        iana_id: 1706,
+        url: "http://www.istanbulweb.example",
+        family: "dots-long",
+        share_all: 0.003,
+        share_2014: 0.004,
+        country_mix: MIX_EMERGING,
+        privacy_rate: 0.10,
+        privacy_services: &[("PrivacyProtect.org", 1.0)],
+        abuse_weight: 0.010,
+    },
+    Registrar {
+        name: "Compact Registry Services",
+        whois_server: "whois.compactregistry.example",
+        mix_weight: 0.70,
+        iana_id: 1707,
+        url: "http://www.compactregistry.example",
+        family: "tab-compact",
+        share_all: 0.002,
+        share_2014: 0.003,
+        country_mix: MIX_EU,
+        privacy_rate: 0.14,
+        privacy_services: &[("Identity Protection Service", 1.0)],
+        abuse_weight: 0.003,
+    },
+    Registrar {
+        name: "Mixed Bracket Networks KK",
+        whois_server: "whois.mixedbracket.example",
+        mix_weight: 0.85,
+        iana_id: 1708,
+        url: "http://www.mixedbracket.example",
+        family: "bracket-mixed",
+        share_all: 0.002,
+        share_2014: 0.003,
+        country_mix: MIX_JP,
+        privacy_rate: 0.28,
+        privacy_services: &[("MuuMuuDomain", 1.0)],
+        abuse_weight: 0.010,
+    },
+    Registrar {
+        name: "Equals Hosting AB",
+        whois_server: "whois.equalshosting.example",
+        mix_weight: 0.85,
+        iana_id: 1709,
+        url: "http://www.equalshosting.example",
+        family: "eq-min",
+        share_all: 0.002,
+        share_2014: 0.002,
+        country_mix: MIX_EU,
+        privacy_rate: 0.12,
+        privacy_services: &[("Nordreg Privacy", 1.0)],
+        abuse_weight: 0.002,
+    },
+    Registrar {
+        name: "Capital Caps Registrar Inc.",
+        whois_server: "whois.capitalcaps.example",
+        mix_weight: 0.40,
+        iana_id: 1710,
+        url: "http://www.capitalcaps.example",
+        family: "caps-min",
+        share_all: 0.002,
+        share_2014: 0.002,
+        country_mix: MIX_US,
+        privacy_rate: 0.18,
+        privacy_services: &[("Perfect Privacy, LLC", 1.0)],
+        abuse_weight: 0.003,
+    },
+    Registrar {
+        name: "Tail Hybrid Domains",
+        whois_server: "whois.tailhybrid.example",
+        mix_weight: 0.40,
+        iana_id: 1711,
+        url: "http://www.tailhybrid.example",
+        family: "thinlike-hybrid2",
+        share_all: 0.002,
+        share_2014: 0.002,
+        country_mix: MIX_US,
+        privacy_rate: 0.16,
+        privacy_services: &[("FBO REGISTRANT", 1.0)],
+        abuse_weight: 0.003,
+    },
+    Registrar {
+        name: "Legacy Registrations Inc.",
+        whois_server: "whois.legacyregistrations.example",
+        mix_weight: 0.40,
+        iana_id: 1702,
+        url: "http://www.legacyregistrations.example",
+        family: "legacy-noorg",
+        share_all: 0.004,
+        share_2014: 0.002,
+        country_mix: MIX_US,
+        privacy_rate: 0.05,
+        privacy_services: &[("FBO REGISTRANT", 1.0)],
+        abuse_weight: 0.003,
+    },
+];
+
+/// Directory with share-based sampling helpers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegistrarDirectory;
+
+impl RegistrarDirectory {
+    /// Construct the directory.
+    pub fn new() -> Self {
+        RegistrarDirectory
+    }
+
+    /// All registrars.
+    pub fn all(&self) -> &'static [Registrar] {
+        REGISTRARS
+    }
+
+    /// Look up by display name.
+    pub fn by_name(&self, name: &str) -> Option<&'static Registrar> {
+        REGISTRARS.iter().find(|r| r.name == name)
+    }
+
+    /// Sample a registrar for a domain created in `year`, given a uniform
+    /// draw `u ∈ [0, 1)`.
+    ///
+    /// Shares interpolate linearly from the all-time to the 2014
+    /// distribution between 2008 and 2014 (the market shifted toward
+    /// Chinese registrars late in the paper's window). Draws past the
+    /// explicit shares land uniformly on the long-tail registrars (the
+    /// bottom third of the directory), standing in for `(Other)`.
+    pub fn sample(&self, year: i32, u: f64) -> &'static Registrar {
+        let w2014 = ((year - 2008) as f64 / 6.0).clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for r in REGISTRARS.iter() {
+            acc += r.share_all * (1.0 - w2014) + r.share_2014 * w2014;
+            if u < acc {
+                return r;
+            }
+        }
+        // Long tail: hash the draw into the bottom third deterministically.
+        let tail_start = REGISTRARS.len() * 2 / 3;
+        let tail = &REGISTRARS[tail_start..];
+        let idx = ((u * 1e9) as usize) % tail.len();
+        &tail[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::family_by_name;
+
+    #[test]
+    fn every_registrar_references_an_existing_family() {
+        for r in REGISTRARS {
+            assert!(
+                family_by_name(r.family).is_some(),
+                "registrar {} references unknown family {}",
+                r.name,
+                r.family
+            );
+        }
+    }
+
+    #[test]
+    fn registrar_names_and_servers_are_unique() {
+        let names: std::collections::HashSet<_> = REGISTRARS.iter().map(|r| r.name).collect();
+        assert_eq!(names.len(), REGISTRARS.len());
+        let servers: std::collections::HashSet<_> =
+            REGISTRARS.iter().map(|r| r.whois_server).collect();
+        assert_eq!(servers.len(), REGISTRARS.len());
+    }
+
+    #[test]
+    fn country_mixes_are_normalizable() {
+        for r in REGISTRARS {
+            let sum: f64 = r.country_mix.iter().map(|(_, w)| w).sum();
+            assert!(
+                (0.5..=1.5).contains(&sum),
+                "{} country mix sums to {}",
+                r.name,
+                sum
+            );
+            assert!(!r.country_mix.is_empty());
+        }
+    }
+
+    #[test]
+    fn shares_leave_room_for_the_long_tail() {
+        let total: f64 = REGISTRARS.iter().map(|r| r.share_all).sum();
+        assert!(total < 1.0, "explicit shares {total} must leave a tail");
+        assert!(total > 0.5, "top registrars dominate: {total}");
+    }
+
+    #[test]
+    fn sampling_respects_shares_roughly() {
+        let dir = RegistrarDirectory::new();
+        let n = 20000;
+        let mut godaddy = 0;
+        for i in 0..n {
+            let u = (i as f64 + 0.5) / n as f64;
+            if dir.sample(2005, u).name == "GoDaddy.com, LLC" {
+                godaddy += 1;
+            }
+        }
+        let share = godaddy as f64 / n as f64;
+        assert!(
+            (share - 0.342).abs() < 0.02,
+            "GoDaddy share sampled at {share}"
+        );
+    }
+
+    #[test]
+    fn sampling_shifts_toward_2014_shares() {
+        let dir = RegistrarDirectory::new();
+        let n = 20000;
+        let count = |year| {
+            (0..n)
+                .filter(|&i| {
+                    let u = (i as f64 + 0.5) / n as f64;
+                    dir.sample(year, u).name.starts_with("Xin Net")
+                })
+                .count() as f64
+                / n as f64
+        };
+        let early = count(2000);
+        let late = count(2014);
+        assert!(
+            late > early * 2.0,
+            "Xin Net grows: early {early}, late {late}"
+        );
+    }
+
+    #[test]
+    fn long_tail_draws_return_tail_registrars() {
+        let dir = RegistrarDirectory::new();
+        let r = dir.sample(2010, 0.999999);
+        let tail_start = REGISTRARS.len() * 2 / 3;
+        assert!(
+            REGISTRARS[tail_start..].iter().any(|t| t.name == r.name),
+            "draw near 1.0 must land in the tail, got {}",
+            r.name
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let dir = RegistrarDirectory::new();
+        assert!(dir.by_name("eNom, Inc.").is_some());
+        assert!(dir.by_name("Nonexistent").is_none());
+    }
+}

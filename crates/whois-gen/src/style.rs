@@ -1,0 +1,783 @@
+//! The template language: how a registrar's record format is described
+//! and rendered.
+//!
+//! A registrar family is a [`Template`]: an ordered list of [`Element`]s.
+//! Rendering a template against the [`DomainFacts`] of one domain yields
+//! the record text *and* the gold label of every line — the generator's
+//! ground truth is constructed, never inferred.
+
+use whois_model::{BlockLabel, ContactKind, LabeledRecord, RawRecord, RegistrantLabel};
+
+/// A calendar date; the generator needs no time-zone machinery.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SimpleDate {
+    /// Year (e.g. 2014).
+    pub y: i32,
+    /// Month 1..=12.
+    pub m: u32,
+    /// Day 1..=28 (the generator never emits 29–31, sidestepping calendar
+    /// rules).
+    pub d: u32,
+}
+
+/// How a family renders dates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DateStyle {
+    /// `2014-03-01`
+    Iso,
+    /// `2014-03-01T00:00:00Z`
+    IsoT,
+    /// `01-Mar-2014`
+    DayMonYear,
+    /// `03/01/2014`
+    Slash,
+    /// `2014.03.01`
+    Dot,
+    /// `2014-03-01 04:30:00`
+    IsoSpace,
+}
+
+const MONTH_ABBR: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+impl SimpleDate {
+    /// Construct a date.
+    pub fn new(y: i32, m: u32, d: u32) -> Self {
+        assert!(
+            (1..=12).contains(&m) && (1..=28).contains(&d),
+            "generator dates are conservative"
+        );
+        SimpleDate { y, m, d }
+    }
+
+    /// Render in the given style.
+    pub fn render(&self, style: DateStyle) -> String {
+        match style {
+            DateStyle::Iso => format!("{:04}-{:02}-{:02}", self.y, self.m, self.d),
+            DateStyle::IsoT => format!("{:04}-{:02}-{:02}T00:00:00Z", self.y, self.m, self.d),
+            DateStyle::DayMonYear => format!(
+                "{:02}-{}-{:04}",
+                self.d,
+                MONTH_ABBR[(self.m - 1) as usize],
+                self.y
+            ),
+            DateStyle::Slash => format!("{:02}/{:02}/{:04}", self.m, self.d, self.y),
+            DateStyle::Dot => format!("{:04}.{:02}.{:02}", self.y, self.m, self.d),
+            DateStyle::IsoSpace => {
+                format!("{:04}-{:02}-{:02} 04:30:00", self.y, self.m, self.d)
+            }
+        }
+    }
+}
+
+/// A contact as stored in the facts (an `entity::Entity` plus a registry
+/// handle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContactFacts {
+    /// Registry handle / contact ID.
+    pub id: String,
+    /// Personal name.
+    pub name: String,
+    /// Organization (may be absent).
+    pub org: Option<String>,
+    /// First street line.
+    pub street: String,
+    /// Second street line (suite etc.).
+    pub street2: Option<String>,
+    /// City.
+    pub city: String,
+    /// State/province.
+    pub state: String,
+    /// Postal code.
+    pub postcode: String,
+    /// Country display name.
+    pub country_name: String,
+    /// ISO country code.
+    pub country_code: String,
+    /// Phone.
+    pub phone: String,
+    /// Fax (minority of contacts).
+    pub fax: Option<String>,
+    /// E-mail.
+    pub email: String,
+}
+
+/// Everything known about one domain, sufficient to render any template.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DomainFacts {
+    /// Fully-qualified lower-case domain.
+    pub domain: String,
+    /// Sponsoring registrar display name.
+    pub registrar_name: String,
+    /// Registrar WHOIS server host name.
+    pub whois_server: String,
+    /// Registrar IANA ID.
+    pub iana_id: u32,
+    /// Registrar abuse contact e-mail.
+    pub abuse_email: String,
+    /// Registrar abuse contact phone.
+    pub abuse_phone: String,
+    /// Registrar public URL.
+    pub registrar_url: String,
+    /// Creation date.
+    pub created: SimpleDate,
+    /// Last-update date.
+    pub updated: SimpleDate,
+    /// Expiry date.
+    pub expires: SimpleDate,
+    /// Name servers (2–4 typically).
+    pub name_servers: Vec<String>,
+    /// EPP status strings.
+    pub statuses: Vec<String>,
+    /// The registrant contact (already privacy-substituted when the domain
+    /// uses a protection service).
+    pub registrant: ContactFacts,
+    /// Administrative contact.
+    pub admin: Option<ContactFacts>,
+    /// Technical contact.
+    pub tech: Option<ContactFacts>,
+    /// Billing contact.
+    pub billing: Option<ContactFacts>,
+    /// Name of the privacy-protection service, when used.
+    pub privacy_service: Option<String>,
+}
+
+impl DomainFacts {
+    fn contact(&self, kind: ContactKind) -> Option<&ContactFacts> {
+        match kind {
+            ContactKind::Registrant => Some(&self.registrant),
+            ContactKind::Admin => self.admin.as_ref(),
+            ContactKind::Tech => self.tech.as_ref(),
+            ContactKind::Billing => self.billing.as_ref(),
+        }
+    }
+}
+
+/// A single piece of contact information.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ContactField {
+    /// Registry handle.
+    Id,
+    /// Personal name.
+    Name,
+    /// Organization.
+    Org,
+    /// First street line.
+    Street1,
+    /// Second street line.
+    Street2,
+    /// City.
+    City,
+    /// State/province.
+    State,
+    /// Postal code.
+    Postcode,
+    /// Country display name.
+    CountryName,
+    /// ISO country code.
+    CountryCode,
+    /// Combined `City, ST 99999` line (legacy formats).
+    CityStateZip,
+    /// Phone.
+    Phone,
+    /// Fax.
+    Fax,
+    /// E-mail.
+    Email,
+}
+
+impl ContactField {
+    /// The second-level label for a registrant line carrying this field.
+    pub fn registrant_label(self) -> RegistrantLabel {
+        match self {
+            ContactField::Id => RegistrantLabel::Id,
+            ContactField::Name => RegistrantLabel::Name,
+            ContactField::Org => RegistrantLabel::Org,
+            ContactField::Street1 | ContactField::Street2 => RegistrantLabel::Street,
+            ContactField::City => RegistrantLabel::City,
+            ContactField::State => RegistrantLabel::State,
+            ContactField::Postcode => RegistrantLabel::Postcode,
+            ContactField::CountryName | ContactField::CountryCode => RegistrantLabel::Country,
+            // The combined line's dominant information is the city.
+            ContactField::CityStateZip => RegistrantLabel::City,
+            ContactField::Phone => RegistrantLabel::Phone,
+            ContactField::Fax => RegistrantLabel::Fax,
+            ContactField::Email => RegistrantLabel::Email,
+        }
+    }
+}
+
+/// An atomic value a template can interpolate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// The domain name (upper- or lower-case per `upper`).
+    DomainName {
+        /// Render upper-case (legacy registries shout).
+        upper: bool,
+    },
+    /// Registrar display name.
+    RegistrarName,
+    /// Registrar WHOIS server.
+    WhoisServer,
+    /// Registrar URL.
+    RegistrarUrl,
+    /// Registrar IANA ID.
+    IanaId,
+    /// Abuse e-mail.
+    AbuseEmail,
+    /// Abuse phone.
+    AbusePhone,
+    /// Creation date.
+    Created,
+    /// Update date.
+    Updated,
+    /// Expiry date.
+    Expires,
+    /// `i`-th name server (skipped when absent).
+    NameServer(usize),
+    /// `i`-th status string.
+    Status(usize),
+    /// DNSSEC flag (always "unsigned" in the generator).
+    Dnssec,
+    /// A contact field.
+    Contact(ContactKind, ContactField),
+}
+
+impl Field {
+    /// The first-level block label of a line carrying this field.
+    pub fn block_label(&self) -> BlockLabel {
+        match self {
+            Field::RegistrarName
+            | Field::WhoisServer
+            | Field::RegistrarUrl
+            | Field::IanaId
+            | Field::AbuseEmail
+            | Field::AbusePhone => BlockLabel::Registrar,
+            Field::DomainName { .. } | Field::NameServer(_) | Field::Status(_) | Field::Dnssec => {
+                BlockLabel::Domain
+            }
+            Field::Created | Field::Updated | Field::Expires => BlockLabel::Date,
+            Field::Contact(ContactKind::Registrant, _) => BlockLabel::Registrant,
+            Field::Contact(_, _) => BlockLabel::Other,
+        }
+    }
+
+    /// Resolve the field's value; `None` means the line is skipped.
+    /// Empty resolved values (e.g. an unknown country) also skip the line,
+    /// matching how real registrars omit absent fields.
+    pub fn value(&self, facts: &DomainFacts, dates: DateStyle) -> Option<String> {
+        self.value_inner(facts, dates).filter(|v| !v.is_empty())
+    }
+
+    fn value_inner(&self, facts: &DomainFacts, dates: DateStyle) -> Option<String> {
+        match self {
+            Field::DomainName { upper } => Some(if *upper {
+                facts.domain.to_uppercase()
+            } else {
+                facts.domain.clone()
+            }),
+            Field::RegistrarName => Some(facts.registrar_name.clone()),
+            Field::WhoisServer => Some(facts.whois_server.clone()),
+            Field::RegistrarUrl => Some(facts.registrar_url.clone()),
+            Field::IanaId => Some(facts.iana_id.to_string()),
+            Field::AbuseEmail => Some(facts.abuse_email.clone()),
+            Field::AbusePhone => Some(facts.abuse_phone.clone()),
+            Field::Created => Some(facts.created.render(dates)),
+            Field::Updated => Some(facts.updated.render(dates)),
+            Field::Expires => Some(facts.expires.render(dates)),
+            Field::NameServer(i) => facts.name_servers.get(*i).cloned(),
+            Field::Status(i) => facts.statuses.get(*i).cloned(),
+            Field::Dnssec => Some("unsigned".to_string()),
+            Field::Contact(kind, cf) => {
+                let c = facts.contact(*kind)?;
+                match cf {
+                    ContactField::Id => Some(c.id.clone()),
+                    ContactField::Name => Some(c.name.clone()),
+                    ContactField::Org => c.org.clone(),
+                    ContactField::Street1 => Some(c.street.clone()),
+                    ContactField::Street2 => c.street2.clone(),
+                    ContactField::City => Some(c.city.clone()),
+                    ContactField::State => Some(c.state.clone()),
+                    ContactField::Postcode => Some(c.postcode.clone()),
+                    ContactField::CountryName => Some(c.country_name.clone()),
+                    ContactField::CountryCode => Some(c.country_code.clone()),
+                    ContactField::CityStateZip => {
+                        Some(format!("{}, {} {}", c.city, c.state, c.postcode))
+                    }
+                    ContactField::Phone => Some(c.phone.clone()),
+                    ContactField::Fax => c.fax.clone(),
+                    ContactField::Email => Some(c.email.clone()),
+                }
+            }
+        }
+    }
+}
+
+/// One element of a template.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Element {
+    /// A literal `null`-labeled line (version banners, notices).
+    Banner(String),
+    /// Several literal `null`-labeled lines (legal boilerplate).
+    Boilerplate(&'static [&'static str]),
+    /// A blank line (unlabeled; shapes the `NL` marker).
+    Blank,
+    /// `"{title}{sep}{value}"` — skipped when the field has no value.
+    Titled {
+        /// Field title, already styled (casing etc.).
+        title: String,
+        /// Separator text between title and value (e.g. `": "`).
+        sep: String,
+        /// The interpolated field.
+        field: Field,
+        /// Leading indentation in spaces.
+        indent: usize,
+    },
+    /// A bare value line (no title), used by legacy block formats.
+    Bare {
+        /// The interpolated field.
+        field: Field,
+        /// Leading indentation in spaces.
+        indent: usize,
+    },
+    /// A context header such as `"Registrant:"`; labeled with the block
+    /// of `of` (e.g. the registrant header belongs to the registrant
+    /// block).
+    Header {
+        /// Header text (with trailing colon if the family uses one).
+        text: String,
+        /// Which contact block the header introduces.
+        of: ContactKind,
+    },
+    /// A literal line with an explicit first-level label (escape hatch for
+    /// family quirks).
+    Literal {
+        /// Line text.
+        text: String,
+        /// Its gold label.
+        label: BlockLabel,
+    },
+}
+
+/// A complete registrar record format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Template {
+    /// Family name (unique across the generator, e.g. `"icann-2013"`).
+    pub family: String,
+    /// Date rendering style.
+    pub dates: DateStyle,
+    /// The ordered elements.
+    pub elements: Vec<Element>,
+}
+
+/// One rendered line with its gold labels (`None` labels for blank lines,
+/// which are not labelable).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RenderedLine {
+    /// The text, possibly empty (blank line).
+    pub text: String,
+    /// First-level label, absent for blank/symbol-only lines.
+    pub block: Option<BlockLabel>,
+    /// Second-level label for lines inside the registrant block.
+    pub registrant: Option<RegistrantLabel>,
+}
+
+/// A fully rendered record with ground truth attached.
+#[derive(Clone, Debug)]
+pub struct RenderedRecord {
+    /// The domain rendered.
+    pub domain: String,
+    /// All lines, including blanks.
+    pub lines: Vec<RenderedLine>,
+}
+
+impl Template {
+    /// Render `facts` through this template.
+    pub fn render(&self, facts: &DomainFacts) -> RenderedRecord {
+        let mut lines = Vec::with_capacity(self.elements.len());
+        for el in &self.elements {
+            match el {
+                Element::Banner(text) => lines.push(labeled_line(text.clone(), BlockLabel::Null)),
+                Element::Boilerplate(texts) => {
+                    for t in *texts {
+                        lines.push(labeled_line((*t).to_string(), BlockLabel::Null));
+                    }
+                }
+                Element::Blank => lines.push(RenderedLine {
+                    text: String::new(),
+                    block: None,
+                    registrant: None,
+                }),
+                Element::Titled {
+                    title,
+                    sep,
+                    field,
+                    indent,
+                } => {
+                    if let Some(v) = field.value(facts, self.dates) {
+                        let text = format!("{}{}{}{}", " ".repeat(*indent), title, sep, v);
+                        lines.push(field_line(text, field));
+                    }
+                }
+                Element::Bare { field, indent } => {
+                    if let Some(v) = field.value(facts, self.dates) {
+                        let text = format!("{}{}", " ".repeat(*indent), v);
+                        lines.push(field_line(text, field));
+                    }
+                }
+                Element::Header { text, of } => {
+                    let block = match of {
+                        ContactKind::Registrant => BlockLabel::Registrant,
+                        _ => BlockLabel::Other,
+                    };
+                    let registrant =
+                        (block == BlockLabel::Registrant).then_some(RegistrantLabel::Other);
+                    lines.push(RenderedLine {
+                        text: text.clone(),
+                        block: Some(block),
+                        registrant,
+                    });
+                }
+                Element::Literal { text, label } => lines.push(labeled_line(text.clone(), *label)),
+            }
+        }
+        // Lines without any alphanumeric character are not labelable: clear
+        // their labels so ground truth matches the chunker's view. Every
+        // labelable registrant-block line must carry a second-level label;
+        // lines with no specific sub-field default to `other`.
+        for line in &mut lines {
+            if !line.text.chars().any(|c| c.is_alphanumeric()) {
+                line.block = None;
+                line.registrant = None;
+            } else if line.block == Some(BlockLabel::Registrant) && line.registrant.is_none() {
+                line.registrant = Some(RegistrantLabel::Other);
+            }
+        }
+        RenderedRecord {
+            domain: facts.domain.clone(),
+            lines,
+        }
+    }
+}
+
+fn labeled_line(text: String, label: BlockLabel) -> RenderedLine {
+    RenderedLine {
+        text,
+        block: Some(label),
+        registrant: None,
+    }
+}
+
+fn field_line(text: String, field: &Field) -> RenderedLine {
+    let block = field.block_label();
+    let registrant = match field {
+        Field::Contact(ContactKind::Registrant, cf) => Some(cf.registrant_label()),
+        _ => None,
+    };
+    RenderedLine {
+        text,
+        block: Some(block),
+        registrant,
+    }
+}
+
+impl RenderedRecord {
+    /// The record text (lines joined with `\n`).
+    pub fn text(&self) -> String {
+        self.lines
+            .iter()
+            .map(|l| l.text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// As a [`RawRecord`].
+    pub fn to_raw(&self) -> RawRecord {
+        RawRecord::new(self.domain.clone(), self.text())
+    }
+
+    /// First-level ground truth over the labelable lines.
+    pub fn block_labels(&self) -> LabeledRecord<BlockLabel> {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for l in &self.lines {
+            if let Some(b) = l.block {
+                texts.push(l.text.clone());
+                labels.push(b);
+            }
+        }
+        LabeledRecord::from_parts(self.domain.clone(), texts, labels)
+    }
+
+    /// Second-level ground truth: the registrant-block lines with their
+    /// sub-field labels. Empty when the record has no registrant block.
+    pub fn registrant_labels(&self) -> LabeledRecord<RegistrantLabel> {
+        let mut texts = Vec::new();
+        let mut labels = Vec::new();
+        for l in &self.lines {
+            if let (Some(BlockLabel::Registrant), Some(r)) = (l.block, l.registrant) {
+                texts.push(l.text.clone());
+                labels.push(r);
+            }
+        }
+        LabeledRecord::from_parts(self.domain.clone(), texts, labels)
+    }
+}
+
+/// Ready-made facts for tests and documentation examples (also used by
+/// other crates' test suites).
+pub mod fixtures {
+    use super::*;
+
+    /// A fully populated contact.
+    pub fn sample_contact(tag: &str) -> ContactFacts {
+        ContactFacts {
+            id: format!("H{tag}123"),
+            name: "John Smith".into(),
+            org: Some("Pacific Trading Co.".into()),
+            street: "500 Gilman Dr".into(),
+            street2: None,
+            city: "San Diego".into(),
+            state: "CA".into(),
+            postcode: "92093".into(),
+            country_name: "United States".into(),
+            country_code: "US".into(),
+            phone: "+1.8585550100".into(),
+            fax: None,
+            email: "john.smith@example.org".into(),
+        }
+    }
+
+    /// A fully populated set of domain facts.
+    pub fn sample_facts() -> DomainFacts {
+        DomainFacts {
+            domain: "exampledomain.com".into(),
+            registrar_name: "GoDaddy.com, LLC".into(),
+            whois_server: "whois.godaddy.com".into(),
+            iana_id: 146,
+            abuse_email: "abuse@godaddy.com".into(),
+            abuse_phone: "+1.4806242505".into(),
+            registrar_url: "http://www.godaddy.com".into(),
+            created: SimpleDate::new(2011, 8, 9),
+            updated: SimpleDate::new(2014, 7, 22),
+            expires: SimpleDate::new(2016, 8, 9),
+            name_servers: vec!["ns1.example.com".into(), "ns2.example.com".into()],
+            statuses: vec!["clientTransferProhibited".into()],
+            registrant: sample_contact("R"),
+            admin: Some(sample_contact("A")),
+            tech: None,
+            billing: None,
+            privacy_service: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_contact(tag: &str) -> ContactFacts {
+        ContactFacts {
+            id: format!("H{tag}123"),
+            name: "John Smith".into(),
+            org: Some("Pacific Trading Co.".into()),
+            street: "500 Gilman Dr".into(),
+            street2: None,
+            city: "San Diego".into(),
+            state: "CA".into(),
+            postcode: "92093".into(),
+            country_name: "United States".into(),
+            country_code: "US".into(),
+            phone: "+1.8585550100".into(),
+            fax: None,
+            email: "john.smith@example.org".into(),
+        }
+    }
+
+    pub(crate) fn sample_facts() -> DomainFacts {
+        DomainFacts {
+            domain: "exampledomain.com".into(),
+            registrar_name: "GoDaddy.com, LLC".into(),
+            whois_server: "whois.godaddy.com".into(),
+            iana_id: 146,
+            abuse_email: "abuse@godaddy.com".into(),
+            abuse_phone: "+1.4806242505".into(),
+            registrar_url: "http://www.godaddy.com".into(),
+            created: SimpleDate::new(2011, 8, 9),
+            updated: SimpleDate::new(2014, 7, 22),
+            expires: SimpleDate::new(2016, 8, 9),
+            name_servers: vec!["ns1.example.com".into(), "ns2.example.com".into()],
+            statuses: vec!["clientTransferProhibited".into()],
+            registrant: sample_contact("R"),
+            admin: Some(sample_contact("A")),
+            tech: None,
+            billing: None,
+            privacy_service: None,
+        }
+    }
+
+    fn titled(title: &str, field: Field) -> Element {
+        Element::Titled {
+            title: title.into(),
+            sep: ": ".into(),
+            field,
+            indent: 0,
+        }
+    }
+
+    #[test]
+    fn date_styles_render() {
+        let d = SimpleDate::new(2014, 3, 1);
+        assert_eq!(d.render(DateStyle::Iso), "2014-03-01");
+        assert_eq!(d.render(DateStyle::IsoT), "2014-03-01T00:00:00Z");
+        assert_eq!(d.render(DateStyle::DayMonYear), "01-Mar-2014");
+        assert_eq!(d.render(DateStyle::Slash), "03/01/2014");
+        assert_eq!(d.render(DateStyle::Dot), "2014.03.01");
+        assert_eq!(d.render(DateStyle::IsoSpace), "2014-03-01 04:30:00");
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative")]
+    fn extreme_dates_rejected() {
+        SimpleDate::new(2014, 2, 30);
+    }
+
+    #[test]
+    fn titled_fields_render_with_labels() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![
+                titled("Domain Name", Field::DomainName { upper: true }),
+                titled("Registrar", Field::RegistrarName),
+                titled("Creation Date", Field::Created),
+                titled(
+                    "Registrant Name",
+                    Field::Contact(ContactKind::Registrant, ContactField::Name),
+                ),
+                titled(
+                    "Admin Email",
+                    Field::Contact(ContactKind::Admin, ContactField::Email),
+                ),
+            ],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines.len(), 5);
+        assert_eq!(r.lines[0].text, "Domain Name: EXAMPLEDOMAIN.COM");
+        assert_eq!(r.lines[0].block, Some(BlockLabel::Domain));
+        assert_eq!(r.lines[1].block, Some(BlockLabel::Registrar));
+        assert_eq!(r.lines[2].block, Some(BlockLabel::Date));
+        assert_eq!(r.lines[3].block, Some(BlockLabel::Registrant));
+        assert_eq!(r.lines[3].registrant, Some(RegistrantLabel::Name));
+        assert_eq!(r.lines[4].block, Some(BlockLabel::Other));
+        assert_eq!(r.lines[4].registrant, None);
+    }
+
+    #[test]
+    fn absent_fields_are_skipped() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![
+                titled(
+                    "Tech Name",
+                    Field::Contact(ContactKind::Tech, ContactField::Name),
+                ),
+                titled("Name Server", Field::NameServer(5)),
+                titled(
+                    "Registrant Fax",
+                    Field::Contact(ContactKind::Registrant, ContactField::Fax),
+                ),
+            ],
+        };
+        let r = t.render(&sample_facts());
+        assert!(r.lines.is_empty(), "all three fields are absent");
+    }
+
+    #[test]
+    fn blank_lines_are_unlabeled() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![
+                titled("Domain", Field::DomainName { upper: false }),
+                Element::Blank,
+                Element::Banner(">>> last update of whois database <<<".into()),
+            ],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines.len(), 3);
+        assert_eq!(r.lines[1].block, None);
+        let labeled = r.block_labels();
+        assert_eq!(labeled.len(), 2, "blank line not in ground truth");
+        assert_eq!(labeled.lines[1].label, BlockLabel::Null);
+    }
+
+    #[test]
+    fn symbol_only_literal_loses_label() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![Element::Banner("-----------".into())],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines[0].block, None, "not labelable by the chunker");
+        assert!(r.block_labels().is_empty());
+    }
+
+    #[test]
+    fn header_and_bare_block_rendering() {
+        let t = Template {
+            family: "legacy".into(),
+            dates: DateStyle::DayMonYear,
+            elements: vec![
+                Element::Header {
+                    text: "Registrant:".into(),
+                    of: ContactKind::Registrant,
+                },
+                Element::Bare {
+                    field: Field::Contact(ContactKind::Registrant, ContactField::Org),
+                    indent: 3,
+                },
+                Element::Bare {
+                    field: Field::Contact(ContactKind::Registrant, ContactField::Street1),
+                    indent: 3,
+                },
+                Element::Bare {
+                    field: Field::Contact(ContactKind::Registrant, ContactField::CityStateZip),
+                    indent: 3,
+                },
+            ],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines[0].registrant, Some(RegistrantLabel::Other));
+        assert_eq!(r.lines[1].text, "   Pacific Trading Co.");
+        assert_eq!(r.lines[1].registrant, Some(RegistrantLabel::Org));
+        assert_eq!(r.lines[3].text, "   San Diego, CA 92093");
+        assert_eq!(r.lines[3].registrant, Some(RegistrantLabel::City));
+        let reg = r.registrant_labels();
+        assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn text_and_raw_roundtrip() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![
+                titled("Domain", Field::DomainName { upper: false }),
+                Element::Blank,
+                titled("Registrar", Field::RegistrarName),
+            ],
+        };
+        let r = t.render(&sample_facts());
+        let raw = r.to_raw();
+        assert_eq!(
+            raw.text,
+            "Domain: exampledomain.com\n\nRegistrar: GoDaddy.com, LLC"
+        );
+        assert_eq!(raw.lines().len(), 2);
+        assert_eq!(r.block_labels().len(), 2);
+    }
+}

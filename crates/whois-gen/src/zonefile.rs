@@ -1,0 +1,110 @@
+//! A minimal `.com`-style zone-file snapshot.
+//!
+//! The paper's crawl input was "the list of domains found in the com zone
+//! file in February of 2015". This module renders a corpus into a
+//! simplified master-file format (one `NS` record per delegated name
+//! server, upper-case owner names, `$ORIGIN COM.` header — the shape of
+//! the real com zone) and parses the registered-domain list back out,
+//! which is exactly what a crawler wants from a zone snapshot.
+
+use crate::corpus::GeneratedDomain;
+use std::collections::BTreeSet;
+
+/// Render a zone-file snapshot for `domains`.
+pub fn render(domains: &[GeneratedDomain]) -> String {
+    let mut s = String::new();
+    s.push_str("$ORIGIN COM.\n$TTL 172800\n");
+    s.push_str("; com zone snapshot (synthetic)\n");
+    for d in domains {
+        let owner = d
+            .facts
+            .domain
+            .strip_suffix(".com")
+            .unwrap_or(&d.facts.domain)
+            .to_uppercase();
+        for ns in &d.facts.name_servers {
+            s.push_str(&format!("{owner} NS {}.\n", ns.to_uppercase()));
+        }
+    }
+    s
+}
+
+/// Parse the set of registered second-level domains out of a zone file.
+///
+/// Tolerates comments (`;`), directives (`$...`), and blank lines;
+/// deduplicates the one-owner-many-NS expansion. Returns lower-case
+/// fully-qualified names under the `$ORIGIN` (default `com`).
+pub fn registered_domains(zone: &str) -> Vec<String> {
+    let mut origin = "com".to_string();
+    let mut out = BTreeSet::new();
+    for line in zone.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$ORIGIN") {
+            let o = rest.trim().trim_end_matches('.').to_lowercase();
+            if !o.is_empty() {
+                origin = o;
+            }
+            continue;
+        }
+        if line.starts_with('$') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(owner), Some(rtype)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        if !rtype.eq_ignore_ascii_case("NS") {
+            continue;
+        }
+        let owner = owner.trim_end_matches('.').to_lowercase();
+        if owner.is_empty() || owner == "@" {
+            continue;
+        }
+        let fqdn = if owner.ends_with(&format!(".{origin}")) || owner == origin {
+            owner
+        } else {
+            format!("{owner}.{origin}")
+        };
+        out.insert(fqdn);
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, GenConfig};
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let corpus = generate_corpus(GenConfig::new(71, 50));
+        let zone = render(&corpus);
+        assert!(zone.starts_with("$ORIGIN COM.\n"));
+        let domains = registered_domains(&zone);
+        let mut expected: Vec<String> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
+        expected.sort();
+        assert_eq!(domains, expected);
+    }
+
+    #[test]
+    fn parser_tolerates_noise() {
+        let zone = "; comment\n$TTL 900\n$ORIGIN COM.\n\nEXAMPLE NS NS1.EXAMPLE.COM.\nEXAMPLE NS NS2.EXAMPLE.COM.\nOTHER A 1.2.3.4\nWEIRD. NS X.Y.\n";
+        let domains = registered_domains(zone);
+        assert_eq!(domains, vec!["example.com", "weird.com"]);
+    }
+
+    #[test]
+    fn origin_directive_is_respected() {
+        let zone = "$ORIGIN NET.\nFOO NS NS1.BAR.NET.\n";
+        assert_eq!(registered_domains(zone), vec!["foo.net"]);
+    }
+
+    #[test]
+    fn empty_zone_is_empty() {
+        assert!(registered_domains("").is_empty());
+        assert!(registered_domains("; nothing\n$TTL 1\n").is_empty());
+    }
+}

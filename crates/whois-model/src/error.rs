@@ -1,0 +1,91 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced across the `whoisml` workspace.
+#[derive(Debug)]
+pub enum WhoisError {
+    /// A parser could not handle the record (e.g. no template matched).
+    ParseFailure {
+        /// Domain of the record that failed.
+        domain: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A network operation failed.
+    Network(std::io::Error),
+    /// A WHOIS server refused or rate-limited the query.
+    RateLimited {
+        /// The server that limited us.
+        server: String,
+    },
+    /// The queried domain does not exist at the responding server.
+    NoMatch {
+        /// The domain queried.
+        domain: String,
+    },
+    /// A model file or corpus file could not be (de)serialized.
+    Serialization(String),
+    /// Training was given invalid or empty data.
+    InvalidTrainingData(String),
+}
+
+impl fmt::Display for WhoisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhoisError::ParseFailure { domain, reason } => {
+                write!(f, "failed to parse record for {domain}: {reason}")
+            }
+            WhoisError::Network(e) => write!(f, "network error: {e}"),
+            WhoisError::RateLimited { server } => write!(f, "rate limited by {server}"),
+            WhoisError::NoMatch { domain } => write!(f, "no match for {domain}"),
+            WhoisError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            WhoisError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WhoisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WhoisError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WhoisError {
+    fn from(e: std::io::Error) -> Self {
+        WhoisError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WhoisError::ParseFailure {
+            domain: "x.com".into(),
+            reason: "no template".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "failed to parse record for x.com: no template"
+        );
+        assert!(WhoisError::RateLimited {
+            server: "whois.example".into()
+        }
+        .to_string()
+        .contains("rate limited"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "boom");
+        let e: WhoisError = io.into();
+        assert!(matches!(e, WhoisError::Network(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

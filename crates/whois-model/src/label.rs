@@ -1,0 +1,232 @@
+//! Label spaces for the two-level CRF parser.
+//!
+//! The paper parses a WHOIS record in two passes. The first pass assigns
+//! each non-empty line one of six coarse **block** labels ([`BlockLabel`]);
+//! the second pass re-parses the lines labeled `registrant` into twelve
+//! fine-grained **sub-field** labels ([`RegistrantLabel`]).
+//!
+//! Both enums implement the [`Label`] trait, which is the interface the
+//! generic CRF in `whois-crf` uses: a dense index in `0..COUNT`, a stable
+//! display name, and an exhaustive `ALL` listing.
+
+use serde::{Deserialize, Serialize};
+
+/// A finite, dense label space usable as the state space of a linear-chain
+/// CRF.
+///
+/// Implementations must guarantee that [`Label::index`] is a bijection onto
+/// `0..Self::COUNT` and that `Self::ALL[i].index() == i`.
+pub trait Label:
+    Copy + Clone + Eq + PartialEq + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static
+{
+    /// Number of distinct labels in the space.
+    const COUNT: usize;
+    /// All labels, ordered by index.
+    const ALL: &'static [Self];
+
+    /// Dense index of this label in `0..Self::COUNT`.
+    fn index(self) -> usize;
+
+    /// Inverse of [`Label::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= Self::COUNT`.
+    fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Stable lower-case display name (used in reports and model dumps).
+    fn name(self) -> &'static str;
+
+    /// Parse a label from its display name.
+    fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|l| l.name() == name)
+    }
+}
+
+/// First-level block labels (§3.2 of the paper).
+///
+/// Each non-empty line of a thick WHOIS record receives exactly one of
+/// these six labels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum BlockLabel {
+    /// Information about the registrar: name, URL, IANA ID, abuse contacts.
+    Registrar,
+    /// Information about the domain itself: name, name servers, status,
+    /// DNSSEC.
+    Domain,
+    /// Registration dates: created, updated, expires.
+    Date,
+    /// Identity and contact information of the registrant.
+    Registrant,
+    /// Administrative, billing, and technical contacts.
+    Other,
+    /// Boilerplate, legalese, notices, and uninformative text.
+    Null,
+}
+
+impl Label for BlockLabel {
+    const COUNT: usize = 6;
+    const ALL: &'static [Self] = &[
+        BlockLabel::Registrar,
+        BlockLabel::Domain,
+        BlockLabel::Date,
+        BlockLabel::Registrant,
+        BlockLabel::Other,
+        BlockLabel::Null,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            BlockLabel::Registrar => "registrar",
+            BlockLabel::Domain => "domain",
+            BlockLabel::Date => "date",
+            BlockLabel::Registrant => "registrant",
+            BlockLabel::Other => "other",
+            BlockLabel::Null => "null",
+        }
+    }
+}
+
+impl std::fmt::Display for BlockLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Second-level registrant sub-field labels (§3.2 of the paper).
+///
+/// Lines that the first-level parser labels [`BlockLabel::Registrant`] are
+/// re-parsed into these twelve sub-fields.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum RegistrantLabel {
+    /// Personal name of the registrant.
+    Name,
+    /// Registry/registrar-assigned registrant identifier.
+    Id,
+    /// Organization name.
+    Org,
+    /// Street address (possibly multiple lines).
+    Street,
+    /// City.
+    City,
+    /// State or province.
+    State,
+    /// Postal / ZIP code.
+    Postcode,
+    /// Country name or ISO code.
+    Country,
+    /// Telephone number.
+    Phone,
+    /// Fax number.
+    Fax,
+    /// E-mail address.
+    Email,
+    /// Anything else inside the registrant block.
+    Other,
+}
+
+impl Label for RegistrantLabel {
+    const COUNT: usize = 12;
+    const ALL: &'static [Self] = &[
+        RegistrantLabel::Name,
+        RegistrantLabel::Id,
+        RegistrantLabel::Org,
+        RegistrantLabel::Street,
+        RegistrantLabel::City,
+        RegistrantLabel::State,
+        RegistrantLabel::Postcode,
+        RegistrantLabel::Country,
+        RegistrantLabel::Phone,
+        RegistrantLabel::Fax,
+        RegistrantLabel::Email,
+        RegistrantLabel::Other,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            RegistrantLabel::Name => "name",
+            RegistrantLabel::Id => "id",
+            RegistrantLabel::Org => "org",
+            RegistrantLabel::Street => "street",
+            RegistrantLabel::City => "city",
+            RegistrantLabel::State => "state",
+            RegistrantLabel::Postcode => "postcode",
+            RegistrantLabel::Country => "country",
+            RegistrantLabel::Phone => "phone",
+            RegistrantLabel::Fax => "fax",
+            RegistrantLabel::Email => "email",
+            RegistrantLabel::Other => "other",
+        }
+    }
+}
+
+impl std::fmt::Display for RegistrantLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_label_index_roundtrip() {
+        for (i, &l) in BlockLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(BlockLabel::from_index(i), l);
+        }
+        assert_eq!(BlockLabel::ALL.len(), BlockLabel::COUNT);
+    }
+
+    #[test]
+    fn registrant_label_index_roundtrip() {
+        for (i, &l) in RegistrantLabel::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(RegistrantLabel::from_index(i), l);
+        }
+        assert_eq!(RegistrantLabel::ALL.len(), RegistrantLabel::COUNT);
+    }
+
+    #[test]
+    fn names_are_unique_and_parse_back() {
+        let mut seen = std::collections::HashSet::new();
+        for &l in BlockLabel::ALL {
+            assert!(seen.insert(l.name()));
+            assert_eq!(BlockLabel::from_name(l.name()), Some(l));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &l in RegistrantLabel::ALL {
+            assert!(seen.insert(l.name()));
+            assert_eq!(RegistrantLabel::from_name(l.name()), Some(l));
+        }
+        assert_eq!(BlockLabel::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn serde_uses_lowercase_names() {
+        let json = serde_json::to_string(&BlockLabel::Registrant).unwrap();
+        assert_eq!(json, "\"registrant\"");
+        let back: BlockLabel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, BlockLabel::Registrant);
+        let json = serde_json::to_string(&RegistrantLabel::Postcode).unwrap();
+        assert_eq!(json, "\"postcode\"");
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(BlockLabel::Null.to_string(), "null");
+        assert_eq!(RegistrantLabel::Email.to_string(), "email");
+    }
+}

@@ -1,0 +1,26 @@
+//! # whois-model
+//!
+//! Shared vocabulary for the `whoisml` workspace: the label spaces used by
+//! the two-level statistical parser of *"Who is .com? Learning to Parse
+//! WHOIS Records"* (IMC 2015), raw and labeled record containers, the
+//! structured output type produced by every parser in the workspace, and
+//! registry/TLD metadata for the thin/thick WHOIS lookup model.
+//!
+//! Every other crate in the workspace depends on this one; it has no
+//! dependencies beyond `serde` so that the type vocabulary stays cheap to
+//! build and free of policy.
+
+pub mod error;
+pub mod label;
+pub mod metrics;
+pub mod parsed;
+pub mod record;
+pub mod tld;
+
+pub use error::WhoisError;
+pub use label::{BlockLabel, Label, RegistrantLabel};
+pub use metrics::ConfusionMatrix;
+pub use parsed::parse_year;
+pub use parsed::{Contact, ContactKind, ParsedRecord};
+pub use record::{non_empty_lines, ErrorStats, LabeledLine, LabeledRecord, RawRecord};
+pub use tld::{RegistryModel, Tld};

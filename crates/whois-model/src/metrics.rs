@@ -1,0 +1,247 @@
+//! Per-label evaluation metrics: confusion matrix, precision, recall,
+//! F1.
+//!
+//! The paper reports line and document error rates (see
+//! [`crate::record::ErrorStats`]); this module adds the per-label view
+//! used in `EXPERIMENTS.md` to show *where* the residual errors live.
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+
+/// A dense confusion matrix over a label space `L`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n: usize,
+    names: Vec<String>,
+    /// `counts[gold * n + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for label space `L`.
+    pub fn new<L: Label>() -> Self {
+        ConfusionMatrix {
+            n: L::COUNT,
+            names: L::ALL.iter().map(|l| l.name().to_string()).collect(),
+            counts: vec![0; L::COUNT * L::COUNT],
+        }
+    }
+
+    /// Record one `(gold, predicted)` observation.
+    pub fn observe<L: Label>(&mut self, gold: L, predicted: L) {
+        debug_assert_eq!(self.n, L::COUNT);
+        self.counts[gold.index() * self.n + predicted.index()] += 1;
+    }
+
+    /// Record a full sequence pair.
+    ///
+    /// # Panics
+    /// Panics if the sequences have different lengths.
+    pub fn observe_all<L: Label>(&mut self, gold: &[L], predicted: &[L]) {
+        assert_eq!(gold.len(), predicted.len(), "sequence length mismatch");
+        for (&g, &p) in gold.iter().zip(predicted) {
+            self.observe(g, p);
+        }
+    }
+
+    /// Count at `(gold, predicted)` by index.
+    pub fn get(&self, gold: usize, predicted: usize) -> u64 {
+        self.counts[gold * self.n + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.n).map(|i| self.get(i, i)).sum();
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Precision for label index `j`: `tp / (tp + fp)`; 1.0 when the
+    /// label was never predicted.
+    pub fn precision(&self, j: usize) -> f64 {
+        let tp = self.get(j, j);
+        let predicted: u64 = (0..self.n).map(|g| self.get(g, j)).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for label index `j`: `tp / (tp + fn)`; 1.0 when the label
+    /// never occurs in gold.
+    pub fn recall(&self, j: usize) -> f64 {
+        let tp = self.get(j, j);
+        let gold: u64 = (0..self.n).map(|p| self.get(j, p)).sum();
+        if gold == 0 {
+            1.0
+        } else {
+            tp as f64 / gold as f64
+        }
+    }
+
+    /// F1 for label index `j`.
+    pub fn f1(&self, j: usize) -> f64 {
+        let p = self.precision(j);
+        let r = self.recall(j);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over labels that occur in gold.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for j in 0..self.n {
+            let gold: u64 = (0..self.n).map(|p| self.get(j, p)).sum();
+            if gold > 0 {
+                sum += self.f1(j);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            1.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Merge another matrix (same label space) into this one.
+    ///
+    /// # Panics
+    /// Panics on label-space mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n, other.n, "label space mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Render as an aligned text table with per-label P/R/F1.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{:<12}", "gold\\pred"));
+        for name in &self.names {
+            s.push_str(&format!("{:>11}", name));
+        }
+        s.push_str(&format!("{:>11} {:>8} {:>8}\n", "recall", "prec", "f1"));
+        for (g, name) in self.names.iter().enumerate() {
+            s.push_str(&format!("{:<12}", name));
+            for p in 0..self.n {
+                s.push_str(&format!("{:>11}", self.get(g, p)));
+            }
+            s.push_str(&format!(
+                "{:>10.1}% {:>7.1}% {:>7.1}%\n",
+                100.0 * self.recall(g),
+                100.0 * self.precision(g),
+                100.0 * self.f1(g)
+            ));
+        }
+        s.push_str(&format!(
+            "accuracy {:.4}  macro-F1 {:.4}  ({} observations)\n",
+            self.accuracy(),
+            self.macro_f1(),
+            self.total()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::BlockLabel;
+
+    fn sample() -> ConfusionMatrix {
+        use BlockLabel::*;
+        let mut m = ConfusionMatrix::new::<BlockLabel>();
+        m.observe_all(
+            &[Domain, Domain, Date, Registrant, Null],
+            &[Domain, Date, Date, Registrant, Null],
+        );
+        m
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = sample();
+        assert_eq!(m.total(), 5);
+        assert_eq!(
+            m.get(BlockLabel::Domain.index(), BlockLabel::Date.index()),
+            1
+        );
+        assert!((m.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        let date = BlockLabel::Date.index();
+        // Date: tp=1, fp=1 (domain→date), fn=0.
+        assert!((m.precision(date) - 0.5).abs() < 1e-12);
+        assert!((m.recall(date) - 1.0).abs() < 1e-12);
+        assert!((m.f1(date) - 2.0 / 3.0).abs() < 1e-12);
+        let domain = BlockLabel::Domain.index();
+        assert!((m.recall(domain) - 0.5).abs() < 1e-12);
+        assert!((m.precision(domain) - 1.0).abs() < 1e-12);
+        // Registrar never occurs: neutral 1.0 by convention.
+        assert_eq!(m.precision(BlockLabel::Registrar.index()), 1.0);
+        assert_eq!(m.recall(BlockLabel::Registrar.index()), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_skips_absent_labels() {
+        let m = sample();
+        // Gold labels present: domain, date, registrant, null.
+        let expected = (m.f1(BlockLabel::Domain.index())
+            + m.f1(BlockLabel::Date.index())
+            + m.f1(BlockLabel::Registrant.index())
+            + m.f1(BlockLabel::Null.index()))
+            / 4.0;
+        assert!((m.macro_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.total(), 10);
+        assert!((a.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_neutral() {
+        let m = ConfusionMatrix::new::<BlockLabel>();
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn render_contains_all_labels() {
+        let text = sample().render();
+        for l in BlockLabel::ALL {
+            assert!(text.contains(l.name()));
+        }
+        assert!(text.contains("accuracy"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn observe_all_rejects_misaligned() {
+        let mut m = ConfusionMatrix::new::<BlockLabel>();
+        m.observe_all(&[BlockLabel::Null], &[]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Structured output of a WHOIS parse.
+//!
+//! All three parser families in the workspace (statistical, rule-based,
+//! template-based) reduce a raw record to a [`ParsedRecord`]: the six block
+//! label texts plus, where available, a structured registrant [`Contact`].
+//! The §6 survey pipeline consumes `ParsedRecord`s exclusively, so any
+//! parser can back the survey.
+
+use crate::label::{BlockLabel, Label, RegistrantLabel};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which contact a block of contact information describes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ContactKind {
+    /// The registrant (owner) of the domain.
+    Registrant,
+    /// Administrative contact.
+    Admin,
+    /// Technical contact.
+    Tech,
+    /// Billing contact.
+    Billing,
+}
+
+/// A structured contact extracted from a WHOIS record.
+///
+/// Fields mirror the second-level label space; every field is optional
+/// because real records omit fields freely. `street` is multi-valued since
+/// addresses commonly span several lines.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Personal name.
+    pub name: Option<String>,
+    /// Registry-assigned contact ID.
+    pub id: Option<String>,
+    /// Organization.
+    pub org: Option<String>,
+    /// Street address lines, in order.
+    pub street: Vec<String>,
+    /// City.
+    pub city: Option<String>,
+    /// State or province.
+    pub state: Option<String>,
+    /// Postal code.
+    pub postcode: Option<String>,
+    /// Country name or code.
+    pub country: Option<String>,
+    /// Telephone number.
+    pub phone: Option<String>,
+    /// Fax number.
+    pub fax: Option<String>,
+    /// E-mail address.
+    pub email: Option<String>,
+    /// Unclassified lines inside the contact block.
+    pub other: Vec<String>,
+}
+
+impl Contact {
+    /// True if no field is populated.
+    pub fn is_empty(&self) -> bool {
+        self.name.is_none()
+            && self.id.is_none()
+            && self.org.is_none()
+            && self.street.is_empty()
+            && self.city.is_none()
+            && self.state.is_none()
+            && self.postcode.is_none()
+            && self.country.is_none()
+            && self.phone.is_none()
+            && self.fax.is_none()
+            && self.email.is_none()
+            && self.other.is_empty()
+    }
+
+    /// Set (or append, for multi-valued fields) the field identified by a
+    /// second-level label. Values are trimmed; empty values are ignored.
+    /// For single-valued fields the first non-empty value wins, matching
+    /// how "title: value" records repeat titles for continuation lines.
+    pub fn set_field(&mut self, label: RegistrantLabel, value: &str) {
+        let value = value.trim();
+        if value.is_empty() {
+            return;
+        }
+        let slot = match label {
+            RegistrantLabel::Name => &mut self.name,
+            RegistrantLabel::Id => &mut self.id,
+            RegistrantLabel::Org => &mut self.org,
+            RegistrantLabel::Street => {
+                self.street.push(value.to_string());
+                return;
+            }
+            RegistrantLabel::City => &mut self.city,
+            RegistrantLabel::State => &mut self.state,
+            RegistrantLabel::Postcode => &mut self.postcode,
+            RegistrantLabel::Country => &mut self.country,
+            RegistrantLabel::Phone => &mut self.phone,
+            RegistrantLabel::Fax => &mut self.fax,
+            RegistrantLabel::Email => &mut self.email,
+            RegistrantLabel::Other => {
+                self.other.push(value.to_string());
+                return;
+            }
+        };
+        if slot.is_none() {
+            *slot = Some(value.to_string());
+        }
+    }
+
+    /// Read the field identified by a second-level label (first street /
+    /// other line for the multi-valued fields).
+    pub fn get_field(&self, label: RegistrantLabel) -> Option<&str> {
+        match label {
+            RegistrantLabel::Name => self.name.as_deref(),
+            RegistrantLabel::Id => self.id.as_deref(),
+            RegistrantLabel::Org => self.org.as_deref(),
+            RegistrantLabel::Street => self.street.first().map(String::as_str),
+            RegistrantLabel::City => self.city.as_deref(),
+            RegistrantLabel::State => self.state.as_deref(),
+            RegistrantLabel::Postcode => self.postcode.as_deref(),
+            RegistrantLabel::Country => self.country.as_deref(),
+            RegistrantLabel::Phone => self.phone.as_deref(),
+            RegistrantLabel::Fax => self.fax.as_deref(),
+            RegistrantLabel::Email => self.email.as_deref(),
+            RegistrantLabel::Other => self.other.first().map(String::as_str),
+        }
+    }
+}
+
+/// The structured result of parsing one thick WHOIS record.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ParsedRecord {
+    /// Domain the record describes.
+    pub domain: String,
+    /// Registrar name, if identified.
+    pub registrar: Option<String>,
+    /// Registrar WHOIS server, if present (used for thin→thick referral).
+    pub whois_server: Option<String>,
+    /// Name servers listed for the domain.
+    pub name_servers: Vec<String>,
+    /// Domain status strings (e.g. `clientTransferProhibited`).
+    pub statuses: Vec<String>,
+    /// Creation date, verbatim as found.
+    pub created: Option<String>,
+    /// Last-updated date, verbatim.
+    pub updated: Option<String>,
+    /// Expiration date, verbatim.
+    pub expires: Option<String>,
+    /// Structured registrant contact (second-level parse), if extracted.
+    pub registrant: Option<Contact>,
+    /// Additional contacts (admin/tech/billing) when a parser separates
+    /// them.
+    pub contacts: BTreeMap<String, Contact>,
+    /// The raw lines grouped by first-level block label.
+    pub blocks: BTreeMap<String, Vec<String>>,
+}
+
+impl ParsedRecord {
+    /// Create an empty result for `domain`.
+    pub fn new(domain: impl Into<String>) -> Self {
+        ParsedRecord {
+            domain: domain.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Append a raw line to the block bucket for `label`.
+    pub fn push_block_line(&mut self, label: BlockLabel, line: &str) {
+        self.blocks
+            .entry(label.name().to_string())
+            .or_default()
+            .push(line.to_string());
+    }
+
+    /// Lines previously bucketed under `label`.
+    pub fn block_lines(&self, label: BlockLabel) -> &[String] {
+        self.blocks
+            .get(label.name())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True if a registrant with at least one populated field was
+    /// extracted. This is the success criterion used when comparing against
+    /// the `pythonwhois`-style baseline in §2.3.
+    pub fn has_registrant(&self) -> bool {
+        self.registrant.as_ref().is_some_and(|c| !c.is_empty())
+    }
+
+    /// Creation year parsed out of the `created` date, if recognizable.
+    ///
+    /// Accepts the common WHOIS date shapes (`2014-03-01`,
+    /// `01-mar-2014`, `2014.03.01`, `03/01/2014`).
+    pub fn creation_year(&self) -> Option<i32> {
+        let created = self.created.as_deref()?;
+        parse_year(created)
+    }
+}
+
+/// Extract a plausible 4-digit year (1980..=2100) from a date string.
+pub fn parse_year(s: &str) -> Option<i32> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i - start == 4 {
+                if let Ok(y) = s[start..i].parse::<i32>() {
+                    if (1980..=2100).contains(&y) {
+                        return Some(y);
+                    }
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contact_set_get_roundtrip() {
+        let mut c = Contact::default();
+        assert!(c.is_empty());
+        c.set_field(RegistrantLabel::Name, "  John Smith ");
+        c.set_field(RegistrantLabel::Street, "1 Main St");
+        c.set_field(RegistrantLabel::Street, "Suite 200");
+        c.set_field(RegistrantLabel::Email, "j@example.com");
+        assert!(!c.is_empty());
+        assert_eq!(c.get_field(RegistrantLabel::Name), Some("John Smith"));
+        assert_eq!(c.street, vec!["1 Main St", "Suite 200"]);
+        assert_eq!(c.get_field(RegistrantLabel::Street), Some("1 Main St"));
+    }
+
+    #[test]
+    fn contact_first_value_wins_for_single_fields() {
+        let mut c = Contact::default();
+        c.set_field(RegistrantLabel::City, "San Diego");
+        c.set_field(RegistrantLabel::City, "La Jolla");
+        assert_eq!(c.city.as_deref(), Some("San Diego"));
+    }
+
+    #[test]
+    fn contact_ignores_empty_values() {
+        let mut c = Contact::default();
+        c.set_field(RegistrantLabel::Phone, "   ");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn parsed_record_blocks_and_registrant() {
+        let mut p = ParsedRecord::new("example.com");
+        p.push_block_line(BlockLabel::Registrar, "Registrar: GoDaddy");
+        p.push_block_line(BlockLabel::Registrar, "IANA ID: 146");
+        assert_eq!(p.block_lines(BlockLabel::Registrar).len(), 2);
+        assert!(p.block_lines(BlockLabel::Date).is_empty());
+
+        assert!(!p.has_registrant());
+        p.registrant = Some(Contact::default());
+        assert!(!p.has_registrant(), "empty contact does not count");
+        let mut c = Contact::default();
+        c.set_field(RegistrantLabel::Name, "J");
+        p.registrant = Some(c);
+        assert!(p.has_registrant());
+    }
+
+    #[test]
+    fn year_parsing_handles_common_formats() {
+        assert_eq!(parse_year("2014-03-01"), Some(2014));
+        assert_eq!(parse_year("01-mar-1997"), Some(1997));
+        assert_eq!(parse_year("2015.06.30 12:00:00"), Some(2015));
+        assert_eq!(parse_year("03/01/2009"), Some(2009));
+        assert_eq!(parse_year("no digits here"), None);
+        assert_eq!(parse_year("123456"), None, "six digits is not a year");
+        assert_eq!(parse_year("1776-07-04"), None, "out of range");
+    }
+
+    #[test]
+    fn creation_year_reads_created_field() {
+        let mut p = ParsedRecord::new("x.com");
+        assert_eq!(p.creation_year(), None);
+        p.created = Some("Creation Date: 2011-08-09T00:00:00Z".into());
+        assert_eq!(p.creation_year(), Some(2011));
+    }
+
+    #[test]
+    fn parsed_record_serde_roundtrip() {
+        let mut p = ParsedRecord::new("x.com");
+        p.registrar = Some("eNom".into());
+        p.push_block_line(BlockLabel::Null, "legal boilerplate");
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ParsedRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,313 @@
+//! Raw and labeled WHOIS record containers.
+//!
+//! A [`RawRecord`] is what the crawler hands to a parser: the queried domain
+//! plus the verbatim response text. A [`LabeledRecord`] pairs each non-empty
+//! line with a ground-truth (or predicted) label; it is the unit of training
+//! data for the statistical parser and the unit of evaluation for the
+//! error-rate experiments (Figures 2 and 3 of the paper).
+
+use crate::label::Label;
+use serde::{Deserialize, Serialize};
+
+/// Split record text into its non-empty lines, exactly as the paper's
+/// chunker does (§3): line breaks delimit fields, and lines that are empty
+/// or contain no alphanumeric character are not labeled.
+///
+/// The returned slices borrow from `text` and preserve original (untrimmed)
+/// content so downstream feature extraction can still observe leading
+/// whitespace (the paper's `SHL` shift marker).
+pub fn non_empty_lines(text: &str) -> Vec<&str> {
+    text.lines()
+        .filter(|l| l.chars().any(|c| c.is_alphanumeric()))
+        .collect()
+}
+
+/// A raw WHOIS response as returned by a server, before any parsing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawRecord {
+    /// The domain that was queried (lower-case, e.g. `"example.com"`).
+    pub domain: String,
+    /// Verbatim response body.
+    pub text: String,
+}
+
+impl RawRecord {
+    /// Create a record, normalizing the domain to lower-case.
+    pub fn new(domain: impl Into<String>, text: impl Into<String>) -> Self {
+        RawRecord {
+            domain: domain.into().to_ascii_lowercase(),
+            text: text.into(),
+        }
+    }
+
+    /// The non-empty (labelable) lines of the record.
+    pub fn lines(&self) -> Vec<&str> {
+        non_empty_lines(&self.text)
+    }
+
+    /// The TLD portion of the queried domain, if any.
+    pub fn tld(&self) -> Option<&str> {
+        self.domain.rsplit_once('.').map(|(_, tld)| tld)
+    }
+}
+
+/// One line of a record together with its label.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledLine<L> {
+    /// The verbatim line text (untrimmed).
+    pub text: String,
+    /// The label assigned to the line.
+    pub label: L,
+}
+
+/// A WHOIS record whose every non-empty line carries a label.
+///
+/// `L` is [`crate::BlockLabel`] for first-level training data and
+/// [`crate::RegistrantLabel`] for second-level training data.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledRecord<L> {
+    /// The domain the record describes.
+    pub domain: String,
+    /// Labeled lines, in original order.
+    pub lines: Vec<LabeledLine<L>>,
+}
+
+impl<L: Label> LabeledRecord<L> {
+    /// Build a labeled record from parallel line/label sequences.
+    ///
+    /// # Panics
+    /// Panics if the two sequences have different lengths.
+    pub fn from_parts(
+        domain: impl Into<String>,
+        lines: impl IntoIterator<Item = String>,
+        labels: impl IntoIterator<Item = L>,
+    ) -> Self {
+        let lines: Vec<String> = lines.into_iter().collect();
+        let labels: Vec<L> = labels.into_iter().collect();
+        assert_eq!(
+            lines.len(),
+            labels.len(),
+            "line/label sequences must have equal length"
+        );
+        LabeledRecord {
+            domain: domain.into(),
+            lines: lines
+                .into_iter()
+                .zip(labels)
+                .map(|(text, label)| LabeledLine { text, label })
+                .collect(),
+        }
+    }
+
+    /// Number of labeled lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if the record has no labeled lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The line texts, in order.
+    pub fn texts(&self) -> Vec<&str> {
+        self.lines.iter().map(|l| l.text.as_str()).collect()
+    }
+
+    /// The labels, in order.
+    pub fn labels(&self) -> Vec<L> {
+        self.lines.iter().map(|l| l.label).collect()
+    }
+
+    /// Drop the labels, recovering a [`RawRecord`] whose text is the lines
+    /// joined by newlines.
+    pub fn to_raw(&self) -> RawRecord {
+        RawRecord {
+            domain: self.domain.clone(),
+            text: self
+                .lines
+                .iter()
+                .map(|l| l.text.as_str())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        }
+    }
+
+    /// Count of positions where `predicted` disagrees with this record's
+    /// labels. Used by the line-error-rate metric of Figure 2.
+    ///
+    /// # Panics
+    /// Panics if `predicted` has the wrong length.
+    pub fn count_errors(&self, predicted: &[L]) -> usize {
+        assert_eq!(
+            predicted.len(),
+            self.lines.len(),
+            "prediction length mismatch"
+        );
+        self.lines
+            .iter()
+            .zip(predicted)
+            .filter(|(l, &p)| l.label != p)
+            .count()
+    }
+}
+
+/// Aggregate line/document error statistics over an evaluation set
+/// (the two metrics of Figures 2 and 3 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ErrorStats {
+    /// Total labeled lines evaluated.
+    pub lines: usize,
+    /// Lines whose predicted label was wrong.
+    pub line_errors: usize,
+    /// Total records evaluated.
+    pub documents: usize,
+    /// Records with at least one mislabeled line.
+    pub document_errors: usize,
+}
+
+impl ErrorStats {
+    /// Record one document's outcome.
+    pub fn record(&mut self, total_lines: usize, errors: usize) {
+        self.lines += total_lines;
+        self.line_errors += errors;
+        self.documents += 1;
+        if errors > 0 {
+            self.document_errors += 1;
+        }
+    }
+
+    /// Fraction of lines mislabeled (0 if nothing evaluated).
+    pub fn line_error_rate(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.line_errors as f64 / self.lines as f64
+        }
+    }
+
+    /// Fraction of documents with >=1 mislabeled line (0 if nothing
+    /// evaluated).
+    pub fn document_error_rate(&self) -> f64 {
+        if self.documents == 0 {
+            0.0
+        } else {
+            self.document_errors as f64 / self.documents as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.lines += other.lines;
+        self.line_errors += other.line_errors;
+        self.documents += other.documents;
+        self.document_errors += other.document_errors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::BlockLabel;
+
+    #[test]
+    fn non_empty_lines_skips_blank_and_symbol_only() {
+        let text = "Domain Name: EXAMPLE.COM\n\n   \n%%%\n>>> Last update <<<\n--\nabc";
+        let lines = non_empty_lines(text);
+        assert_eq!(
+            lines,
+            vec!["Domain Name: EXAMPLE.COM", ">>> Last update <<<", "abc"]
+        );
+    }
+
+    #[test]
+    fn non_empty_lines_keeps_leading_whitespace() {
+        let lines = non_empty_lines("   indented value\n");
+        assert_eq!(lines, vec!["   indented value"]);
+    }
+
+    #[test]
+    fn raw_record_lowercases_domain_and_extracts_tld() {
+        let r = RawRecord::new("ExAmPlE.COM", "x: y");
+        assert_eq!(r.domain, "example.com");
+        assert_eq!(r.tld(), Some("com"));
+        assert_eq!(RawRecord::new("nodots", "").tld(), None);
+    }
+
+    #[test]
+    fn labeled_record_roundtrip() {
+        let rec = LabeledRecord::from_parts(
+            "example.com",
+            vec![
+                "Registrar: GoDaddy".to_string(),
+                "Created: 2001".to_string(),
+            ],
+            vec![BlockLabel::Registrar, BlockLabel::Date],
+        );
+        assert_eq!(rec.len(), 2);
+        assert!(!rec.is_empty());
+        assert_eq!(rec.labels(), vec![BlockLabel::Registrar, BlockLabel::Date]);
+        let raw = rec.to_raw();
+        assert_eq!(raw.text, "Registrar: GoDaddy\nCreated: 2001");
+        assert_eq!(raw.lines().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn labeled_record_rejects_mismatched_lengths() {
+        let _ = LabeledRecord::from_parts(
+            "x.com",
+            vec!["a".to_string()],
+            vec![BlockLabel::Null, BlockLabel::Null],
+        );
+    }
+
+    #[test]
+    fn count_errors_counts_disagreements() {
+        let rec = LabeledRecord::from_parts(
+            "x.com",
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![BlockLabel::Domain, BlockLabel::Date, BlockLabel::Null],
+        );
+        let pred = vec![BlockLabel::Domain, BlockLabel::Null, BlockLabel::Null];
+        assert_eq!(rec.count_errors(&pred), 1);
+        assert_eq!(rec.count_errors(&rec.labels()), 0);
+    }
+
+    #[test]
+    fn error_stats_rates() {
+        let mut s = ErrorStats::default();
+        s.record(10, 0);
+        s.record(10, 2);
+        assert_eq!(s.lines, 20);
+        assert_eq!(s.line_errors, 2);
+        assert!((s.line_error_rate() - 0.1).abs() < 1e-12);
+        assert!((s.document_error_rate() - 0.5).abs() < 1e-12);
+
+        let mut t = ErrorStats::default();
+        t.record(5, 5);
+        s.merge(&t);
+        assert_eq!(s.documents, 3);
+        assert_eq!(s.document_errors, 2);
+        assert_eq!(s.line_errors, 7);
+    }
+
+    #[test]
+    fn error_stats_empty_is_zero() {
+        let s = ErrorStats::default();
+        assert_eq!(s.line_error_rate(), 0.0);
+        assert_eq!(s.document_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn labeled_record_serde_roundtrip() {
+        let rec = LabeledRecord::from_parts(
+            "x.com",
+            vec!["Registrant Name: J".to_string()],
+            vec![BlockLabel::Registrant],
+        );
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: LabeledRecord<BlockLabel> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}

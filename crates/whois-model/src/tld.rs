@@ -1,0 +1,81 @@
+//! TLD and registry metadata for the thin/thick WHOIS lookup model (§2.2).
+
+use serde::{Deserialize, Serialize};
+
+/// How a TLD's registry stores registration data.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum RegistryModel {
+    /// The registry stores the complete record; one query suffices.
+    Thick,
+    /// The registry stores only registrar / dates / name servers; the full
+    /// record must be fetched from the sponsoring registrar's WHOIS server
+    /// in a second query.
+    Thin,
+}
+
+/// Metadata about a top-level domain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tld {
+    /// The TLD string without the leading dot (e.g. `"com"`).
+    pub name: String,
+    /// Thin or thick registry operation.
+    pub model: RegistryModel,
+}
+
+impl Tld {
+    /// Construct TLD metadata.
+    pub fn new(name: impl Into<String>, model: RegistryModel) -> Self {
+        Tld {
+            name: name.into().to_ascii_lowercase(),
+            model,
+        }
+    }
+
+    /// The thin-registry TLDs at the time of the paper: `com` and `net`
+    /// (45% of all registered domains), still operated thin by Verisign.
+    pub fn is_thin_era_tld(name: &str) -> bool {
+        matches!(name, "com" | "net")
+    }
+
+    /// The twelve "new TLD" examples evaluated in Table 2 of the paper.
+    /// Each is operated thick with a single consistent template.
+    pub const TABLE2_TLDS: [&'static str; 12] = [
+        "aero", "asia", "biz", "coop", "info", "mobi", "name", "org", "pro", "travel", "us", "xxx",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tld_lowercases_name() {
+        let t = Tld::new("COM", RegistryModel::Thin);
+        assert_eq!(t.name, "com");
+        assert_eq!(t.model, RegistryModel::Thin);
+    }
+
+    #[test]
+    fn thin_era_tlds() {
+        assert!(Tld::is_thin_era_tld("com"));
+        assert!(Tld::is_thin_era_tld("net"));
+        assert!(!Tld::is_thin_era_tld("org"), "org went thick in 2003");
+        assert!(!Tld::is_thin_era_tld("info"));
+    }
+
+    #[test]
+    fn table2_has_twelve_unique_tlds() {
+        let set: std::collections::HashSet<_> = Tld::TABLE2_TLDS.iter().collect();
+        assert_eq!(set.len(), 12);
+        assert!(set.contains(&"coop"));
+    }
+
+    #[test]
+    fn registry_model_serde() {
+        assert_eq!(
+            serde_json::to_string(&RegistryModel::Thin).unwrap(),
+            "\"thin\""
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Blocking WHOIS client.
+
+use crate::proto;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A blocking RFC 3912 client with connect/read timeouts.
+#[derive(Clone, Debug)]
+pub struct WhoisClient {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read timeout (whole-reply deadline is `read_timeout` per read
+    /// call; servers close promptly).
+    pub read_timeout: Duration,
+    /// Reply size cap (defensive; real records are a few KiB).
+    pub max_reply: usize,
+}
+
+impl Default for WhoisClient {
+    fn default() -> Self {
+        WhoisClient {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            max_reply: 1 << 20,
+        }
+    }
+}
+
+impl WhoisClient {
+    /// Query `domain` at `server`, returning the reply body (possibly
+    /// empty — WHOIS has no status signalling; see
+    /// [`proto::classify_reply`]).
+    pub fn query(&self, server: SocketAddr, domain: &str) -> std::io::Result<String> {
+        let mut stream = TcpStream::connect_timeout(&server, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&proto::encode_query(domain))?;
+        let mut body = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    body.extend_from_slice(&chunk[..n]);
+                    if body.len() > self.max_reply {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            "reply exceeds size cap",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(String::from_utf8_lossy(&body).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_refused_is_an_error() {
+        let client = WhoisClient::default();
+        // Port 1 on loopback is essentially never listening.
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(client.query(addr, "example.com").is_err());
+    }
+
+    #[test]
+    fn default_timeouts_are_sane() {
+        let c = WhoisClient::default();
+        assert!(c.connect_timeout >= Duration::from_millis(100));
+        assert!(c.max_reply >= 1 << 16);
+    }
+}

@@ -1,0 +1,554 @@
+//! The two-step WHOIS crawler with dynamic rate-limit inference (§4.1).
+//!
+//! For each `com` domain the crawler first queries the registry for the
+//! thin record, extracts the sponsoring registrar's WHOIS server from the
+//! `Whois Server:` referral, and then queries that server for the thick
+//! record. Rate limits are "rarely published publicly", so the crawler
+//! infers them: it tracks its query pacing per server, and "when a given
+//! server stops responding with valid data, [it] infer[s] that [the]
+//! query rate was the culprit", records the limit, and subsequently
+//! queries well under it (multiplicative back-off on the per-server
+//! inter-query delay). Every query is retried up to three times before
+//! the domain is marked failed.
+
+use crate::client::WhoisClient;
+use crate::proto::{self, ReplyKind};
+use crossbeam::channel;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Crawler configuration.
+#[derive(Clone, Debug)]
+pub struct CrawlerConfig {
+    /// Parallel worker threads ("we use multiple servers to provide for
+    /// parallel access").
+    pub workers: usize,
+    /// Attempts per query before marking it failed (the paper used 3).
+    pub retries: usize,
+    /// Initial per-server inter-query delay (0 = as fast as possible
+    /// until the first refusal teaches us better).
+    pub initial_delay: Duration,
+    /// Ceiling on the per-server delay.
+    pub max_delay: Duration,
+    /// Multiplicative back-off factor applied on each refusal.
+    pub backoff: f64,
+    /// Pause before retrying a failed query (lets penalty windows pass).
+    pub retry_pause: Duration,
+    /// Client timeouts.
+    pub client: WhoisClient,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            workers: 4,
+            retries: 3,
+            initial_delay: Duration::ZERO,
+            max_delay: Duration::from_millis(200),
+            backoff: 2.0,
+            retry_pause: Duration::from_millis(40),
+            client: WhoisClient::default(),
+        }
+    }
+}
+
+/// Outcome for one domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrawlStatus {
+    /// Thin and thick records both fetched.
+    Full,
+    /// Thin record only (referral missing/unresolvable, or the registrar
+    /// kept failing).
+    ThinOnly,
+    /// The registry reported no match (expired since the zone snapshot).
+    NoMatch,
+    /// Even the thin record could not be fetched.
+    Failed,
+}
+
+/// One crawled domain.
+#[derive(Clone, Debug)]
+pub struct CrawlResult {
+    /// The domain queried.
+    pub domain: String,
+    /// Thin record body, when fetched.
+    pub thin: Option<String>,
+    /// Thick record body, when fetched.
+    pub thick: Option<String>,
+    /// Outcome.
+    pub status: CrawlStatus,
+    /// Total queries issued for this domain (across retries).
+    pub attempts: u32,
+}
+
+/// Aggregate crawl statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CrawlReport {
+    /// Per-domain results, in completion order.
+    pub results: Vec<CrawlResult>,
+    /// Inferred per-server sustainable delays at the end of the crawl.
+    pub inferred_delays: HashMap<SocketAddr, Duration>,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl CrawlReport {
+    /// Count of results with a given status.
+    pub fn count(&self, status: CrawlStatus) -> usize {
+        self.results.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Fraction of domains with full (thin+thick) records — the paper
+    /// achieved "a bit over 90%".
+    pub fn coverage(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.count(CrawlStatus::Full) as f64 / self.results.len() as f64
+    }
+
+    /// Fraction of domains that failed outright (~7.5% in the paper).
+    pub fn failure_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        (self.count(CrawlStatus::Failed) + self.count(CrawlStatus::ThinOnly)) as f64
+            / self.results.len() as f64
+    }
+}
+
+/// Per-server pacing state.
+#[derive(Debug)]
+struct Pacing {
+    delay: Duration,
+    next_allowed: Instant,
+    refusals: u32,
+}
+
+/// The crawler.
+pub struct Crawler {
+    cfg: CrawlerConfig,
+    registry: SocketAddr,
+    /// Referral host name → address (the simulation's DNS).
+    resolver: HashMap<String, SocketAddr>,
+    pacing: Mutex<HashMap<SocketAddr, Pacing>>,
+}
+
+impl Crawler {
+    /// Create a crawler against `registry`, resolving referral host
+    /// names through `resolver`.
+    pub fn new(
+        registry: SocketAddr,
+        resolver: HashMap<String, SocketAddr>,
+        cfg: CrawlerConfig,
+    ) -> Self {
+        Crawler {
+            cfg,
+            registry,
+            resolver,
+            pacing: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Crawl all `domains`, returning per-domain results and the inferred
+    /// per-server pacing.
+    pub fn crawl(self: &Arc<Self>, domains: &[String]) -> CrawlReport {
+        let start = Instant::now();
+        let (work_tx, work_rx) = channel::unbounded::<String>();
+        let (result_tx, result_rx) = channel::unbounded::<CrawlResult>();
+        for d in domains {
+            work_tx.send(d.clone()).expect("queue open");
+        }
+        drop(work_tx);
+
+        let workers: Vec<_> = (0..self.cfg.workers.max(1))
+            .map(|_| {
+                let rx = work_rx.clone();
+                let tx = result_tx.clone();
+                let me = Arc::clone(self);
+                std::thread::spawn(move || {
+                    for domain in rx.iter() {
+                        let result = me.crawl_one(&domain);
+                        if tx.send(result).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(result_tx);
+
+        let results: Vec<CrawlResult> = result_rx.iter().collect();
+        for w in workers {
+            let _ = w.join();
+        }
+
+        let inferred_delays = self
+            .pacing
+            .lock()
+            .iter()
+            .map(|(addr, p)| (*addr, p.delay))
+            .collect();
+        CrawlReport {
+            results,
+            inferred_delays,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Crawl one domain: thin, referral, thick.
+    fn crawl_one(&self, domain: &str) -> CrawlResult {
+        let mut attempts = 0u32;
+
+        // Step 1: thin record from the registry.
+        let thin = match self.query_with_retries(self.registry, domain, &mut attempts) {
+            QueryOutcome::Record(body) => body,
+            QueryOutcome::NoMatch => {
+                return CrawlResult {
+                    domain: domain.to_string(),
+                    thin: None,
+                    thick: None,
+                    status: CrawlStatus::NoMatch,
+                    attempts,
+                }
+            }
+            QueryOutcome::Failed => {
+                return CrawlResult {
+                    domain: domain.to_string(),
+                    thin: None,
+                    thick: None,
+                    status: CrawlStatus::Failed,
+                    attempts,
+                }
+            }
+        };
+
+        // Step 2: resolve the referral.
+        let Some(host) = proto::referral_server(&thin) else {
+            return CrawlResult {
+                domain: domain.to_string(),
+                thin: Some(thin),
+                thick: None,
+                status: CrawlStatus::ThinOnly,
+                attempts,
+            };
+        };
+        let Some(&addr) = self.resolver.get(&host) else {
+            return CrawlResult {
+                domain: domain.to_string(),
+                thin: Some(thin),
+                thick: None,
+                status: CrawlStatus::ThinOnly,
+                attempts,
+            };
+        };
+
+        // Step 3: thick record from the registrar.
+        match self.query_with_retries(addr, domain, &mut attempts) {
+            QueryOutcome::Record(body) => CrawlResult {
+                domain: domain.to_string(),
+                thin: Some(thin),
+                thick: Some(body),
+                status: CrawlStatus::Full,
+                attempts,
+            },
+            _ => CrawlResult {
+                domain: domain.to_string(),
+                thin: Some(thin),
+                thick: None,
+                status: CrawlStatus::ThinOnly,
+                attempts,
+            },
+        }
+    }
+
+    fn query_with_retries(
+        &self,
+        server: SocketAddr,
+        domain: &str,
+        attempts: &mut u32,
+    ) -> QueryOutcome {
+        for attempt in 0..self.cfg.retries.max(1) {
+            self.reserve_slot(server);
+            *attempts += 1;
+            let reply = self.cfg.client.query(server, domain);
+            match reply {
+                Ok(body) => match proto::classify_reply(&body) {
+                    ReplyKind::Record => {
+                        self.note_success(server);
+                        return QueryOutcome::Record(body);
+                    }
+                    ReplyKind::NoMatch => {
+                        self.note_success(server);
+                        return QueryOutcome::NoMatch;
+                    }
+                    ReplyKind::RateLimited | ReplyKind::Empty => {
+                        // The §4.1 inference: silence or an explicit error
+                        // both mean "you asked too fast".
+                        self.note_refusal(server);
+                    }
+                    ReplyKind::Other => {
+                        // Garbled reply: not a pacing signal; plain retry.
+                    }
+                },
+                Err(_) => {
+                    self.note_refusal(server);
+                }
+            }
+            if attempt + 1 < self.cfg.retries {
+                std::thread::sleep(self.cfg.retry_pause);
+            }
+        }
+        QueryOutcome::Failed
+    }
+
+    /// Block until this worker may query `server`, honouring the shared
+    /// per-server pacing.
+    fn reserve_slot(&self, server: SocketAddr) {
+        loop {
+            let wait = {
+                let mut pacing = self.pacing.lock();
+                let p = pacing.entry(server).or_insert_with(|| Pacing {
+                    delay: self.cfg.initial_delay,
+                    next_allowed: Instant::now(),
+                    refusals: 0,
+                });
+                let now = Instant::now();
+                if p.next_allowed <= now {
+                    p.next_allowed = now + p.delay;
+                    None
+                } else {
+                    Some(p.next_allowed - now)
+                }
+            };
+            match wait {
+                None => return,
+                Some(d) => std::thread::sleep(d.min(Duration::from_millis(10))),
+            }
+        }
+    }
+
+    /// A refusal teaches us the server's limit: back off multiplicatively.
+    fn note_refusal(&self, server: SocketAddr) {
+        let mut pacing = self.pacing.lock();
+        if let Some(p) = pacing.get_mut(&server) {
+            p.refusals += 1;
+            let current = p.delay.max(Duration::from_millis(1));
+            let next = current.mul_f64(self.cfg.backoff).min(self.cfg.max_delay);
+            p.delay = next;
+            // Also push the next slot out so the penalty window can pass.
+            p.next_allowed = Instant::now() + self.cfg.retry_pause;
+        }
+    }
+
+    /// Successes leave pacing alone — "subsequently querying well under
+    /// this limit" means we do not creep back up.
+    fn note_success(&self, _server: SocketAddr) {}
+
+    /// Refusals observed per server (for reporting).
+    pub fn refusals(&self) -> HashMap<SocketAddr, u32> {
+        self.pacing
+            .lock()
+            .iter()
+            .map(|(a, p)| (*a, p.refusals))
+            .collect()
+    }
+}
+
+enum QueryOutcome {
+    Record(String),
+    NoMatch,
+    Failed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limiter::RateLimitConfig;
+    use crate::server::{ServerConfig, WhoisServer};
+    use crate::store::InMemoryStore;
+
+    /// Build a mini `com` ecosystem: a thin registry plus one registrar.
+    fn ecosystem(
+        n: usize,
+        registrar_cfg: ServerConfig,
+    ) -> (
+        WhoisServer,
+        WhoisServer,
+        Vec<String>,
+        HashMap<String, SocketAddr>,
+    ) {
+        let mut thin = InMemoryStore::new();
+        let mut thick = InMemoryStore::new();
+        let mut domains = Vec::new();
+        for i in 0..n {
+            let d = format!("domain{i}.com");
+            thin.insert(
+                &d,
+                format!(
+                    "   Domain Name: {}\n   Registrar: TESTREG\n   Whois Server: whois.testreg.example\n",
+                    d.to_uppercase()
+                ),
+            );
+            thick.insert(
+                &d,
+                format!("Domain Name: {d}\nRegistrar: TestReg\nRegistrant Name: Owner {i}\n"),
+            );
+            domains.push(d);
+        }
+        let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+        let registrar = WhoisServer::start(thick, registrar_cfg).unwrap();
+        let mut resolver = HashMap::new();
+        resolver.insert("whois.testreg.example".to_string(), registrar.addr());
+        (registry, registrar, domains, resolver)
+    }
+
+    #[test]
+    fn full_crawl_without_limits() {
+        let (registry, _registrar, domains, resolver) = ecosystem(20, ServerConfig::default());
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig::default(),
+        ));
+        let report = crawler.crawl(&domains);
+        assert_eq!(report.results.len(), 20);
+        assert_eq!(report.count(CrawlStatus::Full), 20);
+        assert!((report.coverage() - 1.0).abs() < 1e-9);
+        for r in &report.results {
+            assert!(r.thick.as_deref().unwrap().contains("Registrant Name"));
+        }
+    }
+
+    #[test]
+    fn crawler_infers_rate_limit_and_still_covers() {
+        // A tight limiter: burst 4, 100 q/s sustained, 30 ms penalty.
+        let cfg = ServerConfig {
+            rate_limit: RateLimitConfig {
+                burst: 4,
+                per_second: 100.0,
+                penalty: Duration::from_millis(30),
+            },
+            ..Default::default()
+        };
+        let (registry, registrar, domains, resolver) = ecosystem(40, cfg);
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        ));
+        let report = crawler.crawl(&domains);
+        assert!(
+            report.coverage() > 0.9,
+            "coverage {} with rate limiting",
+            report.coverage()
+        );
+        // The crawler must have slowed itself down for the registrar.
+        let delay = report.inferred_delays[&registrar.addr()];
+        assert!(
+            delay >= Duration::from_millis(2),
+            "inferred delay {delay:?} should have backed off"
+        );
+        // And the server did refuse some queries along the way.
+        assert!(crawler.refusals()[&registrar.addr()] > 0);
+    }
+
+    #[test]
+    fn no_match_domains_are_reported() {
+        let (registry, _registrar, mut domains, resolver) = ecosystem(5, ServerConfig::default());
+        domains.push("expired-since-snapshot.com".to_string());
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig::default(),
+        ));
+        let report = crawler.crawl(&domains);
+        assert_eq!(report.count(CrawlStatus::NoMatch), 1);
+        assert_eq!(report.count(CrawlStatus::Full), 5);
+    }
+
+    #[test]
+    fn unresolvable_referral_leaves_thin_only() {
+        let mut thin = InMemoryStore::new();
+        thin.insert(
+            "orphan.com",
+            "   Whois Server: whois.unknown-registrar.example\n   Domain Name: ORPHAN.COM\n".into(),
+        );
+        let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            HashMap::new(),
+            CrawlerConfig::default(),
+        ));
+        let report = crawler.crawl(&["orphan.com".to_string()]);
+        assert_eq!(report.count(CrawlStatus::ThinOnly), 1);
+        assert!(report.results[0].thin.is_some());
+    }
+
+    #[test]
+    fn dead_registrar_fails_after_retries() {
+        let mut thin = InMemoryStore::new();
+        thin.insert(
+            "deadend.com",
+            "   Whois Server: whois.dead.example\n   Domain Name: DEADEND.COM\n".into(),
+        );
+        let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+        let mut resolver = HashMap::new();
+        // Points at a port nobody listens on.
+        resolver.insert(
+            "whois.dead.example".to_string(),
+            "127.0.0.1:1".parse().unwrap(),
+        );
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                retry_pause: Duration::from_millis(1),
+                ..Default::default()
+            },
+        ));
+        let report = crawler.crawl(&["deadend.com".to_string()]);
+        assert_eq!(report.count(CrawlStatus::ThinOnly), 1);
+        let r = &report.results[0];
+        assert!(
+            r.attempts >= 4,
+            "1 thin + 3 thick attempts, got {}",
+            r.attempts
+        );
+    }
+
+    #[test]
+    fn faulty_registrar_costs_retries_but_mostly_succeeds() {
+        let cfg = ServerConfig {
+            faults: crate::fault::FaultConfig {
+                drop_chance: 0.2,
+                empty_chance: 0.1,
+                ..Default::default()
+            },
+            fault_seed: 99,
+            ..Default::default()
+        };
+        let (registry, _registrar, domains, resolver) = ecosystem(30, cfg);
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                retry_pause: Duration::from_millis(2),
+                ..Default::default()
+            },
+        ));
+        let report = crawler.crawl(&domains);
+        assert!(report.coverage() > 0.8, "coverage {}", report.coverage());
+        let total_attempts: u32 = report.results.iter().map(|r| r.attempts).sum();
+        assert!(
+            total_attempts > 60,
+            "faults should force retries: {total_attempts} attempts for 30 domains"
+        );
+    }
+}

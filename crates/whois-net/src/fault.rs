@@ -1,0 +1,150 @@
+//! Seeded fault injection, in the style of the smoltcp examples'
+//! `--drop-chance` / `--corrupt-chance` options.
+//!
+//! Real WHOIS servers misbehave: they hang up without answering, return
+//! empty bodies, or send garbage. The crawler must survive all of it
+//! (the paper retried every query three times and still lost ~7.5% of
+//! domains). [`FaultConfig`] decides, per request, which fate applies.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-request fault probabilities (independent; drop is checked first,
+/// then empty, then garble).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultConfig {
+    /// Probability of closing the connection without any reply.
+    pub drop_chance: f64,
+    /// Probability of replying with an empty body.
+    pub empty_chance: f64,
+    /// Probability of corrupting the reply (one byte garbled per 64).
+    pub garble_chance: f64,
+}
+
+impl FaultConfig {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if all probabilities are zero.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance == 0.0 && self.empty_chance == 0.0 && self.garble_chance == 0.0
+    }
+}
+
+/// The fate of one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver the body unchanged.
+    Deliver,
+    /// Close without replying.
+    Drop,
+    /// Reply with an empty body.
+    Empty,
+    /// Reply with this corrupted body.
+    Garbled(Vec<u8>),
+}
+
+/// Seeded fault roller.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: ChaCha8Rng,
+}
+
+impl FaultInjector {
+    /// New injector.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Decide the fate of a reply body.
+    pub fn fate(&mut self, body: &[u8]) -> Fate {
+        if self.cfg.is_none() {
+            return Fate::Deliver;
+        }
+        if self.rng.random_bool(self.cfg.drop_chance.clamp(0.0, 1.0)) {
+            return Fate::Drop;
+        }
+        if self.rng.random_bool(self.cfg.empty_chance.clamp(0.0, 1.0)) {
+            return Fate::Empty;
+        }
+        if self.rng.random_bool(self.cfg.garble_chance.clamp(0.0, 1.0)) {
+            let mut out = body.to_vec();
+            for chunk in out.chunks_mut(64) {
+                let idx = self.rng.random_range(0..chunk.len());
+                chunk[idx] = self.rng.random_range(0..=255u8);
+            }
+            return Fate::Garbled(out);
+        }
+        Fate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let mut f = FaultInjector::new(FaultConfig::none(), 1);
+        for _ in 0..100 {
+            assert_eq!(f.fate(b"body"), Fate::Deliver);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.3,
+                empty_chance: 0.0,
+                garble_chance: 0.0,
+            },
+            7,
+        );
+        let drops = (0..10_000).filter(|_| f.fate(b"x") == Fate::Drop).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn garble_changes_bytes_but_not_length() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                garble_chance: 1.0,
+                ..Default::default()
+            },
+            11,
+        );
+        let body = vec![b'a'; 256];
+        match f.fate(&body) {
+            Fate::Garbled(out) => {
+                assert_eq!(out.len(), body.len());
+                assert_ne!(out, body);
+            }
+            other => panic!("expected garble, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            drop_chance: 0.5,
+            empty_chance: 0.2,
+            garble_chance: 0.2,
+        };
+        let run = |seed| {
+            let mut f = FaultInjector::new(cfg, seed);
+            (0..50)
+                .map(|_| format!("{:?}", f.fate(b"abc")))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -1,0 +1,37 @@
+//! # whois-net
+//!
+//! The WHOIS network substrate: everything the paper's crawl
+//! infrastructure (§4.1) needed, over real loopback TCP.
+//!
+//! * [`proto`] — RFC 3912 framing: a query is one line terminated by
+//!   CRLF; the response is free text, terminated by connection close.
+//! * [`limiter`] — the per-IP rate limiting the paper fought: a token
+//!   bucket with a penalty window, "once a given source IP has issued
+//!   more queries … than its limit, the server will stop responding …
+//!   queries can then resume after a penalty period".
+//! * [`store`] — the thin/thick split (§2.2): a registry store answering
+//!   thin records with `Whois Server:` referrals, and per-registrar
+//!   stores answering thick records.
+//! * [`server`] — a thread-per-connection WHOIS server binding
+//!   `127.0.0.1:0`, with configurable rate limiting and fault injection.
+//! * [`fault`] — smoltcp-style fault injection: drop, empty-response,
+//!   and garble chances, all seeded.
+//! * [`client`] — a blocking WHOIS client with timeouts.
+//! * [`crawler`] — the two-step thin→thick crawler with dynamic
+//!   rate-limit inference, multiplicative back-off, bounded retries, and
+//!   crawl statistics.
+
+pub mod client;
+pub mod crawler;
+pub mod fault;
+pub mod limiter;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::WhoisClient;
+pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
+pub use fault::FaultConfig;
+pub use limiter::{RateLimitConfig, RateLimiter};
+pub use server::{ServerConfig, ServerHandle, WhoisServer};
+pub use store::{InMemoryStore, RecordStore};

@@ -1,0 +1,165 @@
+//! Token-bucket rate limiting with a penalty window.
+//!
+//! Models the server-side behaviour the paper's crawler had to infer:
+//! a burst budget that refills over time, and a penalty period after the
+//! budget is exhausted during which *every* query is refused ("queries
+//! can then resume after a penalty period is over", §4.1).
+
+use std::time::{Duration, Instant};
+
+/// Rate-limiter parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RateLimitConfig {
+    /// Bucket capacity (burst size).
+    pub burst: u32,
+    /// Sustained rate: tokens refilled per second.
+    pub per_second: f64,
+    /// Penalty duration after the bucket is overdrawn.
+    pub penalty: Duration,
+}
+
+impl RateLimitConfig {
+    /// A permissive limiter for tests and unthrottled servers.
+    pub fn unlimited() -> Self {
+        RateLimitConfig {
+            burst: u32::MAX,
+            per_second: f64::INFINITY,
+            penalty: Duration::ZERO,
+        }
+    }
+}
+
+/// Token bucket with penalty state.
+#[derive(Clone, Debug)]
+pub struct RateLimiter {
+    cfg: RateLimitConfig,
+    tokens: f64,
+    last_refill: Instant,
+    penalty_until: Option<Instant>,
+    /// Total queries refused (stats).
+    pub refused: u64,
+}
+
+impl RateLimiter {
+    /// New limiter, starting with a full bucket.
+    pub fn new(cfg: RateLimitConfig) -> Self {
+        RateLimiter {
+            tokens: cfg.burst as f64,
+            cfg,
+            last_refill: Instant::now(),
+            penalty_until: None,
+            refused: 0,
+        }
+    }
+
+    /// Try to admit one query at time `now`.
+    pub fn allow_at(&mut self, now: Instant) -> bool {
+        if let Some(until) = self.penalty_until {
+            if now < until {
+                self.refused += 1;
+                return false;
+            }
+            self.penalty_until = None;
+            self.tokens = self.cfg.burst as f64;
+            self.last_refill = now;
+        }
+        // Refill.
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        if self.cfg.per_second.is_finite() {
+            self.tokens = (self.tokens + elapsed.as_secs_f64() * self.cfg.per_second)
+                .min(self.cfg.burst as f64);
+        } else {
+            self.tokens = self.cfg.burst as f64;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            self.refused += 1;
+            if !self.cfg.penalty.is_zero() {
+                self.penalty_until = Some(now + self.cfg.penalty);
+            }
+            false
+        }
+    }
+
+    /// Try to admit one query now.
+    pub fn allow(&mut self) -> bool {
+        self.allow_at(Instant::now())
+    }
+
+    /// Whether the limiter is currently in its penalty window.
+    pub fn in_penalty(&self, now: Instant) -> bool {
+        self.penalty_until.is_some_and(|until| now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(burst: u32, per_second: f64, penalty_ms: u64) -> RateLimitConfig {
+        RateLimitConfig {
+            burst,
+            per_second,
+            penalty: Duration::from_millis(penalty_ms),
+        }
+    }
+
+    #[test]
+    fn burst_respected_then_refused() {
+        let mut l = RateLimiter::new(cfg(3, 0.0, 0));
+        let t0 = Instant::now();
+        assert!(l.allow_at(t0));
+        assert!(l.allow_at(t0));
+        assert!(l.allow_at(t0));
+        assert!(!l.allow_at(t0));
+        assert_eq!(l.refused, 1);
+    }
+
+    #[test]
+    fn refill_over_time() {
+        let mut l = RateLimiter::new(cfg(1, 10.0, 0));
+        let t0 = Instant::now();
+        assert!(l.allow_at(t0));
+        assert!(!l.allow_at(t0));
+        // 10 tokens/s ⇒ one token back after 100 ms.
+        assert!(l.allow_at(t0 + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn penalty_blocks_everything_then_resets() {
+        let mut l = RateLimiter::new(cfg(1, 1000.0, 500));
+        let t0 = Instant::now();
+        assert!(l.allow_at(t0));
+        assert!(!l.allow_at(t0), "bucket empty triggers penalty");
+        assert!(l.in_penalty(t0 + Duration::from_millis(10)));
+        // Even though refill would have restored tokens, the penalty wins.
+        assert!(!l.allow_at(t0 + Duration::from_millis(100)));
+        // After the penalty the bucket is full again.
+        assert!(!l.in_penalty(t0 + Duration::from_millis(600)));
+        assert!(l.allow_at(t0 + Duration::from_millis(600)));
+    }
+
+    #[test]
+    fn unlimited_never_refuses() {
+        let mut l = RateLimiter::new(RateLimitConfig::unlimited());
+        let t0 = Instant::now();
+        for i in 0..10_000 {
+            assert!(l.allow_at(t0 + Duration::from_nanos(i)));
+        }
+        assert_eq!(l.refused, 0);
+    }
+
+    #[test]
+    fn tokens_never_exceed_burst() {
+        let mut l = RateLimiter::new(cfg(2, 100.0, 0));
+        let t0 = Instant::now();
+        // Long idle: bucket caps at burst=2, not more.
+        let later = t0 + Duration::from_secs(10);
+        assert!(l.allow_at(later));
+        assert!(l.allow_at(later));
+        assert!(!l.allow_at(later));
+    }
+}

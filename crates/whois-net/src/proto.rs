@@ -1,0 +1,207 @@
+//! RFC 3912 protocol framing.
+//!
+//! WHOIS is deliberately minimal: the client sends one request line
+//! terminated by `<CR><LF>`; the server writes a free-text reply and
+//! closes the connection. There is no status code, no length header, no
+//! schema — which is the entire reason the rest of this workspace exists.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Maximum accepted query-line length (defense against garbage input; no
+/// real domain query approaches this).
+pub const MAX_QUERY_LEN: usize = 512;
+
+/// Encode a query: the domain followed by CRLF.
+pub fn encode_query(domain: &str) -> Bytes {
+    let mut buf = BytesMut::with_capacity(domain.len() + 2);
+    buf.put_slice(domain.as_bytes());
+    buf.put_slice(b"\r\n");
+    buf.freeze()
+}
+
+/// Incrementally parse a query line out of `buf`.
+///
+/// Returns `Ok(Some(query))` once a full CRLF- (or bare-LF-) terminated
+/// line is present, `Ok(None)` if more bytes are needed, and `Err` if the
+/// line exceeds [`MAX_QUERY_LEN`] or contains non-ASCII bytes (RFC 3912
+/// carries ASCII queries).
+pub fn decode_query(buf: &mut BytesMut) -> Result<Option<String>, QueryError> {
+    if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let line = buf.split_to(pos + 1);
+        let mut end = line.len() - 1;
+        if end > 0 && line[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let bytes = &line[..end];
+        if !bytes.is_ascii() {
+            return Err(QueryError::NotAscii);
+        }
+        let s = std::str::from_utf8(bytes).expect("ascii is utf8").trim();
+        return Ok(Some(s.to_string()));
+    }
+    if buf.len() > MAX_QUERY_LEN {
+        return Err(QueryError::TooLong);
+    }
+    Ok(None)
+}
+
+/// Errors while decoding a query line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// No terminator within [`MAX_QUERY_LEN`] bytes.
+    TooLong,
+    /// The query contained non-ASCII bytes.
+    NotAscii,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::TooLong => write!(f, "query line too long"),
+            QueryError::NotAscii => write!(f, "query contains non-ascii bytes"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Classify a server reply the way the crawler does: servers under rate
+/// limiting "stop responding, return an empty record or return an
+/// error" (§4.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReplyKind {
+    /// Looks like a real record (has a separator-bearing line).
+    Record,
+    /// The registry's "No match for ..." reply.
+    NoMatch,
+    /// An explicit rate-limit / quota error.
+    RateLimited,
+    /// Empty or whitespace-only reply.
+    Empty,
+    /// Anything else (garbled, truncated, unclassifiable).
+    Other,
+}
+
+/// Classify a reply body.
+pub fn classify_reply(body: &str) -> ReplyKind {
+    let trimmed = body.trim();
+    if trimmed.is_empty() {
+        return ReplyKind::Empty;
+    }
+    let lower = trimmed.to_lowercase();
+    if lower.starts_with("no match") || lower.contains("not found") && lower.len() < 120 {
+        return ReplyKind::NoMatch;
+    }
+    if lower.contains("rate limit")
+        || lower.contains("quota exceeded")
+        || lower.contains("too many requests")
+    {
+        return ReplyKind::RateLimited;
+    }
+    if trimmed.lines().any(|l| l.contains(':') && l.len() > 3) {
+        return ReplyKind::Record;
+    }
+    ReplyKind::Other
+}
+
+/// Extract the registrar WHOIS referral from a thin record (`Whois
+/// Server: host` line), lower-cased.
+pub fn referral_server(thin: &str) -> Option<String> {
+    for line in thin.lines() {
+        let lower = line.trim().to_lowercase();
+        if let Some(rest) = lower.strip_prefix("whois server:") {
+            let host = rest.trim();
+            if !host.is_empty() {
+                return Some(host.to_string());
+            }
+        }
+        if let Some(rest) = lower.strip_prefix("registrar whois server:") {
+            let host = rest.trim();
+            if !host.is_empty() {
+                return Some(host.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let q = encode_query("example.com");
+        assert_eq!(&q[..], b"example.com\r\n");
+        let mut buf = BytesMut::from(&q[..]);
+        assert_eq!(decode_query(&mut buf).unwrap(), Some("example.com".into()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn partial_then_complete() {
+        let mut buf = BytesMut::from(&b"exam"[..]);
+        assert_eq!(decode_query(&mut buf).unwrap(), None);
+        buf.extend_from_slice(b"ple.com\n");
+        assert_eq!(decode_query(&mut buf).unwrap(), Some("example.com".into()));
+    }
+
+    #[test]
+    fn bare_lf_and_whitespace_tolerated() {
+        let mut buf = BytesMut::from(&b"  example.com  \n"[..]);
+        assert_eq!(decode_query(&mut buf).unwrap(), Some("example.com".into()));
+    }
+
+    #[test]
+    fn two_pipelined_queries_split_correctly() {
+        let mut buf = BytesMut::from(&b"a.com\r\nb.com\r\n"[..]);
+        assert_eq!(decode_query(&mut buf).unwrap(), Some("a.com".into()));
+        assert_eq!(decode_query(&mut buf).unwrap(), Some("b.com".into()));
+        assert_eq!(decode_query(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_query_rejected() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&vec![b'a'; MAX_QUERY_LEN + 1]);
+        assert_eq!(decode_query(&mut buf), Err(QueryError::TooLong));
+    }
+
+    #[test]
+    fn non_ascii_rejected() {
+        let mut buf = BytesMut::from("dömäin.com\r\n".as_bytes());
+        assert_eq!(decode_query(&mut buf), Err(QueryError::NotAscii));
+    }
+
+    #[test]
+    fn reply_classification() {
+        assert_eq!(classify_reply(""), ReplyKind::Empty);
+        assert_eq!(classify_reply("   \n  "), ReplyKind::Empty);
+        assert_eq!(
+            classify_reply("No match for EXAMPLE.COM"),
+            ReplyKind::NoMatch
+        );
+        assert_eq!(
+            classify_reply("Error: rate limit exceeded, slow down"),
+            ReplyKind::RateLimited
+        );
+        assert_eq!(
+            classify_reply("Domain Name: EXAMPLE.COM\nRegistrar: X"),
+            ReplyKind::Record
+        );
+        assert_eq!(classify_reply("garbled nonsense"), ReplyKind::Other);
+    }
+
+    #[test]
+    fn referral_extraction() {
+        let thin =
+            "   Domain Name: X.COM\n   Registrar: GODADDY\n   Whois Server: whois.godaddy.com\n";
+        assert_eq!(referral_server(thin).as_deref(), Some("whois.godaddy.com"));
+        assert_eq!(
+            referral_server("Registrar WHOIS Server: whois.enom.com").as_deref(),
+            Some("whois.enom.com")
+        );
+        assert_eq!(referral_server("Domain Name: X.COM"), None);
+        assert_eq!(referral_server("Whois Server:"), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! A thread-per-connection WHOIS server over loopback TCP.
+//!
+//! WHOIS is short-lived request/response over TCP — exactly the workload
+//! the async guides say does *not* need an async runtime, so the server
+//! is plain `std::net` with one thread per connection and a bounded
+//! accept loop. Rate limiting and fault injection run per request.
+
+use crate::fault::{Fate, FaultConfig, FaultInjector};
+use crate::limiter::{RateLimitConfig, RateLimiter};
+use crate::proto;
+use crate::store::RecordStore;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Rate limiting applied across all clients (the paper's servers
+    /// limited per source IP; with one loopback client the two coincide).
+    pub rate_limit: RateLimitConfig,
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// Fault-injection seed.
+    pub fault_seed: u64,
+    /// When rate-limited: reply with an explicit error (`true`) or close
+    /// silently (`false`) — both behaviours exist in the wild.
+    pub limit_replies_error: bool,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            rate_limit: RateLimitConfig::unlimited(),
+            faults: FaultConfig::none(),
+            fault_seed: 0,
+            limit_replies_error: true,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Counters exposed by a running server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Accepted connections.
+    pub connections: AtomicU64,
+    /// Queries answered with a record.
+    pub answered: AtomicU64,
+    /// Queries answered with "no match".
+    pub no_match: AtomicU64,
+    /// Queries refused by the rate limiter.
+    pub rate_limited: AtomicU64,
+    /// Replies sabotaged by fault injection.
+    pub faulted: AtomicU64,
+}
+
+/// A WHOIS server bound to an ephemeral loopback port.
+pub struct WhoisServer {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Cheap handle for queries against a running server.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+}
+
+impl WhoisServer {
+    /// Start a server for `store`.
+    pub fn start<S: RecordStore>(store: S, cfg: ServerConfig) -> std::io::Result<WhoisServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let store = Arc::new(store);
+        let limiter = Arc::new(Mutex::new(RateLimiter::new(cfg.rate_limit)));
+        let injector = Arc::new(Mutex::new(FaultInjector::new(cfg.faults, cfg.fault_seed)));
+
+        let accept_stats = stats.clone();
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("whois-server-{}", addr.port()))
+            .spawn(move || {
+                let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !accept_shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            let store = store.clone();
+                            let stats = accept_stats.clone();
+                            let limiter = limiter.clone();
+                            let injector = injector.clone();
+                            let cfg = cfg.clone();
+                            workers.retain(|h| !h.is_finished());
+                            workers.push(std::thread::spawn(move || {
+                                let _ = handle_connection(
+                                    stream, &*store, &stats, &limiter, &injector, &cfg,
+                                );
+                            }));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for h in workers {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(WhoisServer {
+            addr,
+            stats,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A cloneable handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.addr }
+    }
+
+    /// Server-side counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+}
+
+impl Drop for WhoisServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_connection<S: RecordStore>(
+    mut stream: TcpStream,
+    store: &S,
+    stats: &ServerStats,
+    limiter: &Mutex<RateLimiter>,
+    injector: &Mutex<FaultInjector>,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_nodelay(true)?;
+
+    // Read one query line.
+    let mut buf = BytesMut::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    let query = loop {
+        match proto::decode_query(&mut buf) {
+            Ok(Some(q)) => break q,
+            Ok(None) => {}
+            Err(_) => return Ok(()), // malformed: hang up
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // client went away mid-query
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    // Rate limiting.
+    if !limiter.lock().allow() {
+        stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+        if cfg.limit_replies_error {
+            let _ = stream.write_all(b"Error: rate limit exceeded; try again later\r\n");
+        }
+        return Ok(());
+    }
+
+    // Lookup and fault injection.
+    let body = match store.lookup(&query) {
+        Some(b) => {
+            stats.answered.fetch_add(1, Ordering::Relaxed);
+            b
+        }
+        None => {
+            stats.no_match.fetch_add(1, Ordering::Relaxed);
+            store.no_match(&query)
+        }
+    };
+    match injector.lock().fate(body.as_bytes()) {
+        Fate::Deliver => stream.write_all(body.as_bytes())?,
+        Fate::Drop => {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+        }
+        Fate::Empty => {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            // write nothing, close politely
+        }
+        Fate::Garbled(bytes) => {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            stream.write_all(&bytes)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::WhoisClient;
+    use crate::store::InMemoryStore;
+
+    fn store() -> InMemoryStore {
+        let mut s = InMemoryStore::new();
+        s.insert(
+            "example.com",
+            "Domain Name: EXAMPLE.COM\nRegistrar: Test\n".into(),
+        );
+        s
+    }
+
+    #[test]
+    fn answers_known_domain() {
+        let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+        let client = WhoisClient::default();
+        let body = client.query(server.addr(), "example.com").unwrap();
+        assert!(body.contains("Registrar: Test"));
+        assert_eq!(server.stats().answered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn no_match_for_unknown_domain() {
+        let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+        let client = WhoisClient::default();
+        let body = client.query(server.addr(), "missing.com").unwrap();
+        assert!(body.to_lowercase().starts_with("no match"));
+        assert_eq!(server.stats().no_match.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rate_limit_refuses_after_burst() {
+        let cfg = ServerConfig {
+            rate_limit: RateLimitConfig {
+                burst: 2,
+                per_second: 0.0,
+                penalty: Duration::from_secs(5),
+            },
+            ..Default::default()
+        };
+        let server = WhoisServer::start(store(), cfg).unwrap();
+        let client = WhoisClient::default();
+        assert!(client.query(server.addr(), "example.com").is_ok());
+        assert!(client.query(server.addr(), "example.com").is_ok());
+        let third = client.query(server.addr(), "example.com").unwrap();
+        assert!(third.to_lowercase().contains("rate limit"));
+        assert_eq!(server.stats().rate_limited.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn silent_rate_limit_closes_without_reply() {
+        let cfg = ServerConfig {
+            rate_limit: RateLimitConfig {
+                burst: 1,
+                per_second: 0.0,
+                penalty: Duration::from_secs(5),
+            },
+            limit_replies_error: false,
+            ..Default::default()
+        };
+        let server = WhoisServer::start(store(), cfg).unwrap();
+        let client = WhoisClient::default();
+        let _ = client.query(server.addr(), "example.com").unwrap();
+        let second = client.query(server.addr(), "example.com").unwrap();
+        assert!(second.is_empty(), "silent refusal is an empty body");
+    }
+
+    #[test]
+    fn fault_injection_empties_replies() {
+        let cfg = ServerConfig {
+            faults: FaultConfig {
+                empty_chance: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let server = WhoisServer::start(store(), cfg).unwrap();
+        let client = WhoisClient::default();
+        let body = client.query(server.addr(), "example.com").unwrap();
+        assert!(body.is_empty());
+        assert_eq!(server.stats().faulted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let client = WhoisClient::default();
+                    client.query(addr, "example.com").unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().contains("EXAMPLE.COM"));
+        }
+        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn server_shuts_down_cleanly_on_drop() {
+        let addr;
+        {
+            let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+            addr = server.addr();
+        }
+        // After drop, connections are refused (eventually).
+        std::thread::sleep(Duration::from_millis(20));
+        let client = WhoisClient::default();
+        assert!(client.query(addr, "example.com").is_err());
+    }
+}

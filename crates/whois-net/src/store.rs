@@ -1,0 +1,94 @@
+//! Record stores: what a WHOIS server answers with.
+//!
+//! The thin/thick split of §2.2 maps onto two instances of the same
+//! trait: the registry's store holds thin records whose `Whois Server:`
+//! line refers the client onward; each registrar's store holds the thick
+//! records for its own domains.
+
+use std::collections::HashMap;
+
+/// Source of WHOIS response bodies.
+pub trait RecordStore: Send + Sync + 'static {
+    /// The response body for `domain`, or `None` for "no match".
+    fn lookup(&self, domain: &str) -> Option<String>;
+
+    /// The server's "no match" reply.
+    fn no_match(&self, domain: &str) -> String {
+        format!("No match for \"{}\".\r\n", domain.to_uppercase())
+    }
+}
+
+/// A hash-map-backed store.
+#[derive(Clone, Debug, Default)]
+pub struct InMemoryStore {
+    records: HashMap<String, String>,
+}
+
+impl InMemoryStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(domain, body)` pairs (domains lower-cased).
+    pub fn from_records(records: impl IntoIterator<Item = (String, String)>) -> Self {
+        InMemoryStore {
+            records: records
+                .into_iter()
+                .map(|(d, b)| (d.to_lowercase(), b))
+                .collect(),
+        }
+    }
+
+    /// Insert one record.
+    pub fn insert(&mut self, domain: &str, body: String) {
+        self.records.insert(domain.to_lowercase(), body);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl RecordStore for InMemoryStore {
+    fn lookup(&self, domain: &str) -> Option<String> {
+        self.records.get(&domain.to_lowercase()).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut s = InMemoryStore::new();
+        s.insert("Example.COM", "body".into());
+        assert_eq!(s.lookup("EXAMPLE.com").as_deref(), Some("body"));
+        assert_eq!(s.lookup("other.com"), None);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn no_match_mentions_domain() {
+        let s = InMemoryStore::new();
+        assert!(s.no_match("x.com").contains("X.COM"));
+    }
+
+    #[test]
+    fn from_records_builder() {
+        let s = InMemoryStore::from_records(vec![
+            ("A.com".to_string(), "1".to_string()),
+            ("b.com".to_string(), "2".to_string()),
+        ]);
+        assert_eq!(s.lookup("a.com").as_deref(), Some("1"));
+        assert_eq!(s.lookup("B.COM").as_deref(), Some("2"));
+    }
+}

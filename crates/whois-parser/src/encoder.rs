@@ -1,0 +1,266 @@
+//! Feature encoding: raw record text → CRF [`Sequence`]s.
+//!
+//! The encoder owns the trimmed feature [`Dictionary`] plus the
+//! [`FeatureOptions`] ablation switches, and decides which observation
+//! features are *pair-eligible* (also generate `(y_{t-1}, y_t, x_t)`
+//! features, eq. 8 of the paper): title-side words, layout markers, and
+//! word classes — the kinds of features Figure 1 shows detecting block
+//! transitions.
+
+use serde::{Deserialize, Serialize};
+use whois_crf::Sequence;
+use whois_tokenize::{annotate_record, Dictionary};
+
+/// Ablation switches over the feature families of §3.3.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureOptions {
+    /// Keep the `@T`/`@V` title/value suffixes on word features.
+    pub title_value: bool,
+    /// Keep the layout markers (`NL`, `SHL`, `SYM`, `SEP`, ...).
+    pub markers: bool,
+    /// Keep the word-class features (`FIVEDIGIT`, `EMAIL`, ...).
+    pub classes: bool,
+    /// Generate pair features (observed transitions, eq. 8).
+    pub pair_features: bool,
+    /// Keep the previous-line context features (`p:`), which carry block
+    /// discriminators like `Contact Type: registrant` onto following
+    /// generically-titled lines.
+    pub prev_line: bool,
+}
+
+impl Default for FeatureOptions {
+    fn default() -> Self {
+        FeatureOptions {
+            title_value: true,
+            markers: true,
+            classes: true,
+            pair_features: true,
+            prev_line: true,
+        }
+    }
+}
+
+impl FeatureOptions {
+    /// Apply the ablation switches to one raw feature string; `None`
+    /// drops the feature entirely.
+    fn transform(&self, feature: &str) -> Option<String> {
+        if feature.starts_with("m:") {
+            return self.markers.then(|| feature.to_string());
+        }
+        if feature.starts_with("c:") {
+            if !self.classes {
+                return None;
+            }
+            return Some(self.strip_side_if_disabled(feature));
+        }
+        if feature.starts_with("w:") {
+            return Some(self.strip_side_if_disabled(feature));
+        }
+        if feature.starts_with("p:") {
+            if !self.prev_line {
+                return None;
+            }
+            return Some(feature.to_string());
+        }
+        Some(feature.to_string())
+    }
+
+    fn strip_side_if_disabled(&self, feature: &str) -> String {
+        if self.title_value {
+            feature.to_string()
+        } else {
+            feature
+                .strip_suffix("@T")
+                .or_else(|| feature.strip_suffix("@V"))
+                .unwrap_or(feature)
+                .to_string()
+        }
+    }
+}
+
+/// A training example: full record text plus the gold labels of its
+/// non-empty lines (in `whois_model::non_empty_lines` order).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainExample<L> {
+    /// The verbatim record text, blank lines included (they shape the
+    /// `NL` markers).
+    pub text: String,
+    /// Gold labels, one per non-empty line.
+    pub labels: Vec<L>,
+}
+
+/// Encodes record text into dense feature-id sequences.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Encoder {
+    dict: Dictionary,
+    opts: FeatureOptions,
+}
+
+impl Encoder {
+    /// Build the dictionary from training texts, trimming open-class word
+    /// features seen fewer than `min_word_count` times.
+    pub fn fit<'a>(
+        texts: impl IntoIterator<Item = &'a str>,
+        opts: FeatureOptions,
+        min_word_count: u32,
+    ) -> Self {
+        let mut builder = whois_tokenize::dictionary::DictionaryBuilder::new();
+        for text in texts {
+            for obs in annotate_record(text) {
+                for f in &obs.features {
+                    if let Some(t) = opts.transform(f) {
+                        builder.observe(&t);
+                    }
+                }
+            }
+        }
+        Encoder {
+            dict: builder.build(min_word_count),
+            opts,
+        }
+    }
+
+    /// The underlying dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The ablation switches in effect.
+    pub fn options(&self) -> FeatureOptions {
+        self.opts
+    }
+
+    /// Encode record text into a [`Sequence`] (one position per non-empty
+    /// line).
+    pub fn encode_text(&self, text: &str) -> Sequence {
+        let obs = annotate_record(text);
+        let mut positions = Vec::with_capacity(obs.len());
+        for line in obs {
+            let transformed: Vec<String> = line
+                .features
+                .iter()
+                .filter_map(|f| self.opts.transform(f))
+                .collect();
+            positions.push(self.dict.encode(transformed.iter().map(String::as_str)));
+        }
+        Sequence::new(positions)
+    }
+
+    /// Pair eligibility per dictionary feature: title-side words, layout
+    /// markers, and word classes (when pair features are enabled at all).
+    pub fn pair_eligibility(&self) -> Vec<bool> {
+        (0..self.dict.len() as u32)
+            .map(|id| {
+                if !self.opts.pair_features {
+                    return false;
+                }
+                let name = self.dict.name(id);
+                name.starts_with("m:")
+                    || name.starts_with("c:")
+                    || name.starts_with("p:")
+                    || (name.starts_with("w:") && name.ends_with("@T"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str =
+        "Domain Name: X.COM\n\nRegistrant Name: John Smith\nRegistrant Postal Code: 92093";
+
+    fn encoder(opts: FeatureOptions) -> Encoder {
+        Encoder::fit([SAMPLE, SAMPLE], opts, 1)
+    }
+
+    #[test]
+    fn fit_then_encode_roundtrips_known_features() {
+        let e = encoder(FeatureOptions::default());
+        let seq = e.encode_text(SAMPLE);
+        assert_eq!(seq.len(), 3);
+        // Every position has at least one feature.
+        assert!(seq.obs.iter().all(|p| !p.is_empty()));
+        // Known feature present.
+        assert!(e.dict.id("w:registrant@T").is_some());
+        assert!(e.dict.id("c:FIVEDIGIT@V").is_some());
+        assert!(e.dict.id("m:NL").is_some());
+    }
+
+    #[test]
+    fn title_value_ablation_strips_suffixes() {
+        let e = encoder(FeatureOptions {
+            title_value: false,
+            ..Default::default()
+        });
+        assert!(e.dict.id("w:registrant@T").is_none());
+        assert!(e.dict.id("w:registrant").is_some());
+        assert!(e.dict.id("c:FIVEDIGIT").is_some());
+    }
+
+    #[test]
+    fn marker_ablation_drops_markers() {
+        let e = encoder(FeatureOptions {
+            markers: false,
+            ..Default::default()
+        });
+        assert!(e.dict.id("m:NL").is_none());
+        assert!(e.dict.id("m:SEP").is_none());
+        assert!(e.dict.id("w:registrant@T").is_some());
+    }
+
+    #[test]
+    fn class_ablation_drops_classes() {
+        let e = encoder(FeatureOptions {
+            classes: false,
+            ..Default::default()
+        });
+        assert!(e.dict.id("c:FIVEDIGIT@V").is_none());
+        assert!(e.dict.id("m:SEP").is_some());
+    }
+
+    #[test]
+    fn pair_eligibility_covers_titles_markers_classes() {
+        let e = encoder(FeatureOptions::default());
+        let elig = e.pair_eligibility();
+        assert_eq!(elig.len(), e.dict.len());
+        let check = |name: &str, expect: bool| {
+            let id = e.dict.id(name).unwrap() as usize;
+            assert_eq!(elig[id], expect, "{name}");
+        };
+        check("w:registrant@T", true);
+        check("w:john@V", false);
+        check("m:NL", true);
+        check("c:FIVEDIGIT@V", true);
+    }
+
+    #[test]
+    fn pair_feature_ablation_disables_all() {
+        let e = encoder(FeatureOptions {
+            pair_features: false,
+            ..Default::default()
+        });
+        assert!(e.pair_eligibility().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn oov_words_are_dropped_at_encode_time() {
+        let e = encoder(FeatureOptions::default());
+        let seq = e.encode_text("Totally Unseen Words: zyzzyva qwxv");
+        assert_eq!(seq.len(), 1);
+        // Only structural features (SEP marker) survive.
+        let names: Vec<&str> = seq.obs[0].iter().map(|&id| e.dict.name(id)).collect();
+        assert!(names
+            .iter()
+            .all(|n| n.starts_with("m:") || n.starts_with("c:")));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = encoder(FeatureOptions::default());
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Encoder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.encode_text(SAMPLE), e.encode_text(SAMPLE));
+    }
+}

@@ -1,0 +1,226 @@
+//! Model introspection: the paper's Table 1 and Figure 1.
+//!
+//! After training, "it can be instructive to examine the features with the
+//! highest statistical weights" (§3.4). [`top_emission_features`]
+//! reproduces Table 1 (heaviest word features per label) and
+//! [`top_transition_features`] reproduces Figure 1 (the features the CRF
+//! uses to detect the end of one block and the beginning of another).
+
+use crate::level::LevelParser;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use whois_model::Label;
+
+/// One feature with its learned weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedFeature {
+    /// The feature string (e.g. `w:organization@T`).
+    pub feature: String,
+    /// Its weight θ.
+    pub weight: f64,
+}
+
+/// Table 1: for each label, the `k` emission features with the largest
+/// positive weights.
+pub fn top_emission_features<L: Label + Serialize + DeserializeOwned>(
+    parser: &LevelParser<L>,
+    k: usize,
+) -> Vec<(L, Vec<WeightedFeature>)> {
+    let crf = parser.crf();
+    let dict = parser.encoder().dictionary();
+    L::ALL
+        .iter()
+        .map(|&label| {
+            let j = label.index();
+            let mut feats: Vec<WeightedFeature> = dict
+                .iter()
+                .map(|(id, name)| WeightedFeature {
+                    feature: name.to_string(),
+                    weight: crf.weights()[crf.emit_index(id, j)],
+                })
+                .collect();
+            feats.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            feats.truncate(k);
+            (label, feats)
+        })
+        .collect()
+}
+
+/// Figure 1: for each ordered label pair `(from, to)` with `from != to`,
+/// the `k` pair features with the largest positive weights on that
+/// transition (plus the bare transition weight itself).
+pub fn top_transition_features<L: Label + Serialize + DeserializeOwned>(
+    parser: &LevelParser<L>,
+    k: usize,
+) -> Vec<(L, L, f64, Vec<WeightedFeature>)> {
+    let crf = parser.crf();
+    let dict = parser.encoder().dictionary();
+    let mut out = Vec::new();
+    for &from in L::ALL {
+        for &to in L::ALL {
+            if from == to {
+                continue;
+            }
+            let (i, j) = (from.index(), to.index());
+            let base = crf.weights()[crf.trans_index(i, j)];
+            let mut feats: Vec<WeightedFeature> = dict
+                .iter()
+                .filter_map(|(id, name)| {
+                    crf.pair_index(id, i, j).map(|idx| WeightedFeature {
+                        feature: name.to_string(),
+                        weight: crf.weights()[idx],
+                    })
+                })
+                .collect();
+            feats.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            feats.truncate(k);
+            out.push((from, to, base, feats));
+        }
+    }
+    out
+}
+
+/// Render Table 1 as aligned text (used by the `repro-table1` binary).
+pub fn render_emission_table<L: Label + Serialize + DeserializeOwned>(
+    parser: &LevelParser<L>,
+    k: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{:<12} top-weight features\n", "label"));
+    for (label, feats) in top_emission_features(parser, k) {
+        let names: Vec<String> = feats
+            .iter()
+            .filter(|f| f.weight > 0.0)
+            .map(|f| pretty(&f.feature))
+            .collect();
+        s.push_str(&format!("{:<12} {}\n", label.name(), names.join(", ")));
+    }
+    s
+}
+
+/// Render Figure 1's strongest block-to-block transition cues as text.
+pub fn render_transition_graph<L: Label + Serialize + DeserializeOwned>(
+    parser: &LevelParser<L>,
+    per_edge: usize,
+) -> String {
+    let mut rows = top_transition_features(parser, per_edge);
+    // Strongest edges first, judged by their best pair feature.
+    rows.sort_by(|a, b| {
+        let wa = a.3.first().map_or(f64::NEG_INFINITY, |f| f.weight);
+        let wb = b.3.first().map_or(f64::NEG_INFINITY, |f| f.weight);
+        wb.total_cmp(&wa)
+    });
+    let mut s = String::new();
+    for (from, to, base, feats) in rows.iter().take(14) {
+        let names: Vec<String> = feats
+            .iter()
+            .filter(|f| f.weight > 0.05)
+            .map(|f| pretty(&f.feature))
+            .collect();
+        if names.is_empty() {
+            continue;
+        }
+        s.push_str(&format!(
+            "{:>10} -> {:<10} (base {:+.2})  {}\n",
+            from.name(),
+            to.name(),
+            base,
+            names.join(", ")
+        ));
+    }
+    s
+}
+
+/// Human-readable feature name: `w:owner@T` → `owner@T`, `m:NL` → `NL`.
+fn pretty(feature: &str) -> String {
+    feature
+        .strip_prefix("w:")
+        .or_else(|| feature.strip_prefix("m:"))
+        .or_else(|| feature.strip_prefix("c:"))
+        .unwrap_or(feature)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::TrainExample;
+    use crate::level::ParserConfig;
+    use whois_model::BlockLabel;
+
+    fn parser() -> LevelParser<BlockLabel> {
+        use BlockLabel::*;
+        let mut examples = Vec::new();
+        for i in 0..12 {
+            examples.push(TrainExample {
+                text: format!(
+                    "Domain Name: D{i}.COM\nRegistrar: Reg{i}\nCreation Date: 201{}-01-02\n\
+                     Registrant Organization: Org {i}\nAdmin Name: Person {i}\nboilerplate legal text",
+                    i % 10
+                ),
+                labels: vec![Domain, Registrar, Date, Registrant, Other, Null],
+            });
+        }
+        LevelParser::train(&examples, &ParserConfig::default())
+    }
+
+    #[test]
+    fn emission_table_has_intuitive_top_features() {
+        let p = parser();
+        let table = top_emission_features(&p, 8);
+        assert_eq!(table.len(), 6);
+        let find = |label: BlockLabel| {
+            table
+                .iter()
+                .find(|(l, _)| *l == label)
+                .unwrap()
+                .1
+                .iter()
+                .map(|f| f.feature.clone())
+                .collect::<Vec<_>>()
+        };
+        // The word "registrant@T" should be among the registrant label's
+        // strongest cues; "registrar@T" for registrar (Table 1's finding).
+        assert!(
+            find(BlockLabel::Registrant)
+                .iter()
+                .any(|f| f.contains("registrant@T")),
+            "registrant features: {:?}",
+            find(BlockLabel::Registrant)
+        );
+        assert!(find(BlockLabel::Registrar)
+            .iter()
+            .any(|f| f.contains("registrar@T")));
+        assert!(find(BlockLabel::Date)
+            .iter()
+            .any(|f| f.contains("date@T") || f.contains("creation@T") || f.contains("DATE")));
+    }
+
+    #[test]
+    fn transition_features_cover_all_ordered_pairs() {
+        let p = parser();
+        let rows = top_transition_features(&p, 3);
+        assert_eq!(rows.len(), 6 * 5);
+        for (_, _, _, feats) in &rows {
+            assert!(feats.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn renders_are_nonempty_text() {
+        let p = parser();
+        let t = render_emission_table(&p, 5);
+        assert!(t.contains("registrant"));
+        assert!(t.lines().count() >= 7);
+        let g = render_transition_graph(&p, 3);
+        assert!(g.contains("->"));
+    }
+
+    #[test]
+    fn pretty_strips_namespaces() {
+        assert_eq!(pretty("w:owner@T"), "owner@T");
+        assert_eq!(pretty("m:NL"), "NL");
+        assert_eq!(pretty("c:DATE@V"), "DATE@V");
+        assert_eq!(pretty("other"), "other");
+    }
+}

@@ -1,0 +1,301 @@
+//! One level of the parser: an encoder plus a CRF over a label space.
+
+use crate::encoder::{Encoder, FeatureOptions, TrainExample};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
+use std::marker::PhantomData;
+use whois_crf::{train, Crf, Instance, TrainConfig};
+use whois_model::{ErrorStats, Label};
+
+/// Configuration for training a [`LevelParser`].
+#[derive(Clone, Debug, Default)]
+pub struct ParserConfig {
+    /// Feature-family switches (ablations; default = everything on).
+    pub features: FeatureOptions,
+    /// Dictionary trim threshold for open-class word features. `0` means
+    /// auto: keep everything below 2000 training records, trim singletons
+    /// above. (Trimming too early defeats §5.3 adaptation: a single added
+    /// example of a new format must contribute its discriminating words.)
+    pub min_word_count: u32,
+    /// Optimizer configuration.
+    pub train: TrainConfig,
+}
+
+impl ParserConfig {
+    fn resolved_min_count(&self, num_records: usize) -> u32 {
+        if self.min_word_count > 0 {
+            self.min_word_count
+        } else if num_records < 2000 {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+/// A trained CRF labeler over one label space `L`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LevelParser<L> {
+    encoder: Encoder,
+    crf: Crf,
+    #[serde(skip)]
+    _label: PhantomData<L>,
+}
+
+impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
+    /// Train a parser from labeled examples.
+    ///
+    /// # Panics
+    /// Panics if `examples` is empty or any example's label count differs
+    /// from its non-empty line count.
+    pub fn train(examples: &[TrainExample<L>], cfg: &ParserConfig) -> Self {
+        assert!(!examples.is_empty(), "training needs at least one example");
+        let encoder = Encoder::fit(
+            examples.iter().map(|e| e.text.as_str()),
+            cfg.features,
+            cfg.resolved_min_count(examples.len()),
+        );
+        let crf = Crf::new(
+            L::COUNT,
+            encoder.dictionary().len(),
+            &encoder.pair_eligibility(),
+        );
+        let mut parser = LevelParser {
+            encoder,
+            crf,
+            _label: PhantomData,
+        };
+        parser.fit_weights(examples, cfg);
+        parser
+    }
+
+    /// Re-estimate weights on (possibly extended) data. When the new data
+    /// contains unseen words the dictionary is rebuilt and training starts
+    /// from scratch; otherwise training warm-starts from the current
+    /// weights — the paper's "add the example and retrain" maintenance
+    /// loop (§5.3).
+    pub fn retrain(&mut self, examples: &[TrainExample<L>], cfg: &ParserConfig) {
+        let rebuilt = Encoder::fit(
+            examples.iter().map(|e| e.text.as_str()),
+            self.encoder.options(),
+            cfg.resolved_min_count(examples.len()),
+        );
+        if rebuilt.dictionary().len() != self.encoder.dictionary().len()
+            || rebuilt
+                .dictionary()
+                .iter()
+                .any(|(id, name)| self.encoder.dictionary().name(id) != name)
+        {
+            self.encoder = rebuilt;
+            self.crf = Crf::new(
+                L::COUNT,
+                self.encoder.dictionary().len(),
+                &self.encoder.pair_eligibility(),
+            );
+        }
+        self.fit_weights(examples, cfg);
+    }
+
+    fn fit_weights(&mut self, examples: &[TrainExample<L>], cfg: &ParserConfig) {
+        let instances: Vec<Instance> = examples
+            .iter()
+            .map(|e| {
+                let seq = self.encoder.encode_text(&e.text);
+                assert_eq!(
+                    seq.len(),
+                    e.labels.len(),
+                    "labels must align with non-empty lines"
+                );
+                Instance::new(seq, e.labels.iter().map(|l| l.index()).collect())
+            })
+            .collect();
+        train(&mut self.crf, &instances, &cfg.train);
+    }
+
+    /// Predict labels for the non-empty lines of `text`.
+    pub fn predict(&self, text: &str) -> Vec<L> {
+        let seq = self.encoder.encode_text(text);
+        let table = self.crf.score_table(&seq);
+        let (path, _) = whois_crf::viterbi(&table);
+        path.into_iter().map(L::from_index).collect()
+    }
+
+    /// Predict labels together with per-line posterior confidences
+    /// `Pr(y_t = ŷ_t | x)` from the forward–backward marginals (eq. 12).
+    /// Lines the model is unsure about surface with low confidence — the
+    /// natural triage signal for the §5.3 maintenance loop.
+    pub fn predict_with_confidence(&self, text: &str) -> Vec<(L, f64)> {
+        let seq = self.encoder.encode_text(text);
+        let table = self.crf.score_table(&seq);
+        let (path, _) = whois_crf::viterbi(&table);
+        let fwd = whois_crf::forward(&table);
+        let beta = whois_crf::backward(&table);
+        let marginals = whois_crf::node_marginals(&table, &fwd, &beta);
+        let n = L::COUNT;
+        path.into_iter()
+            .enumerate()
+            .map(|(t, j)| (L::from_index(j), marginals[t * n + j]))
+            .collect()
+    }
+
+    /// Confusion matrix over held-out examples (per-label P/R/F1 view).
+    pub fn confusion(&self, examples: &[TrainExample<L>]) -> whois_model::ConfusionMatrix {
+        let mut matrix = whois_model::ConfusionMatrix::new::<L>();
+        for e in examples {
+            let pred = self.predict(&e.text);
+            matrix.observe_all(&e.labels, &pred);
+        }
+        matrix
+    }
+
+    /// Line/document error statistics over held-out examples.
+    pub fn evaluate(&self, examples: &[TrainExample<L>]) -> ErrorStats {
+        let mut stats = ErrorStats::default();
+        for e in examples {
+            let pred = self.predict(&e.text);
+            assert_eq!(pred.len(), e.labels.len(), "evaluation misalignment");
+            let errors = pred.iter().zip(&e.labels).filter(|(p, g)| p != g).count();
+            stats.record(e.labels.len(), errors);
+        }
+        stats
+    }
+
+    /// The trained CRF (for inspection).
+    pub fn crf(&self) -> &Crf {
+        &self.crf
+    }
+
+    /// The encoder (for inspection).
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whois_model::BlockLabel;
+
+    /// Tiny two-format corpus, enough for the CRF to learn exact rules.
+    fn examples() -> Vec<TrainExample<BlockLabel>> {
+        use BlockLabel::*;
+        let a = TrainExample {
+            text: "Domain Name: EX.COM\nRegistrar: GoDaddy\nCreation Date: 2014-01-02\n\
+                   Registrant Name: John Smith\nAdmin Name: John Smith\nlegal boilerplate text"
+                .to_string(),
+            labels: vec![Domain, Registrar, Date, Registrant, Other, Null],
+        };
+        let b = TrainExample {
+            text: "Domain Name: WHY.COM\nRegistrar: eNom\nCreation Date: 2011-05-06\n\
+                   Registrant Name: Jane Roe\nAdmin Name: Jane Roe\nlegal boilerplate text"
+                .to_string(),
+            labels: vec![Domain, Registrar, Date, Registrant, Other, Null],
+        };
+        vec![a, b]
+    }
+
+    #[test]
+    fn trains_and_predicts_exactly_on_seen_format() {
+        let parser = LevelParser::train(&examples(), &ParserConfig::default());
+        let pred = parser.predict(
+            "Domain Name: NEW.COM\nRegistrar: GoDaddy\nCreation Date: 2013-03-04\n\
+             Registrant Name: Alice Doe\nAdmin Name: Alice Doe\nlegal boilerplate text",
+        );
+        use BlockLabel::*;
+        assert_eq!(pred, vec![Domain, Registrar, Date, Registrant, Other, Null]);
+    }
+
+    #[test]
+    fn evaluate_is_zero_on_training_data() {
+        let ex = examples();
+        let parser = LevelParser::train(&ex, &ParserConfig::default());
+        let stats = parser.evaluate(&ex);
+        assert_eq!(stats.line_errors, 0);
+        assert_eq!(stats.document_errors, 0);
+        assert_eq!(stats.documents, 2);
+    }
+
+    #[test]
+    fn retrain_adapts_to_new_format() {
+        let mut parser = LevelParser::train(&examples(), &ParserConfig::default());
+        // A new format: "Owner:" instead of "Registrant Name:".
+        let new_format = TrainExample {
+            text: "Domain Name: Z.COM\nRegistrar: Moniker\nCreation Date: 2010-01-01\n\
+                   Owner: Bob Roe\nAdmin Name: Bob Roe\nlegal boilerplate text"
+                .to_string(),
+            labels: vec![
+                BlockLabel::Domain,
+                BlockLabel::Registrar,
+                BlockLabel::Date,
+                BlockLabel::Registrant,
+                BlockLabel::Other,
+                BlockLabel::Null,
+            ],
+        };
+        let mut extended = examples();
+        extended.push(new_format.clone());
+        parser.retrain(&extended, &ParserConfig::default());
+        let stats = parser.evaluate(&[new_format]);
+        assert_eq!(stats.line_errors, 0, "adapted to the new schema");
+        // Old format still works.
+        let stats = parser.evaluate(&examples());
+        assert_eq!(stats.line_errors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_training_set_rejected() {
+        let _ = LevelParser::<BlockLabel>::train(&[], &ParserConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn misaligned_labels_rejected() {
+        let bad = TrainExample {
+            text: "one line".to_string(),
+            labels: vec![BlockLabel::Null, BlockLabel::Null],
+        };
+        let _ = LevelParser::train(&[bad], &ParserConfig::default());
+    }
+
+    #[test]
+    fn confidence_is_high_on_seen_formats_and_sums_sensibly() {
+        let parser = LevelParser::train(&examples(), &ParserConfig::default());
+        let scored = parser.predict_with_confidence(
+            "Domain Name: Q.COM\nRegistrar: eNom\nCreation Date: 2012-02-02\n\
+             Registrant Name: Kim Roe\nAdmin Name: Kim Roe\nlegal boilerplate text",
+        );
+        assert_eq!(scored.len(), 6);
+        for (label, conf) in &scored {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(conf),
+                "{label:?} confidence {conf}"
+            );
+            assert!(*conf > 0.8, "seen format should be confident: {conf}");
+        }
+        // Viterbi path and confidence labels agree.
+        let plain = parser.predict(
+            "Domain Name: Q.COM\nRegistrar: eNom\nCreation Date: 2012-02-02\n\
+             Registrant Name: Kim Roe\nAdmin Name: Kim Roe\nlegal boilerplate text",
+        );
+        assert_eq!(plain, scored.iter().map(|(l, _)| *l).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn confusion_matrix_matches_evaluate() {
+        let ex = examples();
+        let parser = LevelParser::train(&ex, &ParserConfig::default());
+        let matrix = parser.confusion(&ex);
+        let stats = parser.evaluate(&ex);
+        assert_eq!(matrix.total() as usize, stats.lines);
+        assert!((matrix.accuracy() - (1.0 - stats.line_error_rate())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let parser = LevelParser::train(&examples(), &ParserConfig::default());
+        let json = serde_json::to_string(&parser).unwrap();
+        let back: LevelParser<BlockLabel> = serde_json::from_str(&json).unwrap();
+        let text = "Domain Name: R.COM\nRegistrar: GoDaddy";
+        assert_eq!(back.predict(text), parser.predict(text));
+    }
+}

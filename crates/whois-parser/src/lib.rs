@@ -1,0 +1,34 @@
+//! # whois-parser
+//!
+//! The paper's **two-level statistical WHOIS parser** (§3), assembled from
+//! `whois-tokenize` (feature extraction) and `whois-crf` (the model):
+//!
+//! * [`LevelParser`] — one CRF over any label space: builds the trimmed
+//!   feature dictionary from training text, chooses pair-eligible
+//!   features (title words, markers, classes — the features of eq. 8),
+//!   trains by L-BFGS or SGD, and Viterbi-decodes new records.
+//! * [`WhoisParser`] — the two-level composition: a six-state first-level
+//!   CRF segments the record into blocks; a twelve-state second-level CRF
+//!   re-parses the registrant block into sub-fields; mechanical value
+//!   extraction then fills a [`whois_model::ParsedRecord`].
+//! * [`inspect`] — model introspection: the top-weight word features per
+//!   label (Table 1) and the top transition-detecting features between
+//!   blocks (Figure 1).
+//! * [`FeatureOptions`] — ablation switches for the title/value
+//!   annotation, layout markers, word classes, and pair features, used by
+//!   the `features_ablation` bench.
+//!
+//! Models serialize with serde ([`WhoisParser::to_json`] /
+//! [`WhoisParser::from_json`]), and adapt to new formats by retraining
+//! with a handful of additional labeled examples (§5.3) —
+//! [`WhoisParser::retrain_first_level`].
+
+pub mod encoder;
+pub mod extract;
+pub mod inspect;
+pub mod level;
+pub mod parser;
+
+pub use encoder::{Encoder, FeatureOptions, TrainExample};
+pub use level::{LevelParser, ParserConfig};
+pub use parser::WhoisParser;

@@ -1,0 +1,212 @@
+//! The two-level [`WhoisParser`] facade.
+
+use crate::encoder::TrainExample;
+use crate::extract;
+use crate::level::{LevelParser, ParserConfig};
+use serde::{Deserialize, Serialize};
+use whois_model::{BlockLabel, ErrorStats, ParsedRecord, RawRecord, RegistrantLabel, WhoisError};
+
+/// The complete statistical WHOIS parser: first-level block segmentation
+/// plus second-level registrant sub-field parsing (§3.2 of the paper).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WhoisParser {
+    first: LevelParser<BlockLabel>,
+    second: LevelParser<RegistrantLabel>,
+}
+
+impl WhoisParser {
+    /// Train both levels.
+    ///
+    /// * `first_examples` — full record texts with block labels.
+    /// * `second_examples` — registrant-block line runs with sub-field
+    ///   labels (text = the block's lines joined by `\n`).
+    pub fn train(
+        first_examples: &[TrainExample<BlockLabel>],
+        second_examples: &[TrainExample<RegistrantLabel>],
+        cfg: &ParserConfig,
+    ) -> Self {
+        WhoisParser {
+            first: LevelParser::train(first_examples, cfg),
+            second: LevelParser::train(second_examples, cfg),
+        }
+    }
+
+    /// Label every non-empty line of a record with its block.
+    pub fn label_blocks(&self, text: &str) -> Vec<BlockLabel> {
+        self.first.predict(text)
+    }
+
+    /// Parse a raw record into structured form.
+    pub fn parse(&self, record: &RawRecord) -> ParsedRecord {
+        let lines = record.lines();
+        let blocks = self.first.predict(&record.text);
+        debug_assert_eq!(lines.len(), blocks.len());
+
+        // Second level over the registrant block.
+        let reg_lines: Vec<&str> = lines
+            .iter()
+            .zip(&blocks)
+            .filter(|(_, &b)| b == BlockLabel::Registrant)
+            .map(|(&l, _)| l)
+            .collect();
+        let registrant: Vec<(String, RegistrantLabel)> = if reg_lines.is_empty() {
+            Vec::new()
+        } else {
+            let block_text = reg_lines.join("\n");
+            let sub = self.second.predict(&block_text);
+            reg_lines.iter().map(|l| l.to_string()).zip(sub).collect()
+        };
+
+        extract::assemble(&record.domain, &lines, &blocks, &registrant)
+    }
+
+    /// First-level accuracy on held-out examples (Figures 2–3 metrics).
+    pub fn evaluate_first_level(&self, examples: &[TrainExample<BlockLabel>]) -> ErrorStats {
+        self.first.evaluate(examples)
+    }
+
+    /// Second-level accuracy on held-out registrant blocks.
+    pub fn evaluate_second_level(&self, examples: &[TrainExample<RegistrantLabel>]) -> ErrorStats {
+        self.second.evaluate(examples)
+    }
+
+    /// Retrain the first level on extended data (§5.3 adaptation).
+    pub fn retrain_first_level(
+        &mut self,
+        examples: &[TrainExample<BlockLabel>],
+        cfg: &ParserConfig,
+    ) {
+        self.first.retrain(examples, cfg);
+    }
+
+    /// Retrain the second level on extended data.
+    pub fn retrain_second_level(
+        &mut self,
+        examples: &[TrainExample<RegistrantLabel>],
+        cfg: &ParserConfig,
+    ) {
+        self.second.retrain(examples, cfg);
+    }
+
+    /// The first-level parser (for inspection).
+    pub fn first_level(&self) -> &LevelParser<BlockLabel> {
+        &self.first
+    }
+
+    /// The second-level parser (for inspection).
+    pub fn second_level(&self) -> &LevelParser<RegistrantLabel> {
+        &self.second
+    }
+
+    /// Serialize the trained model to JSON.
+    pub fn to_json(&self) -> Result<String, WhoisError> {
+        serde_json::to_string(self).map_err(|e| WhoisError::Serialization(e.to_string()))
+    }
+
+    /// Load a trained model from JSON.
+    pub fn from_json(json: &str) -> Result<Self, WhoisError> {
+        serde_json::from_str(json).map_err(|e| WhoisError::Serialization(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whois_gen::corpus::{generate_corpus, GenConfig};
+
+    /// Train on a modest generated corpus and return parser + held-out set.
+    fn trained() -> (WhoisParser, Vec<whois_gen::corpus::GeneratedDomain>) {
+        let corpus = generate_corpus(GenConfig::new(101, 260));
+        let (train_set, test_set) = corpus.split_at(200);
+        let first: Vec<TrainExample<BlockLabel>> = train_set
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let second: Vec<TrainExample<RegistrantLabel>> = train_set
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                if reg.is_empty() {
+                    return None;
+                }
+                Some(TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+        (parser, test_set.to_vec())
+    }
+
+    #[test]
+    fn end_to_end_accuracy_on_held_out_generated_records() {
+        let (parser, test) = trained();
+        let examples: Vec<TrainExample<BlockLabel>> = test
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let stats = parser.evaluate_first_level(&examples);
+        assert!(
+            stats.line_error_rate() < 0.03,
+            "first-level line error {} too high",
+            stats.line_error_rate()
+        );
+    }
+
+    #[test]
+    fn parse_produces_structured_output() {
+        let (parser, test) = trained();
+        let mut extracted_registrars = 0;
+        let mut extracted_created = 0;
+        let mut extracted_registrant = 0;
+        for d in &test {
+            let parsed = parser.parse(&d.raw());
+            if let Some(r) = &parsed.registrar {
+                if r == &d.facts.registrar_name {
+                    extracted_registrars += 1;
+                }
+            }
+            if parsed.creation_year() == Some(d.facts.created.y) {
+                extracted_created += 1;
+            }
+            if parsed.has_registrant() {
+                extracted_registrant += 1;
+            }
+        }
+        let n = test.len();
+        assert!(
+            extracted_registrars as f64 / n as f64 > 0.8,
+            "registrar extraction {extracted_registrars}/{n}"
+        );
+        assert!(
+            extracted_created as f64 / n as f64 > 0.8,
+            "creation year {extracted_created}/{n}"
+        );
+        assert!(
+            extracted_registrant as f64 / n as f64 > 0.9,
+            "registrant presence {extracted_registrant}/{n}"
+        );
+    }
+
+    #[test]
+    fn model_save_load_roundtrip() {
+        let (parser, test) = trained();
+        let json = parser.to_json().unwrap();
+        let back = WhoisParser::from_json(&json).unwrap();
+        let raw = test[0].raw();
+        assert_eq!(back.label_blocks(&raw.text), parser.label_blocks(&raw.text));
+        assert_eq!(back.parse(&raw), parser.parse(&raw));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(WhoisParser::from_json("not json").is_err());
+    }
+}

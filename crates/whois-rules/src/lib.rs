@@ -1,0 +1,23 @@
+//! # whois-rules
+//!
+//! The **rule-based** baseline parser of the paper:
+//!
+//! * [`RuleBasedParser`] — the §4.2 design: line-granularity tokens, a
+//!   separator framework for `title: value` pairs, contextual block
+//!   headers whose following lines inherit the block, and "a large number
+//!   of special case rules" expressed as an ordered keyword table. It
+//!   supports the paper's **rollback** methodology (§5.1): given a
+//!   training subset, retain only the rules needed to label that subset,
+//!   yielding the handicapped parsers of Figures 2–3. Structural rules
+//!   (separator handling, symbol/boilerplate detection) cannot be rolled
+//!   back, exactly as the paper notes.
+//! * [`registrant_extractor`] — a `pythonwhois`-style general-regex
+//!   registrant extractor (§2.3) that only understands explicit
+//!   `Registrant ...: value` titles, reproducing that approach's failure
+//!   on label-free legacy formats.
+
+pub mod pythonlike;
+pub mod rules;
+
+pub use pythonlike::extract_registrant as registrant_extractor;
+pub use rules::{RuleBasedParser, RuleId};

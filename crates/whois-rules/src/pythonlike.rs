@@ -1,0 +1,136 @@
+//! A `pythonwhois`-style registrant extractor (§2.3).
+//!
+//! The rule-based systems the paper measured (exemplified by
+//! `pythonwhois`) "craft a more general series of rules in the form of
+//! regular expressions designed to match a variety of common WHOIS
+//! structures (e.g., name:value formats)". Crucially they only understand
+//! *explicit* registrant-prefixed titles — when a record stores the
+//! registrant in a label-free contextual block (the legacy formats) they
+//! come up empty, which is how the paper measured them finding the
+//! registrant only 59% of the time.
+
+use whois_model::{Contact, RegistrantLabel};
+
+/// Title patterns recognized as registrant fields, in `(needle, field)`
+/// form. A line matches when its lower-cased title equals or starts with
+/// the needle.
+const PATTERNS: &[(&str, RegistrantLabel)] = &[
+    ("registrant name", RegistrantLabel::Name),
+    ("registrant contact name", RegistrantLabel::Name),
+    ("registrant-name", RegistrantLabel::Name),
+    ("owner name", RegistrantLabel::Name),
+    ("owner-name", RegistrantLabel::Name),
+    ("holder name", RegistrantLabel::Name),
+    ("registrant organization", RegistrantLabel::Org),
+    ("registrant org", RegistrantLabel::Org),
+    ("registrant-organization", RegistrantLabel::Org),
+    ("owner organization", RegistrantLabel::Org),
+    ("owner-org", RegistrantLabel::Org),
+    ("registrant street", RegistrantLabel::Street),
+    ("registrant address", RegistrantLabel::Street),
+    ("registrant-street", RegistrantLabel::Street),
+    ("owner street", RegistrantLabel::Street),
+    ("owner-street", RegistrantLabel::Street),
+    ("registrant city", RegistrantLabel::City),
+    ("registrant-city", RegistrantLabel::City),
+    ("owner city", RegistrantLabel::City),
+    ("owner-city", RegistrantLabel::City),
+    ("registrant state", RegistrantLabel::State),
+    ("registrant postal", RegistrantLabel::Postcode),
+    ("registrant zip", RegistrantLabel::Postcode),
+    ("registrant-zip", RegistrantLabel::Postcode),
+    ("owner-zip", RegistrantLabel::Postcode),
+    ("registrant country", RegistrantLabel::Country),
+    ("registrant-country", RegistrantLabel::Country),
+    ("owner-country", RegistrantLabel::Country),
+    ("registrant phone", RegistrantLabel::Phone),
+    ("registrant-phone", RegistrantLabel::Phone),
+    ("owner-phone", RegistrantLabel::Phone),
+    ("registrant fax", RegistrantLabel::Fax),
+    ("registrant email", RegistrantLabel::Email),
+    ("registrant e-mail", RegistrantLabel::Email),
+    ("registrant-email", RegistrantLabel::Email),
+    ("owner email", RegistrantLabel::Email),
+    ("owner-email", RegistrantLabel::Email),
+    ("registrant contact email", RegistrantLabel::Email),
+    ("registrant id", RegistrantLabel::Id),
+    ("registrant-id", RegistrantLabel::Id),
+];
+
+/// Extract a registrant contact using only explicit title matches.
+/// Returns `None` when nothing registrant-titled is found.
+pub fn extract_registrant(text: &str) -> Option<Contact> {
+    let mut c = Contact::default();
+    for line in text.lines() {
+        // name:value and [Name] value shapes.
+        let (title, value) = if let Some(rest) = line.trim_start().strip_prefix('[') {
+            match rest.find(']') {
+                Some(close) => (rest[..close].to_lowercase(), rest[close + 1..].trim()),
+                None => continue,
+            }
+        } else {
+            match line.split_once(':').or_else(|| line.split_once('\t')) {
+                Some((t, v)) => (t.trim().to_lowercase(), v.trim()),
+                None => continue,
+            }
+        };
+        if value.is_empty() {
+            continue;
+        }
+        for (needle, field) in PATTERNS {
+            if title == *needle || title.starts_with(needle) {
+                c.set_field(*field, value);
+                break;
+            }
+        }
+    }
+    if c.is_empty() {
+        None
+    } else {
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_from_explicit_titles() {
+        let text = "Domain Name: X.COM\nRegistrant Name: John Smith\n\
+                    Registrant Email: j@x.org\nRegistrant Country: US";
+        let c = extract_registrant(text).unwrap();
+        assert_eq!(c.name.as_deref(), Some("John Smith"));
+        assert_eq!(c.email.as_deref(), Some("j@x.org"));
+        assert_eq!(c.country.as_deref(), Some("US"));
+    }
+
+    #[test]
+    fn fails_on_label_free_blocks() {
+        // The legacy contextual format defeats title-pattern systems.
+        let text = "Registrant:\n   Acme Corp\n   John Smith\n   1 Main St\n   San Diego, CA 92093";
+        assert!(extract_registrant(text).is_none());
+    }
+
+    #[test]
+    fn handles_tab_and_bracket_shapes() {
+        let c = extract_registrant("owner-name\tJane Roe").unwrap();
+        assert_eq!(c.name.as_deref(), Some("Jane Roe"));
+        let c = extract_registrant("[Registrant Name] Ken Sato").unwrap();
+        assert_eq!(c.name.as_deref(), Some("Ken Sato"));
+    }
+
+    #[test]
+    fn ignores_unrelated_titles() {
+        assert!(extract_registrant("Admin Name: X\nTech Email: t@x.org").is_none());
+        assert!(extract_registrant("").is_none());
+    }
+
+    #[test]
+    fn generic_name_title_is_not_enough() {
+        // Contextual sub-fields titled just "Name:" (the ctx families) are
+        // invisible to this approach — there is no "registrant" anchor.
+        let text = "Registrant:\n    Name: Jane Roe\n    Email: j@x.org";
+        assert!(extract_registrant(text).is_none());
+    }
+}

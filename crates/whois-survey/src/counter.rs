@@ -1,0 +1,146 @@
+//! Counted top-k tables.
+
+use std::collections::HashMap;
+
+/// A string-keyed counter with top-k extraction and table rendering —
+//  the building block behind every table in §6.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    counts: HashMap<String, u64>,
+    total: u64,
+}
+
+impl Counter {
+    /// Empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one occurrence of `key`.
+    pub fn add(&mut self, key: &str) {
+        self.add_n(key, 1);
+    }
+
+    /// Count `n` occurrences of `key` at once (used when merging).
+    pub fn add_n(&mut self, key: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(key.to_string()).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Count of a specific key.
+    pub fn get(&self, key: &str) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The `k` most frequent keys with counts, ties broken
+    /// alphabetically for determinism.
+    pub fn top(&self, k: usize) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self.counts.iter().map(|(s, &c)| (s.clone(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Render a paper-style table: top-k rows with counts and
+    /// percentages, then `(Other)` and `Total` rows.
+    pub fn render_table(&self, title: &str, k: usize) -> String {
+        let mut s = format!("{title}\n{:<44} {:>12} {:>8}\n", "", "Number", "(% All)");
+        let top = self.top(k);
+        let mut top_sum = 0u64;
+        for (name, count) in &top {
+            top_sum += count;
+            let display = if name.is_empty() { "(Unknown)" } else { name };
+            s.push_str(&format!(
+                "{:<44} {:>12} {:>7.1}%\n",
+                display,
+                count,
+                100.0 * *count as f64 / self.total.max(1) as f64
+            ));
+        }
+        let other = self.total - top_sum;
+        if other > 0 {
+            s.push_str(&format!(
+                "{:<44} {:>12} {:>7.1}%\n",
+                "(Other)",
+                other,
+                100.0 * other as f64 / self.total.max(1) as f64
+            ));
+        }
+        s.push_str(&format!(
+            "{:<44} {:>12} {:>7.1}%\n",
+            "Total", self.total, 100.0
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counter {
+        let mut c = Counter::new();
+        for _ in 0..5 {
+            c.add("US");
+        }
+        for _ in 0..3 {
+            c.add("CN");
+        }
+        c.add("GB");
+        c.add("");
+        c
+    }
+
+    #[test]
+    fn counting_and_totals() {
+        let c = sample();
+        assert_eq!(c.get("US"), 5);
+        assert_eq!(c.get("CN"), 3);
+        assert_eq!(c.get("absent"), 0);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.distinct(), 4);
+    }
+
+    #[test]
+    fn top_k_ordering_and_ties() {
+        let c = sample();
+        let top = c.top(2);
+        assert_eq!(top, vec![("US".to_string(), 5), ("CN".to_string(), 3)]);
+        let mut t = Counter::new();
+        t.add("b");
+        t.add("a");
+        assert_eq!(t.top(2)[0].0, "a", "alphabetical tie-break");
+    }
+
+    #[test]
+    fn render_includes_other_and_unknown() {
+        let c = sample();
+        let table = c.render_table("Top countries", 2);
+        assert!(table.contains("US"));
+        assert!(table.contains("(Other)"));
+        assert!(table.contains("Total"));
+        assert!(table.contains("50.0%"));
+        let all = c.render_table("All", 10);
+        assert!(all.contains("(Unknown)"), "empty key renders as Unknown");
+    }
+
+    #[test]
+    fn empty_counter_renders_safely() {
+        let c = Counter::new();
+        let t = c.render_table("Empty", 5);
+        assert!(t.contains("Total"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Registrant-country normalization.
+//!
+//! WHOIS records write countries as ISO codes (`US`, `cn`), full names
+//! (`United States`), or not at all. The survey canonicalizes everything
+//! to a display name, with `""` for unknown.
+
+const CODE_TO_NAME: &[(&str, &str)] = &[
+    ("US", "United States"),
+    ("CN", "China"),
+    ("GB", "United Kingdom"),
+    ("UK", "United Kingdom"),
+    ("DE", "Germany"),
+    ("FR", "France"),
+    ("CA", "Canada"),
+    ("ES", "Spain"),
+    ("AU", "Australia"),
+    ("JP", "Japan"),
+    ("IN", "India"),
+    ("TR", "Turkey"),
+    ("RU", "Russia"),
+    ("VN", "Vietnam"),
+    ("NL", "Netherlands"),
+    ("IT", "Italy"),
+    ("BR", "Brazil"),
+    ("HK", "Hong Kong"),
+    ("KR", "South Korea"),
+    ("MX", "Mexico"),
+    ("SE", "Sweden"),
+    ("CH", "Switzerland"),
+    ("PL", "Poland"),
+    ("TW", "Taiwan"),
+    ("SG", "Singapore"),
+    ("IE", "Ireland"),
+    ("NZ", "New Zealand"),
+];
+
+/// Names accepted as-is (lower-case key → canonical display name).
+const NAME_ALIASES: &[(&str, &str)] = &[
+    ("united states", "United States"),
+    ("united states of america", "United States"),
+    ("usa", "United States"),
+    ("china", "China"),
+    ("united kingdom", "United Kingdom"),
+    ("great britain", "United Kingdom"),
+    ("germany", "Germany"),
+    ("france", "France"),
+    ("canada", "Canada"),
+    ("spain", "Spain"),
+    ("australia", "Australia"),
+    ("japan", "Japan"),
+    ("india", "India"),
+    ("turkey", "Turkey"),
+    ("russia", "Russia"),
+    ("russian federation", "Russia"),
+    ("vietnam", "Vietnam"),
+    ("viet nam", "Vietnam"),
+    ("netherlands", "Netherlands"),
+    ("italy", "Italy"),
+    ("brazil", "Brazil"),
+    ("hong kong", "Hong Kong"),
+];
+
+/// Normalize a raw registrant-country value to a canonical display name;
+/// returns `""` when the value is missing or unrecognizable.
+pub fn normalize(raw: Option<&str>) -> String {
+    let Some(raw) = raw else {
+        return String::new();
+    };
+    let t = raw.trim();
+    if t.is_empty() {
+        return String::new();
+    }
+    if t.len() == 2 {
+        let code = t.to_ascii_uppercase();
+        if let Some((_, name)) = CODE_TO_NAME.iter().find(|(c, _)| *c == code) {
+            return (*name).to_string();
+        }
+    }
+    let lower = t.to_lowercase();
+    if let Some((_, name)) = NAME_ALIASES.iter().find(|(a, _)| *a == lower) {
+        return (*name).to_string();
+    }
+    // Unknown but present: title-case passthrough keeps long-tail
+    // countries countable.
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_normalize() {
+        assert_eq!(normalize(Some("US")), "United States");
+        assert_eq!(normalize(Some("cn")), "China");
+        assert_eq!(normalize(Some("UK")), "United Kingdom");
+    }
+
+    #[test]
+    fn names_normalize() {
+        assert_eq!(normalize(Some("United States")), "United States");
+        assert_eq!(normalize(Some("VIET NAM")), "Vietnam");
+        assert_eq!(normalize(Some("Russian Federation")), "Russia");
+    }
+
+    #[test]
+    fn missing_and_unknown() {
+        assert_eq!(normalize(None), "");
+        assert_eq!(normalize(Some("  ")), "");
+        assert_eq!(normalize(Some("Gondor")), "Gondor", "passthrough");
+        assert_eq!(normalize(Some("ZZ")), "ZZ", "unknown code passthrough");
+    }
+}

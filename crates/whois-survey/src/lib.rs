@@ -1,0 +1,26 @@
+//! # whois-survey
+//!
+//! The §6 survey pipeline: aggregate parsed WHOIS records into the
+//! paper's tables and figures.
+//!
+//! * [`counter`] — counted top-k tables with percentage rendering.
+//! * [`country`] — registrant-country normalization (ISO codes and
+//!   display names → canonical names).
+//! * [`privacy`] — privacy-protection detection via "a small set of
+//!   keywords to match against registrant name and/or organization
+//!   fields" (§6.3).
+//! * [`survey`] — the [`survey::Survey`] accumulator producing: registrant
+//!   countries all-time and 2014 (Table 3), brand-company portfolios
+//!   (Table 4), registrars (Table 5), privacy services and their
+//!   registrars (Tables 6–7), blacklisted-domain breakdowns (Tables
+//!   8–9), the creation-date histogram (Figure 4a), per-year country and
+//!   privacy proportions (Figure 4b), and per-registrar country mixes
+//!   (Figure 5).
+
+pub mod counter;
+pub mod country;
+pub mod privacy;
+pub mod survey;
+
+pub use counter::Counter;
+pub use survey::{Survey, SurveyRow};

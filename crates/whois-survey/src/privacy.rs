@@ -1,0 +1,106 @@
+//! Privacy-protection detection (§6.3).
+//!
+//! "We identify privacy protection services using a small set of
+//! keywords to match against registrant name and/or organization fields
+//! in the WHOIS records." A match also canonicalizes the service name so
+//! Table 7 groups variants together.
+
+use whois_model::Contact;
+
+/// `(needle, canonical service name)` — matched case-insensitively
+/// against registrant name and organization.
+const SERVICES: &[(&str, &str)] = &[
+    ("domains by proxy", "Domains By Proxy"),
+    ("whoisguard", "WhoisGuard"),
+    ("whois privacy protect", "Whois Privacy Protect"),
+    ("fbo registrant", "FBO REGISTRANT"),
+    ("privacyprotect.org", "PrivacyProtect.org"),
+    ("aliyun", "Aliyun"),
+    ("perfect privacy", "Perfect Privacy"),
+    ("happy dreamhost", "Happy DreamHost"),
+    ("muumuudomain", "MuuMuuDomain"),
+    ("1&1 internet inc", "1&1 Internet"),
+    ("contact privacy", "Contact Privacy"),
+    ("moniker privacy", "Moniker Privacy Services"),
+    ("privacyguardian", "PrivacyGuardian.org"),
+    ("whoisproxy", "WhoisProxy.com"),
+    ("identity protection service", "Identity Protection Service"),
+    (
+        "whois privacy protection service",
+        "Whois Privacy Protection Service",
+    ),
+    (
+        "hidden by whois privacy",
+        "Hidden by Whois Privacy Protection Service",
+    ),
+    ("private registration", "Private Registration"),
+    ("registration private", "Registration Private"),
+    ("privacy", "Privacy Service (generic)"),
+    ("proxy", "Proxy Service (generic)"),
+];
+
+/// Detect whether a registrant contact is a privacy-service proxy,
+/// returning the canonical service name.
+///
+/// The organization field is checked first (services put their company
+/// name there); generic keywords only fire when nothing specific does.
+pub fn detect(contact: &Contact) -> Option<&'static str> {
+    let hay_org = contact.org.as_deref().unwrap_or("").to_lowercase();
+    let hay_name = contact.name.as_deref().unwrap_or("").to_lowercase();
+    for (needle, service) in SERVICES {
+        if hay_org.contains(needle) {
+            return Some(service);
+        }
+    }
+    for (needle, service) in SERVICES {
+        if hay_name.contains(needle) {
+            return Some(service);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contact(name: &str, org: Option<&str>) -> Contact {
+        Contact {
+            name: Some(name.to_string()),
+            org: org.map(str::to_string),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_named_services_in_org() {
+        let c = contact("Registration Private", Some("Domains By Proxy, LLC"));
+        assert_eq!(detect(&c), Some("Domains By Proxy"));
+        let c = contact("X", Some("WhoisGuard Protected"));
+        assert_eq!(detect(&c), Some("WhoisGuard"));
+    }
+
+    #[test]
+    fn detects_in_name_when_org_clean() {
+        let c = contact("WHOIS PRIVACY PROTECT", None);
+        assert_eq!(detect(&c), Some("Whois Privacy Protect"));
+    }
+
+    #[test]
+    fn specific_match_beats_generic() {
+        let c = contact("X", Some("Perfect Privacy, LLC"));
+        assert_eq!(detect(&c), Some("Perfect Privacy"));
+    }
+
+    #[test]
+    fn generic_keywords_are_a_fallback() {
+        let c = contact("X", Some("Super Privacy Shield Ltd"));
+        assert_eq!(detect(&c), Some("Privacy Service (generic)"));
+    }
+
+    #[test]
+    fn ordinary_registrants_not_flagged() {
+        assert_eq!(detect(&contact("John Smith", Some("Acme Corp"))), None);
+        assert_eq!(detect(&Contact::default()), None);
+    }
+}

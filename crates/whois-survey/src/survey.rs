@@ -1,0 +1,415 @@
+//! The survey accumulator (§6).
+
+use crate::counter::Counter;
+use crate::country;
+use crate::privacy;
+use std::collections::BTreeMap;
+use whois_model::ParsedRecord;
+
+/// One row of a per-year proportion series (Figure 4b).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SurveyRow {
+    /// Creation year.
+    pub year: i32,
+    /// Bucket name (country, `Private`, `Unknown`, `Other`).
+    pub bucket: String,
+    /// Proportion of that year's domains.
+    pub proportion: f64,
+}
+
+/// Streaming aggregator over parsed records.
+///
+/// Mirrors the paper's §6 analysis: privacy-protected domains are
+/// detected from the registrant identity and excluded from country
+/// statistics ("the country of the registrant cannot be inferred");
+/// records without a country count as `(Unknown)`.
+#[derive(Clone, Debug, Default)]
+pub struct Survey {
+    /// Total records surveyed.
+    pub total: u64,
+    /// Registrant countries, all time (privacy-protected excluded).
+    pub country_all: Counter,
+    /// Registrant countries among 2014 creations.
+    pub country_2014: Counter,
+    /// Registrars, all time.
+    pub registrar_all: Counter,
+    /// Registrars among 2014 creations.
+    pub registrar_2014: Counter,
+    /// Privacy services (Table 7).
+    pub privacy_services: Counter,
+    /// Registrars of privacy-protected domains (Table 6).
+    pub privacy_registrars: Counter,
+    /// Registrant organizations (Table 4 input).
+    pub orgs: Counter,
+    /// Creation-year histogram (Figure 4a).
+    pub year_histogram: BTreeMap<i32, u64>,
+    /// Per-year country/privacy buckets (Figure 4b).
+    pub year_buckets: BTreeMap<i32, Counter>,
+    /// Per-registrar registrant-country mix (Figure 5).
+    pub registrar_countries: BTreeMap<String, Counter>,
+    /// Registrant countries of blacklisted 2014 domains (Table 8).
+    pub dbl_country: Counter,
+    /// Registrars of blacklisted 2014 domains (Table 9).
+    pub dbl_registrar: Counter,
+    /// Total blacklisted domains seen.
+    pub dbl_total: u64,
+}
+
+impl Survey {
+    /// Empty survey.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one parsed record; `listed` marks DBL membership.
+    pub fn add(&mut self, rec: &ParsedRecord, listed: bool) {
+        self.total += 1;
+        let year = rec.creation_year();
+        let registrar = rec.registrar.clone().unwrap_or_default();
+        let is_2014 = year == Some(2014);
+
+        self.registrar_all.add(&registrar);
+        if is_2014 {
+            self.registrar_2014.add(&registrar);
+        }
+
+        // Privacy detection from the registrant identity.
+        let service = rec.registrant.as_ref().and_then(privacy::detect);
+        if let Some(s) = service {
+            self.privacy_services.add(s);
+            self.privacy_registrars.add(&registrar);
+        }
+
+        // Country statistics exclude privacy-protected domains.
+        let country =
+            country::normalize(rec.registrant.as_ref().and_then(|c| c.country.as_deref()));
+        if service.is_none() {
+            self.country_all.add(&country);
+            if is_2014 {
+                self.country_2014.add(&country);
+            }
+            if !registrar.is_empty() {
+                self.registrar_countries
+                    .entry(registrar.clone())
+                    .or_default()
+                    .add(&country);
+            }
+            if let Some(org) = rec.registrant.as_ref().and_then(|c| c.org.as_deref()) {
+                self.orgs.add(org);
+            }
+        }
+
+        // Temporal series.
+        if let Some(y) = year {
+            *self.year_histogram.entry(y).or_insert(0) += 1;
+            let bucket = if service.is_some() {
+                "Private".to_string()
+            } else if country.is_empty() {
+                "Unknown".to_string()
+            } else {
+                country.clone()
+            };
+            self.year_buckets.entry(y).or_default().add(&bucket);
+        }
+
+        // Blacklist breakdowns (2014 creations, per §6.4).
+        if listed && is_2014 {
+            self.dbl_total += 1;
+            self.dbl_registrar.add(&registrar);
+            if service.is_none() {
+                self.dbl_country.add(&country);
+            }
+        }
+    }
+
+    /// Merge another survey into this one (for sharded pipelines).
+    pub fn merge(&mut self, other: &Survey) {
+        self.total += other.total;
+        merge_counter(&mut self.country_all, &other.country_all);
+        merge_counter(&mut self.country_2014, &other.country_2014);
+        merge_counter(&mut self.registrar_all, &other.registrar_all);
+        merge_counter(&mut self.registrar_2014, &other.registrar_2014);
+        merge_counter(&mut self.privacy_services, &other.privacy_services);
+        merge_counter(&mut self.privacy_registrars, &other.privacy_registrars);
+        merge_counter(&mut self.orgs, &other.orgs);
+        merge_counter(&mut self.dbl_country, &other.dbl_country);
+        merge_counter(&mut self.dbl_registrar, &other.dbl_registrar);
+        self.dbl_total += other.dbl_total;
+        for (y, c) in &other.year_histogram {
+            *self.year_histogram.entry(*y).or_insert(0) += c;
+        }
+        for (y, counter) in &other.year_buckets {
+            merge_counter(self.year_buckets.entry(*y).or_default(), counter);
+        }
+        for (r, counter) in &other.registrar_countries {
+            merge_counter(
+                self.registrar_countries.entry(r.clone()).or_default(),
+                counter,
+            );
+        }
+    }
+
+    /// Figure 4b rows: per-year proportions of the given country buckets
+    /// plus `Private`, `Unknown`, and `Other`.
+    pub fn year_proportions(&self, countries: &[&str]) -> Vec<SurveyRow> {
+        let mut rows = Vec::new();
+        for (&year, counter) in &self.year_buckets {
+            let total = counter.total().max(1) as f64;
+            let mut covered = 0u64;
+            for &c in countries {
+                let n = counter.get(c);
+                covered += n;
+                rows.push(SurveyRow {
+                    year,
+                    bucket: c.to_string(),
+                    proportion: n as f64 / total,
+                });
+            }
+            for special in ["Private", "Unknown"] {
+                let n = counter.get(special);
+                covered += n;
+                rows.push(SurveyRow {
+                    year,
+                    bucket: special.to_string(),
+                    proportion: n as f64 / total,
+                });
+            }
+            rows.push(SurveyRow {
+                year,
+                bucket: "Other".to_string(),
+                proportion: (counter.total() - covered) as f64 / total,
+            });
+        }
+        rows
+    }
+
+    /// Figure 4a as text: an aligned per-year histogram with bars.
+    pub fn render_year_histogram(&self) -> String {
+        let max = self.year_histogram.values().copied().max().unwrap_or(1);
+        let mut s = String::from("Creation year histogram (Figure 4a)\n");
+        for (y, &n) in &self.year_histogram {
+            let bar = "#".repeat(((n as f64 / max as f64) * 50.0).round() as usize);
+            s.push_str(&format!("{y} {n:>10} {bar}\n"));
+        }
+        s
+    }
+
+    /// Figure 5 as text: top-3 registrant countries per requested
+    /// registrar.
+    pub fn render_registrar_mix(&self, registrars: &[&str]) -> String {
+        let mut s = String::from("Top registrant countries per registrar (Figure 5)\n");
+        for &r in registrars {
+            let Some(counter) = self
+                .registrar_countries
+                .iter()
+                .find(|(name, _)| name.contains(r))
+                .map(|(_, c)| c)
+            else {
+                s.push_str(&format!("{r}: (no data)\n"));
+                continue;
+            };
+            let total = counter.total().max(1) as f64;
+            let top: Vec<String> = counter
+                .top(3)
+                .into_iter()
+                .map(|(name, n)| {
+                    let display = if name.is_empty() { "[]" } else { &name };
+                    format!("{display} {:.0}%", 100.0 * n as f64 / total)
+                })
+                .collect();
+            s.push_str(&format!("{r}: {}\n", top.join(", ")));
+        }
+        s
+    }
+
+    /// Table 4: counts for a fixed list of well-known brand
+    /// organizations, sorted descending.
+    pub fn brand_counts(&self, brands: &[&str]) -> Vec<(String, u64)> {
+        // Snapshot the org table once rather than per brand.
+        let orgs: Vec<(String, u64)> = self
+            .orgs
+            .top(usize::MAX)
+            .into_iter()
+            .map(|(org, c)| (org.to_lowercase(), c))
+            .collect();
+        let mut rows: Vec<(String, u64)> = brands
+            .iter()
+            .map(|&b| {
+                // Sum org variants containing the brand's first word.
+                let key = b.split_whitespace().next().unwrap_or(b).to_lowercase();
+                let count = orgs
+                    .iter()
+                    .filter(|(org, _)| org.contains(&key))
+                    .map(|(_, c)| c)
+                    .sum();
+                (b.to_string(), count)
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+fn merge_counter(into: &mut Counter, from: &Counter) {
+    for (key, count) in from.top(usize::MAX) {
+        into.add_n(&key, count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whois_model::Contact;
+
+    fn record(
+        registrar: &str,
+        created: Option<&str>,
+        country: Option<&str>,
+        org: Option<&str>,
+        name: &str,
+    ) -> ParsedRecord {
+        let mut p = ParsedRecord::new("x.com");
+        p.registrar = Some(registrar.to_string());
+        p.created = created.map(str::to_string);
+        p.registrant = Some(Contact {
+            name: Some(name.to_string()),
+            org: org.map(str::to_string),
+            country: country.map(str::to_string),
+            ..Default::default()
+        });
+        p
+    }
+
+    #[test]
+    fn counts_countries_and_registrars() {
+        let mut s = Survey::new();
+        s.add(
+            &record("GoDaddy", Some("2014-02-03"), Some("US"), None, "J"),
+            false,
+        );
+        s.add(
+            &record("eNom", Some("2010-02-03"), Some("CN"), None, "K"),
+            false,
+        );
+        s.add(&record("eNom", Some("2014-05-06"), None, None, "L"), false);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.country_all.get("United States"), 1);
+        assert_eq!(s.country_all.get("China"), 1);
+        assert_eq!(s.country_all.get(""), 1, "missing country counted unknown");
+        assert_eq!(s.country_2014.total(), 2);
+        assert_eq!(s.registrar_2014.get("eNom"), 1);
+        assert_eq!(s.year_histogram[&2014], 2);
+    }
+
+    #[test]
+    fn privacy_domains_excluded_from_country_stats() {
+        let mut s = Survey::new();
+        s.add(
+            &record(
+                "GoDaddy",
+                Some("2014-01-01"),
+                Some("US"),
+                Some("Domains By Proxy, LLC"),
+                "Registration Private",
+            ),
+            false,
+        );
+        assert_eq!(s.privacy_services.get("Domains By Proxy"), 1);
+        assert_eq!(s.privacy_registrars.get("GoDaddy"), 1);
+        assert_eq!(
+            s.country_all.total(),
+            0,
+            "private domain has no country row"
+        );
+        let rows = s.year_proportions(&["United States"]);
+        let private = rows
+            .iter()
+            .find(|r| r.year == 2014 && r.bucket == "Private")
+            .unwrap();
+        assert!((private.proportion - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dbl_breakdowns_only_cover_2014() {
+        let mut s = Survey::new();
+        s.add(
+            &record("eNom", Some("2014-01-01"), Some("JP"), None, "J"),
+            true,
+        );
+        s.add(
+            &record("eNom", Some("2013-01-01"), Some("JP"), None, "K"),
+            true,
+        );
+        assert_eq!(s.dbl_total, 1);
+        assert_eq!(s.dbl_country.get("Japan"), 1);
+        assert_eq!(s.dbl_registrar.get("eNom"), 1);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Survey::new();
+        a.add(
+            &record("GoDaddy", Some("2014-01-01"), Some("US"), None, "J"),
+            false,
+        );
+        let mut b = Survey::new();
+        b.add(
+            &record("GoDaddy", Some("2014-01-01"), Some("US"), None, "K"),
+            true,
+        );
+        a.merge(&b);
+        assert_eq!(a.total, 2);
+        assert_eq!(a.country_all.get("United States"), 2);
+        assert_eq!(a.dbl_total, 1);
+        assert_eq!(a.year_histogram[&2014], 2);
+    }
+
+    #[test]
+    fn renders_are_textual() {
+        let mut s = Survey::new();
+        s.add(
+            &record("GoDaddy", Some("2013-01-01"), Some("US"), None, "J"),
+            false,
+        );
+        s.add(
+            &record("GoDaddy", Some("2014-01-01"), Some("CN"), None, "K"),
+            false,
+        );
+        let h = s.render_year_histogram();
+        assert!(h.contains("2013") && h.contains("2014") && h.contains('#'));
+        let mix = s.render_registrar_mix(&["GoDaddy", "Missing Registrar"]);
+        assert!(mix.contains("GoDaddy:"));
+        assert!(mix.contains("(no data)"));
+    }
+
+    #[test]
+    fn brand_counts_match_substring() {
+        let mut s = Survey::new();
+        for _ in 0..3 {
+            s.add(
+                &record(
+                    "R",
+                    Some("2010-01-01"),
+                    Some("US"),
+                    Some("Amazon Technologies, Inc."),
+                    "DA",
+                ),
+                false,
+            );
+        }
+        s.add(
+            &record(
+                "R",
+                Some("2010-01-01"),
+                Some("US"),
+                Some("Google Inc."),
+                "DA",
+            ),
+            false,
+        );
+        let rows = s.brand_counts(&["Amazon Technologies, Inc.", "Google Inc.", "Nike, Inc."]);
+        assert_eq!(rows[0], ("Amazon Technologies, Inc.".to_string(), 3));
+        assert_eq!(rows[1], ("Google Inc.".to_string(), 1));
+        assert_eq!(rows[2].1, 0);
+    }
+}

@@ -1,0 +1,477 @@
+//! # whois-templates
+//!
+//! The **template-based** baseline parser of §2.3 (the deft-whois / Ruby
+//! whois approach): one exact per-registrar template learned from labeled
+//! examples, a crisp failure signal when no template matches, and the
+//! fragility the paper documents — "changing a single word in the schema
+//! or reordering field elements can easily lead to parsing failure."
+//!
+//! A [`LineMatcher`] abstracts one template line: titled lines match by
+//! their exact title (values vary per domain); label-free lines match any
+//! text and are labeled by position. Matching tolerates *omitted* lines
+//! (real records skip absent fields like fax) by allowing the template
+//! cursor to skip forward a bounded number of entries — but it does not
+//! tolerate retitled or reordered lines, which is exactly the failure
+//! mode measured in the paper's deft-whois experiment.
+
+use std::collections::HashMap;
+use whois_model::{BlockLabel, ErrorStats};
+use whois_tokenize::split_title_value;
+
+/// How far the matcher may skip forward over omitted template lines
+/// (whole optional contact blocks can be absent).
+const MAX_SKIP: usize = 30;
+
+/// How many record lines with no matching template entry are tolerated
+/// per record (a registrar occasionally emits a field the template's
+/// source example lacked). Such lines inherit the previous line's label —
+/// the same guessing a hand-written template does. Anything beyond this
+/// budget is a parse failure, which keeps the parser fragile to real
+/// schema drift (where most titles change).
+const MAX_UNMATCHED_LINES: usize = 2;
+
+/// One line of a learned template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineMatcher {
+    /// A `title: value` line — matches any line with exactly this
+    /// (trimmed, lower-cased) title.
+    Titled {
+        /// The exact title text.
+        title: String,
+        /// The label every matching line receives.
+        label: BlockLabel,
+    },
+    /// A line with no separator — matches any separator-free line and
+    /// labels it by template position.
+    Bare {
+        /// The label for this position.
+        label: BlockLabel,
+    },
+}
+
+impl LineMatcher {
+    fn matches(&self, line: &str) -> Option<BlockLabel> {
+        let split = effective_split(line);
+        match (self, split) {
+            (LineMatcher::Titled { title, label }, Some((t, _))) => (t == *title).then_some(*label),
+            (LineMatcher::Bare { label }, None) => Some(*label),
+            _ => None,
+        }
+    }
+}
+
+/// Title side of a line under the template parser's separator model
+/// (colon/tab/ellipsis/equals plus the bracket convention), lower-cased.
+fn effective_split(line: &str) -> Option<(String, String)> {
+    let trimmed = line.trim_start();
+    if let Some(rest) = trimmed.strip_prefix('[') {
+        if let Some(close) = rest.find(']') {
+            return Some((
+                format!("[{}]", rest[..close].trim().to_lowercase()),
+                rest[close + 1..].trim().to_string(),
+            ));
+        }
+    }
+    split_title_value(line).map(|(t, v, _)| (t.trim().to_lowercase(), v.trim().to_string()))
+}
+
+/// A learned per-registrar template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Template {
+    /// The registrar key this template was learned for.
+    pub registrar: String,
+    matchers: Vec<LineMatcher>,
+}
+
+impl Template {
+    /// Learn a template from one labeled record.
+    pub fn learn(registrar: &str, lines: &[&str], labels: &[BlockLabel]) -> Self {
+        assert_eq!(lines.len(), labels.len(), "labels must align with lines");
+        let matchers = lines
+            .iter()
+            .zip(labels)
+            .map(|(&line, &label)| match effective_split(line) {
+                Some((title, _)) => LineMatcher::Titled { title, label },
+                None => LineMatcher::Bare { label },
+            })
+            .collect();
+        Template {
+            registrar: registrar.to_string(),
+            matchers,
+        }
+    }
+
+    /// Try to label `lines` with this template. Returns `None` — the
+    /// crisp failure signal — when any line fails to match within the
+    /// skip budget.
+    pub fn apply(&self, lines: &[&str]) -> Option<Vec<BlockLabel>> {
+        let mut out = Vec::with_capacity(lines.len());
+        let mut cursor = 0usize;
+        let mut unmatched = 0usize;
+        for &line in lines {
+            // Repeated fields (a second `Domain Status:` or `Name Server:`
+            // line) re-match the previous titled matcher.
+            if cursor > 0 {
+                if let m @ LineMatcher::Titled { .. } = &self.matchers[cursor - 1] {
+                    if let Some(label) = m.matches(line) {
+                        out.push(label);
+                        continue;
+                    }
+                }
+            }
+            let mut matched = None;
+            // Templates tolerate omitted lines: advance the cursor up to
+            // MAX_SKIP entries to find a match.
+            for skip in 0..=MAX_SKIP {
+                let idx = cursor + skip;
+                if idx >= self.matchers.len() {
+                    break;
+                }
+                if let Some(label) = self.matchers[idx].matches(line) {
+                    matched = Some((idx, label));
+                    break;
+                }
+            }
+            match matched {
+                Some((idx, label)) => {
+                    out.push(label);
+                    cursor = idx + 1;
+                }
+                None => {
+                    // An unknown extra line: within budget, inherit the
+                    // previous label; beyond it, crisp failure.
+                    if unmatched >= MAX_UNMATCHED_LINES {
+                        return None;
+                    }
+                    unmatched += 1;
+                    out.push(out.last().copied().unwrap_or(BlockLabel::Null));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Number of line matchers.
+    pub fn len(&self) -> usize {
+        self.matchers.len()
+    }
+
+    /// True when the template is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matchers.is_empty()
+    }
+}
+
+/// Outcome statistics for a template-parser evaluation (the coverage /
+/// success accounting of §2.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoverageStats {
+    /// Records whose registrar had at least one template.
+    pub covered: usize,
+    /// Records parsed successfully (a template matched every line).
+    pub parsed: usize,
+    /// Records where templates existed but none matched (fragility).
+    pub failed: usize,
+    /// Records from registrars with no template at all.
+    pub uncovered: usize,
+}
+
+impl CoverageStats {
+    /// Total records seen.
+    pub fn total(&self) -> usize {
+        self.covered + self.uncovered
+    }
+
+    /// Fraction of records with template coverage (the paper found 94%
+    /// for deft-whois on `com`).
+    pub fn coverage_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of records successfully parsed.
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.parsed as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The template-based parser: a registrar-keyed template store.
+#[derive(Clone, Debug, Default)]
+pub struct TemplateParser {
+    templates: HashMap<String, Vec<Template>>,
+}
+
+impl TemplateParser {
+    /// Empty parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learn a template from one labeled record, deduplicating identical
+    /// templates per registrar.
+    pub fn add_example(&mut self, registrar: &str, lines: &[&str], labels: &[BlockLabel]) {
+        let t = Template::learn(registrar, lines, labels);
+        let entry = self.templates.entry(registrar.to_string()).or_default();
+        if !entry.contains(&t) {
+            entry.push(t);
+        }
+    }
+
+    /// Number of registrars with templates.
+    pub fn registrars(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Total learned templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.values().map(Vec::len).sum()
+    }
+
+    /// Whether a registrar is covered.
+    pub fn covers(&self, registrar: &str) -> bool {
+        self.templates.contains_key(registrar)
+    }
+
+    /// Label a record's lines; `None` is the crisp failure signal (no
+    /// template for the registrar, or none of its templates matched).
+    pub fn label_blocks(&self, registrar: &str, lines: &[&str]) -> Option<Vec<BlockLabel>> {
+        self.templates
+            .get(registrar)?
+            .iter()
+            .find_map(|t| t.apply(lines))
+    }
+
+    /// Evaluate over `(registrar, text, gold)` examples, producing both
+    /// coverage accounting and line/document error statistics. Failed or
+    /// uncovered records count every line as an error (the parser
+    /// produced nothing for them).
+    pub fn evaluate(
+        &self,
+        examples: &[(String, String, Vec<BlockLabel>)],
+    ) -> (CoverageStats, ErrorStats) {
+        let mut cov = CoverageStats::default();
+        let mut err = ErrorStats::default();
+        for (registrar, text, gold) in examples {
+            let lines = whois_model::non_empty_lines(text);
+            assert_eq!(lines.len(), gold.len(), "gold labels misaligned");
+            if !self.covers(registrar) {
+                cov.uncovered += 1;
+                err.record(gold.len(), gold.len());
+                continue;
+            }
+            cov.covered += 1;
+            match self.label_blocks(registrar, &lines) {
+                Some(pred) => {
+                    cov.parsed += 1;
+                    let errors = pred.iter().zip(gold).filter(|(p, g)| p != g).count();
+                    err.record(gold.len(), errors);
+                }
+                None => {
+                    cov.failed += 1;
+                    err.record(gold.len(), gold.len());
+                }
+            }
+        }
+        (cov, err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whois_gen::corpus::{generate_corpus, GenConfig};
+
+    fn corpus_examples(seed: u64, n: usize, drift: f64) -> Vec<(String, String, Vec<BlockLabel>)> {
+        generate_corpus(GenConfig {
+            drift_fraction: drift,
+            ..GenConfig::new(seed, n)
+        })
+        .into_iter()
+        .map(|d| {
+            (
+                d.registrar.name.to_string(),
+                d.rendered.text(),
+                d.block_labels().labels(),
+            )
+        })
+        .collect()
+    }
+
+    fn train_parser(examples: &[(String, String, Vec<BlockLabel>)]) -> TemplateParser {
+        let mut p = TemplateParser::new();
+        for (reg, text, gold) in examples {
+            let lines = whois_model::non_empty_lines(text);
+            p.add_example(reg, &lines, gold);
+        }
+        p
+    }
+
+    #[test]
+    fn template_learn_apply_roundtrip() {
+        let lines = vec!["Domain Name: X.COM", "Registrar: GoDaddy", "John Smith"];
+        use BlockLabel::*;
+        let labels = vec![Domain, Registrar, Registrant];
+        let t = Template::learn("gd", &lines, &labels);
+        assert_eq!(t.len(), 3);
+        // Same titles, different values.
+        let other = vec!["Domain Name: Y.NET", "Registrar: eNom", "Jane Roe"];
+        assert_eq!(t.apply(&other), Some(labels.clone()));
+    }
+
+    #[test]
+    fn retitled_lines_break_the_template() {
+        use BlockLabel::*;
+        let lines = vec![
+            "Domain Name: X.COM",
+            "Registrar: GoDaddy",
+            "Creation Date: 2014-01-01",
+            "Registrant Name: J",
+            "Registrant Email: j@x.org",
+        ];
+        let t = Template::learn(
+            "gd",
+            &lines,
+            &[Domain, Registrar, Date, Registrant, Registrant],
+        );
+        // A drifted schema retitles several fields ⇒ crisp failure once
+        // the unknown-line budget is exceeded.
+        assert_eq!(
+            t.apply(&[
+                "Domain Name: Y.COM",
+                "Sponsor: GoDaddy",
+                "Registered On: 2014-01-01",
+                "Holder Name: K",
+                "Holder Email: k@x.org",
+            ]),
+            None
+        );
+        // A single unknown line squeaks by, but with a *wrong* inherited
+        // label — the quiet mislabeling the paper warns about.
+        let labels = t
+            .apply(&[
+                "Domain Name: Y.COM",
+                "Sponsor: GoDaddy",
+                "Creation Date: 2014-01-01",
+                "Registrant Name: K",
+                "Registrant Email: k@x.org",
+            ])
+            .unwrap();
+        assert_eq!(labels[1], Domain, "inherited from the previous line");
+    }
+
+    #[test]
+    fn omitted_lines_are_tolerated() {
+        use BlockLabel::*;
+        let lines = vec![
+            "Registrant Name: J",
+            "Registrant Fax: +1.5550100",
+            "Registrant Email: j@x.org",
+        ];
+        let t = Template::learn("r", &lines, &[Registrant, Registrant, Registrant]);
+        // Record without the fax line still parses.
+        let pred = t.apply(&["Registrant Name: K", "Registrant Email: k@x.org"]);
+        assert_eq!(pred, Some(vec![Registrant, Registrant]));
+    }
+
+    #[test]
+    fn reordering_beyond_skip_budget_fails() {
+        use BlockLabel::*;
+        let lines: Vec<String> = (0..12).map(|i| format!("Field{i}: v")).collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let t = Template::learn("r", &refs, &[Null; 12]);
+        let mut reordered: Vec<&str> = refs.clone();
+        reordered.swap(0, 11); // moves a late line first: needs skip > MAX_SKIP
+        assert_eq!(t.apply(&reordered), None);
+    }
+
+    #[test]
+    fn parser_is_perfect_on_its_training_registrars() {
+        let examples = corpus_examples(61, 150, 0.0);
+        let parser = train_parser(&examples);
+        let (cov, err) = parser.evaluate(&examples);
+        assert_eq!(cov.uncovered, 0);
+        assert_eq!(cov.failed, 0);
+        assert_eq!(
+            err.line_errors, 0,
+            "templates trained on these exact records"
+        );
+    }
+
+    #[test]
+    fn parser_generalizes_within_registrar_but_not_across() {
+        let train = corpus_examples(63, 200, 0.0);
+        let test = corpus_examples(65, 200, 0.0);
+        let parser = train_parser(&train);
+        let (cov, _) = parser.evaluate(&test);
+        // Same registrar population ⇒ high coverage; success tracks
+        // coverage because formats are stable without drift.
+        assert!(
+            cov.coverage_rate() > 0.9,
+            "coverage {}",
+            cov.coverage_rate()
+        );
+        assert!(
+            cov.parsed as f64 / cov.covered.max(1) as f64 > 0.9,
+            "within-format success should be high: {:?}",
+            cov
+        );
+    }
+
+    #[test]
+    fn drift_breaks_templates() {
+        let train = corpus_examples(67, 200, 0.0);
+        let parser = train_parser(&train);
+        // Same seeds but every record drifted.
+        let drifted = corpus_examples(67, 200, 1.0);
+        let (cov, err) = parser.evaluate(&drifted);
+        assert!(cov.covered > 150, "registrars are still known");
+        assert!(
+            (cov.failed as f64) / (cov.covered as f64) > 0.8,
+            "drift must break most templates: {:?}",
+            cov
+        );
+        assert!(err.line_error_rate() > 0.5);
+    }
+
+    #[test]
+    fn uncovered_registrar_is_a_crisp_failure() {
+        let parser = train_parser(&corpus_examples(69, 20, 0.0));
+        assert!(!parser.covers("Totally Unknown Registrar"));
+        assert_eq!(
+            parser.label_blocks("Totally Unknown Registrar", &["x: y"]),
+            None
+        );
+    }
+
+    #[test]
+    fn coverage_stats_rates() {
+        let s = CoverageStats {
+            covered: 94,
+            parsed: 40,
+            failed: 54,
+            uncovered: 6,
+        };
+        assert_eq!(s.total(), 100);
+        assert!((s.coverage_rate() - 0.94).abs() < 1e-9);
+        assert!((s.success_rate() - 0.40).abs() < 1e-9);
+        assert_eq!(CoverageStats::default().coverage_rate(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_templates_are_deduplicated() {
+        let mut p = TemplateParser::new();
+        use BlockLabel::*;
+        p.add_example("r", &["A: 1"], &[Null]);
+        p.add_example("r", &["A: 2"], &[Null]);
+        assert_eq!(p.template_count(), 1, "same title structure dedupes");
+        p.add_example("r", &["B: 1"], &[Null]);
+        assert_eq!(p.template_count(), 2);
+    }
+}

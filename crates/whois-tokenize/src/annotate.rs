@@ -1,0 +1,226 @@
+//! Per-line feature-string generation.
+//!
+//! This is the top of the tokenization pipeline: it walks the raw record
+//! text, tracks inter-line layout (blank gaps, indentation), and emits one
+//! [`LineObservation`] per labelable line containing the complete bag of
+//! feature strings described in §3.3 of the paper.
+//!
+//! Feature-string namespaces:
+//!
+//! | prefix | meaning | example |
+//! |---|---|---|
+//! | `w:` | word with `@T`/`@V` side suffix | `w:organization@T` |
+//! | `c:` | word class with side suffix | `c:FIVEDIGIT@V` |
+//! | `m:` | layout marker | `m:NL`, `m:SHL`, `m:SYM` |
+//! | `m:SEP` | line has a title/value separator (plus kind) | `m:SEP:colon` |
+
+use crate::classes::word_classes;
+use crate::markers::{indent_of, line_markers};
+use crate::separator::split_title_value;
+use crate::words::words_of;
+
+/// One labelable line together with its extracted feature strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineObservation {
+    /// The verbatim line text.
+    pub text: String,
+    /// The bag of feature strings (deduplicated, order-stable).
+    pub features: Vec<String>,
+}
+
+fn push_unique(features: &mut Vec<String>, f: String) {
+    if !features.iter().any(|x| x == &f) {
+        features.push(f);
+    }
+}
+
+/// Annotate one line given its layout context.
+pub fn annotate_line(
+    line: &str,
+    preceded_by_blank: bool,
+    prev_indent: Option<usize>,
+) -> LineObservation {
+    let mut features = Vec::with_capacity(16);
+
+    // Layout markers.
+    let markers = line_markers(line, preceded_by_blank, prev_indent);
+    for m in markers.feature_strings() {
+        features.push(format!("m:{m}"));
+    }
+
+    // Title/value split and word features.
+    let (title, value) = match split_title_value(line) {
+        Some((t, v, kind)) => {
+            features.push("m:SEP".to_string());
+            features.push(format!("m:SEP:{}", kind.name()));
+            (t, v)
+        }
+        None => ("", line),
+    };
+    for w in words_of(title) {
+        push_unique(&mut features, format!("w:{w}@T"));
+    }
+    for w in words_of(value) {
+        push_unique(&mut features, format!("w:{w}@V"));
+    }
+
+    // Word classes, on each side of the separator.
+    for c in word_classes(title) {
+        push_unique(&mut features, format!("c:{}@T", c.name()));
+    }
+    for c in word_classes(value) {
+        push_unique(&mut features, format!("c:{}@V", c.name()));
+    }
+
+    LineObservation {
+        text: line.to_string(),
+        features,
+    }
+}
+
+/// How many of the previous line's features are echoed into the current
+/// line as `p:` context features.
+const MAX_PREV_FEATURES: usize = 12;
+
+/// Append previous-line context features.
+///
+/// The paper's layout markers (`NL`, `SHL`) already condition a line on
+/// its surroundings; `p:` features extend the same idea to the previous
+/// line's *words*, which is what lets the CRF carry a block discriminator
+/// like `Contact Type: registrant` onto the following generically-titled
+/// lines (the `.coop` registry-dump shape of Table 2).
+fn add_prev_features(out: &mut [LineObservation]) {
+    for t in (1..out.len()).rev() {
+        let prev: Vec<String> = out[t - 1]
+            .features
+            .iter()
+            .filter(|f| f.starts_with("w:"))
+            .take(MAX_PREV_FEATURES)
+            .map(|f| format!("p:{}", &f[2..]))
+            .collect();
+        out[t].features.extend(prev);
+    }
+}
+
+/// Annotate every labelable line of a raw record text.
+///
+/// Blank lines and lines with no alphanumeric characters are not labelable
+/// (the paper does not attach labels to them) but still influence the
+/// markers of the following line.
+pub fn annotate_record(text: &str) -> Vec<LineObservation> {
+    let mut out = Vec::new();
+    let mut preceded_by_blank = false;
+    let mut prev_indent: Option<usize> = None;
+    for line in text.lines() {
+        if line.chars().any(|c| c.is_alphanumeric()) {
+            out.push(annotate_line(line, preceded_by_blank, prev_indent));
+            prev_indent = Some(indent_of(line));
+            preceded_by_blank = false;
+        } else {
+            preceded_by_blank = true;
+        }
+    }
+    add_prev_features(&mut out);
+    out
+}
+
+/// Annotate an already-chunked sequence of labelable lines (used for
+/// training data, where blank lines were dropped at labeling time).
+///
+/// Because the blank lines are gone, the `NL` marker is approximated as
+/// absent; `SHL`/`SHR` still work from the retained indentation.
+pub fn annotate_record_lines<S: AsRef<str>>(lines: &[S]) -> Vec<LineObservation> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut prev_indent: Option<usize> = None;
+    for line in lines {
+        let line = line.as_ref();
+        out.push(annotate_line(line, false, prev_indent));
+        prev_indent = Some(indent_of(line));
+    }
+    add_prev_features(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(line: &str) -> Vec<String> {
+        annotate_line(line, false, None).features
+    }
+
+    #[test]
+    fn title_value_word_features() {
+        let f = feats("Registrant Name: John Smith");
+        assert!(f.contains(&"w:registrant@T".to_string()));
+        assert!(f.contains(&"w:name@T".to_string()));
+        assert!(f.contains(&"w:john@V".to_string()));
+        assert!(f.contains(&"w:smith@V".to_string()));
+        assert!(f.contains(&"m:SEP".to_string()));
+        assert!(f.contains(&"m:SEP:colon".to_string()));
+    }
+
+    #[test]
+    fn line_without_separator_is_all_value() {
+        let f = feats("John Smith");
+        assert!(f.contains(&"w:john@V".to_string()));
+        assert!(!f.iter().any(|x| x.ends_with("@T")));
+        assert!(!f.contains(&"m:SEP".to_string()));
+    }
+
+    #[test]
+    fn class_features_carry_side() {
+        let f = feats("Registrant Postal Code: 92093");
+        assert!(f.contains(&"c:FIVEDIGIT@V".to_string()));
+        assert!(!f.contains(&"c:FIVEDIGIT@T".to_string()));
+        let f = feats("Email: j@example.com");
+        assert!(f.contains(&"c:EMAIL@V".to_string()));
+    }
+
+    #[test]
+    fn features_deduplicated() {
+        let f = feats("name name name: value value");
+        assert_eq!(f.iter().filter(|x| *x == "w:name@T").count(), 1);
+        assert_eq!(f.iter().filter(|x| *x == "w:value@V").count(), 1);
+    }
+
+    #[test]
+    fn record_annotation_tracks_blank_lines() {
+        let text = "Domain: X.COM\n\nRegistrant:\n   John Smith\nUS";
+        let obs = annotate_record(text);
+        assert_eq!(obs.len(), 4);
+        assert!(!obs[0].features.contains(&"m:NL".to_string()));
+        assert!(obs[1].features.contains(&"m:NL".to_string()));
+        assert!(obs[2].features.contains(&"m:SHR".to_string()));
+        assert!(obs[3].features.contains(&"m:SHL".to_string()));
+    }
+
+    #[test]
+    fn symbol_only_lines_count_as_blank_gap() {
+        let text = "a: 1\n%%%%%%\nb: 2";
+        let obs = annotate_record(text);
+        assert_eq!(obs.len(), 2);
+        assert!(obs[1].features.contains(&"m:NL".to_string()));
+    }
+
+    #[test]
+    fn symbol_start_marker_emitted() {
+        let obs = annotate_record("% NOTICE: legal text");
+        assert!(obs[0].features.contains(&"m:SYM".to_string()));
+    }
+
+    #[test]
+    fn chunked_annotation_matches_count() {
+        let lines = vec!["Domain: X", "  ns1.x.com", "ns2.x.com"];
+        let obs = annotate_record_lines(&lines);
+        assert_eq!(obs.len(), 3);
+        assert!(obs[1].features.contains(&"m:SHR".to_string()));
+        assert!(obs[2].features.contains(&"m:SHL".to_string()));
+    }
+
+    #[test]
+    fn observation_keeps_verbatim_text() {
+        let obs = annotate_record("  Name: J  ");
+        assert_eq!(obs[0].text, "  Name: J  ");
+    }
+}

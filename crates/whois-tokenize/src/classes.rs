@@ -1,0 +1,358 @@
+//! Word-class detectors.
+//!
+//! Besides individual word features, the paper generates features that
+//! "test for the appearance of more general classes of words" — its example
+//! is a feature firing when a line contains a five-digit number and the
+//! label is `zipcode` (eq. 7). These detectors recognize such classes in
+//! the whitespace-separated segments of a line. No regex crate is used;
+//! each detector is a small hand-rolled scanner, which keeps the hot path
+//! allocation-free.
+
+use crate::lexicon;
+
+/// Classes of text segments with predictive power for WHOIS labels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WordClass {
+    /// Exactly five ASCII digits — a candidate US ZIP code.
+    FiveDigit,
+    /// A plausible e-mail address (`local@dom.tld`).
+    Email,
+    /// A plausible phone/fax number (`+1.8585550100`, `(858) 555-0100`).
+    Phone,
+    /// A URL (`http://...`, `https://...`, `www....`).
+    Url,
+    /// A calendar date (`2015-02-28`, `28-Feb-2015`, `2015/02/28`,
+    /// `2015.02.28`).
+    Date,
+    /// A bare four-digit year 1980..=2100.
+    Year,
+    /// An IPv4 dotted quad.
+    IpAddr,
+    /// A known country name or ISO code.
+    Country,
+    /// A segment made entirely of digits (any length).
+    Numeric,
+    /// An alphabetic segment of length >= 2 in ALL CAPS.
+    AllCaps,
+    /// A plausible domain name (`example.com`).
+    DomainName,
+    /// A postal-code shaped mix of letters and digits (`SW1A 1AA`, `90210-1234`).
+    PostcodeLike,
+}
+
+impl WordClass {
+    /// Stable feature-string name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WordClass::FiveDigit => "FIVEDIGIT",
+            WordClass::Email => "EMAIL",
+            WordClass::Phone => "PHONE",
+            WordClass::Url => "URL",
+            WordClass::Date => "DATE",
+            WordClass::Year => "YEAR",
+            WordClass::IpAddr => "IPADDR",
+            WordClass::Country => "COUNTRY",
+            WordClass::Numeric => "NUMERIC",
+            WordClass::AllCaps => "ALLCAPS",
+            WordClass::DomainName => "DOMAIN",
+            WordClass::PostcodeLike => "POSTCODE",
+        }
+    }
+}
+
+fn is_all_digits(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn strip_punct(s: &str) -> &str {
+    s.trim_matches(|c: char| !c.is_alphanumeric() && c != '+')
+}
+
+fn is_email(s: &str) -> bool {
+    let Some((local, domain)) = s.split_once('@') else {
+        return false;
+    };
+    if local.is_empty() || domain.len() < 3 {
+        return false;
+    }
+    let Some((host, tld)) = domain.rsplit_once('.') else {
+        return false;
+    };
+    !host.is_empty() && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
+}
+
+fn is_url(s: &str) -> bool {
+    let lc = s.to_ascii_lowercase();
+    lc.starts_with("http://")
+        || lc.starts_with("https://")
+        || (lc.starts_with("www.") && lc.len() > 6)
+}
+
+fn is_ipv4(s: &str) -> bool {
+    let mut octets = 0;
+    for part in s.split('.') {
+        if part.is_empty() || part.len() > 3 || !is_all_digits(part) {
+            return false;
+        }
+        if part.parse::<u16>().map_or(true, |v| v > 255) {
+            return false;
+        }
+        octets += 1;
+    }
+    octets == 4
+}
+
+fn is_domain_name(s: &str) -> bool {
+    if s.contains('@') || is_ipv4(s) {
+        return false;
+    }
+    let mut labels = 0;
+    for label in s.split('.') {
+        if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+            return false;
+        }
+        labels += 1;
+    }
+    if labels < 2 {
+        return false;
+    }
+    // Final label must look like a TLD: alphabetic, >= 2 chars.
+    let tld = s.rsplit('.').next().unwrap();
+    tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
+}
+
+/// Phone-ish: optional leading `+`, then at least 7 digits among digits,
+/// dots, dashes, spaces-stripped parens.
+fn is_phone(s: &str) -> bool {
+    let body = s.strip_prefix('+').unwrap_or(s);
+    if body.is_empty() {
+        return false;
+    }
+    let mut digits = 0;
+    for c in body.chars() {
+        match c {
+            '0'..='9' => digits += 1,
+            '.' | '-' | '(' | ')' | ' ' | 'x' | 'X' => {}
+            _ => return false,
+        }
+    }
+    // 7 digits filters out dates (8 digits compact dates are rare in phone
+    // position and acceptable as a collision: classes are soft evidence).
+    digits >= 7 && (s.starts_with('+') || digits <= 15)
+}
+
+fn is_date(s: &str) -> bool {
+    // yyyy-mm-dd / yyyy/mm/dd / yyyy.mm.dd and dd-mon-yyyy variants.
+    for sep in ['-', '/', '.'] {
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() == 3 {
+            let [a, b, c] = [parts[0], parts[1], parts[2]];
+            let year_first = a.len() == 4 && is_all_digits(a);
+            let year_last = c.len() == 4 && is_all_digits(c);
+            let mid_ok = is_all_digits(b) && b.len() <= 2 || lexicon::is_month(b);
+            if mid_ok && (year_first && is_part_ok(c) || year_last && is_part_ok(a)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn is_part_ok(p: &str) -> bool {
+    (is_all_digits(p) && (1..=2).contains(&p.len())) || lexicon::is_month(p)
+}
+
+fn is_year(s: &str) -> bool {
+    s.len() == 4 && is_all_digits(s) && (1980..=2100).contains(&s.parse::<i32>().unwrap_or(0))
+}
+
+fn is_postcode_like(s: &str) -> bool {
+    // Letter/digit mixes of length 4..=8 (e.g. "SW1A1AA") or digit groups
+    // joined by a dash ("90210-1234").
+    if let Some((a, b)) = s.split_once('-') {
+        if is_all_digits(a) && is_all_digits(b) && a.len() == 5 && b.len() == 4 {
+            return true;
+        }
+    }
+    let len = s.chars().count();
+    if !(4..=8).contains(&len) {
+        return false;
+    }
+    let has_alpha = s.chars().any(|c| c.is_ascii_alphabetic());
+    let has_digit = s.chars().any(|c| c.is_ascii_digit());
+    has_alpha && has_digit && s.chars().all(|c| c.is_ascii_alphanumeric())
+}
+
+/// Detect every word class present in `text` (one side of a line).
+///
+/// Classes are detected per whitespace segment, except [`WordClass::Country`]
+/// which also matches multi-word country names against the entire trimmed
+/// text.
+pub fn word_classes(text: &str) -> Vec<WordClass> {
+    let mut found = std::collections::BTreeSet::new();
+    let trimmed = text.trim();
+    if lexicon::is_country_name(trimmed) {
+        found.insert(WordClass::Country);
+    }
+    for raw in trimmed.split_whitespace() {
+        let seg = strip_punct(raw);
+        if seg.is_empty() {
+            continue;
+        }
+        if is_all_digits(seg) {
+            found.insert(WordClass::Numeric);
+            if seg.len() == 5 {
+                found.insert(WordClass::FiveDigit);
+            }
+            if is_year(seg) {
+                found.insert(WordClass::Year);
+            }
+        }
+        if is_email(seg) {
+            found.insert(WordClass::Email);
+        }
+        if is_url(raw) || is_url(seg) {
+            found.insert(WordClass::Url);
+        }
+        if is_date(seg) {
+            found.insert(WordClass::Date);
+        }
+        if is_ipv4(seg) {
+            found.insert(WordClass::IpAddr);
+        } else if is_domain_name(seg) && !is_date(seg) {
+            found.insert(WordClass::DomainName);
+        }
+        if is_phone(seg) && !is_date(seg) && !is_ipv4(seg) {
+            found.insert(WordClass::Phone);
+        }
+        if lexicon::is_country_code(seg) || lexicon::is_country_name(seg) {
+            found.insert(WordClass::Country);
+        }
+        if is_postcode_like(seg) {
+            found.insert(WordClass::PostcodeLike);
+        }
+        if seg.len() >= 2
+            && seg.chars().all(|c| c.is_ascii_alphabetic())
+            && seg.chars().all(|c| c.is_ascii_uppercase())
+        {
+            found.insert(WordClass::AllCaps);
+        }
+    }
+    found.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has(text: &str, c: WordClass) -> bool {
+        word_classes(text).contains(&c)
+    }
+
+    #[test]
+    fn five_digit_zip() {
+        assert!(has("San Diego CA 92093", WordClass::FiveDigit));
+        assert!(!has("9209", WordClass::FiveDigit));
+        assert!(!has("920931", WordClass::FiveDigit));
+    }
+
+    #[test]
+    fn email_detection() {
+        assert!(has("jsmith@example.com", WordClass::Email));
+        assert!(has("Email: j.smith@sub.example.co.uk", WordClass::Email));
+        assert!(!has("not an email", WordClass::Email));
+        assert!(!has("a@b", WordClass::Email));
+    }
+
+    #[test]
+    fn phone_detection() {
+        assert!(has("+1.8585550100", WordClass::Phone));
+        assert!(has("(858) 555-0100", WordClass::Phone));
+        assert!(has("+86.1065529988", WordClass::Phone));
+        assert!(!has("12345", WordClass::Phone), "too few digits");
+    }
+
+    #[test]
+    fn date_is_not_phone() {
+        let classes = word_classes("2015-02-28");
+        assert!(classes.contains(&WordClass::Date));
+        assert!(!classes.contains(&WordClass::Phone));
+    }
+
+    #[test]
+    fn url_detection() {
+        assert!(has("http://www.godaddy.com", WordClass::Url));
+        assert!(has("https://x.example/legal?q=1", WordClass::Url));
+        assert!(has("www.enom.com", WordClass::Url));
+        assert!(!has("example.com", WordClass::Url));
+    }
+
+    #[test]
+    fn date_detection_variants() {
+        assert!(has("2015-02-28", WordClass::Date));
+        assert!(has("28-Feb-2015", WordClass::Date));
+        assert!(has("2015/02/28", WordClass::Date));
+        assert!(has("2015.02.28", WordClass::Date));
+        assert!(!has("2015-13", WordClass::Date));
+        assert!(!has("1.2.3.4", WordClass::Date));
+    }
+
+    #[test]
+    fn year_detection() {
+        assert!(has("created in 1997", WordClass::Year));
+        assert!(!has("screwdriver 3000", WordClass::Year));
+    }
+
+    #[test]
+    fn ipv4_detection() {
+        assert!(has("ns1 at 192.168.0.1", WordClass::IpAddr));
+        assert!(!has("999.1.1.1", WordClass::IpAddr));
+        assert!(!has("1.2.3", WordClass::IpAddr));
+    }
+
+    #[test]
+    fn country_detection() {
+        assert!(has("United States", WordClass::Country));
+        assert!(has("US", WordClass::Country));
+        assert!(has("Country: CN", WordClass::Country));
+        assert!(!has("Gondor", WordClass::Country));
+    }
+
+    #[test]
+    fn domain_name_detection() {
+        assert!(has("example.com", WordClass::DomainName));
+        assert!(has("NS1.EXAMPLE.NET", WordClass::DomainName));
+        assert!(!has("192.168.0.1", WordClass::DomainName));
+        assert!(!has("hello", WordClass::DomainName));
+    }
+
+    #[test]
+    fn postcode_like_detection() {
+        assert!(has("SW1A1AA", WordClass::PostcodeLike));
+        assert!(has("90210-1234", WordClass::PostcodeLike));
+        assert!(!has("ABCDEFGH", WordClass::PostcodeLike));
+    }
+
+    #[test]
+    fn allcaps_detection() {
+        assert!(has("ACME CORP", WordClass::AllCaps));
+        assert!(!has("Acme", WordClass::AllCaps));
+        assert!(!has("A", WordClass::AllCaps), "single letters ignored");
+    }
+
+    #[test]
+    fn classes_are_deduplicated_and_sorted() {
+        let cs = word_classes("92093 92121");
+        assert_eq!(
+            cs,
+            vec![WordClass::FiveDigit, WordClass::Numeric],
+            "each class reported once"
+        );
+    }
+
+    #[test]
+    fn empty_text_has_no_classes() {
+        assert!(word_classes("").is_empty());
+        assert!(word_classes("   ").is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Frequency-trimmed feature dictionary.
+//!
+//! The paper compiles "a list of all the words (ignoring capitalization)
+//! that appear in the training set" and trims very infrequent words, ending
+//! with tens of thousands of entries. [`Dictionary`] does the same for our
+//! feature strings: it is built by counting occurrences over a training
+//! corpus, trimming entries below a minimum count, and freezing the
+//! survivors into dense `u32` ids.
+//!
+//! Marker (`m:`) and class (`c:`) features are never trimmed — they are a
+//! small closed set and the paper's generalization power depends on them
+//! surviving even when rare in a small training sample.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable mapping from feature strings to dense ids.
+///
+/// Serialization stores only the id-ordered name list, so the JSON form
+/// is deterministic; the reverse index is rebuilt on load.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[serde(from = "DictionaryRepr", into = "DictionaryRepr")]
+pub struct Dictionary {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+/// Wire format: names in id order.
+#[derive(Serialize, Deserialize)]
+struct DictionaryRepr {
+    names: Vec<String>,
+}
+
+impl From<DictionaryRepr> for Dictionary {
+    fn from(repr: DictionaryRepr) -> Self {
+        let ids = repr
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Dictionary {
+            ids,
+            names: repr.names,
+        }
+    }
+}
+
+impl From<Dictionary> for DictionaryRepr {
+    fn from(d: Dictionary) -> Self {
+        DictionaryRepr { names: d.names }
+    }
+}
+
+/// Builder that counts feature occurrences before trimming.
+#[derive(Clone, Debug, Default)]
+pub struct DictionaryBuilder {
+    counts: HashMap<String, u32>,
+}
+
+impl DictionaryBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one occurrence of `feature`.
+    pub fn observe(&mut self, feature: &str) {
+        *self.counts.entry(feature.to_string()).or_insert(0) += 1;
+    }
+
+    /// Count every feature of an iterator (e.g. one line's bag).
+    pub fn observe_all<'a>(&mut self, features: impl IntoIterator<Item = &'a str>) {
+        for f in features {
+            self.observe(f);
+        }
+    }
+
+    /// Freeze into a [`Dictionary`], dropping open-class (`w:` and `p:`)
+    /// features seen fewer than `min_count` times. Ids are assigned in sorted name
+    /// order so dictionary construction is deterministic.
+    pub fn build(self, min_count: u32) -> Dictionary {
+        let mut names: Vec<String> = self
+            .counts
+            .into_iter()
+            .filter(|(name, count)| {
+                let open_class = name.starts_with("w:") || name.starts_with("p:");
+                !open_class || *count >= min_count
+            })
+            .map(|(name, _)| name)
+            .collect();
+        names.sort_unstable();
+        let ids = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Dictionary { ids, names }
+    }
+}
+
+impl Dictionary {
+    /// Build directly from an iterator of feature bags with a trim
+    /// threshold.
+    pub fn from_bags<'a, I, B>(bags: I, min_count: u32) -> Self
+    where
+        I: IntoIterator<Item = B>,
+        B: IntoIterator<Item = &'a str>,
+    {
+        let mut b = DictionaryBuilder::new();
+        for bag in bags {
+            b.observe_all(bag);
+        }
+        b.build(min_count)
+    }
+
+    /// Number of interned features.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Dense id of `feature`, if it survived trimming.
+    pub fn id(&self, feature: &str) -> Option<u32> {
+        self.ids.get(feature).copied()
+    }
+
+    /// Feature string for a dense id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Map a feature bag to its sorted, deduplicated id set, silently
+    /// dropping unknown features (out-of-vocabulary words at parse time).
+    pub fn encode<'a>(&self, features: impl IntoIterator<Item = &'a str>) -> Vec<u32> {
+        let mut ids: Vec<u32> = features.into_iter().filter_map(|f| self.id(f)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Iterate over `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dictionary {
+        let bags: Vec<Vec<&str>> = vec![
+            vec!["w:registrant@T", "w:name@T", "w:john@V", "m:SEP"],
+            vec!["w:registrant@T", "w:email@T", "c:EMAIL@V", "m:SEP"],
+            vec!["w:registrant@T", "m:NL"],
+        ];
+        Dictionary::from_bags(bags.iter().map(|b| b.iter().copied()), 2)
+    }
+
+    #[test]
+    fn trimming_drops_rare_words_only() {
+        let d = sample();
+        assert!(d.id("w:registrant@T").is_some(), "frequent word kept");
+        assert!(d.id("w:john@V").is_none(), "rare word trimmed");
+        assert!(d.id("c:EMAIL@V").is_some(), "class features never trimmed");
+        assert!(d.id("m:NL").is_some(), "marker features never trimmed");
+    }
+
+    #[test]
+    fn ids_are_dense_and_deterministic() {
+        let d1 = sample();
+        let d2 = sample();
+        assert_eq!(d1.len(), d2.len());
+        for (id, name) in d1.iter() {
+            assert_eq!(d2.id(name), Some(id), "construction is deterministic");
+            assert_eq!(d1.name(id), name);
+        }
+        let mut ids: Vec<u32> = d1.iter().map(|(i, _)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..d1.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn encode_sorts_dedups_and_drops_oov() {
+        let d = sample();
+        let ids = d.encode(
+            ["w:registrant@T", "m:SEP", "w:registrant@T", "w:unseen@V"]
+                .iter()
+                .copied(),
+        );
+        assert_eq!(ids.len(), 2);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = sample();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dictionary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (id, name) in d.iter() {
+            assert_eq!(back.id(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = DictionaryBuilder::new().build(1);
+        assert!(d.is_empty());
+        assert_eq!(d.encode(["w:x@V"].iter().copied()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn min_count_one_keeps_everything() {
+        let bags = [vec!["w:once@V"]];
+        let d = Dictionary::from_bags(bags.iter().map(|b| b.iter().copied()), 1);
+        assert_eq!(d.len(), 1);
+    }
+}

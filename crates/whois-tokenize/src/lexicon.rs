@@ -1,0 +1,152 @@
+//! Small static lexicons used by the word-class detectors.
+
+/// Country names and common WHOIS spellings thereof, lower-case.
+///
+/// This is the detector lexicon (used for the `COUNTRY` word class), not a
+/// complete ISO list: it covers the countries that dominate `.com`
+/// registrations in the paper's Table 3 plus common extras seen in WHOIS
+/// records.
+pub const COUNTRY_NAMES: &[&str] = &[
+    "united states",
+    "china",
+    "united kingdom",
+    "germany",
+    "france",
+    "canada",
+    "spain",
+    "australia",
+    "japan",
+    "india",
+    "turkey",
+    "russia",
+    "russian federation",
+    "vietnam",
+    "viet nam",
+    "netherlands",
+    "italy",
+    "brazil",
+    "south korea",
+    "korea",
+    "mexico",
+    "sweden",
+    "switzerland",
+    "poland",
+    "hong kong",
+    "taiwan",
+    "singapore",
+    "indonesia",
+    "denmark",
+    "norway",
+    "belgium",
+    "austria",
+    "ireland",
+    "israel",
+    "ukraine",
+    "argentina",
+    "portugal",
+    "greece",
+    "czech republic",
+    "finland",
+    "new zealand",
+    "south africa",
+    "thailand",
+    "malaysia",
+    "philippines",
+    "pakistan",
+    "egypt",
+    "saudi arabia",
+    "united arab emirates",
+    "colombia",
+    "chile",
+    "romania",
+    "hungary",
+    "bulgaria",
+];
+
+/// Two-letter ISO 3166-1 alpha-2 codes commonly seen in WHOIS country
+/// fields, upper-case.
+pub const COUNTRY_CODES: &[&str] = &[
+    "US", "CN", "GB", "UK", "DE", "FR", "CA", "ES", "AU", "JP", "IN", "TR", "RU", "VN", "NL", "IT",
+    "BR", "KR", "MX", "SE", "CH", "PL", "HK", "TW", "SG", "ID", "DK", "NO", "BE", "AT", "IE", "IL",
+    "UA", "AR", "PT", "GR", "CZ", "FI", "NZ", "ZA", "TH", "MY", "PH", "PK", "EG", "SA", "AE", "CO",
+    "CL", "RO", "HU", "BG",
+];
+
+/// English and abbreviated month names, lower-case, for date detection.
+pub const MONTHS: &[&str] = &[
+    "jan",
+    "feb",
+    "mar",
+    "apr",
+    "may",
+    "jun",
+    "jul",
+    "aug",
+    "sep",
+    "oct",
+    "nov",
+    "dec",
+    "january",
+    "february",
+    "march",
+    "april",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+/// True if `s` (case-insensitive) is a known country name.
+pub fn is_country_name(s: &str) -> bool {
+    let lc = s.trim().to_ascii_lowercase();
+    COUNTRY_NAMES.contains(&lc.as_str())
+}
+
+/// True if `s` is a known two-letter country code (exact, upper-case or
+/// lower-case).
+pub fn is_country_code(s: &str) -> bool {
+    let t = s.trim();
+    t.len() == 2 && COUNTRY_CODES.contains(&t.to_ascii_uppercase().as_str())
+}
+
+/// True if `s` (case-insensitive) is a month name or abbreviation.
+pub fn is_month(s: &str) -> bool {
+    MONTHS.contains(&s.trim().to_ascii_lowercase().as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_names_detected_case_insensitively() {
+        assert!(is_country_name("United States"));
+        assert!(is_country_name("CHINA"));
+        assert!(is_country_name("  japan "));
+        assert!(!is_country_name("Atlantis"));
+    }
+
+    #[test]
+    fn country_codes_detected() {
+        assert!(is_country_code("US"));
+        assert!(is_country_code("cn"));
+        assert!(!is_country_code("USA"));
+        assert!(!is_country_code("QQ"));
+    }
+
+    #[test]
+    fn months_detected() {
+        assert!(is_month("mar"));
+        assert!(is_month("September"));
+        assert!(!is_month("smarch"));
+    }
+
+    #[test]
+    fn lexicons_are_lowercase_or_uppercase_as_documented() {
+        assert!(COUNTRY_NAMES.iter().all(|c| *c == c.to_lowercase()));
+        assert!(COUNTRY_CODES.iter().all(|c| *c == c.to_uppercase()));
+    }
+}

@@ -1,0 +1,41 @@
+//! # whois-tokenize
+//!
+//! The feature-extraction front end of the statistical WHOIS parser
+//! (§3.3 of *"Who is .com?"*, IMC 2015).
+//!
+//! Given the raw text of a WHOIS record, this crate produces, for each
+//! non-empty line, a bag of **feature strings** that the CRF in
+//! `whois-crf` turns into binary indicator features:
+//!
+//! * **Words with title/value suffixes** — each word left of the line's
+//!   first separator (colon, tab, ellipsis, `=`) is emitted as `word@T`,
+//!   each word to the right (or every word, when there is no separator) as
+//!   `word@V`. This preserves the "title: value" structure the paper found
+//!   essential.
+//! * **Layout markers** — `NL` when the line is preceded by one or more
+//!   blank lines, `SHL`/`SHR` when its indentation shifts left/right
+//!   relative to the previous non-empty line, `SYM` when it starts with a
+//!   symbol such as `#` or `%`, `SEP` when it contains a separator, and
+//!   `TAB` when it contains a tab.
+//! * **Word classes** — generalizations such as `FIVEDIGIT` (candidate ZIP
+//!   code), `EMAIL`, `PHONE`, `URL`, `DATE`, `YEAR`, `IPADDR`, `COUNTRY`,
+//!   `NUMERIC` and `ALLCAPS`, each also suffixed `@T`/`@V` by which side of
+//!   the separator they occur on.
+//!
+//! A frequency-trimmed [`Dictionary`] interns feature strings into dense
+//! `u32` ids for the CRF.
+
+pub mod annotate;
+pub mod classes;
+pub mod dictionary;
+pub mod lexicon;
+pub mod markers;
+pub mod separator;
+pub mod words;
+
+pub use annotate::{annotate_record, annotate_record_lines, LineObservation};
+pub use classes::{word_classes, WordClass};
+pub use dictionary::Dictionary;
+pub use markers::{line_markers, Markers};
+pub use separator::{split_title_value, Separator};
+pub use words::words_of;

@@ -1,0 +1,162 @@
+//! Layout markers.
+//!
+//! The paper marks revealing layout events on each line (§3.3): a preceding
+//! blank line (`NL`), leading-whitespace shifts (`SHL`), and lines starting
+//! with symbols such as `#` or `%` (`SYM`; see Figure 1's punctuation key).
+//! These markers let the CRF learn, e.g., that blank lines often separate
+//! blocks of information.
+
+/// Layout markers for one line, computed relative to the previous
+/// non-empty line.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Markers {
+    /// The line is preceded by one or more blank (or non-alphanumeric)
+    /// lines.
+    pub newline_before: bool,
+    /// Indentation decreased relative to the previous non-empty line
+    /// ("shift left").
+    pub shift_left: bool,
+    /// Indentation increased relative to the previous non-empty line
+    /// ("shift right").
+    pub shift_right: bool,
+    /// The first non-whitespace character is a symbol (`#`, `%`, `>`, `*`,
+    /// `-`, ...).
+    pub symbol_start: bool,
+    /// The line contains a horizontal tab.
+    pub has_tab: bool,
+    /// The line is indented (starts with whitespace).
+    pub indented: bool,
+}
+
+impl Markers {
+    /// Emit the marker feature strings (`NL`, `SHL`, `SHR`, `SYM`, `TAB`,
+    /// `IND`) for this line.
+    pub fn feature_strings(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.newline_before {
+            out.push("NL");
+        }
+        if self.shift_left {
+            out.push("SHL");
+        }
+        if self.shift_right {
+            out.push("SHR");
+        }
+        if self.symbol_start {
+            out.push("SYM");
+        }
+        if self.has_tab {
+            out.push("TAB");
+        }
+        if self.indented {
+            out.push("IND");
+        }
+        out
+    }
+}
+
+/// Indentation width of a line in columns (tab = 8 columns, the historical
+/// WHOIS terminal convention).
+pub fn indent_of(line: &str) -> usize {
+    let mut col = 0;
+    for c in line.chars() {
+        match c {
+            ' ' => col += 1,
+            '\t' => col += 8 - (col % 8),
+            _ => break,
+        }
+    }
+    col
+}
+
+/// Compute the markers for `line`.
+///
+/// `preceded_by_blank` says whether at least one blank/non-alphanumeric
+/// line occurred since the previous labelable line; `prev_indent` is the
+/// indentation of that previous labelable line (`None` at the start of the
+/// record).
+pub fn line_markers(line: &str, preceded_by_blank: bool, prev_indent: Option<usize>) -> Markers {
+    let indent = indent_of(line);
+    let first = line.trim_start().chars().next();
+    let symbol_start = first.is_some_and(|c| !c.is_alphanumeric());
+    let (shift_left, shift_right) = match prev_indent {
+        Some(p) => (indent < p, indent > p),
+        None => (false, false),
+    };
+    Markers {
+        newline_before: preceded_by_blank,
+        shift_left,
+        shift_right,
+        symbol_start,
+        has_tab: line.contains('\t'),
+        indented: indent > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indent_counts_spaces_and_tabs() {
+        assert_eq!(indent_of("abc"), 0);
+        assert_eq!(indent_of("   abc"), 3);
+        assert_eq!(indent_of("\tabc"), 8);
+        assert_eq!(indent_of("  \tabc"), 8, "tab advances to next stop");
+        assert_eq!(indent_of("\t abc"), 9);
+    }
+
+    #[test]
+    fn newline_marker() {
+        let m = line_markers("Registrant:", true, None);
+        assert!(m.newline_before);
+        assert!(m.feature_strings().contains(&"NL"));
+        let m = line_markers("Registrant:", false, None);
+        assert!(!m.newline_before);
+    }
+
+    #[test]
+    fn shifts_relative_to_previous_line() {
+        let m = line_markers("unindented", false, Some(4));
+        assert!(m.shift_left);
+        assert!(!m.shift_right);
+        let m = line_markers("    indented", false, Some(0));
+        assert!(m.shift_right);
+        assert!(!m.shift_left);
+        let m = line_markers("    same", false, Some(4));
+        assert!(!m.shift_left && !m.shift_right);
+        let m = line_markers("first line", false, None);
+        assert!(!m.shift_left && !m.shift_right);
+    }
+
+    #[test]
+    fn symbol_start_marker() {
+        assert!(line_markers("% NOTICE", false, None).symbol_start);
+        assert!(line_markers("# comment", false, None).symbol_start);
+        assert!(line_markers("   >>> banner", false, None).symbol_start);
+        assert!(!line_markers("Domain: x", false, None).symbol_start);
+    }
+
+    #[test]
+    fn tab_and_indent_markers() {
+        let m = line_markers("name\tvalue", false, None);
+        assert!(m.has_tab);
+        assert!(!m.indented);
+        let m = line_markers("  value", false, None);
+        assert!(m.indented);
+        assert_eq!(m.feature_strings(), vec!["IND"]);
+    }
+
+    #[test]
+    fn feature_strings_complete() {
+        let m = Markers {
+            newline_before: true,
+            shift_left: true,
+            shift_right: false,
+            symbol_start: true,
+            has_tab: true,
+            indented: true,
+        };
+        assert_eq!(m.feature_strings(), vec!["NL", "SHL", "SYM", "TAB", "IND"]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Title/value separator detection.
+//!
+//! Many WHOIS lines have the shape `Registrant Name: John Smith`: a field
+//! title, a separator, and a value. The paper appends `@T` to the words
+//! left of the **first-appearing** separator and `@V` to the words right of
+//! it (§3.3). This module finds that separator.
+//!
+//! Recognized separators, in the spirit of the paper's "colons, tabs, or
+//! ellipses": `:` (not part of a URL scheme like `http://`), a tab, an
+//! ellipsis of two or more dots, and `=`.
+
+/// The kind of separator found on a line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Separator {
+    /// A colon (`Registrant Name: ...`). Colons that are immediately
+    /// followed by `//` (URL schemes) do not count.
+    Colon,
+    /// A horizontal tab between title and value.
+    Tab,
+    /// A run of two or more dots (`Expires on..............2016-01-01`).
+    Ellipsis,
+    /// An equals sign (`domain = example.com`).
+    Equals,
+}
+
+impl Separator {
+    /// Short stable name used when emitting separator-kind features.
+    pub fn name(self) -> &'static str {
+        match self {
+            Separator::Colon => "colon",
+            Separator::Tab => "tab",
+            Separator::Ellipsis => "ellipsis",
+            Separator::Equals => "equals",
+        }
+    }
+}
+
+/// Find the first separator on `line` and split the line around it.
+///
+/// Returns `(title, value, separator)` where `title` is everything strictly
+/// before the separator and `value` everything strictly after it. Returns
+/// `None` when the line has no separator — in that case the paper treats
+/// the whole line as value text.
+///
+/// A colon is only a separator if it is not part of `://` and if there is
+/// at least one character before it on the line (a line *starting* with a
+/// colon has no title). The *first* qualifying separator wins, matching the
+/// paper's "first-appearing separator" rule.
+pub fn split_title_value(line: &str) -> Option<(&str, &str, Separator)> {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b':' => {
+                // Skip URL schemes: "http://", "https://", "rsync://" ...
+                if bytes.get(i + 1) == Some(&b'/') && bytes.get(i + 2) == Some(&b'/') {
+                    i += 3;
+                    continue;
+                }
+                if line[..i].trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                return Some((&line[..i], &line[i + 1..], Separator::Colon));
+            }
+            b'\t' => {
+                if line[..i].trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                return Some((&line[..i], &line[i + 1..], Separator::Tab));
+            }
+            b'=' => {
+                if line[..i].trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                return Some((&line[..i], &line[i + 1..], Separator::Equals));
+            }
+            b'.' => {
+                // An ellipsis is a run of >= 2 dots. Single dots appear in
+                // domain names and sentences and are not separators.
+                let start = i;
+                while i < bytes.len() && bytes[i] == b'.' {
+                    i += 1;
+                }
+                if i - start >= 2 && !line[..start].trim().is_empty() {
+                    return Some((&line[..start], &line[i..], Separator::Ellipsis));
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colon_separator() {
+        let (t, v, s) = split_title_value("Registrant Name: John Smith").unwrap();
+        assert_eq!(t, "Registrant Name");
+        assert_eq!(v, " John Smith");
+        assert_eq!(s, Separator::Colon);
+    }
+
+    #[test]
+    fn url_scheme_colon_is_not_a_separator() {
+        // The colon after "URL" is the separator; the one inside the URL is
+        // not.
+        let (t, v, s) = split_title_value("Registrar URL: http://www.godaddy.com").unwrap();
+        assert_eq!(t, "Registrar URL");
+        assert_eq!(v.trim(), "http://www.godaddy.com");
+        assert_eq!(s, Separator::Colon);
+        // A line that is only a URL has no separator at all.
+        assert_eq!(split_title_value("http://www.example.com/legal"), None);
+    }
+
+    #[test]
+    fn tab_separator() {
+        let (t, v, s) = split_title_value("domain\texample.com").unwrap();
+        assert_eq!(t, "domain");
+        assert_eq!(v, "example.com");
+        assert_eq!(s, Separator::Tab);
+    }
+
+    #[test]
+    fn ellipsis_separator() {
+        let (t, v, s) = split_title_value("Record expires on..........2016-05-01").unwrap();
+        assert_eq!(t, "Record expires on");
+        assert_eq!(v, "2016-05-01");
+        assert_eq!(s, Separator::Ellipsis);
+    }
+
+    #[test]
+    fn single_dot_is_not_a_separator() {
+        assert_eq!(split_title_value("visit example.com for details"), None);
+    }
+
+    #[test]
+    fn equals_separator() {
+        let (t, v, s) = split_title_value("domain = example.com").unwrap();
+        assert_eq!(t.trim(), "domain");
+        assert_eq!(v.trim(), "example.com");
+        assert_eq!(s, Separator::Equals);
+    }
+
+    #[test]
+    fn first_separator_wins() {
+        let (t, _, s) = split_title_value("Phone: +1.8005551212").unwrap();
+        assert_eq!(t, "Phone");
+        assert_eq!(s, Separator::Colon);
+    }
+
+    #[test]
+    fn no_separator() {
+        assert_eq!(split_title_value("John Smith"), None);
+        assert_eq!(split_title_value(""), None);
+    }
+
+    #[test]
+    fn leading_separator_has_no_title() {
+        // A line starting with a colon cannot have a title before it; fall
+        // through to later separators or none.
+        assert_eq!(split_title_value(": just a value"), None);
+        let (t, _, _) = split_title_value(":first Name: J").unwrap();
+        assert_eq!(t, ":first Name");
+    }
+
+    #[test]
+    fn separator_names() {
+        assert_eq!(Separator::Colon.name(), "colon");
+        assert_eq!(Separator::Ellipsis.name(), "ellipsis");
+    }
+}

@@ -1,0 +1,78 @@
+//! Word extraction.
+//!
+//! Following the paper, a "word" is a maximal run of alphanumeric
+//! characters (capitalization ignored). Punctuation is handled separately
+//! by the marker and class detectors, so `J.Smith@example.com` yields the
+//! words `j`, `smith`, `example`, `com` — while the class detector
+//! separately recognizes the whole segment as an e-mail address.
+
+/// Extract lower-cased words (maximal alphanumeric runs) from `text`.
+pub fn words_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract whitespace-separated raw segments (used by the class detectors,
+/// which need to see intact e-mail addresses, URLs, phone numbers, etc.).
+pub fn segments_of(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_lowercase_and_split_on_punctuation() {
+        assert_eq!(
+            words_of("Registrant Name: John SMITH"),
+            vec!["registrant", "name", "john", "smith"]
+        );
+    }
+
+    #[test]
+    fn words_split_email() {
+        assert_eq!(
+            words_of("j.smith@example.com"),
+            vec!["j", "smith", "example", "com"]
+        );
+    }
+
+    #[test]
+    fn words_keep_digits() {
+        assert_eq!(words_of("92093-0404"), vec!["92093", "0404"]);
+        assert_eq!(words_of("1&1 Internet"), vec!["1", "1", "internet"]);
+    }
+
+    #[test]
+    fn words_empty_input() {
+        assert!(words_of("").is_empty());
+        assert!(words_of("%% ** !!").is_empty());
+    }
+
+    #[test]
+    fn words_handle_unicode() {
+        assert_eq!(words_of("Köln ÅB"), vec!["köln", "åb"]);
+    }
+
+    #[test]
+    fn segments_split_on_whitespace() {
+        assert_eq!(
+            segments_of("Phone:  +1.858.555.0100\tx42"),
+            vec!["Phone:", "+1.858.555.0100", "x42"]
+        );
+    }
+}

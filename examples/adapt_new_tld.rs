@@ -1,0 +1,71 @@
+//! Maintainability demo (§5.3): a parser trained on `.com` meets an
+//! unfamiliar TLD format, errs, and is fixed by adding ONE labeled
+//! example and retraining — no rule surgery required.
+//!
+//! ```text
+//! cargo run --release --example adapt_new_tld
+//! ```
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::gen::tlds;
+use whoisml::model::BlockLabel;
+use whoisml::parser::{LevelParser, ParserConfig, TrainExample};
+
+fn main() {
+    println!("training the first-level CRF on 500 com records...");
+    let corpus = generate_corpus(GenConfig::new(77, 500));
+    let mut examples: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let mut parser = LevelParser::train(&examples, &ParserConfig::default());
+
+    // Meet .coop — the registry-dump format whose registrant block titles
+    // never say "registrant".
+    let sample = tlds::tld_sample("coop", 1).expect("coop sample");
+    let before = TrainExample {
+        text: sample.text(),
+        labels: sample.block_labels().labels(),
+    };
+    let errs = parser.evaluate(std::slice::from_ref(&before)).line_errors;
+    println!(
+        "\nbefore adaptation: {errs}/{} lines of a .coop record mislabeled",
+        before.labels.len()
+    );
+
+    // The fix: label that one record, add it, retrain.
+    println!("adding the single labeled .coop example and retraining...");
+    examples.push(before);
+    parser.retrain(&examples, &ParserConfig::default());
+
+    // Verify on a DIFFERENT .coop record (same template, fresh values).
+    let fresh = tlds::tld_sample("coop", 2).expect("coop sample");
+    let after = TrainExample {
+        text: fresh.text(),
+        labels: fresh.block_labels().labels(),
+    };
+    let errs = parser.evaluate(std::slice::from_ref(&after)).line_errors;
+    println!(
+        "after adaptation:  {errs}/{} lines of an unseen .coop record mislabeled",
+        after.labels.len()
+    );
+
+    // And .com accuracy did not regress.
+    let holdout = generate_corpus(GenConfig::new(78, 200));
+    let holdout_examples: Vec<TrainExample<BlockLabel>> = holdout
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let stats = parser.evaluate(&holdout_examples);
+    println!(
+        "com holdout line error rate: {:.5} ({} documents)",
+        stats.line_error_rate(),
+        stats.documents
+    );
+}

@@ -1,0 +1,36 @@
+//! Look inside a trained model: the heaviest emission features per label
+//! (the paper's Table 1) and the strongest transition-detecting features
+//! (Figure 1).
+//!
+//! ```text
+//! cargo run --release --example inspect_model
+//! ```
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::BlockLabel;
+use whoisml::parser::{inspect, LevelParser, ParserConfig, TrainExample};
+
+fn main() {
+    println!("training the first-level CRF on 800 records...");
+    let corpus = generate_corpus(GenConfig::new(31337, 800));
+    let examples: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let parser = LevelParser::train(&examples, &ParserConfig::default());
+
+    println!("\n== Table 1: heavily weighted features per label ==");
+    print!("{}", inspect::render_emission_table(&parser, 8));
+
+    println!("\n== Figure 1: transition-detecting features ==");
+    print!("{}", inspect::render_transition_graph(&parser, 3));
+
+    println!(
+        "\nmodel size: {} parameters over {} observation features",
+        parser.crf().dim(),
+        parser.encoder().dictionary().len()
+    );
+}

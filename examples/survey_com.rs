@@ -1,0 +1,69 @@
+//! Survey a `.com`-like corpus through the full pipeline: generate →
+//! parse with the trained CRF → aggregate registrant countries,
+//! registrars, and privacy services (the paper's §6 analysis in
+//! miniature).
+//!
+//! ```text
+//! cargo run --release --example survey_com [-- N]
+//! ```
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::{BlockLabel, RegistrantLabel};
+use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+use whoisml::survey::Survey;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5000);
+    println!("generating {n} records...");
+    let corpus = generate_corpus(GenConfig::new(5150, n));
+
+    let train = &corpus[..500.min(n)];
+    let first: Vec<TrainExample<BlockLabel>> = train
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = train
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    println!("training on {} labeled records...", train.len());
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+
+    println!("parsing and aggregating...");
+    let mut survey = Survey::new();
+    for d in &corpus {
+        survey.add(&parser.parse(&d.raw()), false);
+    }
+
+    println!();
+    println!(
+        "{}",
+        survey
+            .country_all
+            .render_table("Top registrant countries", 8)
+    );
+    println!("{}", survey.registrar_all.render_table("Top registrars", 8));
+    println!(
+        "{}",
+        survey
+            .privacy_services
+            .render_table("Privacy-protection services", 6)
+    );
+    println!(
+        "privacy adoption: {:.1}% of surveyed domains",
+        100.0 * survey.privacy_services.total() as f64 / survey.total.max(1) as f64
+    );
+    println!("\n{}", survey.render_year_histogram());
+}

@@ -1,0 +1,244 @@
+//! The `whoisml` command-line tool.
+//!
+//! ```text
+//! whoisml gen     --count 500 --seed 7 --out corpus.jsonl
+//! whoisml train   --corpus corpus.jsonl --out model.json
+//! whoisml parse   --model model.json --domain example.com [--input record.txt]
+//! whoisml label   --model model.json [--input record.txt]
+//! whoisml inspect --model model.json
+//! ```
+//!
+//! * `gen` writes a labeled JSONL corpus (one [`CorpusLine`] per record)
+//!   from the calibrated synthetic generator — the starting point when
+//!   you have no hand-labeled data yet.
+//! * `train` fits the two-level CRF parser on a JSONL corpus and saves
+//!   the model as JSON.
+//! * `parse` reads one raw WHOIS record (stdin or `--input`) and prints
+//!   the structured parse as JSON.
+//! * `label` prints one `label<TAB>confidence<TAB>line` row per record
+//!   line — the triage view for finding records worth labeling.
+//! * `inspect` dumps the model's heaviest features (Table 1 / Figure 1).
+
+use serde::{Deserialize, Serialize};
+use std::io::Read;
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::{BlockLabel, Label, RawRecord, RegistrantLabel};
+use whoisml::parser::{inspect, ParserConfig, TrainExample, WhoisParser};
+
+/// One labeled record in the JSONL corpus format.
+#[derive(Serialize, Deserialize)]
+struct CorpusLine {
+    /// The domain the record describes.
+    domain: String,
+    /// Verbatim record text (blank lines included).
+    text: String,
+    /// First-level labels, one per non-empty line.
+    labels: Vec<BlockLabel>,
+    /// The registrant block's lines joined by `\n` (absent when the
+    /// record has no registrant block).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    registrant_text: Option<String>,
+    /// Second-level labels for the registrant block.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    registrant_labels: Option<Vec<RegistrantLabel>>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage_and_exit();
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match command.as_str() {
+        "gen" => cmd_gen(&flags),
+        "train" => cmd_train(&flags),
+        "parse" => cmd_parse(&flags),
+        "label" => cmd_label(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "--help" | "-h" | "help" => usage_and_exit(),
+        other => Err(format!("unknown command: {other}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "whoisml — statistical WHOIS parsing (IMC 2015 reproduction)\n\n\
+         usage:\n\
+         \x20 whoisml gen     --count N [--seed S] [--drift F] --out corpus.jsonl\n\
+         \x20 whoisml train   --corpus corpus.jsonl --out model.json\n\
+         \x20 whoisml parse   --model model.json --domain example.com [--input record.txt]\n\
+         \x20 whoisml label   --model model.json [--input record.txt]\n\
+         \x20 whoisml inspect --model model.json [--topk K]"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal `--key value` flag parser.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(k) = args[i].strip_prefix("--") {
+                pairs.push((k.to_string(), args.get(i + 1).cloned().unwrap_or_default()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Flags(pairs)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let count: usize = flags.get_or("count", 500);
+    let seed: u64 = flags.get_or("seed", 42);
+    let drift: f64 = flags.get_or("drift", 0.0);
+    let out = flags.require("out")?;
+    let corpus = generate_corpus(GenConfig {
+        drift_fraction: drift,
+        ..GenConfig::new(seed, count)
+    });
+    let mut body = String::new();
+    for d in &corpus {
+        let reg = d.registrant_labels();
+        let line = CorpusLine {
+            domain: d.facts.domain.clone(),
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+            registrant_text: (!reg.is_empty()).then(|| reg.texts().join("\n")),
+            registrant_labels: (!reg.is_empty()).then(|| reg.labels()),
+        };
+        body.push_str(&serde_json::to_string(&line).map_err(|e| e.to_string())?);
+        body.push('\n');
+    }
+    std::fs::write(out, body).map_err(|e| e.to_string())?;
+    eprintln!("wrote {count} labeled records to {out}");
+    Ok(())
+}
+
+fn read_corpus(path: &str) -> Result<Vec<CorpusLine>, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    body.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad corpus line: {e}")))
+        .collect()
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let corpus_path = flags.require("corpus")?;
+    let out = flags.require("out")?;
+    let records = read_corpus(corpus_path)?;
+    if records.is_empty() {
+        return Err("corpus is empty".into());
+    }
+    let first: Vec<TrainExample<BlockLabel>> = records
+        .iter()
+        .map(|r| TrainExample {
+            text: r.text.clone(),
+            labels: r.labels.clone(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = records
+        .iter()
+        .filter_map(|r| {
+            Some(TrainExample {
+                text: r.registrant_text.clone()?,
+                labels: r.registrant_labels.clone()?,
+            })
+        })
+        .collect();
+    if second.is_empty() {
+        return Err("corpus has no registrant blocks for the second level".into());
+    }
+    eprintln!(
+        "training on {} records ({} registrant blocks)...",
+        first.len(),
+        second.len()
+    );
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    std::fs::write(out, parser.to_json().map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    eprintln!("model written to {out}");
+    Ok(())
+}
+
+fn load_model(flags: &Flags) -> Result<WhoisParser, String> {
+    let path = flags.require("model")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    WhoisParser::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn read_record_text(flags: &Flags) -> Result<String, String> {
+    match flags.get("input") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
+            Ok(buf)
+        }
+    }
+}
+
+fn cmd_parse(flags: &Flags) -> Result<(), String> {
+    let parser = load_model(flags)?;
+    let domain = flags.get("domain").unwrap_or("unknown.invalid");
+    let text = read_record_text(flags)?;
+    let parsed = parser.parse(&RawRecord::new(domain, text));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&parsed).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn cmd_label(flags: &Flags) -> Result<(), String> {
+    let parser = load_model(flags)?;
+    let text = read_record_text(flags)?;
+    let scored = parser.first_level().predict_with_confidence(&text);
+    for (line, (label, confidence)) in whoisml::model::non_empty_lines(&text).iter().zip(&scored) {
+        println!("{}\t{:.3}\t{}", label.name(), confidence, line);
+    }
+    Ok(())
+}
+
+fn cmd_inspect(flags: &Flags) -> Result<(), String> {
+    let parser = load_model(flags)?;
+    let topk: usize = flags.get_or("topk", 8);
+    println!("== heaviest emission features per label (Table 1) ==");
+    print!(
+        "{}",
+        inspect::render_emission_table(parser.first_level(), topk)
+    );
+    println!("\n== transition-detecting features (Figure 1) ==");
+    print!(
+        "{}",
+        inspect::render_transition_graph(parser.first_level(), 3)
+    );
+    Ok(())
+}

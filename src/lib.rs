@@ -1,0 +1,66 @@
+//! # whoisml
+//!
+//! A production-quality Rust reproduction of
+//! *"Who is .com? Learning to Parse WHOIS Records"* (Liu, Foster, Savage,
+//! Voelker, Saul — IMC 2015): a statistical WHOIS parser built on a
+//! from-scratch linear-chain conditional random field, together with every
+//! substrate the paper's evaluation needs — a synthetic WHOIS corpus
+//! generator, rule-based and template-based baseline parsers, an RFC 3912
+//! client/server/crawler stack with rate-limit inference, and the `.com`
+//! survey analytics of the paper's §6.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use whoisml::gen::corpus::{generate_corpus, GenConfig};
+//! use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+//! use whoisml::model::{BlockLabel, RegistrantLabel};
+//!
+//! // 1. Get labeled records (here: generated; in practice: hand-labeled).
+//! let corpus = generate_corpus(GenConfig::new(7, 120));
+//! let (train, test) = corpus.split_at(100);
+//!
+//! let first: Vec<TrainExample<BlockLabel>> = train
+//!     .iter()
+//!     .map(|d| TrainExample { text: d.rendered.text(), labels: d.block_labels().labels() })
+//!     .collect();
+//! let second: Vec<TrainExample<RegistrantLabel>> = train
+//!     .iter()
+//!     .map(|d| {
+//!         let reg = d.registrant_labels();
+//!         TrainExample { text: reg.texts().join("\n"), labels: reg.labels() }
+//!     })
+//!     .filter(|e| !e.labels.is_empty())
+//!     .collect();
+//!
+//! // 2. Train the two-level CRF parser.
+//! let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+//!
+//! // 3. Parse unseen records into structured form.
+//! let parsed = parser.parse(&test[0].raw());
+//! assert!(parsed.registrar.is_some());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `whois-model` | labels, records, contacts, errors |
+//! | [`tokenize`] | `whois-tokenize` | §3.3 feature extraction |
+//! | [`crf`] | `whois-crf` | linear-chain CRF, L-BFGS/SGD, Viterbi |
+//! | [`parser`] | `whois-parser` | the two-level statistical parser |
+//! | [`rules`] | `whois-rules` | §4.2 rule-based baseline + rollback |
+//! | [`templates`] | `whois-templates` | §2.3 template baseline |
+//! | [`gen`] | `whois-gen` | calibrated synthetic corpus generator |
+//! | [`net`] | `whois-net` | RFC 3912 stack + §4.1 crawler |
+//! | [`survey`] | `whois-survey` | §6 tables and figures |
+
+pub use whois_crf as crf;
+pub use whois_gen as gen;
+pub use whois_model as model;
+pub use whois_net as net;
+pub use whois_parser as parser;
+pub use whois_rules as rules;
+pub use whois_survey as survey;
+pub use whois_templates as templates;
+pub use whois_tokenize as tokenize;

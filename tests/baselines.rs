@@ -1,0 +1,136 @@
+//! Integration: the three-way parser comparison the paper's evaluation
+//! rests on (statistical vs. rule-based vs. template-based).
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig, GeneratedDomain};
+use whoisml::gen::tlds;
+use whoisml::model::{BlockLabel, Tld};
+use whoisml::parser::{LevelParser, ParserConfig, TrainExample};
+use whoisml::rules::RuleBasedParser;
+use whoisml::templates::TemplateParser;
+
+fn stat_examples(domains: &[GeneratedDomain]) -> Vec<TrainExample<BlockLabel>> {
+    domains
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+fn rule_pairs(domains: &[GeneratedDomain]) -> Vec<(String, Vec<BlockLabel>)> {
+    domains
+        .iter()
+        .map(|d| (d.rendered.text(), d.block_labels().labels()))
+        .collect()
+}
+
+#[test]
+fn statistical_dominates_rolled_back_rules_at_small_sizes() {
+    // The Figure 2 relationship at 20 training examples.
+    let corpus = generate_corpus(GenConfig::new(88, 800));
+    let (pool, test) = corpus.split_at(100);
+    let train = &pool[..20];
+
+    let stat = LevelParser::train(&stat_examples(train), &ParserConfig::default());
+    let rules = RuleBasedParser::fit(&rule_pairs(train));
+
+    let stat_err = stat.evaluate(&stat_examples(test)).line_error_rate();
+    let rule_err = rules.evaluate(&rule_pairs(test)).line_error_rate();
+    assert!(
+        stat_err < rule_err,
+        "statistical ({stat_err}) must beat rolled-back rules ({rule_err})"
+    );
+}
+
+#[test]
+fn templates_are_perfect_in_distribution_but_collapse_under_drift() {
+    let corpus = generate_corpus(GenConfig::new(89, 300));
+    let mut templates = TemplateParser::new();
+    for d in &corpus {
+        let text = d.rendered.text();
+        let lines = whoisml::model::non_empty_lines(&text);
+        templates.add_example(d.registrar.name, &lines, &d.block_labels().labels());
+    }
+    // In-distribution: same registrars, new domains.
+    let fresh = generate_corpus(GenConfig::new(90, 200));
+    let fresh_examples: Vec<(String, String, Vec<BlockLabel>)> = fresh
+        .iter()
+        .map(|d| {
+            (
+                d.registrar.name.to_string(),
+                d.rendered.text(),
+                d.block_labels().labels(),
+            )
+        })
+        .collect();
+    let (cov, err) = templates.evaluate(&fresh_examples);
+    assert!(cov.coverage_rate() > 0.9);
+    assert!(err.line_error_rate() < 0.1, "{}", err.line_error_rate());
+
+    // Under drift the same parser collapses while a statistical parser
+    // trained on the same undrifted data stays accurate.
+    let drifted = generate_corpus(GenConfig {
+        drift_fraction: 1.0,
+        ..GenConfig::new(90, 200)
+    });
+    let drifted_examples: Vec<(String, String, Vec<BlockLabel>)> = drifted
+        .iter()
+        .map(|d| {
+            (
+                d.registrar.name.to_string(),
+                d.rendered.text(),
+                d.block_labels().labels(),
+            )
+        })
+        .collect();
+    let (dcov, derr) = templates.evaluate(&drifted_examples);
+    assert!(
+        dcov.failed as f64 / dcov.covered.max(1) as f64 > 0.8,
+        "most drifted records must break their template: {dcov:?}"
+    );
+
+    let stat = LevelParser::train(&stat_examples(&corpus), &ParserConfig::default());
+    let stat_err = stat.evaluate(&stat_examples(&drifted)).line_error_rate();
+    assert!(
+        stat_err < 0.10 && stat_err < derr.line_error_rate() / 3.0,
+        "statistical under drift: {stat_err} vs templates {}",
+        derr.line_error_rate()
+    );
+}
+
+#[test]
+fn statistical_generalizes_to_new_tlds_better_than_rules() {
+    // Table 2's aggregate relationship.
+    let corpus = generate_corpus(GenConfig::new(91, 1000));
+    let stat = LevelParser::train(&stat_examples(&corpus), &ParserConfig::default());
+    let rules = RuleBasedParser::fit(&rule_pairs(&corpus));
+
+    let mut stat_total = 0usize;
+    let mut rule_total = 0usize;
+    for tld in Tld::TABLE2_TLDS {
+        let sample = tlds::tld_sample(tld, 91).unwrap();
+        let gold = sample.block_labels();
+        let ex = TrainExample {
+            text: sample.text(),
+            labels: gold.labels(),
+        };
+        stat_total += stat.evaluate(std::slice::from_ref(&ex)).line_errors;
+        rule_total += rules
+            .evaluate(&[(sample.text(), gold.labels())])
+            .line_errors;
+    }
+    assert!(
+        stat_total * 2 < rule_total,
+        "statistical total {stat_total} should be far below rules {rule_total}"
+    );
+}
+
+#[test]
+fn full_rule_parser_remains_the_near_perfect_labeler() {
+    // §4.2: the full rule base labels the corpus it was developed for.
+    let corpus = generate_corpus(GenConfig::new(92, 400));
+    let full = RuleBasedParser::full();
+    let err = full.evaluate(&rule_pairs(&corpus)).line_error_rate();
+    assert!(err < 0.02, "full rule parser error {err}");
+}

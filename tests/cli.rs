@@ -1,0 +1,143 @@
+//! Integration test for the `whoisml` CLI binary: the gen → train →
+//! parse / label / inspect round trip a downstream user runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    // Cargo puts the binary next to the test executable's parent dir.
+    let mut path = PathBuf::from(env!("CARGO_BIN_EXE_whoisml"));
+    if !path.exists() {
+        path = PathBuf::from("target/release/whoisml");
+    }
+    Command::new(path)
+}
+
+#[test]
+fn gen_train_parse_label_inspect_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("whoisml-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let record = dir.join("record.txt");
+
+    // gen
+    let out = cli()
+        .args([
+            "gen",
+            "--count",
+            "150",
+            "--seed",
+            "9",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&corpus).unwrap();
+    assert_eq!(body.lines().count(), 150);
+    let first: serde_json::Value = serde_json::from_str(body.lines().next().unwrap()).unwrap();
+    assert!(first["text"].as_str().unwrap().len() > 50);
+    assert!(first["labels"].as_array().unwrap().len() > 3);
+
+    // train
+    let out = cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(model.exists());
+
+    // parse a record taken from a fresh corpus line
+    let sample_text = first["text"].as_str().unwrap();
+    std::fs::write(&record, sample_text).unwrap();
+    let out = cli()
+        .args([
+            "parse",
+            "--model",
+            model.to_str().unwrap(),
+            "--domain",
+            first["domain"].as_str().unwrap(),
+            "--input",
+            record.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run parse");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(parsed["domain"], first["domain"]);
+    assert!(parsed["registrar"].is_string(), "parsed: {parsed}");
+
+    // label with confidence columns
+    let out = cli()
+        .args([
+            "label",
+            "--model",
+            model.to_str().unwrap(),
+            "--input",
+            record.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run label");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let rows: Vec<&str> = text.lines().collect();
+    assert!(rows.len() > 5);
+    for row in &rows {
+        let cols: Vec<&str> = row.splitn(3, '\t').collect();
+        assert_eq!(cols.len(), 3, "row {row:?}");
+        let conf: f64 = cols[1].parse().unwrap();
+        assert!((0.0..=1.0).contains(&conf));
+    }
+
+    // inspect
+    let out = cli()
+        .args(["inspect", "--model", model.to_str().unwrap()])
+        .output()
+        .expect("run inspect");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("registrant"));
+    assert!(text.contains("=="));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_errors_cleanly() {
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = cli()
+        .args(["train", "--corpus", "/nonexistent.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // No args prints usage.
+    let out = cli().stdin(Stdio::null()).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

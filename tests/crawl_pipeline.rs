@@ -1,0 +1,169 @@
+//! Integration: the full §4.1→§6 pipeline over real loopback TCP —
+//! generate an ecosystem, serve it, crawl it, parse the crawl output,
+//! aggregate a survey.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::{BlockLabel, RawRecord, RegistrantLabel};
+use whoisml::net::crawler::CrawlStatus;
+use whoisml::net::{
+    Crawler, CrawlerConfig, FaultConfig, InMemoryStore, RateLimitConfig, ServerConfig, WhoisServer,
+};
+use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+use whoisml::survey::Survey;
+
+#[test]
+fn crawl_parse_survey_pipeline() {
+    let corpus = generate_corpus(GenConfig::new(404, 120));
+
+    // Serve it.
+    let mut thin = InMemoryStore::new();
+    let mut per_registrar: HashMap<&str, InMemoryStore> = HashMap::new();
+    for d in &corpus {
+        thin.insert(&d.facts.domain, d.thin_text());
+        per_registrar
+            .entry(d.registrar.whois_server)
+            .or_default()
+            .insert(&d.facts.domain, d.rendered.text());
+    }
+    let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+    let mut resolver = HashMap::new();
+    let mut servers = Vec::new();
+    for (i, (host, store)) in per_registrar.into_iter().enumerate() {
+        let server = WhoisServer::start(
+            store,
+            ServerConfig {
+                rate_limit: RateLimitConfig {
+                    burst: 12,
+                    per_second: 800.0,
+                    penalty: Duration::from_millis(10),
+                },
+                faults: FaultConfig {
+                    drop_chance: 0.03,
+                    ..Default::default()
+                },
+                fault_seed: i as u64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        resolver.insert(host.to_string(), server.addr());
+        servers.push(server);
+    }
+
+    // Crawl it.
+    let crawler = Arc::new(Crawler::new(
+        registry.addr(),
+        resolver,
+        CrawlerConfig::default(),
+    ));
+    let zone: Vec<String> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
+    let report = crawler.crawl(&zone);
+    assert_eq!(report.results.len(), corpus.len());
+    assert!(
+        report.coverage() > 0.85,
+        "coverage {} too low",
+        report.coverage()
+    );
+
+    // The crawled thick records match what the generator rendered.
+    let by_domain: HashMap<&str, &str> = corpus
+        .iter()
+        .map(|d| (d.facts.domain.as_str(), d.registrar.whois_server))
+        .collect();
+    for r in &report.results {
+        if r.status == CrawlStatus::Full {
+            assert!(by_domain.contains_key(r.domain.as_str()));
+            let thick = r.thick.as_deref().unwrap();
+            assert!(
+                thick.contains(&r.domain) || thick.contains(&r.domain.to_uppercase()),
+                "thick record for {} does not mention the domain",
+                r.domain
+            );
+        }
+    }
+
+    // Parse + survey the crawl output.
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+
+    let mut survey = Survey::new();
+    for r in &report.results {
+        if let Some(thick) = &r.thick {
+            let parsed = parser.parse(&RawRecord::new(r.domain.clone(), thick.clone()));
+            survey.add(&parsed, false);
+        }
+    }
+    assert_eq!(survey.total as usize, report.count(CrawlStatus::Full));
+    assert!(
+        survey.registrar_all.distinct() > 5,
+        "survey should see many registrars"
+    );
+    assert!(survey.country_all.total() > 0);
+    // The registry-side counts agree with the server-side counters.
+    let answered = registry
+        .stats()
+        .answered
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(answered as usize >= corpus.len());
+}
+
+#[test]
+fn garbled_replies_do_not_crash_the_parser() {
+    // Records mangled by fault injection must never panic the pipeline.
+    let corpus = generate_corpus(GenConfig::new(405, 20));
+    let mut store = InMemoryStore::new();
+    for d in &corpus {
+        store.insert(&d.facts.domain, d.rendered.text());
+    }
+    let server = WhoisServer::start(
+        store,
+        ServerConfig {
+            faults: FaultConfig {
+                garble_chance: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let client = whoisml::net::WhoisClient::default();
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let parser = WhoisParser::train(
+        &first,
+        &[TrainExample {
+            text: "Registrant Name: X".to_string(),
+            labels: vec![RegistrantLabel::Name],
+        }],
+        &ParserConfig::default(),
+    );
+    for d in &corpus {
+        let body = client.query(server.addr(), &d.facts.domain).unwrap();
+        let parsed = parser.parse(&RawRecord::new(d.facts.domain.clone(), body));
+        assert_eq!(parsed.domain, d.facts.domain);
+    }
+}

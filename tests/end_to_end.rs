@@ -1,0 +1,141 @@
+//! End-to-end integration: generator → two-level parser → structured
+//! output, validated against the generator's ground-truth facts.
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig, GeneratedDomain};
+use whoisml::model::{BlockLabel, RegistrantLabel};
+use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+
+fn examples(domains: &[GeneratedDomain]) -> Vec<TrainExample<BlockLabel>> {
+    domains
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+fn second(domains: &[GeneratedDomain]) -> Vec<TrainExample<RegistrantLabel>> {
+    domains
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect()
+}
+
+fn trained(seed: u64, n_train: usize, n_test: usize) -> (WhoisParser, Vec<GeneratedDomain>) {
+    let corpus = generate_corpus(GenConfig::new(seed, n_train + n_test));
+    let (train, test) = corpus.split_at(n_train);
+    let parser = WhoisParser::train(&examples(train), &second(train), &ParserConfig::default());
+    (parser, test.to_vec())
+}
+
+#[test]
+fn first_level_accuracy_above_99_percent_with_300_examples() {
+    let (parser, test) = trained(1, 300, 300);
+    let stats = parser.evaluate_first_level(&examples(&test));
+    assert!(
+        stats.line_error_rate() < 0.01,
+        "line error {} (paper: >99% with far fewer formats per example)",
+        stats.line_error_rate()
+    );
+}
+
+#[test]
+fn second_level_accuracy_above_97_percent() {
+    let (parser, test) = trained(2, 300, 300);
+    let stats = parser.evaluate_second_level(&second(&test));
+    assert!(
+        stats.line_error_rate() < 0.03,
+        "registrant sub-field line error {}",
+        stats.line_error_rate()
+    );
+}
+
+#[test]
+fn structured_extraction_matches_ground_truth_facts() {
+    let (parser, test) = trained(3, 300, 200);
+    let mut registrar_ok = 0;
+    let mut year_ok = 0;
+    let mut email_ok = 0;
+    let mut name_candidates = 0;
+    let mut name_ok = 0;
+    for d in &test {
+        let parsed = parser.parse(&d.raw());
+        if parsed.registrar.as_deref() == Some(d.facts.registrar_name.as_str()) {
+            registrar_ok += 1;
+        }
+        if parsed.creation_year() == Some(d.facts.created.y) {
+            year_ok += 1;
+        }
+        if let Some(reg) = &parsed.registrant {
+            if reg.email.as_deref() == Some(d.facts.registrant.email.as_str()) {
+                email_ok += 1;
+            }
+            name_candidates += 1;
+            if reg.name.as_deref() == Some(d.facts.registrant.name.as_str()) {
+                name_ok += 1;
+            }
+        }
+    }
+    let n = test.len() as f64;
+    assert!(
+        registrar_ok as f64 / n > 0.9,
+        "registrar {registrar_ok}/{n}"
+    );
+    assert!(year_ok as f64 / n > 0.9, "creation year {year_ok}/{n}");
+    assert!(email_ok as f64 / n > 0.8, "registrant email {email_ok}/{n}");
+    assert!(
+        name_ok as f64 / name_candidates.max(1) as f64 > 0.75,
+        "registrant name {name_ok}/{name_candidates}"
+    );
+}
+
+#[test]
+fn parser_handles_degenerate_inputs_gracefully() {
+    let (parser, _) = trained(4, 120, 1);
+    for text in [
+        "",
+        "\n\n\n",
+        "%%%%\n####",
+        "single line with no structure at all",
+        "a:\nb:\nc:",
+    ] {
+        let raw = whoisml::model::RawRecord::new("weird.com", text);
+        let parsed = parser.parse(&raw);
+        assert_eq!(parsed.domain, "weird.com");
+        // Label count always matches the chunker's line count.
+        assert_eq!(
+            parser.label_blocks(text).len(),
+            whoisml::model::non_empty_lines(text).len()
+        );
+    }
+}
+
+#[test]
+fn drifted_records_still_parse_well_statistically() {
+    // Fragility test: a parser trained on undrifted formats meets records
+    // whose registrars changed their schema. The statistical parser
+    // degrades gracefully (the paper's robustness claim).
+    let corpus = generate_corpus(GenConfig::new(5, 400));
+    let parser = WhoisParser::train(
+        &examples(&corpus),
+        &second(&corpus),
+        &ParserConfig::default(),
+    );
+    let drifted = generate_corpus(GenConfig {
+        drift_fraction: 1.0,
+        ..GenConfig::new(6, 150)
+    });
+    let stats = parser.evaluate_first_level(&examples(&drifted));
+    assert!(
+        stats.line_error_rate() < 0.10,
+        "drifted line error {} should stay below 10% (templates fail ~100%)",
+        stats.line_error_rate()
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration: model persistence (save/load) and §5.3 adaptation.
+
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::gen::tlds;
+use whoisml::model::{BlockLabel, RegistrantLabel};
+use whoisml::parser::{LevelParser, ParserConfig, TrainExample, WhoisParser};
+
+fn train_examples(seed: u64, n: usize) -> Vec<TrainExample<BlockLabel>> {
+    generate_corpus(GenConfig::new(seed, n))
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+#[test]
+fn saved_and_loaded_model_is_bit_identical_in_behaviour() {
+    let corpus = generate_corpus(GenConfig::new(55, 150));
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+
+    let json = parser.to_json().unwrap();
+    let loaded = WhoisParser::from_json(&json).unwrap();
+
+    let fresh = generate_corpus(GenConfig::new(56, 50));
+    for d in &fresh {
+        let raw = d.raw();
+        assert_eq!(loaded.parse(&raw), parser.parse(&raw), "{}", raw.domain);
+    }
+    // Round-tripping again is stable.
+    let json2 = loaded.to_json().unwrap();
+    assert_eq!(json, json2);
+}
+
+#[test]
+fn adaptation_with_one_example_fixes_a_new_format() {
+    let mut examples = train_examples(57, 400);
+    let mut parser = LevelParser::train(&examples, &ParserConfig::default());
+
+    let sample = tlds::tld_sample("travel", 3).unwrap();
+    let new_format = TrainExample {
+        text: sample.text(),
+        labels: sample.block_labels().labels(),
+    };
+    // It may or may not err before; after adding one example it must be
+    // perfect on a *different* record of the same format.
+    examples.push(new_format);
+    parser.retrain(&examples, &ParserConfig::default());
+
+    let fresh = tlds::tld_sample("travel", 4).unwrap();
+    let test = TrainExample {
+        text: fresh.text(),
+        labels: fresh.block_labels().labels(),
+    };
+    let errors = parser.evaluate(std::slice::from_ref(&test)).line_errors;
+    assert_eq!(errors, 0, "one labeled example should fix the format");
+
+    // No regression on the original distribution.
+    let holdout = train_examples(58, 150);
+    assert!(parser.evaluate(&holdout).line_error_rate() < 0.01);
+}
+
+#[test]
+fn retrain_without_new_words_warm_starts() {
+    // Retraining on the same data keeps the same dictionary and converges
+    // quickly from the current weights (the warm-start path).
+    let examples = train_examples(59, 100);
+    let mut parser = LevelParser::train(&examples, &ParserConfig::default());
+    let dict_len = parser.encoder().dictionary().len();
+    let weights_before = parser.crf().weights().to_vec();
+    parser.retrain(&examples, &ParserConfig::default());
+    assert_eq!(parser.encoder().dictionary().len(), dict_len);
+    // Weights may move slightly but the model stays consistent.
+    assert_eq!(parser.crf().weights().len(), weights_before.len());
+    assert!(parser.evaluate(&examples).line_errors == 0);
+}

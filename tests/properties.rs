@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) over the core invariants:
+//! CRF inference vs. brute force, gradient vs. finite differences,
+//! tokenizer/chunker agreement, dictionary encoding, template
+//! self-consistency, and generator ground-truth alignment.
+
+use proptest::prelude::*;
+use whoisml::crf::diagnostics::{brute_force_log_z, brute_force_viterbi, finite_difference_grad};
+use whoisml::crf::{
+    backward, forward, node_marginals, viterbi, Crf, Instance, Objective, Sequence,
+};
+use whoisml::model::BlockLabel;
+
+/// Strategy: a small random CRF (weights included) plus a compatible
+/// observation sequence.
+fn crf_and_sequence() -> impl Strategy<Value = (Crf, Sequence)> {
+    (2usize..4, 2usize..6, 1usize..5).prop_flat_map(|(n_states, n_feats, t_len)| {
+        let weights = proptest::collection::vec(-2.0..2.0f64, {
+            // dim computed the same way Crf does: pair-eligible = even ids
+            let n_pair = n_feats.div_ceil(2);
+            n_states * n_states + n_feats * n_states + n_pair * n_states * n_states
+        });
+        let obs = proptest::collection::vec(
+            proptest::collection::btree_set(0..n_feats as u32, 0..=n_feats.min(3)),
+            t_len,
+        );
+        (Just((n_states, n_feats)), weights, obs).prop_map(|((n_states, n_feats), w, obs)| {
+            let pair: Vec<bool> = (0..n_feats).map(|f| f % 2 == 0).collect();
+            let mut crf = Crf::new(n_states, n_feats, &pair);
+            crf.set_weights(w);
+            let seq = Sequence::new(obs.into_iter().map(|s| s.into_iter().collect()).collect());
+            (crf, seq)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_log_z_equals_brute_force((crf, seq) in crf_and_sequence()) {
+        let table = crf.score_table(&seq);
+        let fwd = forward(&table);
+        let brute = brute_force_log_z(&crf, &seq);
+        prop_assert!((fwd.log_z - brute).abs() < 1e-8,
+            "dp {} vs brute {}", fwd.log_z, brute);
+    }
+
+    #[test]
+    fn viterbi_equals_brute_force_argmax((crf, seq) in crf_and_sequence()) {
+        let table = crf.score_table(&seq);
+        let (path, score) = viterbi(&table);
+        let (bpath, bscore) = brute_force_viterbi(&crf, &seq);
+        prop_assert!((score - bscore).abs() < 1e-8);
+        // Paths may differ only on exact ties; scores must agree.
+        prop_assert!((crf.path_score(&seq, &path) - crf.path_score(&seq, &bpath)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn node_marginals_are_distributions((crf, seq) in crf_and_sequence()) {
+        let table = crf.score_table(&seq);
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        let nm = node_marginals(&table, &fwd, &beta);
+        let n = crf.num_states();
+        for t in 0..seq.len() {
+            let row = &nm[t*n..(t+1)*n];
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-8, "t={t} sum={sum}");
+            prop_assert!(row.iter().all(|&p| (-1e-12..=1.0 + 1e-9).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn viterbi_path_beats_random_paths(
+        (crf, seq) in crf_and_sequence(),
+        random_bits in proptest::collection::vec(0usize..100, 1..5),
+    ) {
+        if seq.is_empty() { return Ok(()); }
+        let table = crf.score_table(&seq);
+        let (_, best) = viterbi(&table);
+        let n = crf.num_states();
+        for bits in random_bits.chunks(1) {
+            let path: Vec<usize> = (0..seq.len()).map(|t| (bits[0] + t) % n).collect();
+            prop_assert!(crf.path_score(&seq, &path) <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn objective_gradient_matches_finite_differences(
+        (crf, seq) in crf_and_sequence(),
+        label_bits in proptest::collection::vec(0usize..16, 1..5),
+    ) {
+        if seq.is_empty() { return Ok(()); }
+        let n = crf.num_states();
+        let labels: Vec<usize> = (0..seq.len())
+            .map(|t| label_bits[t % label_bits.len()] % n)
+            .collect();
+        let data = vec![Instance::new(seq.clone(), labels)];
+        let structure = Crf::new(
+            n,
+            crf.num_obs_features(),
+            &(0..crf.num_obs_features() as u32).map(|f| crf.is_pair_eligible(f)).collect::<Vec<_>>(),
+        );
+        let mut obj = Objective::new(structure.clone(), &data, 0.05, 1);
+        let w: Vec<f64> = crf.weights().iter().map(|x| x * 0.3).collect();
+        let mut g = vec![0.0; w.len()];
+        obj.eval(&w, &mut g);
+        let mut obj2 = Objective::new(structure, &data, 0.05, 1);
+        let fd = finite_difference_grad(|x| {
+            let mut scratch = vec![0.0; x.len()];
+            obj2.eval(x, &mut scratch)
+        }, &w, 1e-5);
+        for k in 0..w.len() {
+            prop_assert!((g[k] - fd[k]).abs() < 1e-4,
+                "param {k}: analytic {} vs fd {}", g[k], fd[k]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn annotation_agrees_with_chunker(text in "[ -~\n]{0,400}") {
+        let annotated = whoisml::tokenize::annotate_record(&text);
+        let lines = whoisml::model::non_empty_lines(&text);
+        prop_assert_eq!(annotated.len(), lines.len());
+        for (obs, line) in annotated.iter().zip(&lines) {
+            prop_assert_eq!(obs.text.as_str(), *line);
+        }
+    }
+
+    #[test]
+    fn dictionary_encode_is_sorted_unique(words in proptest::collection::vec("[a-z]{1,6}", 1..20)) {
+        let features: Vec<String> = words.iter().map(|w| format!("w:{w}@V")).collect();
+        let dict = whoisml::tokenize::Dictionary::from_bags(
+            vec![features.iter().map(String::as_str)],
+            1,
+        );
+        let ids = dict.encode(features.iter().map(String::as_str));
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ids.len() <= features.len());
+        for id in ids {
+            prop_assert!(dict.id(dict.name(id)) == Some(id));
+        }
+    }
+
+    #[test]
+    fn separator_split_reassembles(line in "[ -~]{0,120}") {
+        if let Some((title, value, _)) = whoisml::tokenize::split_title_value(&line) {
+            // Title and value are both substrings of the original line,
+            // in order, separated by at least one character.
+            prop_assert!(line.starts_with(title));
+            prop_assert!(line.ends_with(value));
+            prop_assert!(title.len() + value.len() < line.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_domains_always_align_with_chunker(seed in 0u64..5000) {
+        let corpus = whoisml::gen::corpus::generate_corpus(
+            whoisml::gen::corpus::GenConfig::new(seed, 3),
+        );
+        for d in corpus {
+            let raw = d.raw();
+            let labels = d.block_labels();
+            prop_assert_eq!(raw.lines().len(), labels.len());
+            // Registrant sub-labels cover exactly the registrant lines.
+            let reg_lines = labels
+                .lines
+                .iter()
+                .filter(|l| l.label == BlockLabel::Registrant)
+                .count();
+            prop_assert_eq!(d.registrant_labels().len(), reg_lines);
+        }
+    }
+
+    #[test]
+    fn template_learned_from_a_record_reparses_it(seed in 0u64..5000) {
+        let corpus = whoisml::gen::corpus::generate_corpus(
+            whoisml::gen::corpus::GenConfig::new(seed, 2),
+        );
+        for d in corpus {
+            let text = d.rendered.text();
+            let lines = whoisml::model::non_empty_lines(&text);
+            let gold = d.block_labels().labels();
+            let template = whoisml::templates::Template::learn("r", &lines, &gold);
+            prop_assert_eq!(template.apply(&lines), Some(gold));
+        }
+    }
+}
