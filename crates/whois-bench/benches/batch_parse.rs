@@ -1,0 +1,105 @@
+//! Batch parsing: the `ParseEngine` against the naive per-record loop.
+//!
+//! The engine wins twice: per-worker scratch reuse removes the per-record
+//! feature/lattice allocations (visible even at 1 worker), and crossbeam
+//! fan-out scales across cores (visible only when the machine has them).
+//! Besides the criterion timings, the bench writes a machine-readable
+//! summary to `results/BENCH_batch_parse.json` with the measured
+//! records/sec per worker count and the speedup over the naive loop, so
+//! runs on different hardware can be compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+use whois_bench::*;
+use whois_model::RawRecord;
+use whois_parser::{ParseEngine, ParserConfig, WhoisParser};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn setup() -> (WhoisParser, Vec<RawRecord>) {
+    let train = corpus(13, 300);
+    let test = corpus(29, 300);
+    let parser = WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    );
+    let raws = test.iter().map(|d| d.raw()).collect();
+    (parser, raws)
+}
+
+fn bench_batch_parse(c: &mut Criterion) {
+    let (parser, raws) = setup();
+
+    let mut group = c.benchmark_group("batch_parse");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("naive_loop", |b| {
+        b.iter(|| {
+            raws.iter()
+                .map(|r| parser.parse(r).has_registrant() as usize)
+                .sum::<usize>()
+        })
+    });
+    for workers in WORKER_COUNTS {
+        let engine = ParseEngine::with_workers(parser.clone(), workers);
+        group.bench_function(BenchmarkId::new("engine", workers), |b| {
+            b.iter(|| engine.parse_batch(&raws).len())
+        });
+    }
+    group.finish();
+
+    write_summary(&parser, &raws);
+}
+
+/// Best-of-3 wall-clock records/sec for one run of `f`.
+fn best_rate(records: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary(parser: &WhoisParser, raws: &[RawRecord]) {
+    let naive = best_rate(raws.len(), || {
+        for r in raws {
+            criterion::black_box(parser.parse(r));
+        }
+    });
+    let mut engine_entries = String::new();
+    for workers in WORKER_COUNTS {
+        let engine = ParseEngine::with_workers(parser.clone(), workers);
+        let rate = best_rate(raws.len(), || {
+            criterion::black_box(engine.parse_batch(raws));
+        });
+        if !engine_entries.is_empty() {
+            engine_entries.push_str(",\n");
+        }
+        engine_entries.push_str(&format!(
+            "    {{\"workers\": {workers}, \"records_per_sec\": {rate:.1}, \"speedup_vs_naive\": {:.3}}}",
+            rate / naive
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"batch_parse\",\n  \"records\": {},\n  \"available_cores\": {cores},\n  \
+         \"naive_records_per_sec\": {naive:.1},\n  \"engine\": [\n{engine_entries}\n  ]\n}}\n",
+        raws.len()
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_batch_parse.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[batch_parse] summary written to {path}"),
+        Err(e) => eprintln!("[batch_parse] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_batch_parse);
+criterion_main!(benches);

@@ -29,17 +29,26 @@ pub struct Forward {
 /// For the empty sequence `log_z = 0` (the empty product has probability
 /// 1).
 pub fn forward(table: &ScoreTable) -> Forward {
+    let mut alpha = Vec::new();
+    let log_z = forward_into(table, &mut alpha, &mut Vec::new());
+    Forward { alpha, log_z }
+}
+
+/// Forward recursion into a reused α buffer, returning `log Z(x)`.
+///
+/// `tmp` is an `n`-sized working row; both buffers are resized on demand
+/// so one pair serves sequences of any length.
+pub fn forward_into(table: &ScoreTable, alpha: &mut Vec<f64>, tmp: &mut Vec<f64>) -> f64 {
     let n = table.n;
     let t_len = table.len;
+    alpha.clear();
     if t_len == 0 {
-        return Forward {
-            alpha: Vec::new(),
-            log_z: 0.0,
-        };
+        return 0.0;
     }
-    let mut alpha = vec![0.0; t_len * n];
+    alpha.resize(t_len * n, 0.0);
+    tmp.clear();
+    tmp.resize(n, 0.0);
     alpha[..n].copy_from_slice(table.emit_at(0));
-    let mut scratch = vec![0.0; n];
     for t in 1..t_len {
         let edge = table.trans_at(t);
         let emit = table.emit_at(t);
@@ -48,50 +57,71 @@ pub fn forward(table: &ScoreTable) -> Forward {
         let cur = &mut cur_rows[..n];
         for j in 0..n {
             for i in 0..n {
-                scratch[i] = prev[i] + edge[i * n + j];
+                tmp[i] = prev[i] + edge[i * n + j];
             }
-            cur[j] = log_sum_exp(&scratch) + emit[j];
+            cur[j] = log_sum_exp(tmp) + emit[j];
         }
     }
-    let log_z = log_sum_exp(&alpha[(t_len - 1) * n..]);
-    Forward { alpha, log_z }
+    log_sum_exp(&alpha[(t_len - 1) * n..])
 }
 
 /// Run the backward recursion, returning the β lattice (log-domain,
 /// `len × n`), where `beta[t*n + i] = log Σ exp(score of suffix after t
 /// given y_t = i)`.
 pub fn backward(table: &ScoreTable) -> Vec<f64> {
+    let mut beta = Vec::new();
+    backward_into(table, &mut beta, &mut Vec::new());
+    beta
+}
+
+/// Backward recursion into a reused β buffer (`tmp` as in
+/// [`forward_into`]).
+pub fn backward_into(table: &ScoreTable, beta: &mut Vec<f64>, tmp: &mut Vec<f64>) {
     let n = table.n;
     let t_len = table.len;
+    beta.clear();
     if t_len == 0 {
-        return Vec::new();
+        return;
     }
-    let mut beta = vec![0.0; t_len * n];
     // Last row is all zeros (log 1).
-    let mut scratch = vec![0.0; n];
+    beta.resize(t_len * n, 0.0);
+    tmp.clear();
+    tmp.resize(n, 0.0);
     for t in (0..t_len - 1).rev() {
         let edge = table.trans_at(t + 1);
         let emit_next = table.emit_at(t + 1);
         for i in 0..n {
             for j in 0..n {
-                scratch[j] = edge[i * n + j] + emit_next[j] + beta[(t + 1) * n + j];
+                tmp[j] = edge[i * n + j] + emit_next[j] + beta[(t + 1) * n + j];
             }
-            beta[t * n + i] = log_sum_exp(&scratch);
+            beta[t * n + i] = log_sum_exp(tmp);
         }
     }
-    beta
 }
 
 /// Posterior node marginals `Pr(y_t = j | x)` as a `len × n` matrix.
 pub fn node_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    node_marginals_into(table, &fwd.alpha, fwd.log_z, beta, &mut out);
+    out
+}
+
+/// Node marginals into a reused buffer, from pre-computed α/β lattices.
+pub fn node_marginals_into(
+    table: &ScoreTable,
+    alpha: &[f64],
+    log_z: f64,
+    beta: &[f64],
+    out: &mut Vec<f64>,
+) {
     let n = table.n;
-    let mut out = vec![0.0; table.len * n];
+    out.clear();
+    out.resize(table.len * n, 0.0);
     for t in 0..table.len {
         for j in 0..n {
-            out[t * n + j] = (fwd.alpha[t * n + j] + beta[t * n + j] - fwd.log_z).exp();
+            out[t * n + j] = (alpha[t * n + j] + beta[t * n + j] - log_z).exp();
         }
     }
-    out
 }
 
 /// Posterior edge marginals `Pr(y_{t-1} = i, y_t = j | x)` as a
@@ -121,38 +151,64 @@ pub fn edge_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f6
 /// Viterbi decoding: the most likely label sequence and its unnormalized
 /// log-score (eqs. 13–17). Returns an empty path for the empty sequence.
 pub fn viterbi(table: &ScoreTable) -> (Vec<usize>, f64) {
+    let mut path = Vec::new();
+    let score = viterbi_into(
+        table,
+        &mut path,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+    );
+    (path, score)
+}
+
+/// Viterbi decoding into reused buffers, returning the path's
+/// unnormalized log-score. `v` holds the best-prefix lattice, `back` the
+/// backpointers, `tmp` an `n`-sized working row; all are grown on
+/// demand.
+pub fn viterbi_into(
+    table: &ScoreTable,
+    path: &mut Vec<usize>,
+    v: &mut Vec<f64>,
+    back: &mut Vec<usize>,
+    tmp: &mut Vec<f64>,
+) -> f64 {
     let n = table.n;
     let t_len = table.len;
+    path.clear();
     if t_len == 0 {
-        return (Vec::new(), 0.0);
+        return 0.0;
     }
     // v[t*n + j] = best prefix score ending in state j at t.
-    let mut v = vec![0.0; t_len * n];
-    let mut back = vec![0usize; t_len * n];
+    v.clear();
+    v.resize(t_len * n, 0.0);
+    back.clear();
+    back.resize(t_len * n, 0);
+    tmp.clear();
+    tmp.resize(n, 0.0);
     v[..n].copy_from_slice(table.emit_at(0));
-    let mut scratch = vec![0.0; n];
     for t in 1..t_len {
         let edge = table.trans_at(t);
         let emit = table.emit_at(t);
         for j in 0..n {
             for i in 0..n {
-                scratch[i] = v[(t - 1) * n + i] + edge[i * n + j];
+                tmp[i] = v[(t - 1) * n + i] + edge[i * n + j];
             }
-            let best = arg_max(&scratch);
+            let best = arg_max(tmp);
             back[t * n + j] = best;
-            v[t * n + j] = scratch[best] + emit[j];
+            v[t * n + j] = tmp[best] + emit[j];
         }
     }
     let last = &v[(t_len - 1) * n..];
     let mut state = arg_max(last);
     let best_score = last[state];
-    let mut path = vec![0usize; t_len];
+    path.resize(t_len, 0);
     path[t_len - 1] = state;
     for t in (1..t_len).rev() {
         state = back[t * n + state];
         path[t - 1] = state;
     }
-    (path, best_score)
+    best_score
 }
 
 #[cfg(test)]

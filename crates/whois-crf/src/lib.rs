@@ -37,12 +37,17 @@ pub mod model;
 pub mod numerics;
 pub mod objective;
 pub mod scaled;
+pub mod scratch;
 pub mod sequence;
 pub mod sgd;
 pub mod train;
 
-pub use inference::{backward, edge_marginals, forward, node_marginals, viterbi};
+pub use inference::{
+    backward, backward_into, edge_marginals, forward, forward_into, node_marginals,
+    node_marginals_into, viterbi, viterbi_into,
+};
 pub use model::{Crf, ScoreTable};
 pub use objective::Objective;
+pub use scratch::InferenceScratch;
 pub use sequence::{Instance, Sequence};
 pub use train::{train, TrainConfig, TrainReport, TrainerKind};

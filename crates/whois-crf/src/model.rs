@@ -55,7 +55,7 @@ pub struct Crf {
 ///
 /// With these tables every inference routine is a dense `O(n²T)` sweep
 /// (appendix A of the paper).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ScoreTable {
     /// Number of states `n`.
     pub n: usize,
@@ -188,22 +188,35 @@ impl Crf {
     /// # Panics
     /// Panics if the sequence contains a feature id `>= F`.
     pub fn score_table(&self, seq: &Sequence) -> ScoreTable {
+        let mut out = ScoreTable::default();
+        self.score_table_into(seq, &mut out);
+        out
+    }
+
+    /// Materialize the potentials of `seq` into `out`, reusing its
+    /// buffers (the allocation-free path; see
+    /// [`InferenceScratch`](crate::scratch::InferenceScratch)).
+    ///
+    /// # Panics
+    /// Panics if the sequence contains a feature id `>= F`.
+    pub fn score_table_into(&self, seq: &Sequence, out: &mut ScoreTable) {
         let n = self.num_states;
         let t_len = seq.len();
-        let mut emit = vec![0.0; t_len * n];
+        out.n = n;
+        out.len = t_len;
+        out.emit.clear();
+        out.emit.resize(t_len * n, 0.0);
+        out.trans.clear();
         let base_trans = &self.weights[..n * n];
-        let mut trans = if t_len > 1 {
-            let mut v = Vec::with_capacity((t_len - 1) * n * n);
+        if t_len > 1 {
+            out.trans.reserve((t_len - 1) * n * n);
             for _ in 1..t_len {
-                v.extend_from_slice(base_trans);
+                out.trans.extend_from_slice(base_trans);
             }
-            v
-        } else {
-            Vec::new()
-        };
+        }
 
         for (t, feats) in seq.obs.iter().enumerate() {
-            let emit_row = &mut emit[t * n..(t + 1) * n];
+            let emit_row = &mut out.emit[t * n..(t + 1) * n];
             for &f in feats {
                 assert!(
                     (f as usize) < self.num_obs_features,
@@ -218,20 +231,13 @@ impl Crf {
                 // (they condition on y_{t-1}); position 0 has no such edge.
                 if t > 0 {
                     if let Some(pbase) = self.pair_index(f, 0, 0) {
-                        let edge = &mut trans[(t - 1) * n * n..t * n * n];
+                        let edge = &mut out.trans[(t - 1) * n * n..t * n * n];
                         for (e, w) in edge.iter_mut().zip(&self.weights[pbase..pbase + n * n]) {
                             *e += *w;
                         }
                     }
                 }
             }
-        }
-
-        ScoreTable {
-            n,
-            len: t_len,
-            emit,
-            trans,
         }
     }
 

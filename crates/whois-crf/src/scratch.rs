@@ -1,0 +1,168 @@
+//! Reusable inference buffers.
+//!
+//! Every inference routine in [`crate::inference`] exists in two forms: a
+//! convenient allocating form (`forward`, `viterbi`, ...) and an `_into`
+//! form writing into caller-owned buffers. [`InferenceScratch`] bundles
+//! one of every buffer the full decode pipeline needs — score table,
+//! α/β lattices, marginal matrix, Viterbi lattice/backpointers/path, and
+//! the shared `n`-sized working row — so a long-lived worker (one per
+//! thread in a batch-parsing pool) performs steady-state decoding with
+//! zero heap allocation. Buffers grow on demand and are retained at
+//! high-water capacity across records.
+
+use crate::inference::{backward_into, forward_into, node_marginals_into, viterbi_into};
+use crate::model::{Crf, ScoreTable};
+use crate::sequence::Sequence;
+
+/// Reusable buffers for the full decode pipeline of one worker.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceScratch {
+    table: ScoreTable,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    marginals: Vec<f64>,
+    viterbi_v: Vec<f64>,
+    backpointers: Vec<usize>,
+    path: Vec<usize>,
+    tmp: Vec<f64>,
+}
+
+impl InferenceScratch {
+    /// New empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The score table of the most recent decode.
+    pub fn table(&self) -> &ScoreTable {
+        &self.table
+    }
+
+    /// Viterbi-decode `seq` under `crf`, reusing this scratch's buffers.
+    ///
+    /// Returns the best path (borrowed from the scratch) and its
+    /// unnormalized log-score.
+    pub fn viterbi(&mut self, crf: &Crf, seq: &Sequence) -> (&[usize], f64) {
+        crf.score_table_into(seq, &mut self.table);
+        let score = viterbi_into(
+            &self.table,
+            &mut self.path,
+            &mut self.viterbi_v,
+            &mut self.backpointers,
+            &mut self.tmp,
+        );
+        (&self.path, score)
+    }
+
+    /// Viterbi-decode `seq` and compute the posterior node marginals
+    /// `Pr(y_t = j | x)` in one pass over a shared score table.
+    ///
+    /// Returns the best path and the `len × n` marginal matrix, both
+    /// borrowed from the scratch.
+    pub fn viterbi_with_marginals(&mut self, crf: &Crf, seq: &Sequence) -> (&[usize], &[f64]) {
+        crf.score_table_into(seq, &mut self.table);
+        viterbi_into(
+            &self.table,
+            &mut self.path,
+            &mut self.viterbi_v,
+            &mut self.backpointers,
+            &mut self.tmp,
+        );
+        let log_z = forward_into(&self.table, &mut self.alpha, &mut self.tmp);
+        backward_into(&self.table, &mut self.beta, &mut self.tmp);
+        node_marginals_into(
+            &self.table,
+            &self.alpha,
+            log_z,
+            &self.beta,
+            &mut self.marginals,
+        );
+        (&self.path, &self.marginals)
+    }
+
+    /// Posterior node marginals of `seq` (no decoding).
+    pub fn node_marginals(&mut self, crf: &Crf, seq: &Sequence) -> &[f64] {
+        crf.score_table_into(seq, &mut self.table);
+        let log_z = forward_into(&self.table, &mut self.alpha, &mut self.tmp);
+        backward_into(&self.table, &mut self.beta, &mut self.tmp);
+        node_marginals_into(
+            &self.table,
+            &self.alpha,
+            log_z,
+            &self.beta,
+            &mut self.marginals,
+        );
+        &self.marginals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{backward, forward, node_marginals, viterbi};
+
+    fn model(n_states: usize, n_feats: usize) -> Crf {
+        let pair: Vec<bool> = (0..n_feats).map(|f| f % 2 == 0).collect();
+        let mut m = Crf::new(n_states, n_feats, &pair);
+        let dim = m.dim();
+        m.set_weights((0..dim).map(|i| ((i as f64) * 0.7).sin()).collect());
+        m
+    }
+
+    fn sequences() -> Vec<Sequence> {
+        vec![
+            Sequence::new(vec![vec![0, 2], vec![1], vec![0, 3]]),
+            Sequence::new(vec![vec![3]]),
+            Sequence::default(),
+            Sequence::new(vec![vec![1], vec![2], vec![0, 1, 2, 3], vec![], vec![2]]),
+        ]
+    }
+
+    #[test]
+    fn scratch_viterbi_matches_allocating_path() {
+        let m = model(3, 4);
+        let mut scratch = InferenceScratch::new();
+        // Interleave lengths so buffers must both grow and logically
+        // shrink between records.
+        for seq in sequences() {
+            let table = m.score_table(&seq);
+            let (want_path, want_score) = viterbi(&table);
+            let (path, score) = scratch.viterbi(&m, &seq);
+            assert_eq!(path, want_path.as_slice());
+            assert!((score - want_score).abs() < 1e-12);
+            assert_eq!(scratch.table(), &table);
+        }
+    }
+
+    #[test]
+    fn scratch_marginals_match_allocating_path() {
+        let m = model(4, 4);
+        let mut scratch = InferenceScratch::new();
+        for seq in sequences() {
+            let table = m.score_table(&seq);
+            let fwd = forward(&table);
+            let beta = backward(&table);
+            let want = node_marginals(&table, &fwd, &beta);
+            assert_eq!(scratch.node_marginals(&m, &seq), want.as_slice());
+            let (path, marg) = scratch.viterbi_with_marginals(&m, &seq);
+            assert_eq!(marg, want.as_slice());
+            assert_eq!(path, viterbi(&table).0.as_slice());
+        }
+    }
+
+    #[test]
+    fn buffers_do_not_leak_state_across_records() {
+        let m = model(3, 4);
+        let mut scratch = InferenceScratch::new();
+        let long = Sequence::new(vec![vec![0], vec![1], vec![2], vec![3], vec![0, 1]]);
+        let short = Sequence::new(vec![vec![2]]);
+        scratch.viterbi_with_marginals(&m, &long);
+        let (path, marg) = scratch.viterbi_with_marginals(&m, &short);
+        assert_eq!(path.len(), 1);
+        assert_eq!(marg.len(), m.num_states());
+        let table = m.score_table(&short);
+        let fwd = forward(&table);
+        let beta = backward(&table);
+        assert_eq!(marg, node_marginals(&table, &fwd, &beta).as_slice());
+    }
+}

@@ -156,6 +156,17 @@ impl Crawler {
     /// Crawl all `domains`, returning per-domain results and the inferred
     /// per-server pacing.
     pub fn crawl(self: &Arc<Self>, domains: &[String]) -> CrawlReport {
+        self.crawl_each(domains, |_| {})
+    }
+
+    /// [`crawl`](Self::crawl), invoking `on_result` on each result as it
+    /// completes (on the collecting thread, while the crawl workers keep
+    /// going) — the hook downstream pipeline stages attach to.
+    pub fn crawl_each(
+        self: &Arc<Self>,
+        domains: &[String],
+        mut on_result: impl FnMut(&CrawlResult),
+    ) -> CrawlReport {
         let start = Instant::now();
         let (work_tx, work_rx) = channel::unbounded::<String>();
         let (result_tx, result_rx) = channel::unbounded::<CrawlResult>();
@@ -181,7 +192,11 @@ impl Crawler {
             .collect();
         drop(result_tx);
 
-        let results: Vec<CrawlResult> = result_rx.iter().collect();
+        let mut results: Vec<CrawlResult> = Vec::with_capacity(domains.len());
+        for result in result_rx.iter() {
+            on_result(&result);
+            results.push(result);
+        }
         for w in workers {
             let _ = w.join();
         }

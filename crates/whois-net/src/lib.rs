@@ -20,11 +20,18 @@
 //! * [`crawler`] — the two-step thin→thick crawler with dynamic
 //!   rate-limit inference, multiplicative back-off, bounded retries, and
 //!   crawl statistics.
+//! * [`pipeline`] — the fused crawl→parse→survey chain: crawled record
+//!   bodies stream into a `whois-parser` [`ParseEngine`] in batches and
+//!   each parse is folded into `whois-survey` counters while the crawl
+//!   is still running.
+//!
+//! [`ParseEngine`]: whois_parser::ParseEngine
 
 pub mod client;
 pub mod crawler;
 pub mod fault;
 pub mod limiter;
+pub mod pipeline;
 pub mod proto;
 pub mod server;
 pub mod store;
@@ -33,5 +40,6 @@ pub use client::WhoisClient;
 pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
 pub use fault::FaultConfig;
 pub use limiter::{RateLimitConfig, RateLimiter};
+pub use pipeline::{crawl_parse_survey, PipelineReport};
 pub use server::{ServerConfig, ServerHandle, WhoisServer};
 pub use store::{InMemoryStore, RecordStore};

@@ -1,0 +1,202 @@
+//! The crawl→parse→survey pipeline: crawled thick records stream
+//! straight into [`ParsedRecord`]s and §6 survey counters.
+//!
+//! The paper's workflow is exactly this chain — crawl 102M `com` domains
+//! (§4.1), parse every record with the statistical parser (§3), and
+//! aggregate the parses into the survey tables (§6). This module fuses
+//! the stages: while crawl workers are still fetching, completed records
+//! are batched into the [`ParseEngine`] (which fans them across its own
+//! worker pool with reused scratches) and each parse is folded into a
+//! [`Survey`] as it lands, so no stage waits for the previous one to
+//! finish the whole corpus.
+
+use crate::crawler::{CrawlReport, CrawlResult, Crawler};
+use std::sync::Arc;
+use whois_model::{ParsedRecord, RawRecord};
+use whois_parser::{BatchStats, ParseEngine};
+use whois_survey::Survey;
+
+/// Everything one pipeline run produces.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The crawl stage's report (statuses, pacing, wall clock).
+    pub crawl: CrawlReport,
+    /// Structured parses, one per crawled record body, in completion
+    /// order (matching `crawl.results` restricted to records with a
+    /// body).
+    pub records: Vec<ParsedRecord>,
+    /// §6 aggregates over every parsed record.
+    pub survey: Survey,
+    /// Parse-stage throughput accumulated across all batches.
+    pub parse: BatchStats,
+}
+
+/// Run the crawl→parse→survey pipeline over `domains`.
+///
+/// Crawl results are parsed in batches of `parse_chunk` as they arrive:
+/// each record's thick body (falling back to the thin body when the
+/// registrar never answered) becomes a [`RawRecord`] fed to
+/// [`ParseEngine::parse_batch_with_stats`], and every parse is added to
+/// the survey. Domains with no body at all (failed / no-match) are
+/// counted in the crawl report but produce no parse.
+pub fn crawl_parse_survey(
+    crawler: &Arc<Crawler>,
+    engine: &ParseEngine,
+    domains: &[String],
+    parse_chunk: usize,
+) -> PipelineReport {
+    let chunk = parse_chunk.max(1);
+    let mut pending: Vec<RawRecord> = Vec::with_capacity(chunk);
+    let mut records = Vec::new();
+    let mut survey = Survey::new();
+    let mut parse = BatchStats::default();
+
+    let flush = |pending: &mut Vec<RawRecord>,
+                 records: &mut Vec<ParsedRecord>,
+                 survey: &mut Survey,
+                 parse: &mut BatchStats| {
+        if pending.is_empty() {
+            return;
+        }
+        let (batch, stats) = engine.parse_batch_with_stats(pending);
+        for parsed in &batch {
+            survey.add(parsed, false);
+        }
+        records.extend(batch);
+        parse.merge(&stats);
+        pending.clear();
+    };
+
+    let crawl = crawler.crawl_each(domains, |result| {
+        if let Some(raw) = raw_record(result) {
+            pending.push(raw);
+        }
+        if pending.len() >= chunk {
+            flush(&mut pending, &mut records, &mut survey, &mut parse);
+        }
+    });
+    flush(&mut pending, &mut records, &mut survey, &mut parse);
+
+    PipelineReport {
+        crawl,
+        records,
+        survey,
+        parse,
+    }
+}
+
+/// The parseable body of a crawl result: the thick record when the
+/// registrar answered, the thin referral record otherwise.
+fn raw_record(result: &CrawlResult) -> Option<RawRecord> {
+    let body = result.thick.as_deref().or(result.thin.as_deref())?;
+    Some(RawRecord::new(result.domain.clone(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::{CrawlStatus, CrawlerConfig};
+    use crate::server::{ServerConfig, WhoisServer};
+    use crate::store::InMemoryStore;
+    use std::collections::HashMap;
+    use whois_gen::corpus::{generate_corpus, GenConfig};
+    use whois_parser::{ParserConfig, TrainExample, WhoisParser};
+
+    #[test]
+    fn crawl_parse_survey_end_to_end() {
+        let corpus = generate_corpus(GenConfig::new(23, 160));
+        let (train, crawl_set) = corpus.split_at(120);
+
+        // Train the parser on the first split.
+        let first: Vec<TrainExample<whois_model::BlockLabel>> = train
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let second: Vec<TrainExample<whois_model::RegistrantLabel>> = train
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                if reg.is_empty() {
+                    return None;
+                }
+                Some(TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+        let engine = ParseEngine::with_workers(parser, 2);
+
+        // Spin up a registry + per-registrar thick servers for the rest.
+        let mut thin = InMemoryStore::new();
+        let mut per_registrar: HashMap<&str, InMemoryStore> = HashMap::new();
+        for d in crawl_set {
+            thin.insert(&d.facts.domain, d.thin_text());
+            per_registrar
+                .entry(d.registrar.whois_server)
+                .or_default()
+                .insert(&d.facts.domain, d.rendered.text());
+        }
+        let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+        let mut resolver = HashMap::new();
+        let mut servers = Vec::new();
+        for (host, store) in per_registrar {
+            let server = WhoisServer::start(store, ServerConfig::default()).unwrap();
+            resolver.insert(host.to_string(), server.addr());
+            servers.push(server);
+        }
+
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig::default(),
+        ));
+        let domains: Vec<String> = crawl_set.iter().map(|d| d.facts.domain.clone()).collect();
+        let report = crawl_parse_survey(&crawler, &engine, &domains, 16);
+
+        // Every domain crawled in full; every body parsed and surveyed.
+        assert_eq!(report.crawl.count(CrawlStatus::Full), domains.len());
+        assert_eq!(report.records.len(), domains.len());
+        assert_eq!(report.survey.total, domains.len() as u64);
+        assert_eq!(report.parse.records, domains.len());
+        assert!(report.parse.lines_labeled > 0);
+
+        // Parses match completion order and are the engine's parses.
+        for (result, parsed) in report.crawl.results.iter().zip(&report.records) {
+            assert_eq!(result.domain, parsed.domain);
+            assert_eq!(*parsed, engine.parse_one(&raw_record(result).unwrap()));
+        }
+
+        // The survey actually aggregated the parses.
+        assert!(
+            report.survey.registrar_all.total() >= report.survey.total,
+            "every record contributes a registrar row"
+        );
+    }
+
+    #[test]
+    fn bodiless_results_are_skipped() {
+        let result = CrawlResult {
+            domain: "gone.com".into(),
+            thin: None,
+            thick: None,
+            status: CrawlStatus::Failed,
+            attempts: 3,
+        };
+        assert!(raw_record(&result).is_none());
+        let thin_only = CrawlResult {
+            domain: "thin.com".into(),
+            thin: Some("Domain Name: THIN.COM\n".into()),
+            thick: None,
+            status: CrawlStatus::ThinOnly,
+            attempts: 2,
+        };
+        let raw = raw_record(&thin_only).unwrap();
+        assert_eq!(raw.domain, "thin.com");
+        assert!(raw.text.contains("THIN.COM"));
+    }
+}

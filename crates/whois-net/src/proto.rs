@@ -98,10 +98,24 @@ pub fn classify_reply(body: &str) -> ReplyKind {
     {
         return ReplyKind::RateLimited;
     }
-    if trimmed.lines().any(|l| l.contains(':') && l.len() > 3) {
+    // A record is any reply with a field-bearing line. WHOIS formats
+    // disagree even on the separator: most use `Key: value`, OVH-style
+    // records use `key = value`, and Onamae-style records use
+    // `[Key] value` — all must count, or the crawler retries (and
+    // eventually abandons) perfectly good thick records.
+    if trimmed
+        .lines()
+        .any(|l| (l.contains(':') || l.contains('=') || bracket_field(l)) && l.len() > 3)
+    {
         return ReplyKind::Record;
     }
     ReplyKind::Other
+}
+
+/// `[Key] value` field line (Onamae-style records).
+fn bracket_field(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with('[') && t.contains(']')
 }
 
 /// Extract the registrar WHOIS referral from a thin record (`Whois
@@ -188,6 +202,16 @@ mod tests {
         assert_eq!(
             classify_reply("Domain Name: EXAMPLE.COM\nRegistrar: X"),
             ReplyKind::Record
+        );
+        assert_eq!(
+            classify_reply("domain = example.com\nregistrar = OVH SAS"),
+            ReplyKind::Record,
+            "OVH-style key = value records are records"
+        );
+        assert_eq!(
+            classify_reply("[Domain Name] EXAMPLE.COM\n[Registrant Name] J"),
+            ReplyKind::Record,
+            "Onamae-style [Key] value records are records"
         );
         assert_eq!(classify_reply("garbled nonsense"), ReplyKind::Other);
     }

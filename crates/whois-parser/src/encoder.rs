@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use whois_crf::Sequence;
-use whois_tokenize::{annotate_record, Dictionary};
+use whois_tokenize::{annotate_record_into, AnnotateScratch, Dictionary, FeatureSink};
 
 /// Ablation switches over the feature families of §3.3.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,10 +42,11 @@ impl Default for FeatureOptions {
 
 impl FeatureOptions {
     /// Apply the ablation switches to one raw feature string; `None`
-    /// drops the feature entirely.
-    fn transform(&self, feature: &str) -> Option<String> {
+    /// drops the feature entirely. Pure suffix surgery, so the result
+    /// borrows from the input — no allocation.
+    fn transform<'a>(&self, feature: &'a str) -> Option<&'a str> {
         if feature.starts_with("m:") {
-            return self.markers.then(|| feature.to_string());
+            return self.markers.then_some(feature);
         }
         if feature.starts_with("c:") {
             if !self.classes {
@@ -60,21 +61,59 @@ impl FeatureOptions {
             if !self.prev_line {
                 return None;
             }
-            return Some(feature.to_string());
+            return Some(feature);
         }
-        Some(feature.to_string())
+        Some(feature)
     }
 
-    fn strip_side_if_disabled(&self, feature: &str) -> String {
+    fn strip_side_if_disabled<'a>(&self, feature: &'a str) -> &'a str {
         if self.title_value {
-            feature.to_string()
+            feature
         } else {
             feature
                 .strip_suffix("@T")
                 .or_else(|| feature.strip_suffix("@V"))
                 .unwrap_or(feature)
-                .to_string()
         }
+    }
+
+    /// Wrap `inner` in a sink that applies these ablation switches to
+    /// every streamed feature before forwarding it.
+    pub fn filter_sink<S: FeatureSink>(self, inner: S) -> FilteredSink<S> {
+        FilteredSink { opts: self, inner }
+    }
+}
+
+/// [`FeatureSink`] adaptor applying [`FeatureOptions`] to each feature.
+///
+/// Dropped features never reach the inner sink; side suffixes are
+/// stripped in place on the borrowed string when `title_value` is off.
+#[derive(Debug)]
+pub struct FilteredSink<S> {
+    opts: FeatureOptions,
+    inner: S,
+}
+
+impl<S> FilteredSink<S> {
+    /// Recover the wrapped sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: FeatureSink> FeatureSink for FilteredSink<S> {
+    fn begin_line(&mut self, text: &str) {
+        self.inner.begin_line(text);
+    }
+
+    fn feature(&mut self, feature: &str) {
+        if let Some(t) = self.opts.transform(feature) {
+            self.inner.feature(t);
+        }
+    }
+
+    fn end_line(&mut self) {
+        self.inner.end_line();
     }
 }
 
@@ -104,14 +143,12 @@ impl Encoder {
         opts: FeatureOptions,
         min_word_count: u32,
     ) -> Self {
-        let mut builder = whois_tokenize::dictionary::DictionaryBuilder::new();
-        for text in texts {
-            for obs in annotate_record(text) {
-                for f in &obs.features {
-                    if let Some(t) = opts.transform(f) {
-                        builder.observe(&t);
-                    }
-                }
+        let mut builder = whois_tokenize::DictionaryBuilder::new();
+        let mut scratch = AnnotateScratch::new();
+        {
+            let mut sink = opts.filter_sink(builder.as_sink());
+            for text in texts {
+                annotate_record_into(text, &mut scratch, &mut sink);
             }
         }
         Encoder {
@@ -133,17 +170,24 @@ impl Encoder {
     /// Encode record text into a [`Sequence`] (one position per non-empty
     /// line).
     pub fn encode_text(&self, text: &str) -> Sequence {
-        let obs = annotate_record(text);
-        let mut positions = Vec::with_capacity(obs.len());
-        for line in obs {
-            let transformed: Vec<String> = line
-                .features
-                .iter()
-                .filter_map(|f| self.opts.transform(f))
-                .collect();
-            positions.push(self.dict.encode(transformed.iter().map(String::as_str)));
-        }
-        Sequence::new(positions)
+        let mut scratch = AnnotateScratch::new();
+        self.encode_text_with(text, &mut scratch, Vec::new())
+    }
+
+    /// Encode using a caller-owned [`AnnotateScratch`] and spent row
+    /// buffers — the steady-state path: once the scratch's interner has
+    /// seen the record's feature vocabulary, no `String` is allocated.
+    pub fn encode_text_with(
+        &self,
+        text: &str,
+        scratch: &mut AnnotateScratch,
+        row_buffers: Vec<Vec<u32>>,
+    ) -> Sequence {
+        let mut sink = self
+            .opts
+            .filter_sink(self.dict.encode_sink_with(row_buffers));
+        annotate_record_into(text, scratch, &mut sink);
+        Sequence::new(sink.into_inner().take_rows())
     }
 
     /// Pair eligibility per dictionary feature: title-side words, layout
@@ -262,5 +306,44 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: Encoder = serde_json::from_str(&json).unwrap();
         assert_eq!(back.encode_text(SAMPLE), e.encode_text(SAMPLE));
+    }
+
+    #[test]
+    fn scratch_encode_matches_fresh_encode() {
+        for opts in [
+            FeatureOptions::default(),
+            FeatureOptions {
+                title_value: false,
+                ..Default::default()
+            },
+            FeatureOptions {
+                markers: false,
+                prev_line: false,
+                ..Default::default()
+            },
+        ] {
+            let e = encoder(opts);
+            let mut scratch = AnnotateScratch::new();
+            let got = e.encode_text_with(SAMPLE, &mut scratch, Vec::new());
+            assert_eq!(got, e.encode_text(SAMPLE));
+        }
+    }
+
+    #[test]
+    fn steady_state_encode_allocates_no_feature_strings() {
+        let e = encoder(FeatureOptions::default());
+        let mut scratch = AnnotateScratch::new();
+        let first = e.encode_text_with(SAMPLE, &mut scratch, Vec::new());
+        // The scratch interner is the only String producer on the encode
+        // path; a stable size across repeat encodes certifies the
+        // steady state is allocation-free.
+        let vocab = scratch.distinct_features();
+        let again = e.encode_text_with(SAMPLE, &mut scratch, Vec::new());
+        assert_eq!(scratch.distinct_features(), vocab);
+        assert_eq!(again, first);
+        // Row buffers recycled through the engine path keep working too.
+        let recycled = e.encode_text_with(SAMPLE, &mut scratch, again.obs);
+        assert_eq!(recycled, first);
+        assert_eq!(scratch.distinct_features(), vocab);
     }
 }

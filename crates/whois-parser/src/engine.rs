@@ -1,0 +1,296 @@
+//! Batch parsing engine: a trained parser plus a pool of per-worker
+//! scratches.
+//!
+//! [`WhoisParser::parse`] allocates its working buffers per call; at
+//! crawl scale (the paper parses 102M records) those allocations
+//! dominate. [`ParseEngine`] owns the parser together with a pool of
+//! [`ParseScratch`]es so that
+//!
+//! * [`ParseEngine::parse_one`] decodes a record with buffers checked
+//!   out of the pool — steady-state parsing performs no per-feature
+//!   `String` allocation, and the DP lattices are reused at high-water
+//!   capacity; and
+//! * [`ParseEngine::parse_batch`] fans a slice of records out over
+//!   `crossbeam` scoped threads (the same idiom as the trainer's
+//!   parallel objective), one scratch per worker, preserving input
+//!   order.
+//!
+//! Results are identical to calling [`WhoisParser::parse`] in a loop —
+//! the engine only changes where buffers live and which thread decodes
+//! which record.
+
+use crate::parser::WhoisParser;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+use whois_crf::InferenceScratch;
+use whois_model::{ParsedRecord, RawRecord};
+use whois_tokenize::AnnotateScratch;
+
+/// Reusable buffers for one parsing worker: annotation interner,
+/// inference lattices, and spare sequence rows.
+#[derive(Default, Debug)]
+pub struct ParseScratch {
+    /// Feature composition buffers and dedup interner.
+    pub(crate) annotate: AnnotateScratch,
+    /// Score table, α/β/marginal/Viterbi lattices.
+    pub(crate) infer: InferenceScratch,
+    /// Spent sequence rows, recycled into the next encode.
+    pub(crate) rows: Vec<Vec<u32>>,
+}
+
+impl ParseScratch {
+    /// New empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Throughput report for one [`ParseEngine::parse_batch_with_stats`]
+/// call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BatchStats {
+    /// Records parsed.
+    pub records: usize,
+    /// Non-empty lines labeled across both levels' first pass.
+    pub lines_labeled: usize,
+    /// Records in which a non-empty registrant contact was extracted.
+    pub registrant_blocks: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchStats {
+    /// Records parsed per second of wall-clock time.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.records as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn absorb(&mut self, parsed: &ParsedRecord) {
+        self.records += 1;
+        self.lines_labeled += parsed.blocks.values().map(Vec::len).sum::<usize>();
+        if parsed.has_registrant() {
+            self.registrant_blocks += 1;
+        }
+    }
+
+    /// Accumulate another report — e.g. successive chunks of a crawl
+    /// pipeline. Counts add; `elapsed` sums; `workers` keeps the max.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.records += other.records;
+        self.lines_labeled += other.lines_labeled;
+        self.registrant_blocks += other.registrant_blocks;
+        self.workers = self.workers.max(other.workers);
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// A trained [`WhoisParser`] wired for high-throughput batch parsing.
+#[derive(Debug)]
+pub struct ParseEngine {
+    parser: WhoisParser,
+    workers: usize,
+    pool: Mutex<Vec<ParseScratch>>,
+}
+
+impl ParseEngine {
+    /// Wrap a trained parser, using all available parallelism for
+    /// batches.
+    pub fn new(parser: WhoisParser) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_workers(parser, workers)
+    }
+
+    /// Wrap a trained parser with an explicit batch worker count
+    /// (`0` means use available parallelism).
+    pub fn with_workers(parser: WhoisParser, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        ParseEngine {
+            parser,
+            workers,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The wrapped parser.
+    pub fn parser(&self) -> &WhoisParser {
+        &self.parser
+    }
+
+    /// The batch worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Unwrap the engine, recovering the parser.
+    pub fn into_parser(self) -> WhoisParser {
+        self.parser
+    }
+
+    fn checkout(&self) -> ParseScratch {
+        self.pool.lock().pop().unwrap_or_default()
+    }
+
+    fn checkin(&self, scratch: ParseScratch) {
+        self.pool.lock().push(scratch);
+    }
+
+    /// Parse one record with pooled buffers.
+    pub fn parse_one(&self, record: &RawRecord) -> ParsedRecord {
+        let mut scratch = self.checkout();
+        let parsed = self.parser.parse_with(record, &mut scratch);
+        self.checkin(scratch);
+        parsed
+    }
+
+    /// Parse a batch in parallel, preserving input order.
+    pub fn parse_batch(&self, records: &[RawRecord]) -> Vec<ParsedRecord> {
+        self.parse_batch_with_stats(records).0
+    }
+
+    /// Parse a batch in parallel and report throughput statistics.
+    pub fn parse_batch_with_stats(&self, records: &[RawRecord]) -> (Vec<ParsedRecord>, BatchStats) {
+        let start = Instant::now();
+        let workers = self.workers.min(records.len()).max(1);
+        let mut stats = BatchStats {
+            workers,
+            ..BatchStats::default()
+        };
+        let mut out = Vec::with_capacity(records.len());
+        if workers <= 1 {
+            let mut scratch = self.checkout();
+            for record in records {
+                let parsed = self.parser.parse_with(record, &mut scratch);
+                stats.absorb(&parsed);
+                out.push(parsed);
+            }
+            self.checkin(scratch);
+        } else {
+            let chunk_size = records.len().div_ceil(workers);
+            let results: Vec<(Vec<ParsedRecord>, BatchStats)> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = records
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        scope.spawn(move |_| {
+                            let mut scratch = self.checkout();
+                            let mut local = BatchStats::default();
+                            let parsed: Vec<ParsedRecord> = chunk
+                                .iter()
+                                .map(|record| {
+                                    let p = self.parser.parse_with(record, &mut scratch);
+                                    local.absorb(&p);
+                                    p
+                                })
+                                .collect();
+                            self.checkin(scratch);
+                            (parsed, local)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .expect("parse worker panicked");
+            for (parsed, local) in results {
+                stats.merge(&local);
+                out.extend(parsed);
+            }
+        }
+        stats.elapsed = start.elapsed();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::TrainExample;
+    use crate::level::ParserConfig;
+    use whois_gen::corpus::{generate_corpus, GenConfig, GeneratedDomain};
+    use whois_model::{BlockLabel, RegistrantLabel};
+
+    fn trained_engine(workers: usize) -> (ParseEngine, Vec<GeneratedDomain>) {
+        let corpus = generate_corpus(GenConfig::new(77, 140));
+        let (train_set, test_set) = corpus.split_at(100);
+        let first: Vec<TrainExample<BlockLabel>> = train_set
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let second: Vec<TrainExample<RegistrantLabel>> = train_set
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                if reg.is_empty() {
+                    return None;
+                }
+                Some(TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+        (
+            ParseEngine::with_workers(parser, workers),
+            test_set.to_vec(),
+        )
+    }
+
+    #[test]
+    fn parse_one_matches_plain_parse() {
+        let (engine, test) = trained_engine(2);
+        for d in test.iter().take(10) {
+            let raw = d.raw();
+            assert_eq!(engine.parse_one(&raw), engine.parser().parse(&raw));
+            // Twice through the pool: reused buffers must not leak state.
+            assert_eq!(engine.parse_one(&raw), engine.parser().parse(&raw));
+        }
+    }
+
+    #[test]
+    fn parse_batch_preserves_order_and_matches_sequential() {
+        let (engine, test) = trained_engine(4);
+        let records: Vec<_> = test.iter().map(|d| d.raw()).collect();
+        let sequential: Vec<_> = records.iter().map(|r| engine.parser().parse(r)).collect();
+        for workers in [1, 2, 4] {
+            let engine = ParseEngine::with_workers(engine.parser().clone(), workers);
+            let (batch, stats) = engine.parse_batch_with_stats(&records);
+            assert_eq!(batch, sequential, "workers = {workers}");
+            assert_eq!(stats.records, records.len());
+            assert_eq!(stats.workers, workers.min(records.len()));
+        }
+    }
+
+    #[test]
+    fn batch_stats_count_lines_and_registrants() {
+        let (engine, test) = trained_engine(3);
+        let records: Vec<_> = test.iter().map(|d| d.raw()).collect();
+        let (batch, stats) = engine.parse_batch_with_stats(&records);
+        let want_lines: usize = records.iter().map(|r| r.lines().len()).sum();
+        let want_reg = batch.iter().filter(|p| p.has_registrant()).count();
+        assert_eq!(stats.lines_labeled, want_lines);
+        assert_eq!(stats.registrant_blocks, want_reg);
+        assert!(stats.records_per_sec() > 0.0);
+        assert!(stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_batch_is_benign() {
+        let (engine, _) = trained_engine(2);
+        let (batch, stats) = engine.parse_batch_with_stats(&[]);
+        assert!(batch.is_empty());
+        assert_eq!(stats.records, 0);
+    }
+}

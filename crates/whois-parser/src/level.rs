@@ -1,6 +1,7 @@
 //! One level of the parser: an encoder plus a CRF over a label space.
 
 use crate::encoder::{Encoder, FeatureOptions, TrainExample};
+use crate::engine::ParseScratch;
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::marker::PhantomData;
 use whois_crf::{train, Crf, Instance, TrainConfig};
@@ -113,10 +114,18 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
 
     /// Predict labels for the non-empty lines of `text`.
     pub fn predict(&self, text: &str) -> Vec<L> {
-        let seq = self.encoder.encode_text(text);
-        let table = self.crf.score_table(&seq);
-        let (path, _) = whois_crf::viterbi(&table);
-        path.into_iter().map(L::from_index).collect()
+        self.predict_with(text, &mut ParseScratch::new())
+    }
+
+    /// [`predict`](Self::predict) reusing a caller-owned scratch — the
+    /// steady-state path: encoding and inference run entirely in the
+    /// scratch's buffers.
+    pub fn predict_with(&self, text: &str, scratch: &mut ParseScratch) -> Vec<L> {
+        let seq = self.encode_into(text, scratch);
+        let (path, _) = scratch.infer.viterbi(&self.crf, &seq);
+        let labels = path.iter().map(|&j| L::from_index(j)).collect();
+        scratch.rows = seq.obs;
+        labels
     }
 
     /// Predict labels together with per-line posterior confidences
@@ -124,24 +133,44 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
     /// Lines the model is unsure about surface with low confidence — the
     /// natural triage signal for the §5.3 maintenance loop.
     pub fn predict_with_confidence(&self, text: &str) -> Vec<(L, f64)> {
-        let seq = self.encoder.encode_text(text);
-        let table = self.crf.score_table(&seq);
-        let (path, _) = whois_crf::viterbi(&table);
-        let fwd = whois_crf::forward(&table);
-        let beta = whois_crf::backward(&table);
-        let marginals = whois_crf::node_marginals(&table, &fwd, &beta);
+        self.predict_with_confidence_with(text, &mut ParseScratch::new())
+    }
+
+    /// [`predict_with_confidence`](Self::predict_with_confidence) reusing
+    /// a caller-owned scratch.
+    pub fn predict_with_confidence_with(
+        &self,
+        text: &str,
+        scratch: &mut ParseScratch,
+    ) -> Vec<(L, f64)> {
+        let seq = self.encode_into(text, scratch);
         let n = L::COUNT;
-        path.into_iter()
+        let (path, marginals) = scratch.infer.viterbi_with_marginals(&self.crf, &seq);
+        let scored = path
+            .iter()
             .enumerate()
-            .map(|(t, j)| (L::from_index(j), marginals[t * n + j]))
-            .collect()
+            .map(|(t, &j)| (L::from_index(j), marginals[t * n + j]))
+            .collect();
+        scratch.rows = seq.obs;
+        scored
+    }
+
+    /// Encode `text` through the scratch's annotation buffers, recycling
+    /// its spare sequence rows.
+    fn encode_into(&self, text: &str, scratch: &mut ParseScratch) -> whois_crf::Sequence {
+        self.encoder.encode_text_with(
+            text,
+            &mut scratch.annotate,
+            std::mem::take(&mut scratch.rows),
+        )
     }
 
     /// Confusion matrix over held-out examples (per-label P/R/F1 view).
     pub fn confusion(&self, examples: &[TrainExample<L>]) -> whois_model::ConfusionMatrix {
         let mut matrix = whois_model::ConfusionMatrix::new::<L>();
+        let mut scratch = ParseScratch::new();
         for e in examples {
-            let pred = self.predict(&e.text);
+            let pred = self.predict_with(&e.text, &mut scratch);
             matrix.observe_all(&e.labels, &pred);
         }
         matrix
@@ -150,8 +179,9 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
     /// Line/document error statistics over held-out examples.
     pub fn evaluate(&self, examples: &[TrainExample<L>]) -> ErrorStats {
         let mut stats = ErrorStats::default();
+        let mut scratch = ParseScratch::new();
         for e in examples {
-            let pred = self.predict(&e.text);
+            let pred = self.predict_with(&e.text, &mut scratch);
             assert_eq!(pred.len(), e.labels.len(), "evaluation misalignment");
             let errors = pred.iter().zip(&e.labels).filter(|(p, g)| p != g).count();
             stats.record(e.labels.len(), errors);
@@ -278,6 +308,54 @@ mod tests {
              Registrant Name: Kim Roe\nAdmin Name: Kim Roe\nlegal boilerplate text",
         );
         assert_eq!(plain, scored.iter().map(|(l, _)| *l).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn confidence_marginals_are_proper_posteriors_on_generated_corpus() {
+        use whois_gen::corpus::{generate_corpus, GenConfig};
+        let corpus = generate_corpus(GenConfig::new(47, 120));
+        let (train_set, test_set) = corpus.split_at(90);
+        let examples: Vec<TrainExample<BlockLabel>> = train_set
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let parser = LevelParser::train(&examples, &ParserConfig::default());
+
+        let mut scratch = ParseScratch::new();
+        let mut high_confidence = 0usize;
+        let mut lines = 0usize;
+        for d in test_set {
+            let text = d.rendered.text();
+            let scored = parser.predict_with_confidence_with(&text, &mut scratch);
+            let plain = parser.predict(&text);
+            assert_eq!(plain.len(), scored.len());
+            // Scratch reuse across records must not change the scores.
+            assert_eq!(scored, parser.predict_with_confidence(&text));
+            for (t, (label, conf)) in scored.iter().enumerate() {
+                // A marginal is a posterior probability: strictly positive
+                // (the decoded label was reachable) and at most 1.
+                assert!(
+                    *conf > 0.0 && *conf <= 1.0 + 1e-9,
+                    "line {t}: {label:?} marginal {conf} outside (0, 1]"
+                );
+                // The scored label is the Viterbi label for that line...
+                assert_eq!(*label, plain[t]);
+                // ...and on high-confidence lines it must be the marginal
+                // argmax: any other label's posterior is < 1 - conf < conf.
+                if *conf > 0.5 {
+                    high_confidence += 1;
+                }
+                lines += 1;
+            }
+        }
+        assert!(
+            high_confidence * 10 > lines * 9,
+            "expected >90% high-confidence lines on held-out records, got \
+             {high_confidence}/{lines}"
+        );
     }
 
     #[test]

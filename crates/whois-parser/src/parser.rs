@@ -1,6 +1,7 @@
 //! The two-level [`WhoisParser`] facade.
 
 use crate::encoder::TrainExample;
+use crate::engine::ParseScratch;
 use crate::extract;
 use crate::level::{LevelParser, ParserConfig};
 use serde::{Deserialize, Serialize};
@@ -38,9 +39,16 @@ impl WhoisParser {
 
     /// Parse a raw record into structured form.
     pub fn parse(&self, record: &RawRecord) -> ParsedRecord {
+        self.parse_with(record, &mut ParseScratch::new())
+    }
+
+    /// [`parse`](Self::parse) reusing a caller-owned [`ParseScratch`] —
+    /// the steady-state path used by
+    /// [`ParseEngine`](crate::engine::ParseEngine) workers.
+    pub fn parse_with(&self, record: &RawRecord, scratch: &mut ParseScratch) -> ParsedRecord {
         let lines = record.lines();
-        let blocks = self.first.predict(&record.text);
-        debug_assert_eq!(lines.len(), blocks.len());
+        let mut blocks = self.first.predict_with(&record.text, scratch);
+        align_blocks(lines.len(), &mut blocks);
 
         // Second level over the registrant block.
         let reg_lines: Vec<&str> = lines
@@ -53,7 +61,7 @@ impl WhoisParser {
             Vec::new()
         } else {
             let block_text = reg_lines.join("\n");
-            let sub = self.second.predict(&block_text);
+            let sub = self.second.predict_with(&block_text, scratch);
             reg_lines.iter().map(|l| l.to_string()).zip(sub).collect()
         };
 
@@ -109,10 +117,70 @@ impl WhoisParser {
     }
 }
 
+/// Force the block-label vector to cover exactly `num_lines` lines.
+///
+/// The first level labels the lines the annotator considers labelable
+/// while `RawRecord::lines` keeps the lines `non_empty_lines` keeps; the
+/// two filters agree, but the invariant spans two crates and used to be
+/// guarded only by a `debug_assert!` that vanished in release builds —
+/// any future drift would have silently misaligned every label after the
+/// first disagreement. Missing labels are filled with
+/// [`BlockLabel::Other`] (the catch-all block), surplus labels dropped,
+/// so a drifted build degrades per-line instead of corrupting the whole
+/// record.
+fn align_blocks(num_lines: usize, blocks: &mut Vec<BlockLabel>) {
+    debug_assert_eq!(
+        num_lines,
+        blocks.len(),
+        "annotator and non_empty_lines disagree on labelable lines"
+    );
+    blocks.resize(num_lines, BlockLabel::Other);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use whois_gen::corpus::{generate_corpus, GenConfig};
+
+    #[test]
+    fn align_blocks_pads_and_truncates() {
+        let mut short = vec![BlockLabel::Domain];
+        // Suppress the debug assertion path: exercise the release-mode
+        // behavior directly on intentionally mismatched inputs.
+        if !cfg!(debug_assertions) {
+            align_blocks(3, &mut short);
+            assert_eq!(
+                short,
+                vec![BlockLabel::Domain, BlockLabel::Other, BlockLabel::Other]
+            );
+            let mut long = vec![BlockLabel::Domain, BlockLabel::Registrar];
+            align_blocks(1, &mut long);
+            assert_eq!(long, vec![BlockLabel::Domain]);
+        }
+        let mut exact = vec![BlockLabel::Domain, BlockLabel::Null];
+        align_blocks(2, &mut exact);
+        assert_eq!(exact.len(), 2);
+    }
+
+    #[test]
+    fn parse_labels_every_line_on_awkward_records() {
+        // Records mixing blank, symbol-only, and indented lines: the
+        // regression surface for the line/label alignment contract.
+        let (parser, _) = trained();
+        for text in [
+            "%% notice\nDomain Name: A.COM\n\n   indented: yes\n%%%\ntail line",
+            "\n\n\nDomain Name: B.COM\n\t\nRegistrant Name: J\n",
+            "only one line",
+        ] {
+            let record = RawRecord {
+                domain: "x.com".into(),
+                text: text.to_string(),
+            };
+            let parsed = parser.parse(&record);
+            let labeled: usize = parsed.blocks.values().map(Vec::len).sum();
+            assert_eq!(labeled, record.lines().len(), "{text:?}");
+        }
+    }
 
     /// Train on a modest generated corpus and return parser + held-out set.
     fn trained() -> (WhoisParser, Vec<whois_gen::corpus::GeneratedDomain>) {

@@ -1,0 +1,68 @@
+//! Property test: `ParseEngine::parse_batch` is exactly the sequential
+//! `WhoisParser::parse` loop, for any worker count and any slice of
+//! records — the engine may only change *where* buffers live, never what
+//! comes out.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use whois_gen::corpus::{generate_corpus, GenConfig};
+use whois_model::{BlockLabel, ParsedRecord, RawRecord, RegistrantLabel};
+use whois_parser::{ParseEngine, ParserConfig, TrainExample, WhoisParser};
+
+/// Train once; every property case reuses the same parser and record
+/// pool (training dominates the runtime otherwise).
+fn fixture() -> &'static (WhoisParser, Vec<RawRecord>, Vec<ParsedRecord>) {
+    static FIXTURE: OnceLock<(WhoisParser, Vec<RawRecord>, Vec<ParsedRecord>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = generate_corpus(GenConfig::new(31, 180));
+        let (train, test) = corpus.split_at(120);
+        let first: Vec<TrainExample<BlockLabel>> = train
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let second: Vec<TrainExample<RegistrantLabel>> = train
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                if reg.is_empty() {
+                    return None;
+                }
+                Some(TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+        let raws: Vec<RawRecord> = test.iter().map(|d| d.raw()).collect();
+        let sequential: Vec<ParsedRecord> = raws.iter().map(|r| parser.parse(r)).collect();
+        (parser, raws, sequential)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parse_batch_matches_sequential_for_any_worker_count(
+        workers in 1usize..=8,
+        start in 0usize..40,
+        len in 0usize..40,
+    ) {
+        let (parser, raws, sequential) = fixture();
+        let end = (start + len).min(raws.len());
+        let subset = &raws[start..end];
+
+        let engine = ParseEngine::with_workers(parser.clone(), workers);
+        let batch = engine.parse_batch(subset);
+        prop_assert_eq!(&batch, &sequential[start..end]);
+
+        // A second pass through the now-warm scratch pool must agree too.
+        let (again, stats) = engine.parse_batch_with_stats(subset);
+        prop_assert_eq!(&again, &sequential[start..end]);
+        prop_assert_eq!(stats.records, subset.len());
+    }
+}

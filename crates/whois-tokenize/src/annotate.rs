@@ -1,9 +1,11 @@
 //! Per-line feature-string generation.
 //!
 //! This is the top of the tokenization pipeline: it walks the raw record
-//! text, tracks inter-line layout (blank gaps, indentation), and emits one
-//! [`LineObservation`] per labelable line containing the complete bag of
-//! feature strings described in §3.3 of the paper.
+//! text, tracks inter-line layout (blank gaps, indentation), and streams
+//! the complete bag of feature strings described in §3.3 of the paper
+//! into a [`FeatureSink`] — one `begin_line`/`feature`.../`end_line`
+//! burst per labelable line. The classic [`LineObservation`] API is a
+//! wrapper over a collecting sink.
 //!
 //! Feature-string namespaces:
 //!
@@ -13,11 +15,15 @@
 //! | `c:` | word class with side suffix | `c:FIVEDIGIT@V` |
 //! | `m:` | layout marker | `m:NL`, `m:SHL`, `m:SYM` |
 //! | `m:SEP` | line has a title/value separator (plus kind) | `m:SEP:colon` |
+//! | `p:` | previous line's word feature | `p:registrant@T` |
+
+use std::collections::HashMap;
 
 use crate::classes::word_classes;
 use crate::markers::{indent_of, line_markers};
 use crate::separator::split_title_value;
-use crate::words::words_of;
+use crate::sink::{CollectSink, FeatureSink};
+use crate::words::for_each_word;
 
 /// One labelable line together with its extracted feature strings.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,9 +34,204 @@ pub struct LineObservation {
     pub features: Vec<String>,
 }
 
-fn push_unique(features: &mut Vec<String>, f: String) {
-    if !features.iter().any(|x| x == &f) {
-        features.push(f);
+/// How many of the previous line's features are echoed into the current
+/// line as `p:` context features.
+const MAX_PREV_FEATURES: usize = 12;
+
+/// Reusable working state for streaming annotation.
+///
+/// Owns every buffer the annotator needs: the feature-composition
+/// `String`, the word-composition `String`, the dedup interner (feature
+/// string → dense id, grown only the first time a feature is ever seen),
+/// the per-line generation stamps that make within-line dedup O(1) per
+/// feature, and the capped previous-line word-feature ring for `p:`
+/// context. After the interner has seen a workload's feature vocabulary,
+/// annotating further records allocates no `String`s at all.
+#[derive(Default, Debug)]
+pub struct AnnotateScratch {
+    /// Composition buffer for the feature currently being emitted.
+    feat: String,
+    /// Composition buffer for lower-cased words.
+    word: String,
+    /// Every distinct feature string ever emitted, mapped to a dense id.
+    interner: HashMap<String, u32>,
+    /// `seen[id]` = generation of the last line that emitted `id`.
+    seen: Vec<u64>,
+    /// Current line generation (monotonic across records).
+    line_gen: u64,
+    /// Previous line's first `MAX_PREV_FEATURES` word features.
+    prev_w: Vec<String>,
+    prev_w_len: usize,
+    /// Current line's word features, captured as they are emitted.
+    cur_w: Vec<String>,
+    cur_w_len: usize,
+}
+
+impl AnnotateScratch {
+    /// New empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct feature strings interned so far — the only
+    /// source of `String` allocation on the annotation path, so a stable
+    /// value across records certifies allocation-free steady state.
+    pub fn distinct_features(&self) -> usize {
+        self.interner.len()
+    }
+
+    fn start_record(&mut self) {
+        self.prev_w_len = 0;
+        self.cur_w_len = 0;
+    }
+
+    /// Dedup `self.feat` against the current line and forward it to the
+    /// sink if it is new; word features are additionally captured for the
+    /// next line's `p:` context. Returns whether the feature was emitted.
+    fn flush<S: FeatureSink>(&mut self, sink: &mut S) -> bool {
+        let id = match self.interner.get(self.feat.as_str()) {
+            Some(&id) => id,
+            None => {
+                let id = self.seen.len() as u32;
+                self.interner.insert(self.feat.clone(), id);
+                self.seen.push(0);
+                id
+            }
+        };
+        let stamp = &mut self.seen[id as usize];
+        if *stamp == self.line_gen {
+            return false;
+        }
+        *stamp = self.line_gen;
+        sink.feature(&self.feat);
+        if self.feat.starts_with("w:") && self.cur_w_len < MAX_PREV_FEATURES {
+            if self.cur_w_len == self.cur_w.len() {
+                self.cur_w.push(String::new());
+            }
+            let slot = &mut self.cur_w[self.cur_w_len];
+            slot.clear();
+            slot.push_str(&self.feat);
+            self.cur_w_len += 1;
+        }
+        true
+    }
+
+    /// Compose a feature from `parts` and [`flush`](Self::flush) it.
+    fn emit<S: FeatureSink>(&mut self, sink: &mut S, parts: &[&str]) -> bool {
+        self.feat.clear();
+        for p in parts {
+            self.feat.push_str(p);
+        }
+        self.flush(sink)
+    }
+
+    /// Emit the current line's own features (everything except `p:`).
+    fn line_features<S: FeatureSink>(
+        &mut self,
+        sink: &mut S,
+        line: &str,
+        preceded_by_blank: bool,
+        prev_indent: Option<usize>,
+    ) {
+        self.line_gen += 1;
+        self.cur_w_len = 0;
+        sink.begin_line(line);
+
+        // Layout markers.
+        for m in line_markers(line, preceded_by_blank, prev_indent).feature_strings() {
+            self.emit(sink, &["m:", m]);
+        }
+
+        // Title/value split and word features.
+        let (title, value) = match split_title_value(line) {
+            Some((t, v, kind)) => {
+                self.emit(sink, &["m:SEP"]);
+                self.emit(sink, &["m:SEP:", kind.name()]);
+                (t, v)
+            }
+            None => ("", line),
+        };
+        let mut word = std::mem::take(&mut self.word);
+        for (text, side) in [(title, "@T"), (value, "@V")] {
+            for_each_word(text, &mut word, |w| {
+                self.emit(sink, &["w:", w, side]);
+            });
+        }
+        self.word = word;
+
+        // Word classes, on each side of the separator.
+        for (text, side) in [(title, "@T"), (value, "@V")] {
+            for c in word_classes(text) {
+                self.emit(sink, &["c:", c.name(), side]);
+            }
+        }
+    }
+
+    /// Emit the `p:` context features from the previous line, close the
+    /// line, and rotate the word-feature buffers.
+    ///
+    /// The paper's layout markers (`NL`, `SHL`) already condition a line
+    /// on its surroundings; `p:` features extend the same idea to the
+    /// previous line's *words*, which is what lets the CRF carry a block
+    /// discriminator like `Contact Type: registrant` onto the following
+    /// generically-titled lines (the `.coop` registry-dump shape of
+    /// Table 2).
+    fn finish_line<S: FeatureSink>(&mut self, sink: &mut S) {
+        for i in 0..self.prev_w_len {
+            self.feat.clear();
+            self.feat.push_str("p:");
+            self.feat.push_str(&self.prev_w[i][2..]);
+            self.flush(sink);
+        }
+        sink.end_line();
+        std::mem::swap(&mut self.prev_w, &mut self.cur_w);
+        self.prev_w_len = self.cur_w_len;
+    }
+}
+
+/// Stream the features of every labelable line of a raw record into
+/// `sink`, reusing `scratch`'s buffers.
+///
+/// Blank lines and lines with no alphanumeric characters are not
+/// labelable (the paper does not attach labels to them) but still
+/// influence the markers of the following line.
+pub fn annotate_record_into<S: FeatureSink>(
+    text: &str,
+    scratch: &mut AnnotateScratch,
+    sink: &mut S,
+) {
+    scratch.start_record();
+    let mut preceded_by_blank = false;
+    let mut prev_indent: Option<usize> = None;
+    for line in text.lines() {
+        if line.chars().any(|c| c.is_alphanumeric()) {
+            scratch.line_features(sink, line, preceded_by_blank, prev_indent);
+            scratch.finish_line(sink);
+            prev_indent = Some(indent_of(line));
+            preceded_by_blank = false;
+        } else {
+            preceded_by_blank = true;
+        }
+    }
+}
+
+/// Stream an already-chunked sequence of labelable lines (used for
+/// training data, where blank lines were dropped at labeling time).
+///
+/// Because the blank lines are gone, the `NL` marker is approximated as
+/// absent; `SHL`/`SHR` still work from the retained indentation.
+pub fn annotate_record_lines_into<T: AsRef<str>, S: FeatureSink>(
+    lines: &[T],
+    scratch: &mut AnnotateScratch,
+    sink: &mut S,
+) {
+    scratch.start_record();
+    let mut prev_indent: Option<usize> = None;
+    for line in lines {
+        let line = line.as_ref();
+        scratch.line_features(sink, line, false, prev_indent);
+        scratch.finish_line(sink);
+        prev_indent = Some(indent_of(line));
     }
 }
 
@@ -40,105 +241,29 @@ pub fn annotate_line(
     preceded_by_blank: bool,
     prev_indent: Option<usize>,
 ) -> LineObservation {
-    let mut features = Vec::with_capacity(16);
-
-    // Layout markers.
-    let markers = line_markers(line, preceded_by_blank, prev_indent);
-    for m in markers.feature_strings() {
-        features.push(format!("m:{m}"));
-    }
-
-    // Title/value split and word features.
-    let (title, value) = match split_title_value(line) {
-        Some((t, v, kind)) => {
-            features.push("m:SEP".to_string());
-            features.push(format!("m:SEP:{}", kind.name()));
-            (t, v)
-        }
-        None => ("", line),
-    };
-    for w in words_of(title) {
-        push_unique(&mut features, format!("w:{w}@T"));
-    }
-    for w in words_of(value) {
-        push_unique(&mut features, format!("w:{w}@V"));
-    }
-
-    // Word classes, on each side of the separator.
-    for c in word_classes(title) {
-        push_unique(&mut features, format!("c:{}@T", c.name()));
-    }
-    for c in word_classes(value) {
-        push_unique(&mut features, format!("c:{}@V", c.name()));
-    }
-
-    LineObservation {
-        text: line.to_string(),
-        features,
-    }
-}
-
-/// How many of the previous line's features are echoed into the current
-/// line as `p:` context features.
-const MAX_PREV_FEATURES: usize = 12;
-
-/// Append previous-line context features.
-///
-/// The paper's layout markers (`NL`, `SHL`) already condition a line on
-/// its surroundings; `p:` features extend the same idea to the previous
-/// line's *words*, which is what lets the CRF carry a block discriminator
-/// like `Contact Type: registrant` onto the following generically-titled
-/// lines (the `.coop` registry-dump shape of Table 2).
-fn add_prev_features(out: &mut [LineObservation]) {
-    for t in (1..out.len()).rev() {
-        let prev: Vec<String> = out[t - 1]
-            .features
-            .iter()
-            .filter(|f| f.starts_with("w:"))
-            .take(MAX_PREV_FEATURES)
-            .map(|f| format!("p:{}", &f[2..]))
-            .collect();
-        out[t].features.extend(prev);
-    }
+    let mut scratch = AnnotateScratch::new();
+    let mut sink = CollectSink::new();
+    scratch.line_features(&mut sink, line, preceded_by_blank, prev_indent);
+    sink.end_line();
+    sink.into_observations()
+        .pop()
+        .expect("line_features always begins a line")
 }
 
 /// Annotate every labelable line of a raw record text.
-///
-/// Blank lines and lines with no alphanumeric characters are not labelable
-/// (the paper does not attach labels to them) but still influence the
-/// markers of the following line.
 pub fn annotate_record(text: &str) -> Vec<LineObservation> {
-    let mut out = Vec::new();
-    let mut preceded_by_blank = false;
-    let mut prev_indent: Option<usize> = None;
-    for line in text.lines() {
-        if line.chars().any(|c| c.is_alphanumeric()) {
-            out.push(annotate_line(line, preceded_by_blank, prev_indent));
-            prev_indent = Some(indent_of(line));
-            preceded_by_blank = false;
-        } else {
-            preceded_by_blank = true;
-        }
-    }
-    add_prev_features(&mut out);
-    out
+    let mut scratch = AnnotateScratch::new();
+    let mut sink = CollectSink::new();
+    annotate_record_into(text, &mut scratch, &mut sink);
+    sink.into_observations()
 }
 
-/// Annotate an already-chunked sequence of labelable lines (used for
-/// training data, where blank lines were dropped at labeling time).
-///
-/// Because the blank lines are gone, the `NL` marker is approximated as
-/// absent; `SHL`/`SHR` still work from the retained indentation.
+/// Annotate an already-chunked sequence of labelable lines.
 pub fn annotate_record_lines<S: AsRef<str>>(lines: &[S]) -> Vec<LineObservation> {
-    let mut out = Vec::with_capacity(lines.len());
-    let mut prev_indent: Option<usize> = None;
-    for line in lines {
-        let line = line.as_ref();
-        out.push(annotate_line(line, false, prev_indent));
-        prev_indent = Some(indent_of(line));
-    }
-    add_prev_features(&mut out);
-    out
+    let mut scratch = AnnotateScratch::new();
+    let mut sink = CollectSink::new();
+    annotate_record_lines_into(lines, &mut scratch, &mut sink);
+    sink.into_observations()
 }
 
 #[cfg(test)]
@@ -222,5 +347,58 @@ mod tests {
     fn observation_keeps_verbatim_text() {
         let obs = annotate_record("  Name: J  ");
         assert_eq!(obs[0].text, "  Name: J  ");
+    }
+
+    #[test]
+    fn prev_line_features_echo_previous_words() {
+        let obs = annotate_record("Contact Type: registrant\nName: John");
+        assert!(obs[1].features.contains(&"p:contact@T".to_string()));
+        assert!(obs[1].features.contains(&"p:registrant@V".to_string()));
+        assert!(!obs[0].features.iter().any(|f| f.starts_with("p:")));
+    }
+
+    #[test]
+    fn prev_line_features_are_capped() {
+        let long = (0..30).map(|i| format!("word{i}")).collect::<Vec<_>>();
+        let text = format!("{}\nnext line", long.join(" "));
+        let obs = annotate_record(&text);
+        let p = obs[1]
+            .features
+            .iter()
+            .filter(|f| f.starts_with("p:"))
+            .count();
+        assert_eq!(p, MAX_PREV_FEATURES);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_annotation() {
+        let texts = [
+            "Domain: X.COM\n\nRegistrant Name: John",
+            "a: 1\n%%%%\nb: 2",
+            "Domain: X.COM\n\nRegistrant Name: John",
+        ];
+        let mut scratch = AnnotateScratch::new();
+        for text in texts {
+            let mut sink = CollectSink::new();
+            annotate_record_into(text, &mut scratch, &mut sink);
+            assert_eq!(sink.into_observations(), annotate_record(text));
+        }
+    }
+
+    #[test]
+    fn steady_state_interns_nothing_new() {
+        let text = "Domain: X.COM\n\nRegistrant Name: John Smith\nRegistrant Postal Code: 92093";
+        let mut scratch = AnnotateScratch::new();
+        let mut sink = crate::sink::CountingSink::default();
+        annotate_record_into(text, &mut scratch, &mut sink);
+        let vocab = scratch.distinct_features();
+        assert!(vocab > 0);
+        let first = sink;
+        // Re-annotating the same record must not allocate a single new
+        // feature string: the interner is the only String producer.
+        let mut sink = crate::sink::CountingSink::default();
+        annotate_record_into(text, &mut scratch, &mut sink);
+        assert_eq!(scratch.distinct_features(), vocab);
+        assert_eq!(sink, first);
     }
 }

@@ -14,6 +14,8 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+use crate::sink::FeatureSink;
+
 /// An immutable mapping from feature strings to dense ids.
 ///
 /// Serialization stores only the id-ordered name list, so the JSON form
@@ -64,9 +66,22 @@ impl DictionaryBuilder {
         Self::default()
     }
 
-    /// Count one occurrence of `feature`.
+    /// Count one occurrence of `feature`. Allocates only the first time
+    /// a given feature string is seen; repeat observations intern against
+    /// the existing key.
     pub fn observe(&mut self, feature: &str) {
-        *self.counts.entry(feature.to_string()).or_insert(0) += 1;
+        match self.counts.get_mut(feature) {
+            Some(count) => *count += 1,
+            None => {
+                self.counts.insert(feature.to_string(), 1);
+            }
+        }
+    }
+
+    /// View this builder as a [`FeatureSink`], so annotation can stream
+    /// features straight into the count table (the fit path).
+    pub fn as_sink(&mut self) -> FitSink<'_> {
+        FitSink { builder: self }
     }
 
     /// Count every feature of an iterator (e.g. one line's bag).
@@ -153,6 +168,102 @@ impl Dictionary {
             .enumerate()
             .map(|(i, n)| (i as u32, n.as_str()))
     }
+
+    /// A [`FeatureSink`] that interns streamed features against this
+    /// dictionary, producing one sorted, deduplicated id row per line —
+    /// the allocation-free encode path.
+    pub fn encode_sink(&self) -> EncodeSink<'_> {
+        self.encode_sink_with(Vec::new())
+    }
+
+    /// Like [`encode_sink`](Self::encode_sink), seeded with spent row
+    /// buffers (from [`EncodeSink::recycle`]) so steady-state encoding
+    /// reuses their capacity.
+    pub fn encode_sink_with(&self, free: Vec<Vec<u32>>) -> EncodeSink<'_> {
+        EncodeSink {
+            dict: self,
+            rows: Vec::new(),
+            free,
+        }
+    }
+}
+
+/// Streams features into a [`DictionaryBuilder`]'s count table.
+///
+/// Created by [`DictionaryBuilder::as_sink`].
+#[derive(Debug)]
+pub struct FitSink<'b> {
+    builder: &'b mut DictionaryBuilder,
+}
+
+impl FeatureSink for FitSink<'_> {
+    fn feature(&mut self, feature: &str) {
+        self.builder.observe(feature);
+    }
+}
+
+/// Interns streamed features against a frozen [`Dictionary`].
+///
+/// Each line becomes one sorted, deduplicated `Vec<u32>` id row;
+/// out-of-vocabulary features are dropped, exactly like
+/// [`Dictionary::encode`]. Within-line raw-string dedup upstream is not
+/// required: duplicate ids collapse in the end-of-line `sort`/`dedup`.
+#[derive(Debug)]
+pub struct EncodeSink<'d> {
+    dict: &'d Dictionary,
+    rows: Vec<Vec<u32>>,
+    free: Vec<Vec<u32>>,
+}
+
+impl EncodeSink<'_> {
+    /// The encoded rows so far, one per line.
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Move the encoded rows out, leaving the sink ready for the next
+    /// record.
+    pub fn take_rows(&mut self) -> Vec<Vec<u32>> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Return spent row buffers so later lines reuse their capacity.
+    pub fn recycle(&mut self, rows: impl IntoIterator<Item = Vec<u32>>) {
+        self.free.extend(rows);
+    }
+
+    /// Tear down the sink, handing back every buffer it holds (for
+    /// storage in a caller's scratch between records).
+    pub fn into_buffers(mut self) -> Vec<Vec<u32>> {
+        self.free.append(&mut self.rows);
+        self.free
+    }
+}
+
+impl FeatureSink for EncodeSink<'_> {
+    fn begin_line(&mut self, _text: &str) {
+        let mut row = self.free.pop().unwrap_or_default();
+        row.clear();
+        self.rows.push(row);
+    }
+
+    fn feature(&mut self, feature: &str) {
+        if let Some(id) = self.dict.id(feature) {
+            self.rows
+                .last_mut()
+                .expect("feature() before begin_line()")
+                .push(id);
+        }
+    }
+
+    fn end_line(&mut self) {
+        let row = self
+            .rows
+            .last_mut()
+            .expect("end_line() before begin_line()");
+        row.sort_unstable();
+        row.dedup();
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +330,64 @@ mod tests {
         let d = DictionaryBuilder::new().build(1);
         assert!(d.is_empty());
         assert_eq!(d.encode(["w:x@V"].iter().copied()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn fit_sink_counts_like_observe() {
+        let mut by_hand = DictionaryBuilder::new();
+        by_hand.observe("w:a@T");
+        by_hand.observe("w:a@T");
+        by_hand.observe("m:SEP");
+
+        let mut via_sink = DictionaryBuilder::new();
+        {
+            let mut sink = via_sink.as_sink();
+            sink.begin_line("ignored");
+            sink.feature("w:a@T");
+            sink.feature("m:SEP");
+            sink.end_line();
+            sink.begin_line("ignored");
+            sink.feature("w:a@T");
+            sink.end_line();
+        }
+        let (a, b) = (by_hand.build(2), via_sink.build(2));
+        assert_eq!(a.len(), b.len());
+        for (id, name) in a.iter() {
+            assert_eq!(b.id(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn encode_sink_matches_encode() {
+        let d = sample();
+        let mut sink = d.encode_sink();
+        sink.begin_line("x");
+        for f in ["w:registrant@T", "m:SEP", "w:registrant@T", "w:unseen@V"] {
+            sink.feature(f);
+        }
+        sink.end_line();
+        sink.begin_line("y");
+        sink.feature("m:NL");
+        sink.end_line();
+        assert_eq!(
+            sink.rows(),
+            &[
+                d.encode(
+                    ["w:registrant@T", "m:SEP", "w:registrant@T", "w:unseen@V"]
+                        .iter()
+                        .copied()
+                ),
+                d.encode(["m:NL"].iter().copied()),
+            ]
+        );
+        // Rows cycle back through the free list without reallocating.
+        let rows = sink.take_rows();
+        let caps: Vec<usize> = rows.iter().map(Vec::capacity).collect();
+        sink.recycle(rows);
+        sink.begin_line("z");
+        sink.feature("m:SEP");
+        sink.end_line();
+        assert!(caps.contains(&sink.rows()[0].capacity()));
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub mod dictionary;
 pub mod lexicon;
 pub mod markers;
 pub mod separator;
+pub mod sink;
 pub mod words;
 
-pub use annotate::{annotate_record, annotate_record_lines, LineObservation};
+pub use annotate::{
+    annotate_record, annotate_record_into, annotate_record_lines, annotate_record_lines_into,
+    AnnotateScratch, LineObservation,
+};
 pub use classes::{word_classes, WordClass};
-pub use dictionary::Dictionary;
+pub use dictionary::{Dictionary, DictionaryBuilder, EncodeSink, FitSink};
 pub use markers::{line_markers, Markers};
 pub use separator::{split_title_value, Separator};
-pub use words::words_of;
+pub use sink::{CollectSink, CountingSink, FeatureSink};
+pub use words::{for_each_word, words_of};

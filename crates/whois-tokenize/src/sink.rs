@@ -1,0 +1,146 @@
+//! Push-based feature emission.
+//!
+//! The original annotation API materialized every line's feature bag as a
+//! `Vec<String>`, which each consumer then immediately re-processed
+//! (counted into a dictionary builder, or mapped to dense ids and
+//! dropped). [`FeatureSink`] inverts that flow: annotation *pushes* each
+//! feature string — composed in a reusable buffer and borrowed for the
+//! duration of the call — into a sink, and the sink interns it in place.
+//! Steady-state encoding therefore allocates no `String`s at all; the
+//! only string allocations happen the first time a feature is ever seen
+//! (inside [`crate::annotate::AnnotateScratch`]'s dedup interner or a
+//! [`crate::dictionary::DictionaryBuilder`]'s count table).
+//!
+//! The classic `Vec<LineObservation>` API survives as a thin wrapper over
+//! [`CollectSink`].
+
+use crate::annotate::LineObservation;
+
+/// Receiver for streamed per-line feature bags.
+///
+/// The annotator calls `begin_line` once per labelable line, then
+/// `feature` once per *deduplicated* feature occurrence, then
+/// `end_line`. Feature strings are only valid for the duration of the
+/// `feature` call — sinks that need to keep them must intern or copy.
+pub trait FeatureSink {
+    /// A new labelable line begins; `text` is its verbatim content.
+    fn begin_line(&mut self, text: &str) {
+        let _ = text;
+    }
+
+    /// One feature-string occurrence (already deduplicated within the
+    /// line, before any ablation transform).
+    fn feature(&mut self, feature: &str);
+
+    /// The current line's feature bag is complete.
+    fn end_line(&mut self) {}
+}
+
+/// Forward through a mutable reference so sinks can be passed down
+/// without giving up ownership.
+impl<S: FeatureSink + ?Sized> FeatureSink for &mut S {
+    fn begin_line(&mut self, text: &str) {
+        (**self).begin_line(text);
+    }
+
+    fn feature(&mut self, feature: &str) {
+        (**self).feature(feature);
+    }
+
+    fn end_line(&mut self) {
+        (**self).end_line();
+    }
+}
+
+/// Sink that materializes the classic [`LineObservation`] vector.
+#[derive(Default, Debug)]
+pub struct CollectSink {
+    out: Vec<LineObservation>,
+}
+
+impl CollectSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected observations, one per line.
+    pub fn into_observations(self) -> Vec<LineObservation> {
+        self.out
+    }
+}
+
+impl FeatureSink for CollectSink {
+    fn begin_line(&mut self, text: &str) {
+        self.out.push(LineObservation {
+            text: text.to_string(),
+            features: Vec::with_capacity(16),
+        });
+    }
+
+    fn feature(&mut self, feature: &str) {
+        self.out
+            .last_mut()
+            .expect("feature() before begin_line()")
+            .features
+            .push(feature.to_string());
+    }
+}
+
+/// Sink that counts lines and feature occurrences — useful for tests and
+/// cheap corpus statistics.
+#[derive(Default, Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Lines seen (`begin_line` calls).
+    pub lines: usize,
+    /// Deduplicated feature occurrences seen (`feature` calls).
+    pub features: usize,
+}
+
+impl FeatureSink for CountingSink {
+    fn begin_line(&mut self, _text: &str) {
+        self.lines += 1;
+    }
+
+    fn feature(&mut self, _feature: &str) {
+        self.features += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive<S: FeatureSink>(mut sink: S) -> S {
+        sink.begin_line("a: b");
+        sink.feature("m:SEP");
+        sink.feature("w:a@T");
+        sink.end_line();
+        sink.begin_line("c");
+        sink.feature("w:c@V");
+        sink.end_line();
+        sink
+    }
+
+    #[test]
+    fn collect_sink_materializes_observations() {
+        let obs = drive(CollectSink::new()).into_observations();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].text, "a: b");
+        assert_eq!(obs[0].features, vec!["m:SEP", "w:a@T"]);
+        assert_eq!(obs[1].features, vec!["w:c@V"]);
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let c = drive(CountingSink::default());
+        assert_eq!((c.lines, c.features), (2, 3));
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut inner = CountingSink::default();
+        drive(&mut inner);
+        assert_eq!(inner.lines, 2);
+    }
+}

@@ -6,22 +6,32 @@
 //! words `j`, `smith`, `example`, `com` — while the class detector
 //! separately recognizes the whole segment as an e-mail address.
 
-/// Extract lower-cased words (maximal alphanumeric runs) from `text`.
-pub fn words_of(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut cur = String::new();
+/// Stream the lower-cased words of `text` into `f`, composing each word
+/// in `buf` so a caller-owned buffer can be reused across lines instead
+/// of allocating one `String` per word.
+pub fn for_each_word(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
+    buf.clear();
     for c in text.chars() {
         if c.is_alphanumeric() {
             for lc in c.to_lowercase() {
-                cur.push(lc);
+                buf.push(lc);
             }
-        } else if !cur.is_empty() {
-            out.push(std::mem::take(&mut cur));
+        } else if !buf.is_empty() {
+            f(buf);
+            buf.clear();
         }
     }
-    if !cur.is_empty() {
-        out.push(cur);
+    if !buf.is_empty() {
+        f(buf);
+        buf.clear();
     }
+}
+
+/// Extract lower-cased words (maximal alphanumeric runs) from `text`.
+pub fn words_of(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut buf = String::new();
+    for_each_word(text, &mut buf, |w| out.push(w.to_string()));
     out
 }
 

@@ -1,6 +1,7 @@
 //! Crawl a simulated `.com` ecosystem over real loopback TCP — thin
 //! registry, per-registrar thick servers, rate limits, faults — then
-//! parse everything that was crawled (the paper's §4.1 pipeline).
+//! stream everything that was crawled through the batch parse engine
+//! into survey counters (the paper's §4.1 → §3 → §6 pipeline).
 //!
 //! ```text
 //! cargo run --release --example crawl_and_parse
@@ -10,12 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 use whoisml::gen::corpus::{generate_corpus, GenConfig};
-use whoisml::model::{BlockLabel, RawRecord, RegistrantLabel};
+use whoisml::model::{BlockLabel, RegistrantLabel};
 use whoisml::net::crawler::CrawlStatus;
 use whoisml::net::{
-    Crawler, CrawlerConfig, FaultConfig, InMemoryStore, RateLimitConfig, ServerConfig, WhoisServer,
+    crawl_parse_survey, Crawler, CrawlerConfig, FaultConfig, InMemoryStore, RateLimitConfig,
+    ServerConfig, WhoisServer,
 };
-use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+use whoisml::parser::{ParseEngine, ParserConfig, TrainExample, WhoisParser};
 
 fn main() {
     // Build the ecosystem: 200 domains across ~30 registrars.
@@ -58,24 +60,7 @@ fn main() {
     }
     println!("{} registrar servers listening on loopback", servers.len());
 
-    // Crawl: thin query -> referral -> thick query, with rate inference.
-    let crawler = Arc::new(Crawler::new(
-        registry.addr(),
-        resolver,
-        CrawlerConfig::default(),
-    ));
-    let zone: Vec<String> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
-    let report = crawler.crawl(&zone);
-    println!(
-        "crawl finished in {:.1}s: {} full, {} thin-only, {} failed ({:.1}% coverage)",
-        report.elapsed.as_secs_f64(),
-        report.count(CrawlStatus::Full),
-        report.count(CrawlStatus::ThinOnly),
-        report.count(CrawlStatus::Failed),
-        100.0 * report.coverage()
-    );
-
-    // Train a parser on labeled examples and parse the crawl output.
+    // Train a parser on labeled examples, then wrap it in the engine.
     let first: Vec<TrainExample<BlockLabel>> = corpus
         .iter()
         .take(150)
@@ -95,19 +80,45 @@ fn main() {
             })
         })
         .collect();
+    println!("training the two-level parser on 150 labeled records...");
     let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    let engine = ParseEngine::new(parser);
 
-    let mut extracted = 0;
-    for result in &report.results {
-        if let Some(thick) = &result.thick {
-            let parsed = parser.parse(&RawRecord::new(result.domain.clone(), thick.clone()));
-            if parsed.has_registrant() {
-                extracted += 1;
-            }
-        }
-    }
+    // Crawl → parse → survey, fused: records are parsed in batches while
+    // the crawl workers are still fetching.
+    let crawler = Arc::new(Crawler::new(
+        registry.addr(),
+        resolver,
+        CrawlerConfig::default(),
+    ));
+    let zone: Vec<String> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
+    let report = crawl_parse_survey(&crawler, &engine, &zone, 32);
+
     println!(
-        "parsed {extracted}/{} crawled thick records with a registrant extracted",
-        report.count(CrawlStatus::Full)
+        "crawl finished in {:.1}s: {} full, {} thin-only, {} failed ({:.1}% coverage)",
+        report.crawl.elapsed.as_secs_f64(),
+        report.crawl.count(CrawlStatus::Full),
+        report.crawl.count(CrawlStatus::ThinOnly),
+        report.crawl.count(CrawlStatus::Failed),
+        100.0 * report.crawl.coverage()
+    );
+    println!(
+        "parse stage: {} records at {:.0} records/s ({} lines labeled, {} registrant blocks)",
+        report.parse.records,
+        report.parse.records_per_sec(),
+        report.parse.lines_labeled,
+        report.parse.registrant_blocks
+    );
+    println!(
+        "survey: {} records aggregated; top registrars: {}",
+        report.survey.total,
+        report
+            .survey
+            .registrar_all
+            .top(3)
+            .into_iter()
+            .map(|(name, n)| format!("{name} ({n})"))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 }

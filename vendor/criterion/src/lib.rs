@@ -1,0 +1,289 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the measurement API surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`/`iter_batched`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros). Measurement is
+//! intentionally simple: a fixed warm-up pass, then `sample_size`
+//! timed samples; mean and throughput are printed per benchmark. No
+//! statistics, plots, or HTML reports — enough to compare variants and
+//! keep `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark (`name/param`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { full: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { full: name }
+    }
+}
+
+/// Collects per-iteration timings for one benchmark target.
+pub struct Bencher {
+    samples: u64,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up once, then time each sample individually.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut first = setup();
+        black_box(routine(&mut first));
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iterations as u32
+        }
+    }
+}
+
+fn report(name: &str, mean: Duration, throughput: Option<Throughput>) {
+    let per_second = |count: u64| {
+        let secs = mean.as_secs_f64();
+        if secs > 0.0 {
+            count as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!(
+                "{name:<50} {mean:>12.2?}  {:>14.0} elem/s",
+                per_second(n)
+            );
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{name:<50} {mean:>12.2?}  {:>14.0} B/s", per_second(n));
+        }
+        None => println!("{name:<50} {mean:>12.2?}"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; we honor small values to stay fast.
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size.min(MAX_STUB_SAMPLES));
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.full),
+            b.mean(),
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size.min(MAX_STUB_SAMPLES));
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.full),
+            b.mean(),
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Cap on timed samples: the stand-in favors bounded wall-clock time
+/// over statistical power.
+const MAX_STUB_SAMPLES: u64 = 20;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(10.min(MAX_STUB_SAMPLES));
+        f(&mut b);
+        report(name, b.mean(), None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group
+            .sample_size(3)
+            .throughput(Throughput::Elements(100))
+            .bench_function("sum", |b| {
+                b.iter(|| (0..100u64).sum::<u64>());
+            })
+            .bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+                b.iter_batched(|| vec![k; 16], |v| v.iter().sum::<u64>(), BatchSize::SmallInput);
+            });
+        group.finish();
+    }
+}

@@ -1,0 +1,574 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, `Just`, range
+//! and tuple strategies, `collection::{vec, btree_set}`, a small
+//! `[class]{m,n}`-style regex string strategy, and the [`proptest!`]
+//! macro with `ProptestConfig::with_cases`, `prop_assert!`, and
+//! `prop_assert_eq!`. Failing cases report their seed and iteration but
+//! are **not shrunk** — acceptable for CI-style regression testing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case (assertion message plus formatted context).
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The generator driving strategies: deterministic per test name.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree or
+/// shrinking; `generate` draws one concrete value.
+pub trait Strategy: Sized {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            f,
+            reason,
+        }
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let inner = (self.f)(self.base.generate(rng));
+        inner.generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng().random_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// String literals act as regex-flavored strategies producing `String`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_like::generate(self, rng)
+    }
+}
+
+/// Size argument for collection strategies: a fixed count or a range.
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng
+                .rng()
+                .random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng
+                .rng()
+                .random_range(self.size.lo..=self.size.hi_inclusive);
+            let mut out = BTreeSet::new();
+            // A small element domain may not be able to reach `target`
+            // distinct values; give up after a bounded number of draws,
+            // like real proptest's rejection cap.
+            let mut attempts = 0;
+            while out.len() < target && attempts < 100 + 10 * target {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+mod regex_like {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Generate a string from the tiny regex subset the tests use:
+    /// concatenations of literal chars or `[class]`es, each optionally
+    /// followed by `{m}`, `{m,n}`, `+`, `*`, or `?`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![unescape(chars[i - 1])]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, i);
+            i = next;
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.rng().random_range(lo..=hi)
+            };
+            for _ in 0..n {
+                let pick = rng.rng().random_range(0..alphabet.len());
+                out.push(alphabet[pick]);
+            }
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class body starting just past the `[`; returns
+    /// the expanded alphabet and the index past the closing `]`.
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            // Range `a-z` (a `-` in last position is a literal).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated character class in pattern");
+        (set, i + 1)
+    }
+
+    /// Parse an optional quantifier at `i`; returns (lo, hi, next_index).
+    fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            Some('+') => (1, 8, i + 1),
+            Some('*') => (0, 8, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+}
+
+/// Define property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest `{}` failed on case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy as _;
+
+    fn pair() -> impl crate::Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..5).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(-1.0..1.0f64, n))
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn flat_mapped_sizes_agree((n, v) in pair()) {
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn regex_classes_respect_bounds(s in "[a-c]{2,5}", t in "[ -~\n]{0,40}") {
+            prop_assert!((2..=5).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(t.chars().count() <= 40);
+            prop_assert!(t.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn sets_are_within_domain(s in crate::collection::btree_set(0u32..4, 0..=3usize)) {
+            prop_assert!(s.len() <= 3);
+            prop_assert!(s.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn early_return_ok_compiles() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn inner(n in 0usize..3) {
+                if n == 0 { return Ok(()); }
+                prop_assert!(n < 3);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,493 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Without crates.io access there is no `syn`/`quote`, so this macro
+//! walks the raw `TokenStream` by hand and emits impls of the vendored
+//! serde's Value-based `Serialize` / `Deserialize` traits as source
+//! strings. Supported shapes — exactly what this workspace declares:
+//!
+//! * structs with named fields, optionally generic (`Foo<L>`); derived
+//!   impls add a `serde::Serialize` / `serde::Deserialize` bound per
+//!   type parameter, like real serde;
+//! * enums whose variants are all unit variants;
+//! * container attrs `rename_all = "lowercase"`, `from = "T"`,
+//!   `into = "T"`; field attrs `skip`, `default`,
+//!   `skip_serializing_if = "path"`.
+//!
+//! Anything outside that (tuple structs, data-carrying variants, other
+//! attrs) panics at expansion time with a pointed message, which is a
+//! compile error exactly where the unsupported derive sits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    lowercase: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    skip_ser_if: Option<String>,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Input {
+    attrs: ContainerAttrs,
+    name: String,
+    /// `(param_name, declared_bounds_source)` per type parameter.
+    generics: Vec<(String, String)>,
+    kind: Kind,
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = if ser {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde stand-in derive generated invalid Rust: {e}\n{code}"))
+}
+
+// -----------------------------------------------------------------
+// Parsing
+// -----------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = ContainerAttrs::default();
+    let mut i = 0;
+    let mut keyword = String::new();
+
+    // Preamble: attributes and visibility, then `struct` / `enum`.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    for (key, value) in serde_attr_items(g.stream()) {
+                        match (key.as_str(), value) {
+                            ("rename_all", Some(v)) if v == "lowercase" => {
+                                attrs.lowercase = true;
+                            }
+                            ("rename_all", Some(v)) => {
+                                panic!("serde stand-in: unsupported rename_all = \"{v}\"")
+                            }
+                            ("from", Some(v)) => attrs.from = Some(v),
+                            ("into", Some(v)) => attrs.into = Some(v),
+                            (other, _) => {
+                                panic!("serde stand-in: unsupported container attr `{other}`")
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                i += 1;
+                if word == "struct" || word == "enum" {
+                    keyword = word;
+                    break;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    if keyword.is_empty() {
+        panic!("serde stand-in: expected `struct` or `enum`");
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in: expected type name, got {other}"),
+    };
+    i += 1;
+
+    // Generic parameter list, if present.
+    let mut generics = Vec::new();
+    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<String> = Vec::new();
+        while depth > 0 {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push("<".into());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        push_param(&mut generics, &current);
+                    } else {
+                        current.push(">".into());
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    push_param(&mut generics, &current);
+                    current.clear();
+                }
+                other => current.push(other.to_string()),
+            }
+            i += 1;
+        }
+    }
+
+    // Body: the brace group (skipping any `where` clause tokens).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stand-in: tuple structs are not supported ({name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde stand-in: {name} has no braced body (unit types unsupported)"),
+        }
+    };
+
+    let kind = if keyword == "struct" {
+        Kind::Struct(split_top_level(body).iter().map(|c| parse_field(c)).collect())
+    } else {
+        Kind::Enum(
+            split_top_level(body)
+                .iter()
+                .map(|c| parse_variant(c, &name))
+                .collect(),
+        )
+    };
+
+    Input {
+        attrs,
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Record one `<...>` parameter as (name, declared bound source). Skips
+/// lifetimes and const params — neither occurs with serde fields here.
+fn push_param(out: &mut Vec<(String, String)>, tokens: &[String]) {
+    if tokens.is_empty() || tokens[0] == "'" || tokens[0] == "const" {
+        return;
+    }
+    let name = tokens[0].clone();
+    let bounds = if tokens.len() > 2 && tokens[1] == ":" {
+        tokens[2..].join(" ")
+    } else {
+        String::new()
+    };
+    out.push((name, bounds));
+}
+
+/// Split a brace-group stream at top-level commas, tracking `<>` depth
+/// (parens/brackets/braces arrive as atomic `Group` tokens already).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0i32;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().unwrap().push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+fn parse_field(chunk: &[TokenTree]) -> Field {
+    let mut field = Field {
+        name: String::new(),
+        skip: false,
+        default: false,
+        skip_ser_if: None,
+    };
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = chunk.get(i + 1) {
+                    for (key, value) in serde_attr_items(g.stream()) {
+                        match (key.as_str(), value) {
+                            ("skip", None) => field.skip = true,
+                            ("default", None) => field.default = true,
+                            ("skip_serializing_if", Some(path)) => {
+                                field.skip_ser_if = Some(path);
+                            }
+                            (other, _) => {
+                                panic!("serde stand-in: unsupported field attr `{other}`")
+                            }
+                        }
+                    }
+                }
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // pub(crate) and friends
+                }
+            }
+            TokenTree::Ident(id) => {
+                field.name = id.to_string();
+                break;
+            }
+            other => panic!("serde stand-in: unexpected token in field position: {other}"),
+        }
+    }
+    if field.name.is_empty() {
+        panic!("serde stand-in: could not find a field name");
+    }
+    field
+}
+
+fn parse_variant(chunk: &[TokenTree], enum_name: &str) -> String {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                if chunk.get(i + 1).is_some() {
+                    panic!(
+                        "serde stand-in: {enum_name}::{id} carries data; \
+                         only unit variants are supported"
+                    );
+                }
+                return id.to_string();
+            }
+            other => panic!("serde stand-in: unexpected token in variant position: {other}"),
+        }
+    }
+    panic!("serde stand-in: empty variant in {enum_name}");
+}
+
+/// Extract `(key, value)` items from one `#[serde(...)]` attribute body;
+/// returns empty for any other attribute (doc comments, derives, ...).
+fn serde_attr_items(bracket: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut it = bracket.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return Vec::new();
+    };
+    let mut items = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut tokens = args.stream().into_iter();
+    while let Some(t) = tokens.next() {
+        match t {
+            TokenTree::Ident(id) => pending = Some(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == '=' => {
+                let key = pending.take().unwrap_or_default();
+                match tokens.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let raw = lit.to_string();
+                        items.push((key, Some(raw.trim_matches('"').to_string())));
+                    }
+                    other => panic!("serde stand-in: expected literal after `{key} =`, got {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if let Some(key) = pending.take() {
+                    items.push((key, None));
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(key) = pending.take() {
+        items.push((key, None));
+    }
+    items
+}
+
+// -----------------------------------------------------------------
+// Code generation
+// -----------------------------------------------------------------
+
+/// Render `impl<...>` generics and the `Name<...>` type path, adding
+/// the given serde trait bound to every type parameter.
+fn impl_header(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), input.name.clone());
+    }
+    let params: Vec<String> = input
+        .generics
+        .iter()
+        .map(|(name, declared)| {
+            if declared.is_empty() {
+                format!("{name}: {bound}")
+            } else {
+                format!("{name}: {declared} + {bound}")
+            }
+        })
+        .collect();
+    let names: Vec<&str> = input.generics.iter().map(|(n, _)| n.as_str()).collect();
+    (
+        format!("<{}>", params.join(", ")),
+        format!("{}<{}>", input.name, names.join(", ")),
+    )
+}
+
+fn variant_wire_name(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.lowercase {
+        variant.to_ascii_lowercase()
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "serde::Serialize");
+    let name = &input.name;
+    let body = if let Some(into_ty) = &input.attrs.into {
+        format!(
+            "let repr: {into_ty} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             serde::Serialize::to_value(&repr)"
+        )
+    } else {
+        match &input.kind {
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let wire = variant_wire_name(&input.attrs, v);
+                        format!(
+                            "{name}::{v} => serde::Value::Str(\
+                             ::std::string::String::from(\"{wire}\")),"
+                        )
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+            Kind::Struct(fields) => {
+                let mut pushes = Vec::new();
+                for f in fields {
+                    if f.skip {
+                        continue;
+                    }
+                    let fname = &f.name;
+                    let push = format!(
+                        "fields.push((::std::string::String::from(\"{fname}\"), \
+                         serde::Serialize::to_value(&self.{fname})));"
+                    );
+                    match &f.skip_ser_if {
+                        Some(pred) => pushes.push(format!(
+                            "if !(({pred})(&self.{fname})) {{ {push} }}"
+                        )),
+                        None => pushes.push(push),
+                    }
+                }
+                format!(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+                     ::std::vec::Vec::new();\n{}\nserde::Value::Object(fields)",
+                    pushes.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (impl_generics, ty) = impl_header(input, "serde::Deserialize");
+    let name = &input.name;
+    let body = if let Some(from_ty) = &input.attrs.from {
+        format!(
+            "let repr: {from_ty} = serde::Deserialize::from_value(v)?;\n\
+             ::std::result::Result::Ok(<Self as ::std::convert::From<{from_ty}>>::from(repr))"
+        )
+    } else {
+        match &input.kind {
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let wire = variant_wire_name(&input.attrs, v);
+                        format!(
+                            "::std::option::Option::Some(\"{wire}\") => \
+                             ::std::result::Result::Ok({name}::{v}),"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match v.as_str() {{\n{}\n\
+                     ::std::option::Option::Some(other) => ::std::result::Result::Err(\
+                     serde::DeError::new(::std::format!(\
+                     \"unknown variant `{{}}` for {name}\", other))),\n\
+                     ::std::option::Option::None => ::std::result::Result::Err(\
+                     serde::DeError::new(\"expected string for enum {name}\")),\n}}",
+                    arms.join("\n")
+                )
+            }
+            Kind::Struct(fields) => {
+                let mut inits = Vec::new();
+                for f in fields {
+                    let fname = &f.name;
+                    let init = if f.skip {
+                        format!("{fname}: ::std::default::Default::default(),")
+                    } else if f.default {
+                        format!(
+                            "{fname}: match serde::field(fields, \"{fname}\") {{\n\
+                             ::std::option::Option::Some(x) => serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => ::std::default::Default::default(),\n\
+                             }},"
+                        )
+                    } else {
+                        format!(
+                            "{fname}: match serde::field(fields, \"{fname}\") {{\n\
+                             ::std::option::Option::Some(x) => serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\
+                             serde::DeError::new(\"missing field `{fname}` in {name}\")),\n\
+                             }},"
+                        )
+                    };
+                    inits.push(init);
+                }
+                format!(
+                    "let fields = match v.as_object() {{\n\
+                     ::std::option::Option::Some(f) => f,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     serde::DeError::new(\"expected object for {name}\")),\n\
+                     }};\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} serde::Deserialize for {ty} {{\n\
+         fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+         {body}\n}}\n}}"
+    )
+}

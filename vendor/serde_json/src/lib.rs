@@ -1,0 +1,83 @@
+//! Minimal offline stand-in for `serde_json`, delegating to the
+//! vendored serde's [`Value`] model and JSON codec.
+//!
+//! Floats print via Rust's shortest-roundtrip `Display`, so the
+//! `float_roundtrip` feature's guarantee (parse(print(x)) == x) holds
+//! by construction.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error { msg: e.to_string() }
+    }
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_text(&value.to_value(), false))
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_text(&value.to_value(), true))
+}
+
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = serde::json::from_text(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error {
+        msg: format!("input is not UTF-8: {e}"),
+    })?;
+    from_str(text)
+}
+
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_vec_roundtrip() {
+        let v = vec!["a".to_string(), "b\"c".to_string()];
+        let text = to_string(&v).unwrap();
+        let back: Vec<String> = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn value_indexing_matches_cli_usage() {
+        let v: Value = from_str(r#"{"domain":"x.com","labels":["a","b"]}"#).unwrap();
+        assert_eq!(v["domain"].as_str(), Some("x.com"));
+        assert_eq!(v["labels"].as_array().unwrap().len(), 2);
+        assert!(v["missing"].is_null());
+        assert!(v["domain"].is_string());
+        assert_eq!(format!("{v}"), r#"{"domain":"x.com","labels":["a","b"]}"#);
+    }
+}
