@@ -1,15 +1,33 @@
-//! Training cost: one parallel objective/gradient evaluation (the unit
-//! of L-BFGS work) and one SGD epoch, as a function of corpus size —
-//! plus the L-BFGS vs. SGD ablation called out in DESIGN.md.
+//! Training cost: the persistent `TrainEngine` against the naive
+//! re-allocating objective, per worker count.
+//!
+//! One objective/gradient evaluation is the unit of L-BFGS work, so
+//! "evaluations per second" is training throughput. The engine wins
+//! twice: scratch pooling + interned-line dedup + precomputed observed
+//! counts remove almost all per-evaluation allocation and redundant
+//! lattice work (visible even at 1 worker), and its persistent worker
+//! pool scales across cores without per-evaluation thread spawns
+//! (visible only when the machine has them). Besides the criterion
+//! timings, the bench writes a machine-readable summary to
+//! `results/BENCH_crf_training.json` so runs on different hardware can
+//! be compared.
+//!
+//! Set `WHOIS_BENCH_SMOKE=1` to run a seconds-long correctness smoke
+//! (one tiny engine-vs-naive evaluation, 1e-9 agreement) instead of the
+//! full measurement — used by CI, which has no stable clock to bench on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 use whois_bench::{corpus, first_level_examples};
-use whois_crf::{Crf, Instance, Objective};
+use whois_crf::{Crf, Instance, NaiveObjective, Objective};
 use whois_model::Label;
 use whois_parser::{Encoder, FeatureOptions};
 
-fn instances(n: usize) -> (Crf, Vec<Instance>) {
-    let domains = corpus(11, n);
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const L2: f64 = 1e-3;
+
+fn instances(seed: u64, n: usize) -> (Crf, Vec<Instance>) {
+    let domains = corpus(seed, n);
     let examples = first_level_examples(&domains);
     let encoder = Encoder::fit(
         examples.iter().map(|e| e.text.as_str()),
@@ -33,32 +51,76 @@ fn instances(n: usize) -> (Crf, Vec<Instance>) {
     (crf, data)
 }
 
+/// Deterministic non-zero weights so the exp/log work is realistic.
+fn weights(dim: usize) -> Vec<f64> {
+    (0..dim).map(|i| ((i as f64) * 0.37).sin() * 0.1).collect()
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: a tiny engine-vs-naive agreement check instead
+/// of measurement. Keeps CI's bench job meaningful without timing noise.
+fn smoke() {
+    let (crf, data) = instances(11, 12);
+    let w = weights(crf.dim());
+    let mut g_naive = vec![0.0; crf.dim()];
+    let mut g_engine = vec![0.0; crf.dim()];
+    let mut naive = NaiveObjective::new(crf.clone(), &data, L2, 1);
+    let f_naive = naive.eval(&w, &mut g_naive);
+    for threads in [1, 2] {
+        let mut engine = Objective::new(crf.clone(), &data, L2, threads);
+        let f_engine = engine.eval(&w, &mut g_engine);
+        assert!(
+            (f_naive - f_engine).abs() < 1e-9,
+            "smoke: objective mismatch at {threads} workers: {f_naive} vs {f_engine}"
+        );
+        let max_dev = g_naive
+            .iter()
+            .zip(&g_engine)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            max_dev < 1e-9,
+            "smoke: gradient deviates by {max_dev} at {threads} workers"
+        );
+    }
+    eprintln!(
+        "[crf_training] smoke ok: engine matches naive within 1e-9 \
+         ({} records, dim {})",
+        data.len(),
+        crf.dim()
+    );
+}
+
 fn bench_training(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
     let mut group = c.benchmark_group("crf_training");
     group.sample_size(10);
     for n in [50usize, 200] {
-        let (crf, data) = instances(n);
-        let dim = crf.dim();
-        group.bench_with_input(
-            BenchmarkId::new("objective_eval_parallel", n),
-            &n,
-            |b, _| {
-                let mut obj = Objective::new(crf.clone(), &data, 1e-3, 0);
-                let w = vec![0.0; dim];
-                let mut g = vec![0.0; dim];
-                b.iter(|| obj.eval(&w, &mut g))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("objective_eval_single_thread", n),
-            &n,
-            |b, _| {
-                let mut obj = Objective::new(crf.clone(), &data, 1e-3, 1);
-                let w = vec![0.0; dim];
-                let mut g = vec![0.0; dim];
-                b.iter(|| obj.eval(&w, &mut g))
-            },
-        );
+        let (crf, data) = instances(11, n);
+        let w = weights(crf.dim());
+        for workers in WORKER_COUNTS {
+            group.bench_with_input(
+                BenchmarkId::new(format!("naive_eval_w{workers}"), n),
+                &n,
+                |b, _| {
+                    let mut obj = NaiveObjective::new(crf.clone(), &data, L2, workers);
+                    let mut g = vec![0.0; crf.dim()];
+                    b.iter(|| obj.eval(&w, &mut g))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("engine_eval_w{workers}"), n),
+                &n,
+                |b, _| {
+                    let mut obj = Objective::new(crf.clone(), &data, L2, workers);
+                    let mut g = vec![0.0; crf.dim()];
+                    b.iter(|| obj.eval(&w, &mut g))
+                },
+            );
+        }
         group.bench_with_input(BenchmarkId::new("sgd_epoch", n), &n, |b, _| {
             b.iter(|| {
                 let mut m = crf.clone();
@@ -75,6 +137,65 @@ fn bench_training(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    write_summary();
+}
+
+/// Best-of-3 evaluations/sec, `evals` calls per timed run, after warm-up.
+fn best_rate(evals: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..evals {
+                f();
+            }
+            evals as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary() {
+    let (crf, data) = instances(11, 200);
+    let w = weights(crf.dim());
+    let evals = 5;
+
+    let mut entries = String::new();
+    for workers in WORKER_COUNTS {
+        let mut naive = NaiveObjective::new(crf.clone(), &data, L2, workers);
+        let mut g = vec![0.0; crf.dim()];
+        let naive_rate = best_rate(evals, || {
+            criterion::black_box(naive.eval(&w, &mut g));
+        });
+        let mut engine = Objective::new(crf.clone(), &data, L2, workers);
+        let engine_rate = best_rate(evals, || {
+            criterion::black_box(engine.eval(&w, &mut g));
+        });
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workers\": {workers}, \"naive_evals_per_sec\": {naive_rate:.2}, \
+             \"engine_evals_per_sec\": {engine_rate:.2}, \"speedup_vs_naive\": {:.3}}}",
+            engine_rate / naive_rate
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"crf_training\",\n  \"records\": {},\n  \"dim\": {},\n  \
+         \"available_cores\": {cores},\n  \"objective_evals\": [\n{entries}\n  ]\n}}\n",
+        data.len(),
+        crf.dim()
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_crf_training.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[crf_training] summary written to {path}"),
+        Err(e) => eprintln!("[crf_training] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
 }
 
 criterion_group!(benches, bench_training);

@@ -4,10 +4,18 @@
 //! validate the dynamic-programming implementations on tiny inputs. The
 //! property-based tests in this crate (and the ablation benches in
 //! `whois-bench`) use them as ground truth.
+//!
+//! Gradient verification is layered: [`crate::objective::NaiveObjective`]
+//! is the transparent single-threaded oracle, and
+//! [`engine_gradient_check`] runs finite differences **against the
+//! optimized engine** — the path the optimizers actually evaluate — so a
+//! dedup or scatter bug in the engine cannot hide behind a correct naive
+//! implementation.
 
+use crate::engine::TrainEngine;
 use crate::model::Crf;
 use crate::numerics::log_sum_exp;
-use crate::sequence::Sequence;
+use crate::sequence::{Instance, Sequence};
 
 /// Enumerate every label sequence for a chain of length `len` over `n`
 /// states, calling `visit(path)` for each.
@@ -90,6 +98,27 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Finite-difference check of the **training engine's** gradient at `w`:
+/// returns the maximum absolute deviation between the engine's analytic
+/// gradient and a central finite difference of the engine's own
+/// objective. `O(dim)` engine evaluations — tiny inputs only.
+pub fn engine_gradient_check(
+    crf: &Crf,
+    data: &[Instance],
+    l2: f64,
+    threads: usize,
+    w: &[f64],
+    eps: f64,
+) -> f64 {
+    let mut engine = TrainEngine::new(crf.clone(), data, l2, threads);
+    let dim = engine.dim();
+    let mut grad = vec![0.0; dim];
+    engine.eval(w, &mut grad);
+    let mut scratch = vec![0.0; dim];
+    let fd = finite_difference_grad(|x| engine.eval(x, &mut scratch), w, eps);
+    max_abs_diff(&grad, &fd)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +167,25 @@ mod tests {
     fn max_abs_diff_works() {
         assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
         assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn engine_gradient_survives_finite_difference_check() {
+        let crf = Crf::new(2, 3, &[true, false, true]);
+        let data = vec![
+            Instance::new(
+                Sequence::new(vec![vec![0, 2], vec![1], vec![0, 2]]),
+                vec![0, 1, 1],
+            ),
+            Instance::new(Sequence::new(vec![vec![1], vec![0, 1]]), vec![1, 0]),
+            Instance::new(Sequence::default(), vec![]),
+        ];
+        let w: Vec<f64> = (0..crf.dim())
+            .map(|i| (i as f64 * 0.23).sin() * 0.5)
+            .collect();
+        for threads in [1, 2] {
+            let dev = engine_gradient_check(&crf, &data, 0.05, threads, &w, 1e-6);
+            assert!(dev < 1e-6, "threads={threads}: max deviation {dev}");
+        }
     }
 }

@@ -1,0 +1,627 @@
+//! The training engine: scratch-pooled, dedup-aware objective evaluation.
+//!
+//! [`crate::objective::NaiveObjective`] recomputes everything from first
+//! principles each L-BFGS evaluation: it clones the full weight vector,
+//! re-allocates a score table and forward/backward/marginal lattices per
+//! record, re-derives the observed ("empirical") feature counts that are
+//! constant across iterations, and re-spawns scoped worker threads per
+//! call. [`TrainEngine`] removes all of that from the steady state:
+//!
+//! 1. **Compiled corpus.** At construction the training set is compiled
+//!    into per-worker shards. WHOIS lines repeat heavily across records
+//!    (boilerplate, shared registrar templates), so each shard *interns*
+//!    its unique observation feature-sets once; records become sequences
+//!    of line ids.
+//! 2. **Per-iteration potentials.** Each iteration computes emission (and,
+//!    for pair-eligible lines, edge) potentials once **per unique line**
+//!    and gathers them into each record's score table — `O(U·F̄·n)` feature
+//!    work instead of `O(T_total·F̄·n)`.
+//! 3. **Precomputed observed counts.** The observed feature counts of the
+//!    gradient (`expected − observed`) are accumulated once at
+//!    construction as a sparse vector and subtracted analytically after
+//!    the expectation pass, so per-iteration work is expectations only.
+//!    Expectations are themselves accumulated per unique line and
+//!    scattered into the dense gradient once per evaluation.
+//! 4. **Pooled scratch, persistent workers.** Every buffer (score table,
+//!    α/β lattices, node/edge marginals, per-line accumulators, the local
+//!    gradient) lives in a per-worker [`TrainScratch`] retained across
+//!    iterations, and the workers themselves are long-lived threads fed
+//!    through channels — no `Vec<f64>` clone of the ~1M-dim weight vector
+//!    and no thread spawn per evaluation.
+//!
+//! Results match the naive objective to floating-point reassociation
+//! (≤ 1e-9 in practice; see `tests/engine_equivalence.rs`), and repeated
+//! evaluations at the same point are bit-identical: shard partition,
+//! in-shard record order, and the worker-id merge order are all fixed.
+
+use crate::inference::{backward_into, edge_marginals_into, forward_into, node_marginals_into};
+use crate::model::{Crf, ScoreTable};
+use crate::sequence::Instance;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Sentinel for "line has no pair-eligible features" in a shard's
+/// `line_pair` map.
+const NO_PAIR_LINE: u32 = u32::MAX;
+
+/// One worker's compiled slice of the corpus: interned unique lines plus
+/// records re-encoded as line-id sequences.
+#[derive(Clone, Debug, Default)]
+struct Shard {
+    /// Concatenated feature ids of the unique lines.
+    line_feats: Vec<u32>,
+    /// `U + 1` offsets into `line_feats`.
+    line_offsets: Vec<u32>,
+    /// Per unique line: compact pair-line index, or [`NO_PAIR_LINE`] when
+    /// no feature of the line is pair-eligible.
+    line_pair: Vec<u32>,
+    /// Number of pair-eligible unique lines.
+    num_pair_lines: usize,
+    /// Concatenated line ids of the records.
+    rec_lines: Vec<u32>,
+    /// Concatenated gold labels (aligned with `rec_lines`).
+    rec_labels: Vec<u32>,
+    /// `R + 1` offsets into `rec_lines` / `rec_labels`.
+    rec_offsets: Vec<u32>,
+}
+
+impl Shard {
+    /// Compile `insts` against the layout of `crf`, interning unique
+    /// lines in first-seen order (deterministic).
+    ///
+    /// # Panics
+    /// Panics if an instance contains a feature id `>= F` — the same
+    /// records would panic later inside the naive objective's
+    /// `score_table`; compilation just surfaces it eagerly.
+    fn compile(crf: &Crf, insts: &[Instance]) -> Shard {
+        let mut shard = Shard::default();
+        shard.line_offsets.push(0);
+        shard.rec_offsets.push(0);
+        let mut interner: HashMap<&[u32], u32> = HashMap::new();
+        for inst in insts {
+            for (feats, &gold) in inst.seq.obs.iter().zip(&inst.labels) {
+                let next_id = shard.line_offsets.len() as u32 - 1;
+                let line_id = *interner.entry(feats).or_insert_with(|| {
+                    for &f in feats {
+                        assert!(
+                            (f as usize) < crf.num_obs_features(),
+                            "feature id {f} out of range (F = {})",
+                            crf.num_obs_features()
+                        );
+                    }
+                    shard.line_feats.extend_from_slice(feats);
+                    shard.line_offsets.push(shard.line_feats.len() as u32);
+                    let pair = if feats.iter().any(|&f| crf.is_pair_eligible(f)) {
+                        shard.num_pair_lines += 1;
+                        shard.num_pair_lines as u32 - 1
+                    } else {
+                        NO_PAIR_LINE
+                    };
+                    shard.line_pair.push(pair);
+                    next_id
+                });
+                shard.rec_lines.push(line_id);
+                shard.rec_labels.push(gold as u32);
+            }
+            shard.rec_offsets.push(shard.rec_lines.len() as u32);
+        }
+        shard
+    }
+
+    /// Number of unique lines `U`.
+    fn num_lines(&self) -> usize {
+        self.line_offsets.len() - 1
+    }
+
+    /// Number of records.
+    fn num_records(&self) -> usize {
+        self.rec_offsets.len() - 1
+    }
+
+    /// Feature ids of unique line `u`.
+    #[inline]
+    fn feats(&self, u: usize) -> &[u32] {
+        &self.line_feats[self.line_offsets[u] as usize..self.line_offsets[u + 1] as usize]
+    }
+
+    /// `(line ids, gold labels)` of record `r`.
+    #[inline]
+    fn record(&self, r: usize) -> (&[u32], &[u32]) {
+        let range = self.rec_offsets[r] as usize..self.rec_offsets[r + 1] as usize;
+        (&self.rec_lines[range.clone()], &self.rec_labels[range])
+    }
+}
+
+/// Reusable buffers for one training worker, retained at high-water
+/// capacity across optimizer iterations.
+#[derive(Clone, Debug, Default)]
+pub struct TrainScratch {
+    /// Per-unique-line emission potentials, `U × n`.
+    emit_pot: Vec<f64>,
+    /// Per-pair-line edge potentials (base transitions + pair weights),
+    /// `U_pair × n × n`.
+    pair_pot: Vec<f64>,
+    /// Gathered potentials of the record being processed.
+    table: ScoreTable,
+    alpha: Vec<f64>,
+    beta: Vec<f64>,
+    /// Node marginals of the current record.
+    nm: Vec<f64>,
+    /// Edge marginals of the current record.
+    em: Vec<f64>,
+    tmp: Vec<f64>,
+    /// Expected emission counts per unique line, `U × n`.
+    line_node_sum: Vec<f64>,
+    /// Expected edge counts per pair line, `U_pair × n × n`.
+    line_edge_sum: Vec<f64>,
+    /// Expected transition counts, `n × n`.
+    trans_sum: Vec<f64>,
+}
+
+/// Compute per-unique-line potentials and sweep the shard's records,
+/// accumulating `Σ ll_r` (returned) and, when `grad` is given, the
+/// **expected** feature counts of the summed negative log-likelihood into
+/// it (the observed part is handled sparsely by the caller).
+fn eval_shard(
+    crf: &Crf,
+    w: &[f64],
+    shard: &Shard,
+    s: &mut TrainScratch,
+    grad: Option<&mut [f64]>,
+) -> f64 {
+    let n = crf.num_states();
+    let nn = n * n;
+    let u = shard.num_lines();
+    let base_trans = &w[..nn];
+
+    // Phase 1: per-unique-line potentials (the dedup win — each repeated
+    // line's feature weights are summed once per iteration).
+    s.emit_pot.clear();
+    s.emit_pot.resize(u * n, 0.0);
+    s.pair_pot.clear();
+    s.pair_pot.resize(shard.num_pair_lines * nn, 0.0);
+    for line in 0..u {
+        let feats = shard.feats(line);
+        let row = &mut s.emit_pot[line * n..(line + 1) * n];
+        for &f in feats {
+            let base = crf.emit_index(f, 0);
+            for (rj, wj) in row.iter_mut().zip(&w[base..base + n]) {
+                *rj += *wj;
+            }
+        }
+        let p = shard.line_pair[line];
+        if p != NO_PAIR_LINE {
+            let block = &mut s.pair_pot[p as usize * nn..(p as usize + 1) * nn];
+            block.copy_from_slice(base_trans);
+            for &f in feats {
+                if let Some(pbase) = crf.pair_index(f, 0, 0) {
+                    for (e, pw) in block.iter_mut().zip(&w[pbase..pbase + nn]) {
+                        *e += *pw;
+                    }
+                }
+            }
+        }
+    }
+
+    let want_grad = grad.is_some();
+    if want_grad {
+        s.line_node_sum.clear();
+        s.line_node_sum.resize(u * n, 0.0);
+        s.line_edge_sum.clear();
+        s.line_edge_sum.resize(shard.num_pair_lines * nn, 0.0);
+        s.trans_sum.clear();
+        s.trans_sum.resize(nn, 0.0);
+    }
+
+    // Phase 2: per-record DP over gathered potentials.
+    let mut ll = 0.0;
+    for r in 0..shard.num_records() {
+        let (lines, labels) = shard.record(r);
+        let t_len = lines.len();
+        if t_len == 0 {
+            continue;
+        }
+        s.table.n = n;
+        s.table.len = t_len;
+        s.table.emit.clear();
+        s.table.emit.reserve(t_len * n);
+        for &lid in lines {
+            let lid = lid as usize;
+            s.table
+                .emit
+                .extend_from_slice(&s.emit_pot[lid * n..(lid + 1) * n]);
+        }
+        s.table.trans.clear();
+        if t_len > 1 {
+            s.table.trans.reserve((t_len - 1) * nn);
+            for &lid in &lines[1..] {
+                let p = shard.line_pair[lid as usize];
+                if p == NO_PAIR_LINE {
+                    s.table.trans.extend_from_slice(base_trans);
+                } else {
+                    s.table
+                        .trans
+                        .extend_from_slice(&s.pair_pot[p as usize * nn..(p as usize + 1) * nn]);
+                }
+            }
+        }
+
+        let log_z = forward_into(&s.table, &mut s.alpha, &mut s.tmp);
+        // Gold-path score straight off the gathered potentials.
+        let mut path = 0.0;
+        for (t, &gold) in labels.iter().enumerate() {
+            let gold = gold as usize;
+            path += s.table.emit_at(t)[gold];
+            if t > 0 {
+                path += s.table.trans_at(t)[labels[t - 1] as usize * n + gold];
+            }
+        }
+        ll += path - log_z;
+
+        if want_grad {
+            backward_into(&s.table, &mut s.beta, &mut s.tmp);
+            node_marginals_into(&s.table, &s.alpha, log_z, &s.beta, &mut s.nm);
+            edge_marginals_into(&s.table, &s.alpha, log_z, &s.beta, &mut s.em);
+            for (t, &lid) in lines.iter().enumerate() {
+                let acc = &mut s.line_node_sum[lid as usize * n..(lid as usize + 1) * n];
+                for (a, m) in acc.iter_mut().zip(&s.nm[t * n..(t + 1) * n]) {
+                    *a += *m;
+                }
+            }
+            for (t, &lid) in lines.iter().enumerate().skip(1) {
+                let block = &s.em[(t - 1) * nn..t * nn];
+                for (a, e) in s.trans_sum.iter_mut().zip(block) {
+                    *a += *e;
+                }
+                let p = shard.line_pair[lid as usize];
+                if p != NO_PAIR_LINE {
+                    let acc = &mut s.line_edge_sum[p as usize * nn..(p as usize + 1) * nn];
+                    for (a, e) in acc.iter_mut().zip(block) {
+                        *a += *e;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: scatter the per-line expectation sums into the dense
+    // gradient — once per unique line, not once per occurrence.
+    if let Some(grad) = grad {
+        grad.fill(0.0);
+        for (g, a) in grad[..nn].iter_mut().zip(&s.trans_sum) {
+            *g += *a;
+        }
+        for line in 0..u {
+            let node = &s.line_node_sum[line * n..(line + 1) * n];
+            for &f in shard.feats(line) {
+                let base = crf.emit_index(f, 0);
+                for (g, a) in grad[base..base + n].iter_mut().zip(node) {
+                    *g += *a;
+                }
+            }
+            let p = shard.line_pair[line];
+            if p != NO_PAIR_LINE {
+                let edge = &s.line_edge_sum[p as usize * nn..(p as usize + 1) * nn];
+                for &f in shard.feats(line) {
+                    if let Some(pbase) = crf.pair_index(f, 0, 0) {
+                        for (g, a) in grad[pbase..pbase + nn].iter_mut().zip(edge) {
+                            *g += *a;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ll
+}
+
+/// Sparse observed ("empirical") feature counts of a training set — the
+/// constant half of the gradient, accumulated once.
+fn observed_counts(crf: &Crf, data: &[Instance]) -> Vec<(usize, f64)> {
+    let mut counts: HashMap<usize, f64> = HashMap::new();
+    for inst in data {
+        for (t, feats) in inst.seq.obs.iter().enumerate() {
+            let gold = inst.labels[t];
+            for &f in feats {
+                *counts.entry(crf.emit_index(f, gold)).or_insert(0.0) += 1.0;
+            }
+            if t > 0 {
+                let prev_gold = inst.labels[t - 1];
+                *counts
+                    .entry(crf.trans_index(prev_gold, gold))
+                    .or_insert(0.0) += 1.0;
+                for &f in feats {
+                    if let Some(idx) = crf.pair_index(f, prev_gold, gold) {
+                        *counts.entry(idx).or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+        }
+    }
+    let mut out: Vec<(usize, f64)> = counts.into_iter().collect();
+    out.sort_unstable_by_key(|&(idx, _)| idx);
+    out
+}
+
+/// State shared between the engine and its persistent workers.
+struct EngineShared {
+    /// Model layout (weights unused — workers read `weights`).
+    layout: Crf,
+    /// Current iterate, installed in place once per evaluation.
+    weights: RwLock<Vec<f64>>,
+}
+
+#[derive(Debug)]
+enum Job {
+    /// Evaluate the shard: log-likelihood plus expected counts into the
+    /// carried gradient buffer (returned with the reply).
+    Eval { grad: Vec<f64> },
+    /// Log-likelihood only.
+    MeanLl,
+}
+
+struct Reply {
+    worker: usize,
+    ll: f64,
+    grad: Option<Vec<f64>>,
+}
+
+/// Persistent parallel evaluator of the CRF training objective.
+///
+/// Construct once per training run; each [`TrainEngine::eval`] then costs
+/// zero steady-state allocations. See the module docs for the design.
+pub struct TrainEngine {
+    crf: Crf,
+    l2: f64,
+    threads: usize,
+    num_records: usize,
+    observed: Vec<(usize, f64)>,
+    /// Inline path (threads == 1): shard + scratch evaluated on the
+    /// calling thread, no synchronization at all.
+    local: Option<(Shard, Box<TrainScratch>, Vec<f64>)>,
+    /// Worker path (threads > 1).
+    shared: Option<Arc<EngineShared>>,
+    job_txs: Vec<crossbeam::channel::Sender<Job>>,
+    reply_rx: Option<crossbeam::channel::Receiver<Reply>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-worker gradient buffers, round-tripped through `Job::Eval`.
+    grad_bufs: Vec<Vec<f64>>,
+}
+
+impl TrainEngine {
+    /// Compile `data` and spin up the worker pool.
+    ///
+    /// * `crf` — defines the model structure; its current weights are
+    ///   irrelevant because [`TrainEngine::eval`] overwrites them.
+    /// * `l2` — L2 regularization strength λ (≥ 0).
+    /// * `threads` — worker count; `0` means use available parallelism.
+    ///   Capped at the record count; with one worker everything runs on
+    ///   the calling thread and no threads are spawned.
+    pub fn new(crf: Crf, data: &[Instance], l2: f64, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let threads = threads.min(data.len()).max(1);
+        let observed = observed_counts(&crf, data);
+        let dim = crf.dim();
+
+        let mut engine = TrainEngine {
+            crf,
+            l2,
+            threads,
+            num_records: data.len(),
+            observed,
+            local: None,
+            shared: None,
+            job_txs: Vec::new(),
+            reply_rx: None,
+            handles: Vec::new(),
+            grad_bufs: Vec::new(),
+        };
+
+        if threads <= 1 {
+            let shard = Shard::compile(&engine.crf, data);
+            engine.local = Some((shard, Box::default(), vec![0.0; dim]));
+            return engine;
+        }
+
+        let shared = Arc::new(EngineShared {
+            layout: {
+                // Workers only need the layout; don't ship a second
+                // dim-sized weight vector per worker.
+                let mut layout = engine.crf.clone();
+                layout.weights_mut().iter_mut().for_each(|w| *w = 0.0);
+                layout
+            },
+            weights: RwLock::new(vec![0.0; dim]),
+        });
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded::<Reply>();
+        let chunk_size = data.len().div_ceil(threads);
+        for (worker, chunk) in data.chunks(chunk_size).enumerate() {
+            let shard = Shard::compile(&engine.crf, chunk);
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<Job>();
+            let shared = Arc::clone(&shared);
+            let reply_tx = reply_tx.clone();
+            engine.handles.push(std::thread::spawn(move || {
+                let mut scratch = TrainScratch::default();
+                while let Ok(job) = job_rx.recv() {
+                    let reply = match job {
+                        Job::Eval { mut grad } => {
+                            let w = shared.weights.read();
+                            let ll = eval_shard(
+                                &shared.layout,
+                                &w,
+                                &shard,
+                                &mut scratch,
+                                Some(&mut grad),
+                            );
+                            Reply {
+                                worker,
+                                ll,
+                                grad: Some(grad),
+                            }
+                        }
+                        Job::MeanLl => {
+                            let w = shared.weights.read();
+                            let ll = eval_shard(&shared.layout, &w, &shard, &mut scratch, None);
+                            Reply {
+                                worker,
+                                ll,
+                                grad: None,
+                            }
+                        }
+                    };
+                    if reply_tx.send(reply).is_err() {
+                        break;
+                    }
+                }
+            }));
+            engine.job_txs.push(job_tx);
+            engine.grad_bufs.push(vec![0.0; dim]);
+        }
+        engine.shared = Some(shared);
+        engine.reply_rx = Some(reply_rx);
+        engine
+    }
+
+    /// Model dimensionality.
+    pub fn dim(&self) -> usize {
+        self.crf.dim()
+    }
+
+    /// Number of training records (including empty ones).
+    pub fn num_records(&self) -> usize {
+        self.num_records
+    }
+
+    /// Effective worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The model structure (with whatever weights were last evaluated).
+    pub fn crf(&self) -> &Crf {
+        &self.crf
+    }
+
+    /// Shut the pool down, returning the CRF with weights `w` installed
+    /// (no allocation — `w` is copied into the existing storage).
+    pub fn take_crf(mut self, w: &[f64]) -> Crf {
+        self.crf.copy_weights_from(w);
+        std::mem::replace(&mut self.crf, Crf::new(1, 0, &[]))
+    }
+
+    /// Install `w` for the workers (and the master copy behind
+    /// [`TrainEngine::crf`]) without allocating.
+    fn install_weights(&mut self, w: &[f64]) {
+        assert_eq!(w.len(), self.dim(), "weight dimension mismatch");
+        self.crf.copy_weights_from(w);
+        if let Some(shared) = &self.shared {
+            shared.weights.write().copy_from_slice(w);
+        }
+    }
+
+    /// Evaluate the regularized mean-NLL objective at `w`, writing
+    /// `∇f(w)` into `grad`.
+    ///
+    /// # Panics
+    /// Panics if `w.len()` or `grad.len()` differ from
+    /// [`TrainEngine::dim`].
+    pub fn eval(&mut self, w: &[f64], grad: &mut [f64]) -> f64 {
+        assert_eq!(grad.len(), self.dim(), "gradient dimension mismatch");
+        self.install_weights(w);
+        let r = self.num_records.max(1) as f64;
+        let mut total_ll = 0.0;
+
+        if let Some((shard, scratch, local_grad)) = &mut self.local {
+            total_ll = eval_shard(&self.crf, w, shard, scratch, Some(local_grad));
+            grad.copy_from_slice(local_grad);
+        } else {
+            let k = self.job_txs.len();
+            for worker in 0..k {
+                let buf = std::mem::take(&mut self.grad_bufs[worker]);
+                self.job_txs[worker]
+                    .send(Job::Eval { grad: buf })
+                    .expect("train worker hung up");
+            }
+            let mut lls = vec![0.0; k];
+            let rx = self.reply_rx.as_ref().expect("worker pool missing");
+            for _ in 0..k {
+                let reply = rx.recv().expect("train worker hung up");
+                lls[reply.worker] = reply.ll;
+                if let Some(g) = reply.grad {
+                    self.grad_bufs[reply.worker] = g;
+                }
+            }
+            grad.fill(0.0);
+            for worker in 0..k {
+                total_ll += lls[worker];
+                for (g, l) in grad.iter_mut().zip(&self.grad_bufs[worker]) {
+                    *g += *l;
+                }
+            }
+        }
+
+        // Analytic observed-count subtraction (sparse, precomputed).
+        for &(idx, c) in &self.observed {
+            grad[idx] -= c;
+        }
+        // Scale to mean NLL and add the L2 term.
+        for (g, &wi) in grad.iter_mut().zip(w) {
+            *g = *g / r + self.l2 * wi;
+        }
+        -total_ll / r + 0.5 * self.l2 * w.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    /// Mean (unregularized) log-likelihood of the data at `w`, without a
+    /// gradient — parallel over the same shards and scratches.
+    pub fn mean_log_likelihood(&mut self, w: &[f64]) -> f64 {
+        self.install_weights(w);
+        let r = self.num_records.max(1) as f64;
+        let mut total_ll = 0.0;
+        if let Some((shard, scratch, _)) = &mut self.local {
+            total_ll = eval_shard(&self.crf, w, shard, scratch, None);
+        } else {
+            let k = self.job_txs.len();
+            for tx in &self.job_txs {
+                tx.send(Job::MeanLl).expect("train worker hung up");
+            }
+            let mut lls = vec![0.0; k];
+            let rx = self.reply_rx.as_ref().expect("worker pool missing");
+            for _ in 0..k {
+                let reply = rx.recv().expect("train worker hung up");
+                lls[reply.worker] = reply.ll;
+            }
+            for ll in lls {
+                total_ll += ll;
+            }
+        }
+        total_ll / r
+    }
+}
+
+impl Drop for TrainEngine {
+    fn drop(&mut self) {
+        // Dropping the senders disconnects the job channels; workers
+        // fall out of their recv loops.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TrainEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainEngine")
+            .field("dim", &self.dim())
+            .field("num_records", &self.num_records)
+            .field("threads", &self.threads)
+            .field("observed_nnz", &self.observed.len())
+            .finish()
+    }
+}

@@ -127,11 +127,26 @@ pub fn node_marginals_into(
 /// Posterior edge marginals `Pr(y_{t-1} = i, y_t = j | x)` as a
 /// `(len-1) × n × n` tensor indexed `[(t-1)*n*n + i*n + j]` (eq. 12).
 pub fn edge_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    edge_marginals_into(table, &fwd.alpha, fwd.log_z, beta, &mut out);
+    out
+}
+
+/// Edge marginals into a reused buffer, from pre-computed α/β lattices.
+/// The buffer ends up empty when `len < 2`.
+pub fn edge_marginals_into(
+    table: &ScoreTable,
+    alpha: &[f64],
+    log_z: f64,
+    beta: &[f64],
+    out: &mut Vec<f64>,
+) {
     let n = table.n;
+    out.clear();
     if table.len < 2 {
-        return Vec::new();
+        return;
     }
-    let mut out = vec![0.0; (table.len - 1) * n * n];
+    out.resize((table.len - 1) * n * n, 0.0);
     for t in 1..table.len {
         let edge = table.trans_at(t);
         let emit = table.emit_at(t);
@@ -139,13 +154,11 @@ pub fn edge_marginals(table: &ScoreTable, fwd: &Forward, beta: &[f64]) -> Vec<f6
         for i in 0..n {
             for j in 0..n {
                 block[i * n + j] =
-                    (fwd.alpha[(t - 1) * n + i] + edge[i * n + j] + emit[j] + beta[t * n + j]
-                        - fwd.log_z)
+                    (alpha[(t - 1) * n + i] + edge[i * n + j] + emit[j] + beta[t * n + j] - log_z)
                         .exp();
             }
         }
     }
-    out
 }
 
 /// Viterbi decoding: the most likely label sequence and its unnormalized

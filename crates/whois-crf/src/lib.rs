@@ -16,11 +16,13 @@
 //! * **Inference** ([`inference`]): log-space forward–backward for the
 //!   partition function `Z(x)` and marginals, and Viterbi decoding with
 //!   backtracking — both `O(n²T)` exactly as in appendix A.
-//! * **Training** ([`objective`], [`lbfgs`], [`sgd`]): maximum conditional
-//!   log-likelihood with L2 regularization. The objective and gradient are
-//!   computed in parallel across records with `crossbeam` scoped threads;
-//!   the optimizers are a limited-memory BFGS (two-loop recursion, Armijo
-//!   backtracking) and an averaged SGD.
+//! * **Training** ([`objective`], [`engine`], [`lbfgs`], [`sgd`]): maximum
+//!   conditional log-likelihood with L2 regularization. The objective and
+//!   gradient are evaluated by a persistent [`TrainEngine`] — per-worker
+//!   shards with interned unique lines, pooled scratch lattices, and
+//!   observed feature counts precomputed once — mirroring the paper's
+//!   parallelized L-BFGS; the optimizers are a limited-memory BFGS
+//!   (two-loop recursion, Armijo backtracking) and a sparse SGD.
 //! * **Diagnostics** ([`diagnostics`]): brute-force enumeration of tiny
 //!   chains and finite-difference gradient checking, used heavily by the
 //!   property-based test suite.
@@ -31,6 +33,7 @@
 #![allow(clippy::needless_range_loop)] // index-based DP loops mirror the appendix-A math
 
 pub mod diagnostics;
+pub mod engine;
 pub mod inference;
 pub mod lbfgs;
 pub mod model;
@@ -42,12 +45,13 @@ pub mod sequence;
 pub mod sgd;
 pub mod train;
 
+pub use engine::{TrainEngine, TrainScratch};
 pub use inference::{
-    backward, backward_into, edge_marginals, forward, forward_into, node_marginals,
-    node_marginals_into, viterbi, viterbi_into,
+    backward, backward_into, edge_marginals, edge_marginals_into, forward, forward_into,
+    node_marginals, node_marginals_into, viterbi, viterbi_into,
 };
 pub use model::{Crf, ScoreTable};
-pub use objective::Objective;
+pub use objective::{NaiveObjective, Objective};
 pub use scratch::InferenceScratch;
 pub use sequence::{Instance, Sequence};
 pub use train::{train, TrainConfig, TrainReport, TrainerKind};

@@ -151,6 +151,17 @@ impl Crf {
         self.weights = w;
     }
 
+    /// Copy `w` into the existing parameter storage — the allocation-free
+    /// install path used once per optimizer evaluation (a ~1M-dim model
+    /// would otherwise clone a fresh `Vec<f64>` every L-BFGS step).
+    ///
+    /// # Panics
+    /// Panics if `w.len() != self.dim()`.
+    pub fn copy_weights_from(&mut self, w: &[f64]) {
+        assert_eq!(w.len(), self.dim(), "weight vector has wrong dimension");
+        self.weights.copy_from_slice(w);
+    }
+
     /// Parameter index of the transition feature `(i → j)`.
     #[inline]
     pub fn trans_index(&self, i: usize, j: usize) -> usize {
@@ -200,6 +211,32 @@ impl Crf {
     /// # Panics
     /// Panics if the sequence contains a feature id `>= F`.
     pub fn score_table_into(&self, seq: &Sequence, out: &mut ScoreTable) {
+        self.score_table_with_into(seq, &self.weights, 1.0, out);
+    }
+
+    /// Materialize potentials under an *explicit* parameter vector
+    /// `weights`, each potential multiplied by `scale`.
+    ///
+    /// This serves the SGD trainer's weight-scaling trick: with true
+    /// weights `θ = scale · v` the potentials are `scale · (Σ v_k)`, so
+    /// the table can be built directly from `v` without materializing a
+    /// dense `θ` copy per gradient step.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != self.dim()` or the sequence contains a
+    /// feature id `>= F`.
+    pub fn score_table_with_into(
+        &self,
+        seq: &Sequence,
+        weights: &[f64],
+        scale: f64,
+        out: &mut ScoreTable,
+    ) {
+        assert_eq!(
+            weights.len(),
+            self.dim(),
+            "weight vector has wrong dimension"
+        );
         let n = self.num_states;
         let t_len = seq.len();
         out.n = n;
@@ -207,7 +244,7 @@ impl Crf {
         out.emit.clear();
         out.emit.resize(t_len * n, 0.0);
         out.trans.clear();
-        let base_trans = &self.weights[..n * n];
+        let base_trans = &weights[..n * n];
         if t_len > 1 {
             out.trans.reserve((t_len - 1) * n * n);
             for _ in 1..t_len {
@@ -225,18 +262,26 @@ impl Crf {
                 );
                 let base = self.emit_index(f, 0);
                 for j in 0..n {
-                    emit_row[j] += self.weights[base + j];
+                    emit_row[j] += weights[base + j];
                 }
                 // Pair features contribute to the edge entering position t
                 // (they condition on y_{t-1}); position 0 has no such edge.
                 if t > 0 {
                     if let Some(pbase) = self.pair_index(f, 0, 0) {
                         let edge = &mut out.trans[(t - 1) * n * n..t * n * n];
-                        for (e, w) in edge.iter_mut().zip(&self.weights[pbase..pbase + n * n]) {
+                        for (e, w) in edge.iter_mut().zip(&weights[pbase..pbase + n * n]) {
                             *e += *w;
                         }
                     }
                 }
+            }
+        }
+        if scale != 1.0 {
+            for e in out.emit.iter_mut() {
+                *e *= scale;
+            }
+            for e in out.trans.iter_mut() {
+                *e *= scale;
             }
         }
     }
@@ -281,6 +326,26 @@ impl ScoreTable {
     pub fn trans_at(&self, t: usize) -> &[f64] {
         debug_assert!(t >= 1 && t < self.len);
         &self.trans[(t - 1) * self.n * self.n..t * self.n * self.n]
+    }
+
+    /// Unnormalized log-score of `labels` read off the materialized
+    /// potentials — equivalent to [`Crf::path_score`] but `O(T)` with no
+    /// per-feature work, for callers that already built the table.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != self.len` or a label is `>= n`.
+    pub fn path_score(&self, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), self.len, "label length mismatch");
+        let n = self.n;
+        let mut score = 0.0;
+        for (t, &j) in labels.iter().enumerate() {
+            assert!(j < n, "label out of range");
+            score += self.emit_at(t)[j];
+            if t > 0 {
+                score += self.trans_at(t)[labels[t - 1] * n + j];
+            }
+        }
+        score
     }
 }
 
@@ -370,6 +435,51 @@ mod tests {
         manual += table.trans_at(1)[2] + table.emit_at(1)[0];
         manual += table.trans_at(2)[1] + table.emit_at(2)[1];
         assert!((m.path_score(&seq, &labels) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_path_score_matches_crf_path_score() {
+        let mut m = tiny_crf();
+        let w: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.21).cos()).collect();
+        m.set_weights(w);
+        let seq = Sequence::new(vec![vec![0, 2], vec![1], vec![2], vec![]]);
+        let table = m.score_table(&seq);
+        for labels in [[0, 1, 0, 1], [1, 1, 1, 1], [0, 0, 1, 0]] {
+            assert!(
+                (table.path_score(&labels) - m.path_score(&seq, &labels)).abs() < 1e-12,
+                "labels {labels:?}"
+            );
+        }
+        assert_eq!(m.score_table(&Sequence::default()).path_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn copy_weights_from_matches_set_weights() {
+        let mut a = tiny_crf();
+        let mut b = tiny_crf();
+        let w: Vec<f64> = (0..a.dim()).map(|i| i as f64 * 0.5).collect();
+        a.set_weights(w.clone());
+        b.copy_weights_from(&w);
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn scaled_table_matches_scaled_weights() {
+        let mut m = tiny_crf();
+        let v: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.13).sin()).collect();
+        let scale = 0.37;
+        m.set_weights(v.iter().map(|x| x * scale).collect());
+        let seq = Sequence::new(vec![vec![0, 1], vec![2], vec![1, 2]]);
+        let want = m.score_table(&seq);
+        let mut got = ScoreTable::default();
+        m.score_table_with_into(&seq, &v, scale, &mut got);
+        assert_eq!(got.len, want.len);
+        for (a, b) in got.emit.iter().zip(&want.emit) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in got.trans.iter().zip(&want.trans) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -10,37 +10,107 @@
 //! ```
 //!
 //! The gradient (eq. 12 territory) is `expected - observed` feature counts,
-//! obtained from the forward–backward marginals. Both value and gradient
-//! are computed **in parallel across records** with crossbeam scoped
-//! threads, mirroring the paper's parallelized L-BFGS.
+//! obtained from the forward–backward marginals.
+//!
+//! Two implementations live here:
+//!
+//! * [`Objective`] — the production path, backed by
+//!   [`TrainEngine`](crate::engine::TrainEngine): persistent workers,
+//!   pooled scratch buffers, unique-line dedup, and observed counts
+//!   precomputed once. Steady-state evaluations are allocation-free.
+//! * [`NaiveObjective`] — the transparent reference implementation
+//!   (allocating inference per record, observed counts re-derived every
+//!   call, scoped threads re-spawned per evaluation). It is kept as the
+//!   oracle for the engine's equivalence tests and as the baseline of the
+//!   `crf_training` bench; don't optimize it.
 
+use crate::engine::TrainEngine;
 use crate::inference::{backward, edge_marginals, forward, node_marginals};
 use crate::model::Crf;
 use crate::sequence::Instance;
 
-/// Evaluates `f(θ)` and `∇f(θ)` over a training set.
-pub struct Objective<'a> {
+/// Evaluates `f(θ)` and `∇f(θ)` over a training set — engine-backed.
+#[derive(Debug)]
+pub struct Objective {
+    engine: TrainEngine,
+}
+
+impl Objective {
+    /// Create an objective.
+    ///
+    /// * `crf` — defines the model structure (state count, feature space,
+    ///   pair eligibility); its current weights are irrelevant because
+    ///   [`Objective::eval`] overwrites them.
+    /// * `data` — compiled into the engine's per-worker shards; the
+    ///   borrow ends when `new` returns.
+    /// * `l2` — L2 regularization strength λ (≥ 0).
+    /// * `threads` — worker count; `0` means use available parallelism.
+    pub fn new(crf: Crf, data: &[Instance], l2: f64, threads: usize) -> Self {
+        Objective {
+            engine: TrainEngine::new(crf, data, l2, threads),
+        }
+    }
+
+    /// Model dimensionality.
+    pub fn dim(&self) -> usize {
+        self.engine.dim()
+    }
+
+    /// Number of training records.
+    pub fn num_records(&self) -> usize {
+        self.engine.num_records()
+    }
+
+    /// The model structure (with whatever weights were last evaluated).
+    pub fn crf(&self) -> &Crf {
+        self.engine.crf()
+    }
+
+    /// Consume the objective, returning the CRF with weights `w`
+    /// installed (copied in place — no fresh `Vec<f64>`).
+    pub fn into_crf(self, w: &[f64]) -> Crf {
+        self.engine.take_crf(w)
+    }
+
+    /// Evaluate the objective value at `w`, writing `∇f(w)` into `grad`.
+    ///
+    /// Steady-state allocation-free; repeated calls at the same `w` are
+    /// bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `w.len()` or `grad.len()` differ from [`Objective::dim`].
+    pub fn eval(&mut self, w: &[f64], grad: &mut [f64]) -> f64 {
+        self.engine.eval(w, grad)
+    }
+
+    /// Log-likelihood (mean, unregularized) of the data at `w` without
+    /// computing a gradient. Used for reporting held-out likelihoods;
+    /// runs parallel over the engine's shards.
+    pub fn mean_log_likelihood(&mut self, w: &[f64]) -> f64 {
+        self.engine.mean_log_likelihood(w)
+    }
+}
+
+/// The reference implementation: correct, simple, slow. One allocating
+/// forward–backward per record, observed counts re-derived per call,
+/// scoped worker threads re-spawned per evaluation, and a full weight
+/// clone per install — exactly what [`TrainEngine`] optimizes away.
+pub struct NaiveObjective<'a> {
     crf: Crf,
     data: &'a [Instance],
     l2: f64,
     threads: usize,
 }
 
-impl<'a> Objective<'a> {
-    /// Create an objective.
-    ///
-    /// * `crf` — defines the model structure (state count, feature space,
-    ///   pair eligibility); its current weights are irrelevant because
-    ///   [`Objective::eval`] overwrites them.
-    /// * `l2` — L2 regularization strength λ (≥ 0).
-    /// * `threads` — worker count; `0` means use available parallelism.
+impl<'a> NaiveObjective<'a> {
+    /// Create a naive objective (same contract as [`Objective::new`]).
     pub fn new(crf: Crf, data: &'a [Instance], l2: f64, threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             threads
         };
-        Objective {
+        NaiveObjective {
             crf,
             data,
             l2,
@@ -53,26 +123,7 @@ impl<'a> Objective<'a> {
         self.crf.dim()
     }
 
-    /// Number of training records.
-    pub fn num_records(&self) -> usize {
-        self.data.len()
-    }
-
-    /// The model structure (with whatever weights were last evaluated).
-    pub fn crf(&self) -> &Crf {
-        &self.crf
-    }
-
-    /// Consume the objective, returning the CRF with weights `w` installed.
-    pub fn into_crf(mut self, w: &[f64]) -> Crf {
-        self.crf.set_weights(w.to_vec());
-        self.crf
-    }
-
     /// Evaluate the objective value at `w`, writing `∇f(w)` into `grad`.
-    ///
-    /// # Panics
-    /// Panics if `w.len()` or `grad.len()` differ from [`Objective::dim`].
     pub fn eval(&mut self, w: &[f64], grad: &mut [f64]) -> f64 {
         assert_eq!(w.len(), self.dim(), "weight dimension mismatch");
         assert_eq!(grad.len(), self.dim(), "gradient dimension mismatch");
@@ -118,8 +169,7 @@ impl<'a> Objective<'a> {
         -total_ll / r + 0.5 * self.l2 * w.iter().map(|x| x * x).sum::<f64>()
     }
 
-    /// Log-likelihood (mean, unregularized) of the data at `w` without
-    /// computing a gradient. Used for reporting held-out likelihoods.
+    /// Sequential, allocating mean log-likelihood.
     pub fn mean_log_likelihood(&mut self, w: &[f64]) -> f64 {
         self.crf.set_weights(w.to_vec());
         let crf = &self.crf;
@@ -278,6 +328,56 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_naive_oracle() {
+        let data: Vec<Instance> = (0..15)
+            .map(|r| {
+                let t = 1 + r % 4;
+                Instance::new(
+                    Sequence::new(
+                        (0..t)
+                            .map(|p| ((r + p) % 3..3).map(|f| f as u32).collect())
+                            .collect(),
+                    ),
+                    (0..t).map(|p| (r + 2 * p) % 2).collect(),
+                )
+            })
+            .collect();
+        let dim = Objective::new(toy_crf(), &data, 0.0, 1).dim();
+        let w: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.19).sin() * 0.4).collect();
+        for threads in [1, 3] {
+            let mut engine = Objective::new(toy_crf(), &data, 0.02, threads);
+            let mut naive = NaiveObjective::new(toy_crf(), &data, 0.02, 1);
+            let mut ge = vec![0.0; dim];
+            let mut gn = vec![0.0; dim];
+            let ve = engine.eval(&w, &mut ge);
+            let vn = naive.eval(&w, &mut gn);
+            assert!((ve - vn).abs() < 1e-9, "threads={threads}: {ve} vs {vn}");
+            for (a, b) in ge.iter().zip(&gn) {
+                assert!((a - b).abs() < 1e-9, "threads={threads}");
+            }
+            assert!((engine.mean_log_likelihood(&w) - naive.mean_log_likelihood(&w)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_evals_are_bit_identical() {
+        let data = toy_data();
+        for threads in [1, 2] {
+            let mut obj = Objective::new(toy_crf(), &data, 0.1, threads);
+            let dim = obj.dim();
+            let w: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).sin()).collect();
+            let mut g1 = vec![0.0; dim];
+            let mut g2 = vec![0.0; dim];
+            let v1 = obj.eval(&w, &mut g1);
+            let v2 = obj.eval(&w, &mut g2);
+            assert_eq!(v1.to_bits(), v2.to_bits(), "threads={threads}");
+            for (a, b) in g1.iter().zip(&g2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn l2_pulls_gradient_toward_weights() {
         let data = toy_data();
         let mut obj0 = Objective::new(toy_crf(), &data, 0.0, 1);
@@ -315,5 +415,15 @@ mod tests {
         let v = obj.eval(&w, &mut g);
         let ll = obj.mean_log_likelihood(&w);
         assert!((v + ll).abs() < 1e-10, "value is -mean ll when λ=0");
+    }
+
+    #[test]
+    fn into_crf_installs_weights() {
+        let data = toy_data();
+        let obj = Objective::new(toy_crf(), &data, 0.0, 2);
+        let dim = obj.dim();
+        let w: Vec<f64> = (0..dim).map(|i| i as f64).collect();
+        let crf = obj.into_crf(&w);
+        assert_eq!(crf.weights(), w.as_slice());
     }
 }

@@ -6,10 +6,14 @@
 //! gradients: only the features active in the current record (plus the
 //! `n²` transition block) are touched, and the L2 penalty is applied with
 //! the classic weight-scaling trick so each step costs `O(active)` instead
-//! of `O(d)`.
+//! of `O(d)`. The inference buffers (score table, α/β lattices, node/edge
+//! marginals) are allocated once per run and reused across every step,
+//! and the score table is built **directly from the scaled representation**
+//! (`θ = scale · v`, see [`Crf::score_table_with_into`]) so no dense `θ`
+//! copy is materialized per step.
 
-use crate::inference::{backward, edge_marginals, forward, node_marginals};
-use crate::model::Crf;
+use crate::inference::{backward_into, edge_marginals_into, forward_into, node_marginals_into};
+use crate::model::{Crf, ScoreTable};
 use crate::sequence::Instance;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -57,12 +61,19 @@ pub struct SgdReport {
 /// Train `crf` in place with SGD.
 pub fn train_sgd(crf: &mut Crf, data: &[Instance], cfg: &SgdConfig) -> SgdReport {
     let n = crf.num_states();
-    let dim = crf.dim();
     // Scale trick: true weights = scale * v.
     let mut scale = 1.0f64;
     let mut v = crf.weights().to_vec();
     let mut order: Vec<usize> = (0..data.len()).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+
+    // Inference buffers, reused across every gradient step.
+    let mut table = ScoreTable::default();
+    let mut alpha = Vec::new();
+    let mut beta = Vec::new();
+    let mut nm = Vec::new();
+    let mut em = Vec::new();
+    let mut tmp = Vec::new();
 
     let mut step = 0usize;
     let mut last_epoch_nll_sum = 0.0;
@@ -80,22 +91,15 @@ pub fn train_sgd(crf: &mut Crf, data: &[Instance], cfg: &SgdConfig) -> SgdReport
             let eta = cfg.eta0 / (1.0 + cfg.decay * step as f64);
             step += 1;
 
-            // Materialize current true weights into the model for the
-            // forward-backward pass. (Copy of the parameter vector; the
-            // sparse update below then edits `v` directly.)
-            {
-                let w = crf.weights_mut();
-                for (wi, &vi) in w.iter_mut().zip(&v) {
-                    *wi = scale * vi;
-                }
-            }
+            // Potentials straight from the scaled representation — no
+            // dense θ = scale·v copy per step.
             let seq = &inst.seq;
-            let table = crf.score_table(seq);
-            let fwd = forward(&table);
-            let beta = backward(&table);
-            let nm = node_marginals(&table, &fwd, &beta);
-            let em = edge_marginals(&table, &fwd, &beta);
-            nll_sum += fwd.log_z - crf.path_score(seq, &inst.labels);
+            crf.score_table_with_into(seq, &v, scale, &mut table);
+            let log_z = forward_into(&table, &mut alpha, &mut tmp);
+            backward_into(&table, &mut beta, &mut tmp);
+            node_marginals_into(&table, &alpha, log_z, &beta, &mut nm);
+            edge_marginals_into(&table, &alpha, log_z, &beta, &mut em);
+            nll_sum += log_z - table.path_score(&inst.labels);
             count += 1;
 
             // L2 shrink via the scale factor.
@@ -145,12 +149,10 @@ pub fn train_sgd(crf: &mut Crf, data: &[Instance], cfg: &SgdConfig) -> SgdReport
         }
     }
 
-    // Install final true weights.
-    let mut w = vec![0.0; dim];
-    for (wi, &vi) in w.iter_mut().zip(&v) {
+    // Install final true weights in place (the only O(d) pass per run).
+    for (wi, &vi) in crf.weights_mut().iter_mut().zip(&v) {
         *wi = scale * vi;
     }
-    crf.set_weights(w);
 
     SgdReport {
         epochs: cfg.epochs,

@@ -2,7 +2,11 @@
 //!
 //! Wraps the two optimizers behind one configuration type so callers
 //! (the WHOIS parser, the benches) can switch between the paper's L-BFGS
-//! and SGD without caring about their internals.
+//! and SGD without caring about their internals. The L-BFGS path
+//! evaluates its objective through the persistent
+//! [`crate::engine::TrainEngine`]: workers, interned line shards, and
+//! scratch lattices are built once per `train` call and reused across
+//! every optimizer iteration.
 
 use crate::lbfgs::{self, LbfgsConfig, StopReason};
 use crate::model::Crf;

@@ -1,0 +1,136 @@
+//! Property tests pinning [`whois_crf::TrainEngine`] (via the
+//! engine-backed [`whois_crf::Objective`]) to the transparent
+//! [`whois_crf::NaiveObjective`] oracle.
+//!
+//! The engine reorders work aggressively — unique-line dedup, per-shard
+//! accumulation, sparse observed-count subtraction — so the two paths
+//! share no code beyond the primitive DP kernels. Agreement within 1e-9
+//! across random model shapes, corpora (including empty and single-line
+//! records), worker counts, and L2 strengths is therefore strong
+//! evidence that the optimizations are semantics-preserving.
+
+use proptest::prelude::*;
+use whois_crf::{Crf, Instance, NaiveObjective, Objective, Sequence};
+
+const NUM_FEATURES: usize = 6;
+/// Fixed pair-eligibility mask: a mix of pair-eligible and emission-only
+/// features so both gradient blocks are exercised.
+const PAIR_MASK: [bool; NUM_FEATURES] = [true, false, true, false, true, false];
+
+/// Raw generated corpus: per record, per line, (feature ids, raw label).
+/// Labels are normalized mod `n` at build time so the strategy does not
+/// depend on the generated state count.
+type RawCorpus = Vec<Vec<(Vec<u32>, usize)>>;
+
+fn build_instances(raw: &RawCorpus, n: usize) -> Vec<Instance> {
+    raw.iter()
+        .map(|lines| {
+            let obs: Vec<Vec<u32>> = lines.iter().map(|(feats, _)| feats.clone()).collect();
+            let labels: Vec<usize> = lines.iter().map(|(_, raw)| raw % n).collect();
+            Instance::new(Sequence::new(obs), labels)
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random weight vector from a seed.
+fn weights_from_seed(dim: usize, seed: u64) -> Vec<f64> {
+    (0..dim)
+        .map(|i| (((i as f64) + 1.0) * ((seed % 997) as f64 + 1.0) * 0.618).sin() * 0.5)
+        .collect()
+}
+
+fn raw_corpus_strategy() -> impl Strategy<Value = RawCorpus> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0u32..NUM_FEATURES as u32, 0..4),
+                0usize..8,
+            ),
+            0..6, // includes empty and single-line records
+        ),
+        0..7, // includes the empty corpus
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine objective and gradient equal the naive oracle within 1e-9,
+    /// for every worker count, independent of L2 strength.
+    #[test]
+    fn engine_matches_naive_for_any_worker_count(
+        raw in raw_corpus_strategy(),
+        n in 2usize..=3,
+        threads in 1usize..=4,
+        l2_idx in 0usize..3,
+        seed in 0u64..10_000,
+    ) {
+        let l2 = [0.0, 0.1, 1.0][l2_idx];
+        let data = build_instances(&raw, n);
+        let crf = Crf::new(n, NUM_FEATURES, &PAIR_MASK);
+        let w = weights_from_seed(crf.dim(), seed);
+
+        let mut naive = NaiveObjective::new(crf.clone(), &data, l2, 1);
+        let mut engine = Objective::new(crf, &data, l2, threads);
+
+        let mut g_naive = vec![0.0; naive.dim()];
+        let mut g_engine = vec![0.0; engine.dim()];
+        let f_naive = naive.eval(&w, &mut g_naive);
+        let f_engine = engine.eval(&w, &mut g_engine);
+
+        prop_assert!(
+            (f_naive - f_engine).abs() < 1e-9,
+            "objective mismatch: naive {} vs engine {}", f_naive, f_engine
+        );
+        for (k, (a, b)) in g_naive.iter().zip(&g_engine).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-9,
+                "gradient[{}] mismatch: naive {} vs engine {}", k, a, b
+            );
+        }
+
+        let ll_naive = naive.mean_log_likelihood(&w);
+        let ll_engine = engine.mean_log_likelihood(&w);
+        prop_assert!(
+            (ll_naive - ll_engine).abs() < 1e-9,
+            "mean ll mismatch: naive {} vs engine {}", ll_naive, ll_engine
+        );
+    }
+
+    /// Repeated engine evaluations at the same weights are bit-identical:
+    /// shard partition, in-shard order, and reply merge order are all
+    /// fixed, so not even floating-point reassociation can vary between
+    /// calls.
+    #[test]
+    fn repeated_engine_evals_are_bit_identical(
+        raw in raw_corpus_strategy(),
+        n in 2usize..=3,
+        threads in 1usize..=4,
+        seed in 0u64..10_000,
+    ) {
+        let data = build_instances(&raw, n);
+        let crf = Crf::new(n, NUM_FEATURES, &PAIR_MASK);
+        let w = weights_from_seed(crf.dim(), seed);
+
+        let mut engine = Objective::new(crf, &data, 0.3, threads);
+        let mut g1 = vec![0.0; engine.dim()];
+        let mut g2 = vec![0.0; engine.dim()];
+        // Perturbed eval in between ensures scratch reuse can't leak
+        // state from one evaluation into the next.
+        let w_other = weights_from_seed(engine.dim(), seed ^ 0x5bd1e995);
+        let f1 = engine.eval(&w, &mut g1);
+        let _ = engine.eval(&w_other, &mut g2);
+        let f2 = engine.eval(&w, &mut g2);
+
+        prop_assert_eq!(f1.to_bits(), f2.to_bits(), "objective not bit-identical");
+        for (k, (a, b)) in g1.iter().zip(&g2).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "gradient[{}] not bit-identical: {} vs {}", k, a, b
+            );
+        }
+        let l1 = engine.mean_log_likelihood(&w);
+        let l2_ = engine.mean_log_likelihood(&w);
+        prop_assert_eq!(l1.to_bits(), l2_.to_bits(), "mean ll not bit-identical");
+    }
+}

@@ -97,10 +97,16 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
     }
 
     fn fit_weights(&mut self, examples: &[TrainExample<L>], cfg: &ParserConfig) {
+        // One annotation scratch across all examples: WHOIS corpora repeat
+        // the same line vocabulary heavily, so after the first few records
+        // the interner is warm and encoding stops allocating `String`s.
+        let mut scratch = whois_tokenize::AnnotateScratch::new();
         let instances: Vec<Instance> = examples
             .iter()
             .map(|e| {
-                let seq = self.encoder.encode_text(&e.text);
+                let seq = self
+                    .encoder
+                    .encode_text_with(&e.text, &mut scratch, Vec::new());
                 assert_eq!(
                     seq.len(),
                     e.labels.len(),
