@@ -1,0 +1,233 @@
+//! The parse *service* against the raw parse engine: what does serving
+//! over loopback TCP cost, and what does the result cache buy back?
+//!
+//! Three measured paths, all over the same test corpus:
+//!
+//! - `uncached_engine`: `ParseEngine::parse_batch` in-process — the
+//!   library ceiling, no wire, no cache.
+//! - `service cold`: every request is a cache miss (first sweep).
+//! - `service warm`: every request is a cache hit (repeat sweeps) — the
+//!   steady state for the repeated-domain workloads WHOIS consumers
+//!   actually run (abuse pipelines re-checking the same zones).
+//!
+//! Besides criterion timings, writes `results/BENCH_parse_service.json`
+//! with cold/warm records/sec at 1/2/4 service workers, the measured
+//! cache-hit rate over the repeated corpus, and the warm speedup over
+//! the uncached engine. `WHOIS_BENCH_SMOKE=1` swaps in a seconds-long
+//! correctness check (byte-identical replies, exact hit accounting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Instant;
+use whois_bench::*;
+use whois_model::RawRecord;
+use whois_parser::{ParseEngine, ParserConfig, WhoisParser};
+use whois_serve::{
+    ModelRegistry, ParseRequest, ParseService, Reply, Request, ServeClient, ServeConfig,
+};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Total sweeps over the corpus in the summary run: 1 cold + 9 warm,
+/// so the steady-state hit rate lands at 90%.
+const SWEEPS: usize = 10;
+
+fn setup(train_docs: usize, test_docs: usize) -> (WhoisParser, Vec<RawRecord>) {
+    let train = corpus(13, train_docs);
+    let test = corpus(29, test_docs);
+    let parser = WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    );
+    (parser, test.iter().map(|d| d.raw()).collect())
+}
+
+/// Pre-encoded `PARSE` request lines for the corpus.
+fn request_lines(raws: &[RawRecord]) -> Vec<String> {
+    raws.iter()
+        .map(|r| {
+            Request::Parse(ParseRequest {
+                domain: r.domain.clone(),
+                text: r.text.clone(),
+            })
+            .encode()
+        })
+        .collect()
+}
+
+fn start_service(parser: WhoisParser, workers: usize) -> ParseService {
+    let registry = Arc::new(ModelRegistry::new(parser, "bench", 1));
+    ParseService::start(
+        registry,
+        ServeConfig {
+            workers,
+            queue_capacity: 512,
+            cache_capacity: 1 << 16,
+            ..Default::default()
+        },
+        0,
+    )
+    .expect("start bench service")
+}
+
+/// One sweep: every request line once, fanned over `conns` connections.
+/// Returns wall-clock records/sec.
+fn sweep(addr: std::net::SocketAddr, lines: &Arc<Vec<String>>, conns: usize) -> f64 {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let lines = lines.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                for line in lines.iter().skip(c).step_by(conns) {
+                    let reply = client.request_line(line).expect("reply");
+                    assert!(reply.starts_with("{\"ok\":true"), "{reply}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    lines.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness, not speed — cached replies are
+/// byte-identical to uncached ones and hit accounting is exact.
+fn smoke() {
+    let (parser, raws) = setup(60, 40);
+    let service = start_service(parser, 1);
+    let lines = request_lines(&raws);
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    let first: Vec<String> = lines
+        .iter()
+        .map(|l| client.request_line(l).unwrap())
+        .collect();
+    let second: Vec<String> = lines
+        .iter()
+        .map(|l| client.request_line(l).unwrap())
+        .collect();
+    assert_eq!(
+        first, second,
+        "smoke: cached replies must be byte-identical"
+    );
+    for line in &first {
+        let reply = Reply::decode(line).unwrap();
+        assert!(reply.ok && reply.record.is_some());
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_misses, raws.len() as u64);
+    assert_eq!(stats.cache_hits, raws.len() as u64);
+    assert_eq!(
+        stats.parses,
+        raws.len() as u64,
+        "smoke: hits must not re-parse"
+    );
+    eprintln!(
+        "[parse_service] smoke ok: {} records, hit rate {:.2}, byte-identical replies",
+        raws.len(),
+        stats.cache_hit_rate
+    );
+}
+
+fn bench_parse_service(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let (parser, raws) = setup(300, 200);
+    let lines = Arc::new(request_lines(&raws));
+
+    let mut group = c.benchmark_group("parse_service");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raws.len() as u64));
+    group.bench_function("uncached_engine", |b| {
+        let engine = ParseEngine::with_workers(parser.clone(), 1);
+        b.iter(|| engine.parse_batch(&raws).len())
+    });
+    for workers in WORKER_COUNTS {
+        let service = start_service(parser.clone(), workers);
+        let conns = workers.max(2);
+        // Prime the cache so the criterion loop measures the warm path.
+        sweep(service.addr(), &lines, conns);
+        group.bench_function(BenchmarkId::new("service_warm", workers), |b| {
+            b.iter(|| sweep(service.addr(), &lines, conns))
+        });
+    }
+    group.finish();
+
+    write_summary(&parser, &raws, &lines);
+}
+
+/// Best-of-3 wall-clock records/sec for one run of `f`.
+fn best_rate(records: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary(parser: &WhoisParser, raws: &[RawRecord], lines: &Arc<Vec<String>>) {
+    let engine = ParseEngine::with_workers(parser.clone(), 1);
+    let uncached = best_rate(raws.len(), || {
+        criterion::black_box(engine.parse_batch(raws));
+    });
+
+    let mut entries = String::new();
+    for workers in WORKER_COUNTS {
+        let service = start_service(parser.clone(), workers);
+        let conns = workers.max(2);
+        let mut cold = 0.0;
+        let mut warm = 0.0f64;
+        for s in 0..SWEEPS {
+            let rate = sweep(service.addr(), lines, conns);
+            if s == 0 {
+                cold = rate;
+            } else {
+                warm = warm.max(rate);
+            }
+        }
+        let mut client = ServeClient::connect(service.addr()).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(
+            stats.parses,
+            raws.len() as u64,
+            "only the cold sweep parses"
+        );
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"workers\": {workers}, \"cold_records_per_sec\": {cold:.1}, \
+             \"warm_records_per_sec\": {warm:.1}, \"hit_rate\": {:.4}, \
+             \"warm_speedup_vs_uncached\": {:.3}}}",
+            stats.cache_hit_rate,
+            warm / uncached
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"parse_service\",\n  \"records\": {},\n  \"sweeps\": {SWEEPS},\n  \
+         \"available_cores\": {cores},\n  \"uncached_engine_records_per_sec\": {uncached:.1},\n  \
+         \"service\": [\n{entries}\n  ]\n}}\n",
+        raws.len()
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_parse_service.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[parse_service] summary written to {path}"),
+        Err(e) => eprintln!("[parse_service] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_parse_service);
+criterion_main!(benches);

@@ -39,7 +39,7 @@ pub mod store;
 pub use client::WhoisClient;
 pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
 pub use fault::FaultConfig;
-pub use limiter::{RateLimitConfig, RateLimiter};
+pub use limiter::{KeyedRateLimiter, RateLimitConfig, RateLimiter};
 pub use pipeline::{crawl_parse_survey, PipelineReport};
-pub use server::{ServerConfig, ServerHandle, WhoisServer};
+pub use server::{ServerConfig, ServerHandle, ShutdownReport, WhoisServer};
 pub use store::{InMemoryStore, RecordStore};

@@ -3,8 +3,14 @@
 //! Models the server-side behaviour the paper's crawler had to infer:
 //! a burst budget that refills over time, and a penalty period after the
 //! budget is exhausted during which *every* query is refused ("queries
-//! can then resume after a penalty period is over", §4.1).
+//! can then resume after a penalty period is over", §4.1). The paper's
+//! servers key the limit on the querying source IP ("once a given source
+//! IP has issued more queries … than its limit"); [`KeyedRateLimiter`]
+//! models exactly that — one independent bucket per key, plus an
+//! optional global cap across all keys.
 
+use std::collections::HashMap;
+use std::hash::Hash;
 use std::time::{Duration, Instant};
 
 /// Rate-limiter parameters.
@@ -93,6 +99,103 @@ impl RateLimiter {
     pub fn in_penalty(&self, now: Instant) -> bool {
         self.penalty_until.is_some_and(|until| now < until)
     }
+
+    /// Whether the bucket is effectively idle at `now`: full (after
+    /// refill) and outside any penalty window. Idle buckets carry no
+    /// state worth keeping.
+    fn is_idle(&self, now: Instant) -> bool {
+        if self.in_penalty(now) {
+            return false;
+        }
+        if !self.cfg.per_second.is_finite() {
+            return true;
+        }
+        let refilled = self.tokens
+            + now
+                .saturating_duration_since(self.last_refill)
+                .as_secs_f64()
+                * self.cfg.per_second;
+        refilled >= self.cfg.burst as f64
+    }
+}
+
+/// Soft cap on tracked keys: beyond this, idle buckets are pruned on
+/// insert so a crawl touching many source addresses cannot grow the map
+/// without bound.
+const PRUNE_THRESHOLD: usize = 4096;
+
+/// Per-key token-bucket rate limiting — the paper's per-source-IP
+/// server behaviour — with an optional global cap shared by all keys.
+///
+/// Admission order: the global bucket (when configured) is consulted
+/// first, so a refused query never consumes the key's own tokens; a
+/// query admitted globally but refused per-key does consume a global
+/// token (the server did spend work deciding).
+#[derive(Clone, Debug)]
+pub struct KeyedRateLimiter<K: Hash + Eq + Clone> {
+    per_key: RateLimitConfig,
+    global: Option<RateLimiter>,
+    buckets: HashMap<K, RateLimiter>,
+    /// Total queries refused across all keys (stats).
+    pub refused: u64,
+}
+
+impl<K: Hash + Eq + Clone> KeyedRateLimiter<K> {
+    /// Per-key limiting only (no global cap).
+    pub fn new(per_key: RateLimitConfig) -> Self {
+        KeyedRateLimiter {
+            per_key,
+            global: None,
+            buckets: HashMap::new(),
+            refused: 0,
+        }
+    }
+
+    /// Per-key limiting under a global cap across all keys.
+    pub fn with_global_cap(per_key: RateLimitConfig, global: RateLimitConfig) -> Self {
+        KeyedRateLimiter {
+            global: Some(RateLimiter::new(global)),
+            ..Self::new(per_key)
+        }
+    }
+
+    /// Try to admit one query from `key` at time `now`.
+    pub fn allow_at(&mut self, key: &K, now: Instant) -> bool {
+        if let Some(global) = &mut self.global {
+            if !global.allow_at(now) {
+                self.refused += 1;
+                return false;
+            }
+        }
+        if self.buckets.len() >= PRUNE_THRESHOLD && !self.buckets.contains_key(key) {
+            self.buckets.retain(|_, b| !b.is_idle(now));
+        }
+        let per_key = self.per_key;
+        let bucket = self
+            .buckets
+            .entry(key.clone())
+            .or_insert_with(|| RateLimiter::new(per_key));
+        let admitted = bucket.allow_at(now);
+        if !admitted {
+            self.refused += 1;
+        }
+        admitted
+    }
+
+    /// Try to admit one query from `key` now.
+    pub fn allow(&mut self, key: &K) -> bool {
+        self.allow_at(key, Instant::now())
+    }
+
+    /// Whether `key` is currently in its penalty window.
+    pub fn in_penalty(&self, key: &K, now: Instant) -> bool {
+        self.buckets.get(key).is_some_and(|b| b.in_penalty(now))
+    }
+
+    /// Number of keys with live bucket state.
+    pub fn tracked_keys(&self) -> usize {
+        self.buckets.len()
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +253,59 @@ mod tests {
             assert!(l.allow_at(t0 + Duration::from_nanos(i)));
         }
         assert_eq!(l.refused, 0);
+    }
+
+    #[test]
+    fn keyed_buckets_are_independent() {
+        let mut l: KeyedRateLimiter<&str> = KeyedRateLimiter::new(cfg(2, 0.0, 0));
+        let t0 = Instant::now();
+        assert!(l.allow_at(&"a", t0));
+        assert!(l.allow_at(&"a", t0));
+        assert!(!l.allow_at(&"a", t0), "a exhausted its own burst");
+        // A different key still has its full burst.
+        assert!(l.allow_at(&"b", t0));
+        assert!(l.allow_at(&"b", t0));
+        assert!(!l.allow_at(&"b", t0));
+        assert_eq!(l.refused, 2);
+        assert_eq!(l.tracked_keys(), 2);
+    }
+
+    #[test]
+    fn keyed_penalty_is_per_key() {
+        let mut l: KeyedRateLimiter<u32> = KeyedRateLimiter::new(cfg(1, 1000.0, 500));
+        let t0 = Instant::now();
+        assert!(l.allow_at(&1, t0));
+        assert!(!l.allow_at(&1, t0), "key 1 enters penalty");
+        assert!(l.in_penalty(&1, t0 + Duration::from_millis(10)));
+        assert!(!l.in_penalty(&2, t0 + Duration::from_millis(10)));
+        assert!(l.allow_at(&2, t0 + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn global_cap_refuses_across_keys() {
+        let mut l: KeyedRateLimiter<u32> =
+            KeyedRateLimiter::with_global_cap(RateLimitConfig::unlimited(), cfg(3, 0.0, 0));
+        let t0 = Instant::now();
+        assert!(l.allow_at(&1, t0));
+        assert!(l.allow_at(&2, t0));
+        assert!(l.allow_at(&3, t0));
+        // Fourth query refused globally even though key 4 is fresh.
+        assert!(!l.allow_at(&4, t0));
+        assert_eq!(l.refused, 1);
+    }
+
+    #[test]
+    fn idle_buckets_are_pruned_beyond_threshold() {
+        let mut l: KeyedRateLimiter<usize> = KeyedRateLimiter::new(cfg(4, 1000.0, 0));
+        let t0 = Instant::now();
+        for k in 0..PRUNE_THRESHOLD {
+            assert!(l.allow_at(&k, t0));
+        }
+        assert_eq!(l.tracked_keys(), PRUNE_THRESHOLD);
+        // Much later every bucket has refilled; a new key triggers a prune.
+        let later = t0 + Duration::from_secs(60);
+        assert!(l.allow_at(&PRUNE_THRESHOLD, later));
+        assert_eq!(l.tracked_keys(), 1);
     }
 
     #[test]

@@ -19,13 +19,15 @@ pub fn encode_query(domain: &str) -> Bytes {
     buf.freeze()
 }
 
-/// Incrementally parse a query line out of `buf`.
+/// Incrementally parse one CRLF- (or bare-LF-) terminated line out of
+/// `buf`, with a `max_len` cap on the unterminated prefix.
 ///
-/// Returns `Ok(Some(query))` once a full CRLF- (or bare-LF-) terminated
-/// line is present, `Ok(None)` if more bytes are needed, and `Err` if the
-/// line exceeds [`MAX_QUERY_LEN`] or contains non-ASCII bytes (RFC 3912
-/// carries ASCII queries).
-pub fn decode_query(buf: &mut BytesMut) -> Result<Option<String>, QueryError> {
+/// The shared framing primitive: [`decode_query`] layers the RFC 3912
+/// ASCII restriction on top for WHOIS queries, while `whois-serve` uses
+/// it directly for its line-delimited request protocol (JSON payloads
+/// are UTF-8). Returns `Ok(Some(line))` (trimmed) once a full line is
+/// present, `Ok(None)` if more bytes are needed.
+pub fn decode_line(buf: &mut BytesMut, max_len: usize) -> Result<Option<String>, QueryError> {
     if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
         let line = buf.split_to(pos + 1);
         let mut end = line.len() - 1;
@@ -33,25 +35,37 @@ pub fn decode_query(buf: &mut BytesMut) -> Result<Option<String>, QueryError> {
             end -= 1;
         }
         let bytes = &line[..end];
-        if !bytes.is_ascii() {
-            return Err(QueryError::NotAscii);
-        }
-        let s = std::str::from_utf8(bytes).expect("ascii is utf8").trim();
-        return Ok(Some(s.to_string()));
+        let s = std::str::from_utf8(bytes).map_err(|_| QueryError::NotUtf8)?;
+        return Ok(Some(s.trim().to_string()));
     }
-    if buf.len() > MAX_QUERY_LEN {
+    if buf.len() > max_len {
         return Err(QueryError::TooLong);
     }
     Ok(None)
 }
 
+/// Incrementally parse a query line out of `buf`.
+///
+/// Returns `Ok(Some(query))` once a full CRLF- (or bare-LF-) terminated
+/// line is present, `Ok(None)` if more bytes are needed, and `Err` if the
+/// line exceeds [`MAX_QUERY_LEN`] or contains non-ASCII bytes (RFC 3912
+/// carries ASCII queries).
+pub fn decode_query(buf: &mut BytesMut) -> Result<Option<String>, QueryError> {
+    match decode_line(buf, MAX_QUERY_LEN)? {
+        Some(s) if !s.is_ascii() => Err(QueryError::NotAscii),
+        other => Ok(other),
+    }
+}
+
 /// Errors while decoding a query line.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
-    /// No terminator within [`MAX_QUERY_LEN`] bytes.
+    /// No terminator within the length cap.
     TooLong,
     /// The query contained non-ASCII bytes.
     NotAscii,
+    /// The line was not valid UTF-8.
+    NotUtf8,
 }
 
 impl std::fmt::Display for QueryError {
@@ -59,6 +73,7 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::TooLong => write!(f, "query line too long"),
             QueryError::NotAscii => write!(f, "query contains non-ascii bytes"),
+            QueryError::NotUtf8 => write!(f, "line is not valid utf-8"),
         }
     }
 }

@@ -6,23 +6,26 @@
 //! accept loop. Rate limiting and fault injection run per request.
 
 use crate::fault::{Fate, FaultConfig, FaultInjector};
-use crate::limiter::{RateLimitConfig, RateLimiter};
+use crate::limiter::{KeyedRateLimiter, RateLimitConfig};
 use crate::proto;
 use crate::store::RecordStore;
 use bytes::BytesMut;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Rate limiting applied across all clients (the paper's servers
-    /// limited per source IP; with one loopback client the two coincide).
+    /// Rate limiting keyed per source IP, as the paper describes ("once
+    /// a given source IP has issued more queries … than its limit").
     pub rate_limit: RateLimitConfig,
+    /// Optional global cap shared by all source IPs on top of the
+    /// per-IP limit (a server's total capacity).
+    pub global_limit: Option<RateLimitConfig>,
     /// Fault injection.
     pub faults: FaultConfig,
     /// Fault-injection seed.
@@ -32,16 +35,21 @@ pub struct ServerConfig {
     pub limit_replies_error: bool,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// How long [`shutdown`](WhoisServer::shutdown) waits for in-flight
+    /// connections to drain before declaring them aborted.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             rate_limit: RateLimitConfig::unlimited(),
+            global_limit: None,
             faults: FaultConfig::none(),
             fault_seed: 0,
             limit_replies_error: true,
             read_timeout: Duration::from_secs(2),
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -61,19 +69,78 @@ pub struct ServerStats {
     pub faulted: AtomicU64,
 }
 
+/// What [`WhoisServer::shutdown`] (or [`ServerHandle::shutdown`])
+/// observed while stopping: how many in-flight connections completed
+/// during the drain window versus how many were still running when the
+/// window expired and were abandoned to their read timeouts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Connections in flight at the shutdown signal that completed
+    /// within the drain window.
+    pub drained: u64,
+    /// Connections still running when the drain window expired.
+    pub aborted: u64,
+}
+
+/// State shared between the server, its handle, and connection threads.
+#[derive(Debug, Default)]
+struct Lifecycle {
+    shutdown: AtomicBool,
+    /// Connections currently being handled.
+    active: AtomicU64,
+    /// Connections that completed after the shutdown signal.
+    drained: AtomicU64,
+}
+
 /// A WHOIS server bound to an ephemeral loopback port.
 pub struct WhoisServer {
     addr: SocketAddr,
     stats: Arc<ServerStats>,
-    shutdown: Arc<AtomicBool>,
+    lifecycle: Arc<Lifecycle>,
+    drain_timeout: Duration,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
-/// Cheap handle for queries against a running server.
+/// Cheap handle for queries — and shutdown — against a running server.
 #[derive(Clone, Debug)]
 pub struct ServerHandle {
     /// The bound address.
     pub addr: SocketAddr,
+    lifecycle: Arc<Lifecycle>,
+    drain_timeout: Duration,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and wait up to the server's drain timeout for
+    /// in-flight connections to finish, reporting how many drained
+    /// versus how many had to be abandoned. Idempotent; a second call
+    /// reports whatever remains.
+    pub fn shutdown(&self) -> ShutdownReport {
+        self.lifecycle.shutdown.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + self.drain_timeout;
+        let baseline = self.lifecycle.drained.load(Ordering::SeqCst);
+        while self.lifecycle.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ShutdownReport {
+            drained: self.lifecycle.drained.load(Ordering::SeqCst) - baseline,
+            aborted: self.lifecycle.active.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Decrements the active-connection gauge (and counts the connection as
+/// drained when it outlived the shutdown signal) even if the handler
+/// errors out.
+struct ConnectionGuard<'a>(&'a Lifecycle);
+
+impl Drop for ConnectionGuard<'_> {
+    fn drop(&mut self) {
+        if self.0.shutdown.load(Ordering::SeqCst) {
+            self.0.drained.fetch_add(1, Ordering::SeqCst);
+        }
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl WhoisServer {
@@ -83,32 +150,44 @@ impl WhoisServer {
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stats = Arc::new(ServerStats::default());
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let lifecycle = Arc::new(Lifecycle::default());
+        let drain_timeout = cfg.drain_timeout;
         let store = Arc::new(store);
-        let limiter = Arc::new(Mutex::new(RateLimiter::new(cfg.rate_limit)));
+        let limiter = match cfg.global_limit {
+            Some(global) => KeyedRateLimiter::with_global_cap(cfg.rate_limit, global),
+            None => KeyedRateLimiter::new(cfg.rate_limit),
+        };
+        let limiter = Arc::new(Mutex::new(limiter));
         let injector = Arc::new(Mutex::new(FaultInjector::new(cfg.faults, cfg.fault_seed)));
 
         let accept_stats = stats.clone();
-        let accept_shutdown = shutdown.clone();
+        let accept_lifecycle = lifecycle.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("whois-server-{}", addr.port()))
             .spawn(move || {
-                let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-                while !accept_shutdown.load(Ordering::Relaxed) {
+                while !accept_lifecycle.shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
+                        Ok((stream, peer)) => {
                             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+                            accept_lifecycle.active.fetch_add(1, Ordering::SeqCst);
                             let store = store.clone();
                             let stats = accept_stats.clone();
+                            let lifecycle = accept_lifecycle.clone();
                             let limiter = limiter.clone();
                             let injector = injector.clone();
                             let cfg = cfg.clone();
-                            workers.retain(|h| !h.is_finished());
-                            workers.push(std::thread::spawn(move || {
+                            std::thread::spawn(move || {
+                                let _guard = ConnectionGuard(&lifecycle);
                                 let _ = handle_connection(
-                                    stream, &*store, &stats, &limiter, &injector, &cfg,
+                                    stream,
+                                    peer.ip(),
+                                    &*store,
+                                    &stats,
+                                    &limiter,
+                                    &injector,
+                                    &cfg,
                                 );
-                            }));
+                            });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(1));
@@ -116,16 +195,14 @@ impl WhoisServer {
                         Err(_) => break,
                     }
                 }
-                for h in workers {
-                    let _ = h.join();
-                }
             })
             .expect("spawn accept thread");
 
         Ok(WhoisServer {
             addr,
             stats,
-            shutdown,
+            lifecycle,
+            drain_timeout,
             accept_thread: Some(accept_thread),
         })
     }
@@ -137,29 +214,41 @@ impl WhoisServer {
 
     /// A cloneable handle.
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { addr: self.addr }
+        ServerHandle {
+            addr: self.addr,
+            lifecycle: self.lifecycle.clone(),
+            drain_timeout: self.drain_timeout,
+        }
     }
 
     /// Server-side counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
     }
+
+    /// Stop accepting, drain in-flight connections (bounded by the
+    /// configured drain timeout), and report drained-vs-aborted counts.
+    pub fn shutdown(&mut self) -> ShutdownReport {
+        let report = self.handle().shutdown();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        report
+    }
 }
 
 impl Drop for WhoisServer {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
 fn handle_connection<S: RecordStore>(
     mut stream: TcpStream,
+    peer: IpAddr,
     store: &S,
     stats: &ServerStats,
-    limiter: &Mutex<RateLimiter>,
+    limiter: &Mutex<KeyedRateLimiter<IpAddr>>,
     injector: &Mutex<FaultInjector>,
     cfg: &ServerConfig,
 ) -> std::io::Result<()> {
@@ -182,8 +271,8 @@ fn handle_connection<S: RecordStore>(
         buf.extend_from_slice(&chunk[..n]);
     };
 
-    // Rate limiting.
-    if !limiter.lock().allow() {
+    // Rate limiting, keyed on the peer's source IP.
+    if !limiter.lock().allow(&peer) {
         stats.rate_limited.fetch_add(1, Ordering::Relaxed);
         if cfg.limit_replies_error {
             let _ = stream.write_all(b"Error: rate limit exceeded; try again later\r\n");
@@ -321,6 +410,54 @@ mod tests {
             assert!(h.join().unwrap().contains("EXAMPLE.COM"));
         }
         assert_eq!(server.stats().connections.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn shutdown_with_no_connections_reports_zero() {
+        let mut server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report, ShutdownReport::default());
+    }
+
+    #[test]
+    fn shutdown_counts_drained_connections() {
+        let mut server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        // A connection that stalls mid-query, then completes during the
+        // drain window.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"example").unwrap();
+        std::thread::sleep(Duration::from_millis(30)); // let the server accept
+        let finisher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            stream.write_all(b".com\r\n").unwrap();
+            let mut body = String::new();
+            let _ = stream.read_to_string(&mut body);
+            body
+        });
+        let report = server.shutdown();
+        assert_eq!(report.drained, 1, "{report:?}");
+        assert_eq!(report.aborted, 0, "{report:?}");
+        assert!(finisher.join().unwrap().contains("EXAMPLE.COM"));
+    }
+
+    #[test]
+    fn shutdown_counts_aborted_connections() {
+        let cfg = ServerConfig {
+            drain_timeout: Duration::from_millis(40),
+            ..Default::default()
+        };
+        let mut server = WhoisServer::start(store(), cfg).unwrap();
+        let addr = server.addr();
+        // A connection that never completes its query: it outlives the
+        // drain window and is abandoned to its read timeout.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"stuck").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        let report = server.shutdown();
+        assert_eq!(report.drained, 0, "{report:?}");
+        assert_eq!(report.aborted, 1, "{report:?}");
+        drop(stream);
     }
 
     #[test]

@@ -137,6 +137,23 @@ impl ParseEngine {
         self.parser
     }
 
+    /// Pre-populate the scratch pool with `n` scratches so the first
+    /// requests of a long-running service don't pay the cold-start
+    /// allocations. Buffers still grow to their high-water marks on
+    /// first use; warming just guarantees `n` concurrent callers find a
+    /// scratch to check out.
+    pub fn warm(&self, n: usize) {
+        let mut pool = self.pool.lock();
+        while pool.len() < n {
+            pool.push(ParseScratch::new());
+        }
+    }
+
+    /// Scratches currently checked in (pool size).
+    pub fn pooled_scratches(&self) -> usize {
+        self.pool.lock().len()
+    }
+
     fn checkout(&self) -> ParseScratch {
         self.pool.lock().pop().unwrap_or_default()
     }
@@ -284,6 +301,20 @@ mod tests {
         assert_eq!(stats.registrant_blocks, want_reg);
         assert!(stats.records_per_sec() > 0.0);
         assert!(stats.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn warm_populates_pool_and_parsing_reuses_it() {
+        let (engine, test) = trained_engine(2);
+        engine.warm(3);
+        assert_eq!(engine.pooled_scratches(), 3);
+        let raw = test[0].raw();
+        let _ = engine.parse_one(&raw);
+        // Checked out and back in: pool size unchanged.
+        assert_eq!(engine.pooled_scratches(), 3);
+        // Warming never shrinks the pool.
+        engine.warm(1);
+        assert_eq!(engine.pooled_scratches(), 3);
     }
 
     #[test]

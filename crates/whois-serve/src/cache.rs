@@ -1,0 +1,338 @@
+//! Sharded, capacity-bounded LRU cache over parse results.
+//!
+//! The serving insight (WHOIS Right?, Fernandez et al. 2024; §5 of the
+//! source paper): registrars render records from a handful of templates,
+//! so a serving workload sees the same record body over and over. The
+//! cache keys on a 64-bit FNV-1a hash of the *normalized* body (plus the
+//! queried domain, which the parse output embeds, and the active model
+//! generation, so a hot-swapped model can never serve a stale parse —
+//! entries from old generations simply stop being referenced and age out
+//! of the LRU).
+//!
+//! Values are the fully serialized reply lines ([`Arc<String>`]), so a
+//! cache hit skips tokenization, inference, extraction *and*
+//! serialization, and a cached reply is byte-identical to the uncached
+//! one by construction.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Slot sentinel for the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Cache key for one (model generation, domain, record body) triple.
+///
+/// The body is normalized line-by-line without allocating: line endings
+/// (`\r\n` vs `\n`) are unified, trailing whitespace is dropped, and
+/// leading/trailing blank lines are ignored — the differences WHOIS
+/// transports introduce between byte-wise different but semantically
+/// identical bodies. The domain is lower-cased to match
+/// [`RawRecord::new`](whois_model::RawRecord::new) and the generation is
+/// mixed in so a model swap invalidates every prior entry without any
+/// coordination.
+pub fn cache_key(generation: u64, domain: &str, body: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&generation.to_le_bytes());
+    for b in domain.bytes() {
+        h.write(&[b.to_ascii_lowercase()]);
+    }
+    h.write(&[0xff]); // domain/body separator outside both alphabets
+    let mut pending_blank = 0usize;
+    let mut seen_content = false;
+    for line in body.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            pending_blank += 1;
+            continue;
+        }
+        if seen_content {
+            // Interior blank runs are structure (block separators): keep
+            // their count, normalized to the run length.
+            for _ in 0..pending_blank {
+                h.write(b"\n");
+            }
+        }
+        pending_blank = 0;
+        seen_content = true;
+        h.write(trimmed.as_bytes());
+        h.write(b"\n");
+    }
+    h.0
+}
+
+/// One LRU node in a shard's slab.
+struct Entry {
+    key: u64,
+    value: Arc<String>,
+    prev: usize,
+    next: usize,
+}
+
+/// A single LRU shard: hash map into a slab with an intrusive
+/// most-recently-used list, O(1) get/insert/evict.
+struct Shard {
+    map: HashMap<u64, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<String>> {
+        let &idx = self.map.get(&key)?;
+        if idx != self.head {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+        Some(self.slab[idx].value.clone())
+    }
+
+    fn insert(&mut self, key: u64, value: Arc<String>) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slab[idx].value = value;
+            if idx != self.head {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Entry {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// The sharded cache: keys are spread across independently locked LRU
+/// shards so parse workers don't serialize on one mutex.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl ShardedCache {
+    /// `capacity` total entries spread over `shards` shards (both
+    /// clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(shards).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // High bits pick the shard; low bits drive the in-shard map, so
+        // the two uses of the hash stay decorrelated.
+        &self.shards[(key >> 32) as usize % self.shards.len()]
+    }
+
+    /// Look up a cached reply, promoting it to most-recently-used.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        self.shard(key).lock().get(key)
+    }
+
+    /// Insert (or refresh) a cached reply.
+    pub fn insert(&self, key: u64, value: Arc<String>) {
+        self.shard(key).lock().insert(key, value);
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (used by operators; model swaps don't need it —
+    /// the generation in the key already fences old entries off).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn normalization_ignores_transport_noise() {
+        let a = cache_key(0, "example.com", "Domain Name: X\r\nRegistrar: Y\r\n");
+        let b = cache_key(0, "example.com", "Domain Name: X\nRegistrar: Y");
+        let c = cache_key(0, "EXAMPLE.COM", "Domain Name: X   \nRegistrar: Y\n\n\n");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn normalization_keeps_meaningful_differences() {
+        let base = cache_key(0, "example.com", "Domain Name: X\nRegistrar: Y\n");
+        assert_ne!(
+            base,
+            cache_key(0, "example.com", "Domain Name: X\nRegistrar: Z\n"),
+            "different body"
+        );
+        assert_ne!(
+            base,
+            cache_key(0, "other.com", "Domain Name: X\nRegistrar: Y\n"),
+            "different domain"
+        );
+        assert_ne!(
+            base,
+            cache_key(1, "example.com", "Domain Name: X\nRegistrar: Y\n"),
+            "different model generation"
+        );
+        // An interior blank line separates blocks; its presence matters.
+        assert_ne!(
+            base,
+            cache_key(0, "example.com", "Domain Name: X\n\nRegistrar: Y\n"),
+            "interior blank line"
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ShardedCache::new(2, 1);
+        cache.insert(1, v("one"));
+        cache.insert(2, v("two"));
+        assert_eq!(cache.get(1).as_deref().map(|s| s.as_str()), Some("one"));
+        // Key 2 is now LRU; inserting key 3 evicts it.
+        cache.insert(3, v("three"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let cache = ShardedCache::new(2, 1);
+        cache.insert(1, v("one"));
+        cache.insert(2, v("two"));
+        cache.insert(1, v("uno"));
+        cache.insert(3, v("three")); // evicts 2, not 1
+        assert_eq!(cache.get(1).as_deref().map(|s| s.as_str()), Some("uno"));
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn shards_split_the_keyspace() {
+        let cache = ShardedCache::new(64, 8);
+        for key in 0..64u64 {
+            cache.insert(key.wrapping_mul(0x9e37_79b9_7f4a_7c15), v("x"));
+        }
+        assert!(cache.len() > 32, "keys should spread across shards");
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_keeps_capacity_bound() {
+        let cache = ShardedCache::new(100, 4);
+        for key in 0..10_000u64 {
+            cache.insert(key.wrapping_mul(0x2545_f491_4f6c_dd1d), v("y"));
+        }
+        assert!(cache.len() <= 112, "len {} exceeds bound", cache.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Blocking client for the `whois-serve` protocol.
+//!
+//! One [`ServeClient`] wraps one persistent connection; requests are
+//! strictly sequential (send a line, read a line). The raw
+//! [`request_line`](ServeClient::request_line) entry point exists so
+//! tests can assert byte-identity of cached versus uncached replies
+//! without any decode/re-encode laundering in between.
+
+use crate::stats::StatsSnapshot;
+use crate::wire::{ParseRequest, Reply, Request};
+use bytes::BytesMut;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use whois_net::proto;
+
+/// Longest reply line the client will buffer.
+const MAX_REPLY_LEN: usize = 16 << 20;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server answered, but not with what we expected.
+    Protocol(String),
+    /// The server answered `ok:false`; the flag is the reply's `shed`.
+    Server { message: String, shed: bool },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { message, shed } => {
+                write!(
+                    f,
+                    "server error{}: {message}",
+                    if *shed { " (shed)" } else { "" }
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected protocol client.
+pub struct ServeClient {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl ServeClient {
+    /// Connect with a 5-second default timeout on every operation.
+    pub fn connect(addr: SocketAddr) -> Result<ServeClient, ClientError> {
+        ServeClient::connect_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connect with an explicit connect/read/write timeout.
+    pub fn connect_timeout(
+        addr: SocketAddr,
+        timeout: Duration,
+    ) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient {
+            stream,
+            buf: BytesMut::with_capacity(1024),
+        })
+    }
+
+    /// Send one raw request line and return the raw reply line, exactly
+    /// as the server framed it (terminator stripped).
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match proto::decode_line(&mut self.buf, MAX_REPLY_LEN)
+                .map_err(|e| ClientError::Protocol(e.to_string()))?
+            {
+                Some(reply) => return Ok(reply),
+                None => {
+                    let n = self.stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(ClientError::Protocol(
+                            "connection closed before reply".into(),
+                        ));
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+    }
+
+    /// Send a request, decode the [`Reply`]. Error replies (including
+    /// sheds) come back as `Ok` so callers can inspect the `shed` flag.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        let line = self.request_line(&request.encode())?;
+        Reply::decode(&line).map_err(ClientError::Protocol)
+    }
+
+    /// Parse a record body; `Err(Server{..})` on refusal.
+    pub fn parse(&mut self, domain: &str, text: &str) -> Result<Reply, ClientError> {
+        let reply = self.round_trip(&Request::Parse(ParseRequest {
+            domain: domain.to_string(),
+            text: text.to_string(),
+        }))?;
+        expect_ok(reply)
+    }
+
+    /// Fetch-and-parse a domain via the server's upstream WHOIS.
+    pub fn fetch(&mut self, domain: &str) -> Result<Reply, ClientError> {
+        let reply = self.round_trip(&Request::Fetch(domain.to_string()))?;
+        expect_ok(reply)
+    }
+
+    /// Serving statistics.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let reply = expect_ok(self.round_trip(&Request::Stats)?)?;
+        reply
+            .stats
+            .ok_or_else(|| ClientError::Protocol("STATS reply without stats payload".into()))
+    }
+}
+
+fn expect_ok(reply: Reply) -> Result<Reply, ClientError> {
+    if reply.ok {
+        Ok(reply)
+    } else {
+        Err(ClientError::Server {
+            message: reply.error.unwrap_or_else(|| "unspecified".into()),
+            shed: reply.shed,
+        })
+    }
+}

@@ -1,0 +1,54 @@
+//! `whois-serve`: a long-running WHOIS parse service.
+//!
+//! The paper's parser ("Who is .com?", IMC 2015) is batch-oriented:
+//! train a CRF, sweep a corpus. Operationally, though, WHOIS parsing is
+//! a *service* — abuse pipelines and registrar hygiene systems ask for
+//! one domain at a time, the same domains repeat, and models are
+//! retrained as new registrar templates appear (§5.3). This crate wraps
+//! the existing [`whois_parser::ParseEngine`] in a daemon shaped for
+//! that workload:
+//!
+//! - **Line protocol over loopback TCP** ([`wire`]): `PARSE` a supplied
+//!   body, `FETCH` a domain through upstream WHOIS, `STATS`.
+//! - **Sharded LRU result cache** ([`cache`]): keyed by a hash of the
+//!   normalized record body + domain + model generation; stores fully
+//!   serialized reply lines, so a hit skips parse *and* serialization
+//!   and is byte-identical to the miss that populated it.
+//! - **Model hot-reload** ([`registry`]): versioned model directory,
+//!   arc-swap installs, generation-tagged cache keys — zero downtime,
+//!   zero stale reads.
+//! - **Admission control** ([`queue`], [`service`]): bounded queue,
+//!   explicit `shed` replies under overload, graceful drain on shutdown
+//!   with a [`DrainReport`].
+//! - **Observability** ([`stats`]): counters and per-stage latency via
+//!   the `STATS` verb.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use whois_serve::{ModelRegistry, ParseService, ServeClient, ServeConfig};
+//! # fn parser() -> whois_parser::WhoisParser { unimplemented!() }
+//!
+//! let registry = Arc::new(ModelRegistry::new(parser(), "model-0001", 1));
+//! let mut service = ParseService::start(registry, ServeConfig::default(), 0).unwrap();
+//! let mut client = ServeClient::connect(service.addr()).unwrap();
+//! let reply = client.parse("example.com", "Domain Name: EXAMPLE.COM\n").unwrap();
+//! println!("{:?}", reply.record);
+//! let report = service.shutdown();
+//! println!("drained {} queued jobs", report.drained);
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod queue;
+pub mod registry;
+pub mod service;
+pub mod stats;
+pub mod wire;
+
+pub use cache::{cache_key, ShardedCache};
+pub use client::{ClientError, ServeClient};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{newest_model_file, ActiveModel, ModelRegistry, ModelWatcher};
+pub use service::{DrainReport, ParseService, ServeConfig, UpstreamConfig};
+pub use stats::{ServeStats, StageSnapshot, StatsSnapshot};
+pub use wire::{ParseRequest, Reply, Request};

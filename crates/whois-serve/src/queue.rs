@@ -1,0 +1,178 @@
+//! Bounded MPMC admission queue: shed, don't stall.
+//!
+//! The serving rule the ISSUE encodes — under overload a service must
+//! answer *something* fast rather than queue without bound — lives
+//! here. [`BoundedQueue::try_push`] never blocks: when the queue is at
+//! capacity the request is handed straight back so the connection thread
+//! can reply "overloaded" while the client's timeout budget is still
+//! intact. Workers block on [`pop`](BoundedQueue::pop), which drains any
+//! remaining items after [`close`](BoundedQueue::close) and only then
+//! returns `None` — which is exactly graceful drain-on-shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// At capacity: the caller should shed the request.
+    Full(T),
+    /// Shutting down: no new work is admitted.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+/// Mutex+condvar bounded queue (the vendored crossbeam stub only ships
+/// unbounded channels; admission control needs the bound to be real).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking push. `Err(Full)` means shed; `Err(Closed)` means
+    /// the service is draining.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= inner.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: `Some(item)` while work exists (queued items are
+    /// still handed out after `close`), `None` once closed *and* empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Stop admitting work; wake every blocked worker so they can drain
+    /// the backlog and exit.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn closed_queue_refuses_new_work_but_drains_old() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn producers_and_consumers_interleave() {
+        let q = Arc::new(BoundedQueue::<u64>::new(8));
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Some(v) = q.pop() {
+                    sum += v;
+                }
+                sum
+            })
+        };
+        let mut pushed = 0u64;
+        for v in 1..=100u64 {
+            loop {
+                match q.try_push(v) {
+                    Ok(()) => {
+                        pushed += v;
+                        break;
+                    }
+                    Err(PushError::Full(_)) => std::thread::yield_now(),
+                    Err(PushError::Closed(_)) => unreachable!(),
+                }
+            }
+        }
+        q.close();
+        assert_eq!(consumer.join().unwrap(), pushed);
+    }
+}

@@ -1,0 +1,296 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! The paper's §5.3 story — retrain on a few labeled records from a new
+//! registrar/TLD, redeploy — only pays off operationally if the fresh
+//! model can go live without restarting the service. The registry keeps
+//! the active model behind an `RwLock<Arc<_>>` (arc-swap idiom): readers
+//! clone the `Arc` under a briefly held read lock and keep parsing on
+//! whatever model they grabbed; `install` builds the new engine outside
+//! any lock and swaps the pointer in one write. Requests in flight on
+//! the old model finish on the old model; the next request sees the new
+//! one. Each install bumps a monotonically increasing *generation*,
+//! which the result cache mixes into its keys, so stale cached parses
+//! are unreachable the instant a swap lands.
+//!
+//! [`ModelWatcher`] polls a versioned model directory (`*.json`, highest
+//! file stem wins) and installs new versions as they appear — drop a
+//! `model-0002.json` next to `model-0001.json` and the service picks it
+//! up within one poll interval.
+
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use whois_parser::{ParseEngine, WhoisParser};
+
+/// The currently active model: an immutable snapshot shared by every
+/// request that started while it was current.
+pub struct ActiveModel {
+    /// Human-readable version (file stem for directory-loaded models).
+    pub version: String,
+    /// Monotonic install counter; cache keys include it.
+    pub generation: u64,
+    /// The parse engine wrapping this model.
+    pub engine: ParseEngine,
+}
+
+/// Registry holding the active model and performing atomic swaps.
+pub struct ModelRegistry {
+    active: RwLock<Arc<ActiveModel>>,
+    generation: AtomicU64,
+    swaps: AtomicU64,
+    engine_workers: usize,
+}
+
+impl ModelRegistry {
+    /// Start with `parser` as generation 1. `engine_workers` is passed
+    /// through to [`ParseEngine::with_workers`] for this and every
+    /// subsequently installed model (0 = available parallelism).
+    pub fn new(parser: WhoisParser, version: impl Into<String>, engine_workers: usize) -> Self {
+        let active = Arc::new(ActiveModel {
+            version: version.into(),
+            generation: 1,
+            engine: ParseEngine::with_workers(parser, engine_workers),
+        });
+        ModelRegistry {
+            active: RwLock::new(active),
+            generation: AtomicU64::new(1),
+            swaps: AtomicU64::new(0),
+            engine_workers,
+        }
+    }
+
+    /// Snapshot the active model. Cheap: one read lock + `Arc` clone.
+    pub fn current(&self) -> Arc<ActiveModel> {
+        self.active.read().clone()
+    }
+
+    /// Atomically swap in a new model; returns its generation. The
+    /// engine is built before the write lock is taken, so readers are
+    /// never blocked behind model construction.
+    pub fn install(&self, parser: WhoisParser, version: impl Into<String>) -> u64 {
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let fresh = Arc::new(ActiveModel {
+            version: version.into(),
+            generation,
+            engine: ParseEngine::with_workers(parser, self.engine_workers),
+        });
+        *self.active.write() = fresh;
+        self.swaps.fetch_add(1, Ordering::SeqCst);
+        generation
+    }
+
+    /// Load a serialized [`WhoisParser`] from `path` and install it,
+    /// versioned by the file stem.
+    pub fn install_file(&self, path: &Path) -> Result<u64, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let parser =
+            WhoisParser::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(self.install(parser, file_version(path)))
+    }
+
+    /// Number of completed swaps (installs after the first model).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::SeqCst)
+    }
+}
+
+/// Version string for a model file: its stem (`model-0002.json` →
+/// `model-0002`).
+fn file_version(path: &Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// The newest model file in `dir`: the `*.json` entry with the
+/// lexicographically greatest file name (versioned naming —
+/// `model-0001.json`, `model-0002.json`, … — sorts chronologically).
+pub fn newest_model_file(dir: &Path) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json") && p.is_file())
+        .max()
+}
+
+/// Background thread polling a model directory for new versions.
+pub struct ModelWatcher {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ModelWatcher {
+    /// Watch `dir`, installing any new newest model into `registry`
+    /// every `interval`. Files that fail to load are left alone and
+    /// retried on later polls (logged once per path), so a corrupt or
+    /// half-written upload can't take the service down — and a slow
+    /// upload is picked up once it finishes. Publishing via
+    /// write-to-temp-then-rename avoids the retry window entirely.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        dir: impl Into<PathBuf>,
+        interval: Duration,
+    ) -> Self {
+        let dir = dir.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("whois-serve-model-watcher".into())
+            .spawn(move || {
+                let mut last_seen: Option<PathBuf> = None;
+                let mut last_failed: Option<PathBuf> = None;
+                while !stop_flag.load(Ordering::SeqCst) {
+                    if let Some(newest) = newest_model_file(&dir) {
+                        let is_new = last_seen.as_ref() != Some(&newest)
+                            && file_version(&newest) != registry.current().version;
+                        if is_new {
+                            match registry.install_file(&newest) {
+                                Ok(generation) => {
+                                    eprintln!(
+                                        "[whois-serve] installed {} (generation {generation})",
+                                        newest.display()
+                                    );
+                                    last_seen = Some(newest);
+                                    last_failed = None;
+                                }
+                                Err(e) => {
+                                    if last_failed.as_ref() != Some(&newest) {
+                                        eprintln!(
+                                            "[whois-serve] model load failed (will retry): {e}"
+                                        );
+                                        last_failed = Some(newest);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Sleep in small steps so stop() is prompt.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !stop_flag.load(Ordering::SeqCst) {
+                        let step = remaining.min(Duration::from_millis(10));
+                        std::thread::sleep(step);
+                        remaining = remaining.saturating_sub(step);
+                    }
+                }
+            })
+            .expect("spawn model watcher");
+        ModelWatcher {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stop the watcher and join its thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ModelWatcher {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whois_model::{BlockLabel, RegistrantLabel};
+    use whois_parser::ParserConfig;
+    use whois_parser::TrainExample;
+
+    fn tiny_parser(seed: u64) -> WhoisParser {
+        let corpus =
+            whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(seed, 40));
+        let first: Vec<TrainExample<BlockLabel>> = corpus
+            .iter()
+            .map(|d| TrainExample {
+                text: d.rendered.text(),
+                labels: d.block_labels().labels(),
+            })
+            .collect();
+        let second: Vec<TrainExample<RegistrantLabel>> = corpus
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                (!reg.is_empty()).then(|| TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        WhoisParser::train(&first, &second, &ParserConfig::default())
+    }
+
+    #[test]
+    fn install_bumps_generation_and_readers_keep_old_arcs() {
+        let registry = ModelRegistry::new(tiny_parser(1), "v1", 1);
+        let before = registry.current();
+        assert_eq!(before.generation, 1);
+        assert_eq!(before.version, "v1");
+
+        let gen2 = registry.install(tiny_parser(2), "v2");
+        assert_eq!(gen2, 2);
+        assert_eq!(registry.swaps(), 1);
+        let after = registry.current();
+        assert_eq!(after.version, "v2");
+        // The pre-swap snapshot still works: in-flight requests finish
+        // on the model they started with.
+        assert_eq!(before.generation, 1);
+        let raw = whois_model::RawRecord::new("x.com", "Domain Name: X.COM\n");
+        let _ = before.engine.parse_one(&raw);
+        let _ = after.engine.parse_one(&raw);
+    }
+
+    #[test]
+    fn newest_model_file_picks_greatest_name() {
+        let dir = std::env::temp_dir().join(format!("whois-serve-reg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(newest_model_file(&dir).is_none());
+        std::fs::write(dir.join("model-0001.json"), "{}").unwrap();
+        std::fs::write(dir.join("model-0002.json"), "{}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let newest = newest_model_file(&dir).unwrap();
+        assert!(newest.ends_with("model-0002.json"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watcher_installs_new_versions_and_survives_corrupt_files() {
+        let dir = std::env::temp_dir().join(format!("whois-serve-watch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let registry = Arc::new(ModelRegistry::new(tiny_parser(3), "model-0001", 1));
+        let watcher = ModelWatcher::start(registry.clone(), &dir, Duration::from_millis(10));
+
+        // A corrupt newest file is skipped without killing the watcher.
+        std::fs::write(dir.join("model-0002.json"), "not json").unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(registry.current().version, "model-0001");
+
+        // A valid one is installed.
+        let parser = tiny_parser(4);
+        std::fs::write(dir.join("model-0003.json"), parser.to_json().unwrap()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while registry.current().version != "model-0003" && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(registry.current().version, "model-0003");
+        assert_eq!(registry.current().generation, 2);
+
+        watcher.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,436 @@
+//! The parse daemon: acceptor → bounded queue → parse workers.
+//!
+//! Request path, in stage order (each stage timed into [`ServeStats`]):
+//!
+//! ```text
+//! connection thread        parse worker
+//! ─────────────────        ────────────────────────────────────
+//! read line                queue_wait (time spent queued)
+//! decode verb              [FETCH only] upstream fetch
+//! admission: try_push ──►  cache lookup (hit → reply as cached)
+//!   full?   shed reply     parse (ParseEngine::parse_one)
+//!   closed? drain reply    serialize + cache insert
+//! write reply line    ◄──  send reply
+//! ```
+//!
+//! Admission control is the `try_push`: the queue is capacity-bounded
+//! and never blocks, so under overload clients get an explicit
+//! `{"ok":false,"error":"overloaded","shed":true}` in microseconds
+//! instead of a stalled socket. Shutdown closes the queue: workers
+//! drain what was admitted, connection threads answer everything newer
+//! with a drain reply, and [`ParseService::shutdown`] reports both
+//! counts.
+
+use crate::cache::{cache_key, ShardedCache};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::ModelRegistry;
+use crate::stats::{ServeStats, StatsSnapshot};
+use crate::wire::{ParseRequest, Reply, Request};
+use bytes::BytesMut;
+use crossbeam::channel;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whois_model::RawRecord;
+use whois_net::proto::{self, ReplyKind};
+use whois_net::WhoisClient;
+
+/// Where `FETCH` requests go: a WHOIS registry plus the referral
+/// resolver, exactly like [`whois_net::Crawler`]'s view of the world.
+#[derive(Clone, Debug)]
+pub struct UpstreamConfig {
+    /// The registry (thin) server.
+    pub registry: SocketAddr,
+    /// Referral host name → address.
+    pub resolver: HashMap<String, SocketAddr>,
+    /// Client used for upstream queries.
+    pub client: WhoisClient,
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Parse worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Admission queue capacity; requests beyond it are shed.
+    pub queue_capacity: usize,
+    /// Result cache capacity, total entries.
+    pub cache_capacity: usize,
+    /// Result cache shard count.
+    pub cache_shards: usize,
+    /// Per-connection read timeout (idle persistent connections are
+    /// closed after this).
+    pub read_timeout: Duration,
+    /// Longest accepted request line.
+    pub max_request_len: usize,
+    /// Upstream WHOIS for `FETCH` (absent → `FETCH` is an error).
+    pub upstream: Option<UpstreamConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            read_timeout: Duration::from_secs(10),
+            max_request_len: 1 << 20,
+            upstream: None,
+        }
+    }
+}
+
+/// What [`ParseService::shutdown`] observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that were queued at the shutdown signal and completed
+    /// during the drain (admitted work is never dropped).
+    pub drained: u64,
+    /// Requests refused with a drain reply after the signal.
+    pub shed: u64,
+}
+
+/// One admitted unit of work.
+struct Job {
+    work: Work,
+    enqueued: Instant,
+    reply_tx: channel::Sender<Arc<String>>,
+}
+
+enum Work {
+    Parse(ParseRequest),
+    Fetch(String),
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct ServiceCtx {
+    cfg: ServeConfig,
+    registry: Arc<ModelRegistry>,
+    cache: ShardedCache,
+    stats: ServeStats,
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    workers: usize,
+}
+
+impl ServiceCtx {
+    /// Serve one already-decoded request, returning the reply line.
+    fn respond(&self, request: Request) -> Arc<String> {
+        match request {
+            Request::Stats => {
+                ServeStats::inc(&self.stats.stats_requests);
+                Arc::new(Reply::stats(self.snapshot()).encode())
+            }
+            Request::Parse(req) => {
+                ServeStats::inc(&self.stats.parse_requests);
+                self.submit(Work::Parse(req))
+            }
+            Request::Fetch(domain) => {
+                ServeStats::inc(&self.stats.fetch_requests);
+                if self.cfg.upstream.is_none() {
+                    ServeStats::inc(&self.stats.errors);
+                    return Arc::new(
+                        Reply::error("no upstream configured for FETCH", false).encode(),
+                    );
+                }
+                self.submit(Work::Fetch(domain))
+            }
+        }
+    }
+
+    /// Admission control: enqueue and wait for the worker's reply, or
+    /// shed immediately.
+    fn submit(&self, work: Work) -> Arc<String> {
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let job = Job {
+            work,
+            enqueued: Instant::now(),
+            reply_tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => reply_rx
+                .recv()
+                .unwrap_or_else(|_| Arc::new(Reply::error("worker failed", false).encode())),
+            Err(PushError::Full(_)) => {
+                ServeStats::inc(&self.stats.sheds);
+                Arc::new(Reply::error("overloaded", true).encode())
+            }
+            Err(PushError::Closed(_)) => {
+                ServeStats::inc(&self.stats.sheds);
+                Arc::new(Reply::error("draining", true).encode())
+            }
+        }
+    }
+
+    /// Cache-before-parse: the headline serving optimization.
+    fn parse_reply(&self, domain: &str, text: &str) -> Arc<String> {
+        let model = self.registry.current();
+        let key = cache_key(model.generation, domain, text);
+        let t = Instant::now();
+        let cached = self.cache.get(key);
+        self.stats.cache_lookup.record(t.elapsed());
+        if let Some(line) = cached {
+            ServeStats::inc(&self.stats.cache_hits);
+            return line;
+        }
+        ServeStats::inc(&self.stats.cache_misses);
+
+        let t = Instant::now();
+        let record = model.engine.parse_one(&RawRecord::new(domain, text));
+        self.stats.parse.record(t.elapsed());
+        ServeStats::inc(&self.stats.parses);
+
+        let t = Instant::now();
+        let line = Arc::new(Reply::record(&model.version, record).encode());
+        self.stats.serialize.record(t.elapsed());
+        self.cache.insert(key, line.clone());
+        line
+    }
+
+    /// `FETCH`: two-step upstream crawl (thin → referral → thick, thin
+    /// fallback), then the normal cached parse path.
+    fn fetch_reply(&self, domain: &str) -> Arc<String> {
+        let up = self.cfg.upstream.as_ref().expect("checked by respond");
+        ServeStats::inc(&self.stats.fetches);
+        let t = Instant::now();
+        let body = fetch_body(up, domain);
+        self.stats.fetch.record(t.elapsed());
+        match body {
+            Ok(text) => self.parse_reply(domain, &text),
+            Err(message) => {
+                ServeStats::inc(&self.stats.fetch_failures);
+                ServeStats::inc(&self.stats.errors);
+                Arc::new(Reply::error(message, false).encode())
+            }
+        }
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let model = self.registry.current();
+        self.stats.snapshot(
+            &model.version,
+            model.generation,
+            self.registry.swaps(),
+            self.cache.len(),
+            self.workers,
+        )
+    }
+}
+
+/// Fetch the best available record body for `domain` from upstream.
+fn fetch_body(up: &UpstreamConfig, domain: &str) -> Result<String, String> {
+    let thin = up
+        .client
+        .query(up.registry, domain)
+        .map_err(|e| format!("registry query failed: {e}"))?;
+    match proto::classify_reply(&thin) {
+        ReplyKind::Record => {}
+        ReplyKind::NoMatch => return Err(format!("no match for {domain}")),
+        other => return Err(format!("registry reply unusable ({other:?})")),
+    }
+    if let Some(host) = proto::referral_server(&thin) {
+        if let Some(&addr) = up.resolver.get(&host) {
+            if let Ok(thick) = up.client.query(addr, domain) {
+                if proto::classify_reply(&thick) == ReplyKind::Record {
+                    return Ok(thick);
+                }
+            }
+        }
+    }
+    Ok(thin)
+}
+
+/// A running parse service bound to a loopback port.
+pub struct ParseService {
+    addr: SocketAddr,
+    ctx: Arc<ServiceCtx>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+    report: Option<DrainReport>,
+}
+
+impl ParseService {
+    /// Start the daemon on an ephemeral loopback port (or `port` if
+    /// nonzero).
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        cfg: ServeConfig,
+        port: u16,
+    ) -> std::io::Result<ParseService> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            cfg.workers
+        };
+        // Warm one scratch per worker so first requests skip cold-start
+        // allocations.
+        registry.current().engine.warm(workers);
+        let ctx = Arc::new(ServiceCtx {
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            registry,
+            workers,
+            cfg,
+        });
+
+        let worker_threads = (0..workers)
+            .map(|i| {
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("whois-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx))
+                    .expect("spawn parse worker")
+            })
+            .collect();
+
+        let accept_ctx = ctx.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("whois-serve-{}", addr.port()))
+            .spawn(move || {
+                while !accept_ctx.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let ctx = accept_ctx.clone();
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &ctx);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+
+        Ok(ParseService {
+            addr,
+            ctx,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+            report: None,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving statistics (same payload as the `STATS` verb).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.ctx.snapshot()
+    }
+
+    /// The model registry backing this service.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.ctx.registry
+    }
+
+    /// Entries in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.ctx.cache.len()
+    }
+
+    /// Graceful drain: stop admitting, finish everything admitted,
+    /// report what drained versus what was shed on the way down.
+    /// Idempotent — repeat calls return the first report.
+    pub fn shutdown(&mut self) -> DrainReport {
+        if let Some(report) = self.report {
+            return report;
+        }
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        let queued = self.ctx.queue.len() as u64;
+        let sheds_before = self.ctx.stats.sheds.load(Ordering::Relaxed);
+        self.ctx.queue.close();
+        for w in self.worker_threads.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.accept_thread.take() {
+            let _ = a.join();
+        }
+        let report = DrainReport {
+            drained: queued,
+            shed: self.ctx.stats.sheds.load(Ordering::Relaxed) - sheds_before,
+        };
+        self.report = Some(report);
+        report
+    }
+}
+
+impl Drop for ParseService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(ctx: &ServiceCtx) {
+    while let Some(job) = ctx.queue.pop() {
+        ctx.stats.queue_wait.record(job.enqueued.elapsed());
+        let reply = match &job.work {
+            Work::Parse(req) => ctx.parse_reply(&req.domain, &req.text),
+            Work::Fetch(domain) => ctx.fetch_reply(domain),
+        };
+        let _ = job.reply_tx.send(reply);
+    }
+}
+
+/// Serve one (persistent) connection: loop reading request lines until
+/// EOF, timeout, or shutdown.
+fn handle_connection(mut stream: TcpStream, ctx: &ServiceCtx) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(ctx.cfg.read_timeout))?;
+    stream.set_nodelay(true)?;
+    let mut buf = BytesMut::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        let line = loop {
+            match proto::decode_line(&mut buf, ctx.cfg.max_request_len) {
+                Ok(Some(line)) => break line,
+                Ok(None) => {}
+                Err(e) => {
+                    ServeStats::inc(&ctx.stats.errors);
+                    let reply = Reply::error(e.to_string(), false).encode();
+                    let _ = write_line(&mut stream, &reply);
+                    return Ok(());
+                }
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(()); // client hung up
+            }
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        if line.is_empty() {
+            continue;
+        }
+        ServeStats::inc(&ctx.stats.requests);
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            ServeStats::inc(&ctx.stats.sheds);
+            write_line(&mut stream, &Reply::error("draining", true).encode())?;
+            return Ok(());
+        }
+        let reply = match Request::decode(&line) {
+            Ok(request) => ctx.respond(request),
+            Err(message) => {
+                ServeStats::inc(&ctx.stats.errors);
+                Arc::new(Reply::error(message, false).encode())
+            }
+        };
+        write_line(&mut stream, &reply)?;
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}

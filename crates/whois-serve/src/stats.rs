@@ -1,0 +1,218 @@
+//! Serving counters and per-stage latency accounting.
+//!
+//! Everything is a relaxed atomic: counters are bumped on the hot path
+//! by connection threads and parse workers, and [`ServeStats::snapshot`]
+//! reads a consistent-enough view for the `STATS` protocol verb without
+//! stopping the world.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency sum + count for one pipeline stage.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+impl StageTimer {
+    /// Fold one measured duration into the stage.
+    pub fn record(&self, elapsed: Duration) {
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StageSnapshot {
+        let nanos = self.nanos.load(Ordering::Relaxed);
+        let count = self.count.load(Ordering::Relaxed);
+        StageSnapshot {
+            total_us: nanos / 1_000,
+            count,
+            mean_us: if count > 0 {
+                nanos as f64 / count as f64 / 1_000.0
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Serialized view of one [`StageTimer`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageSnapshot {
+    /// Total time spent in the stage, microseconds.
+    pub total_us: u64,
+    /// Number of measurements.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+}
+
+/// Live counters for a running service.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Protocol requests received (all verbs).
+    pub requests: AtomicU64,
+    /// `PARSE` requests.
+    pub parse_requests: AtomicU64,
+    /// `FETCH` requests.
+    pub fetch_requests: AtomicU64,
+    /// `STATS` requests.
+    pub stats_requests: AtomicU64,
+    /// Requests answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to run the parser.
+    pub cache_misses: AtomicU64,
+    /// Engine parses performed.
+    pub parses: AtomicU64,
+    /// Requests shed by admission control (queue full or draining).
+    pub sheds: AtomicU64,
+    /// Requests answered with an error.
+    pub errors: AtomicU64,
+    /// Upstream WHOIS fetches attempted.
+    pub fetches: AtomicU64,
+    /// Upstream fetches that produced no usable body.
+    pub fetch_failures: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait: StageTimer,
+    /// Cache lookup time (hits and misses).
+    pub cache_lookup: StageTimer,
+    /// Engine parse time (misses only).
+    pub parse: StageTimer,
+    /// Reply serialization time (misses only).
+    pub serialize: StageTimer,
+    /// Upstream fetch time (`FETCH` only).
+    pub fetch: StageTimer,
+}
+
+impl ServeStats {
+    /// Bump a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view for the `STATS` verb. Model/cache fields are
+    /// supplied by the service, which owns those components.
+    pub fn snapshot(
+        &self,
+        model_version: &str,
+        model_generation: u64,
+        model_swaps: u64,
+        cache_len: usize,
+        workers: usize,
+    ) -> StatsSnapshot {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            parse_requests: self.parse_requests.load(Ordering::Relaxed),
+            fetch_requests: self.fetch_requests.load(Ordering::Relaxed),
+            stats_requests: self.stats_requests.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if hits + misses > 0 {
+                hits as f64 / (hits + misses) as f64
+            } else {
+                0.0
+            },
+            parses: self.parses.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            fetch_failures: self.fetch_failures.load(Ordering::Relaxed),
+            queue_wait: self.queue_wait.snapshot(),
+            cache_lookup: self.cache_lookup.snapshot(),
+            parse: self.parse.snapshot(),
+            serialize: self.serialize.snapshot(),
+            fetch: self.fetch.snapshot(),
+            model_version: model_version.to_string(),
+            model_generation,
+            model_swaps,
+            cache_len: cache_len as u64,
+            workers: workers as u64,
+        }
+    }
+}
+
+/// The `STATS` verb's payload.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Protocol requests received (all verbs).
+    pub requests: u64,
+    /// `PARSE` requests.
+    pub parse_requests: u64,
+    /// `FETCH` requests.
+    pub fetch_requests: u64,
+    /// `STATS` requests.
+    pub stats_requests: u64,
+    /// Requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Requests that had to run the parser.
+    pub cache_misses: u64,
+    /// hits / (hits + misses), 0 when nothing was looked up.
+    pub cache_hit_rate: f64,
+    /// Engine parses performed.
+    pub parses: u64,
+    /// Requests shed by admission control.
+    pub sheds: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Upstream fetches attempted.
+    pub fetches: u64,
+    /// Upstream fetches without a usable body.
+    pub fetch_failures: u64,
+    /// Queue-wait latency.
+    pub queue_wait: StageSnapshot,
+    /// Cache-lookup latency.
+    pub cache_lookup: StageSnapshot,
+    /// Parse latency (misses only).
+    pub parse: StageSnapshot,
+    /// Serialization latency (misses only).
+    pub serialize: StageSnapshot,
+    /// Upstream fetch latency.
+    pub fetch: StageSnapshot,
+    /// Active model version.
+    pub model_version: String,
+    /// Active model generation.
+    pub model_generation: u64,
+    /// Completed model swaps.
+    pub model_swaps: u64,
+    /// Entries in the result cache.
+    pub cache_len: u64,
+    /// Parse worker threads.
+    pub workers: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timer_accumulates() {
+        let t = StageTimer::default();
+        t.record(Duration::from_micros(100));
+        t.record(Duration::from_micros(300));
+        let s = t.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_us, 400);
+        assert!((s.mean_us - 200.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_computes_hit_rate_and_roundtrips_json() {
+        let stats = ServeStats::default();
+        for _ in 0..9 {
+            ServeStats::inc(&stats.cache_hits);
+        }
+        ServeStats::inc(&stats.cache_misses);
+        let snap = stats.snapshot("model-0001", 3, 2, 17, 4);
+        assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
+        assert_eq!(snap.model_generation, 3);
+        assert_eq!(snap.cache_len, 17);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

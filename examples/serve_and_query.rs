@@ -1,0 +1,125 @@
+//! Walkthrough: run the WHOIS parse *service* end to end.
+//!
+//! ```text
+//! cargo run --release --example serve_and_query
+//! ```
+//!
+//! 1. Train a model on a synthetic corpus and start `whois-serve`.
+//! 2. Query it: `PARSE` a record twice (miss, then cache hit).
+//! 3. Retrain and hot-swap the model by dropping a new version into the
+//!    watched model directory — zero downtime, generation bumps.
+//! 4. Read the `STATS` verb and shut down gracefully.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::{BlockLabel, RegistrantLabel};
+use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+use whoisml::serve::{ModelRegistry, ModelWatcher, ParseService, ServeClient, ServeConfig};
+
+fn train(seed: u64, docs: usize) -> WhoisParser {
+    let corpus = generate_corpus(GenConfig::new(seed, docs));
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    WhoisParser::train(&first, &second, &ParserConfig::default())
+}
+
+fn main() {
+    // 1. Train the initial model, start the service, watch a model dir.
+    println!("== 1. train + serve ==");
+    let model_dir =
+        std::env::temp_dir().join(format!("whoisml-example-models-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&model_dir);
+    std::fs::create_dir_all(&model_dir).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new(train(7, 60), "model-0001", 1));
+    let watcher = ModelWatcher::start(registry.clone(), &model_dir, Duration::from_millis(50));
+    let mut service = ParseService::start(
+        registry.clone(),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    println!("serving on {}", service.addr());
+
+    // 2. Parse one record twice: a miss that pays for the parse, then a
+    // cache hit that skips parse and serialization entirely.
+    println!("\n== 2. parse (miss, then hit) ==");
+    let corpus = generate_corpus(GenConfig::new(99, 5));
+    let sample = &corpus[0];
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    for pass in ["miss", "hit"] {
+        let t = Instant::now();
+        let reply = client
+            .parse(&sample.facts.domain, &sample.rendered.text())
+            .unwrap();
+        println!(
+            "{pass}: {:?} via {} → registrar {:?}",
+            t.elapsed(),
+            reply.model.unwrap(),
+            reply.record.unwrap().registrar.unwrap_or_default()
+        );
+    }
+
+    // 3. Hot-swap: publish a retrained model into the watched directory
+    // (write to a temp name, then rename — atomic publish).
+    println!("\n== 3. hot model swap ==");
+    let fresh = train(23, 60);
+    std::fs::write(model_dir.join("model-0002.tmp"), fresh.to_json().unwrap()).unwrap();
+    std::fs::rename(
+        model_dir.join("model-0002.tmp"),
+        model_dir.join("model-0002.json"),
+    )
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while registry.current().version != "model-0002" && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let reply = client
+        .parse(&sample.facts.domain, &sample.rendered.text())
+        .unwrap();
+    println!(
+        "after swap: served by {} (generation {})",
+        reply.model.unwrap(),
+        registry.current().generation
+    );
+
+    // 4. Stats + graceful drain.
+    println!("\n== 4. stats + shutdown ==");
+    let stats = client.stats().unwrap();
+    println!(
+        "requests {} | hits {} | misses {} | hit rate {:.0}% | parses {} | swaps {}",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_hit_rate * 100.0,
+        stats.parses,
+        stats.model_swaps
+    );
+    println!(
+        "mean latency: cache {:.1}µs | parse {:.1}µs | serialize {:.1}µs",
+        stats.cache_lookup.mean_us, stats.parse.mean_us, stats.serialize.mean_us
+    );
+    let report = service.shutdown();
+    println!("drained: {report:?}");
+    watcher.stop();
+    let _ = std::fs::remove_dir_all(&model_dir);
+}

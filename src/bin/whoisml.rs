@@ -7,6 +7,9 @@
 //! whoisml parse-batch --model model.json --input records.jsonl [--workers N] [--out parsed.jsonl]
 //! whoisml label       --model model.json [--input record.txt]
 //! whoisml inspect     --model model.json
+//! whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]
+//!                     [--port P] [--workers N] [--cache N] [--queue N] [--upstream host:port]
+//! whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)
 //! ```
 //!
 //! * `gen` writes a labeled JSONL corpus (one [`CorpusLine`] per record)
@@ -23,6 +26,13 @@
 //! * `label` prints one `label<TAB>confidence<TAB>line` row per record
 //!   line — the triage view for finding records worth labeling.
 //! * `inspect` dumps the model's heaviest features (Table 1 / Figure 1).
+//! * `serve` runs the long-lived parse daemon (`whois-serve`): sharded
+//!   result cache, bounded admission queue, and — with `--model-dir` —
+//!   hot reload of new model versions dropped into the directory.
+//! * `query` is the matching client: `--domain` alone issues a `FETCH`
+//!   through the server's upstream WHOIS, `--domain` plus `--input`
+//!   sends the record body for a `PARSE`, `--stats 1` prints serving
+//!   statistics.
 
 use serde::{Deserialize, Serialize};
 use std::io::Read;
@@ -61,6 +71,8 @@ fn main() {
         "parse-batch" => cmd_parse_batch(&flags),
         "label" => cmd_label(&flags),
         "inspect" => cmd_inspect(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command: {other}")),
     };
@@ -79,7 +91,10 @@ fn usage_and_exit() -> ! {
          \x20 whoisml parse       --model model.json --domain example.com [--input record.txt]\n\
          \x20 whoisml parse-batch --model model.json --input records.jsonl [--workers N] [--out parsed.jsonl]\n\
          \x20 whoisml label       --model model.json [--input record.txt]\n\
-         \x20 whoisml inspect     --model model.json [--topk K]"
+         \x20 whoisml inspect     --model model.json [--topk K]\n\
+         \x20 whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]\n\
+         \x20                     [--port P] [--workers N] [--cache N] [--queue N] [--upstream host:port]\n\
+         \x20 whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)"
     );
     std::process::exit(2);
 }
@@ -282,6 +297,106 @@ fn cmd_label(flags: &Flags) -> Result<(), String> {
     for (line, (label, confidence)) in whoisml::model::non_empty_lines(&text).iter().zip(&scored) {
         println!("{}\t{:.3}\t{}", label.name(), confidence, line);
     }
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use whoisml::serve::{ModelRegistry, ModelWatcher, ParseService, ServeConfig, UpstreamConfig};
+
+    let model_dir = flags.get("model-dir").map(std::path::PathBuf::from);
+    // Initial model: --model wins; otherwise the newest file in --model-dir.
+    let model_path = match (flags.get("model"), &model_dir) {
+        (Some(path), _) => std::path::PathBuf::from(path),
+        (None, Some(dir)) => whoisml::serve::newest_model_file(dir)
+            .ok_or_else(|| format!("no *.json model in {}", dir.display()))?,
+        (None, None) => return Err("--model or --model-dir is required".into()),
+    };
+    let json = std::fs::read_to_string(&model_path)
+        .map_err(|e| format!("{}: {e}", model_path.display()))?;
+    let parser = WhoisParser::from_json(&json).map_err(|e| e.to_string())?;
+    let version = model_path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "model".into());
+
+    let registry = std::sync::Arc::new(ModelRegistry::new(parser, version, 1));
+    let watcher = model_dir.map(|dir| {
+        let poll_ms: u64 = flags.get_or("poll-ms", 1000);
+        ModelWatcher::start(
+            registry.clone(),
+            dir,
+            std::time::Duration::from_millis(poll_ms.max(1)),
+        )
+    });
+
+    let upstream = match flags.get("upstream") {
+        Some(addr) => Some(UpstreamConfig {
+            registry: addr
+                .parse()
+                .map_err(|e| format!("bad --upstream address {addr}: {e}"))?,
+            resolver: std::collections::HashMap::new(),
+            client: whoisml::net::WhoisClient::default(),
+        }),
+        None => None,
+    };
+    let cfg = ServeConfig {
+        workers: flags.get_or("workers", 0),
+        queue_capacity: flags.get_or("queue", 64),
+        cache_capacity: flags.get_or("cache", 4096),
+        upstream,
+        ..Default::default()
+    };
+    let port: u16 = flags.get_or("port", 0);
+    let service = ParseService::start(registry.clone(), cfg, port).map_err(|e| e.to_string())?;
+    // The bound address goes to stdout so scripts (and the walkthrough
+    // example) can discover an ephemeral port.
+    println!("listening on {}", service.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "whois-serve: model {} | {} workers | cache {} | queue {}",
+        registry.current().version,
+        service.stats().workers,
+        flags.get_or::<usize>("cache", 4096),
+        flags.get_or::<usize>("queue", 64),
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+        // Keep the watcher alive for the lifetime of the daemon.
+        let _ = &watcher;
+    }
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    use whoisml::serve::ServeClient;
+
+    let addr: std::net::SocketAddr = flags
+        .require("addr")?
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    if flags.get("stats").is_some() {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    let domain = flags.require("domain")?;
+    let reply = if flags.get("input").is_some() {
+        let text = read_record_text(flags)?;
+        client.parse(domain, &text)
+    } else {
+        client.fetch(domain)
+    }
+    .map_err(|e| e.to_string())?;
+    let record = reply.record.ok_or("reply carried no record")?;
+    eprintln!("model: {}", reply.model.as_deref().unwrap_or("?"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 

@@ -141,3 +141,122 @@ fn cli_reports_errors_cleanly() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn serve_and_query_roundtrip() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join(format!("whoisml-serve-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.jsonl");
+    let model = dir.join("model.json");
+    let record = dir.join("record.txt");
+
+    // gen + train a small model for the daemon.
+    let out = cli()
+        .args([
+            "gen",
+            "--count",
+            "60",
+            "--seed",
+            "31",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args([
+            "train",
+            "--corpus",
+            corpus.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A record body to parse, taken from the corpus itself.
+    let body = std::fs::read_to_string(&corpus).unwrap();
+    let first: serde_json::Value = serde_json::from_str(body.lines().next().unwrap()).unwrap();
+    let domain = first["domain"].as_str().unwrap().to_string();
+    std::fs::write(&record, first["text"].as_str().unwrap()).unwrap();
+
+    // Start the daemon on an ephemeral port and read the bound address.
+    let mut daemon = cli()
+        .args([
+            "serve",
+            "--model",
+            model.to_str().unwrap(),
+            "--workers",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(daemon.stdout.as_mut().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap()
+        .to_string();
+
+    // query --input → PARSE, twice (the second is a cache hit).
+    for _ in 0..2 {
+        let out = cli()
+            .args([
+                "query",
+                "--addr",
+                &addr,
+                "--domain",
+                &domain,
+                "--input",
+                record.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let parsed: serde_json::Value =
+            serde_json::from_slice(&out.stdout).expect("query prints the record as JSON");
+        assert_eq!(parsed["domain"].as_str().unwrap(), domain.to_lowercase());
+    }
+
+    // query --stats → serving counters reflect the two PARSEs.
+    let out = cli()
+        .args(["query", "--addr", &addr, "--stats", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(stats["parse_requests"].as_u64().unwrap(), 2);
+    assert_eq!(stats["cache_hits"].as_u64().unwrap(), 1);
+    assert_eq!(stats["cache_misses"].as_u64().unwrap(), 1);
+
+    daemon.kill().unwrap();
+    let mut rest = String::new();
+    daemon.stdout.take().unwrap().read_to_string(&mut rest).ok();
+    daemon.wait().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,125 @@
+//! End-to-end: mock WHOIS ecosystem → crawler → parse service → survey.
+//!
+//! The batch pipeline (tests/crawl_pipeline.rs) drives the parser as a
+//! library; this test drives it as the long-running `whois-serve`
+//! daemon instead — crawled records go over the wire as `PARSE`
+//! requests, the service's own upstream path is exercised with `FETCH`,
+//! and the survey is aggregated from the service's replies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use whoisml::gen::corpus::{generate_corpus, GenConfig};
+use whoisml::model::{BlockLabel, RegistrantLabel};
+use whoisml::net::{Crawler, CrawlerConfig, InMemoryStore, ServerConfig, WhoisClient, WhoisServer};
+use whoisml::parser::{ParserConfig, TrainExample, WhoisParser};
+use whoisml::serve::{ModelRegistry, ParseService, ServeClient, ServeConfig, UpstreamConfig};
+use whoisml::survey::Survey;
+
+#[test]
+fn crawl_serve_survey_pipeline() {
+    let corpus = generate_corpus(GenConfig::new(909, 80));
+
+    // Mock ecosystem: one thin registry + per-registrar thick servers.
+    let mut thin = InMemoryStore::new();
+    let mut per_registrar: HashMap<&str, InMemoryStore> = HashMap::new();
+    for d in &corpus {
+        thin.insert(&d.facts.domain, d.thin_text());
+        per_registrar
+            .entry(d.registrar.whois_server)
+            .or_default()
+            .insert(&d.facts.domain, d.rendered.text());
+    }
+    let registry_server = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+    let mut resolver = HashMap::new();
+    let mut servers = Vec::new();
+    for (host, store) in per_registrar {
+        let server = WhoisServer::start(store, ServerConfig::default()).unwrap();
+        resolver.insert(host.to_string(), server.addr());
+        servers.push(server);
+    }
+
+    // Train a model and start the parse service with upstream access.
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    let model_registry = Arc::new(ModelRegistry::new(parser, "model-0001", 1));
+    let mut service = ParseService::start(
+        model_registry,
+        ServeConfig {
+            workers: 2,
+            upstream: Some(UpstreamConfig {
+                registry: registry_server.addr(),
+                resolver: resolver.clone(),
+                client: WhoisClient::default(),
+            }),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+
+    // Crawl the zone, then push every crawled thick record through the
+    // service and aggregate its replies into a survey.
+    let crawler = Arc::new(Crawler::new(
+        registry_server.addr(),
+        resolver,
+        CrawlerConfig::default(),
+    ));
+    let zone: Vec<String> = corpus.iter().map(|d| d.facts.domain.clone()).collect();
+    let report = crawler.crawl(&zone);
+    assert!(report.coverage() > 0.95, "coverage {}", report.coverage());
+
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    let mut survey = Survey::new();
+    let mut parsed = 0usize;
+    for r in &report.results {
+        if let Some(thick) = &r.thick {
+            let reply = client.parse(&r.domain, thick).unwrap();
+            survey.add(&reply.record.unwrap(), false);
+            parsed += 1;
+        }
+    }
+    assert_eq!(survey.total as usize, parsed);
+    assert!(survey.registrar_all.distinct() > 3);
+    assert!(survey.country_all.total() > 0);
+
+    // The service's own upstream path (FETCH, with referral following)
+    // agrees with what the crawler handed us.
+    let sample = &corpus[0];
+    let reply = client.fetch(&sample.facts.domain).unwrap();
+    let record = reply.record.unwrap();
+    assert_eq!(record.domain, sample.facts.domain.to_lowercase());
+
+    // Re-parsing the same corpus is nearly all cache hits.
+    for r in &report.results {
+        if let Some(thick) = &r.thick {
+            client.parse(&r.domain, thick).unwrap();
+        }
+    }
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.cache_hit_rate > 0.4,
+        "second sweep should hit, rate {}",
+        stats.cache_hit_rate
+    );
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.fetch_failures, 0);
+
+    let drain = service.shutdown();
+    assert_eq!(drain.shed, 0, "idle shutdown sheds nothing");
+}
