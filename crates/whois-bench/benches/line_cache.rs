@@ -1,0 +1,202 @@
+//! Line-memoization cache: cached engine vs uncached engine.
+//!
+//! WHOIS output is rendered from a few thousand registrar templates, so
+//! across records most lines repeat verbatim in the same context. The
+//! [`whois_parser::LineCache`] memoizes each distinct (line, layout
+//! context, previous line)'s feature row and CRF potentials; this bench
+//! measures what that buys on two corpus shapes:
+//!
+//! - `skewed`: a small record pool swept repeatedly — the
+//!   template-skewed workload (abuse pipelines re-checking the same
+//!   zones, bulk parses of a registrar's whole portfolio) where nearly
+//!   every line is a repeat.
+//! - `uniform`: the same number of records, all distinct — repetition
+//!   comes only from template structure shared across domains.
+//!
+//! Both shapes run cached and uncached at 1/2/4 workers; the summary
+//! (`results/BENCH_line_cache.json`) records records/sec, the speedup,
+//! and the measured hit rate. `WHOIS_BENCH_SMOKE=1` swaps in a
+//! seconds-long correctness check: cached output bit-identical to
+//! uncached, hit accounting exact.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Instant;
+use whois_bench::*;
+use whois_model::RawRecord;
+use whois_parser::{
+    LineCache, ParseEngine, ParserConfig, WhoisParser, DEFAULT_LINE_CACHE_CAPACITY,
+    DEFAULT_LINE_CACHE_SHARDS,
+};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Records per measured corpus (both shapes).
+const CORPUS_RECORDS: usize = 1200;
+/// Distinct records in the skewed pool; tiled to `CORPUS_RECORDS`.
+const SKEWED_POOL: usize = 120;
+
+fn trained_parser() -> WhoisParser {
+    let train = corpus(13, 300);
+    WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    )
+}
+
+/// The template-skewed corpus: a small pool swept ten times.
+fn skewed_corpus() -> Vec<RawRecord> {
+    let pool: Vec<RawRecord> = corpus(29, SKEWED_POOL).iter().map(|d| d.raw()).collect();
+    pool.iter().cycle().take(CORPUS_RECORDS).cloned().collect()
+}
+
+/// The uniform corpus: every record distinct.
+fn uniform_corpus() -> Vec<RawRecord> {
+    corpus(97, CORPUS_RECORDS).iter().map(|d| d.raw()).collect()
+}
+
+fn cached_engine(parser: &WhoisParser, workers: usize) -> ParseEngine {
+    ParseEngine::with_line_cache(
+        parser.clone(),
+        workers,
+        Arc::new(LineCache::new(
+            DEFAULT_LINE_CACHE_CAPACITY,
+            DEFAULT_LINE_CACHE_SHARDS,
+        )),
+    )
+}
+
+fn uncached_engine(parser: &WhoisParser, workers: usize) -> ParseEngine {
+    ParseEngine::with_line_cache(parser.clone(), workers, Arc::new(LineCache::disabled()))
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness, not speed — the cached engine's
+/// output is bit-identical to the uncached engine's, and the hit
+/// counters add up.
+fn smoke() {
+    let parser = trained_parser();
+    let pool: Vec<RawRecord> = corpus(29, 40).iter().map(|d| d.raw()).collect();
+    let raws: Vec<RawRecord> = pool.iter().cycle().take(120).cloned().collect();
+    for workers in [1, 2] {
+        let cached = cached_engine(&parser, workers);
+        let uncached = uncached_engine(&parser, workers);
+        let want = uncached.parse_batch(&raws);
+        assert_eq!(
+            cached.parse_batch(&raws),
+            want,
+            "smoke: cold cached parse must be bit-identical ({workers} workers)"
+        );
+        assert_eq!(
+            cached.parse_batch(&raws),
+            want,
+            "smoke: warm cached parse must be bit-identical ({workers} workers)"
+        );
+        let stats = cached.line_cache().stats();
+        let lookups = stats.l1_hits + stats.l2_hits + stats.misses;
+        assert!(lookups > 0, "smoke: cache was never consulted");
+        assert!(
+            stats.l1_hits + stats.l2_hits > stats.misses,
+            "smoke: a tiled corpus must be hit-dominated: {stats:?}"
+        );
+        let un = uncached.line_cache().stats();
+        assert_eq!(
+            un.l1_hits + un.l2_hits + un.misses,
+            0,
+            "smoke: a disabled cache must never be consulted"
+        );
+    }
+    eprintln!("[line_cache] smoke ok: bit-identical output, hit-dominated accounting");
+}
+
+fn bench_line_cache(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let parser = trained_parser();
+    let skewed = skewed_corpus();
+
+    let mut group = c.benchmark_group("line_cache");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(skewed.len() as u64));
+    for workers in WORKER_COUNTS {
+        let engine = uncached_engine(&parser, workers);
+        group.bench_function(BenchmarkId::new("skewed_uncached", workers), |b| {
+            b.iter(|| engine.parse_batch(&skewed).len())
+        });
+        let engine = cached_engine(&parser, workers);
+        engine.parse_batch(&skewed); // warm the cache
+        group.bench_function(BenchmarkId::new("skewed_cached", workers), |b| {
+            b.iter(|| engine.parse_batch(&skewed).len())
+        });
+    }
+    group.finish();
+
+    write_summary(&parser);
+}
+
+/// Best-of-3 wall-clock records/sec for one run of `f` (after a warm-up
+/// run that also primes the cache on the cached engines).
+fn best_rate(records: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary(parser: &WhoisParser) {
+    let mut entries = String::new();
+    for (shape, raws) in [("skewed", skewed_corpus()), ("uniform", uniform_corpus())] {
+        for workers in WORKER_COUNTS {
+            let uncached = uncached_engine(parser, workers);
+            let base = best_rate(raws.len(), || {
+                criterion::black_box(uncached.parse_batch(&raws));
+            });
+            let cached = cached_engine(parser, workers);
+            let rate = best_rate(raws.len(), || {
+                criterion::black_box(cached.parse_batch(&raws));
+            });
+            let stats = cached.line_cache().stats();
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"corpus\": \"{shape}\", \"workers\": {workers}, \
+                 \"uncached_records_per_sec\": {base:.1}, \
+                 \"cached_records_per_sec\": {rate:.1}, \
+                 \"speedup\": {:.3}, \"hit_rate\": {:.4}, \
+                 \"l1_hits\": {}, \"l2_hits\": {}, \"misses\": {}, \
+                 \"evictions\": {}}}",
+                rate / base,
+                stats.hit_rate,
+                stats.l1_hits,
+                stats.l2_hits,
+                stats.misses,
+                stats.evictions
+            ));
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"line_cache\",\n  \"records\": {CORPUS_RECORDS},\n  \
+         \"skewed_pool\": {SKEWED_POOL},\n  \"available_cores\": {cores},\n  \
+         \"capacity\": {DEFAULT_LINE_CACHE_CAPACITY},\n  \"runs\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_line_cache.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[line_cache] summary written to {path}"),
+        Err(e) => eprintln!("[line_cache] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_line_cache);
+criterion_main!(benches);

@@ -286,6 +286,66 @@ impl Crf {
         }
     }
 
+    /// Sum the emission weights of `feats` for every state into `row`
+    /// (resized to length `n`).
+    ///
+    /// This is exactly the per-position emission accumulation of
+    /// [`score_table_with_into`](Self::score_table_with_into) — the same
+    /// additions in the same feature order — so a memoized row copied
+    /// into a [`ScoreTable`] is bit-identical to the one that method
+    /// would have built. This is the contract the line cache
+    /// (`whois-parser`) relies on.
+    ///
+    /// # Panics
+    /// Panics if `feats` contains a feature id `>= F`.
+    pub fn emission_row_into(&self, feats: &[u32], row: &mut Vec<f64>) {
+        let n = self.num_states;
+        row.clear();
+        row.resize(n, 0.0);
+        for &f in feats {
+            assert!(
+                (f as usize) < self.num_obs_features,
+                "feature id {f} out of range (F = {})",
+                self.num_obs_features
+            );
+            let base = self.emit_index(f, 0);
+            for (j, r) in row.iter_mut().enumerate() {
+                *r += self.weights[base + j];
+            }
+        }
+    }
+
+    /// Build the edge potentials entering a position whose feature row
+    /// is `feats`: the base transition weights plus every pair-eligible
+    /// feature's `n×n` block, added in feature order, into `row`
+    /// (resized to length `n²`).
+    ///
+    /// Bit-identical to the edge
+    /// [`score_table_with_into`](Self::score_table_with_into) builds for
+    /// any position `t ≥ 1` observing `feats` (the edge depends only on
+    /// the feature row, not on `t`), by the same argument as
+    /// [`emission_row_into`](Self::emission_row_into).
+    ///
+    /// # Panics
+    /// Panics if `feats` contains a feature id `>= F`.
+    pub fn edge_row_into(&self, feats: &[u32], row: &mut Vec<f64>) {
+        let n = self.num_states;
+        row.clear();
+        row.extend_from_slice(&self.weights[..n * n]);
+        for &f in feats {
+            assert!(
+                (f as usize) < self.num_obs_features,
+                "feature id {f} out of range (F = {})",
+                self.num_obs_features
+            );
+            if let Some(pbase) = self.pair_index(f, 0, 0) {
+                for (e, w) in row.iter_mut().zip(&self.weights[pbase..pbase + n * n]) {
+                    *e += *w;
+                }
+            }
+        }
+    }
+
     /// Unnormalized log-score `Σ_t Σ_k θ_k f_k` of a specific labeling.
     ///
     /// # Panics
@@ -508,5 +568,50 @@ mod tests {
         assert_eq!(table.len, 0);
         assert!(table.emit.is_empty());
         assert!(table.trans.is_empty());
+    }
+
+    #[test]
+    fn memoized_rows_reassemble_the_score_table_bit_for_bit() {
+        // 3 states, 5 features, a mix of pair-eligible ones, irrational
+        // weights so any reordering of float additions would show up.
+        let mut m = Crf::new(3, 5, &[true, false, true, true, false]);
+        let dim = m.dim();
+        m.set_weights((0..dim).map(|i| ((i as f64) * 0.831).sin() * 3.7).collect());
+        let seq = Sequence::new(vec![
+            vec![0, 2, 4],
+            vec![1, 3],
+            vec![],
+            vec![0, 1, 2, 3, 4],
+            vec![2],
+        ]);
+        let want = m.score_table(&seq);
+
+        let n = m.num_states();
+        let mut got = ScoreTable {
+            n,
+            len: seq.len(),
+            emit: Vec::new(),
+            trans: Vec::new(),
+        };
+        let mut emit_row = Vec::new();
+        let mut edge_row = Vec::new();
+        for (t, feats) in seq.obs.iter().enumerate() {
+            m.emission_row_into(feats, &mut emit_row);
+            got.emit.extend_from_slice(&emit_row);
+            if t > 0 {
+                m.edge_row_into(feats, &mut edge_row);
+                got.trans.extend_from_slice(&edge_row);
+            }
+        }
+        // Bit-identical, not merely close: the row helpers replay the
+        // same additions in the same order as score_table_into.
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn emission_row_rejects_feature_beyond_dictionary() {
+        let m = tiny_crf();
+        m.emission_row_into(&[99], &mut Vec::new());
     }
 }

@@ -38,12 +38,21 @@ impl InferenceScratch {
         &self.table
     }
 
-    /// Viterbi-decode `seq` under `crf`, reusing this scratch's buffers.
+    /// Mutable access to the score table, for callers that assemble the
+    /// potentials themselves — e.g. from memoized per-line emission and
+    /// edge rows ([`Crf::emission_row_into`] / [`Crf::edge_row_into`])
+    /// instead of a full [`Crf::score_table_into`] pass.
+    pub fn table_mut(&mut self) -> &mut ScoreTable {
+        &mut self.table
+    }
+
+    /// Viterbi-decode whatever potentials currently sit in the score
+    /// table (see [`table_mut`](Self::table_mut)), reusing this
+    /// scratch's buffers.
     ///
     /// Returns the best path (borrowed from the scratch) and its
     /// unnormalized log-score.
-    pub fn viterbi(&mut self, crf: &Crf, seq: &Sequence) -> (&[usize], f64) {
-        crf.score_table_into(seq, &mut self.table);
+    pub fn viterbi_on_table(&mut self) -> (&[usize], f64) {
         let score = viterbi_into(
             &self.table,
             &mut self.path,
@@ -52,6 +61,15 @@ impl InferenceScratch {
             &mut self.tmp,
         );
         (&self.path, score)
+    }
+
+    /// Viterbi-decode `seq` under `crf`, reusing this scratch's buffers.
+    ///
+    /// Returns the best path (borrowed from the scratch) and its
+    /// unnormalized log-score.
+    pub fn viterbi(&mut self, crf: &Crf, seq: &Sequence) -> (&[usize], f64) {
+        crf.score_table_into(seq, &mut self.table);
+        self.viterbi_on_table()
     }
 
     /// Viterbi-decode `seq` and compute the posterior node marginals

@@ -190,6 +190,30 @@ impl Encoder {
         Sequence::new(sink.into_inner().take_rows())
     }
 
+    /// Encode a single labelable line given its layout context, reusing
+    /// `scratch`'s buffers and recycling row buffers through `free` —
+    /// one step of [`encode_text_with`](Self::encode_text_with) for
+    /// callers that drive the record walk themselves (the line-cache
+    /// miss path). The caller owns the scratch's previous-line window
+    /// state (`AnnotateScratch::reset_context` / `set_prev_window`).
+    pub fn encode_line_with(
+        &self,
+        line: &str,
+        preceded_by_blank: bool,
+        prev_indent: Option<usize>,
+        scratch: &mut AnnotateScratch,
+        free: &mut Vec<Vec<u32>>,
+    ) -> Vec<u32> {
+        let mut sink = self
+            .opts
+            .filter_sink(self.dict.encode_sink_with(std::mem::take(free)));
+        scratch.annotate_line_into(&mut sink, line, preceded_by_blank, prev_indent);
+        let mut inner = sink.into_inner();
+        let row = inner.take_rows().pop().expect("one line was annotated");
+        *free = inner.into_buffers();
+        row
+    }
+
     /// Pair eligibility per dictionary feature: title-side words, layout
     /// markers, and word classes (when pair features are enabled at all).
     pub fn pair_eligibility(&self) -> Vec<bool> {
@@ -326,6 +350,35 @@ mod tests {
             let mut scratch = AnnotateScratch::new();
             let got = e.encode_text_with(SAMPLE, &mut scratch, Vec::new());
             assert_eq!(got, e.encode_text(SAMPLE));
+        }
+    }
+
+    #[test]
+    fn line_by_line_encode_matches_whole_record_encode() {
+        for opts in [
+            FeatureOptions::default(),
+            FeatureOptions {
+                prev_line: false,
+                ..Default::default()
+            },
+        ] {
+            let e = encoder(opts);
+            let want = e.encode_text(SAMPLE);
+            let mut scratch = AnnotateScratch::new();
+            let mut free = Vec::new();
+            scratch.reset_context();
+            let rows: Vec<Vec<u32>> = whois_tokenize::context_lines(SAMPLE)
+                .map(|cl| {
+                    e.encode_line_with(
+                        cl.text,
+                        cl.preceded_by_blank,
+                        cl.prev_indent,
+                        &mut scratch,
+                        &mut free,
+                    )
+                })
+                .collect();
+            assert_eq!(rows, want.obs);
         }
     }
 

@@ -19,15 +19,20 @@
 //! the engine only changes where buffers live and which thread decodes
 //! which record.
 
+use crate::line_cache::{CachedLine, LineCache};
 use crate::parser::WhoisParser;
 use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use whois_crf::InferenceScratch;
 use whois_model::{ParsedRecord, RawRecord};
 use whois_tokenize::AnnotateScratch;
 
 /// Reusable buffers for one parsing worker: annotation interner,
-/// inference lattices, and spare sequence rows.
+/// inference lattices, spare sequence rows, and the worker's private
+/// line-cache L1.
 #[derive(Default, Debug)]
 pub struct ParseScratch {
     /// Feature composition buffers and dedup interner.
@@ -36,6 +41,21 @@ pub struct ParseScratch {
     pub(crate) infer: InferenceScratch,
     /// Spent sequence rows, recycled into the next encode.
     pub(crate) rows: Vec<Vec<u32>>,
+    /// Per-worker L1 over the shared line cache: repeat lines within
+    /// this worker's stream hit without taking any lock. Entries are
+    /// keyed by the same composed key as the L2, so they are implicitly
+    /// generation- and level-scoped.
+    pub(crate) l1: HashMap<u64, Arc<CachedLine>>,
+    /// The current record's per-line cache entries, in line order.
+    pub(crate) entries: Vec<Arc<CachedLine>>,
+    /// Emission-row staging buffer for line-cache misses.
+    pub(crate) emit_row: Vec<f64>,
+    /// Edge-row staging buffer for line-cache misses.
+    pub(crate) edge_row: Vec<f64>,
+    /// Indices of the registrant block's lines (reused per record).
+    pub(crate) reg_idx: Vec<usize>,
+    /// Join buffer for the registrant block text (reused per record).
+    pub(crate) block_text: String,
 }
 
 impl ParseScratch {
@@ -97,6 +117,17 @@ pub struct ParseEngine {
     parser: WhoisParser,
     workers: usize,
     pool: Mutex<Vec<ParseScratch>>,
+    /// Scratches retained at check-in; starts at `workers` and is only
+    /// raised by explicit [`warm`](Self::warm) calls, so concurrent
+    /// `parse_one` bursts can't grow the pool without bound.
+    pool_cap: AtomicUsize,
+    /// Shared L2 line cache (see [`LineCache`]); disabled caches make
+    /// every parse take the plain uncached path.
+    cache: Arc<LineCache>,
+    /// The cache generation this engine's entries belong to, captured
+    /// at construction (the serve registry bumps the cache's generation
+    /// before building the engine for a newly installed model).
+    generation: u64,
 }
 
 impl ParseEngine {
@@ -108,18 +139,46 @@ impl ParseEngine {
     }
 
     /// Wrap a trained parser with an explicit batch worker count
-    /// (`0` means use available parallelism).
+    /// (`0` means use available parallelism) and a private
+    /// default-capacity line cache.
     pub fn with_workers(parser: WhoisParser, workers: usize) -> Self {
+        Self::with_line_cache(
+            parser,
+            workers,
+            Arc::new(LineCache::with_default_capacity()),
+        )
+    }
+
+    /// Wrap a trained parser with an explicit worker count and a shared
+    /// [`LineCache`]. The engine memoizes under the cache's *current*
+    /// generation; callers swapping models over a shared cache must bump
+    /// its generation before constructing the next engine. Pass
+    /// [`LineCache::disabled`] for the uncached baseline engine.
+    pub fn with_line_cache(parser: WhoisParser, workers: usize, cache: Arc<LineCache>) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             workers
         };
+        let generation = cache.generation();
         ParseEngine {
             parser,
             workers,
             pool: Mutex::new(Vec::new()),
+            pool_cap: AtomicUsize::new(workers),
+            cache,
+            generation,
         }
+    }
+
+    /// The engine's line cache.
+    pub fn line_cache(&self) -> &Arc<LineCache> {
+        &self.cache
+    }
+
+    /// The cache generation this engine memoizes under.
+    pub fn cache_generation(&self) -> u64 {
+        self.generation
     }
 
     /// The wrapped parser.
@@ -141,8 +200,11 @@ impl ParseEngine {
     /// requests of a long-running service don't pay the cold-start
     /// allocations. Buffers still grow to their high-water marks on
     /// first use; warming just guarantees `n` concurrent callers find a
-    /// scratch to check out.
+    /// scratch to check out. Warming above the worker count raises the
+    /// pool's retention cap to `n` — the caller is declaring that many
+    /// concurrent users.
     pub fn warm(&self, n: usize) {
+        self.pool_cap.fetch_max(n, Ordering::Relaxed);
         let mut pool = self.pool.lock();
         while pool.len() < n {
             pool.push(ParseScratch::new());
@@ -158,14 +220,30 @@ impl ParseEngine {
         self.pool.lock().pop().unwrap_or_default()
     }
 
+    /// Return a scratch to the pool, dropping it instead when the pool
+    /// is already at its cap — otherwise a burst of concurrent
+    /// `parse_one` callers would leak high-water scratches (and their
+    /// grown buffers) for the lifetime of the engine.
     fn checkin(&self, scratch: ParseScratch) {
-        self.pool.lock().push(scratch);
+        let mut pool = self.pool.lock();
+        if pool.len() < self.pool_cap.load(Ordering::Relaxed) {
+            pool.push(scratch);
+        }
+    }
+
+    fn parse_into(&self, record: &RawRecord, scratch: &mut ParseScratch) -> ParsedRecord {
+        if self.cache.enabled() {
+            self.parser
+                .parse_cached(record, scratch, &self.cache, self.generation)
+        } else {
+            self.parser.parse_with(record, scratch)
+        }
     }
 
     /// Parse one record with pooled buffers.
     pub fn parse_one(&self, record: &RawRecord) -> ParsedRecord {
         let mut scratch = self.checkout();
-        let parsed = self.parser.parse_with(record, &mut scratch);
+        let parsed = self.parse_into(record, &mut scratch);
         self.checkin(scratch);
         parsed
     }
@@ -187,7 +265,7 @@ impl ParseEngine {
         if workers <= 1 {
             let mut scratch = self.checkout();
             for record in records {
-                let parsed = self.parser.parse_with(record, &mut scratch);
+                let parsed = self.parse_into(record, &mut scratch);
                 stats.absorb(&parsed);
                 out.push(parsed);
             }
@@ -204,7 +282,7 @@ impl ParseEngine {
                             let parsed: Vec<ParsedRecord> = chunk
                                 .iter()
                                 .map(|record| {
-                                    let p = self.parser.parse_with(record, &mut scratch);
+                                    let p = self.parse_into(record, &mut scratch);
                                     local.absorb(&p);
                                     p
                                 })
@@ -315,6 +393,64 @@ mod tests {
         // Warming never shrinks the pool.
         engine.warm(1);
         assert_eq!(engine.pooled_scratches(), 3);
+    }
+
+    #[test]
+    fn checkin_never_grows_pool_past_worker_count() {
+        let (engine, test) = trained_engine(2);
+        let records: Vec<_> = test.iter().map(|d| d.raw()).collect();
+        // 8 concurrent parse_one callers on a 2-worker engine: each
+        // checks out a fresh scratch (pool is empty), but check-in
+        // retains at most `workers` of them.
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let engine = &engine;
+                let records = &records;
+                scope.spawn(move || {
+                    for r in records.iter().skip(w % 4).take(6) {
+                        let _ = engine.parse_one(r);
+                    }
+                });
+            }
+        });
+        assert!(
+            engine.pooled_scratches() <= engine.workers(),
+            "pool {} exceeds workers {}",
+            engine.pooled_scratches(),
+            engine.workers()
+        );
+        // Sequential traffic keeps it bounded too.
+        for r in records.iter().take(5) {
+            let _ = engine.parse_one(r);
+        }
+        assert!(engine.pooled_scratches() <= engine.workers());
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_engine_and_counts_hits() {
+        let (engine, test) = trained_engine(1);
+        let records: Vec<_> = test.iter().map(|d| d.raw()).collect();
+        let uncached = ParseEngine::with_line_cache(
+            engine.parser().clone(),
+            1,
+            Arc::new(LineCache::disabled()),
+        );
+        assert!(engine.line_cache().enabled());
+        assert!(!uncached.line_cache().enabled());
+        let want = uncached.parse_batch(&records);
+        // Two passes through the cached engine: the second is hit-heavy
+        // and must still be bit-identical.
+        assert_eq!(engine.parse_batch(&records), want);
+        assert_eq!(engine.parse_batch(&records), want);
+        let stats = engine.line_cache().stats();
+        assert!(stats.misses > 0, "{stats:?}");
+        assert!(
+            stats.l1_hits + stats.l2_hits > stats.misses,
+            "second pass should be dominated by hits: {stats:?}"
+        );
+        assert!(stats.entries > 0 && stats.hit_rate > 0.0);
+        let none = uncached.line_cache().stats();
+        assert_eq!((none.l1_hits, none.l2_hits, none.misses), (0, 0, 0));
     }
 
     #[test]

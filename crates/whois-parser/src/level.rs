@@ -2,10 +2,13 @@
 
 use crate::encoder::{Encoder, FeatureOptions, TrainExample};
 use crate::engine::ParseScratch;
+use crate::line_cache::{compose_key, CachedLine, LineCache, L1_MAX_ENTRIES};
 use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::marker::PhantomData;
+use std::sync::Arc;
 use whois_crf::{train, Crf, Instance, TrainConfig};
 use whois_model::{ErrorStats, Label};
+use whois_tokenize::context_lines;
 
 /// Configuration for training a [`LevelParser`].
 #[derive(Clone, Debug, Default)]
@@ -132,6 +135,106 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
         let labels = path.iter().map(|&j| L::from_index(j)).collect();
         scratch.rows = seq.obs;
         labels
+    }
+
+    /// [`predict_with`](Self::predict_with) through a [`LineCache`]:
+    /// each line's feature row, emission row, and edge row are computed
+    /// at most once per distinct (text, blank gap, previous line)
+    /// context per `generation`, then reused by every later record.
+    ///
+    /// Output is bit-identical to `predict_with` — the memoized rows
+    /// replay exactly the additions `Crf::score_table_into` performs
+    /// (see [`Crf::emission_row_into`] / [`Crf::edge_row_into`]), so the
+    /// assembled [`whois_crf::ScoreTable`] matches bit-for-bit and
+    /// Viterbi decodes the same path.
+    ///
+    /// `salt` scopes keys to this level (the two levels have different
+    /// dictionaries); `generation` scopes them to the installed model.
+    pub fn predict_cached(
+        &self,
+        text: &str,
+        scratch: &mut ParseScratch,
+        cache: &LineCache,
+        salt: u64,
+        generation: u64,
+    ) -> Vec<L> {
+        scratch.annotate.reset_context();
+        scratch.entries.clear();
+        let (mut l1_hits, mut l2_hits, mut misses) = (0u64, 0u64, 0u64);
+        // Window of the last hit line, deferred: it only needs to be
+        // replayed into the annotation scratch when the *next* line is
+        // a miss (consecutive hits never touch the annotator).
+        let mut pending_window: Option<Arc<CachedLine>> = None;
+        for cl in context_lines(text) {
+            let key = compose_key(cl.context_hash, salt, generation);
+            if let Some(hit) = scratch.l1.get(&key) {
+                l1_hits += 1;
+                pending_window = Some(hit.clone());
+                scratch.entries.push(hit.clone());
+                continue;
+            }
+            if let Some(hit) = cache.get(key, generation) {
+                l2_hits += 1;
+                if scratch.l1.len() >= L1_MAX_ENTRIES {
+                    scratch.l1.clear();
+                }
+                scratch.l1.insert(key, hit.clone());
+                pending_window = Some(hit.clone());
+                scratch.entries.push(hit);
+                continue;
+            }
+            misses += 1;
+            if let Some(prev) = pending_window.take() {
+                scratch.annotate.set_prev_window(prev.window.iter());
+            }
+            let row = self.encoder.encode_line_with(
+                cl.text,
+                cl.preceded_by_blank,
+                cl.prev_indent,
+                &mut scratch.annotate,
+                &mut scratch.rows,
+            );
+            self.crf.emission_row_into(&row, &mut scratch.emit_row);
+            self.crf.edge_row_into(&row, &mut scratch.edge_row);
+            let entry = Arc::new(CachedLine {
+                emit: scratch.emit_row.as_slice().into(),
+                edge: scratch.edge_row.as_slice().into(),
+                window: scratch
+                    .annotate
+                    .prev_window()
+                    .iter()
+                    .map(|w| w.as_str().into())
+                    .collect(),
+                feats: row.as_slice().into(),
+                generation,
+            });
+            scratch.rows.push(row);
+            if scratch.l1.len() >= L1_MAX_ENTRIES {
+                scratch.l1.clear();
+            }
+            scratch.l1.insert(key, entry.clone());
+            cache.insert(key, entry.clone());
+            scratch.entries.push(entry);
+        }
+        cache.record_lookups(l1_hits, l2_hits, misses);
+
+        // Assemble the score table by concatenating the memoized rows —
+        // the only remaining per-line work on an all-hit record.
+        let n = self.crf.num_states();
+        let table = scratch.infer.table_mut();
+        table.n = n;
+        table.len = scratch.entries.len();
+        table.emit.clear();
+        table.trans.clear();
+        for (t, entry) in scratch.entries.iter().enumerate() {
+            table.emit.extend_from_slice(&entry.emit);
+            if t > 0 {
+                table.trans.extend_from_slice(&entry.edge);
+            }
+        }
+        scratch.entries.clear();
+        let (path, _) = scratch.infer.viterbi_on_table();
+        path.iter().map(|&j| L::from_index(j)).collect()
     }
 
     /// Predict labels together with per-line posterior confidences

@@ -16,6 +16,12 @@
 //!   batches across crossbeam scoped threads with a [`BatchStats`]
 //!   throughput report, and with zero per-feature allocation at steady
 //!   state.
+//! * [`LineCache`] — cross-record line memoization: WHOIS records are
+//!   rendered from a few thousand registrar templates, so the engine
+//!   memoizes each distinct (line, layout context, previous line)'s
+//!   feature row and CRF potentials in a sharded, generation-versioned
+//!   LRU — parses are bit-identical to the uncached path, repeated
+//!   template lines cost a hash lookup instead of re-tokenization.
 //! * [`inspect`] — model introspection: the top-weight word features per
 //!   label (Table 1) and the top transition-detecting features between
 //!   blocks (Figure 1).
@@ -33,9 +39,13 @@ pub mod engine;
 pub mod extract;
 pub mod inspect;
 pub mod level;
+pub mod line_cache;
 pub mod parser;
 
 pub use encoder::{Encoder, FeatureOptions, TrainExample};
 pub use engine::{BatchStats, ParseEngine, ParseScratch};
 pub use level::{LevelParser, ParserConfig};
+pub use line_cache::{
+    CachedLine, LineCache, LineCacheStats, DEFAULT_LINE_CACHE_CAPACITY, DEFAULT_LINE_CACHE_SHARDS,
+};
 pub use parser::WhoisParser;

@@ -4,6 +4,7 @@ use crate::encoder::TrainExample;
 use crate::engine::ParseScratch;
 use crate::extract;
 use crate::level::{LevelParser, ParserConfig};
+use crate::line_cache::{LineCache, LEVEL1_SALT, LEVEL2_SALT};
 use serde::{Deserialize, Serialize};
 use whois_model::{BlockLabel, ErrorStats, ParsedRecord, RawRecord, RegistrantLabel, WhoisError};
 
@@ -46,24 +47,78 @@ impl WhoisParser {
     /// the steady-state path used by
     /// [`ParseEngine`](crate::engine::ParseEngine) workers.
     pub fn parse_with(&self, record: &RawRecord, scratch: &mut ParseScratch) -> ParsedRecord {
+        self.parse_impl(record, scratch, None)
+    }
+
+    /// [`parse_with`](Self::parse_with) through a [`LineCache`] at
+    /// `generation` — the memoized path used by
+    /// [`ParseEngine`](crate::engine::ParseEngine) when its cache is
+    /// enabled. Output is bit-identical to `parse_with` (see
+    /// [`LevelParser::predict_cached`]).
+    pub fn parse_cached(
+        &self,
+        record: &RawRecord,
+        scratch: &mut ParseScratch,
+        cache: &LineCache,
+        generation: u64,
+    ) -> ParsedRecord {
+        self.parse_impl(record, scratch, Some((cache, generation)))
+    }
+
+    fn parse_impl(
+        &self,
+        record: &RawRecord,
+        scratch: &mut ParseScratch,
+        cache: Option<(&LineCache, u64)>,
+    ) -> ParsedRecord {
         let lines = record.lines();
-        let mut blocks = self.first.predict_with(&record.text, scratch);
+        let mut blocks = match cache {
+            Some((c, generation)) => {
+                self.first
+                    .predict_cached(&record.text, scratch, c, LEVEL1_SALT, generation)
+            }
+            None => self.first.predict_with(&record.text, scratch),
+        };
         align_blocks(lines.len(), &mut blocks);
 
-        // Second level over the registrant block.
-        let reg_lines: Vec<&str> = lines
-            .iter()
-            .zip(&blocks)
-            .filter(|(_, &b)| b == BlockLabel::Registrant)
-            .map(|(&l, _)| l)
-            .collect();
-        let registrant: Vec<(String, RegistrantLabel)> = if reg_lines.is_empty() {
+        // Second level over the registrant block. The line indices and
+        // the joined block text live in scratch-owned buffers — no
+        // per-record `Vec`/`String` allocation.
+        let mut reg_idx = std::mem::take(&mut scratch.reg_idx);
+        reg_idx.clear();
+        reg_idx.extend(
+            blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == BlockLabel::Registrant)
+                .map(|(i, _)| i),
+        );
+        let registrant: Vec<(String, RegistrantLabel)> = if reg_idx.is_empty() {
             Vec::new()
         } else {
-            let block_text = reg_lines.join("\n");
-            let sub = self.second.predict_with(&block_text, scratch);
-            reg_lines.iter().map(|l| l.to_string()).zip(sub).collect()
+            let mut block_text = std::mem::take(&mut scratch.block_text);
+            block_text.clear();
+            for (k, &i) in reg_idx.iter().enumerate() {
+                if k > 0 {
+                    block_text.push('\n');
+                }
+                block_text.push_str(lines[i]);
+            }
+            let sub = match cache {
+                Some((c, generation)) => {
+                    self.second
+                        .predict_cached(&block_text, scratch, c, LEVEL2_SALT, generation)
+                }
+                None => self.second.predict_with(&block_text, scratch),
+            };
+            scratch.block_text = block_text;
+            reg_idx
+                .iter()
+                .map(|&i| lines[i].to_string())
+                .zip(sub)
+                .collect()
         };
+        scratch.reg_idx = reg_idx;
 
         extract::assemble(&record.domain, &lines, &blocks, &registrant)
     }

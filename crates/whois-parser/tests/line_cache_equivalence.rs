@@ -1,0 +1,159 @@
+//! Property tests for the line cache's contract: a cached parse is
+//! **bit-identical** to an uncached one — for any records, any cache
+//! capacity (including 0 = disabled and 1 = perpetual eviction), any
+//! worker count, and across model hot swaps (a stale generation's
+//! entries are never served).
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use whois_gen::corpus::{generate_corpus, GenConfig};
+use whois_model::{BlockLabel, ParsedRecord, RawRecord, RegistrantLabel};
+use whois_parser::{LineCache, ParseEngine, ParserConfig, TrainExample, WhoisParser};
+
+fn train_on(seed: u64, count: usize, split: usize) -> (WhoisParser, Vec<RawRecord>) {
+    let corpus = generate_corpus(GenConfig::new(seed, count));
+    let (train, test) = corpus.split_at(split);
+    let first: Vec<TrainExample<BlockLabel>> = train
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = train
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            if reg.is_empty() {
+                return None;
+            }
+            Some(TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    let raws: Vec<RawRecord> = test.iter().map(|d| d.raw()).collect();
+    (parser, raws)
+}
+
+/// Two trained models (the "hot swap" pair) and a shared record pool
+/// with each model's uncached outputs, trained once.
+struct Fixture {
+    model_a: WhoisParser,
+    model_b: WhoisParser,
+    raws: Vec<RawRecord>,
+    uncached_a: Vec<ParsedRecord>,
+    uncached_b: Vec<ParsedRecord>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (model_a, raws) = train_on(33, 160, 110);
+        // A second model trained on different data: the swap target.
+        // It must behave differently enough that serving a stale row
+        // would be visible — different weights guarantee different
+        // emission rows even when outputs agree.
+        let (model_b, _) = train_on(57, 120, 90);
+        let uncached_a: Vec<ParsedRecord> = raws.iter().map(|r| model_a.parse(r)).collect();
+        let uncached_b: Vec<ParsedRecord> = raws.iter().map(|r| model_b.parse(r)).collect();
+        Fixture {
+            model_a,
+            model_b,
+            raws,
+            uncached_a,
+            uncached_b,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cached ≡ uncached for any capacity (0, 1, tiny, large), shard
+    /// count, worker count, and record subset — including a second pass
+    /// over the warm cache.
+    #[test]
+    fn cached_parse_is_bit_identical_for_any_capacity_and_workers(
+        // Fixed spread of capacities: disabled, perpetual-eviction,
+        // several tiny (eviction-heavy), and one comfortably large.
+        capacity in (0usize..8).prop_map(|i| [0usize, 1, 2, 3, 5, 11, 23, 4096][i]),
+        shards in 1usize..5,
+        workers in 1usize..=4,
+        start in 0usize..30,
+        len in 0usize..30,
+    ) {
+        let f = fixture();
+        let end = (start + len).min(f.raws.len());
+        let subset = &f.raws[start..end];
+        let want = &f.uncached_a[start..end];
+
+        let cache = Arc::new(LineCache::new(capacity, shards));
+        let engine = ParseEngine::with_line_cache(f.model_a.clone(), workers, cache.clone());
+        prop_assert_eq!(&engine.parse_batch(subset), want);
+        // Warm-cache pass: hits (and, at tiny capacities, evictions)
+        // must not change a single byte.
+        prop_assert_eq!(&engine.parse_batch(subset), want);
+        prop_assert!(cache.len() <= capacity.max(shards * capacity.div_ceil(shards.max(1))));
+        if capacity == 0 {
+            prop_assert_eq!(cache.stats().misses, 0, "disabled cache must not be consulted");
+        }
+    }
+
+    /// A model hot swap over a *shared* cache: engines built before and
+    /// after the generation bump each match their own model's uncached
+    /// output, in any interleaving — stale-generation entries are never
+    /// served.
+    #[test]
+    fn hot_swap_never_serves_stale_rows(
+        capacity in (0usize..6).prop_map(|i| [1usize, 2, 7, 17, 31, 4096][i]),
+        workers in 1usize..=3,
+        start in 0usize..30,
+        len in 1usize..25,
+    ) {
+        let f = fixture();
+        let end = (start + len).min(f.raws.len());
+        let subset = &f.raws[start..end];
+        let want_a = &f.uncached_a[start..end];
+        let want_b = &f.uncached_b[start..end];
+
+        let cache = Arc::new(LineCache::new(capacity, 2));
+        let engine_a = ParseEngine::with_line_cache(f.model_a.clone(), workers, cache.clone());
+        prop_assert_eq!(engine_a.cache_generation(), 1);
+        prop_assert_eq!(&engine_a.parse_batch(subset), want_a);
+
+        // Hot swap: bump the shared cache's generation, then build the
+        // new model's engine — exactly the registry's install order.
+        cache.set_generation(2);
+        let engine_b = ParseEngine::with_line_cache(f.model_b.clone(), workers, cache.clone());
+        prop_assert_eq!(engine_b.cache_generation(), 2);
+        prop_assert_eq!(&engine_b.parse_batch(subset), want_b);
+
+        // The old engine is still in flight (requests that started
+        // before the swap): it keeps producing its own model's output,
+        // never reading generation-2 rows.
+        prop_assert_eq!(&engine_a.parse_batch(subset), want_a);
+        prop_assert_eq!(&engine_b.parse_batch(subset), want_b);
+    }
+}
+
+/// Deterministic end-to-end check that single-record parses through the
+/// cache agree with the plain parser for every record in the pool —
+/// the `parse_one` path with its pooled, L1-carrying scratches.
+#[test]
+fn parse_one_through_cache_matches_plain_parse_for_every_record() {
+    let f = fixture();
+    let engine =
+        ParseEngine::with_line_cache(f.model_a.clone(), 2, Arc::new(LineCache::new(64, 2)));
+    for (raw, want) in f.raws.iter().zip(&f.uncached_a) {
+        assert_eq!(&engine.parse_one(raw), want);
+    }
+    // And again over the warm cache/L1s.
+    for (raw, want) in f.raws.iter().zip(&f.uncached_a) {
+        assert_eq!(&engine.parse_one(raw), want);
+    }
+    let stats = engine.line_cache().stats();
+    assert!(stats.l1_hits + stats.l2_hits > 0, "{stats:?}");
+}

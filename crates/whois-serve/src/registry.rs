@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use whois_parser::{ParseEngine, WhoisParser};
+use whois_parser::{LineCache, ParseEngine, WhoisParser};
 
 /// The currently active model: an immutable snapshot shared by every
 /// request that started while it was current.
@@ -41,23 +41,45 @@ pub struct ModelRegistry {
     generation: AtomicU64,
     swaps: AtomicU64,
     engine_workers: usize,
+    line_cache: Arc<LineCache>,
 }
 
 impl ModelRegistry {
     /// Start with `parser` as generation 1. `engine_workers` is passed
-    /// through to [`ParseEngine::with_workers`] for this and every
-    /// subsequently installed model (0 = available parallelism).
+    /// through to the engine for this and every subsequently installed
+    /// model (0 = available parallelism). The line cache is created at
+    /// [`whois_parser::DEFAULT_LINE_CACHE_CAPACITY`].
     pub fn new(parser: WhoisParser, version: impl Into<String>, engine_workers: usize) -> Self {
+        Self::with_line_cache(
+            parser,
+            version,
+            engine_workers,
+            Arc::new(LineCache::with_default_capacity()),
+        )
+    }
+
+    /// [`new`](Self::new) with a caller-provided line cache — the shared
+    /// L2 every installed model's engine memoizes into. Capacity 0
+    /// disables memoization entirely.
+    pub fn with_line_cache(
+        parser: WhoisParser,
+        version: impl Into<String>,
+        engine_workers: usize,
+        line_cache: Arc<LineCache>,
+    ) -> Self {
+        // The cache is born at generation 1, matching the first model.
+        line_cache.set_generation(1);
         let active = Arc::new(ActiveModel {
             version: version.into(),
             generation: 1,
-            engine: ParseEngine::with_workers(parser, engine_workers),
+            engine: ParseEngine::with_line_cache(parser, engine_workers, line_cache.clone()),
         });
         ModelRegistry {
             active: RwLock::new(active),
             generation: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
             engine_workers,
+            line_cache,
         }
     }
 
@@ -66,15 +88,29 @@ impl ModelRegistry {
         self.active.read().clone()
     }
 
+    /// The shared line cache all installed engines memoize into.
+    pub fn line_cache(&self) -> &Arc<LineCache> {
+        &self.line_cache
+    }
+
     /// Atomically swap in a new model; returns its generation. The
     /// engine is built before the write lock is taken, so readers are
-    /// never blocked behind model construction.
+    /// never blocked behind model construction. The line cache's
+    /// generation is bumped *before* the new engine is built: entries
+    /// memoized under the old model become unreachable at that instant
+    /// (no sweep), while the still-running old engine keeps its own
+    /// generation and keeps hitting its own entries until it drains.
     pub fn install(&self, parser: WhoisParser, version: impl Into<String>) -> u64 {
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.line_cache.set_generation(generation);
         let fresh = Arc::new(ActiveModel {
             version: version.into(),
             generation,
-            engine: ParseEngine::with_workers(parser, self.engine_workers),
+            engine: ParseEngine::with_line_cache(
+                parser,
+                self.engine_workers,
+                self.line_cache.clone(),
+            ),
         });
         *self.active.write() = fresh;
         self.swaps.fetch_add(1, Ordering::SeqCst);
@@ -250,6 +286,33 @@ mod tests {
         let raw = whois_model::RawRecord::new("x.com", "Domain Name: X.COM\n");
         let _ = before.engine.parse_one(&raw);
         let _ = after.engine.parse_one(&raw);
+    }
+
+    #[test]
+    fn install_advances_shared_line_cache_generation() {
+        let registry = ModelRegistry::new(tiny_parser(5), "v1", 1);
+        assert_eq!(registry.line_cache().generation(), 1);
+        let raw = whois_model::RawRecord::new("x.com", "Domain Name: X.COM\nRegistrar: R\n");
+        let before = registry.current();
+        let want_v1 = before.engine.parse_one(&raw);
+        // Populate generation-1 entries, then swap models.
+        let _ = before.engine.parse_one(&raw);
+
+        let parser2 = tiny_parser(6);
+        let want_v2 = parser2.parse(&raw);
+        registry.install(parser2, "v2");
+        assert_eq!(registry.line_cache().generation(), 2);
+        let after = registry.current();
+        assert_eq!(after.engine.cache_generation(), 2);
+        // The new engine never sees generation-1 rows; the drained old
+        // engine keeps matching its own model.
+        assert_eq!(after.engine.parse_one(&raw), want_v2);
+        assert_eq!(before.engine.parse_one(&raw), want_v1);
+        // Both engines share the registry's cache.
+        assert!(Arc::ptr_eq(
+            before.engine.line_cache(),
+            after.engine.line_cache()
+        ));
     }
 
     #[test]

@@ -217,6 +217,7 @@ impl ServiceCtx {
             self.registry.swaps(),
             self.cache.len(),
             self.workers,
+            self.registry.line_cache().stats(),
         )
     }
 }

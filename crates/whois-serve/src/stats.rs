@@ -8,6 +8,7 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use whois_parser::LineCacheStats;
 
 /// Latency sum + count for one pipeline stage.
 #[derive(Debug, Default)]
@@ -102,6 +103,7 @@ impl ServeStats {
         model_swaps: u64,
         cache_len: usize,
         workers: usize,
+        line_cache: LineCacheStats,
     ) -> StatsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -132,6 +134,7 @@ impl ServeStats {
             model_swaps,
             cache_len: cache_len as u64,
             workers: workers as u64,
+            line_cache,
         }
     }
 }
@@ -183,6 +186,10 @@ pub struct StatsSnapshot {
     pub cache_len: u64,
     /// Parse worker threads.
     pub workers: u64,
+    /// Line-memoization cache counters (hits, misses, evictions).
+    /// `#[serde(default)]` keeps old clients' replies parseable.
+    #[serde(default)]
+    pub line_cache: LineCacheStats,
 }
 
 #[cfg(test)]
@@ -207,12 +214,34 @@ mod tests {
             ServeStats::inc(&stats.cache_hits);
         }
         ServeStats::inc(&stats.cache_misses);
-        let snap = stats.snapshot("model-0001", 3, 2, 17, 4);
+        let line_cache = LineCacheStats {
+            capacity: 1024,
+            l1_hits: 7,
+            l2_hits: 2,
+            misses: 1,
+            hit_rate: 0.9,
+            ..LineCacheStats::default()
+        };
+        let snap = stats.snapshot("model-0001", 3, 2, 17, 4, line_cache);
         assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
         assert_eq!(snap.model_generation, 3);
         assert_eq!(snap.cache_len, 17);
+        assert_eq!(snap.line_cache.l1_hits, 7);
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn snapshot_deserializes_replies_without_line_cache_field() {
+        // A reply from a pre-line-cache server omits the field; the
+        // serde default keeps the client compatible.
+        let snap = ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default());
+        let json = serde_json::to_string(&snap).unwrap();
+        // `line_cache` serializes last; chop it off at the text level.
+        let start = json.find(",\"line_cache\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, snap);
     }
 }

@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 
 use crate::classes::word_classes;
+use crate::context::context_lines;
 use crate::markers::{indent_of, line_markers};
 use crate::separator::split_title_value;
 use crate::sink::{CollectSink, FeatureSink};
@@ -83,6 +84,63 @@ impl AnnotateScratch {
     fn start_record(&mut self) {
         self.prev_w_len = 0;
         self.cur_w_len = 0;
+    }
+
+    /// Clear the cross-line context (the `p:` word window), as at the
+    /// start of a record. Callers that drive the line walk themselves
+    /// (the memoized parse path) must call this before the first
+    /// [`annotate_line_into`](Self::annotate_line_into) of a record.
+    pub fn reset_context(&mut self) {
+        self.start_record();
+    }
+
+    /// Annotate one labelable line given its layout context: emits the
+    /// line's own features plus the `p:` context features from the
+    /// current previous-line window, then rotates the window.
+    ///
+    /// This is one step of [`annotate_record_into`]; external callers
+    /// own the record walk (see [`crate::context::context_lines`]) and
+    /// the window state ([`reset_context`](Self::reset_context) /
+    /// [`set_prev_window`](Self::set_prev_window)).
+    pub fn annotate_line_into<S: FeatureSink>(
+        &mut self,
+        sink: &mut S,
+        line: &str,
+        preceded_by_blank: bool,
+        prev_indent: Option<usize>,
+    ) {
+        self.line_features(sink, line, preceded_by_blank, prev_indent);
+        self.finish_line(sink);
+    }
+
+    /// The previous-line word window as it stands: after
+    /// [`annotate_line_into`](Self::annotate_line_into) this is the
+    /// just-annotated line's first captured `w:` features — what the
+    /// *next* line's `p:` context will echo.
+    pub fn prev_window(&self) -> &[String] {
+        &self.prev_w[..self.prev_w_len]
+    }
+
+    /// Replace the previous-line word window — used when the previous
+    /// line's annotation was skipped (a memoized cache hit) but its
+    /// window is known, so a following uncached line still receives the
+    /// correct `p:` features. Reuses the window's `String` slots; at
+    /// steady state this allocates nothing.
+    pub fn set_prev_window<I>(&mut self, window: I)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        self.prev_w_len = 0;
+        for w in window.into_iter().take(MAX_PREV_FEATURES) {
+            if self.prev_w_len == self.prev_w.len() {
+                self.prev_w.push(String::new());
+            }
+            let slot = &mut self.prev_w[self.prev_w_len];
+            slot.clear();
+            slot.push_str(w.as_ref());
+            self.prev_w_len += 1;
+        }
     }
 
     /// Dedup `self.feat` against the current line and forward it to the
@@ -200,18 +258,14 @@ pub fn annotate_record_into<S: FeatureSink>(
     scratch: &mut AnnotateScratch,
     sink: &mut S,
 ) {
+    // Implemented over the context walker so the memoized parse path
+    // (which keys on `ContextLine::context_hash`) can never disagree
+    // with full annotation about which lines are labelable or what
+    // layout context they see.
     scratch.start_record();
-    let mut preceded_by_blank = false;
-    let mut prev_indent: Option<usize> = None;
-    for line in text.lines() {
-        if line.chars().any(|c| c.is_alphanumeric()) {
-            scratch.line_features(sink, line, preceded_by_blank, prev_indent);
-            scratch.finish_line(sink);
-            prev_indent = Some(indent_of(line));
-            preceded_by_blank = false;
-        } else {
-            preceded_by_blank = true;
-        }
+    for cl in context_lines(text) {
+        scratch.line_features(sink, cl.text, cl.preceded_by_blank, cl.prev_indent);
+        scratch.finish_line(sink);
     }
 }
 
@@ -383,6 +437,48 @@ mod tests {
             annotate_record_into(text, &mut scratch, &mut sink);
             assert_eq!(sink.into_observations(), annotate_record(text));
         }
+    }
+
+    #[test]
+    fn line_by_line_walk_with_window_restore_matches_record_annotation() {
+        // Drive the annotator one line at a time through the public
+        // single-line API, restoring the window from a captured copy as
+        // the memoized parse path does on a cache hit, and compare with
+        // whole-record annotation.
+        let text = "Contact Type: registrant\nName: John\n\nAddress: 1 Main St\nUS";
+        let want = annotate_record(text);
+
+        let mut scratch = AnnotateScratch::new();
+        let mut got = Vec::new();
+        scratch.reset_context();
+        for cl in crate::context::context_lines(text) {
+            let mut sink = CollectSink::new();
+            scratch.annotate_line_into(&mut sink, cl.text, cl.preceded_by_blank, cl.prev_indent);
+            // Round-trip the window through an owned copy, as a cache
+            // entry would store it.
+            let window: Vec<String> = scratch.prev_window().to_vec();
+            scratch.set_prev_window(&window);
+            got.extend(sink.into_observations());
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prev_window_captures_the_capped_word_features() {
+        let mut scratch = AnnotateScratch::new();
+        let mut sink = CollectSink::new();
+        scratch.reset_context();
+        scratch.annotate_line_into(&mut sink, "Contact Type: registrant", false, None);
+        assert_eq!(
+            scratch.prev_window(),
+            ["w:contact@T", "w:type@T", "w:registrant@V"]
+        );
+        let long = (0..30)
+            .map(|i| format!("word{i}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        scratch.annotate_line_into(&mut sink, &long, false, Some(0));
+        assert_eq!(scratch.prev_window().len(), MAX_PREV_FEATURES);
     }
 
     #[test]

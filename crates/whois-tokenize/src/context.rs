@@ -1,0 +1,194 @@
+//! Per-line context keys: the hashable identity of a line's feature bag.
+//!
+//! A labelable line's features (see [`crate::annotate`]) are a pure
+//! function of three inputs:
+//!
+//! 1. **its own text** — words, classes, separator and symbol markers;
+//! 2. **whether a blank gap precedes it** — the `m:NL` marker;
+//! 3. **the previous labelable line's text** — the `m:SHL`/`m:SHR`
+//!    indentation markers compare against `indent_of(prev)`, and the
+//!    capped `p:` window echoes the previous line's first
+//!    `MAX_PREV_FEATURES` word features, both of which `prev`'s text
+//!    fully determines.
+//!
+//! [`context_hash`] folds exactly those three inputs into a 64-bit FNV-1a
+//! key, and [`context_lines`] walks a record yielding each labelable line
+//! together with its key and layout context. Two lines with equal keys
+//! therefore produce identical feature bags (up to the astronomically
+//! unlikely 64-bit collision), which is what makes cross-record line
+//! memoization (`whois-parser`'s `LineCache`) sound: the key
+//! over-approximates — it may treat equal bags as distinct when only the
+//! irrelevant tail of the previous line differs — but never conflates
+//! distinct bags.
+//!
+//! [`annotate_record_into`](crate::annotate::annotate_record_into) is
+//! itself implemented over this walker, so the record walk used for
+//! memoization can never drift from the one used for full annotation.
+
+use crate::markers::indent_of;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a hash of a line's verbatim text.
+#[inline]
+pub fn line_hash(line: &str) -> u64 {
+    fnv_bytes(FNV_OFFSET, line.as_bytes())
+}
+
+/// Whether the annotator attaches a label to this line (the paper labels
+/// lines containing at least one alphanumeric character; blank and
+/// symbol-only lines only shape the following line's markers).
+#[inline]
+pub fn is_labelable(line: &str) -> bool {
+    line.chars().any(|c| c.is_alphanumeric())
+}
+
+/// The 64-bit context key of a labelable line: a function of its own
+/// text hash, the preceding blank gap, and the previous labelable line's
+/// text hash (`None` for the record's first labelable line, encoded
+/// distinctly from every real hash).
+pub fn context_hash(line_hash: u64, preceded_by_blank: bool, prev_hash: Option<u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    match prev_hash {
+        Some(p) => {
+            h = fnv_bytes(h, &[1]);
+            h = fnv_bytes(h, &p.to_le_bytes());
+        }
+        None => h = fnv_bytes(h, &[0]),
+    }
+    h = fnv_bytes(h, &[preceded_by_blank as u8]);
+    fnv_bytes(h, &line_hash.to_le_bytes())
+}
+
+/// One labelable line with the layout context the annotator would give
+/// it, plus its memoization key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContextLine<'a> {
+    /// The verbatim line text.
+    pub text: &'a str,
+    /// Whether a blank (or symbol-only) gap precedes this line.
+    pub preceded_by_blank: bool,
+    /// Indentation of the previous labelable line, if any.
+    pub prev_indent: Option<usize>,
+    /// [`context_hash`] of this line.
+    pub context_hash: u64,
+}
+
+/// Iterator over the labelable lines of a record, in the exact walk
+/// order of [`annotate_record_into`](crate::annotate::annotate_record_into).
+#[derive(Debug)]
+pub struct ContextLines<'a> {
+    lines: std::str::Lines<'a>,
+    preceded_by_blank: bool,
+    prev: Option<(u64, usize)>,
+}
+
+/// Walk the labelable lines of `text` with their layout context and
+/// memoization keys.
+pub fn context_lines(text: &str) -> ContextLines<'_> {
+    ContextLines {
+        lines: text.lines(),
+        preceded_by_blank: false,
+        prev: None,
+    }
+}
+
+impl<'a> Iterator for ContextLines<'a> {
+    type Item = ContextLine<'a>;
+
+    fn next(&mut self) -> Option<ContextLine<'a>> {
+        for line in self.lines.by_ref() {
+            if !is_labelable(line) {
+                self.preceded_by_blank = true;
+                continue;
+            }
+            let hash = line_hash(line);
+            let out = ContextLine {
+                text: line,
+                preceded_by_blank: self.preceded_by_blank,
+                prev_indent: self.prev.map(|(_, indent)| indent),
+                context_hash: context_hash(hash, self.preceded_by_blank, self.prev.map(|(h, _)| h)),
+            };
+            self.prev = Some((hash, indent_of(line)));
+            self.preceded_by_blank = false;
+            return Some(out);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_matches_annotator_line_filter() {
+        let text = "Domain: X.COM\n\nRegistrant:\n   John Smith\n%%%%\nUS";
+        let walked: Vec<_> = context_lines(text).collect();
+        let texts: Vec<&str> = walked.iter().map(|c| c.text).collect();
+        assert_eq!(
+            texts,
+            vec!["Domain: X.COM", "Registrant:", "   John Smith", "US"]
+        );
+        assert!(!walked[0].preceded_by_blank);
+        assert!(walked[1].preceded_by_blank, "blank line gap");
+        assert!(!walked[2].preceded_by_blank);
+        assert!(
+            walked[3].preceded_by_blank,
+            "symbol-only line counts as gap"
+        );
+        assert_eq!(walked[0].prev_indent, None);
+        assert_eq!(walked[2].prev_indent, Some(0));
+        assert_eq!(walked[3].prev_indent, Some(3));
+    }
+
+    #[test]
+    fn key_depends_on_text_gap_and_previous_line() {
+        let h = line_hash("Name: John");
+        let base = context_hash(h, false, Some(line_hash("Registrant:")));
+        // Different own text.
+        assert_ne!(
+            base,
+            context_hash(
+                line_hash("Name: Jane"),
+                false,
+                Some(line_hash("Registrant:"))
+            )
+        );
+        // Different blank-gap flag.
+        assert_ne!(base, context_hash(h, true, Some(line_hash("Registrant:"))));
+        // Different previous line.
+        assert_ne!(base, context_hash(h, false, Some(line_hash("Admin:"))));
+        // Missing previous line is distinct from any real previous line.
+        assert_ne!(base, context_hash(h, false, None));
+        // Same inputs, same key.
+        assert_eq!(base, context_hash(h, false, Some(line_hash("Registrant:"))));
+    }
+
+    #[test]
+    fn identical_context_across_records_yields_identical_keys() {
+        let a: Vec<_> = context_lines("Registrar: X\nlegal text\nmore legal text").collect();
+        let b: Vec<_> = context_lines("Registrar: Y\nlegal text\nmore legal text").collect();
+        // First lines differ, so the second lines' keys differ (prev text
+        // is part of the context)...
+        assert_ne!(a[1].context_hash, b[1].context_hash);
+        // ...but the third lines share (text, gap, prev text): same key.
+        assert_eq!(a[2].context_hash, b[2].context_hash);
+    }
+
+    #[test]
+    fn empty_and_unlabelable_records_yield_nothing() {
+        assert_eq!(context_lines("").count(), 0);
+        assert_eq!(context_lines("\n\n%%%\n---\n").count(), 0);
+    }
+}

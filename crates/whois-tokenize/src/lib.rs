@@ -27,6 +27,7 @@
 
 pub mod annotate;
 pub mod classes;
+pub mod context;
 pub mod dictionary;
 pub mod lexicon;
 pub mod markers;
@@ -39,6 +40,9 @@ pub use annotate::{
     AnnotateScratch, LineObservation,
 };
 pub use classes::{word_classes, WordClass};
+pub use context::{
+    context_hash, context_lines, is_labelable, line_hash, ContextLine, ContextLines,
+};
 pub use dictionary::{Dictionary, DictionaryBuilder, EncodeSink, FitSink};
 pub use markers::{line_markers, Markers};
 pub use separator::{split_title_value, Separator};

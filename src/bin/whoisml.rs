@@ -8,7 +8,8 @@
 //! whoisml label       --model model.json [--input record.txt]
 //! whoisml inspect     --model model.json
 //! whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]
-//!                     [--port P] [--workers N] [--cache N] [--queue N] [--upstream host:port]
+//!                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]
+//!                     [--upstream host:port]
 //! whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)
 //! ```
 //!
@@ -27,8 +28,9 @@
 //!   line — the triage view for finding records worth labeling.
 //! * `inspect` dumps the model's heaviest features (Table 1 / Figure 1).
 //! * `serve` runs the long-lived parse daemon (`whois-serve`): sharded
-//!   result cache, bounded admission queue, and — with `--model-dir` —
-//!   hot reload of new model versions dropped into the directory.
+//!   result cache, line-memoization cache (`--line-cache N`, 0 turns it
+//!   off), bounded admission queue, and — with `--model-dir` — hot
+//!   reload of new model versions dropped into the directory.
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
@@ -93,7 +95,8 @@ fn usage_and_exit() -> ! {
          \x20 whoisml label       --model model.json [--input record.txt]\n\
          \x20 whoisml inspect     --model model.json [--topk K]\n\
          \x20 whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]\n\
-         \x20                     [--port P] [--workers N] [--cache N] [--queue N] [--upstream host:port]\n\
+         \x20                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]\n\
+         \x20                     [--upstream host:port]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)"
     );
     std::process::exit(2);
@@ -319,7 +322,17 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "model".into());
 
-    let registry = std::sync::Arc::new(ModelRegistry::new(parser, version, 1));
+    // Line-memoization cache shared by every installed model's engine
+    // (0 disables it); hot swaps invalidate it by generation bump.
+    let line_cache_capacity: usize =
+        flags.get_or("line-cache", whoisml::parser::DEFAULT_LINE_CACHE_CAPACITY);
+    let line_cache = std::sync::Arc::new(whoisml::parser::LineCache::new(
+        line_cache_capacity,
+        whoisml::parser::DEFAULT_LINE_CACHE_SHARDS,
+    ));
+    let registry = std::sync::Arc::new(ModelRegistry::with_line_cache(
+        parser, version, 1, line_cache,
+    ));
     let watcher = model_dir.map(|dir| {
         let poll_ms: u64 = flags.get_or("poll-ms", 1000);
         ModelWatcher::start(
@@ -354,10 +367,11 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | queue {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
+        line_cache_capacity,
         flags.get_or::<usize>("queue", 64),
     );
     loop {
