@@ -1,0 +1,213 @@
+//! Crawl resilience under injected faults: coverage and throughput as
+//! the fault rate climbs.
+//!
+//! The fault-tolerant crawl path (retries + salvage passes + per-server
+//! circuit breakers) is supposed to buy coverage back from a lossy
+//! network without giving up determinism. This bench runs the two-step
+//! thin→thick pipeline over loopback [`whois_net::WhoisServer`] fleets
+//! whose registry *and* registrars drop connections with probability
+//! 0.0 / 0.1 / 0.3 (keyed deterministic fates, so a given seed always
+//! produces the same fault pattern), at 1/2/4 workers.
+//!
+//! The summary (`results/BENCH_crawl_faults.json`) records domains/sec
+//! and the achieved coverage per (drop rate, workers) cell.
+//! `WHOIS_BENCH_SMOKE=1` swaps in a seconds-long correctness check:
+//! fault-free crawls reach coverage 1.0, drop-rate-0.3 crawls still
+//! clear 0.99, and two seeded faulty runs produce byte-identical
+//! canonical summaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whois_bench::corpus;
+use whois_net::{
+    BreakerConfig, Crawler, CrawlerConfig, FaultConfig, InMemoryStore, ServerConfig, WhoisClient,
+    WhoisServer,
+};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+const DROP_RATES: [f64; 3] = [0.0, 0.1, 0.3];
+/// Domains per measured crawl.
+const ZONE_SIZE: usize = 60;
+
+struct Fleet {
+    _registry: WhoisServer,
+    _registrars: Vec<WhoisServer>,
+    registry_addr: std::net::SocketAddr,
+    resolver: HashMap<String, std::net::SocketAddr>,
+    zone: Vec<String>,
+}
+
+fn fleet(n: usize, drop_chance: f64, seed: u64) -> Fleet {
+    let domains = corpus(29, n);
+    let mut thin = InMemoryStore::new();
+    let mut per_reg: HashMap<&str, InMemoryStore> = HashMap::new();
+    for d in &domains {
+        thin.insert(&d.facts.domain, d.thin_text());
+        per_reg
+            .entry(d.registrar.whois_server)
+            .or_default()
+            .insert(&d.facts.domain, d.rendered.text());
+    }
+    let cfg = |seed_offset: u64| ServerConfig {
+        faults: FaultConfig {
+            drop_chance,
+            ..FaultConfig::none()
+        },
+        fault_seed: seed + seed_offset,
+        ..Default::default()
+    };
+    let registry = WhoisServer::start(thin, cfg(0)).unwrap();
+    let mut resolver = HashMap::new();
+    let mut registrars = Vec::new();
+    // Sort by host: HashMap order is randomized, and the per-registrar
+    // seed offset must be stable for runs to be reproducible.
+    let mut per_reg: Vec<_> = per_reg.into_iter().collect();
+    per_reg.sort_by_key(|(host, _)| *host);
+    for (i, (host, store)) in per_reg.into_iter().enumerate() {
+        let server = WhoisServer::start(store, cfg(1 + i as u64)).unwrap();
+        resolver.insert(host.to_string(), server.addr());
+        registrars.push(server);
+    }
+    Fleet {
+        registry_addr: registry.addr(),
+        _registry: registry,
+        _registrars: registrars,
+        resolver,
+        zone: domains.iter().map(|d| d.facts.domain.clone()).collect(),
+    }
+}
+
+/// The fault-tolerant crawl config used throughout: tight pacing (this
+/// is loopback), breakers on, two salvage passes.
+fn crawler_cfg(workers: usize) -> CrawlerConfig {
+    CrawlerConfig {
+        workers,
+        retries: 3,
+        max_delay: Duration::from_millis(5),
+        retry_pause: Duration::from_millis(1),
+        client: WhoisClient {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(500),
+            ..Default::default()
+        },
+        breaker: Some(BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(10),
+        }),
+        salvage_passes: 2,
+        ..Default::default()
+    }
+}
+
+fn run_crawl(fleet: &Fleet, workers: usize) -> whois_net::CrawlReport {
+    let crawler = Arc::new(Crawler::new(
+        fleet.registry_addr,
+        fleet.resolver.clone(),
+        crawler_cfg(workers),
+    ));
+    crawler.crawl(&fleet.zone)
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness, not speed — coverage holds up
+/// under faults and seeded faulty crawls are reproducible.
+fn smoke() {
+    let clean = fleet(20, 0.0, 7);
+    let report = run_crawl(&clean, 2);
+    assert!(
+        (report.coverage() - 1.0).abs() < 1e-9,
+        "smoke: fault-free crawl must reach full coverage, got {}",
+        report.coverage()
+    );
+
+    let faulty = fleet(20, 0.3, 7);
+    let first = run_crawl(&faulty, 2);
+    assert!(
+        first.coverage() >= 0.99,
+        "smoke: drop-rate-0.3 crawl must clear 0.99 coverage, got {}",
+        first.coverage()
+    );
+    let again = fleet(20, 0.3, 7);
+    let second = run_crawl(&again, 4);
+    assert_eq!(
+        first.canonical_summary(),
+        second.canonical_summary(),
+        "smoke: same seed must give byte-identical summaries across worker counts"
+    );
+    eprintln!("[crawl_faults] smoke ok: full fault-free coverage, >=0.99 faulty, reproducible");
+}
+
+fn bench_crawl_faults(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let mut group = c.benchmark_group("crawl_faults");
+    group.sample_size(10);
+    for drop_chance in DROP_RATES {
+        let fleet = fleet(ZONE_SIZE, drop_chance, 7);
+        group.throughput(Throughput::Elements(fleet.zone.len() as u64));
+        let label = format!("drop_{drop_chance:.1}_w4");
+        group.bench_function(BenchmarkId::new("crawl", label), |b| {
+            b.iter(|| {
+                let report = run_crawl(&fleet, 4);
+                assert!(report.coverage() > 0.95, "coverage {}", report.coverage());
+                report.results.len()
+            })
+        });
+    }
+    group.finish();
+
+    write_summary();
+}
+
+/// Best-of-3 wall-clock domains/sec plus the (deterministic) coverage
+/// for one (drop rate, workers) cell.
+fn measure(drop_chance: f64, workers: usize) -> (f64, f64) {
+    let fleet = fleet(ZONE_SIZE, drop_chance, 7);
+    let coverage = run_crawl(&fleet, workers).coverage();
+    let rate = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            criterion::black_box(run_crawl(&fleet, workers));
+            ZONE_SIZE as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max);
+    (rate, coverage)
+}
+
+fn write_summary() {
+    let mut entries = String::new();
+    for drop_chance in DROP_RATES {
+        for workers in WORKER_COUNTS {
+            let (rate, coverage) = measure(drop_chance, workers);
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"drop_chance\": {drop_chance:.1}, \"workers\": {workers}, \
+                 \"domains_per_sec\": {rate:.1}, \"coverage\": {coverage:.4}}}"
+            ));
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"crawl_faults\",\n  \"zone_size\": {ZONE_SIZE},\n  \
+         \"retries\": 3,\n  \"salvage_passes\": 2,\n  \"breaker_threshold\": 5,\n  \
+         \"available_cores\": {cores},\n  \"runs\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_crawl_faults.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[crawl_faults] summary written to {path}"),
+        Err(e) => eprintln!("[crawl_faults] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_crawl_faults);
+criterion_main!(benches);

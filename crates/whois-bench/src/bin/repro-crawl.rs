@@ -71,6 +71,7 @@ fn main() {
                 drop_chance: 0.05,
                 empty_chance: 0.03,
                 garble_chance: 0.01,
+                ..FaultConfig::none()
             },
             fault_seed: seed ^ i as u64,
             limit_replies_error: i % 2 == 0, // both refusal styles exist

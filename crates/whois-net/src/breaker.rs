@@ -1,0 +1,309 @@
+//! Per-server circuit breakers for the crawler.
+//!
+//! A WHOIS server that stops answering (dead host, hard ban, network
+//! partition) would otherwise eat a connect-timeout per query while the
+//! crawler hammers it. The breaker is the classic three-state machine:
+//!
+//! * **Closed** — requests flow; consecutive transport failures are
+//!   counted, and reaching the threshold trips the breaker.
+//! * **Open** — requests are rejected until a cooldown expires.
+//! * **Half-open** — one probe request is admitted; success closes the
+//!   breaker, failure re-opens it for another cooldown.
+//!
+//! The crawler uses the breaker as *backpressure*, not abandonment: a
+//! rejected acquire makes the caller wait out (a bounded slice of) the
+//! cooldown and try again, so per-domain retry budgets — and therefore
+//! the keyed fault determinism the tests rely on — are unaffected by
+//! how other domains' failures happened to interleave. Abandoning a
+//! domain remains the retry budget's job.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::{Duration, Instant};
+
+/// Breaker parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow.
+    Closed,
+    /// Requests are rejected until the cooldown expires.
+    Open,
+    /// One probe is (or may be) in flight.
+    HalfOpen,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Inner {
+    Closed { consecutive: u32 },
+    Open { until: Instant },
+    HalfOpen { probe_in_flight: bool },
+}
+
+/// One endpoint's breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Inner,
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Acquires rejected while open (or while a probe was in flight).
+    pub rejections: u64,
+}
+
+impl CircuitBreaker {
+    /// New breaker, closed.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Inner::Closed { consecutive: 0 },
+            trips: 0,
+            rejections: 0,
+        }
+    }
+
+    /// The state as of `now` (an expired open window reads as half-open).
+    pub fn state(&self, now: Instant) -> BreakerState {
+        match self.inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::Open { until } if now < until => BreakerState::Open,
+            Inner::Open { .. } | Inner::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Try to admit a request at `now`. `Err` carries how long to wait
+    /// before the next acquire can possibly succeed.
+    pub fn try_acquire(&mut self, now: Instant) -> Result<(), Duration> {
+        match self.inner {
+            Inner::Closed { .. } => Ok(()),
+            Inner::Open { until } => {
+                if now >= until {
+                    self.inner = Inner::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    Ok(())
+                } else {
+                    self.rejections += 1;
+                    Err(until - now)
+                }
+            }
+            Inner::HalfOpen { probe_in_flight } => {
+                if probe_in_flight {
+                    self.rejections += 1;
+                    Err(Duration::from_millis(1))
+                } else {
+                    self.inner = Inner::HalfOpen {
+                        probe_in_flight: true,
+                    };
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Record a successful request: the endpoint is healthy again.
+    pub fn record_success(&mut self) {
+        self.inner = Inner::Closed { consecutive: 0 };
+    }
+
+    /// Record a transport failure at `now`. Returns `true` when this
+    /// failure tripped the breaker open.
+    pub fn record_failure(&mut self, now: Instant) -> bool {
+        match self.inner {
+            Inner::Closed { consecutive } => {
+                let consecutive = consecutive + 1;
+                if consecutive >= self.cfg.failure_threshold {
+                    self.trip(now);
+                    true
+                } else {
+                    self.inner = Inner::Closed { consecutive };
+                    false
+                }
+            }
+            Inner::HalfOpen { .. } => {
+                // The probe failed: back to open for another cooldown.
+                self.trip(now);
+                true
+            }
+            Inner::Open { until } => {
+                // A request admitted before the trip finished late;
+                // extend the window rather than double-count a trip.
+                self.inner = Inner::Open {
+                    until: until.max(now + self.cfg.cooldown),
+                };
+                false
+            }
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.inner = Inner::Open {
+            until: now + self.cfg.cooldown,
+        };
+        self.trips += 1;
+    }
+}
+
+/// One breaker per key (per WHOIS endpoint), mirroring
+/// [`KeyedRateLimiter`](crate::limiter::KeyedRateLimiter)'s shape.
+#[derive(Clone, Debug)]
+pub struct KeyedBreaker<K: Hash + Eq + Clone> {
+    cfg: BreakerConfig,
+    breakers: HashMap<K, CircuitBreaker>,
+}
+
+impl<K: Hash + Eq + Clone> KeyedBreaker<K> {
+    /// New keyed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        KeyedBreaker {
+            cfg,
+            breakers: HashMap::new(),
+        }
+    }
+
+    /// Try to admit a request for `key` at `now`.
+    pub fn try_acquire(&mut self, key: &K, now: Instant) -> Result<(), Duration> {
+        let cfg = self.cfg;
+        self.breakers
+            .entry(key.clone())
+            .or_insert_with(|| CircuitBreaker::new(cfg))
+            .try_acquire(now)
+    }
+
+    /// Record a success for `key`.
+    pub fn record_success(&mut self, key: &K) {
+        if let Some(b) = self.breakers.get_mut(key) {
+            b.record_success();
+        }
+    }
+
+    /// Record a failure for `key`; `true` when it tripped the breaker.
+    pub fn record_failure(&mut self, key: &K, now: Instant) -> bool {
+        let cfg = self.cfg;
+        self.breakers
+            .entry(key.clone())
+            .or_insert_with(|| CircuitBreaker::new(cfg))
+            .record_failure(now)
+    }
+
+    /// The breaker for `key`, if any requests have touched it.
+    pub fn get(&self, key: &K) -> Option<&CircuitBreaker> {
+        self.breakers.get(key)
+    }
+
+    /// Iterate over all tracked breakers.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &CircuitBreaker)> {
+        self.breakers.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32, cooldown_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg(3, 100));
+        let t0 = Instant::now();
+        assert!(!b.record_failure(t0));
+        assert!(!b.record_failure(t0));
+        assert!(b.record_failure(t0), "third consecutive failure trips");
+        assert_eq!(b.state(t0), BreakerState::Open);
+        assert_eq!(b.trips, 1);
+        assert!(b.try_acquire(t0).is_err());
+        assert_eq!(b.rejections, 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let mut b = CircuitBreaker::new(cfg(3, 100));
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state(t0), BreakerState::Closed, "count was reset");
+        assert_eq!(b.trips, 0);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = CircuitBreaker::new(cfg(1, 50));
+        let t0 = Instant::now();
+        assert!(b.record_failure(t0));
+        // Within the cooldown: rejected, with the remaining wait.
+        let wait = b.try_acquire(t0 + Duration::from_millis(10)).unwrap_err();
+        assert!(wait <= Duration::from_millis(40));
+        // After the cooldown: one probe admitted, a second rejected.
+        let t1 = t0 + Duration::from_millis(60);
+        assert!(b.try_acquire(t1).is_ok());
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        assert!(b.try_acquire(t1).is_err(), "only one probe in flight");
+        b.record_success();
+        assert_eq!(b.state(t1), BreakerState::Closed);
+        assert!(b.try_acquire(t1).is_ok());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = CircuitBreaker::new(cfg(1, 50));
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let t1 = t0 + Duration::from_millis(60);
+        assert!(b.try_acquire(t1).is_ok());
+        assert!(b.record_failure(t1), "failed probe re-trips");
+        assert_eq!(b.state(t1), BreakerState::Open);
+        assert_eq!(b.trips, 2);
+        assert!(b.try_acquire(t1).is_err());
+    }
+
+    #[test]
+    fn late_failure_while_open_extends_without_double_counting() {
+        let mut b = CircuitBreaker::new(cfg(1, 50));
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        assert!(!b.record_failure(t0 + Duration::from_millis(20)));
+        assert_eq!(b.trips, 1);
+        // The window now runs from the late failure.
+        assert!(b.try_acquire(t0 + Duration::from_millis(60)).is_err());
+        assert!(b.try_acquire(t0 + Duration::from_millis(80)).is_ok());
+    }
+
+    #[test]
+    fn keyed_breakers_are_independent() {
+        let mut kb: KeyedBreaker<&str> = KeyedBreaker::new(cfg(1, 50));
+        let t0 = Instant::now();
+        assert!(kb.record_failure(&"a", t0));
+        assert!(kb.try_acquire(&"a", t0).is_err());
+        assert!(kb.try_acquire(&"b", t0).is_ok());
+        kb.record_success(&"b");
+        assert_eq!(kb.get(&"a").unwrap().trips, 1);
+        assert_eq!(kb.get(&"b").unwrap().trips, 0);
+        assert_eq!(kb.iter().count(), 2);
+    }
+}

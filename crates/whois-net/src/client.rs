@@ -53,7 +53,7 @@ impl WhoisClient {
                 Err(e) => return Err(e),
             }
         }
-        Ok(String::from_utf8_lossy(&body).into_owned())
+        Ok(proto::decode_body(&body))
     }
 }
 

@@ -10,13 +10,34 @@
 //! queries well under it (multiplicative back-off on the per-server
 //! inter-query delay). Every query is retried up to three times before
 //! the domain is marked failed.
+//!
+//! On top of the paper's retry/backoff, the crawler carries the
+//! fault-tolerance layer a weeks-long crawl needs in practice:
+//!
+//! * **Circuit breakers** ([`crate::breaker`]) — per-endpoint
+//!   closed→open→half-open gating on consecutive transport failures,
+//!   with per-endpoint failure/latency accounting in the report.
+//! * **Salvage passes** — after the main pass, domains that ended
+//!   `Failed`/`ThinOnly` are re-queued up to
+//!   [`salvage_passes`](CrawlerConfig::salvage_passes) times; a whole
+//!   fresh pass (fresh retry budget, later in time, breakers warmed)
+//!   recovers most of what a burst of faults took.
+//! * **Cancellation** — [`Crawler::cancel`] stops a crawl at the next
+//!   domain boundary; in-flight domains finish and are reported.
+//! * **Resumable crawls** — [`Crawler::crawl_resumable`] journals every
+//!   completed domain to a [`CrawlJournal`] and skips already-journaled
+//!   domains on restart, so a killed crawl resumes without re-querying.
 
+use crate::breaker::{BreakerConfig, KeyedBreaker};
 use crate::client::WhoisClient;
+use crate::journal::CrawlJournal;
 use crate::proto::{self, ReplyKind};
 use crossbeam::channel;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,6 +60,11 @@ pub struct CrawlerConfig {
     pub retry_pause: Duration,
     /// Client timeouts.
     pub client: WhoisClient,
+    /// Per-endpoint circuit breakers (`None` = disabled).
+    pub breaker: Option<BreakerConfig>,
+    /// Extra whole-domain passes over `Failed`/`ThinOnly` results after
+    /// the main pass (0 = the paper's single pass).
+    pub salvage_passes: usize,
 }
 
 impl Default for CrawlerConfig {
@@ -51,12 +77,14 @@ impl Default for CrawlerConfig {
             backoff: 2.0,
             retry_pause: Duration::from_millis(40),
             client: WhoisClient::default(),
+            breaker: None,
+            salvage_passes: 0,
         }
     }
 }
 
 /// Outcome for one domain.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CrawlStatus {
     /// Thin and thick records both fetched.
     Full,
@@ -69,8 +97,25 @@ pub enum CrawlStatus {
     Failed,
 }
 
+impl CrawlStatus {
+    /// Whether a salvage pass could improve on this outcome.
+    fn retryable(&self) -> bool {
+        matches!(self, CrawlStatus::Failed | CrawlStatus::ThinOnly)
+    }
+
+    /// Preference order when merging passes (higher is better).
+    fn rank(&self) -> u8 {
+        match self {
+            CrawlStatus::Full => 3,
+            CrawlStatus::NoMatch => 2,
+            CrawlStatus::ThinOnly => 1,
+            CrawlStatus::Failed => 0,
+        }
+    }
+}
+
 /// One crawled domain.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CrawlResult {
     /// The domain queried.
     pub domain: String,
@@ -80,17 +125,64 @@ pub struct CrawlResult {
     pub thick: Option<String>,
     /// Outcome.
     pub status: CrawlStatus,
-    /// Total queries issued for this domain (across retries).
+    /// Total queries issued for this domain (across retries and salvage
+    /// passes).
     pub attempts: u32,
+}
+
+impl CrawlResult {
+    /// Merge a salvage-pass result into an earlier one: the better
+    /// status wins, attempts accumulate.
+    fn merge(self, later: CrawlResult) -> CrawlResult {
+        let attempts = self.attempts + later.attempts;
+        let mut best = if later.status.rank() >= self.status.rank() {
+            later
+        } else {
+            self
+        };
+        best.attempts = attempts;
+        best
+    }
+}
+
+/// Transport-level accounting for one WHOIS endpoint across a crawl.
+#[derive(Clone, Debug, Default)]
+pub struct EndpointStats {
+    /// Queries actually sent (breaker rejections excluded).
+    pub queries: u64,
+    /// Transport failures: connect/read errors and empty replies.
+    pub failures: u64,
+    /// Times the endpoint's breaker tripped open.
+    pub breaker_trips: u64,
+    /// Acquires the breaker rejected (each cost the caller a bounded
+    /// wait, not an attempt).
+    pub breaker_rejections: u64,
+    /// Summed wall-clock latency of sent queries.
+    pub total_latency: Duration,
+}
+
+impl EndpointStats {
+    /// Mean per-query latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.queries as u32
+        }
+    }
 }
 
 /// Aggregate crawl statistics.
 #[derive(Clone, Debug, Default)]
 pub struct CrawlReport {
-    /// Per-domain results, in completion order.
+    /// Per-domain results, in completion order ([`Crawler::crawl_resumable`]
+    /// reorders to input order so resumed and uninterrupted runs compare
+    /// equal).
     pub results: Vec<CrawlResult>,
     /// Inferred per-server sustainable delays at the end of the crawl.
     pub inferred_delays: HashMap<SocketAddr, Duration>,
+    /// Per-endpoint transport accounting.
+    pub endpoints: HashMap<SocketAddr, EndpointStats>,
     /// Wall-clock duration.
     pub elapsed: Duration,
 }
@@ -118,6 +210,39 @@ impl CrawlReport {
         (self.count(CrawlStatus::Failed) + self.count(CrawlStatus::ThinOnly)) as f64
             / self.results.len() as f64
     }
+
+    /// A canonical, timing-free rendering of the per-domain outcomes:
+    /// one line per result, sorted by domain, with body content hashed.
+    /// Two crawls of the same corpus under the same fault seed must
+    /// produce byte-identical summaries — the determinism the fault
+    /// tests assert.
+    pub fn canonical_summary(&self) -> String {
+        fn fnv(s: Option<&str>) -> u64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in s.unwrap_or("\u{0}none").as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h
+        }
+        let mut lines: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {:?} attempts={} thin={:016x} thick={:016x}",
+                    r.domain,
+                    r.status,
+                    r.attempts,
+                    fnv(r.thin.as_deref()),
+                    fnv(r.thick.as_deref())
+                )
+            })
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        out.push('\n');
+        out
+    }
 }
 
 /// Per-server pacing state.
@@ -135,6 +260,9 @@ pub struct Crawler {
     /// Referral host name → address (the simulation's DNS).
     resolver: HashMap<String, SocketAddr>,
     pacing: Mutex<HashMap<SocketAddr, Pacing>>,
+    breakers: Option<Mutex<KeyedBreaker<SocketAddr>>>,
+    endpoints: Mutex<HashMap<SocketAddr, EndpointStats>>,
+    cancelled: AtomicBool,
 }
 
 impl Crawler {
@@ -146,11 +274,26 @@ impl Crawler {
         cfg: CrawlerConfig,
     ) -> Self {
         Crawler {
+            breakers: cfg.breaker.map(|b| Mutex::new(KeyedBreaker::new(b))),
             cfg,
             registry,
             resolver,
             pacing: Mutex::new(HashMap::new()),
+            endpoints: Mutex::new(HashMap::new()),
+            cancelled: AtomicBool::new(false),
         }
+    }
+
+    /// Ask a running crawl to stop at the next domain boundary.
+    /// In-flight domains complete (and are reported/journaled); queued
+    /// domains are discarded. Cleared when the next crawl starts.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a cancel has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
     }
 
     /// Crawl all `domains`, returning per-domain results and the inferred
@@ -167,13 +310,15 @@ impl Crawler {
         domains: &[String],
         mut on_result: impl FnMut(&CrawlResult),
     ) -> CrawlReport {
+        self.cancelled.store(false, Ordering::SeqCst);
         let start = Instant::now();
-        let (work_tx, work_rx) = channel::unbounded::<String>();
-        let (result_tx, result_rx) = channel::unbounded::<CrawlResult>();
+        // Work items carry their salvage pass number so re-queued
+        // domains stop after `salvage_passes` extra rounds.
+        let (work_tx, work_rx) = channel::unbounded::<(String, usize)>();
+        let (result_tx, result_rx) = channel::unbounded::<(CrawlResult, usize)>();
         for d in domains {
-            work_tx.send(d.clone()).expect("queue open");
+            work_tx.send((d.clone(), 0)).expect("queue open");
         }
-        drop(work_tx);
 
         let workers: Vec<_> = (0..self.cfg.workers.max(1))
             .map(|_| {
@@ -181,9 +326,12 @@ impl Crawler {
                 let tx = result_tx.clone();
                 let me = Arc::clone(self);
                 std::thread::spawn(move || {
-                    for domain in rx.iter() {
+                    for (domain, pass) in rx.iter() {
+                        if me.is_cancelled() {
+                            break;
+                        }
                         let result = me.crawl_one(&domain);
-                        if tx.send(result).is_err() {
+                        if tx.send((result, pass)).is_err() {
                             break;
                         }
                     }
@@ -191,14 +339,46 @@ impl Crawler {
             })
             .collect();
         drop(result_tx);
+        drop(work_rx);
 
+        // Collector: finalize results, re-queue salvage candidates. The
+        // work sender is dropped once nothing is outstanding (or on
+        // cancel), which lets the workers drain and exit.
+        let mut work_tx = Some(work_tx);
+        let mut outstanding = domains.len();
+        let mut partial: HashMap<String, CrawlResult> = HashMap::new();
         let mut results: Vec<CrawlResult> = Vec::with_capacity(domains.len());
-        for result in result_rx.iter() {
-            on_result(&result);
-            results.push(result);
+        for (result, pass) in result_rx.iter() {
+            let merged = match partial.remove(&result.domain) {
+                Some(earlier) => earlier.merge(result),
+                None => result,
+            };
+            let salvageable =
+                merged.status.retryable() && pass < self.cfg.salvage_passes && !self.is_cancelled();
+            if salvageable {
+                if let Some(tx) = &work_tx {
+                    if tx.send((merged.domain.clone(), pass + 1)).is_ok() {
+                        partial.insert(merged.domain.clone(), merged);
+                        continue;
+                    }
+                }
+            }
+            on_result(&merged);
+            results.push(merged);
+            outstanding -= 1;
+            if outstanding == 0 || self.is_cancelled() {
+                work_tx = None;
+            }
         }
+        drop(work_tx);
         for w in workers {
             let _ = w.join();
+        }
+        // A cancel can strand re-queued domains; their best-so-far
+        // results still count.
+        for (_, r) in partial {
+            on_result(&r);
+            results.push(r);
         }
 
         let inferred_delays = self
@@ -210,8 +390,49 @@ impl Crawler {
         CrawlReport {
             results,
             inferred_delays,
+            endpoints: self.endpoints.lock().clone(),
             elapsed: start.elapsed(),
         }
+    }
+
+    /// Crash-safe crawl: journal every completed domain to `journal`,
+    /// skip domains the journal already has, and return a report over
+    /// all of `domains` (journaled + freshly crawled), in input order.
+    ///
+    /// Killing the process mid-crawl and calling `crawl_resumable` again
+    /// with the same journal path yields a final report identical to an
+    /// uninterrupted run, with zero re-queries of journaled domains.
+    pub fn crawl_resumable(
+        self: &Arc<Self>,
+        domains: &[String],
+        journal: &mut CrawlJournal,
+    ) -> std::io::Result<CrawlReport> {
+        let remaining: Vec<String> = domains
+            .iter()
+            .filter(|d| !journal.contains(d))
+            .cloned()
+            .collect();
+        let mut append_err = None;
+        let mut report = self.crawl_each(&remaining, |r| {
+            if append_err.is_none() {
+                if let Err(e) = journal.append(r) {
+                    append_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = append_err {
+            return Err(e);
+        }
+        let by_domain: HashMap<&str, &CrawlResult> = journal
+            .results()
+            .iter()
+            .map(|r| (r.domain.as_str(), r))
+            .collect();
+        report.results = domains
+            .iter()
+            .filter_map(|d| by_domain.get(d.as_str()).map(|&r| r.clone()))
+            .collect();
+        Ok(report)
     }
 
     /// Crawl one domain: thin, referral, thick.
@@ -287,30 +508,53 @@ impl Crawler {
         attempts: &mut u32,
     ) -> QueryOutcome {
         for attempt in 0..self.cfg.retries.max(1) {
+            self.breaker_admit(server);
             self.reserve_slot(server);
             *attempts += 1;
+            let sent = Instant::now();
             let reply = self.cfg.client.query(server, domain);
+            let latency = sent.elapsed();
+            {
+                let mut endpoints = self.endpoints.lock();
+                let e = endpoints.entry(server).or_default();
+                e.queries += 1;
+                e.total_latency += latency;
+            }
             match reply {
                 Ok(body) => match proto::classify_reply(&body) {
                     ReplyKind::Record => {
                         self.note_success(server);
+                        self.breaker_result(server, true);
                         return QueryOutcome::Record(body);
                     }
                     ReplyKind::NoMatch => {
                         self.note_success(server);
+                        self.breaker_result(server, true);
                         return QueryOutcome::NoMatch;
                     }
-                    ReplyKind::RateLimited | ReplyKind::Empty => {
-                        // The §4.1 inference: silence or an explicit error
-                        // both mean "you asked too fast".
+                    ReplyKind::RateLimited => {
+                        // An explicit refusal: the server is alive (the
+                        // breaker hears success) but we asked too fast
+                        // (§4.1 pacing inference backs off).
                         self.note_refusal(server);
+                        self.breaker_result(server, true);
+                    }
+                    ReplyKind::Empty => {
+                        // Silence: a pacing signal for §4.1 *and* a
+                        // transport failure for the breaker — a dead or
+                        // banning server looks exactly like this.
+                        self.note_refusal(server);
+                        self.breaker_result(server, false);
                     }
                     ReplyKind::Other => {
-                        // Garbled reply: not a pacing signal; plain retry.
+                        // Garbled reply: not a pacing signal; the server
+                        // is alive. Plain retry.
+                        self.breaker_result(server, true);
                     }
                 },
                 Err(_) => {
                     self.note_refusal(server);
+                    self.breaker_result(server, false);
                 }
             }
             if attempt + 1 < self.cfg.retries {
@@ -318,6 +562,73 @@ impl Crawler {
             }
         }
         QueryOutcome::Failed
+    }
+
+    /// Wait until the endpoint's breaker admits a request. The wait is
+    /// bounded (two cooldowns): past that, the query proceeds anyway —
+    /// the breaker shapes pacing toward sick endpoints, while giving up
+    /// on a domain remains the retry budget's decision. Keeping
+    /// admission wait-based (rather than failing the attempt) is what
+    /// keeps per-domain outcomes independent of how *other* domains'
+    /// failures interleaved, so seeded fault runs stay reproducible.
+    fn breaker_admit(&self, server: SocketAddr) {
+        let Some(breakers) = &self.breakers else {
+            return;
+        };
+        let cap = self
+            .cfg
+            .breaker
+            .map(|b| b.cooldown * 2)
+            .unwrap_or(Duration::ZERO)
+            .max(Duration::from_millis(20));
+        let mut waited = Duration::ZERO;
+        loop {
+            let decision = breakers.lock().try_acquire(&server, Instant::now());
+            match decision {
+                Ok(()) => return,
+                Err(_) if waited >= cap => {
+                    return;
+                }
+                Err(wait) => {
+                    self.endpoints
+                        .lock()
+                        .entry(server)
+                        .or_default()
+                        .breaker_rejections += 1;
+                    let step = wait
+                        .min(Duration::from_millis(5))
+                        .max(Duration::from_micros(500));
+                    std::thread::sleep(step);
+                    waited += step;
+                }
+            }
+        }
+    }
+
+    /// Feed a query outcome to the endpoint's breaker and accounting.
+    fn breaker_result(&self, server: SocketAddr, success: bool) {
+        if !success {
+            self.endpoints.lock().entry(server).or_default().failures += 1;
+        }
+        let Some(breakers) = &self.breakers else {
+            return;
+        };
+        let tripped = {
+            let mut breakers = breakers.lock();
+            if success {
+                breakers.record_success(&server);
+                false
+            } else {
+                breakers.record_failure(&server, Instant::now())
+            }
+        };
+        if tripped {
+            self.endpoints
+                .lock()
+                .entry(server)
+                .or_default()
+                .breaker_trips += 1;
+        }
     }
 
     /// Block until this worker may query `server`, honouring the shared
@@ -436,6 +747,13 @@ mod tests {
         for r in &report.results {
             assert!(r.thick.as_deref().unwrap().contains("Registrant Name"));
         }
+        // Endpoint accounting saw both servers, no failures.
+        assert_eq!(report.endpoints.len(), 2);
+        for stats in report.endpoints.values() {
+            assert_eq!(stats.failures, 0);
+            assert!(stats.queries >= 20);
+            assert!(stats.mean_latency() > Duration::ZERO);
+        }
     }
 
     #[test]
@@ -536,6 +854,48 @@ mod tests {
             "1 thin + 3 thick attempts, got {}",
             r.attempts
         );
+        // The dead endpoint's failures were accounted.
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert_eq!(report.endpoints[&dead].failures, 3);
+    }
+
+    #[test]
+    fn dead_registrar_with_breaker_still_terminates() {
+        let mut thin = InMemoryStore::new();
+        for i in 0..6 {
+            thin.insert(
+                &format!("dead{i}.com"),
+                format!("   Whois Server: whois.dead.example\n   Domain Name: DEAD{i}.COM\n"),
+            );
+        }
+        let registry = WhoisServer::start(thin, ServerConfig::default()).unwrap();
+        let mut resolver = HashMap::new();
+        resolver.insert(
+            "whois.dead.example".to_string(),
+            "127.0.0.1:1".parse().unwrap(),
+        );
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                retry_pause: Duration::from_millis(1),
+                breaker: Some(BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown: Duration::from_millis(20),
+                }),
+                ..Default::default()
+            },
+        ));
+        let domains: Vec<String> = (0..6).map(|i| format!("dead{i}.com")).collect();
+        let report = crawler.crawl(&domains);
+        assert_eq!(report.count(CrawlStatus::ThinOnly), 6);
+        let dead: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let stats = &report.endpoints[&dead];
+        assert!(stats.breaker_trips >= 1, "breaker never tripped: {stats:?}");
+        assert!(
+            stats.breaker_rejections >= 1,
+            "breaker never pushed back: {stats:?}"
+        );
     }
 
     #[test]
@@ -565,5 +925,108 @@ mod tests {
             total_attempts > 60,
             "faults should force retries: {total_attempts} attempts for 30 domains"
         );
+    }
+
+    #[test]
+    fn salvage_pass_recovers_scripted_failures() {
+        use crate::fault::{FateSpec, FaultPlan};
+        // domain0 drops every query of the first pass (2 queries × 3
+        // retries... thin succeeds, thick drops 3×), then delivers.
+        let plan = FaultPlan::new().script(
+            "domain0.com",
+            std::iter::repeat_n(FateSpec::Drop, 3).collect::<Vec<_>>(),
+        );
+        let cfg = ServerConfig {
+            fault_plan: plan,
+            ..Default::default()
+        };
+        let (registry, _registrar, domains, resolver) = ecosystem(4, cfg);
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                retry_pause: Duration::from_millis(1),
+                salvage_passes: 1,
+                ..Default::default()
+            },
+        ));
+        let report = crawler.crawl(&domains);
+        assert_eq!(
+            report.count(CrawlStatus::Full),
+            4,
+            "salvage pass must recover the scripted failure: {:?}",
+            report.results
+        );
+        let r = report
+            .results
+            .iter()
+            .find(|r| r.domain == "domain0.com")
+            .unwrap();
+        assert!(
+            r.attempts > 4,
+            "merged attempts span both passes: {}",
+            r.attempts
+        );
+    }
+
+    #[test]
+    fn cancel_stops_at_a_domain_boundary() {
+        let (registry, _registrar, domains, resolver) = ecosystem(50, ServerConfig::default());
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        ));
+        let c2 = Arc::clone(&crawler);
+        let mut seen = 0usize;
+        let report = crawler.crawl_each(&domains, |_| {
+            seen += 1;
+            if seen == 10 {
+                c2.cancel();
+            }
+        });
+        assert!(
+            report.results.len() < 50,
+            "cancel must stop early, got {}",
+            report.results.len()
+        );
+        assert!(report.results.len() >= 10);
+        for r in &report.results {
+            assert_eq!(r.status, CrawlStatus::Full, "completed domains are whole");
+        }
+        // The next crawl starts fresh.
+        let report = crawler.crawl(&domains);
+        assert_eq!(report.results.len(), 50);
+    }
+
+    #[test]
+    fn canonical_summary_is_order_insensitive() {
+        let a = CrawlReport {
+            results: vec![
+                CrawlResult {
+                    domain: "b.com".into(),
+                    thin: Some("t".into()),
+                    thick: None,
+                    status: CrawlStatus::ThinOnly,
+                    attempts: 2,
+                },
+                CrawlResult {
+                    domain: "a.com".into(),
+                    thin: Some("t".into()),
+                    thick: Some("T".into()),
+                    status: CrawlStatus::Full,
+                    attempts: 2,
+                },
+            ],
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        b.results.reverse();
+        b.elapsed = Duration::from_secs(5);
+        assert_eq!(a.canonical_summary(), b.canonical_summary());
+        assert!(a.canonical_summary().contains("a.com Full"));
     }
 }

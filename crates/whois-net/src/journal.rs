@@ -1,0 +1,347 @@
+//! Crash-safe crawl journal: an append-only, CRC-framed write-ahead log
+//! of completed crawl results.
+//!
+//! A multi-day crawl (the paper's took weeks across 102 million domains)
+//! must survive `kill -9`. The journal records one fsync'd frame per
+//! *completed* domain, so on restart the crawler replays the journal,
+//! skips everything already recorded, and re-queries nothing — the
+//! at-least-once boundary is the domain, and the only work ever repeated
+//! is a domain that was mid-flight when the process died.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! "WCJ1"                                        4-byte magic
+//! repeated frames:
+//!   len:  u32 LE   payload byte count
+//!   crc:  u32 LE   CRC-32 (IEEE) of the payload
+//!   payload        the CrawlResult as JSON
+//! ```
+//!
+//! A crash can tear the final frame (short write, bad CRC, truncated
+//! JSON). [`CrawlJournal::open`] replays the longest valid prefix,
+//! truncates the file back to it, and positions the next append there —
+//! a torn tail costs exactly the one in-flight domain it described.
+
+use crate::crawler::CrawlResult;
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"WCJ1";
+/// Cap on one frame's payload (defensive: a corrupt length field must
+/// not trigger a giant allocation).
+const MAX_FRAME: u32 = 64 << 20;
+
+/// CRC-32 (IEEE 802.3), bitwise; fast enough for KiB-scale records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
+
+/// An open crawl journal.
+pub struct CrawlJournal {
+    file: File,
+    path: PathBuf,
+    results: Vec<CrawlResult>,
+    completed: HashSet<String>,
+    /// Frames dropped from the tail during replay (0 or 1 in practice;
+    /// counts every trailing frame that failed to decode).
+    torn_tail: usize,
+    sync: bool,
+}
+
+impl CrawlJournal {
+    /// Open (creating if missing) the journal at `path`, replaying any
+    /// existing records and truncating a torn tail.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::open_with_sync(path, true)
+    }
+
+    /// [`open`](Self::open) with control over per-append `fsync` —
+    /// tests that hammer the journal can trade durability for speed.
+    pub fn open_with_sync(path: impl AsRef<Path>, sync: bool) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut results = Vec::new();
+        let mut torn_tail = 0;
+        let valid_end = if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            if sync {
+                file.sync_data()?;
+            }
+            MAGIC.len() as u64
+        } else if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a crawl journal (bad magic)",
+            ));
+        } else {
+            let mut pos = MAGIC.len();
+            loop {
+                match decode_frame(&bytes[pos..]) {
+                    Some((result, consumed)) => {
+                        results.push(result);
+                        pos += consumed;
+                    }
+                    None => {
+                        if pos < bytes.len() {
+                            torn_tail = 1;
+                        }
+                        break;
+                    }
+                }
+            }
+            pos as u64
+        };
+
+        // Drop the torn tail so the next append starts on a frame
+        // boundary.
+        file.set_len(valid_end)?;
+        file.seek(SeekFrom::Start(valid_end))?;
+
+        let completed = results.iter().map(|r| r.domain.to_lowercase()).collect();
+        Ok(CrawlJournal {
+            file,
+            path,
+            results,
+            completed,
+            torn_tail,
+            sync,
+        })
+    }
+
+    /// Append one completed result, fsync'd before returning (unless
+    /// sync was disabled at open).
+    pub fn append(&mut self, result: &CrawlResult) -> io::Result<()> {
+        let payload = serde_json::to_string(result)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            .into_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        self.completed.insert(result.domain.to_lowercase());
+        self.results.push(result.clone());
+        Ok(())
+    }
+
+    /// All results recorded so far (replayed + appended, append order).
+    pub fn results(&self) -> &[CrawlResult] {
+        &self.results
+    }
+
+    /// Whether `domain` already has a journaled result.
+    pub fn contains(&self, domain: &str) -> bool {
+        self.completed.contains(&domain.to_lowercase())
+    }
+
+    /// Number of journaled results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when nothing is journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Whether open found (and truncated) a torn tail.
+    pub fn had_torn_tail(&self) -> bool {
+        self.torn_tail > 0
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decode one frame from `bytes`; `None` if it is incomplete or corrupt
+/// (both mean: torn tail, stop here).
+fn decode_frame(bytes: &[u8]) -> Option<(CrawlResult, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let end = 8usize.checked_add(len as usize)?;
+    let payload = bytes.get(8..end)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let result: CrawlResult = serde_json::from_slice(payload).ok()?;
+    Some((result, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawler::CrawlStatus;
+
+    fn result(i: usize, status: CrawlStatus) -> CrawlResult {
+        CrawlResult {
+            domain: format!("domain{i}.com"),
+            thin: Some(format!("Whois Server: whois.r{i}.example\n")),
+            thick: matches!(status, CrawlStatus::Full)
+                .then(|| format!("Domain Name: DOMAIN{i}.COM\nRegistrant Name: Owner {i}\n")),
+            status,
+            attempts: (i % 3) as u32 + 1,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("whois-journal-{}-{name}.wcj", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = CrawlJournal::open(&path).unwrap();
+            assert!(j.is_empty());
+            for i in 0..5 {
+                j.append(&result(i, CrawlStatus::Full)).unwrap();
+            }
+            assert_eq!(j.len(), 5);
+            assert!(j.contains("domain3.com"));
+            assert!(j.contains("DOMAIN3.COM"));
+            assert!(!j.contains("domain9.com"));
+        }
+        let j = CrawlJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 5);
+        assert!(!j.had_torn_tail());
+        assert_eq!(j.results()[2], result(2, CrawlStatus::Full));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_at_every_offset_replays_longest_valid_prefix() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = CrawlJournal::open(&path).unwrap();
+            for i in 0..4 {
+                j.append(&result(i, CrawlStatus::Full)).unwrap();
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+
+        // Frame boundaries: magic, then each frame's end.
+        let mut boundaries = vec![MAGIC.len()];
+        let mut pos = MAGIC.len();
+        while pos < full.len() {
+            let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 8 + len;
+            boundaries.push(pos);
+        }
+        assert_eq!(boundaries.len(), 5);
+
+        for cut in MAGIC.len()..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let j = CrawlJournal::open(&path).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(j.len(), expect, "cut at {cut}");
+            assert_eq!(
+                j.had_torn_tail(),
+                !boundaries.contains(&cut),
+                "cut at {cut}"
+            );
+            // The truncation must leave a clean, appendable journal.
+            assert_eq!(
+                std::fs::metadata(&path).unwrap().len(),
+                boundaries[expect] as u64
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_torn_open_overwrites_the_tail() {
+        let path = tmp("append-after-torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = CrawlJournal::open(&path).unwrap();
+            j.append(&result(0, CrawlStatus::Full)).unwrap();
+            j.append(&result(1, CrawlStatus::ThinOnly)).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Tear the second record in half.
+        let mid = full.len() - 10;
+        std::fs::write(&path, &full[..mid]).unwrap();
+        {
+            let mut j = CrawlJournal::open(&path).unwrap();
+            assert_eq!(j.len(), 1);
+            assert!(j.had_torn_tail());
+            j.append(&result(2, CrawlStatus::NoMatch)).unwrap();
+        }
+        let j = CrawlJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.results()[1], result(2, CrawlStatus::NoMatch));
+        assert!(!j.had_torn_tail());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_mid_file_stops_replay_there() {
+        let path = tmp("crc");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = CrawlJournal::open(&path).unwrap();
+            for i in 0..3 {
+                j.append(&result(i, CrawlStatus::Full)).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte in the second frame.
+        let f0_len =
+            u32::from_le_bytes(bytes[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap()) as usize;
+        let f1_start = MAGIC.len() + 8 + f0_len;
+        bytes[f1_start + 12] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        let j = CrawlJournal::open(&path).unwrap();
+        assert_eq!(j.len(), 1, "replay stops at the corrupt frame");
+        assert!(j.had_torn_tail());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(CrawlJournal::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

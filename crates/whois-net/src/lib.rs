@@ -15,11 +15,18 @@
 //! * [`server`] — a thread-per-connection WHOIS server binding
 //!   `127.0.0.1:0`, with configurable rate limiting and fault injection.
 //! * [`fault`] — smoltcp-style fault injection: drop, empty-response,
-//!   and garble chances, all seeded.
+//!   garble, stall, truncate, non-UTF-8, and ban fates, all keyed
+//!   deterministically per (query, request index), plus scriptable
+//!   per-query [`FaultPlan`]s.
 //! * [`client`] — a blocking WHOIS client with timeouts.
+//! * [`breaker`] — per-endpoint circuit breakers
+//!   (closed→open→half-open) gating crawler traffic to sick servers.
+//! * [`journal`] — the crash-safe crawl journal: an append-only,
+//!   CRC-framed, fsync'd log of completed domains, torn-tail tolerant.
 //! * [`crawler`] — the two-step thin→thick crawler with dynamic
-//!   rate-limit inference, multiplicative back-off, bounded retries, and
-//!   crawl statistics.
+//!   rate-limit inference, multiplicative back-off, bounded retries,
+//!   circuit breakers, salvage passes, cancellation, journal-backed
+//!   resume, and crawl statistics.
 //! * [`pipeline`] — the fused crawl→parse→survey chain: crawled record
 //!   bodies stream into a `whois-parser` [`ParseEngine`] in batches and
 //!   each parse is folded into `whois-survey` counters while the crawl
@@ -27,19 +34,23 @@
 //!
 //! [`ParseEngine`]: whois_parser::ParseEngine
 
+pub mod breaker;
 pub mod client;
 pub mod crawler;
 pub mod fault;
+pub mod journal;
 pub mod limiter;
 pub mod pipeline;
 pub mod proto;
 pub mod server;
 pub mod store;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, KeyedBreaker};
 pub use client::WhoisClient;
-pub use crawler::{CrawlReport, Crawler, CrawlerConfig};
-pub use fault::FaultConfig;
+pub use crawler::{CrawlReport, CrawlResult, CrawlStatus, Crawler, CrawlerConfig, EndpointStats};
+pub use fault::{FateSpec, FaultConfig, FaultPlan};
+pub use journal::CrawlJournal;
 pub use limiter::{KeyedRateLimiter, RateLimitConfig, RateLimiter};
 pub use pipeline::{crawl_parse_survey, PipelineReport};
 pub use server::{ServerConfig, ServerHandle, ShutdownReport, WhoisServer};
-pub use store::{InMemoryStore, RecordStore};
+pub use store::{InMemoryStore, LoggingStore, RecordStore};

@@ -100,6 +100,18 @@ impl RateLimiter {
         self.penalty_until.is_some_and(|until| now < until)
     }
 
+    /// Impose (or extend) a penalty window ending at `now + duration` —
+    /// the administrative-ban path: fault injection and operator
+    /// tooling use it to refuse a client for a while regardless of its
+    /// token balance. A zero `duration` is a no-op.
+    pub fn penalize(&mut self, now: Instant, duration: Duration) {
+        if duration.is_zero() {
+            return;
+        }
+        let until = now + duration;
+        self.penalty_until = Some(self.penalty_until.map_or(until, |u| u.max(until)));
+    }
+
     /// Whether the bucket is effectively idle at `now`: full (after
     /// refill) and outside any penalty window. Idle buckets carry no
     /// state worth keeping.
@@ -190,6 +202,19 @@ impl<K: Hash + Eq + Clone> KeyedRateLimiter<K> {
     /// Whether `key` is currently in its penalty window.
     pub fn in_penalty(&self, key: &K, now: Instant) -> bool {
         self.buckets.get(key).is_some_and(|b| b.in_penalty(now))
+    }
+
+    /// Impose (or extend) a penalty window on `key` ending at
+    /// `now + duration` (see [`RateLimiter::penalize`]).
+    pub fn penalize(&mut self, key: &K, now: Instant, duration: Duration) {
+        if duration.is_zero() {
+            return;
+        }
+        let per_key = self.per_key;
+        self.buckets
+            .entry(key.clone())
+            .or_insert_with(|| RateLimiter::new(per_key))
+            .penalize(now, duration);
     }
 
     /// Number of keys with live bucket state.
@@ -306,6 +331,33 @@ mod tests {
         let later = t0 + Duration::from_secs(60);
         assert!(l.allow_at(&PRUNE_THRESHOLD, later));
         assert_eq!(l.tracked_keys(), 1);
+    }
+
+    #[test]
+    fn penalize_imposes_and_extends_a_window() {
+        let mut l = RateLimiter::new(RateLimitConfig::unlimited());
+        let t0 = Instant::now();
+        assert!(l.allow_at(t0));
+        l.penalize(t0, Duration::from_millis(100));
+        assert!(!l.allow_at(t0 + Duration::from_millis(50)));
+        // A later, longer penalty extends; a shorter one never shrinks.
+        l.penalize(t0, Duration::from_millis(300));
+        l.penalize(t0, Duration::from_millis(10));
+        assert!(!l.allow_at(t0 + Duration::from_millis(150)));
+        assert!(l.allow_at(t0 + Duration::from_millis(350)));
+        // Zero-duration penalties are no-ops.
+        l.penalize(t0, Duration::ZERO);
+        assert!(l.allow_at(t0 + Duration::from_millis(360)));
+    }
+
+    #[test]
+    fn keyed_penalize_targets_one_key() {
+        let mut l: KeyedRateLimiter<&str> = KeyedRateLimiter::new(RateLimitConfig::unlimited());
+        let t0 = Instant::now();
+        l.penalize(&"banned", t0, Duration::from_millis(200));
+        assert!(!l.allow_at(&"banned", t0 + Duration::from_millis(10)));
+        assert!(l.allow_at(&"innocent", t0 + Duration::from_millis(10)));
+        assert!(l.allow_at(&"banned", t0 + Duration::from_millis(250)));
     }
 
     #[test]

@@ -57,6 +57,20 @@ pub fn decode_query(buf: &mut BytesMut) -> Result<Option<String>, QueryError> {
     }
 }
 
+/// Decode a record *body* leniently: invalid UTF-8 becomes U+FFFD.
+///
+/// The strict/lossy split is deliberate. Protocol and command lines
+/// (queries, the serve daemon's verb lines) stay strict — a non-UTF-8
+/// command is an attack or a bug, and rejecting it is correct. Record
+/// bodies are data from the wild: registrars emit Latin-1, Shift-JIS,
+/// and plain mojibake, and §3's whole point is that WHOIS replies
+/// follow no spec. A crawler that drops such records loses exactly the
+/// long-tail formats the parser exists for, so bodies are decoded
+/// lossily everywhere.
+pub fn decode_body(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
 /// Errors while decoding a query line.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
@@ -200,6 +214,21 @@ mod tests {
     fn non_ascii_rejected() {
         let mut buf = BytesMut::from("dömäin.com\r\n".as_bytes());
         assert_eq!(decode_query(&mut buf), Err(QueryError::NotAscii));
+    }
+
+    #[test]
+    fn body_decoding_is_lossy_not_rejecting() {
+        // Latin-1 'é' (0xE9) is invalid UTF-8; the body must survive as
+        // mojibake rather than be dropped.
+        let body = b"Registrant Name: Ren\xE9e Dupont\nRegistrar: Test\n";
+        let decoded = decode_body(body);
+        assert!(decoded.contains("Ren\u{FFFD}e Dupont"));
+        assert_eq!(classify_reply(&decoded), ReplyKind::Record);
+        // Clean UTF-8 passes through byte-identically.
+        assert_eq!(decode_body("caf\u{e9}.com".as_bytes()), "caf\u{e9}.com");
+        // Command lines remain strict.
+        let mut buf = BytesMut::from(&b"caf\xE9.com\r\n"[..]);
+        assert_eq!(decode_query(&mut buf), Err(QueryError::NotUtf8));
     }
 
     #[test]

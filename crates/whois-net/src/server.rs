@@ -5,7 +5,7 @@
 //! is plain `std::net` with one thread per connection and a bounded
 //! accept loop. Rate limiting and fault injection run per request.
 
-use crate::fault::{Fate, FaultConfig, FaultInjector};
+use crate::fault::{Fate, FaultConfig, FaultInjector, FaultPlan};
 use crate::limiter::{KeyedRateLimiter, RateLimitConfig};
 use crate::proto;
 use crate::store::RecordStore;
@@ -30,6 +30,9 @@ pub struct ServerConfig {
     pub faults: FaultConfig,
     /// Fault-injection seed.
     pub fault_seed: u64,
+    /// Scripted per-query fates, consumed before the probabilistic
+    /// `faults` roll (see [`FaultPlan`]).
+    pub fault_plan: FaultPlan,
     /// When rate-limited: reply with an explicit error (`true`) or close
     /// silently (`false`) — both behaviours exist in the wild.
     pub limit_replies_error: bool,
@@ -47,6 +50,7 @@ impl Default for ServerConfig {
             global_limit: None,
             faults: FaultConfig::none(),
             fault_seed: 0,
+            fault_plan: FaultPlan::new(),
             limit_replies_error: true,
             read_timeout: Duration::from_secs(2),
             drain_timeout: Duration::from_secs(5),
@@ -158,7 +162,11 @@ impl WhoisServer {
             None => KeyedRateLimiter::new(cfg.rate_limit),
         };
         let limiter = Arc::new(Mutex::new(limiter));
-        let injector = Arc::new(Mutex::new(FaultInjector::new(cfg.faults, cfg.fault_seed)));
+        let injector = Arc::new(Mutex::new(FaultInjector::with_plan(
+            cfg.faults,
+            cfg.fault_seed,
+            cfg.fault_plan.clone(),
+        )));
 
         let accept_stats = stats.clone();
         let accept_lifecycle = lifecycle.clone();
@@ -291,7 +299,10 @@ fn handle_connection<S: RecordStore>(
             store.no_match(&query)
         }
     };
-    match injector.lock().fate(body.as_bytes()) {
+    // Decide the fate under the lock, act on it outside (a Stall must
+    // not serialize every other connection's fate roll).
+    let fate = injector.lock().fate(&query, body.as_bytes());
+    match fate {
         Fate::Deliver => stream.write_all(body.as_bytes())?,
         Fate::Drop => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
@@ -300,9 +311,24 @@ fn handle_connection<S: RecordStore>(
             stats.faulted.fetch_add(1, Ordering::Relaxed);
             // write nothing, close politely
         }
-        Fate::Garbled(bytes) => {
+        Fate::Garbled(bytes) | Fate::NonUtf8(bytes) | Fate::Truncated(bytes) => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
             stream.write_all(&bytes)?;
+        }
+        Fate::Stall(d) => {
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+            stream.write_all(body.as_bytes())?;
+        }
+        Fate::Banned => {
+            // A fault-injected ban behaves like the real thing: the
+            // explicit refusal, plus a limiter penalty window for the
+            // source IP when the server's config carries one.
+            stats.faulted.fetch_add(1, Ordering::Relaxed);
+            limiter
+                .lock()
+                .penalize(&peer, Instant::now(), cfg.rate_limit.penalty);
+            stream.write_all(b"Error: rate limit exceeded; try again later\r\n")?;
         }
     }
     Ok(())

@@ -5,7 +5,9 @@
 //! line refers the client onward; each registrar's store holds the thick
 //! records for its own domains.
 
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Source of WHOIS response bodies.
 pub trait RecordStore: Send + Sync + 'static {
@@ -62,6 +64,42 @@ impl RecordStore for InMemoryStore {
     }
 }
 
+/// A store wrapper that records every looked-up domain — the
+/// server-side request log the crash-resume tests use to prove a
+/// resumed crawl re-queries nothing it already journaled.
+#[derive(Debug)]
+pub struct LoggingStore<S> {
+    inner: S,
+    log: Arc<Mutex<Vec<String>>>,
+}
+
+impl<S> LoggingStore<S> {
+    /// Wrap `inner`, sharing the request log behind the returned handle.
+    pub fn new(inner: S) -> Self {
+        LoggingStore {
+            inner,
+            log: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle to the request log; clones observe the same log after
+    /// the store has moved into a server.
+    pub fn log(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.log)
+    }
+}
+
+impl<S: RecordStore> RecordStore for LoggingStore<S> {
+    fn lookup(&self, domain: &str) -> Option<String> {
+        self.log.lock().push(domain.to_lowercase());
+        self.inner.lookup(domain)
+    }
+
+    fn no_match(&self, domain: &str) -> String {
+        self.inner.no_match(domain)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +118,18 @@ mod tests {
     fn no_match_mentions_domain() {
         let s = InMemoryStore::new();
         assert!(s.no_match("x.com").contains("X.COM"));
+    }
+
+    #[test]
+    fn logging_store_records_lookups() {
+        let mut s = InMemoryStore::new();
+        s.insert("a.com", "body".into());
+        let logging = LoggingStore::new(s);
+        let log = logging.log();
+        assert_eq!(logging.lookup("A.COM").as_deref(), Some("body"));
+        assert_eq!(logging.lookup("miss.com"), None);
+        let _ = logging.no_match("miss.com");
+        assert_eq!(&*log.lock(), &["a.com".to_string(), "miss.com".to_string()]);
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Fault-tolerance integration tests: crash-safe journaled crawls with
+//! zero duplicate queries, scripted fault plans, circuit-breaker
+//! composition, and the seeded fault sweep the paper's §4.1 crawl
+//! robustness story demands.
+//!
+//! The crash-resume proof works server-side: every store is wrapped in
+//! a [`LoggingStore`], so "the resumed crawl re-queried nothing" is an
+//! assertion about what the *servers* saw, not about what the crawler
+//! claims.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use whois_net::{
+    BreakerConfig, CrawlJournal, CrawlStatus, Crawler, CrawlerConfig, FateSpec, FaultConfig,
+    FaultPlan, InMemoryStore, LoggingStore, RateLimitConfig, ServerConfig, WhoisClient,
+    WhoisServer,
+};
+
+type RequestLog = Arc<parking_lot::Mutex<Vec<String>>>;
+
+/// A thin registry + one registrar, both with request logging, built
+/// from the same deterministic record set every time.
+struct Ecosystem {
+    registry: WhoisServer,
+    _registrar: WhoisServer,
+    domains: Vec<String>,
+    resolver: HashMap<String, SocketAddr>,
+    thin_log: RequestLog,
+    thick_log: RequestLog,
+}
+
+fn ecosystem(n: usize, registry_cfg: ServerConfig, registrar_cfg: ServerConfig) -> Ecosystem {
+    let mut thin = InMemoryStore::new();
+    let mut thick = InMemoryStore::new();
+    let mut domains = Vec::new();
+    for i in 0..n {
+        let d = format!("domain{i}.com");
+        thin.insert(
+            &d,
+            format!(
+                "   Domain Name: {}\n   Registrar: TESTREG\n   Whois Server: whois.testreg.example\n",
+                d.to_uppercase()
+            ),
+        );
+        thick.insert(
+            &d,
+            format!("Domain Name: {d}\nRegistrar: TestReg\nRegistrant Name: Owner {i}\n"),
+        );
+        domains.push(d);
+    }
+    let thin = LoggingStore::new(thin);
+    let thick = LoggingStore::new(thick);
+    let thin_log = thin.log();
+    let thick_log = thick.log();
+    let registry = WhoisServer::start(thin, registry_cfg).unwrap();
+    let registrar = WhoisServer::start(thick, registrar_cfg).unwrap();
+    let mut resolver = HashMap::new();
+    resolver.insert("whois.testreg.example".to_string(), registrar.addr());
+    Ecosystem {
+        registry,
+        _registrar: registrar,
+        domains,
+        resolver,
+        thin_log,
+        thick_log,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("whois-ftol-{}-{name}.wcj", std::process::id()))
+}
+
+/// Fast, fault-free crawler config (journaled runs must not sleep).
+fn quick_cfg() -> CrawlerConfig {
+    CrawlerConfig {
+        workers: 2,
+        retries: 3,
+        max_delay: Duration::from_millis(5),
+        retry_pause: Duration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn crash_resume_equals_uninterrupted_with_zero_duplicate_queries() {
+    let n = 12;
+
+    // Baseline: one uninterrupted journaled crawl.
+    let base_path = tmp("baseline");
+    let _ = std::fs::remove_file(&base_path);
+    let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        quick_cfg(),
+    ));
+    let mut journal = CrawlJournal::open_with_sync(&base_path, false).unwrap();
+    let baseline = crawler
+        .crawl_resumable(&eco.domains, &mut journal)
+        .unwrap()
+        .canonical_summary();
+    drop(journal);
+    let full_bytes = std::fs::read(&base_path).unwrap();
+    drop(eco);
+
+    // Simulate kill -9 at several points, including mid-frame (torn
+    // tail): truncate the journal file, reopen, resume against fresh
+    // servers whose logs prove nothing journaled was re-queried.
+    let cuts = [
+        full_bytes.len() / 5,
+        full_bytes.len() / 2,
+        full_bytes.len() - 3, // tears the final frame
+    ];
+    for (i, &cut) in cuts.iter().enumerate() {
+        let path = tmp(&format!("resume-{i}"));
+        std::fs::write(&path, &full_bytes[..cut.max(4)]).unwrap();
+        let mut journal = CrawlJournal::open_with_sync(&path, false).unwrap();
+        let done_before: Vec<String> = journal.results().iter().map(|r| r.domain.clone()).collect();
+
+        let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+        let crawler = Arc::new(Crawler::new(
+            eco.registry.addr(),
+            eco.resolver.clone(),
+            quick_cfg(),
+        ));
+        let report = crawler.crawl_resumable(&eco.domains, &mut journal).unwrap();
+        assert_eq!(
+            report.canonical_summary(),
+            baseline,
+            "cut {cut}: resumed report must equal the uninterrupted run"
+        );
+        assert_eq!(report.results.len(), n);
+
+        // Zero duplicate queries, proven server-side.
+        let thin_seen = eco.thin_log.lock().clone();
+        let thick_seen = eco.thick_log.lock().clone();
+        for d in &done_before {
+            assert!(
+                !thin_seen.contains(d) && !thick_seen.contains(d),
+                "cut {cut}: journaled domain {d} was re-queried"
+            );
+        }
+        // And the remaining domains were each fetched exactly once.
+        for d in eco.domains.iter().filter(|d| !done_before.contains(d)) {
+            assert_eq!(
+                thin_seen.iter().filter(|q| *q == d).count(),
+                1,
+                "cut {cut}: {d} thin-queried more than once"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_file(&base_path).unwrap();
+}
+
+#[test]
+fn cancel_mid_crawl_then_resume_finishes_every_domain() {
+    let n = 30;
+    let path = tmp("cancel-resume");
+    let _ = std::fs::remove_file(&path);
+    let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        CrawlerConfig {
+            workers: 1,
+            ..quick_cfg()
+        },
+    ));
+    // Cancel shortly into the run; whatever completed is journaled.
+    let canceller = {
+        let crawler = crawler.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            crawler.cancel();
+        })
+    };
+    let mut journal = CrawlJournal::open_with_sync(&path, false).unwrap();
+    let partial = crawler.crawl_resumable(&eco.domains, &mut journal).unwrap();
+    canceller.join().unwrap();
+    assert!(partial.results.len() <= n);
+
+    // Resume: the same crawler, same journal, completes the rest.
+    let report = crawler.crawl_resumable(&eco.domains, &mut journal).unwrap();
+    assert_eq!(report.results.len(), n);
+    assert_eq!(report.count(CrawlStatus::Full), n);
+
+    // Across both runs, every domain was thin-queried exactly once —
+    // cancellation is at domain boundaries, so no work is repeated.
+    let thin_seen = eco.thin_log.lock().clone();
+    for d in &eco.domains {
+        assert_eq!(
+            thin_seen.iter().filter(|q| *q == d).count(),
+            1,
+            "{d} queried {}x across cancel+resume",
+            thin_seen.iter().filter(|q| *q == d).count()
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn mojibake_registrar_yields_full_records_with_replacement_chars() {
+    // Every thick reply is corrupted into invalid UTF-8: the crawler
+    // must decode lossily and keep the record, not drop the long tail.
+    let registrar_cfg = ServerConfig {
+        faults: FaultConfig {
+            non_utf8_chance: 1.0,
+            ..FaultConfig::none()
+        },
+        fault_seed: 7,
+        ..Default::default()
+    };
+    let eco = ecosystem(6, ServerConfig::default(), registrar_cfg);
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        quick_cfg(),
+    ));
+    let report = crawler.crawl(&eco.domains);
+    assert_eq!(report.count(CrawlStatus::Full), 6);
+    for r in &report.results {
+        let thick = r.thick.as_deref().unwrap();
+        assert!(
+            thick.contains('\u{FFFD}'),
+            "corrupted body should carry replacement chars: {thick:?}"
+        );
+        assert!(thick.contains("Domain Name"), "{thick:?}");
+    }
+}
+
+/// The fault-sweep crawler: breakers + salvage passes + tight pacing.
+fn sweep_cfg() -> CrawlerConfig {
+    CrawlerConfig {
+        workers: 4,
+        retries: 3,
+        max_delay: Duration::from_millis(5),
+        retry_pause: Duration::from_millis(1),
+        breaker: Some(BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(10),
+        }),
+        salvage_passes: 2,
+        ..Default::default()
+    }
+}
+
+fn dropping(seed: u64) -> ServerConfig {
+    ServerConfig {
+        faults: FaultConfig {
+            drop_chance: 0.3,
+            ..FaultConfig::none()
+        },
+        fault_seed: seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fault_sweep_meets_coverage_and_two_runs_are_byte_identical() {
+    let run = || {
+        let eco = ecosystem(40, dropping(1), dropping(2));
+        let crawler = Arc::new(Crawler::new(
+            eco.registry.addr(),
+            eco.resolver.clone(),
+            sweep_cfg(),
+        ));
+        crawler.crawl(&eco.domains)
+    };
+    let first = run();
+    assert!(
+        first.coverage() >= 0.99,
+        "drop_chance 0.3 with retries+breakers+salvage must still cover: {}",
+        first.coverage()
+    );
+    // Keyed fault determinism: a fresh, identically seeded ecosystem
+    // and crawler reproduce the report byte for byte, regardless of
+    // worker interleaving.
+    let second = run();
+    assert_eq!(first.canonical_summary(), second.canonical_summary());
+}
+
+#[test]
+fn scripted_stalls_exhaust_timeouts_then_succeed() {
+    // "domain2.com stalls twice, then succeeds": the client's read
+    // timeout turns each stall into a failed attempt; the third attempt
+    // delivers.
+    let stall = Duration::from_millis(200);
+    let registry_cfg = ServerConfig {
+        fault_plan: FaultPlan::new().script(
+            "domain2.com",
+            [FateSpec::Stall(stall), FateSpec::Stall(stall)],
+        ),
+        ..Default::default()
+    };
+    let eco = ecosystem(4, registry_cfg, ServerConfig::default());
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        CrawlerConfig {
+            client: WhoisClient {
+                read_timeout: Duration::from_millis(60),
+                ..Default::default()
+            },
+            ..quick_cfg()
+        },
+    ));
+    let report = crawler.crawl(&eco.domains);
+    assert_eq!(report.count(CrawlStatus::Full), 4);
+    let scripted = report
+        .results
+        .iter()
+        .find(|r| r.domain == "domain2.com")
+        .unwrap();
+    // Two stalled thin attempts + the delivering one + one thick query
+    // (a loaded host can add spurious timeouts, never remove the two).
+    assert!(scripted.attempts >= 4, "{scripted:?}");
+    // The stalls registered as endpoint failures on the registry.
+    assert!(report.endpoints[&eco.registry.addr()].failures >= 2);
+}
+
+#[test]
+fn scripted_ban_composes_with_rate_limiter_then_recovers() {
+    // Ban(2): the request that trips it and the next one get explicit
+    // rate-limit errors, and the server-side limiter imposes a real
+    // penalty window; the crawler backs off and still completes.
+    let registrar_cfg = ServerConfig {
+        rate_limit: RateLimitConfig {
+            burst: u32::MAX,
+            per_second: f64::INFINITY,
+            penalty: Duration::from_millis(30),
+        },
+        fault_plan: FaultPlan::new().script("domain0.com", [FateSpec::Ban(2)]),
+        ..Default::default()
+    };
+    let eco = ecosystem(3, ServerConfig::default(), registrar_cfg);
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        CrawlerConfig {
+            retries: 4,
+            retry_pause: Duration::from_millis(40),
+            ..quick_cfg()
+        },
+    ));
+    let report = crawler.crawl(&eco.domains);
+    assert_eq!(report.count(CrawlStatus::Full), 3, "{:?}", report.results);
+    let banned = report
+        .results
+        .iter()
+        .find(|r| r.domain == "domain0.com")
+        .unwrap();
+    assert!(banned.attempts > 2, "{banned:?}");
+    // The crawler learned a pacing delay from the explicit refusals.
+    assert!(report.inferred_delays[&eco._registrar.addr()] > Duration::ZERO);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Under aggressive mixed faults (every destructive fate ≥ 0.2),
+    /// crawls always terminate and account for every input domain:
+    /// the four status counts sum to the input count, no domain is
+    /// lost or duplicated.
+    #[test]
+    fn aggressive_fault_crawls_terminate_with_complete_accounting(
+        drop_chance in 0.2f64..0.45,
+        stall_chance in 0.2f64..0.45,
+        truncate_chance in 0.2f64..0.45,
+        ban_chance in 0.2f64..0.35,
+        seed in 0u64..1000,
+    ) {
+        let faults = FaultConfig {
+            drop_chance,
+            stall_chance,
+            stall: Duration::from_millis(2),
+            truncate_chance,
+            truncate_at: 10,
+            ban_chance,
+            ban_requests: 2,
+            ..FaultConfig::none()
+        };
+        let server_cfg = || ServerConfig {
+            faults,
+            fault_seed: seed,
+            rate_limit: RateLimitConfig {
+                burst: u32::MAX,
+                per_second: f64::INFINITY,
+                penalty: Duration::from_millis(3),
+            },
+            ..Default::default()
+        };
+        let eco = ecosystem(6, server_cfg(), server_cfg());
+        let crawler = Arc::new(Crawler::new(
+            eco.registry.addr(),
+            eco.resolver.clone(),
+            CrawlerConfig {
+                workers: 2,
+                retries: 2,
+                max_delay: Duration::from_millis(4),
+                retry_pause: Duration::from_millis(1),
+                salvage_passes: 1,
+                ..Default::default()
+            },
+        ));
+        let report = crawler.crawl(&eco.domains);
+        prop_assert_eq!(report.results.len(), 6);
+        let counted = report.count(CrawlStatus::Full)
+            + report.count(CrawlStatus::ThinOnly)
+            + report.count(CrawlStatus::NoMatch)
+            + report.count(CrawlStatus::Failed);
+        prop_assert_eq!(counted, 6, "status counts must sum to the input count");
+        let mut seen: Vec<&str> = report.results.iter().map(|r| r.domain.as_str()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), 6, "every domain reported exactly once");
+    }
+}

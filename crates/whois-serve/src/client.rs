@@ -6,7 +6,7 @@
 //! tests can assert byte-identity of cached versus uncached replies
 //! without any decode/re-encode laundering in between.
 
-use crate::stats::StatsSnapshot;
+use crate::stats::{HealthSnapshot, StatsSnapshot};
 use crate::wire::{ParseRequest, Reply, Request};
 use bytes::BytesMut;
 use std::io::{Read, Write};
@@ -16,6 +16,9 @@ use whois_net::proto;
 
 /// Longest reply line the client will buffer.
 const MAX_REPLY_LEN: usize = 16 << 20;
+
+/// Default connect/read/write timeout for [`ServeClient::connect`].
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -59,9 +62,9 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connect with a 5-second default timeout on every operation.
+    /// Connect with [`DEFAULT_TIMEOUT`] on every operation.
     pub fn connect(addr: SocketAddr) -> Result<ServeClient, ClientError> {
-        ServeClient::connect_timeout(addr, Duration::from_secs(5))
+        ServeClient::connect_timeout(addr, DEFAULT_TIMEOUT)
     }
 
     /// Connect with an explicit connect/read/write timeout.
@@ -131,6 +134,14 @@ impl ServeClient {
         reply
             .stats
             .ok_or_else(|| ClientError::Protocol("STATS reply without stats payload".into()))
+    }
+
+    /// Liveness probe (answered inline by the server, never queued).
+    pub fn health(&mut self) -> Result<HealthSnapshot, ClientError> {
+        let reply = expect_ok(self.round_trip(&Request::Health)?)?;
+        reply
+            .health
+            .ok_or_else(|| ClientError::Protocol("HEALTH reply without health payload".into()))
     }
 }
 

@@ -21,7 +21,11 @@
 //!   explicit `shed` replies under overload, graceful drain on shutdown
 //!   with a [`DrainReport`].
 //! - **Observability** ([`stats`]): counters and per-stage latency via
-//!   the `STATS` verb.
+//!   the `STATS` verb; liveness (worker health, contained panics,
+//!   quarantine) via the `HEALTH` verb.
+//! - **Panic containment** ([`service`]): a parse that panics costs one
+//!   request, not a worker — the record is quarantined by (domain, body
+//!   hash) and refused thereafter, and the service keeps answering.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,9 +50,9 @@ pub mod stats;
 pub mod wire;
 
 pub use cache::{cache_key, ShardedCache};
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientError, ServeClient, DEFAULT_TIMEOUT};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{newest_model_file, ActiveModel, ModelRegistry, ModelWatcher};
 pub use service::{DrainReport, ParseService, ServeConfig, UpstreamConfig};
-pub use stats::{ServeStats, StageSnapshot, StatsSnapshot};
+pub use stats::{HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot, StatsSnapshot};
 pub use wire::{ParseRequest, Reply, Request};

@@ -40,6 +40,7 @@ pub struct ModelRegistry {
     active: RwLock<Arc<ActiveModel>>,
     generation: AtomicU64,
     swaps: AtomicU64,
+    load_failures: AtomicU64,
     engine_workers: usize,
     line_cache: Arc<LineCache>,
 }
@@ -78,6 +79,7 @@ impl ModelRegistry {
             active: RwLock::new(active),
             generation: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
+            load_failures: AtomicU64::new(0),
             engine_workers,
             line_cache,
         }
@@ -118,17 +120,34 @@ impl ModelRegistry {
     }
 
     /// Load a serialized [`WhoisParser`] from `path` and install it,
-    /// versioned by the file stem.
+    /// versioned by the file stem. A read or deserialization failure
+    /// bumps [`load_failures`](Self::load_failures) — corrupt or
+    /// half-written uploads are an operational signal, not just an
+    /// `eprintln`.
     pub fn install_file(&self, path: &Path) -> Result<u64, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let parser =
-            WhoisParser::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))?;
-        Ok(self.install(parser, file_version(path)))
+        let loaded = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|json| {
+                WhoisParser::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+            });
+        match loaded {
+            Ok(parser) => Ok(self.install(parser, file_version(path))),
+            Err(e) => {
+                self.load_failures.fetch_add(1, Ordering::SeqCst);
+                Err(e)
+            }
+        }
     }
 
     /// Number of completed swaps (installs after the first model).
     pub fn swaps(&self) -> u64 {
         self.swaps.load(Ordering::SeqCst)
+    }
+
+    /// Number of failed [`install_file`](Self::install_file) attempts
+    /// (every retry of the same bad file counts).
+    pub fn load_failures(&self) -> u64 {
+        self.load_failures.load(Ordering::SeqCst)
     }
 }
 
@@ -338,10 +357,12 @@ mod tests {
         let registry = Arc::new(ModelRegistry::new(tiny_parser(3), "model-0001", 1));
         let watcher = ModelWatcher::start(registry.clone(), &dir, Duration::from_millis(10));
 
-        // A corrupt newest file is skipped without killing the watcher.
+        // A corrupt newest file is skipped without killing the watcher,
+        // and every failed attempt is counted.
         std::fs::write(dir.join("model-0002.json"), "not json").unwrap();
         std::thread::sleep(Duration::from_millis(80));
         assert_eq!(registry.current().version, "model-0001");
+        assert!(registry.load_failures() >= 1, "failed loads are counted");
 
         // A valid one is installed.
         let parser = tiny_parser(4);

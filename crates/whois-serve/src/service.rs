@@ -24,14 +24,16 @@
 use crate::cache::{cache_key, ShardedCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ModelRegistry;
-use crate::stats::{ServeStats, StatsSnapshot};
+use crate::stats::{HealthSnapshot, QuarantineEntry, ServeStats, StatsSnapshot};
 use crate::wire::{ParseRequest, Reply, Request};
 use bytes::BytesMut;
 use crossbeam::channel;
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use whois_model::RawRecord;
@@ -68,6 +70,14 @@ pub struct ServeConfig {
     pub max_request_len: usize,
     /// Upstream WHOIS for `FETCH` (absent → `FETCH` is an error).
     pub upstream: Option<UpstreamConfig>,
+    /// Quarantine ring capacity: how many (domain, body-hash) pairs
+    /// whose parse panicked are remembered and refused without
+    /// re-parsing. 0 disables quarantine (panics are still contained).
+    pub quarantine_capacity: usize,
+    /// Test hook: a domain whose parse panics unconditionally. Lets the
+    /// survivability tests rig a poison record without needing a real
+    /// parser bug.
+    pub panic_trigger: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +90,8 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             max_request_len: 1 << 20,
             upstream: None,
+            quarantine_capacity: 64,
+            panic_trigger: None,
         }
     }
 }
@@ -115,6 +127,12 @@ struct ServiceCtx {
     queue: BoundedQueue<Job>,
     shutdown: AtomicBool,
     workers: usize,
+    started: Instant,
+    /// Live worker-thread count (each drops it on exit, panicking or
+    /// not); `HEALTH` compares it to `workers`.
+    workers_alive: AtomicU64,
+    /// Ring of records whose parse panicked, oldest first.
+    quarantine: Mutex<VecDeque<QuarantineEntry>>,
 }
 
 impl ServiceCtx {
@@ -125,6 +143,10 @@ impl ServiceCtx {
                 ServeStats::inc(&self.stats.stats_requests);
                 Arc::new(Reply::stats(self.snapshot()).encode())
             }
+            // Answered inline on the connection thread, never queued: a
+            // liveness probe must respond even when every parse worker
+            // is wedged or the queue is full.
+            Request::Health => Arc::new(Reply::health(self.health_snapshot()).encode()),
             Request::Parse(req) => {
                 ServeStats::inc(&self.stats.parse_requests);
                 self.submit(Work::Parse(req))
@@ -179,9 +201,45 @@ impl ServiceCtx {
         }
         ServeStats::inc(&self.stats.cache_misses);
 
+        // Quarantine check — keyed model-independently (generation 0),
+        // so a poison record stays quarantined across model swaps.
+        let body_hash = format!("{:016x}", cache_key(0, domain, text));
+        if self.is_quarantined(domain, &body_hash) {
+            ServeStats::inc(&self.stats.errors);
+            return Arc::new(
+                Reply::error(
+                    "internal: record quarantined (a previous parse panicked)",
+                    false,
+                )
+                .encode(),
+            );
+        }
+
+        // Panic containment: a parse that panics must cost one request,
+        // not a worker thread. The engine and caches are only *read*
+        // here (the scratch pool heals itself — a scratch leased by a
+        // panicking parse is simply never returned), so resuming past
+        // the unwind is sound.
         let t = Instant::now();
-        let record = model.engine.parse_one(&RawRecord::new(domain, text));
+        let trigger = self.cfg.panic_trigger.as_deref();
+        let parsed = catch_unwind(AssertUnwindSafe(|| {
+            if trigger.is_some_and(|t| t.eq_ignore_ascii_case(domain)) {
+                panic!("rigged parse panic for {domain}");
+            }
+            model.engine.parse_one(&RawRecord::new(domain, text))
+        }));
         self.stats.parse.record(t.elapsed());
+        let record = match parsed {
+            Ok(record) => record,
+            Err(_) => {
+                ServeStats::inc(&self.stats.panics);
+                ServeStats::inc(&self.stats.errors);
+                self.quarantine_push(domain, body_hash);
+                return Arc::new(
+                    Reply::error("internal: parse panicked; record quarantined", false).encode(),
+                );
+            }
+        };
         ServeStats::inc(&self.stats.parses);
 
         let t = Instant::now();
@@ -189,6 +247,28 @@ impl ServiceCtx {
         self.stats.serialize.record(t.elapsed());
         self.cache.insert(key, line.clone());
         line
+    }
+
+    fn is_quarantined(&self, domain: &str, body_hash: &str) -> bool {
+        let domain = domain.to_lowercase();
+        self.quarantine
+            .lock()
+            .iter()
+            .any(|e| e.body_hash == body_hash && e.domain == domain)
+    }
+
+    fn quarantine_push(&self, domain: &str, body_hash: String) {
+        if self.cfg.quarantine_capacity == 0 {
+            return;
+        }
+        let mut ring = self.quarantine.lock();
+        while ring.len() >= self.cfg.quarantine_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(QuarantineEntry {
+            domain: domain.to_lowercase(),
+            body_hash,
+        });
     }
 
     /// `FETCH`: two-step upstream crawl (thin → referral → thick, thin
@@ -218,7 +298,25 @@ impl ServiceCtx {
             self.cache.len(),
             self.workers,
             self.registry.line_cache().stats(),
+            self.registry.load_failures(),
+            self.quarantine.lock().iter().cloned().collect(),
         )
+    }
+
+    fn health_snapshot(&self) -> HealthSnapshot {
+        let model = self.registry.current();
+        HealthSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            workers: self.workers as u64,
+            workers_alive: self.workers_alive.load(Ordering::SeqCst),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+            quarantine_len: self.quarantine.lock().len() as u64,
+            model_load_failures: self.registry.load_failures(),
+            model_version: model.version.clone(),
+            model_generation: model.generation,
+            model_swaps: self.registry.swaps(),
+            draining: self.shutdown.load(Ordering::SeqCst),
+        }
     }
 }
 
@@ -280,6 +378,11 @@ impl ParseService {
             shutdown: AtomicBool::new(false),
             registry,
             workers,
+            started: Instant::now(),
+            // Counted up-front so HEALTH is exact from the first
+            // request; the drop guard in worker_loop decrements.
+            workers_alive: AtomicU64::new(workers as u64),
+            quarantine: Mutex::new(VecDeque::new()),
             cfg,
         });
 
@@ -375,7 +478,21 @@ impl Drop for ParseService {
     }
 }
 
+/// Decrements `workers_alive` when the owning worker thread exits —
+/// normally at drain, or abnormally if a panic ever escapes the
+/// per-request containment. `HEALTH` surfaces the difference.
+struct WorkerAliveGuard<'a> {
+    ctx: &'a ServiceCtx,
+}
+
+impl Drop for WorkerAliveGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.workers_alive.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn worker_loop(ctx: &ServiceCtx) {
+    let _guard = WorkerAliveGuard { ctx };
     while let Some(job) = ctx.queue.pop() {
         ctx.stats.queue_wait.record(job.enqueued.elapsed());
         let reply = match &job.work {
@@ -415,12 +532,16 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServiceCtx) -> std::io::Result
             continue;
         }
         ServeStats::inc(&ctx.stats.requests);
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        let decoded = Request::decode(&line);
+        // HEALTH is answered even while draining (with `draining:true`
+        // in the payload) — a probe that gets cut off mid-shutdown
+        // can't tell "draining" from "dead".
+        if ctx.shutdown.load(Ordering::SeqCst) && !matches!(decoded, Ok(Request::Health)) {
             ServeStats::inc(&ctx.stats.sheds);
             write_line(&mut stream, &Reply::error("draining", true).encode())?;
             return Ok(());
         }
-        let reply = match Request::decode(&line) {
+        let reply = match decoded {
             Ok(request) => ctx.respond(request),
             Err(message) => {
                 ServeStats::inc(&ctx.stats.errors);

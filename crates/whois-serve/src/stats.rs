@@ -76,6 +76,9 @@ pub struct ServeStats {
     pub fetches: AtomicU64,
     /// Upstream fetches that produced no usable body.
     pub fetch_failures: AtomicU64,
+    /// Parses that panicked inside a worker (contained, record
+    /// quarantined).
+    pub panics: AtomicU64,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait: StageTimer,
     /// Cache lookup time (hits and misses).
@@ -95,7 +98,9 @@ impl ServeStats {
     }
 
     /// Point-in-time view for the `STATS` verb. Model/cache fields are
-    /// supplied by the service, which owns those components.
+    /// supplied by the service, which owns those components, as are the
+    /// watcher's load-failure count and the quarantine ring's contents.
+    #[allow(clippy::too_many_arguments)]
     pub fn snapshot(
         &self,
         model_version: &str,
@@ -104,6 +109,8 @@ impl ServeStats {
         cache_len: usize,
         workers: usize,
         line_cache: LineCacheStats,
+        model_load_failures: u64,
+        quarantine: Vec<QuarantineEntry>,
     ) -> StatsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -135,8 +142,53 @@ impl ServeStats {
             cache_len: cache_len as u64,
             workers: workers as u64,
             line_cache,
+            panics: self.panics.load(Ordering::Relaxed),
+            model_load_failures,
+            quarantine_len: quarantine.len() as u64,
+            quarantine,
         }
     }
+}
+
+/// One quarantined record: a (domain, body hash) pair whose parse
+/// panicked. Subsequent requests for the same pair are refused without
+/// re-running the parser.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// The domain of the poisoned request.
+    pub domain: String,
+    /// Hash of the record body as 16 hex digits (same keying as the
+    /// result cache at generation 0, so it is model-independent; hex
+    /// because JSON integers don't reliably carry full u64 range).
+    pub body_hash: String,
+}
+
+/// The `HEALTH` verb's payload: liveness, not throughput. Answered
+/// inline by the connection thread — it must work even when every parse
+/// worker is wedged.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Configured parse workers.
+    pub workers: u64,
+    /// Workers currently alive (a worker that died to a contained panic
+    /// and could not be respawned drops this below `workers`).
+    pub workers_alive: u64,
+    /// Contained parse panics since start.
+    pub panics: u64,
+    /// Entries in the quarantine ring.
+    pub quarantine_len: u64,
+    /// Model-file loads that failed (corrupt/half-written uploads).
+    pub model_load_failures: u64,
+    /// Active model version.
+    pub model_version: String,
+    /// Active model generation.
+    pub model_generation: u64,
+    /// Completed model swaps.
+    pub model_swaps: u64,
+    /// Whether the service is draining (shutdown in progress).
+    pub draining: bool,
 }
 
 /// The `STATS` verb's payload.
@@ -190,6 +242,20 @@ pub struct StatsSnapshot {
     /// `#[serde(default)]` keeps old clients' replies parseable.
     #[serde(default)]
     pub line_cache: LineCacheStats,
+    /// Contained parse panics. New fields stay `#[serde(default)]` and
+    /// serialize *after* `line_cache` so replies from older servers
+    /// (which stop at `line_cache` or earlier) still deserialize.
+    #[serde(default)]
+    pub panics: u64,
+    /// Model-file loads that failed (watcher retries them).
+    #[serde(default)]
+    pub model_load_failures: u64,
+    /// Entries in the quarantine ring.
+    #[serde(default)]
+    pub quarantine_len: u64,
+    /// The quarantine ring's contents, oldest first.
+    #[serde(default)]
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 #[cfg(test)]
@@ -222,11 +288,20 @@ mod tests {
             hit_rate: 0.9,
             ..LineCacheStats::default()
         };
-        let snap = stats.snapshot("model-0001", 3, 2, 17, 4, line_cache);
+        ServeStats::inc(&stats.panics);
+        let quarantine = vec![QuarantineEntry {
+            domain: "poison.com".into(),
+            body_hash: format!("{:016x}", 0xDEAD_BEEFu64),
+        }];
+        let snap = stats.snapshot("model-0001", 3, 2, 17, 4, line_cache, 2, quarantine);
         assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
         assert_eq!(snap.model_generation, 3);
         assert_eq!(snap.cache_len, 17);
         assert_eq!(snap.line_cache.l1_hits, 7);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.model_load_failures, 2);
+        assert_eq!(snap.quarantine_len, 1);
+        assert_eq!(snap.quarantine[0].domain, "poison.com");
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
@@ -234,14 +309,36 @@ mod tests {
 
     #[test]
     fn snapshot_deserializes_replies_without_line_cache_field() {
-        // A reply from a pre-line-cache server omits the field; the
-        // serde default keeps the client compatible.
-        let snap = ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default());
+        // A reply from a pre-line-cache server omits that field and
+        // everything after it; the serde defaults keep the client
+        // compatible.
+        let snap =
+            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
         let json = serde_json::to_string(&snap).unwrap();
-        // `line_cache` serializes last; chop it off at the text level.
+        // `line_cache` and the robustness fields serialize last; chop
+        // them off at the text level.
         let start = json.find(",\"line_cache\"").unwrap();
         let stripped = format!("{}}}", &json[..start]);
         let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn health_snapshot_roundtrips_json() {
+        let health = HealthSnapshot {
+            uptime_ms: 1234,
+            workers: 4,
+            workers_alive: 4,
+            panics: 1,
+            quarantine_len: 1,
+            model_load_failures: 0,
+            model_version: "model-0001".into(),
+            model_generation: 2,
+            model_swaps: 1,
+            draining: false,
+        };
+        let json = serde_json::to_string(&health).unwrap();
+        let back: HealthSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, health);
     }
 }

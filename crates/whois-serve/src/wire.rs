@@ -7,6 +7,7 @@
 //! PARSE {"domain":"example.com","text":"Domain Name: ..."}
 //! FETCH example.com
 //! STATS
+//! HEALTH
 //! ```
 //!
 //! Every reply is one JSON line. Replies to `PARSE`/`FETCH` carry the
@@ -25,7 +26,7 @@
 use serde::{Deserialize, Serialize};
 use whois_model::ParsedRecord;
 
-use crate::stats::StatsSnapshot;
+use crate::stats::{HealthSnapshot, StatsSnapshot};
 
 /// Payload of a `PARSE` request.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -45,6 +46,9 @@ pub enum Request {
     Fetch(String),
     /// Report serving statistics.
     Stats,
+    /// Report liveness (answered inline, never queued — works even when
+    /// every parse worker is wedged).
+    Health,
 }
 
 impl Request {
@@ -71,6 +75,7 @@ impl Request {
                 Ok(Request::Fetch(rest.to_string()))
             }
             "STATS" => Ok(Request::Stats),
+            "HEALTH" => Ok(Request::Health),
             other => Err(format!("unknown verb: {other}")),
         }
     }
@@ -84,6 +89,7 @@ impl Request {
             ),
             Request::Fetch(domain) => format!("FETCH {domain}"),
             Request::Stats => "STATS".to_string(),
+            Request::Health => "HEALTH".to_string(),
         }
     }
 }
@@ -102,6 +108,9 @@ pub struct Reply {
     /// `STATS` payload.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub stats: Option<StatsSnapshot>,
+    /// `HEALTH` payload.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub health: Option<HealthSnapshot>,
     /// Error message when `ok` is false.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
@@ -119,6 +128,7 @@ impl Reply {
             model: Some(model.to_string()),
             record: Some(record),
             stats: None,
+            health: None,
             error: None,
             shed: false,
         }
@@ -131,6 +141,20 @@ impl Reply {
             model: None,
             record: None,
             stats: Some(snapshot),
+            health: None,
+            error: None,
+            shed: false,
+        }
+    }
+
+    /// `HEALTH` reply.
+    pub fn health(snapshot: HealthSnapshot) -> Reply {
+        Reply {
+            ok: true,
+            model: None,
+            record: None,
+            stats: None,
+            health: Some(snapshot),
             error: None,
             shed: false,
         }
@@ -143,6 +167,7 @@ impl Reply {
             model: None,
             record: None,
             stats: None,
+            health: None,
             error: Some(message.into()),
             shed,
         }
@@ -181,6 +206,14 @@ mod tests {
             Request::Fetch(d) if d == "example.com"
         ));
         assert!(matches!(Request::decode("stats").unwrap(), Request::Stats));
+        assert!(matches!(
+            Request::decode("health").unwrap(),
+            Request::Health
+        ));
+        assert!(matches!(
+            Request::decode(&Request::Health.encode()).unwrap(),
+            Request::Health
+        ));
     }
 
     #[test]
@@ -203,5 +236,22 @@ mod tests {
         let plain = Reply::error("bad request", false).encode();
         assert!(!plain.contains("shed"), "{plain}");
         assert!(!Reply::decode(&plain).unwrap().shed);
+    }
+
+    #[test]
+    fn health_reply_roundtrip() {
+        let snapshot = crate::stats::HealthSnapshot {
+            uptime_ms: 5,
+            workers: 2,
+            workers_alive: 2,
+            model_version: "v1".into(),
+            ..Default::default()
+        };
+        let line = Reply::health(snapshot.clone()).encode();
+        let back = Reply::decode(&line).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.health, Some(snapshot));
+        // Replies without a health payload omit the field entirely.
+        assert!(!Reply::error("x", false).encode().contains("health"));
     }
 }

@@ -315,6 +315,117 @@ fn shutdown_drains_admitted_work() {
     assert_eq!(upstream_report.aborted, 0, "{upstream_report:?}");
 }
 
+#[test]
+fn health_verb_reports_liveness() {
+    let service = start_service(2, 16, None);
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.workers, 2);
+    assert_eq!(health.workers_alive, 2);
+    assert_eq!(health.panics, 0);
+    assert_eq!(health.quarantine_len, 0);
+    assert_eq!(health.model_version, "model-0001");
+    assert_eq!(health.model_generation, 1);
+    assert!(!health.draining);
+    // Uptime is monotone across probes.
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(client.health().unwrap().uptime_ms >= health.uptime_ms);
+}
+
+#[test]
+fn rigged_panic_is_contained_quarantined_and_service_keeps_answering() {
+    let registry = Arc::new(ModelRegistry::new(train_parser(11, 40), "model-0001", 1));
+    let service = ParseService::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            panic_trigger: Some("poison.com".into()),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    let poison_body = "Domain Name: POISON.COM\nRegistrar: Bad Actor Inc.\n";
+
+    // The poisoned parse fails as a structured error, not a dead socket.
+    let err = client.parse("poison.com", poison_body).unwrap_err();
+    match err {
+        whois_serve::ClientError::Server { message, shed } => {
+            assert!(message.contains("panicked"), "{message}");
+            assert!(!shed);
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // The same worker pool keeps answering: 100+ parses after the panic.
+    for i in 0..120 {
+        let reply = client
+            .parse(
+                &format!("after-{i}.com"),
+                &format!("Domain Name: AFTER-{i}.COM\nRegistrar: Fine Reg\n"),
+            )
+            .expect("service survives a contained panic");
+        assert!(reply.record.is_some());
+    }
+
+    // A repeat of the poison record is refused from quarantine, without
+    // re-running (and re-panicking) the parse.
+    let err = client.parse("poison.com", poison_body).unwrap_err();
+    match err {
+        whois_serve::ClientError::Server { message, .. } => {
+            assert!(message.contains("quarantined"), "{message}");
+        }
+        other => panic!("expected a server error, got {other:?}"),
+    }
+
+    // HEALTH: all workers alive, one contained panic, one quarantined
+    // record.
+    let health = client.health().unwrap();
+    assert_eq!(health.workers, 2);
+    assert_eq!(health.workers_alive, 2, "panic must not kill a worker");
+    assert_eq!(health.panics, 1, "quarantine refusals don't re-panic");
+    assert_eq!(health.quarantine_len, 1);
+
+    // STATS carries the same story plus the quarantine contents.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.quarantine_len, 1);
+    assert_eq!(stats.quarantine[0].domain, "poison.com");
+    assert_eq!(stats.model_load_failures, 0);
+    assert!(stats.errors >= 2);
+    // The 120 clean parses all made it into the cache/parse counters.
+    assert_eq!(stats.parses, 120);
+}
+
+#[test]
+fn quarantine_ring_is_bounded() {
+    let registry = Arc::new(ModelRegistry::new(train_parser(11, 40), "model-0001", 1));
+    // Every domain panics; capacity 4 keeps only the newest 4.
+    let service = ParseService::start(
+        registry,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            quarantine_capacity: 4,
+            panic_trigger: Some("all-poison.com".into()),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    for i in 0..10 {
+        let _ = client.parse("all-poison.com", &format!("Registrar: R{i}\n"));
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.panics, 10, "each distinct body panics once");
+    assert_eq!(stats.quarantine_len, 4, "ring holds only the newest 4");
+    let health = client.health().unwrap();
+    assert_eq!(health.workers_alive, 1);
+}
+
 /// One shared long-lived service for the property test: starting (and
 /// training) one per case would dominate the runtime.
 fn shared_service_addr() -> SocketAddr {

@@ -49,6 +49,7 @@ fn main() {
                     drop_chance: 0.05,
                     empty_chance: 0.02,
                     garble_chance: 0.01,
+                    ..FaultConfig::none()
                 },
                 fault_seed: i as u64,
                 ..Default::default()

@@ -9,8 +9,9 @@
 //! whoisml inspect     --model model.json
 //! whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]
 //!                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]
-//!                     [--upstream host:port]
-//! whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)
+//!                     [--upstream host:port] [--timeout MS]
+//! whoisml query       --addr 127.0.0.1:PORT [--timeout MS]
+//!                     (--domain d [--input record.txt] | --stats 1 | --health 1)
 //! ```
 //!
 //! * `gen` writes a labeled JSONL corpus (one [`CorpusLine`] per record)
@@ -34,7 +35,12 @@
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
-//!   statistics.
+//!   statistics, `--health 1` prints the liveness snapshot.
+//!
+//! Both `serve` and `query` take `--timeout MS`: for `query` it bounds
+//! connect/read/write on the client socket; for `serve` it is the
+//! per-connection read timeout and the upstream WHOIS client's
+//! connect/read timeout.
 
 use serde::{Deserialize, Serialize};
 use std::io::Read;
@@ -96,8 +102,9 @@ fn usage_and_exit() -> ! {
          \x20 whoisml inspect     --model model.json [--topk K]\n\
          \x20 whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]\n\
          \x20                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]\n\
-         \x20                     [--upstream host:port]\n\
-         \x20 whoisml query       --addr 127.0.0.1:PORT (--domain d [--input record.txt] | --stats 1)"
+         \x20                     [--upstream host:port] [--timeout MS]\n\
+         \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
+         \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)"
     );
     std::process::exit(2);
 }
@@ -342,23 +349,43 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         )
     });
 
+    // --timeout MS bounds both the per-connection read timeout and the
+    // upstream WHOIS client (a wedged registrar must not pin a worker).
+    let timeout = flags
+        .get("timeout")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad --timeout {v}: {e}"))
+                .map(std::time::Duration::from_millis)
+        })
+        .transpose()?;
     let upstream = match flags.get("upstream") {
-        Some(addr) => Some(UpstreamConfig {
-            registry: addr
-                .parse()
-                .map_err(|e| format!("bad --upstream address {addr}: {e}"))?,
-            resolver: std::collections::HashMap::new(),
-            client: whoisml::net::WhoisClient::default(),
-        }),
+        Some(addr) => {
+            let mut client = whoisml::net::WhoisClient::default();
+            if let Some(t) = timeout {
+                client.connect_timeout = t;
+                client.read_timeout = t;
+            }
+            Some(UpstreamConfig {
+                registry: addr
+                    .parse()
+                    .map_err(|e| format!("bad --upstream address {addr}: {e}"))?,
+                resolver: std::collections::HashMap::new(),
+                client,
+            })
+        }
         None => None,
     };
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         workers: flags.get_or("workers", 0),
         queue_capacity: flags.get_or("queue", 64),
         cache_capacity: flags.get_or("cache", 4096),
         upstream,
         ..Default::default()
     };
+    if let Some(t) = timeout {
+        cfg.read_timeout = t;
+    }
     let port: u16 = flags.get_or("port", 0);
     let service = ParseService::start(registry.clone(), cfg, port).map_err(|e| e.to_string())?;
     // The bound address goes to stdout so scripts (and the walkthrough
@@ -388,7 +415,22 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         .require("addr")?
         .parse()
         .map_err(|e| format!("bad --addr: {e}"))?;
-    let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    let timeout = match flags.get("timeout") {
+        Some(v) => std::time::Duration::from_millis(
+            v.parse::<u64>()
+                .map_err(|e| format!("bad --timeout {v}: {e}"))?,
+        ),
+        None => whoisml::serve::DEFAULT_TIMEOUT,
+    };
+    let mut client = ServeClient::connect_timeout(addr, timeout).map_err(|e| e.to_string())?;
+    if flags.get("health").is_some() {
+        let health = client.health().map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&health).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     if flags.get("stats").is_some() {
         let stats = client.stats().map_err(|e| e.to_string())?;
         println!(
