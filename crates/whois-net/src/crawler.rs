@@ -35,7 +35,7 @@ use crate::proto::{self, ReplyKind};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -162,12 +162,14 @@ pub struct EndpointStats {
 }
 
 impl EndpointStats {
-    /// Mean per-query latency.
+    /// Mean per-query latency. Computed in nanoseconds with u128
+    /// arithmetic — a weeks-long crawl can push `queries` past `u32`,
+    /// where `Duration / u32` would truncate the divisor.
     pub fn mean_latency(&self) -> Duration {
         if self.queries == 0 {
             Duration::ZERO
         } else {
-            self.total_latency / self.queries as u32
+            Duration::from_nanos((self.total_latency.as_nanos() / self.queries as u128) as u64)
         }
     }
 }
@@ -346,6 +348,12 @@ impl Crawler {
         // cancel), which lets the workers drain and exit.
         let mut work_tx = Some(work_tx);
         let mut outstanding = domains.len();
+        // Nothing queued (empty input, or a resumed crawl that is
+        // already complete): no result will ever arrive, so drop the
+        // sender now or the workers and this collector deadlock.
+        if outstanding == 0 {
+            work_tx = None;
+        }
         let mut partial: HashMap<String, CrawlResult> = HashMap::new();
         let mut results: Vec<CrawlResult> = Vec::with_capacity(domains.len());
         for (result, pass) in result_rx.iter() {
@@ -402,14 +410,22 @@ impl Crawler {
     /// Killing the process mid-crawl and calling `crawl_resumable` again
     /// with the same journal path yields a final report identical to an
     /// uninterrupted run, with zero re-queries of journaled domains.
+    ///
+    /// Domains are matched case-insensitively (the journal's semantics)
+    /// and duplicates within `domains` are crawled once; every input
+    /// occurrence still gets a report entry. If journaling itself fails,
+    /// the crawl is cancelled — continuing would burn queries on
+    /// results the journal can no longer record — and the error is
+    /// returned.
     pub fn crawl_resumable(
         self: &Arc<Self>,
         domains: &[String],
         journal: &mut CrawlJournal,
     ) -> std::io::Result<CrawlReport> {
+        let mut queued = HashSet::new();
         let remaining: Vec<String> = domains
             .iter()
-            .filter(|d| !journal.contains(d))
+            .filter(|d| !journal.contains(d) && queued.insert(d.to_lowercase()))
             .cloned()
             .collect();
         let mut append_err = None;
@@ -417,20 +433,21 @@ impl Crawler {
             if append_err.is_none() {
                 if let Err(e) = journal.append(r) {
                     append_err = Some(e);
+                    self.cancel();
                 }
             }
         });
         if let Some(e) = append_err {
             return Err(e);
         }
-        let by_domain: HashMap<&str, &CrawlResult> = journal
+        let by_domain: HashMap<String, &CrawlResult> = journal
             .results()
             .iter()
-            .map(|r| (r.domain.as_str(), r))
+            .map(|r| (r.domain.to_lowercase(), r))
             .collect();
         report.results = domains
             .iter()
-            .filter_map(|d| by_domain.get(d.as_str()).map(|&r| r.clone()))
+            .filter_map(|d| by_domain.get(&d.to_lowercase()).map(|&r| r.clone()))
             .collect();
         Ok(report)
     }
@@ -790,6 +807,38 @@ mod tests {
         );
         // And the server did refuse some queries along the way.
         assert!(crawler.refusals()[&registrar.addr()] > 0);
+    }
+
+    #[test]
+    fn empty_domain_list_returns_an_empty_report() {
+        let (registry, _registrar, _domains, resolver) = ecosystem(1, ServerConfig::default());
+        let crawler = Arc::new(Crawler::new(
+            registry.addr(),
+            resolver,
+            CrawlerConfig::default(),
+        ));
+        // Run on a watchdog thread: a regression here deadlocks rather
+        // than fails, so give it a deadline.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let c = Arc::clone(&crawler);
+        std::thread::spawn(move || {
+            let _ = tx.send(c.crawl(&[]));
+        });
+        let report = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("crawl(&[]) must return, not deadlock");
+        assert!(report.results.is_empty());
+        assert_eq!(report.coverage(), 0.0);
+    }
+
+    #[test]
+    fn mean_latency_survives_huge_query_counts() {
+        let stats = EndpointStats {
+            queries: u32::MAX as u64 * 2,
+            total_latency: Duration::from_secs(u32::MAX as u64 * 2 * 3),
+            ..Default::default()
+        };
+        assert_eq!(stats.mean_latency(), Duration::from_secs(3));
     }
 
     #[test]

@@ -205,6 +205,87 @@ fn cancel_mid_crawl_then_resume_finishes_every_domain() {
 }
 
 #[test]
+fn rerunning_a_completed_crawl_returns_without_querying() {
+    let n = 5;
+    let path = tmp("complete-rerun");
+    let _ = std::fs::remove_file(&path);
+    let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        quick_cfg(),
+    ));
+    let mut journal = CrawlJournal::open_with_sync(&path, false).unwrap();
+    let baseline = crawler
+        .crawl_resumable(&eco.domains, &mut journal)
+        .unwrap()
+        .canonical_summary();
+    let thin_queries = eco.thin_log.lock().len();
+
+    // Rerun with everything already journaled — and with the inputs
+    // re-cased, which the journal matches case-insensitively. Must
+    // return the same report promptly (a regression deadlocks, hence
+    // the watchdog) and issue zero new queries.
+    let recased: Vec<String> = eco.domains.iter().map(|d| d.to_uppercase()).collect();
+    let (tx, rx) = std::sync::mpsc::channel();
+    {
+        let crawler = crawler.clone();
+        std::thread::spawn(move || {
+            let report = crawler.crawl_resumable(&recased, &mut journal).unwrap();
+            let _ = tx.send(report);
+        });
+    }
+    let report = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("rerun of a completed crawl must return, not hang");
+    assert_eq!(
+        report.results.len(),
+        n,
+        "re-cased inputs must not be dropped"
+    );
+    assert_eq!(report.canonical_summary(), baseline);
+    assert_eq!(
+        eco.thin_log.lock().len(),
+        thin_queries,
+        "completed crawl re-queried the registry"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn duplicate_inputs_are_crawled_once_but_reported_per_occurrence() {
+    let n = 4;
+    let path = tmp("dupes");
+    let _ = std::fs::remove_file(&path);
+    let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        quick_cfg(),
+    ));
+    // Each domain appears twice: once as-is, once upper-cased.
+    let mut doubled = eco.domains.clone();
+    doubled.extend(eco.domains.iter().map(|d| d.to_uppercase()));
+    let mut journal = CrawlJournal::open_with_sync(&path, false).unwrap();
+    let report = crawler.crawl_resumable(&doubled, &mut journal).unwrap();
+    assert_eq!(report.results.len(), doubled.len());
+    assert_eq!(report.count(CrawlStatus::Full), doubled.len());
+    assert_eq!(journal.len(), n, "one journal frame per distinct domain");
+    let thin_seen = eco.thin_log.lock().clone();
+    for d in &eco.domains {
+        assert_eq!(
+            thin_seen
+                .iter()
+                .filter(|q| q.eq_ignore_ascii_case(d))
+                .count(),
+            1,
+            "{d} must be queried exactly once despite duplicate inputs"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
 fn mojibake_registrar_yields_full_records_with_replacement_chars() {
     // Every thick reply is corrupted into invalid UTF-8: the crawler
     // must decode lossily and keep the record, not drop the long tail.
