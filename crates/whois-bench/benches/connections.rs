@@ -1,0 +1,338 @@
+//! Connection scaling: how many concurrent sockets can one serving
+//! core hold, and what does a pipelined sweep cost at each level?
+//!
+//! The event-loop core multiplexes every connection on a single
+//! acceptor thread, so thousands of mostly-idle connections (the shape
+//! of real WHOIS/abuse-pipeline clients: long-lived, bursty) should
+//! cost file descriptors, not threads. This bench holds `conns` open
+//! connections against a [`whois_serve::ParseService`] — a small
+//! active set pipelines `depth` `PARSE` requests each, the rest sit
+//! idle — and records wall-clock requests/sec plus the process thread
+//! count mid-serve (from `/proc/self/status`). The blocking
+//! thread-per-connection core runs at a small level for contrast.
+//!
+//! The client side is itself poller-driven (one thread for the whole
+//! fleet, reusing [`whois_net::EventConn`]), so the bench measures the
+//! server, not client thread-spawn overhead.
+//!
+//! Writes `results/BENCH_connections.json`. `WHOIS_BENCH_SMOKE=1`
+//! swaps in a seconds-long correctness check: exact reply counts at a
+//! few hundred connections, zero sheds/idle-closes, bounded threads.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whois_bench::{corpus, first_level_examples, second_level_examples};
+use whois_net::event::{Interest, Poller};
+use whois_net::{Chunk, EventConn, ServingMode};
+use whois_parser::{ParserConfig, WhoisParser};
+use whois_serve::{ModelRegistry, ParseService, ServeConfig};
+
+/// Connection levels for the event loop (the paper-scale sweep).
+const EVENT_LEVELS: [usize; 3] = [1024, 4096, 8192];
+/// The blocking core's contrast level (a thread per connection — kept
+/// small so the bench doesn't drown the host in threads).
+const BLOCKING_LEVEL: usize = 256;
+/// Connections actively pipelining during a sweep.
+const ACTIVE: usize = 128;
+/// Pipelined requests per active connection per sweep.
+const DEPTH: usize = 10;
+
+fn bench_parser() -> WhoisParser {
+    let train = corpus(13, 60);
+    WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    )
+}
+
+fn start_service(mode: ServingMode) -> ParseService {
+    let registry = Arc::new(ModelRegistry::new(bench_parser(), "bench", 1));
+    ParseService::start(
+        registry,
+        ServeConfig {
+            mode,
+            workers: 1,
+            queue_capacity: 1024,
+            cache_capacity: 1 << 12,
+            // Idle connections are the point here — keep the slowloris
+            // guard well clear of the measurement window.
+            read_timeout: Duration::from_secs(120),
+            ..Default::default()
+        },
+        0,
+    )
+    .expect("start bench service")
+}
+
+/// `Threads:` from `/proc/self/status` (0 where unavailable).
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// A fleet of persistent client connections driven by one poller
+/// thread: `active` of them pipeline requests, the rest hold idle.
+struct ClientFleet {
+    poller: Poller,
+    conns: Vec<EventConn>,
+    active: usize,
+    /// `depth` pre-encoded request lines, sent as one write.
+    payload: Vec<u8>,
+    depth: usize,
+}
+
+impl ClientFleet {
+    fn connect(addr: SocketAddr, total: usize, active: usize, line: &str, depth: usize) -> Self {
+        use std::os::unix::io::AsRawFd;
+        let poller = Poller::new().expect("client poller");
+        let mut conns = Vec::with_capacity(total);
+        for token in 0..total {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let conn = EventConn::new(stream, addr, token as u64, BytesMut::with_capacity(4096))
+                .expect("wrap client conn");
+            poller
+                .register(conn.stream.as_raw_fd(), token as u64, Interest::READ)
+                .expect("register client conn");
+            conns.push(conn);
+        }
+        let payload = line.repeat(depth).into_bytes();
+        ClientFleet {
+            poller,
+            conns,
+            active,
+            payload,
+            depth,
+        }
+    }
+
+    /// One pipelined sweep: every active connection sends `depth`
+    /// requests in a single write and reads `depth` reply lines.
+    /// Returns requests completed (panics on a stuck sweep).
+    fn sweep(&mut self) -> u64 {
+        use std::os::unix::io::AsRawFd;
+        let mut remaining = vec![0usize; self.conns.len()];
+        for (i, slot) in remaining.iter_mut().enumerate().take(self.active) {
+            let c = &mut self.conns[i];
+            c.queue(Chunk::Owned(self.payload.clone().into()));
+            *slot = self.depth;
+            // Try the whole write inline; fall back to writable events.
+            let _ = c.flush();
+            let want = if c.pending_out() > 0 {
+                Interest::READ_WRITE
+            } else {
+                Interest::READ
+            };
+            let _ = self.poller.reregister(c.stream.as_raw_fd(), i as u64, want);
+        }
+        let mut outstanding: usize = self.active * self.depth;
+        let mut events = Vec::new();
+        let mut scratch = vec![0u8; 16 * 1024];
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while outstanding > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "sweep stuck: {outstanding} replies outstanding"
+            );
+            events.clear();
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(100)));
+            for ev in events.iter().copied() {
+                let idx = ev.token as usize;
+                let c = &mut self.conns[idx];
+                if ev.writable && c.pending_out() > 0 {
+                    let _ = c.flush();
+                    if c.pending_out() == 0 {
+                        let _ =
+                            self.poller
+                                .reregister(c.stream.as_raw_fd(), ev.token, Interest::READ);
+                    }
+                }
+                if ev.readable {
+                    let status = c.fill(&mut scratch).expect("client read");
+                    // Replies are newline-terminated JSON lines; the
+                    // content was verified in smoke/differential tests,
+                    // so the sweep only counts terminators.
+                    let got = c.buf.iter().filter(|&&b| b == b'\n').count();
+                    c.buf.clear();
+                    let got = got.min(remaining[idx]);
+                    remaining[idx] -= got;
+                    outstanding -= got;
+                    assert!(!status.eof || remaining[idx] == 0, "server hung up early");
+                }
+            }
+        }
+        (self.active * self.depth) as u64
+    }
+}
+
+/// Body every `PARSE` in the sweep carries: one cache entry serves the
+/// whole fleet, so the bench measures the serving core, not the parser.
+fn request_line() -> String {
+    let req = whois_serve::Request::Parse(whois_serve::ParseRequest {
+        domain: "bench.example.com".into(),
+        text: "Domain Name: BENCH.EXAMPLE.COM\nRegistrar: Bench Registrar Inc.\n".into(),
+    });
+    format!("{}\n", req.encode())
+}
+
+struct LevelResult {
+    mode: &'static str,
+    conns: usize,
+    requests_per_sec: f64,
+    threads_during_serve: u64,
+    sweeps: usize,
+}
+
+/// Hold `conns` connections against a fresh service in `mode`, run
+/// `sweeps` pipelined sweeps, and report the best rate + thread count.
+fn run_level(mode: ServingMode, conns: usize, sweeps: usize) -> LevelResult {
+    let mut service = start_service(mode);
+    let line = request_line();
+    let mut fleet = ClientFleet::connect(service.addr(), conns, ACTIVE.min(conns), &line, DEPTH);
+
+    // Wait for the server to see every connection (the gauges are the
+    // handshake): the sweep then measures serving, not accepting.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.stats().connections.open < conns as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let open = service.stats().connections.open;
+    assert_eq!(open, conns as u64, "server never saw all connections");
+
+    let mut best = 0.0f64;
+    let mut threads = 0;
+    for _ in 0..sweeps {
+        let start = Instant::now();
+        let requests = fleet.sweep();
+        best = best.max(requests as f64 / start.elapsed().as_secs_f64());
+        threads = threads.max(thread_count());
+    }
+    let stats = service.stats();
+    assert_eq!(stats.sheds, 0, "bench queue must never shed");
+    assert_eq!(stats.connections.idle_closed, 0, "no idle closes mid-bench");
+
+    // Tear the fleet down before the service so per-connection threads
+    // (blocking mode) exit on EOF instead of lingering into the next
+    // level's thread counts.
+    drop(fleet);
+    let gone = Instant::now() + Duration::from_secs(30);
+    while service.stats().connections.open > 0 && Instant::now() < gone {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    service.shutdown();
+    LevelResult {
+        mode: match mode {
+            ServingMode::EventLoop => "event",
+            ServingMode::Blocking => "blocking",
+        },
+        conns,
+        requests_per_sec: best,
+        threads_during_serve: threads,
+        sweeps,
+    }
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness at a few hundred connections.
+fn smoke() {
+    let result = run_level(ServingMode::EventLoop, 256, 2);
+    assert!(
+        result.threads_during_serve < 64,
+        "event loop must hold 256 conns with bounded threads, saw {}",
+        result.threads_during_serve
+    );
+    let blocking = run_level(ServingMode::Blocking, 32, 1);
+    eprintln!(
+        "[connections] smoke ok: event 256 conns @ {:.0} req/s on {} threads; \
+         blocking 32 conns on {} threads",
+        result.requests_per_sec, result.threads_during_serve, blocking.threads_during_serve
+    );
+}
+
+fn bench_connections(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    // Criterion timings at the smallest event level: setup once, each
+    // iteration is one pipelined sweep over the held connections.
+    {
+        let service = start_service(ServingMode::EventLoop);
+        let line = request_line();
+        let mut fleet = ClientFleet::connect(service.addr(), 1024, ACTIVE, &line, DEPTH);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while service.stats().connections.open < 1024 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut group = c.benchmark_group("connections");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((ACTIVE * DEPTH) as u64));
+        group.bench_function(BenchmarkId::new("event_pipelined_sweep", 1024), |b| {
+            b.iter(|| fleet.sweep())
+        });
+        group.finish();
+    }
+
+    write_summary();
+}
+
+fn write_summary() {
+    let mut results = Vec::new();
+    for conns in EVENT_LEVELS {
+        results.push(run_level(ServingMode::EventLoop, conns, 3));
+    }
+    results.push(run_level(ServingMode::Blocking, BLOCKING_LEVEL, 3));
+
+    for r in &results {
+        if r.mode == "event" && r.conns >= 1024 {
+            assert!(
+                r.threads_during_serve < 100,
+                "event loop at {} conns must keep threads bounded, saw {}",
+                r.conns,
+                r.threads_during_serve
+            );
+        }
+    }
+
+    let entries: Vec<String> =
+        results
+            .iter()
+            .map(|r| {
+                format!(
+                "    {{\"mode\": \"{}\", \"conns\": {}, \"active\": {}, \"pipeline_depth\": {}, \
+                 \"sweeps\": {}, \"requests_per_sec\": {:.1}, \"threads_during_serve\": {}}}",
+                r.mode, r.conns, ACTIVE.min(r.conns), DEPTH, r.sweeps, r.requests_per_sec,
+                r.threads_during_serve
+            )
+            })
+            .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"connections\",\n  \"available_cores\": {cores},\n  \
+         \"levels\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_connections.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[connections] summary written to {path}"),
+        Err(e) => eprintln!("[connections] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_connections);
+criterion_main!(benches);

@@ -12,8 +12,16 @@
 //! * [`store`] — the thin/thick split (§2.2): a registry store answering
 //!   thin records with `Whois Server:` referrals, and per-registrar
 //!   stores answering thick records.
-//! * [`server`] — a thread-per-connection WHOIS server binding
-//!   `127.0.0.1:0`, with configurable rate limiting and fault injection.
+//! * [`server`] — a WHOIS server binding `127.0.0.1:0`, with
+//!   configurable rate limiting and fault injection, serving either
+//!   thread-per-connection (legacy/oracle) or through the nonblocking
+//!   event loop.
+//! * [`event`] — the readiness core: an epoll-backed [`Poller`] (no
+//!   external deps; FFI straight against the platform libc) plus a
+//!   [`Waker`] for cross-thread loop interrupts.
+//! * [`conn`] — the per-connection state machine shell: pooled read
+//!   buffers, queued reply chunks, vectored writes, idle deadlines.
+//! * [`buffer_pool`] — bounded recycling of connection read buffers.
 //! * [`fault`] — smoltcp-style fault injection: drop, empty-response,
 //!   garble, stall, truncate, non-UTF-8, and ban fates, all keyed
 //!   deterministically per (query, request index), plus scriptable
@@ -35,8 +43,11 @@
 //! [`ParseEngine`]: whois_parser::ParseEngine
 
 pub mod breaker;
+pub mod buffer_pool;
 pub mod client;
+pub mod conn;
 pub mod crawler;
+pub mod event;
 pub mod fault;
 pub mod journal;
 pub mod limiter;
@@ -46,11 +57,14 @@ pub mod server;
 pub mod store;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, KeyedBreaker};
+pub use buffer_pool::{BufferPool, BufferPoolStats};
 pub use client::WhoisClient;
+pub use conn::{Chunk, ConnPhase, EventConn};
 pub use crawler::{CrawlReport, CrawlResult, CrawlStatus, Crawler, CrawlerConfig, EndpointStats};
+pub use event::{Event, Interest, Poller, Waker};
 pub use fault::{FateSpec, FaultConfig, FaultPlan};
 pub use journal::CrawlJournal;
 pub use limiter::{KeyedRateLimiter, RateLimitConfig, RateLimiter};
 pub use pipeline::{crawl_parse_survey, PipelineReport};
-pub use server::{ServerConfig, ServerHandle, ShutdownReport, WhoisServer};
+pub use server::{ServerConfig, ServerHandle, ServingMode, ShutdownReport, WhoisServer};
 pub use store::{InMemoryStore, LoggingStore, RecordStore};

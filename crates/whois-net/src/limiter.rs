@@ -42,6 +42,9 @@ pub struct RateLimiter {
     tokens: f64,
     last_refill: Instant,
     penalty_until: Option<Instant>,
+    /// Connections this key currently holds open (maintained by
+    /// [`KeyedRateLimiter::try_acquire_conn`] / `release_conn`).
+    active_conns: u32,
     /// Total queries refused (stats).
     pub refused: u64,
 }
@@ -54,6 +57,7 @@ impl RateLimiter {
             cfg,
             last_refill: Instant::now(),
             penalty_until: None,
+            active_conns: 0,
             refused: 0,
         }
     }
@@ -112,10 +116,15 @@ impl RateLimiter {
         self.penalty_until = Some(self.penalty_until.map_or(until, |u| u.max(until)));
     }
 
-    /// Whether the bucket is effectively idle at `now`: full (after
-    /// refill) and outside any penalty window. Idle buckets carry no
-    /// state worth keeping.
+    /// Whether the bucket is effectively idle at `now`: no open
+    /// connections, full (after refill), and outside any penalty
+    /// window. Idle buckets carry no state worth keeping — and a bucket
+    /// with live connections must never be evicted, or the cap's
+    /// accounting would leak a slot per eviction.
     fn is_idle(&self, now: Instant) -> bool {
+        if self.active_conns > 0 {
+            return false;
+        }
         if self.in_penalty(now) {
             return false;
         }
@@ -148,8 +157,16 @@ pub struct KeyedRateLimiter<K: Hash + Eq + Clone> {
     per_key: RateLimitConfig,
     global: Option<RateLimiter>,
     buckets: HashMap<K, RateLimiter>,
+    /// Most connections one key may hold open at once (`None` = no cap).
+    /// Enforced at accept time by the servers, which bracket each
+    /// connection with [`try_acquire_conn`](Self::try_acquire_conn) /
+    /// [`release_conn`](Self::release_conn).
+    conn_cap: Option<u32>,
     /// Total queries refused across all keys (stats).
     pub refused: u64,
+    /// Total connections refused by the concurrent-connection cap
+    /// (stats).
+    pub conn_refused: u64,
 }
 
 impl<K: Hash + Eq + Clone> KeyedRateLimiter<K> {
@@ -159,7 +176,9 @@ impl<K: Hash + Eq + Clone> KeyedRateLimiter<K> {
             per_key,
             global: None,
             buckets: HashMap::new(),
+            conn_cap: None,
             refused: 0,
+            conn_refused: 0,
         }
     }
 
@@ -169,6 +188,55 @@ impl<K: Hash + Eq + Clone> KeyedRateLimiter<K> {
             global: Some(RateLimiter::new(global)),
             ..Self::new(per_key)
         }
+    }
+
+    /// Cap the connections one key may hold open concurrently (`0` is
+    /// treated as uncapped). Builder-style so servers can layer it over
+    /// either constructor.
+    pub fn with_conn_cap(mut self, cap: Option<u32>) -> Self {
+        self.conn_cap = cap.filter(|&c| c > 0);
+        self
+    }
+
+    /// Accept-time admission: try to charge one open connection to
+    /// `key`. `false` means the key is at its concurrent-connection cap
+    /// and the connection should be refused before any request is read.
+    /// Every `true` must be paired with exactly one
+    /// [`release_conn`](Self::release_conn) when the connection closes.
+    pub fn try_acquire_conn(&mut self, key: &K, now: Instant) -> bool {
+        let Some(cap) = self.conn_cap else {
+            return true;
+        };
+        if self.buckets.len() >= PRUNE_THRESHOLD && !self.buckets.contains_key(key) {
+            self.buckets.retain(|_, b| !b.is_idle(now));
+        }
+        let per_key = self.per_key;
+        let bucket = self
+            .buckets
+            .entry(key.clone())
+            .or_insert_with(|| RateLimiter::new(per_key));
+        if bucket.active_conns >= cap {
+            self.conn_refused += 1;
+            return false;
+        }
+        bucket.active_conns += 1;
+        true
+    }
+
+    /// Release one open-connection slot for `key` (paired with a
+    /// successful [`try_acquire_conn`](Self::try_acquire_conn)).
+    pub fn release_conn(&mut self, key: &K) {
+        if self.conn_cap.is_none() {
+            return;
+        }
+        if let Some(bucket) = self.buckets.get_mut(key) {
+            bucket.active_conns = bucket.active_conns.saturating_sub(1);
+        }
+    }
+
+    /// Open connections currently charged to `key`.
+    pub fn active_conns(&self, key: &K) -> u32 {
+        self.buckets.get(key).map_or(0, |b| b.active_conns)
     }
 
     /// Try to admit one query from `key` at time `now`.
@@ -358,6 +426,70 @@ mod tests {
         assert!(!l.allow_at(&"banned", t0 + Duration::from_millis(10)));
         assert!(l.allow_at(&"innocent", t0 + Duration::from_millis(10)));
         assert!(l.allow_at(&"banned", t0 + Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn conn_cap_refuses_at_the_limit_and_frees_on_release() {
+        let mut l: KeyedRateLimiter<&str> =
+            KeyedRateLimiter::new(RateLimitConfig::unlimited()).with_conn_cap(Some(2));
+        let t0 = Instant::now();
+        assert!(l.try_acquire_conn(&"ip", t0));
+        assert!(l.try_acquire_conn(&"ip", t0));
+        assert!(!l.try_acquire_conn(&"ip", t0), "third concurrent refused");
+        assert_eq!(l.conn_refused, 1);
+        assert_eq!(l.active_conns(&"ip"), 2);
+        // A different key has its own budget.
+        assert!(l.try_acquire_conn(&"other", t0));
+        // Releasing frees a slot for the capped key.
+        l.release_conn(&"ip");
+        assert!(l.try_acquire_conn(&"ip", t0));
+        // The per-request token path is untouched by the cap.
+        assert!(l.allow_at(&"ip", t0));
+    }
+
+    #[test]
+    fn zero_or_absent_cap_never_refuses_conns() {
+        let mut l: KeyedRateLimiter<u32> =
+            KeyedRateLimiter::new(RateLimitConfig::unlimited()).with_conn_cap(Some(0));
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            assert!(l.try_acquire_conn(&1, t0));
+        }
+        assert_eq!(l.conn_refused, 0);
+        assert_eq!(
+            l.tracked_keys(),
+            0,
+            "an uncapped limiter tracks no per-conn state"
+        );
+    }
+
+    #[test]
+    fn eviction_spares_buckets_with_live_connections() {
+        let mut l: KeyedRateLimiter<usize> =
+            KeyedRateLimiter::new(cfg(4, 1000.0, 0)).with_conn_cap(Some(8));
+        let t0 = Instant::now();
+        // Key 0 holds a connection open; the rest only spend tokens.
+        assert!(l.try_acquire_conn(&0, t0));
+        for k in 0..PRUNE_THRESHOLD {
+            assert!(l.allow_at(&k, t0));
+        }
+        // Much later every tokens-only bucket has refilled to idle; a
+        // new key triggers the prune. The connection-holding bucket
+        // must survive or its slot accounting would leak.
+        let later = t0 + Duration::from_secs(60);
+        assert!(l.allow_at(&(PRUNE_THRESHOLD + 1), later));
+        assert_eq!(l.tracked_keys(), 2, "live-conn bucket + the new key");
+        assert_eq!(l.active_conns(&0), 1);
+        l.release_conn(&0);
+        // Once released (and refilled), it is evictable like any other.
+        let even_later = later + Duration::from_secs(60);
+        for k in 0..PRUNE_THRESHOLD {
+            assert!(l.allow_at(&(10_000 + k), even_later));
+        }
+        let final_t = even_later + Duration::from_secs(60);
+        assert!(l.allow_at(&99_999, final_t));
+        assert_eq!(l.active_conns(&0), 0);
+        assert_eq!(l.tracked_keys(), 1, "released bucket was evicted");
     }
 
     #[test]

@@ -1,15 +1,30 @@
-//! A thread-per-connection WHOIS server over loopback TCP.
+//! A WHOIS server over loopback TCP: one protocol, two serving cores.
 //!
-//! WHOIS is short-lived request/response over TCP — exactly the workload
-//! the async guides say does *not* need an async runtime, so the server
-//! is plain `std::net` with one thread per connection and a bounded
-//! accept loop. Rate limiting and fault injection run per request.
+//! The protocol logic — rate limiting, store lookup, fault injection —
+//! is a single pure-ish [`decide`] step shared by both cores, so the
+//! bytes a client sees are identical whichever core served it:
+//!
+//! * [`ServingMode::EventLoop`] (default) — one thread multiplexing
+//!   every connection through an epoll [`Poller`]: nonblocking accept,
+//!   pooled read buffers, per-connection state machines, fault stalls
+//!   expressed as deadlines instead of sleeping threads.
+//! * [`ServingMode::Blocking`] — the legacy thread-per-connection path,
+//!   retained as the fallback for platforms without epoll and as the
+//!   differential-test oracle for the event loop.
+//!
+//! Both cores enforce the same guards: a total per-connection read
+//! deadline (a slowloris client dribbling bytes forever is closed with
+//! an explicit timeout error), and an optional per-IP concurrent
+//! connection cap checked at accept time.
 
+use crate::buffer_pool::BufferPool;
+use crate::conn::{Chunk, ConnPhase, EventConn};
+use crate::event::Poller;
 use crate::fault::{Fate, FaultConfig, FaultInjector, FaultPlan};
 use crate::limiter::{KeyedRateLimiter, RateLimitConfig};
 use crate::proto;
 use crate::store::RecordStore;
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
@@ -17,15 +32,39 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Reply line for rate-limited (and fault-banned) queries.
+const RATE_LIMIT_LINE: &[u8] = b"Error: rate limit exceeded; try again later\r\n";
+/// Reply line written when the read deadline expires mid-query.
+const TIMEOUT_LINE: &[u8] = b"Error: request timed out; closing connection\r\n";
+/// Reply line for connections refused by the per-IP concurrency cap.
+const CONN_CAP_LINE: &[u8] = b"Error: too many connections; try again later\r\n";
+
+/// Which serving core handles accepted connections.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ServingMode {
+    /// One epoll event loop multiplexing every connection on the accept
+    /// thread. Falls back to [`Blocking`](Self::Blocking) on platforms
+    /// without epoll.
+    #[default]
+    EventLoop,
+    /// Thread-per-connection with blocking I/O.
+    Blocking,
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
+    /// Which serving core runs accepted connections.
+    pub mode: ServingMode,
     /// Rate limiting keyed per source IP, as the paper describes ("once
     /// a given source IP has issued more queries … than its limit").
     pub rate_limit: RateLimitConfig,
     /// Optional global cap shared by all source IPs on top of the
     /// per-IP limit (a server's total capacity).
     pub global_limit: Option<RateLimitConfig>,
+    /// Optional cap on concurrent connections per source IP, enforced
+    /// at accept time before any bytes are read.
+    pub max_conns_per_ip: Option<u32>,
     /// Fault injection.
     pub faults: FaultConfig,
     /// Fault-injection seed.
@@ -33,10 +72,13 @@ pub struct ServerConfig {
     /// Scripted per-query fates, consumed before the probabilistic
     /// `faults` roll (see [`FaultPlan`]).
     pub fault_plan: FaultPlan,
-    /// When rate-limited: reply with an explicit error (`true`) or close
-    /// silently (`false`) — both behaviours exist in the wild.
+    /// When rate-limited or connection-capped: reply with an explicit
+    /// error (`true`) or close silently (`false`) — both behaviours
+    /// exist in the wild.
     pub limit_replies_error: bool,
-    /// Per-connection read timeout.
+    /// Total time a connection may take to deliver one complete query
+    /// line, measured from accept. A client dribbling bytes slower than
+    /// this is closed with a timeout error (slowloris guard).
     pub read_timeout: Duration,
     /// How long [`shutdown`](WhoisServer::shutdown) waits for in-flight
     /// connections to drain before declaring them aborted.
@@ -46,8 +88,10 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            mode: ServingMode::default(),
             rate_limit: RateLimitConfig::unlimited(),
             global_limit: None,
+            max_conns_per_ip: None,
             faults: FaultConfig::none(),
             fault_seed: 0,
             fault_plan: FaultPlan::new(),
@@ -71,6 +115,10 @@ pub struct ServerStats {
     pub rate_limited: AtomicU64,
     /// Replies sabotaged by fault injection.
     pub faulted: AtomicU64,
+    /// Connections closed by the read-deadline (slowloris) guard.
+    pub idle_closed: AtomicU64,
+    /// Connections refused at accept by the per-IP concurrency cap.
+    pub conn_capped: AtomicU64,
 }
 
 /// What [`WhoisServer::shutdown`] (or [`ServerHandle::shutdown`])
@@ -160,7 +208,8 @@ impl WhoisServer {
         let limiter = match cfg.global_limit {
             Some(global) => KeyedRateLimiter::with_global_cap(cfg.rate_limit, global),
             None => KeyedRateLimiter::new(cfg.rate_limit),
-        };
+        }
+        .with_conn_cap(cfg.max_conns_per_ip);
         let limiter = Arc::new(Mutex::new(limiter));
         let injector = Arc::new(Mutex::new(FaultInjector::with_plan(
             cfg.faults,
@@ -168,43 +217,43 @@ impl WhoisServer {
             cfg.fault_plan.clone(),
         )));
 
-        let accept_stats = stats.clone();
-        let accept_lifecycle = lifecycle.clone();
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("whois-server-{}", addr.port()))
-            .spawn(move || {
-                while !accept_lifecycle.shutdown.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, peer)) => {
-                            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
-                            accept_lifecycle.active.fetch_add(1, Ordering::SeqCst);
-                            let store = store.clone();
-                            let stats = accept_stats.clone();
-                            let lifecycle = accept_lifecycle.clone();
-                            let limiter = limiter.clone();
-                            let injector = injector.clone();
-                            let cfg = cfg.clone();
-                            std::thread::spawn(move || {
-                                let _guard = ConnectionGuard(&lifecycle);
-                                let _ = handle_connection(
-                                    stream,
-                                    peer.ip(),
-                                    &*store,
-                                    &stats,
-                                    &limiter,
-                                    &injector,
-                                    &cfg,
-                                );
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(1));
-                        }
-                        Err(_) => break,
-                    }
-                }
+        // The event loop needs epoll; quietly fall back to the blocking
+        // core where it is unavailable.
+        let poller = match cfg.mode {
+            ServingMode::EventLoop => Poller::new().ok(),
+            ServingMode::Blocking => None,
+        };
+
+        let thread_stats = stats.clone();
+        let thread_lifecycle = lifecycle.clone();
+        let name = format!("whois-server-{}", addr.port());
+        let accept_thread = if let Some(poller) = poller {
+            std::thread::Builder::new().name(name).spawn(move || {
+                run_event_loop(
+                    poller,
+                    listener,
+                    store,
+                    thread_stats,
+                    thread_lifecycle,
+                    limiter,
+                    injector,
+                    cfg,
+                );
             })
-            .expect("spawn accept thread");
+        } else {
+            std::thread::Builder::new().name(name).spawn(move || {
+                run_blocking_accept(
+                    listener,
+                    store,
+                    thread_stats,
+                    thread_lifecycle,
+                    limiter,
+                    injector,
+                    cfg,
+                );
+            })
+        }
+        .expect("spawn serving thread");
 
         Ok(WhoisServer {
             addr,
@@ -251,74 +300,65 @@ impl Drop for WhoisServer {
     }
 }
 
-fn handle_connection<S: RecordStore>(
-    mut stream: TcpStream,
+/// What the protocol core decided for one complete query.
+enum Outcome {
+    /// Write these bytes, then close.
+    Reply(Vec<u8>),
+    /// Close without writing anything.
+    Silent,
+    /// Wait this long, then write these bytes and close (fault stall).
+    Stall(Duration, Vec<u8>),
+}
+
+/// The protocol core shared by both serving modes: rate limiting, store
+/// lookup, and fault injection for one decoded query. Every byte a
+/// client can observe is decided here, which is what makes the two
+/// cores differentially testable.
+fn decide<S: RecordStore>(
+    query: &str,
     peer: IpAddr,
     store: &S,
     stats: &ServerStats,
     limiter: &Mutex<KeyedRateLimiter<IpAddr>>,
     injector: &Mutex<FaultInjector>,
     cfg: &ServerConfig,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
-    stream.set_nodelay(true)?;
-
-    // Read one query line.
-    let mut buf = BytesMut::with_capacity(256);
-    let mut chunk = [0u8; 256];
-    let query = loop {
-        match proto::decode_query(&mut buf) {
-            Ok(Some(q)) => break q,
-            Ok(None) => {}
-            Err(_) => return Ok(()), // malformed: hang up
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Ok(()); // client went away mid-query
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    };
-
+) -> Outcome {
     // Rate limiting, keyed on the peer's source IP.
     if !limiter.lock().allow(&peer) {
         stats.rate_limited.fetch_add(1, Ordering::Relaxed);
-        if cfg.limit_replies_error {
-            let _ = stream.write_all(b"Error: rate limit exceeded; try again later\r\n");
-        }
-        return Ok(());
+        return if cfg.limit_replies_error {
+            Outcome::Reply(RATE_LIMIT_LINE.to_vec())
+        } else {
+            Outcome::Silent
+        };
     }
 
-    // Lookup and fault injection.
-    let body = match store.lookup(&query) {
+    let body = match store.lookup(query) {
         Some(b) => {
             stats.answered.fetch_add(1, Ordering::Relaxed);
             b
         }
         None => {
             stats.no_match.fetch_add(1, Ordering::Relaxed);
-            store.no_match(&query)
+            store.no_match(query)
         }
     };
     // Decide the fate under the lock, act on it outside (a Stall must
     // not serialize every other connection's fate roll).
-    let fate = injector.lock().fate(&query, body.as_bytes());
+    let fate = injector.lock().fate(query, body.as_bytes());
     match fate {
-        Fate::Deliver => stream.write_all(body.as_bytes())?,
-        Fate::Drop => {
+        Fate::Deliver => Outcome::Reply(body.into_bytes()),
+        Fate::Drop | Fate::Empty => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
-        }
-        Fate::Empty => {
-            stats.faulted.fetch_add(1, Ordering::Relaxed);
-            // write nothing, close politely
+            Outcome::Silent
         }
         Fate::Garbled(bytes) | Fate::NonUtf8(bytes) | Fate::Truncated(bytes) => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
-            stream.write_all(&bytes)?;
+            Outcome::Reply(bytes)
         }
         Fate::Stall(d) => {
             stats.faulted.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(d);
-            stream.write_all(body.as_bytes())?;
+            Outcome::Stall(d, body.into_bytes())
         }
         Fate::Banned => {
             // A fault-injected ban behaves like the real thing: the
@@ -328,10 +368,437 @@ fn handle_connection<S: RecordStore>(
             limiter
                 .lock()
                 .penalize(&peer, Instant::now(), cfg.rate_limit.penalty);
-            stream.write_all(b"Error: rate limit exceeded; try again later\r\n")?;
+            Outcome::Reply(RATE_LIMIT_LINE.to_vec())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blocking core (thread per connection).
+// ---------------------------------------------------------------------
+
+fn run_blocking_accept<S: RecordStore>(
+    listener: TcpListener,
+    store: Arc<S>,
+    stats: Arc<ServerStats>,
+    lifecycle: Arc<Lifecycle>,
+    limiter: Arc<Mutex<KeyedRateLimiter<IpAddr>>>,
+    injector: Arc<Mutex<FaultInjector>>,
+    cfg: ServerConfig,
+) {
+    while !lifecycle.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                if !limiter.lock().try_acquire_conn(&peer.ip(), Instant::now()) {
+                    stats.conn_capped.fetch_add(1, Ordering::Relaxed);
+                    if cfg.limit_replies_error {
+                        let mut stream = stream;
+                        let _ = stream.write_all(CONN_CAP_LINE);
+                    }
+                    continue;
+                }
+                lifecycle.active.fetch_add(1, Ordering::SeqCst);
+                let store = store.clone();
+                let stats = stats.clone();
+                let lifecycle = lifecycle.clone();
+                let limiter = limiter.clone();
+                let injector = injector.clone();
+                let cfg = cfg.clone();
+                std::thread::spawn(move || {
+                    let _guard = ConnectionGuard(&lifecycle);
+                    let ip = peer.ip();
+                    let _ =
+                        handle_connection(stream, ip, &*store, &stats, &limiter, &injector, &cfg);
+                    limiter.lock().release_conn(&ip);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Close a blocking connection that exhausted its read deadline.
+fn timeout_close(stream: &mut TcpStream, stats: &ServerStats) -> std::io::Result<()> {
+    stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.write_all(TIMEOUT_LINE);
+    Ok(())
+}
+
+fn handle_connection<S: RecordStore>(
+    mut stream: TcpStream,
+    peer: IpAddr,
+    store: &S,
+    stats: &ServerStats,
+    limiter: &Mutex<KeyedRateLimiter<IpAddr>>,
+    injector: &Mutex<FaultInjector>,
+    cfg: &ServerConfig,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+
+    // Read one query line, bounded by a *total* deadline from accept:
+    // per-read timeouts alone would let a slowloris client dribble one
+    // byte per window forever.
+    let started = Instant::now();
+    let mut buf = BytesMut::with_capacity(256);
+    let mut chunk = [0u8; 256];
+    let query = loop {
+        match proto::decode_query(&mut buf) {
+            Ok(Some(q)) => break q,
+            Ok(None) => {}
+            Err(_) => return Ok(()), // malformed: hang up
+        }
+        let remaining = match cfg.read_timeout.checked_sub(started.elapsed()) {
+            Some(r) if !r.is_zero() => r,
+            _ => return timeout_close(&mut stream, stats),
+        };
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // client went away mid-query
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return timeout_close(&mut stream, stats)
+            }
+            Err(e) => return Err(e),
+        }
+    };
+
+    match decide(&query, peer, store, stats, limiter, injector, cfg) {
+        Outcome::Reply(bytes) => stream.write_all(&bytes)?,
+        Outcome::Silent => {}
+        Outcome::Stall(d, body) => {
+            std::thread::sleep(d);
+            stream.write_all(&body)?;
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Event-loop core (one thread, epoll readiness).
+// ---------------------------------------------------------------------
+
+/// Per-connection state carried by the event loop on top of the
+/// [`EventConn`] shell.
+#[cfg(unix)]
+struct EvConn {
+    shell: EventConn,
+    ip: IpAddr,
+    /// A fault-stalled reply waiting for `shell.deadline` to fire.
+    stalled: Option<Vec<u8>>,
+    /// The interest currently registered with the poller.
+    registered: crate::event::Interest,
+}
+
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn run_event_loop<S: RecordStore>(
+    poller: Poller,
+    listener: TcpListener,
+    store: Arc<S>,
+    stats: Arc<ServerStats>,
+    lifecycle: Arc<Lifecycle>,
+    limiter: Arc<Mutex<KeyedRateLimiter<IpAddr>>>,
+    injector: Arc<Mutex<FaultInjector>>,
+    cfg: ServerConfig,
+) {
+    use std::collections::HashMap;
+    use std::os::unix::io::AsRawFd;
+
+    const LISTENER: u64 = 0;
+    /// Idle poll cap so the shutdown flag is noticed promptly.
+    const POLL_CAP: Duration = Duration::from_millis(5);
+    /// Grace past the drain window before stragglers are abandoned, so
+    /// the shutdown report is taken from untouched gauges first.
+    const ABANDON_SLACK: Duration = Duration::from_millis(50);
+
+    if poller
+        .register(listener.as_raw_fd(), LISTENER, crate::event::Interest::READ)
+        .is_err()
+    {
+        return;
+    }
+    let pool = BufferPool::new(1024, 256);
+    let mut conns: HashMap<u64, EvConn> = HashMap::new();
+    let mut next_token: u64 = 2;
+    let mut events: Vec<crate::event::Event> = Vec::new();
+    let mut scratch = vec![0u8; 4096];
+    let mut shutdown_at: Option<Instant> = None;
+    let mut listening = true;
+
+    loop {
+        let now = Instant::now();
+        if lifecycle.shutdown.load(Ordering::SeqCst) {
+            let at = *shutdown_at.get_or_insert(now);
+            if listening {
+                let _ = poller.deregister(listener.as_raw_fd());
+                listening = false;
+            }
+            if conns.is_empty() {
+                break;
+            }
+            if now >= at + cfg.drain_timeout + ABANDON_SLACK {
+                // Stragglers past the drain window are abandoned: the
+                // shutdown report already counted them as aborted, so
+                // they close without touching the drained gauge.
+                for (_, mut c) in conns.drain() {
+                    let _ = poller.deregister(c.shell.stream.as_raw_fd());
+                    limiter.lock().release_conn(&c.ip);
+                    pool.put(c.shell.take_buf());
+                    lifecycle.active.fetch_sub(1, Ordering::SeqCst);
+                }
+                break;
+            }
+        }
+
+        let mut timeout = POLL_CAP;
+        for c in conns.values() {
+            if let Some(d) = c.shell.deadline {
+                timeout = timeout.min(d.saturating_duration_since(now));
+            }
+        }
+        events.clear();
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            break;
+        }
+
+        for ev in events.iter().copied() {
+            if ev.token == LISTENER {
+                if listening {
+                    accept_burst(
+                        &poller,
+                        &listener,
+                        &pool,
+                        &limiter,
+                        &stats,
+                        &lifecycle,
+                        &cfg,
+                        &mut conns,
+                        &mut next_token,
+                    );
+                }
+                continue;
+            }
+            let (close, fd, reregister) = {
+                let Some(c) = conns.get_mut(&ev.token) else {
+                    continue; // closed earlier in this batch
+                };
+                let mut close = false;
+                if (ev.readable || ev.hangup) && c.shell.phase == ConnPhase::Reading {
+                    match c.shell.fill(&mut scratch) {
+                        Ok(status) => match proto::decode_query(&mut c.shell.buf) {
+                            Ok(Some(query)) => {
+                                let outcome = decide(
+                                    &query, c.ip, &*store, &stats, &limiter, &injector, &cfg,
+                                );
+                                apply_outcome(c, outcome, &mut close);
+                            }
+                            Ok(None) => {
+                                if status.eof {
+                                    close = true; // gone mid-query
+                                }
+                            }
+                            Err(_) => close = true, // malformed: hang up
+                        },
+                        Err(_) => close = true,
+                    }
+                } else if ev.hangup
+                    && c.shell.phase != ConnPhase::Writing
+                    && c.shell.pending_out() == 0
+                {
+                    // Peer went away while we owe it nothing.
+                    close = true;
+                }
+                if !close && c.shell.phase == ConnPhase::Writing {
+                    match c.shell.flush() {
+                        Ok(true) => close = c.shell.close_after_flush,
+                        Ok(false) => {}
+                        Err(_) => close = true,
+                    }
+                }
+                let fd = c.shell.stream.as_raw_fd();
+                let want = c.shell.interest();
+                let changed = !close && want != c.registered;
+                if changed {
+                    c.registered = want;
+                }
+                (close, fd, changed.then_some(want))
+            };
+            if close {
+                close_conn(
+                    &poller,
+                    &pool,
+                    &limiter,
+                    &lifecycle,
+                    conns.remove(&ev.token),
+                );
+            } else if let Some(want) = reregister {
+                let _ = poller.reregister(fd, ev.token, want);
+            }
+        }
+
+        // Deadline sweep: fault stalls fire their held reply; read
+        // deadlines close slowloris connections with an explicit error.
+        let now = Instant::now();
+        let due: Vec<u64> = conns
+            .iter()
+            .filter(|(_, c)| c.shell.deadline.is_some_and(|d| d <= now))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in due {
+            let (close, fd, reregister) = {
+                let c = conns.get_mut(&token).expect("due token is live");
+                c.shell.deadline = None;
+                if let Some(body) = c.stalled.take() {
+                    c.shell.queue(Chunk::Owned(Bytes::from(body)));
+                } else {
+                    stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    c.shell.queue(Chunk::Static(TIMEOUT_LINE));
+                }
+                c.shell.close_after_flush = true;
+                c.shell.phase = ConnPhase::Writing;
+                // done + close_after_flush → close; write error → close
+                let close = c.shell.flush().unwrap_or(true);
+                let fd = c.shell.stream.as_raw_fd();
+                let want = c.shell.interest();
+                let changed = !close && want != c.registered;
+                if changed {
+                    c.registered = want;
+                }
+                (close, fd, changed.then_some(want))
+            };
+            if close {
+                close_conn(&poller, &pool, &limiter, &lifecycle, conns.remove(&token));
+            } else if let Some(want) = reregister {
+                let _ = poller.reregister(fd, token, want);
+            }
+        }
+    }
+}
+
+/// Queue the decided outcome onto the connection's state machine.
+#[cfg(unix)]
+fn apply_outcome(c: &mut EvConn, outcome: Outcome, close: &mut bool) {
+    match outcome {
+        Outcome::Reply(bytes) => {
+            c.shell.queue(Chunk::Owned(Bytes::from(bytes)));
+            c.shell.close_after_flush = true;
+            c.shell.phase = ConnPhase::Writing;
+            c.shell.deadline = None;
+        }
+        Outcome::Silent => *close = true,
+        Outcome::Stall(d, body) => {
+            // The blocking core sleeps a thread here; the event loop
+            // holds the body and arms a deadline instead.
+            c.stalled = Some(body);
+            c.shell.phase = ConnPhase::Queued;
+            c.shell.deadline = Some(Instant::now() + d);
+        }
+    }
+}
+
+/// Accept until `WouldBlock`, applying the per-IP connection cap and
+/// registering survivors with the poller.
+#[cfg(unix)]
+#[allow(clippy::too_many_arguments)]
+fn accept_burst(
+    poller: &Poller,
+    listener: &TcpListener,
+    pool: &BufferPool,
+    limiter: &Mutex<KeyedRateLimiter<IpAddr>>,
+    stats: &ServerStats,
+    lifecycle: &Lifecycle,
+    cfg: &ServerConfig,
+    conns: &mut std::collections::HashMap<u64, EvConn>,
+    next_token: &mut u64,
+) {
+    use std::os::unix::io::AsRawFd;
+    // Accept until WouldBlock (or the listener dies).
+    while let Ok((stream, peer)) = listener.accept() {
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        if !limiter.lock().try_acquire_conn(&peer.ip(), Instant::now()) {
+            stats.conn_capped.fetch_add(1, Ordering::Relaxed);
+            if cfg.limit_replies_error {
+                let mut stream = stream;
+                let _ = stream.write_all(CONN_CAP_LINE);
+            }
+            continue;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        match EventConn::new(stream, peer, token, pool.get()) {
+            Ok(mut shell) => {
+                shell.deadline = Some(Instant::now() + cfg.read_timeout);
+                let registered = shell.interest();
+                if poller
+                    .register(shell.stream.as_raw_fd(), token, registered)
+                    .is_ok()
+                {
+                    lifecycle.active.fetch_add(1, Ordering::SeqCst);
+                    conns.insert(
+                        token,
+                        EvConn {
+                            shell,
+                            ip: peer.ip(),
+                            stalled: None,
+                            registered,
+                        },
+                    );
+                } else {
+                    pool.put(shell.take_buf());
+                    limiter.lock().release_conn(&peer.ip());
+                }
+            }
+            Err(_) => limiter.lock().release_conn(&peer.ip()),
+        }
+    }
+}
+
+/// Tear down one event-loop connection: deregister, recycle its buffer,
+/// release its per-IP slot, and keep the lifecycle gauges in lockstep
+/// with the blocking core's [`ConnectionGuard`].
+#[cfg(unix)]
+fn close_conn(
+    poller: &Poller,
+    pool: &BufferPool,
+    limiter: &Mutex<KeyedRateLimiter<IpAddr>>,
+    lifecycle: &Lifecycle,
+    conn: Option<EvConn>,
+) {
+    use std::os::unix::io::AsRawFd;
+    let Some(mut c) = conn else { return };
+    let _ = poller.deregister(c.shell.stream.as_raw_fd());
+    pool.put(c.shell.take_buf());
+    limiter.lock().release_conn(&c.ip);
+    if lifecycle.shutdown.load(Ordering::SeqCst) {
+        lifecycle.drained.fetch_add(1, Ordering::SeqCst);
+    }
+    lifecycle.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Non-unix placeholder: [`Poller::new`] always fails there, so
+/// [`WhoisServer::start`] never reaches this.
+#[cfg(not(unix))]
+#[allow(clippy::too_many_arguments)]
+fn run_event_loop<S: RecordStore>(
+    _poller: Poller,
+    _listener: TcpListener,
+    _store: Arc<S>,
+    _stats: Arc<ServerStats>,
+    _lifecycle: Arc<Lifecycle>,
+    _limiter: Arc<Mutex<KeyedRateLimiter<IpAddr>>>,
+    _injector: Arc<Mutex<FaultInjector>>,
+    _cfg: ServerConfig,
+) {
+    unreachable!("event-loop mode requires epoll; start() falls back to blocking");
 }
 
 #[cfg(test)]
@@ -349,13 +816,21 @@ mod tests {
         s
     }
 
+    const MODES: [ServingMode; 2] = [ServingMode::EventLoop, ServingMode::Blocking];
+
     #[test]
     fn answers_known_domain() {
-        let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
-        let client = WhoisClient::default();
-        let body = client.query(server.addr(), "example.com").unwrap();
-        assert!(body.contains("Registrar: Test"));
-        assert_eq!(server.stats().answered.load(Ordering::Relaxed), 1);
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let client = WhoisClient::default();
+            let body = client.query(server.addr(), "example.com").unwrap();
+            assert!(body.contains("Registrar: Test"), "{mode:?}");
+            assert_eq!(server.stats().answered.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]
@@ -369,133 +844,225 @@ mod tests {
 
     #[test]
     fn rate_limit_refuses_after_burst() {
-        let cfg = ServerConfig {
-            rate_limit: RateLimitConfig {
-                burst: 2,
-                per_second: 0.0,
-                penalty: Duration::from_secs(5),
-            },
-            ..Default::default()
-        };
-        let server = WhoisServer::start(store(), cfg).unwrap();
-        let client = WhoisClient::default();
-        assert!(client.query(server.addr(), "example.com").is_ok());
-        assert!(client.query(server.addr(), "example.com").is_ok());
-        let third = client.query(server.addr(), "example.com").unwrap();
-        assert!(third.to_lowercase().contains("rate limit"));
-        assert_eq!(server.stats().rate_limited.load(Ordering::Relaxed), 1);
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                rate_limit: RateLimitConfig {
+                    burst: 2,
+                    per_second: 0.0,
+                    penalty: Duration::from_secs(5),
+                },
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let client = WhoisClient::default();
+            assert!(client.query(server.addr(), "example.com").is_ok());
+            assert!(client.query(server.addr(), "example.com").is_ok());
+            let third = client.query(server.addr(), "example.com").unwrap();
+            assert!(third.to_lowercase().contains("rate limit"), "{mode:?}");
+            assert_eq!(server.stats().rate_limited.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]
     fn silent_rate_limit_closes_without_reply() {
-        let cfg = ServerConfig {
-            rate_limit: RateLimitConfig {
-                burst: 1,
-                per_second: 0.0,
-                penalty: Duration::from_secs(5),
-            },
-            limit_replies_error: false,
-            ..Default::default()
-        };
-        let server = WhoisServer::start(store(), cfg).unwrap();
-        let client = WhoisClient::default();
-        let _ = client.query(server.addr(), "example.com").unwrap();
-        let second = client.query(server.addr(), "example.com").unwrap();
-        assert!(second.is_empty(), "silent refusal is an empty body");
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                rate_limit: RateLimitConfig {
+                    burst: 1,
+                    per_second: 0.0,
+                    penalty: Duration::from_secs(5),
+                },
+                limit_replies_error: false,
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let client = WhoisClient::default();
+            let _ = client.query(server.addr(), "example.com").unwrap();
+            let second = client.query(server.addr(), "example.com").unwrap();
+            assert!(second.is_empty(), "{mode:?}: silent refusal is empty");
+        }
     }
 
     #[test]
     fn fault_injection_empties_replies() {
-        let cfg = ServerConfig {
-            faults: FaultConfig {
-                empty_chance: 1.0,
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                faults: FaultConfig {
+                    empty_chance: 1.0,
+                    ..Default::default()
+                },
                 ..Default::default()
-            },
-            ..Default::default()
-        };
-        let server = WhoisServer::start(store(), cfg).unwrap();
-        let client = WhoisClient::default();
-        let body = client.query(server.addr(), "example.com").unwrap();
-        assert!(body.is_empty());
-        assert_eq!(server.stats().faulted.load(Ordering::Relaxed), 1);
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let client = WhoisClient::default();
+            let body = client.query(server.addr(), "example.com").unwrap();
+            assert!(body.is_empty(), "{mode:?}");
+            assert_eq!(server.stats().faulted.load(Ordering::Relaxed), 1);
+        }
     }
 
     #[test]
     fn concurrent_clients_are_served() {
-        let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
-        let addr = server.addr();
-        let handles: Vec<_> = (0..8)
-            .map(|_| {
-                std::thread::spawn(move || {
-                    let client = WhoisClient::default();
-                    client.query(addr, "example.com").unwrap()
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let addr = server.addr();
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let client = WhoisClient::default();
+                        client.query(addr, "example.com").unwrap()
+                    })
                 })
-            })
-            .collect();
-        for h in handles {
-            assert!(h.join().unwrap().contains("EXAMPLE.COM"));
+                .collect();
+            for h in handles {
+                assert!(h.join().unwrap().contains("EXAMPLE.COM"), "{mode:?}");
+            }
+            assert_eq!(server.stats().connections.load(Ordering::Relaxed), 8);
         }
-        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn idle_connections_time_out_with_an_error_line() {
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                read_timeout: Duration::from_millis(80),
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream.write_all(b"never-finis").unwrap(); // no terminator
+            let mut body = String::new();
+            stream.read_to_string(&mut body).unwrap();
+            assert!(body.contains("timed out"), "{mode:?}: {body:?}");
+            assert_eq!(
+                server.stats().idle_closed.load(Ordering::Relaxed),
+                1,
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_ip_connection_cap_refuses_at_accept() {
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                max_conns_per_ip: Some(1),
+                ..Default::default()
+            };
+            let server = WhoisServer::start(store(), cfg).unwrap();
+            let mut held = TcpStream::connect(server.addr()).unwrap();
+            held.write_all(b"held").unwrap(); // occupy the only slot
+            std::thread::sleep(Duration::from_millis(50));
+            let mut refused = TcpStream::connect(server.addr()).unwrap();
+            let mut body = String::new();
+            refused.read_to_string(&mut body).unwrap();
+            assert!(body.contains("too many connections"), "{mode:?}: {body:?}");
+            assert_eq!(
+                server.stats().conn_capped.load(Ordering::Relaxed),
+                1,
+                "{mode:?}"
+            );
+            // Finishing the held connection frees the slot.
+            held.write_all(b"\r\n").unwrap();
+            let mut rest = String::new();
+            let _ = held.read_to_string(&mut rest);
+            std::thread::sleep(Duration::from_millis(50));
+            let mut third = TcpStream::connect(server.addr()).unwrap();
+            third.write_all(b"example.com\r\n").unwrap();
+            let mut body = String::new();
+            third.read_to_string(&mut body).unwrap();
+            assert!(body.contains("EXAMPLE.COM"), "{mode:?}: {body:?}");
+        }
     }
 
     #[test]
     fn shutdown_with_no_connections_reports_zero() {
-        let mut server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
-        let report = server.shutdown();
-        assert_eq!(report, ShutdownReport::default());
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                ..Default::default()
+            };
+            let mut server = WhoisServer::start(store(), cfg).unwrap();
+            let report = server.shutdown();
+            assert_eq!(report, ShutdownReport::default(), "{mode:?}");
+        }
     }
 
     #[test]
     fn shutdown_counts_drained_connections() {
-        let mut server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
-        let addr = server.addr();
-        // A connection that stalls mid-query, then completes during the
-        // drain window.
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(b"example").unwrap();
-        std::thread::sleep(Duration::from_millis(30)); // let the server accept
-        let finisher = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(50));
-            stream.write_all(b".com\r\n").unwrap();
-            let mut body = String::new();
-            let _ = stream.read_to_string(&mut body);
-            body
-        });
-        let report = server.shutdown();
-        assert_eq!(report.drained, 1, "{report:?}");
-        assert_eq!(report.aborted, 0, "{report:?}");
-        assert!(finisher.join().unwrap().contains("EXAMPLE.COM"));
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                ..Default::default()
+            };
+            let mut server = WhoisServer::start(store(), cfg).unwrap();
+            let addr = server.addr();
+            // A connection that stalls mid-query, then completes during
+            // the drain window.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"example").unwrap();
+            std::thread::sleep(Duration::from_millis(30)); // let the server accept
+            let finisher = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                stream.write_all(b".com\r\n").unwrap();
+                let mut body = String::new();
+                let _ = stream.read_to_string(&mut body);
+                body
+            });
+            let report = server.shutdown();
+            assert_eq!(report.drained, 1, "{mode:?}: {report:?}");
+            assert_eq!(report.aborted, 0, "{mode:?}: {report:?}");
+            assert!(finisher.join().unwrap().contains("EXAMPLE.COM"), "{mode:?}");
+        }
     }
 
     #[test]
     fn shutdown_counts_aborted_connections() {
-        let cfg = ServerConfig {
-            drain_timeout: Duration::from_millis(40),
-            ..Default::default()
-        };
-        let mut server = WhoisServer::start(store(), cfg).unwrap();
-        let addr = server.addr();
-        // A connection that never completes its query: it outlives the
-        // drain window and is abandoned to its read timeout.
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(b"stuck").unwrap();
-        std::thread::sleep(Duration::from_millis(30));
-        let report = server.shutdown();
-        assert_eq!(report.drained, 0, "{report:?}");
-        assert_eq!(report.aborted, 1, "{report:?}");
-        drop(stream);
+        for mode in MODES {
+            let cfg = ServerConfig {
+                mode,
+                drain_timeout: Duration::from_millis(40),
+                ..Default::default()
+            };
+            let mut server = WhoisServer::start(store(), cfg).unwrap();
+            let addr = server.addr();
+            // A connection that never completes its query: it outlives
+            // the drain window and is abandoned.
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"stuck").unwrap();
+            std::thread::sleep(Duration::from_millis(30));
+            let report = server.shutdown();
+            assert_eq!(report.drained, 0, "{mode:?}: {report:?}");
+            assert_eq!(report.aborted, 1, "{mode:?}: {report:?}");
+            drop(stream);
+        }
     }
 
     #[test]
     fn server_shuts_down_cleanly_on_drop() {
-        let addr;
-        {
-            let server = WhoisServer::start(store(), ServerConfig::default()).unwrap();
-            addr = server.addr();
+        for mode in MODES {
+            let addr;
+            {
+                let cfg = ServerConfig {
+                    mode,
+                    ..Default::default()
+                };
+                let server = WhoisServer::start(store(), cfg).unwrap();
+                addr = server.addr();
+            }
+            // After drop, connections are refused (eventually).
+            std::thread::sleep(Duration::from_millis(20));
+            let client = WhoisClient::default();
+            assert!(client.query(addr, "example.com").is_err(), "{mode:?}");
         }
-        // After drop, connections are refused (eventually).
-        std::thread::sleep(Duration::from_millis(20));
-        let client = WhoisClient::default();
-        assert!(client.query(addr, "example.com").is_err());
     }
 }

@@ -20,6 +20,12 @@
 //! - **Admission control** ([`queue`], [`service`]): bounded queue,
 //!   explicit `shed` replies under overload, graceful drain on shutdown
 //!   with a [`DrainReport`].
+//! - **Two serving cores** ([`service`]): a nonblocking epoll event
+//!   loop (default) multiplexing every connection on one acceptor
+//!   thread, and the blocking thread-per-connection fallback/oracle —
+//!   byte-identical by construction, selected by [`ServeConfig::mode`].
+//!   Both enforce idle/read deadlines and an optional per-IP
+//!   concurrent-connection cap.
 //! - **Observability** ([`stats`]): counters and per-stage latency via
 //!   the `STATS` verb; liveness (worker health, contained panics,
 //!   quarantine) via the `HEALTH` verb.
@@ -54,5 +60,7 @@ pub use client::{ClientError, ServeClient, DEFAULT_TIMEOUT};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{newest_model_file, ActiveModel, ModelRegistry, ModelWatcher};
 pub use service::{DrainReport, ParseService, ServeConfig, UpstreamConfig};
-pub use stats::{HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot, StatsSnapshot};
+pub use stats::{
+    ConnectionGauges, HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot, StatsSnapshot,
+};
 pub use wire::{ParseRequest, Reply, Request};

@@ -79,6 +79,18 @@ pub struct ServeStats {
     /// Parses that panicked inside a worker (contained, record
     /// quarantined).
     pub panics: AtomicU64,
+    /// Connections currently open (gauge).
+    pub conns_open: AtomicU64,
+    /// Connections currently reading request bytes (gauge; event loop
+    /// only — the blocking core reads and writes on one thread and
+    /// reports open connections as reading between requests).
+    pub conns_reading: AtomicU64,
+    /// Connections with a request queued on the worker pool (gauge).
+    pub conns_queued: AtomicU64,
+    /// Connections with unflushed reply bytes (gauge).
+    pub conns_writing: AtomicU64,
+    /// Connections closed by the idle/read deadline (counter).
+    pub idle_closed: AtomicU64,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait: StageTimer,
     /// Cache lookup time (hits and misses).
@@ -95,6 +107,25 @@ impl ServeStats {
     /// Bump a counter.
     pub fn inc(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop a gauge (saturating; a gauge must never wrap on a missed
+    /// increment).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Point-in-time view of the live connection gauges.
+    pub fn connection_gauges(&self) -> ConnectionGauges {
+        ConnectionGauges {
+            open: self.conns_open.load(Ordering::Relaxed),
+            reading: self.conns_reading.load(Ordering::Relaxed),
+            queued: self.conns_queued.load(Ordering::Relaxed),
+            writing: self.conns_writing.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+        }
     }
 
     /// Point-in-time view for the `STATS` verb. Model/cache fields are
@@ -146,8 +177,26 @@ impl ServeStats {
             model_load_failures,
             quarantine_len: quarantine.len() as u64,
             quarantine,
+            connections: self.connection_gauges(),
         }
     }
+}
+
+/// Live connection gauges: how many sockets the serving core holds and
+/// what they are doing, plus the idle-deadline casualty count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionGauges {
+    /// Connections currently open.
+    pub open: u64,
+    /// Connections accumulating request bytes.
+    pub reading: u64,
+    /// Connections whose request sits on the worker queue.
+    pub queued: u64,
+    /// Connections with unflushed reply bytes.
+    pub writing: u64,
+    /// Connections closed by the idle/read deadline (counter, not a
+    /// gauge).
+    pub idle_closed: u64,
 }
 
 /// One quarantined record: a (domain, body hash) pair whose parse
@@ -189,6 +238,10 @@ pub struct HealthSnapshot {
     pub model_swaps: u64,
     /// Whether the service is draining (shutdown in progress).
     pub draining: bool,
+    /// Live connection gauges. `#[serde(default)]` keeps replies from
+    /// older servers (which omit the field) deserializable.
+    #[serde(default)]
+    pub connections: ConnectionGauges,
 }
 
 /// The `STATS` verb's payload.
@@ -256,6 +309,10 @@ pub struct StatsSnapshot {
     /// The quarantine ring's contents, oldest first.
     #[serde(default)]
     pub quarantine: Vec<QuarantineEntry>,
+    /// Live connection gauges (appended after `quarantine`; older
+    /// replies omit it and deserialize to zeros).
+    #[serde(default)]
+    pub connections: ConnectionGauges,
 }
 
 #[cfg(test)]
@@ -336,9 +393,53 @@ mod tests {
             model_generation: 2,
             model_swaps: 1,
             draining: false,
+            connections: ConnectionGauges {
+                open: 3,
+                reading: 1,
+                queued: 1,
+                writing: 1,
+                idle_closed: 2,
+            },
         };
         let json = serde_json::to_string(&health).unwrap();
         let back: HealthSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, health);
+    }
+
+    #[test]
+    fn connection_gauges_saturate_and_surface_in_snapshots() {
+        let stats = ServeStats::default();
+        ServeStats::dec(&stats.conns_open); // never wraps below zero
+        assert_eq!(stats.connection_gauges().open, 0);
+        ServeStats::inc(&stats.conns_open);
+        ServeStats::inc(&stats.conns_open);
+        ServeStats::inc(&stats.conns_reading);
+        ServeStats::inc(&stats.conns_writing);
+        ServeStats::dec(&stats.conns_open);
+        ServeStats::inc(&stats.idle_closed);
+        let gauges = stats.connection_gauges();
+        assert_eq!(
+            (
+                gauges.open,
+                gauges.reading,
+                gauges.writing,
+                gauges.idle_closed
+            ),
+            (1, 1, 1, 1)
+        );
+        let snap =
+            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
+        assert_eq!(snap.connections, ConnectionGauges::default());
+    }
+
+    #[test]
+    fn old_snapshot_without_connection_gauges_still_deserializes() {
+        let snap =
+            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
+        let json = serde_json::to_string(&snap).unwrap();
+        let start = json.find(",\"connections\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap, "missing gauges default to zero");
     }
 }

@@ -1,0 +1,461 @@
+//! Differential tests: the event-loop serving core against the
+//! blocking thread-per-connection oracle.
+//!
+//! Identical traffic is driven at one service per mode (same model,
+//! same seed, shared upstream) and the replies must be byte-identical —
+//! including under fragmented and pipelined delivery, cache hits,
+//! admission sheds, per-IP connection caps, idle-deadline closes, and
+//! drain-on-shutdown.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whois_model::{BlockLabel, RegistrantLabel};
+use whois_net::store::RecordStore;
+use whois_net::{InMemoryStore, ServerConfig, ServingMode, WhoisClient, WhoisServer};
+use whois_parser::{ParserConfig, TrainExample, WhoisParser};
+use whois_serve::{
+    ConnectionGauges, ModelRegistry, ParseService, Reply, ServeConfig, UpstreamConfig,
+};
+
+const MODES: [ServingMode; 2] = [ServingMode::EventLoop, ServingMode::Blocking];
+
+fn train_parser(seed: u64, docs: usize) -> WhoisParser {
+    let corpus = whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(seed, docs));
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    WhoisParser::train(&first, &second, &ParserConfig::default())
+}
+
+fn start_mode(mode: ServingMode, cfg: ServeConfig) -> ParseService {
+    let registry = Arc::new(ModelRegistry::new(train_parser(11, 40), "model-0001", 1));
+    ParseService::start(registry, ServeConfig { mode, ..cfg }, 0).unwrap()
+}
+
+/// Send `payload` split at the given chunk sizes (remainder last), then
+/// read `replies` newline-terminated reply lines.
+fn raw_exchange(addr: SocketAddr, payload: &[u8], splits: &[usize], replies: usize) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let mut sent = 0;
+    for &n in splits {
+        let end = (sent + n.max(1)).min(payload.len());
+        if end > sent {
+            stream.write_all(&payload[sent..end]).unwrap();
+            sent = end;
+            // Give the fragment time to arrive as its own segment.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    if sent < payload.len() {
+        stream.write_all(&payload[sent..]).unwrap();
+    }
+    let mut reader = BufReader::new(stream);
+    (0..replies)
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read reply line");
+            line
+        })
+        .collect()
+}
+
+fn parse_line(domain: &str, text: &str) -> String {
+    whois_serve::Request::Parse(whois_serve::ParseRequest {
+        domain: domain.into(),
+        text: text.into(),
+    })
+    .encode()
+}
+
+/// A registry store whose lookups take a while — stands in for a slow
+/// upstream WHOIS server so work is still queued when shutdown lands.
+struct SlowStore {
+    inner: InMemoryStore,
+    delay: Duration,
+}
+
+impl RecordStore for SlowStore {
+    fn lookup(&self, domain: &str) -> Option<String> {
+        std::thread::sleep(self.delay);
+        self.inner.lookup(domain)
+    }
+}
+
+fn upstream_with_delay(domains: &[&str], delay: Duration) -> (WhoisServer, UpstreamConfig) {
+    let mut inner = InMemoryStore::new();
+    for d in domains {
+        inner.insert(
+            d,
+            format!(
+                "Domain Name: {}\nRegistrar: Shared Upstream Reg\n",
+                d.to_uppercase()
+            ),
+        );
+    }
+    let server = WhoisServer::start(SlowStore { inner, delay }, ServerConfig::default()).unwrap();
+    let cfg = UpstreamConfig {
+        registry: server.addr(),
+        resolver: HashMap::new(),
+        client: WhoisClient::default(),
+    };
+    (server, cfg)
+}
+
+fn upstream(domains: &[&str]) -> (WhoisServer, UpstreamConfig) {
+    upstream_with_delay(domains, Duration::ZERO)
+}
+
+#[test]
+fn parse_and_fetch_replies_are_byte_identical_across_modes() {
+    let corpus = whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(42, 12));
+    let (_up, up_cfg) = upstream(&["wired.com", "tycho.net"]);
+    let event = start_mode(
+        ServingMode::EventLoop,
+        ServeConfig {
+            workers: 2,
+            upstream: Some(up_cfg.clone()),
+            ..Default::default()
+        },
+    );
+    let blocking = start_mode(
+        ServingMode::Blocking,
+        ServeConfig {
+            workers: 2,
+            upstream: Some(up_cfg),
+            ..Default::default()
+        },
+    );
+
+    // PARSE: uncached pass, then the cached pass — all byte-identical.
+    for pass in 0..2 {
+        for d in &corpus {
+            let req = format!("{}\n", parse_line(&d.facts.domain, &d.rendered.text()));
+            let ev = raw_exchange(event.addr(), req.as_bytes(), &[], 1);
+            let bl = raw_exchange(blocking.addr(), req.as_bytes(), &[], 1);
+            assert_eq!(ev, bl, "pass {pass}: PARSE {} diverged", d.facts.domain);
+        }
+    }
+    // FETCH through the shared upstream.
+    for domain in ["wired.com", "tycho.net", "missing.org"] {
+        let req = format!("FETCH {domain}\n");
+        let ev = raw_exchange(event.addr(), req.as_bytes(), &[], 1);
+        let bl = raw_exchange(blocking.addr(), req.as_bytes(), &[], 1);
+        assert_eq!(ev, bl, "FETCH {domain} diverged");
+    }
+    // Identical traffic left identical counters behind.
+    let (es, bs) = (event.stats(), blocking.stats());
+    assert_eq!(es.requests, bs.requests);
+    assert_eq!(es.cache_hits, bs.cache_hits);
+    assert_eq!(es.cache_misses, bs.cache_misses);
+    assert_eq!(es.parses, bs.parses);
+    assert_eq!(es.errors, bs.errors);
+}
+
+#[test]
+fn stats_and_health_decode_identically_modulo_volatile_fields() {
+    let event = start_mode(ServingMode::EventLoop, ServeConfig::default());
+    let blocking = start_mode(ServingMode::Blocking, ServeConfig::default());
+    let body = "Domain Name: SAME.COM\nRegistrar: Same Reg\n";
+    for svc in [&event, &blocking] {
+        let req = format!("{}\n", parse_line("same.com", body));
+        raw_exchange(svc.addr(), req.as_bytes(), &[], 1);
+    }
+
+    let normalize_stats = |line: &str| {
+        let mut s = Reply::decode(line.trim_end()).unwrap().stats.unwrap();
+        // Wall-clock stages, gauges, and hit-rate float noise are
+        // volatile across runs; everything else must match exactly.
+        s.queue_wait = Default::default();
+        s.cache_lookup = Default::default();
+        s.parse = Default::default();
+        s.serialize = Default::default();
+        s.fetch = Default::default();
+        s.connections = ConnectionGauges::default();
+        s
+    };
+    let ev = normalize_stats(&raw_exchange(event.addr(), b"STATS\n", &[], 1)[0]);
+    let bl = normalize_stats(&raw_exchange(blocking.addr(), b"STATS\n", &[], 1)[0]);
+    assert_eq!(ev, bl, "decoded STATS diverged");
+
+    let normalize_health = |line: &str| {
+        let mut h = Reply::decode(line.trim_end()).unwrap().health.unwrap();
+        h.uptime_ms = 0;
+        h.connections = ConnectionGauges::default();
+        h
+    };
+    let ev = normalize_health(&raw_exchange(event.addr(), b"HEALTH\n", &[], 1)[0]);
+    let bl = normalize_health(&raw_exchange(blocking.addr(), b"HEALTH\n", &[], 1)[0]);
+    assert_eq!(ev, bl, "decoded HEALTH diverged");
+}
+
+#[test]
+fn pipelined_requests_reply_in_order_identically() {
+    let event = start_mode(ServingMode::EventLoop, ServeConfig::default());
+    let blocking = start_mode(ServingMode::Blocking, ServeConfig::default());
+    // Three requests in one write: two PARSEs (the second a cache hit of
+    // the first) and a STATS — replies must come back in request order.
+    let body = "Domain Name: PIPE.COM\nRegistrar: Pipeline Reg\n";
+    let payload = format!(
+        "{}\n{}\nHEALTH\n",
+        parse_line("pipe.com", body),
+        parse_line("pipe.com", body),
+    );
+    let ev = raw_exchange(event.addr(), payload.as_bytes(), &[], 3);
+    let bl = raw_exchange(blocking.addr(), payload.as_bytes(), &[], 3);
+    assert_eq!(ev[0], ev[1], "second parse is a byte-identical cache hit");
+    assert_eq!(ev[0], bl[0]);
+    assert_eq!(ev[1], bl[1]);
+    // Replies landed in request order: the last is the HEALTH payload.
+    for lines in [&ev, &bl] {
+        assert!(
+            Reply::decode(lines[2].trim_end()).unwrap().health.is_some(),
+            "third reply is the HEALTH probe: {}",
+            lines[2]
+        );
+    }
+}
+
+#[test]
+fn overload_shed_replies_are_byte_identical() {
+    // One worker + a slow upstream wedge the queue; the overflow reply
+    // must be the same bytes in both modes.
+    let mut shed_lines = Vec::new();
+    for mode in MODES {
+        let (_up, up_cfg) = upstream(&["wedge.com"]);
+        let svc = start_mode(
+            mode,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                upstream: Some(up_cfg),
+                ..Default::default()
+            },
+        );
+        let addr = svc.addr();
+        // Saturate worker + queue, then fire more FETCHes until one is
+        // shed (cache misses keyed by domain keep each fetch slow).
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let req = format!("FETCH wedge-{i}.com\n");
+                    raw_exchange(addr, req.as_bytes(), &[], 1).remove(0)
+                })
+            })
+            .collect();
+        let mut sheds: Vec<String> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|line| Reply::decode(line.trim_end()).unwrap().shed)
+            .collect();
+        assert!(!sheds.is_empty(), "{mode:?}: expected at least one shed");
+        sheds.dedup();
+        assert_eq!(sheds.len(), 1, "{mode:?}: one distinct shed reply");
+        shed_lines.push(sheds.remove(0));
+    }
+    assert_eq!(shed_lines[0], shed_lines[1], "shed replies diverged");
+}
+
+#[test]
+fn idle_connections_are_closed_with_identical_replies() {
+    let mut closes = Vec::new();
+    for mode in MODES {
+        let svc = start_mode(
+            mode,
+            ServeConfig {
+                read_timeout: Duration::from_millis(200),
+                ..Default::default()
+            },
+        );
+        // Dribble half a request and stop: the slowloris guard must
+        // reply and close within the deadline (not hang a thread).
+        let mut stream = TcpStream::connect(svc.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(b"PARSE {\"incompl").unwrap();
+        let mut reply = String::new();
+        stream.read_to_string(&mut reply).unwrap();
+        let decoded = Reply::decode(reply.trim_end()).unwrap();
+        assert!(!decoded.ok && decoded.shed, "{mode:?}: {reply}");
+        assert_eq!(svc.stats().connections.idle_closed, 1, "{mode:?}");
+        closes.push(reply);
+    }
+    assert_eq!(closes[0], closes[1], "idle-close replies diverged");
+}
+
+#[test]
+fn per_ip_connection_cap_refuses_identically() {
+    let mut refusals = Vec::new();
+    for mode in MODES {
+        let svc = start_mode(
+            mode,
+            ServeConfig {
+                max_conns_per_ip: Some(1),
+                ..Default::default()
+            },
+        );
+        // First connection holds the sole slot for 127.0.0.1...
+        let held = TcpStream::connect(svc.addr()).unwrap();
+        // (wait until the server has actually accepted + registered it)
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while svc.stats().connections.open < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // ...so the second is refused at accept with a shed-style reply.
+        let mut refused = TcpStream::connect(svc.addr()).unwrap();
+        refused
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reply = String::new();
+        refused.read_to_string(&mut reply).unwrap();
+        let decoded = Reply::decode(reply.trim_end()).unwrap();
+        assert!(!decoded.ok && decoded.shed, "{mode:?}: {reply}");
+        // Releasing the held slot re-admits new connections.
+        drop(held);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut admitted = false;
+        while !admitted && Instant::now() < deadline {
+            let got = raw_exchange(svc.addr(), b"HEALTH\n", &[], 1);
+            admitted = Reply::decode(got[0].trim_end())
+                .map(|r| r.health.is_some())
+                .unwrap_or(false);
+            if !admitted {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        assert!(admitted, "{mode:?}: slot not released after close");
+        refusals.push(reply);
+    }
+    assert_eq!(refusals[0], refusals[1], "cap refusals diverged");
+}
+
+#[test]
+fn drain_on_shutdown_completes_admitted_work_in_both_modes() {
+    for mode in MODES {
+        let domains: Vec<String> = (0..4).map(|i| format!("drain-{i}.com")).collect();
+        let (_up, up_cfg) = upstream_with_delay(
+            &["drain-0.com", "drain-1.com", "drain-2.com", "drain-3.com"],
+            Duration::from_millis(100),
+        );
+        let mut svc = start_mode(
+            mode,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                upstream: Some(up_cfg),
+                ..Default::default()
+            },
+        );
+        let addr = svc.addr();
+        let handles: Vec<_> = domains
+            .into_iter()
+            .map(|domain| {
+                std::thread::spawn(move || {
+                    let req = format!("FETCH {domain}\n");
+                    raw_exchange(addr, req.as_bytes(), &[], 1).remove(0)
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        let report = svc.shutdown();
+        for h in handles {
+            let line = h.join().unwrap();
+            let reply = Reply::decode(line.trim_end()).unwrap();
+            // Admitted work completes; anything newer is an explicit
+            // drain shed — never a dead socket.
+            assert!(reply.ok || reply.shed, "{mode:?}: {line}");
+        }
+        assert!(
+            report.drained > 0 || report.shed > 0,
+            "{mode:?}: shutdown saw no traffic at all: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn event_loop_gauges_track_open_connections() {
+    let svc = start_mode(ServingMode::EventLoop, ServeConfig::default());
+    let c1 = TcpStream::connect(svc.addr()).unwrap();
+    let c2 = TcpStream::connect(svc.addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut gauges = svc.stats().connections;
+    while (gauges.open < 2 || gauges.reading < 2) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        gauges = svc.stats().connections;
+    }
+    assert_eq!(gauges.open, 2, "{gauges:?}");
+    assert_eq!(gauges.reading, 2, "{gauges:?}");
+    assert_eq!(gauges.queued, 0, "{gauges:?}");
+    drop(c1);
+    drop(c2);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while svc.stats().connections.open > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(svc.stats().connections.open, 0, "gauges settle on close");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any fragmentation of a pipelined two-request payload produces
+    /// the same replies as whole delivery, on both serving cores.
+    #[test]
+    fn fragmented_pipelined_delivery_is_byte_identical(
+        splits in proptest::collection::vec(1usize..16, 0..4),
+        crlf in 0u8..2,
+    ) {
+        let sep = if crlf == 1 { "\r\n" } else { "\n" };
+        let body = "Domain Name: FRAG.COM\nRegistrar: Fragment Reg\n";
+        let payload = format!(
+            "{}{sep}HEALTH{sep}",
+            parse_line("frag.com", body),
+        ).into_bytes();
+
+        let event = start_mode(ServingMode::EventLoop, ServeConfig::default());
+        let blocking = start_mode(ServingMode::Blocking, ServeConfig::default());
+
+        let whole_ev = raw_exchange(event.addr(), &payload, &[], 2);
+        let frag_ev = raw_exchange(event.addr(), &payload, &splits, 2);
+        let whole_bl = raw_exchange(blocking.addr(), &payload, &[], 2);
+        let frag_bl = raw_exchange(blocking.addr(), &payload, &splits, 2);
+
+        // The PARSE reply is deterministic: byte-identical across
+        // fragmentations and across modes.
+        prop_assert_eq!(&whole_ev[0], &frag_ev[0], "event loop: fragmentation changed the reply");
+        prop_assert_eq!(&whole_bl[0], &frag_bl[0], "blocking: fragmentation changed the reply");
+        prop_assert_eq!(&whole_ev[0], &whole_bl[0], "parse replies diverged");
+        // The HEALTH reply carries wall-clock fields; it must decode to
+        // an equivalent snapshot in every delivery.
+        let health = |line: &String| {
+            let mut h = Reply::decode(line.trim_end()).unwrap().health.unwrap();
+            h.uptime_ms = 0;
+            h.connections = ConnectionGauges::default();
+            h
+        };
+        prop_assert_eq!(health(&whole_ev[1]), health(&frag_ev[1]));
+        prop_assert_eq!(health(&whole_bl[1]), health(&frag_bl[1]));
+        prop_assert_eq!(health(&whole_ev[1]), health(&whole_bl[1]));
+    }
+}

@@ -10,6 +10,7 @@
 //! whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]
 //!                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]
 //!                     [--upstream host:port] [--timeout MS]
+//!                     [--mode event|blocking] [--conns-per-ip N]
 //! whoisml query       --addr 127.0.0.1:PORT [--timeout MS]
 //!                     (--domain d [--input record.txt] | --stats 1 | --health 1)
 //! ```
@@ -32,6 +33,10 @@
 //!   result cache, line-memoization cache (`--line-cache N`, 0 turns it
 //!   off), bounded admission queue, and — with `--model-dir` — hot
 //!   reload of new model versions dropped into the directory.
+//!   `--mode` selects the serving core: `event` (default) multiplexes
+//!   every connection through one epoll event-loop thread; `blocking`
+//!   is the legacy thread-per-connection path. `--conns-per-ip N` caps
+//!   concurrent connections per source IP at accept time.
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
@@ -103,6 +108,7 @@ fn usage_and_exit() -> ! {
          \x20 whoisml serve       --model model.json [--model-dir models/ --poll-ms 1000]\n\
          \x20                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]\n\
          \x20                     [--upstream host:port] [--timeout MS]\n\
+         \x20                     [--mode event|blocking] [--conns-per-ip N]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
          \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)"
     );
@@ -376,7 +382,23 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         }
         None => None,
     };
+    // --mode picks the serving core: the nonblocking epoll event loop
+    // (default) or the legacy blocking thread-per-connection path.
+    let mode = match flags.get("mode") {
+        None | Some("event") => whoisml::net::ServingMode::EventLoop,
+        Some("blocking") => whoisml::net::ServingMode::Blocking,
+        Some(other) => return Err(format!("bad --mode {other} (expected event|blocking)")),
+    };
+    let max_conns_per_ip = flags
+        .get("conns-per-ip")
+        .map(|v| {
+            v.parse::<u32>()
+                .map_err(|e| format!("bad --conns-per-ip {v}: {e}"))
+        })
+        .transpose()?;
     let mut cfg = ServeConfig {
+        mode,
+        max_conns_per_ip,
         workers: flags.get_or("workers", 0),
         queue_capacity: flags.get_or("queue", 64),
         cache_capacity: flags.get_or("cache", 4096),
@@ -394,12 +416,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
         line_cache_capacity,
         flags.get_or::<usize>("queue", 64),
+        match mode {
+            whoisml::net::ServingMode::EventLoop => "event",
+            whoisml::net::ServingMode::Blocking => "blocking",
+        },
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));

@@ -75,6 +75,10 @@ impl BytesMut {
         BytesMut(Vec::with_capacity(capacity))
     }
 
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
     pub fn len(&self) -> usize {
         self.0.len()
     }
