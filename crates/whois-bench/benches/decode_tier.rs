@@ -1,0 +1,185 @@
+//! Decode tiers: fast (pruned f32 SoA + batched Viterbi) vs exact.
+//!
+//! The line cache (see `line_cache.rs`) wins when records repeat, but a
+//! uniform corpus — every record distinct, repetition only from shared
+//! template structure — pays the full tokenize + score + Viterbi cost
+//! for most lines. The fast tier attacks that uncached floor: a
+//! compiled [`whois_parser::FastParser`] fuses tokenization with sparse
+//! f32 scoring over zero-pruned weight stripes, interns each record's
+//! unique lines, and runs a batched Viterbi over the deduplicated rows.
+//! Records whose decode margin falls under the guard threshold
+//! transparently re-decode on the exact engine, so served output is
+//! byte-identical to the exact tier.
+//!
+//! This bench measures both tiers, uncached, on the two corpus shapes
+//! at 1/2/4 workers and writes `results/BENCH_decode_tier.json` with
+//! records/sec, the speedup, and the fast-tier fallback rate.
+//! `WHOIS_BENCH_SMOKE=1` swaps in a seconds-long correctness check:
+//! fast-tier output bit-identical to exact, counters consistent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Instant;
+use whois_bench::*;
+use whois_model::RawRecord;
+use whois_parser::{DecodeCounters, DecodeTier, LineCache, ParseEngine, ParserConfig, WhoisParser};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Records per measured corpus (both shapes).
+const CORPUS_RECORDS: usize = 1200;
+/// Distinct records in the skewed pool; tiled to `CORPUS_RECORDS`.
+const SKEWED_POOL: usize = 120;
+
+fn trained_parser() -> WhoisParser {
+    let train = corpus(13, 300);
+    WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    )
+}
+
+/// The uniform corpus: every record distinct — the uncached floor.
+fn uniform_corpus() -> Vec<RawRecord> {
+    corpus(97, CORPUS_RECORDS).iter().map(|d| d.raw()).collect()
+}
+
+/// The template-skewed corpus: a small pool swept ten times. Uncached
+/// here, this shows what per-record unique-line interning buys on its
+/// own (repeats *within* a record, not across records).
+fn skewed_corpus() -> Vec<RawRecord> {
+    let pool: Vec<RawRecord> = corpus(29, SKEWED_POOL).iter().map(|d| d.raw()).collect();
+    pool.iter().cycle().take(CORPUS_RECORDS).cloned().collect()
+}
+
+/// An uncached engine pinned to one decode tier.
+fn engine(parser: &WhoisParser, workers: usize, tier: DecodeTier) -> ParseEngine {
+    ParseEngine::with_decode_tier(
+        parser.clone(),
+        workers,
+        Arc::new(LineCache::disabled()),
+        tier,
+        Arc::new(DecodeCounters::new()),
+    )
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness, not speed — the fast tier's
+/// output is bit-identical to the exact tier's on both corpus shapes,
+/// and the decode counters account for every record.
+fn smoke() {
+    let parser = trained_parser();
+    let uniform: Vec<RawRecord> = corpus(97, 80).iter().map(|d| d.raw()).collect();
+    for workers in [1, 2] {
+        let exact = engine(&parser, workers, DecodeTier::Exact);
+        let fast = engine(&parser, workers, DecodeTier::Fast);
+        assert!(
+            fast.fast_tier_active(),
+            "smoke: fast tier must compile under default feature options"
+        );
+        assert_eq!(
+            fast.parse_batch(&uniform),
+            exact.parse_batch(&uniform),
+            "smoke: fast tier must be bit-identical to exact ({workers} workers)"
+        );
+        let c = fast.decode_counters();
+        let decoded = (c.fast_decodes() + c.exact_fallbacks()) as usize;
+        assert!(
+            decoded >= uniform.len(),
+            "smoke: at least one counted decode per record, got {decoded} for {}",
+            uniform.len()
+        );
+        let ec = exact.decode_counters();
+        assert_eq!(
+            ec.fast_decodes() + ec.exact_fallbacks(),
+            0,
+            "smoke: the exact tier must never touch the fast counters"
+        );
+    }
+    eprintln!("[decode_tier] smoke ok: bit-identical output, counters consistent");
+}
+
+fn bench_decode_tier(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let parser = trained_parser();
+    let uniform = uniform_corpus();
+
+    let mut group = c.benchmark_group("decode_tier");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(uniform.len() as u64));
+    for workers in WORKER_COUNTS {
+        let exact = engine(&parser, workers, DecodeTier::Exact);
+        group.bench_function(BenchmarkId::new("uniform_exact", workers), |b| {
+            b.iter(|| exact.parse_batch(&uniform).len())
+        });
+        let fast = engine(&parser, workers, DecodeTier::Fast);
+        group.bench_function(BenchmarkId::new("uniform_fast", workers), |b| {
+            b.iter(|| fast.parse_batch(&uniform).len())
+        });
+    }
+    group.finish();
+
+    write_summary(&parser);
+}
+
+/// Best-of-3 wall-clock records/sec for one run of `f` (after a
+/// warm-up run).
+fn best_rate(records: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary(parser: &WhoisParser) {
+    let mut entries = String::new();
+    for (shape, raws) in [("uniform", uniform_corpus()), ("skewed", skewed_corpus())] {
+        for workers in WORKER_COUNTS {
+            let exact = engine(parser, workers, DecodeTier::Exact);
+            let base = best_rate(raws.len(), || {
+                criterion::black_box(exact.parse_batch(&raws));
+            });
+            let fast = engine(parser, workers, DecodeTier::Fast);
+            let rate = best_rate(raws.len(), || {
+                criterion::black_box(fast.parse_batch(&raws));
+            });
+            let counters = fast.decode_counters();
+            if !entries.is_empty() {
+                entries.push_str(",\n");
+            }
+            entries.push_str(&format!(
+                "    {{\"corpus\": \"{shape}\", \"workers\": {workers}, \
+                 \"exact_records_per_sec\": {base:.1}, \
+                 \"fast_records_per_sec\": {rate:.1}, \
+                 \"speedup\": {:.3}, \"fallback_rate\": {:.4}}}",
+                rate / base,
+                counters.fallback_rate(),
+            ));
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"decode_tier\",\n  \"records\": {CORPUS_RECORDS},\n  \
+         \"skewed_pool\": {SKEWED_POOL},\n  \"available_cores\": {cores},\n  \
+         \"line_cache\": \"disabled\",\n  \"runs\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_decode_tier.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[decode_tier] summary written to {path}"),
+        Err(e) => eprintln!("[decode_tier] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_decode_tier);
+criterion_main!(benches);

@@ -1,0 +1,511 @@
+//! The compiled **fast decode tier**: pruned, quantized, SoA weights for
+//! the uncached parse floor.
+//!
+//! Training and the bit-exact cached parse path work on the flat `f64`
+//! parameter vector of [`Crf`] — the right layout for optimizers, the
+//! wrong one for raw decode throughput. A [`DecodeModel`] is compiled
+//! once per installed model and trades exactness for speed in three
+//! controlled ways:
+//!
+//! 1. **Pruning** — emission stripes and pair blocks that are exactly
+//!    zero in `f64` (features the trainer never moved, e.g. dictionary
+//!    entries only seen in trimmed contexts) are dropped; their slots map
+//!    to [`NO_SLOT`] and scoring skips them entirely. Pruning exactly-zero
+//!    parameters cannot change any score.
+//! 2. **Quantization** — surviving weights are rounded once to `f32`
+//!    (structure-of-arrays: each feature's per-label stripe contiguous),
+//!    halving memory traffic on the scoring gather.
+//! 3. **Batched decoding** — [`viterbi_batch_into`](DecodeModel::viterbi_batch_into)
+//!    decodes from *banks* of pre-scored unique-line rows (records score
+//!    each distinct line context once), and reports the decode **margin**:
+//!    the smallest score gap by which any on-path Viterbi decision won.
+//!
+//! Quantization is the only lossy step, and the margin bounds its blast
+//! radius: a decision with gap `g` in `f32` can only disagree with the
+//! `f64` decode if accumulated rounding error reaches `g/2`. Callers
+//! compare the returned margin against a guard threshold (orders of
+//! magnitude above worst-case rounding for WHOIS-sized records) and
+//! re-decode on the exact engine when it is too close to call — ties
+//! (margin 0) always fall back, so `f32` tie-breaking never decides a
+//! label.
+
+use crate::model::Crf;
+
+/// Sentinel offset: the feature has no compiled stripe/block (pruned,
+/// or not pair-eligible).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// A [`Crf`] compiled for fast decoding: dense `f32` transitions, pruned
+/// SoA emission stripes, pruned pair blocks. Immutable once compiled —
+/// model hot swaps compile a fresh `DecodeModel` for the new engine.
+#[derive(Clone, Debug)]
+pub struct DecodeModel {
+    n: usize,
+    num_obs_features: usize,
+    /// Dense base transition matrix, `n × n`.
+    trans: Vec<f32>,
+    /// Concatenated per-feature emission stripes (each `n` long), kept
+    /// features only.
+    stripes: Vec<f32>,
+    /// Concatenated per-feature pair blocks (each `n²` long), kept
+    /// pair-eligible features only.
+    pair_blocks: Vec<f32>,
+    /// Per feature id: element offset into `stripes`, or [`NO_SLOT`].
+    emit_off: Vec<u32>,
+    /// Per feature id: element offset into `pair_blocks`, or [`NO_SLOT`].
+    pair_off: Vec<u32>,
+    pruned_emit: usize,
+    pruned_pair: usize,
+}
+
+/// Reusable buffers for batched Viterbi decoding.
+#[derive(Default, Debug)]
+pub struct DecodeScratch {
+    v: Vec<f32>,
+    back: Vec<u32>,
+    gap: Vec<f32>,
+    /// The decoded state path of the last
+    /// [`viterbi_batch_into`](DecodeModel::viterbi_batch_into) call.
+    pub path: Vec<usize>,
+}
+
+impl DecodeScratch {
+    /// New empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DecodeModel {
+    /// Compile `crf` into the fast tier. `O(dim)` — run once per model
+    /// install, not per record.
+    pub fn compile(crf: &Crf) -> Self {
+        let n = crf.num_states();
+        let nn = n * n;
+        let w = crf.weights();
+        let trans: Vec<f32> = w[..nn].iter().map(|&x| x as f32).collect();
+
+        let f_count = crf.num_obs_features();
+        let mut stripes = Vec::new();
+        let mut emit_off = Vec::with_capacity(f_count);
+        let mut pruned_emit = 0usize;
+        for f in 0..f_count as u32 {
+            let base = crf.emit_index(f, 0);
+            let stripe = &w[base..base + n];
+            if stripe.iter().all(|&x| x == 0.0) {
+                emit_off.push(NO_SLOT);
+                pruned_emit += 1;
+            } else {
+                emit_off.push(stripes.len() as u32);
+                stripes.extend(stripe.iter().map(|&x| x as f32));
+            }
+        }
+
+        let mut pair_blocks = Vec::new();
+        let mut pair_off = Vec::with_capacity(f_count);
+        let mut pruned_pair = 0usize;
+        for f in 0..f_count as u32 {
+            match crf.pair_index(f, 0, 0) {
+                None => pair_off.push(NO_SLOT),
+                Some(base) => {
+                    let block = &w[base..base + nn];
+                    if block.iter().all(|&x| x == 0.0) {
+                        pair_off.push(NO_SLOT);
+                        pruned_pair += 1;
+                    } else {
+                        pair_off.push(pair_blocks.len() as u32);
+                        pair_blocks.extend(block.iter().map(|&x| x as f32));
+                    }
+                }
+            }
+        }
+
+        DecodeModel {
+            n,
+            num_obs_features: f_count,
+            trans,
+            stripes,
+            pair_blocks,
+            emit_off,
+            pair_off,
+            pruned_emit,
+            pruned_pair,
+        }
+    }
+
+    /// Number of states `n`.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Size of the observation-feature dictionary `F`.
+    pub fn num_obs_features(&self) -> usize {
+        self.num_obs_features
+    }
+
+    /// Emission stripes pruned as exactly zero.
+    pub fn pruned_emissions(&self) -> usize {
+        self.pruned_emit
+    }
+
+    /// Pair blocks pruned as exactly zero.
+    pub fn pruned_pairs(&self) -> usize {
+        self.pruned_pair
+    }
+
+    /// Element offset of feature `f`'s emission stripe in
+    /// [`stripes`](Self::stripes), or [`NO_SLOT`] when pruned.
+    #[inline]
+    pub fn emit_offset(&self, f: u32) -> u32 {
+        self.emit_off[f as usize]
+    }
+
+    /// Element offset of feature `f`'s pair block in
+    /// [`pair_blocks`](Self::pair_blocks), or [`NO_SLOT`].
+    #[inline]
+    pub fn pair_offset(&self, f: u32) -> u32 {
+        self.pair_off[f as usize]
+    }
+
+    /// The dense base transition matrix (`n × n`, row-major `[i*n + j]`).
+    #[inline]
+    pub fn base_trans(&self) -> &[f32] {
+        &self.trans
+    }
+
+    /// The concatenated emission stripes (index with
+    /// [`emit_offset`](Self::emit_offset)).
+    #[inline]
+    pub fn stripes(&self) -> &[f32] {
+        &self.stripes
+    }
+
+    /// The concatenated pair blocks (index with
+    /// [`pair_offset`](Self::pair_offset)).
+    #[inline]
+    pub fn pair_blocks(&self) -> &[f32] {
+        &self.pair_blocks
+    }
+
+    /// Score one feature row: accumulate every feature's emission stripe
+    /// into `emit` (length `n`, zeroed first) and, for pair-eligible
+    /// features, its pair block on top of the base transitions in `edge`
+    /// (length `n²`). The sparse-gather analogue of
+    /// [`Crf::emission_row_into`] + [`Crf::edge_row_into`].
+    pub fn score_row_into(&self, feats: &[u32], emit: &mut [f32], edge: &mut [f32]) {
+        let n = self.n;
+        debug_assert_eq!(emit.len(), n);
+        debug_assert_eq!(edge.len(), n * n);
+        emit.fill(0.0);
+        edge.copy_from_slice(&self.trans);
+        for &f in feats {
+            self.add_feature(f, emit, edge);
+        }
+    }
+
+    /// Accumulate one feature's stripe (and pair block, when eligible)
+    /// into a row pair — the fused-scoring primitive for callers that
+    /// stream features instead of materializing id rows.
+    #[inline]
+    pub fn add_feature(&self, f: u32, emit: &mut [f32], edge: &mut [f32]) {
+        let off = self.emit_off[f as usize];
+        if off != NO_SLOT {
+            let stripe = &self.stripes[off as usize..off as usize + self.n];
+            for (e, s) in emit.iter_mut().zip(stripe) {
+                *e += *s;
+            }
+        }
+        let poff = self.pair_off[f as usize];
+        if poff != NO_SLOT {
+            let block = &self.pair_blocks[poff as usize..poff as usize + self.n * self.n];
+            for (e, b) in edge.iter_mut().zip(block) {
+                *e += *b;
+            }
+        }
+    }
+
+    /// Batched Viterbi over pre-scored unique-line rows.
+    ///
+    /// `rows[t]` is the unique-row index of position `t`; position `t`'s
+    /// emission potentials are `emit_bank[rows[t]*n ..][..n]` and (for
+    /// `t ≥ 1`) its entering edge potentials are
+    /// `edge_bank[rows[t]*n*n ..][..n²]` — the layout
+    /// [`score_row_into`](Self::score_row_into) fills, one slot per
+    /// distinct line context, shared by every position that repeats it.
+    ///
+    /// The decoded path lands in `scratch.path`; the return value is the
+    /// decode margin: the minimum, over the final argmax and every
+    /// on-path predecessor decision, of (best − second-best) score. A
+    /// margin of `f32::INFINITY` means the decode could not have gone any
+    /// other way (empty/single-state sequences); a margin of `0.0` means
+    /// a tie was broken arbitrarily and the caller must not trust the
+    /// path without re-decoding exactly.
+    pub fn viterbi_batch_into(
+        &self,
+        emit_bank: &[f32],
+        edge_bank: &[f32],
+        rows: &[u32],
+        scratch: &mut DecodeScratch,
+    ) -> f32 {
+        let n = self.n;
+        let nn = n * n;
+        let t_len = rows.len();
+        scratch.path.clear();
+        if t_len == 0 {
+            return f32::INFINITY;
+        }
+        let v = &mut scratch.v;
+        let back = &mut scratch.back;
+        let gap = &mut scratch.gap;
+        v.clear();
+        v.resize(t_len * n, 0.0);
+        back.clear();
+        back.resize(t_len * n, 0);
+        gap.clear();
+        gap.resize(t_len * n, f32::INFINITY);
+
+        let r0 = rows[0] as usize;
+        v[..n].copy_from_slice(&emit_bank[r0 * n..r0 * n + n]);
+        for t in 1..t_len {
+            let r = rows[t] as usize;
+            let edge = &edge_bank[r * nn..(r + 1) * nn];
+            let emit = &emit_bank[r * n..r * n + n];
+            let (prev_rows, cur_rows) = v.split_at_mut(t * n);
+            let prev = &prev_rows[(t - 1) * n..];
+            for j in 0..n {
+                // First-max tie-breaking, mirroring `numerics::arg_max`.
+                let mut best = prev[0] + edge[j];
+                let mut best_i = 0u32;
+                let mut second = f32::NEG_INFINITY;
+                for (i, &p) in prev.iter().enumerate().skip(1) {
+                    let s = p + edge[i * n + j];
+                    if s > best {
+                        second = best;
+                        best = s;
+                        best_i = i as u32;
+                    } else if s > second {
+                        second = s;
+                    }
+                }
+                back[t * n + j] = best_i;
+                cur_rows[j] = best + emit[j];
+                gap[t * n + j] = best - second; // INFINITY when n == 1
+            }
+        }
+
+        let last = &v[(t_len - 1) * n..];
+        let mut state = 0usize;
+        let mut best = last[0];
+        let mut second = f32::NEG_INFINITY;
+        for (j, &s) in last.iter().enumerate().skip(1) {
+            if s > best {
+                second = best;
+                best = s;
+                state = j;
+            } else if s > second {
+                second = s;
+            }
+        }
+        let mut margin = best - second; // INFINITY when n == 1
+
+        scratch.path.resize(t_len, 0);
+        scratch.path[t_len - 1] = state;
+        for t in (1..t_len).rev() {
+            margin = margin.min(gap[t * n + state]);
+            state = back[t * n + state] as usize;
+            scratch.path[t - 1] = state;
+        }
+        margin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::viterbi;
+    use crate::sequence::Sequence;
+
+    /// Deterministic pseudo-random weights, some stripes forced to zero.
+    fn model(n: usize, f_count: usize, zero_stripes: &[u32]) -> Crf {
+        let pair: Vec<bool> = (0..f_count).map(|f| f % 3 == 0).collect();
+        let mut m = Crf::new(n, f_count, &pair);
+        let dim = m.dim();
+        m.set_weights((0..dim).map(|i| ((i as f64) * 0.61).sin() * 2.3).collect());
+        for &f in zero_stripes {
+            for j in 0..n {
+                let idx = m.emit_index(f, j);
+                m.weights_mut()[idx] = 0.0;
+            }
+        }
+        m
+    }
+
+    fn banks(dm: &DecodeModel, seq: &Sequence) -> (Vec<f32>, Vec<f32>, Vec<u32>) {
+        let n = dm.num_states();
+        let mut emit_bank = vec![0.0f32; seq.len() * n];
+        let mut edge_bank = vec![0.0f32; seq.len() * n * n];
+        let rows: Vec<u32> = (0..seq.len() as u32).collect();
+        for (t, feats) in seq.obs.iter().enumerate() {
+            let (e, g) = (
+                &mut emit_bank[t * n..(t + 1) * n],
+                &mut edge_bank[t * n * n..(t + 1) * n * n],
+            );
+            dm.score_row_into(feats, e, g);
+        }
+        (emit_bank, edge_bank, rows)
+    }
+
+    #[test]
+    fn compile_prunes_zero_stripes_and_scores_match_f64_rows() {
+        let m = model(3, 7, &[2, 5]);
+        let dm = DecodeModel::compile(&m);
+        assert_eq!(dm.pruned_emissions(), 2);
+        assert_eq!(dm.emit_offset(2), NO_SLOT);
+        assert_ne!(dm.emit_offset(1), NO_SLOT);
+        // Non-pair-eligible features have no pair slot.
+        assert_eq!(dm.pair_offset(1), NO_SLOT);
+        assert_ne!(dm.pair_offset(3), NO_SLOT);
+
+        let feats = vec![0u32, 2, 3, 5, 6];
+        let n = m.num_states();
+        let mut emit = vec![0.0f32; n];
+        let mut edge = vec![0.0f32; n * n];
+        dm.score_row_into(&feats, &mut emit, &mut edge);
+
+        let mut emit64 = Vec::new();
+        let mut edge64 = Vec::new();
+        m.emission_row_into(&feats, &mut emit64);
+        m.edge_row_into(&feats, &mut edge64);
+        for (a, b) in emit.iter().zip(&emit64) {
+            assert!((*a as f64 - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        for (a, b) in edge.iter().zip(&edge64) {
+            assert!((*a as f64 - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn batch_viterbi_matches_f64_viterbi_when_margin_is_comfortable() {
+        let m = model(4, 9, &[1]);
+        let dm = DecodeModel::compile(&m);
+        let seq = Sequence::new(vec![
+            vec![0, 2, 7],
+            vec![3, 4],
+            vec![],
+            vec![0, 1, 2, 3, 8],
+            vec![6],
+            vec![3, 4],
+        ]);
+        let (emit_bank, edge_bank, rows) = banks(&dm, &seq);
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit_bank, &edge_bank, &rows, &mut scratch);
+        let (want, _) = viterbi(&m.score_table(&seq));
+        assert!(margin > 1e-3, "contrived-tie-free model: margin {margin}");
+        assert_eq!(scratch.path, want);
+    }
+
+    #[test]
+    fn repeated_rows_decode_like_repeated_positions() {
+        let m = model(3, 6, &[]);
+        let dm = DecodeModel::compile(&m);
+        // Two distinct rows, pattern a-b-a-a-b.
+        let seq = Sequence::new(vec![
+            vec![0, 4],
+            vec![1, 3],
+            vec![0, 4],
+            vec![0, 4],
+            vec![1, 3],
+        ]);
+        let n = dm.num_states();
+        let mut emit_bank = vec![0.0f32; 2 * n];
+        let mut edge_bank = vec![0.0f32; 2 * n * n];
+        {
+            let (a, b) = emit_bank.split_at_mut(n);
+            let (ga, gb) = edge_bank.split_at_mut(n * n);
+            dm.score_row_into(&[0, 4], a, ga);
+            dm.score_row_into(&[1, 3], b, gb);
+        }
+        let rows = vec![0u32, 1, 0, 0, 1];
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit_bank, &edge_bank, &rows, &mut scratch);
+        let (want, _) = viterbi(&m.score_table(&seq));
+        assert!(margin > 0.0);
+        assert_eq!(scratch.path, want);
+    }
+
+    #[test]
+    fn tied_scores_report_zero_margin() {
+        // All-zero weights: every path scores 0, every decision ties.
+        let m = Crf::without_pair_features(3, 2);
+        let dm = DecodeModel::compile(&m);
+        // All stripes are zero, hence pruned.
+        assert_eq!(dm.pruned_emissions(), 2);
+        let n = dm.num_states();
+        let emit_bank = vec![0.0f32; 2 * n];
+        let edge_bank = vec![0.0f32; 2 * n * n];
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit_bank, &edge_bank, &[0, 1], &mut scratch);
+        assert_eq!(margin, 0.0, "ties must surface as zero margin");
+    }
+
+    #[test]
+    fn single_position_and_empty_sequences() {
+        let m = model(3, 4, &[]);
+        let dm = DecodeModel::compile(&m);
+        let n = dm.num_states();
+        let mut emit = vec![0.0f32; n];
+        let mut edge = vec![0.0f32; n * n];
+        dm.score_row_into(&[1, 2], &mut emit, &mut edge);
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit, &edge, &[0], &mut scratch);
+        let (want, _) = viterbi(&m.score_table(&Sequence::new(vec![vec![1, 2]])));
+        assert_eq!(scratch.path, want);
+        assert!(margin > 0.0);
+        // Empty sequence: empty path, infinite margin.
+        let margin = dm.viterbi_batch_into(&[], &[], &[], &mut scratch);
+        assert!(scratch.path.is_empty());
+        assert_eq!(margin, f32::INFINITY);
+    }
+
+    #[test]
+    fn single_state_margin_is_infinite() {
+        let m = Crf::without_pair_features(1, 2);
+        let dm = DecodeModel::compile(&m);
+        let emit_bank = vec![0.0f32; 3];
+        let edge_bank = vec![0.0f32; 3];
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit_bank, &edge_bank, &[0, 1, 2], &mut scratch);
+        assert_eq!(scratch.path, vec![0, 0, 0]);
+        assert_eq!(margin, f32::INFINITY);
+    }
+
+    #[test]
+    fn margin_lower_bounds_runner_up_gap() {
+        // The margin never exceeds the gap between the best and any
+        // alternative full path (it is a per-decision lower bound).
+        let m = model(3, 5, &[]);
+        let dm = DecodeModel::compile(&m);
+        let seq = Sequence::new(vec![vec![0, 1], vec![2], vec![3, 4]]);
+        let (emit_bank, edge_bank, rows) = banks(&dm, &seq);
+        let mut scratch = DecodeScratch::new();
+        let margin = dm.viterbi_batch_into(&emit_bank, &edge_bank, &rows, &mut scratch);
+        let table = m.score_table(&seq);
+        let best = table.path_score(&scratch.path);
+        let mut runner_up = f64::NEG_INFINITY;
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let labels = [a, b, c];
+                    if labels != scratch.path[..] {
+                        runner_up = runner_up.max(table.path_score(&labels));
+                    }
+                }
+            }
+        }
+        assert!(
+            (margin as f64) <= best - runner_up + 1e-4,
+            "margin {margin} vs path gap {}",
+            best - runner_up
+        );
+    }
+}

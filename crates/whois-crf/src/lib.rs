@@ -32,6 +32,7 @@
 
 #![allow(clippy::needless_range_loop)] // index-based DP loops mirror the appendix-A math
 
+pub mod decode;
 pub mod diagnostics;
 pub mod engine;
 pub mod inference;
@@ -45,6 +46,7 @@ pub mod sequence;
 pub mod sgd;
 pub mod train;
 
+pub use decode::{DecodeModel, DecodeScratch, NO_SLOT};
 pub use engine::{TrainEngine, TrainScratch};
 pub use inference::{
     backward, backward_into, edge_marginals, edge_marginals_into, forward, forward_into,

@@ -19,11 +19,12 @@
 //! the engine only changes where buffers live and which thread decodes
 //! which record.
 
+use crate::fast::{FastParser, FastScratch, DEFAULT_MARGIN_GUARD};
 use crate::line_cache::{CachedLine, LineCache};
 use crate::parser::WhoisParser;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use whois_crf::InferenceScratch;
@@ -56,6 +57,8 @@ pub struct ParseScratch {
     pub(crate) reg_idx: Vec<usize>,
     /// Join buffer for the registrant block text (reused per record).
     pub(crate) block_text: String,
+    /// Fast-tier banks and decode scratch (see [`crate::fast`]).
+    pub(crate) fast: FastScratch,
 }
 
 impl ParseScratch {
@@ -111,6 +114,87 @@ impl BatchStats {
     }
 }
 
+/// Which engine decodes records that miss (or bypass) the line cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DecodeTier {
+    /// The `f64` reference engine: tokenize → dictionary → `ScoreTable`
+    /// → Viterbi. Always available; always exact.
+    #[default]
+    Exact,
+    /// The compiled fast tier ([`crate::fast`]): pruned/quantized `f32`
+    /// SoA weights, fused tokenize-and-score, batched Viterbi over the
+    /// record's unique lines. Low-margin records transparently re-decode
+    /// on the exact engine, so parse output is byte-identical.
+    Fast,
+}
+
+impl DecodeTier {
+    /// Parse a CLI/config spelling (`"fast"` / `"exact"`).
+    pub fn parse(s: &str) -> Option<DecodeTier> {
+        match s {
+            "fast" => Some(DecodeTier::Fast),
+            "exact" => Some(DecodeTier::Exact),
+            _ => None,
+        }
+    }
+
+    /// The CLI/config spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodeTier::Exact => "exact",
+            DecodeTier::Fast => "fast",
+        }
+    }
+}
+
+/// Shared counters of fast-tier decode outcomes. One `Arc` of these can
+/// outlive individual engines (the serve registry keeps its counters
+/// across model hot swaps).
+#[derive(Debug, Default)]
+pub struct DecodeCounters {
+    fast_decodes: AtomicU64,
+    exact_fallbacks: AtomicU64,
+}
+
+impl DecodeCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Level decodes completed on the fast tier.
+    pub fn fast_decodes(&self) -> u64 {
+        self.fast_decodes.load(Ordering::Relaxed)
+    }
+
+    /// Level decodes that fell back to the exact engine (decode margin
+    /// under the guard threshold).
+    pub fn exact_fallbacks(&self) -> u64 {
+        self.exact_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// `exact_fallbacks / (fast_decodes + exact_fallbacks)`, 0.0 before
+    /// any fast-tier decode.
+    pub fn fallback_rate(&self) -> f64 {
+        let fast = self.fast_decodes();
+        let fallback = self.exact_fallbacks();
+        let total = fast + fallback;
+        if total > 0 {
+            fallback as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    pub(crate) fn record(&self, fell_back: bool) {
+        if fell_back {
+            self.exact_fallbacks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fast_decodes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A trained [`WhoisParser`] wired for high-throughput batch parsing.
 #[derive(Debug)]
 pub struct ParseEngine {
@@ -128,6 +212,16 @@ pub struct ParseEngine {
     /// at construction (the serve registry bumps the cache's generation
     /// before building the engine for a newly installed model).
     generation: u64,
+    /// Requested decode tier for uncached records.
+    tier: DecodeTier,
+    /// The compiled fast tier; `None` when the tier is [`DecodeTier::Exact`]
+    /// or the model's feature options fall outside the fast tier's
+    /// exactness envelope (see [`crate::fast`]).
+    fast: Option<FastParser>,
+    /// Decode margin under which a fast-tier decode re-runs exactly.
+    guard: f32,
+    /// Fast-tier outcome counters (shared; survives engine rebuilds).
+    counters: Arc<DecodeCounters>,
 }
 
 impl ParseEngine {
@@ -155,12 +249,39 @@ impl ParseEngine {
     /// its generation before constructing the next engine. Pass
     /// [`LineCache::disabled`] for the uncached baseline engine.
     pub fn with_line_cache(parser: WhoisParser, workers: usize, cache: Arc<LineCache>) -> Self {
+        Self::with_decode_tier(
+            parser,
+            workers,
+            cache,
+            DecodeTier::Exact,
+            Arc::new(DecodeCounters::new()),
+        )
+    }
+
+    /// [`with_line_cache`](Self::with_line_cache) plus an explicit
+    /// [`DecodeTier`] for records that miss or bypass the cache, and a
+    /// caller-shared [`DecodeCounters`]. Requesting [`DecodeTier::Fast`]
+    /// compiles the model's fast tier at construction; if the model's
+    /// feature options are outside the fast tier's envelope the engine
+    /// silently stays exact ([`fast_tier_active`](Self::fast_tier_active)
+    /// reports the outcome).
+    pub fn with_decode_tier(
+        parser: WhoisParser,
+        workers: usize,
+        cache: Arc<LineCache>,
+        tier: DecodeTier,
+        counters: Arc<DecodeCounters>,
+    ) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             workers
         };
         let generation = cache.generation();
+        let fast = match tier {
+            DecodeTier::Fast => FastParser::compile(&parser),
+            DecodeTier::Exact => None,
+        };
         ParseEngine {
             parser,
             workers,
@@ -168,7 +289,33 @@ impl ParseEngine {
             pool_cap: AtomicUsize::new(workers),
             cache,
             generation,
+            tier,
+            fast,
+            guard: DEFAULT_MARGIN_GUARD,
+            counters,
         }
+    }
+
+    /// Override the decode-margin guard (testing hook: `f32::INFINITY`
+    /// forces every fast-tier decode to fall back).
+    pub fn with_margin_guard(mut self, guard: f32) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// The requested decode tier.
+    pub fn decode_tier(&self) -> DecodeTier {
+        self.tier
+    }
+
+    /// Whether the fast tier actually compiled and serves decodes.
+    pub fn fast_tier_active(&self) -> bool {
+        self.fast.is_some()
+    }
+
+    /// The fast-tier outcome counters.
+    pub fn decode_counters(&self) -> &Arc<DecodeCounters> {
+        &self.counters
     }
 
     /// The engine's line cache.
@@ -232,12 +379,17 @@ impl ParseEngine {
     }
 
     fn parse_into(&self, record: &RawRecord, scratch: &mut ParseScratch) -> ParsedRecord {
-        if self.cache.enabled() {
-            self.parser
-                .parse_cached(record, scratch, &self.cache, self.generation)
-        } else {
-            self.parser.parse_with(record, scratch)
+        if self.cache.enabled() && self.cache.admit_record() {
+            return self
+                .parser
+                .parse_cached(record, scratch, &self.cache, self.generation);
         }
+        if let Some(fast) = &self.fast {
+            return self
+                .parser
+                .parse_fast(record, scratch, fast, self.guard, &self.counters);
+        }
+        self.parser.parse_with(record, scratch)
     }
 
     /// Parse one record with pooled buffers.

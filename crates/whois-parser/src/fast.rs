@@ -1,0 +1,526 @@
+//! The **fast decode tier** of the parser: fused tokenize-and-score over
+//! a compiled [`DecodeModel`].
+//!
+//! The exact uncached path spends most of its time moving feature
+//! *strings* around: every emitted feature is interned for within-line
+//! dedup (one SipHash + hash-map probe), then looked up in the
+//! [`Dictionary`](whois_tokenize::Dictionary) (a second SipHash), and
+//! the resulting id rows are only then turned into `f64` potentials. The
+//! fast tier collapses all of that into a single pass: features are
+//! FNV-hashed *incrementally from their parts* (no composition buffer)
+//! and probed once against a precompiled open-addressing table mapping
+//! feature hash → SoA stripe offsets, and the `f32` emission/edge rows
+//! accumulate directly during tokenization. Lines are interned
+//! per-record by their
+//! [`context_hash`](whois_tokenize::context_hash) — which fully
+//! determines a line's feature bag *and* its `p:` word window — so each
+//! distinct line context is scored once and batched Viterbi decodes over
+//! the unique-row banks.
+//!
+//! ## Exactness
+//!
+//! The streamed feature *set* per line is provably identical to the
+//! exact encoder's (same walk, same detectors, and the encode sink's
+//! end-of-line `sort`/`dedup` makes within-line duplicate handling
+//! equivalent to this tier's per-slot stamps); the only divergence from
+//! the `f64` engine is `f32` rounding, which the decode margin guards —
+//! records whose margin falls under the caller's guard threshold are
+//! transparently re-decoded on the exact engine (see
+//! [`DecodeModel::viterbi_batch_into`]).
+//!
+//! One semantic corner is unsupported: with `title_value` *disabled* the
+//! ablation maps the raw features `w:x@T` and `w:x@V` onto one
+//! dictionary entry while the `p:` window still distinguishes them, so
+//! a single hash table cannot serve both identities.
+//! [`FastLevel::compile`] returns `None` for such models and the engine
+//! stays on the exact tier.
+
+use crate::level::LevelParser;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use whois_crf::{DecodeModel, DecodeScratch, NO_SLOT};
+use whois_model::Label;
+use whois_tokenize::{context_lines, for_each_word, line_markers, split_title_value, WordClass};
+
+/// Default decode-margin guard: Viterbi decisions won by less than this
+/// (in unnormalized log-score) are considered too close to trust to
+/// `f32` rounding and the record re-decodes exactly. Worst-case
+/// accumulated rounding for WHOIS-sized records is orders of magnitude
+/// below this.
+pub const DEFAULT_MARGIN_GUARD: f32 = 1e-3;
+
+/// How many of the previous line's `w:` features feed the next line's
+/// `p:` context. Must match `whois_tokenize::annotate`'s cap.
+const MAX_PREV_FEATURES: usize = 12;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Hash a feature name from its parts, as the hot path composes them.
+fn fnv_parts(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for p in parts {
+        h = fnv(h, p.as_bytes());
+    }
+    // 0 marks an empty table slot; remap the (astronomically unlikely)
+    // real hash 0.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// One compiled feature-table entry: where this feature's weights live
+/// in the [`DecodeModel`], plus — for `w:` features — where the weights
+/// of its `p:` (previous-line echo) counterpart live.
+#[derive(Clone, Copy, Debug)]
+struct FastSlot {
+    emit_off: u32,
+    pair_off: u32,
+    p_emit_off: u32,
+    p_pair_off: u32,
+}
+
+const EMPTY_SLOT: FastSlot = FastSlot {
+    emit_off: NO_SLOT,
+    pair_off: NO_SLOT,
+    p_emit_off: NO_SLOT,
+    p_pair_off: NO_SLOT,
+};
+
+/// A window entry: one captured `w:` feature of the previous line, with
+/// its `p:` counterpart's weight offsets pre-resolved at capture time.
+#[derive(Clone, Copy, Debug)]
+struct WinEntry {
+    /// FNV hash of the raw `w:` feature (capture dedup identity).
+    raw: u64,
+    p_emit_off: u32,
+    p_pair_off: u32,
+}
+
+/// Per-record map interning `context_hash` → unique row index.
+/// Generation-stamped open addressing: `begin_record` is O(1).
+#[derive(Default, Debug)]
+struct UniqMap {
+    keys: Vec<u64>,
+    rows: Vec<u32>,
+    stamps: Vec<u32>,
+    gen: u32,
+    len: usize,
+}
+
+impl UniqMap {
+    fn begin_record(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Stamp wrap: every slot looks live again; hard-reset.
+            self.stamps.fill(0);
+            self.gen = 1;
+        }
+        self.len = 0;
+        if self.keys.is_empty() {
+            self.keys = vec![0; 64];
+            self.rows = vec![0; 64];
+            self.stamps = vec![0; 64];
+        }
+    }
+
+    #[inline]
+    fn lookup(&self, h: u64) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = (h ^ (h >> 33)) as usize & mask;
+        loop {
+            if self.stamps[i] != self.gen {
+                return None;
+            }
+            if self.keys[i] == h {
+                return Some(self.rows[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, h: u64, row: u32) {
+        if self.len * 2 >= self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = (h ^ (h >> 33)) as usize & mask;
+        while self.stamps[i] == self.gen {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = h;
+        self.rows[i] = row;
+        self.stamps[i] = self.gen;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let live: Vec<(u64, u32)> = (0..self.keys.len())
+            .filter(|&i| self.stamps[i] == self.gen)
+            .map(|i| (self.keys[i], self.rows[i]))
+            .collect();
+        let cap = self.keys.len() * 2;
+        self.keys = vec![0; cap];
+        self.rows = vec![0; cap];
+        self.stamps = vec![0; cap];
+        let mask = cap - 1;
+        for (h, row) in live {
+            let mut i = (h ^ (h >> 33)) as usize & mask;
+            while self.stamps[i] == self.gen {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = h;
+            self.rows[i] = row;
+            self.stamps[i] = self.gen;
+        }
+    }
+}
+
+/// Reusable buffers for the fast tier, one per [`crate::ParseScratch`].
+#[derive(Default, Debug)]
+pub struct FastScratch {
+    /// Unique-row emission bank (`rows × n`).
+    emit_bank: Vec<f32>,
+    /// Unique-row edge bank (`rows × n²`).
+    edge_bank: Vec<f32>,
+    /// Unique-row index of each position.
+    row_of_line: Vec<u32>,
+    /// Captured `w:` windows of all unique rows, concatenated.
+    window_bank: Vec<WinEntry>,
+    /// Per unique row: `(start, len)` into `window_bank`.
+    window_span: Vec<(u32, u32)>,
+    uniq: UniqMap,
+    /// Per-feature-table-slot line stamps (sized to the level's table).
+    stamps: Vec<u64>,
+    line_gen: u64,
+    /// Lower-cased word composition buffer.
+    word: String,
+    /// Word-class detection buffer.
+    classes: Vec<WordClass>,
+    dec: DecodeScratch,
+}
+
+impl FastScratch {
+    /// New empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One CRF level compiled for the fast tier: the quantized
+/// [`DecodeModel`] plus the feature-hash table.
+#[derive(Clone, Debug)]
+pub struct FastLevel {
+    decode: DecodeModel,
+    keys: Vec<u64>,
+    slots: Vec<FastSlot>,
+}
+
+impl FastLevel {
+    /// Compile a trained level, or `None` when its feature options are
+    /// outside the fast tier's exactness envelope (see module docs).
+    pub fn compile<L: Label + Serialize + DeserializeOwned>(
+        level: &LevelParser<L>,
+    ) -> Option<FastLevel> {
+        let enc = level.encoder();
+        if !enc.options().title_value {
+            return None;
+        }
+        let dict = enc.dictionary();
+        let decode = DecodeModel::compile(level.crf());
+
+        // Load factor ≤ 1/4 even if every dictionary entry is a `p:`
+        // feature needing a synthetic `w:` slot.
+        let cap = (dict.len().max(1) * 4).next_power_of_two();
+        let mut keys = vec![0u64; cap];
+        let mut slots = vec![EMPTY_SLOT; cap];
+        let probe = |keys: &[u64], h: u64| -> usize {
+            let mask = keys.len() - 1;
+            let mut i = (h ^ (h >> 33)) as usize & mask;
+            while keys[i] != 0 && keys[i] != h {
+                i = (i + 1) & mask;
+            }
+            i
+        };
+        for (id, name) in dict.iter() {
+            let h = fnv_parts(&[name]);
+            let i = probe(&keys, h);
+            keys[i] = h;
+            slots[i].emit_off = decode.emit_offset(id);
+            slots[i].pair_off = decode.pair_offset(id);
+        }
+        // Attach each `p:` feature's weights to its `w:` counterpart so
+        // window capture resolves them without a second lookup. The
+        // counterpart may be absent from the dictionary (frequency
+        // trimming counts the two independently): synthesize a
+        // score-less slot for it.
+        for (id, name) in dict.iter() {
+            if let Some(rest) = name.strip_prefix("p:") {
+                let h = fnv_parts(&["w:", rest]);
+                let i = probe(&keys, h);
+                keys[i] = h;
+                slots[i].p_emit_off = decode.emit_offset(id);
+                slots[i].p_pair_off = decode.pair_offset(id);
+            }
+        }
+        Some(FastLevel {
+            decode,
+            keys,
+            slots,
+        })
+    }
+
+    /// The compiled decode model.
+    pub fn decode_model(&self) -> &DecodeModel {
+        &self.decode
+    }
+
+    #[inline]
+    fn find(&self, h: u64) -> Option<usize> {
+        let mask = self.keys.len() - 1;
+        let mut i = (h ^ (h >> 33)) as usize & mask;
+        loop {
+            let k = self.keys[i];
+            if k == h {
+                return Some(i);
+            }
+            if k == 0 {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Predict the labels of `text`'s labelable lines on the fast tier,
+    /// or `None` when the decode margin falls under `guard` and the
+    /// caller must re-decode exactly.
+    pub fn predict<L: Label>(
+        &self,
+        text: &str,
+        fs: &mut FastScratch,
+        guard: f32,
+    ) -> Option<Vec<L>> {
+        let n = self.decode.num_states();
+        debug_assert_eq!(n, L::COUNT);
+        let nn = n * n;
+        fs.emit_bank.clear();
+        fs.edge_bank.clear();
+        fs.row_of_line.clear();
+        fs.window_bank.clear();
+        fs.window_span.clear();
+        fs.uniq.begin_record();
+        if fs.stamps.len() < self.keys.len() {
+            fs.stamps.resize(self.keys.len(), 0);
+        }
+
+        for cl in context_lines(text) {
+            let row = match fs.uniq.lookup(cl.context_hash) {
+                Some(r) => r,
+                None => {
+                    let r = fs.window_span.len() as u32;
+                    fs.uniq.insert(cl.context_hash, r);
+                    fs.emit_bank.resize((r as usize + 1) * n, 0.0);
+                    fs.edge_bank.resize((r as usize + 1) * nn, 0.0);
+                    // The previous position's row (repeat or fresh)
+                    // carries the window its `p:` features echo.
+                    let prev_span = fs
+                        .row_of_line
+                        .last()
+                        .map(|&pr| fs.window_span[pr as usize])
+                        .unwrap_or((0, 0));
+                    self.score_line(cl.text, cl.preceded_by_blank, cl.prev_indent, prev_span, fs);
+                    r
+                }
+            };
+            fs.row_of_line.push(row);
+        }
+
+        let margin = self.decode.viterbi_batch_into(
+            &fs.emit_bank,
+            &fs.edge_bank,
+            &fs.row_of_line,
+            &mut fs.dec,
+        );
+        if margin < guard {
+            return None;
+        }
+        Some(fs.dec.path.iter().map(|&j| L::from_index(j)).collect())
+    }
+
+    /// Score one fresh line context into the last bank rows: stream the
+    /// line's features exactly as `whois_tokenize::annotate` does,
+    /// accumulating stripes/blocks instead of strings, and capture its
+    /// `w:` window for the following line.
+    fn score_line(
+        &self,
+        line: &str,
+        preceded_by_blank: bool,
+        prev_indent: Option<usize>,
+        prev_span: (u32, u32),
+        fs: &mut FastScratch,
+    ) {
+        let n = self.decode.num_states();
+        let nn = n * n;
+        fs.line_gen += 1;
+        let line_gen = fs.line_gen;
+        let row = fs.window_span.len();
+        let emit = &mut fs.emit_bank[row * n..(row + 1) * n];
+        let edge = &mut fs.edge_bank[row * nn..(row + 1) * nn];
+        edge.copy_from_slice(self.decode.base_trans());
+        let stamps = &mut fs.stamps;
+        let win_start = fs.window_bank.len();
+
+        // Layout markers.
+        let markers = line_markers(line, preceded_by_blank, prev_indent);
+        markers.for_each_feature(|m| {
+            self.score_named(&["m:", m], stamps, line_gen, emit, edge);
+        });
+
+        // Title/value split, words (with window capture), classes.
+        let (title, value) = match split_title_value(line) {
+            Some((t, v, kind)) => {
+                self.score_named(&["m:SEP"], stamps, line_gen, emit, edge);
+                self.score_named(&["m:SEP:", kind.name()], stamps, line_gen, emit, edge);
+                (t, v)
+            }
+            None => ("", line),
+        };
+        let mut word = std::mem::take(&mut fs.word);
+        for (text, side) in [(title, "@T"), (value, "@V")] {
+            let window_bank = &mut fs.window_bank;
+            for_each_word(text, &mut word, |w| {
+                let h = fnv_parts(&["w:", w, side]);
+                match self.find(h) {
+                    Some(i) => {
+                        if stamps[i] != line_gen {
+                            stamps[i] = line_gen;
+                            let s = self.slots[i];
+                            add_offsets(&self.decode, s.emit_off, s.pair_off, emit, edge);
+                            if window_bank.len() - win_start < MAX_PREV_FEATURES {
+                                window_bank.push(WinEntry {
+                                    raw: h,
+                                    p_emit_off: s.p_emit_off,
+                                    p_pair_off: s.p_pair_off,
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        // Out-of-vocabulary word: scores nothing, but
+                        // still occupies (capped, deduplicated) window
+                        // slots exactly like the exact path's capture.
+                        let cur = &window_bank[win_start..];
+                        if cur.len() < MAX_PREV_FEATURES && !cur.iter().any(|e| e.raw == h) {
+                            window_bank.push(WinEntry {
+                                raw: h,
+                                p_emit_off: NO_SLOT,
+                                p_pair_off: NO_SLOT,
+                            });
+                        }
+                    }
+                }
+            });
+        }
+        fs.word = word;
+
+        let mut classes = std::mem::take(&mut fs.classes);
+        for (text, side) in [(title, "@T"), (value, "@V")] {
+            whois_tokenize::word_classes_into(text, &mut classes);
+            for &c in &classes {
+                self.score_named(&["c:", c.name(), side], stamps, line_gen, emit, edge);
+            }
+        }
+        fs.classes = classes;
+
+        // Previous-line context: offsets were resolved at capture time.
+        let (ps, pl) = prev_span;
+        for k in ps..ps + pl {
+            let e = fs.window_bank[k as usize];
+            add_offsets(&self.decode, e.p_emit_off, e.p_pair_off, emit, edge);
+        }
+
+        let win_len = (fs.window_bank.len() - win_start) as u32;
+        fs.window_span.push((win_start as u32, win_len));
+    }
+
+    /// Hash a feature from its parts, probe, stamp-dedup, accumulate.
+    #[inline]
+    fn score_named(
+        &self,
+        parts: &[&str],
+        stamps: &mut [u64],
+        line_gen: u64,
+        emit: &mut [f32],
+        edge: &mut [f32],
+    ) {
+        if let Some(i) = self.find(fnv_parts(parts)) {
+            if stamps[i] != line_gen {
+                stamps[i] = line_gen;
+                let s = self.slots[i];
+                add_offsets(&self.decode, s.emit_off, s.pair_off, emit, edge);
+            }
+        }
+    }
+}
+
+/// Accumulate a stripe and/or pair block by compiled offset.
+#[inline]
+fn add_offsets(
+    decode: &DecodeModel,
+    emit_off: u32,
+    pair_off: u32,
+    emit: &mut [f32],
+    edge: &mut [f32],
+) {
+    if emit_off != NO_SLOT {
+        let stripe = &decode.stripes()[emit_off as usize..emit_off as usize + emit.len()];
+        for (e, s) in emit.iter_mut().zip(stripe) {
+            *e += *s;
+        }
+    }
+    if pair_off != NO_SLOT {
+        let block = &decode.pair_blocks()[pair_off as usize..pair_off as usize + edge.len()];
+        for (e, b) in edge.iter_mut().zip(block) {
+            *e += *b;
+        }
+    }
+}
+
+/// Both levels of a [`crate::WhoisParser`] compiled for the fast tier.
+#[derive(Clone, Debug)]
+pub struct FastParser {
+    pub(crate) first: FastLevel,
+    pub(crate) second: FastLevel,
+}
+
+impl FastParser {
+    /// Compile both levels, or `None` when either is outside the fast
+    /// tier's envelope.
+    pub fn compile(parser: &crate::WhoisParser) -> Option<FastParser> {
+        Some(FastParser {
+            first: FastLevel::compile(parser.first_level())?,
+            second: FastLevel::compile(parser.second_level())?,
+        })
+    }
+
+    /// The compiled first (block) level.
+    pub fn first_level(&self) -> &FastLevel {
+        &self.first
+    }
+
+    /// The compiled second (registrant) level.
+    pub fn second_level(&self) -> &FastLevel {
+        &self.second
+    }
+}

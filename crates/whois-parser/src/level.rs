@@ -303,6 +303,12 @@ impl<L: Label + Serialize + DeserializeOwned> LevelParser<L> {
         &self.crf
     }
 
+    /// Mutable access to the trained CRF (weight surgery in tests and
+    /// experiments).
+    pub fn crf_mut(&mut self) -> &mut Crf {
+        &mut self.crf
+    }
+
     /// The encoder (for inspection).
     pub fn encoder(&self) -> &Encoder {
         &self.encoder

@@ -22,6 +22,13 @@
 //!   feature row and CRF potentials in a sharded, generation-versioned
 //!   LRU — parses are bit-identical to the uncached path, repeated
 //!   template lines cost a hash lookup instead of re-tokenization.
+//! * [`FastParser`] — the compiled fast decode tier: zero-pruned `f32`
+//!   structure-of-arrays weights probed by feature hash *during*
+//!   tokenization (no strings, no dictionary lookups), per-record
+//!   unique-line interning, and batched Viterbi. Decodes whose margin
+//!   falls under a guard threshold transparently re-run on the exact
+//!   `f64` engine, so engine output is byte-identical either way; the
+//!   engine routes per record via [`DecodeTier`].
 //! * [`inspect`] — model introspection: the top-weight word features per
 //!   label (Table 1) and the top transition-detecting features between
 //!   blocks (Figure 1).
@@ -37,15 +44,18 @@
 pub mod encoder;
 pub mod engine;
 pub mod extract;
+pub mod fast;
 pub mod inspect;
 pub mod level;
 pub mod line_cache;
 pub mod parser;
 
 pub use encoder::{Encoder, FeatureOptions, TrainExample};
-pub use engine::{BatchStats, ParseEngine, ParseScratch};
+pub use engine::{BatchStats, DecodeCounters, DecodeTier, ParseEngine, ParseScratch};
+pub use fast::{FastLevel, FastParser, FastScratch, DEFAULT_MARGIN_GUARD};
 pub use level::{LevelParser, ParserConfig};
 pub use line_cache::{
-    CachedLine, LineCache, LineCacheStats, DEFAULT_LINE_CACHE_CAPACITY, DEFAULT_LINE_CACHE_SHARDS,
+    CachedLine, LineCache, LineCacheStats, DEFAULT_BYPASS_FLOOR, DEFAULT_LINE_CACHE_CAPACITY,
+    DEFAULT_LINE_CACHE_SHARDS,
 };
 pub use parser::WhoisParser;

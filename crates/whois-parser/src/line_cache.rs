@@ -36,7 +36,7 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default L2 capacity (entries across all shards). WHOIS line-context
@@ -52,6 +52,21 @@ pub const DEFAULT_LINE_CACHE_SHARDS: usize = 8;
 /// past this many entries (it holds `Arc`s into the L2, so clearing is
 /// cheap and re-misses land in the L2).
 pub(crate) const L1_MAX_ENTRIES: usize = 16_384;
+
+/// Lookups per adaptive-bypass accounting epoch (see
+/// [`LineCache::with_bypass_floor`]).
+pub(crate) const BYPASS_EPOCH: u64 = 2048;
+
+/// While bypassed, every Nth record still takes the cached path so the
+/// epoch counters keep measuring the would-be hit rate and the cache can
+/// re-engage when the workload turns template-heavy again.
+pub(crate) const BYPASS_PROBE_INTERVAL: u64 = 16;
+
+/// Default hit-rate floor for the adaptive bypass where it is enabled
+/// (the serve daemon and the benches). The uniform-corpus line-cache
+/// bench sits near 0.31 observed hit rate — all eviction churn, no
+/// payoff — while template-skewed WHOIS traffic runs at 0.95+.
+pub const DEFAULT_BYPASS_FLOOR: f64 = 0.35;
 
 /// Key salt for the first (block) level.
 pub(crate) const LEVEL1_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
@@ -128,6 +143,14 @@ pub struct LineCacheStats {
     pub stale_rejects: u64,
     /// `(l1_hits + l2_hits) / lookups`, 0.0 before any lookup.
     pub hit_rate: f64,
+    /// Whether the adaptive bypass is currently routing records around
+    /// the cache (low observed hit rate; see
+    /// [`LineCache::with_bypass_floor`]).
+    #[serde(default)]
+    pub bypass_active: bool,
+    /// Records routed around the cache by the adaptive bypass.
+    #[serde(default)]
+    pub bypassed_records: u64,
 }
 
 /// Intrusive-list slot of one shard's LRU slab.
@@ -251,6 +274,17 @@ pub struct LineCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     stale_rejects: AtomicU64,
+    /// Adaptive bypass: when the observed hit rate over an epoch of
+    /// [`BYPASS_EPOCH`] lookups stays under this floor, the engine stops
+    /// routing records through the cache (uniform traffic turns the
+    /// cache into pure eviction churn). `0.0` disables the bypass — the
+    /// conservative default; serve and the benches opt in.
+    bypass_floor: f64,
+    epoch_lookups: AtomicU64,
+    epoch_hits: AtomicU64,
+    bypassed: AtomicBool,
+    bypassed_records: AtomicU64,
+    probe_tick: AtomicU64,
 }
 
 impl std::fmt::Debug for LineCache {
@@ -281,7 +315,27 @@ impl LineCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             stale_rejects: AtomicU64::new(0),
+            bypass_floor: 0.0,
+            epoch_lookups: AtomicU64::new(0),
+            epoch_hits: AtomicU64::new(0),
+            bypassed: AtomicBool::new(false),
+            bypassed_records: AtomicU64::new(0),
+            probe_tick: AtomicU64::new(0),
         }
+    }
+
+    /// Enable the adaptive bypass with a hit-rate `floor` in `[0, 1]`
+    /// (`0.0` keeps it off). When an epoch of [`BYPASS_EPOCH`] lookups
+    /// closes with `hit_rate < floor`, [`admit_record`](Self::admit_record)
+    /// starts steering records around the cache, still admitting every
+    /// [`BYPASS_PROBE_INTERVAL`]th record so the next epochs keep
+    /// measuring; a probing epoch that clears the floor re-engages the
+    /// cache. Bypassed records parse on an uncached tier with identical
+    /// output, so this only trades memoization for churn, never
+    /// correctness.
+    pub fn with_bypass_floor(mut self, floor: f64) -> Self {
+        self.bypass_floor = floor.clamp(0.0, 1.0);
+        self
     }
 
     /// Cache with the default capacity and shard count.
@@ -362,6 +416,34 @@ impl LineCache {
         }
     }
 
+    /// Whether the adaptive bypass is currently steering records away.
+    pub fn bypass_active(&self) -> bool {
+        self.bypassed.load(Ordering::Relaxed)
+    }
+
+    /// The configured bypass floor (`0.0` = bypass disabled).
+    pub fn bypass_floor(&self) -> f64 {
+        self.bypass_floor
+    }
+
+    /// Decide whether the next record should go through the cache.
+    /// Always true unless the adaptive bypass is engaged; while
+    /// bypassed, every [`BYPASS_PROBE_INTERVAL`]th record still probes
+    /// the cached path. Engines call this once per record before
+    /// choosing a parse path.
+    pub fn admit_record(&self) -> bool {
+        if self.bypass_floor == 0.0 || !self.bypassed.load(Ordering::Relaxed) {
+            return true;
+        }
+        let tick = self.probe_tick.fetch_add(1, Ordering::Relaxed);
+        if tick.is_multiple_of(BYPASS_PROBE_INTERVAL) {
+            true
+        } else {
+            self.bypassed_records.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
     /// Fold one record's lookup outcomes into the shared counters (one
     /// atomic round-trip per counter per record, not per line).
     pub fn record_lookups(&self, l1_hits: u64, l2_hits: u64, misses: u64) {
@@ -373,6 +455,29 @@ impl LineCache {
         }
         if misses > 0 {
             self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+        if self.bypass_floor > 0.0 {
+            self.account_epoch(l1_hits + l2_hits, l1_hits + l2_hits + misses);
+        }
+    }
+
+    /// Adaptive-bypass epoch accounting: after every [`BYPASS_EPOCH`]
+    /// lookups, compare the epoch's hit rate against the floor and flip
+    /// the bypass accordingly. The swap-reset is racy across workers
+    /// (a concurrent record's counts may land in either epoch) but every
+    /// outcome is a valid sample of recent traffic — the decision only
+    /// steers memoization, never correctness.
+    fn account_epoch(&self, hits: u64, lookups: u64) {
+        self.epoch_hits.fetch_add(hits, Ordering::Relaxed);
+        let seen = self.epoch_lookups.fetch_add(lookups, Ordering::Relaxed) + lookups;
+        if seen >= BYPASS_EPOCH {
+            let total = self.epoch_lookups.swap(0, Ordering::Relaxed);
+            let hit = self.epoch_hits.swap(0, Ordering::Relaxed);
+            if total > 0 {
+                let rate = hit as f64 / total as f64;
+                self.bypassed
+                    .store(rate < self.bypass_floor, Ordering::Relaxed);
+            }
         }
     }
 
@@ -395,6 +500,8 @@ impl LineCache {
             } else {
                 0.0
             },
+            bypass_active: self.bypass_active(),
+            bypassed_records: self.bypassed_records.load(Ordering::Relaxed),
         }
     }
 }
@@ -499,6 +606,47 @@ mod tests {
         assert!((s.hit_rate - 0.8).abs() < 1e-12);
         let fresh = LineCache::new(8, 1);
         assert_eq!(fresh.stats().hit_rate, 0.0);
+    }
+
+    #[test]
+    fn bypass_engages_on_low_hit_rate_and_recovers_on_high() {
+        let cache = LineCache::new(8, 1).with_bypass_floor(0.5);
+        assert!(cache.admit_record(), "fresh cache admits");
+        // An epoch of pure misses: the bypass engages.
+        cache.record_lookups(0, 0, BYPASS_EPOCH);
+        assert!(cache.bypass_active());
+        // While bypassed, only every Nth record probes the cache.
+        let admitted = (0..BYPASS_PROBE_INTERVAL)
+            .filter(|_| cache.admit_record())
+            .count();
+        assert_eq!(admitted, 1);
+        assert!(cache.stats().bypass_active);
+        assert!(cache.stats().bypassed_records > 0);
+        // A probing epoch of pure hits: the cache re-engages.
+        cache.record_lookups(BYPASS_EPOCH, 0, 0);
+        assert!(!cache.bypass_active());
+        assert!(cache.admit_record() && cache.admit_record());
+    }
+
+    #[test]
+    fn zero_floor_never_bypasses() {
+        let cache = LineCache::new(8, 1);
+        assert_eq!(cache.bypass_floor(), 0.0);
+        cache.record_lookups(0, 0, BYPASS_EPOCH * 4);
+        assert!(!cache.bypass_active());
+        assert!((0..100).all(|_| cache.admit_record()));
+        assert_eq!(cache.stats().bypassed_records, 0);
+    }
+
+    #[test]
+    fn line_cache_stats_json_without_bypass_fields_still_parses() {
+        // Forward compatibility: snapshots serialized before the bypass
+        // fields existed must still deserialize.
+        let old = r#"{"capacity":8,"entries":1,"l1_hits":2,"l2_hits":3,"misses":4,"evictions":0,"stale_rejects":0,"hit_rate":0.5}"#;
+        let s: LineCacheStats = serde_json::from_str(old).unwrap();
+        assert_eq!(s.misses, 4);
+        assert!(!s.bypass_active);
+        assert_eq!(s.bypassed_records, 0);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The two-level [`WhoisParser`] facade.
 
 use crate::encoder::TrainExample;
-use crate::engine::ParseScratch;
+use crate::engine::{DecodeCounters, ParseScratch};
 use crate::extract;
+use crate::fast::FastParser;
 use crate::level::{LevelParser, ParserConfig};
 use crate::line_cache::{LineCache, LEVEL1_SALT, LEVEL2_SALT};
 use serde::{Deserialize, Serialize};
@@ -63,6 +64,83 @@ impl WhoisParser {
         generation: u64,
     ) -> ParsedRecord {
         self.parse_impl(record, scratch, Some((cache, generation)))
+    }
+
+    /// [`parse_with`](Self::parse_with) on the **fast decode tier**:
+    /// both levels decode on `fast`'s pruned `f32` models
+    /// ([`crate::fast`]); a level whose decode margin falls under
+    /// `guard` transparently re-decodes on the exact engine, so the
+    /// output is byte-identical to [`parse_with`](Self::parse_with).
+    /// Each level decode is tallied into `counters`.
+    pub fn parse_fast(
+        &self,
+        record: &RawRecord,
+        scratch: &mut ParseScratch,
+        fast: &FastParser,
+        guard: f32,
+        counters: &DecodeCounters,
+    ) -> ParsedRecord {
+        let lines = record.lines();
+        let mut blocks =
+            match fast
+                .first
+                .predict::<BlockLabel>(&record.text, &mut scratch.fast, guard)
+            {
+                Some(b) => {
+                    counters.record(false);
+                    b
+                }
+                None => {
+                    counters.record(true);
+                    self.first.predict_with(&record.text, scratch)
+                }
+            };
+        align_blocks(lines.len(), &mut blocks);
+
+        let mut reg_idx = std::mem::take(&mut scratch.reg_idx);
+        reg_idx.clear();
+        reg_idx.extend(
+            blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b == BlockLabel::Registrant)
+                .map(|(i, _)| i),
+        );
+        let registrant: Vec<(String, RegistrantLabel)> = if reg_idx.is_empty() {
+            Vec::new()
+        } else {
+            let mut block_text = std::mem::take(&mut scratch.block_text);
+            block_text.clear();
+            for (k, &i) in reg_idx.iter().enumerate() {
+                if k > 0 {
+                    block_text.push('\n');
+                }
+                block_text.push_str(lines[i]);
+            }
+            let sub =
+                match fast
+                    .second
+                    .predict::<RegistrantLabel>(&block_text, &mut scratch.fast, guard)
+                {
+                    Some(s) => {
+                        counters.record(false);
+                        s
+                    }
+                    None => {
+                        counters.record(true);
+                        self.second.predict_with(&block_text, scratch)
+                    }
+                };
+            scratch.block_text = block_text;
+            reg_idx
+                .iter()
+                .map(|&i| lines[i].to_string())
+                .zip(sub)
+                .collect()
+        };
+        scratch.reg_idx = reg_idx;
+
+        extract::assemble(&record.domain, &lines, &blocks, &registrant)
     }
 
     fn parse_impl(
@@ -159,6 +237,17 @@ impl WhoisParser {
     /// The second-level parser (for inspection).
     pub fn second_level(&self) -> &LevelParser<RegistrantLabel> {
         &self.second
+    }
+
+    /// Mutable first-level parser (weight surgery in tests and
+    /// experiments).
+    pub fn first_level_mut(&mut self) -> &mut LevelParser<BlockLabel> {
+        &mut self.first
+    }
+
+    /// Mutable second-level parser.
+    pub fn second_level_mut(&mut self) -> &mut LevelParser<RegistrantLabel> {
+        &mut self.second
     }
 
     /// Serialize the trained model to JSON.

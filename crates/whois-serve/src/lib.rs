@@ -61,6 +61,7 @@ pub use queue::{BoundedQueue, PushError};
 pub use registry::{newest_model_file, ActiveModel, ModelRegistry, ModelWatcher};
 pub use service::{DrainReport, ParseService, ServeConfig, UpstreamConfig};
 pub use stats::{
-    ConnectionGauges, HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot, StatsSnapshot,
+    ConnectionGauges, DecodeTierStats, HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot,
+    StatsSnapshot,
 };
 pub use wire::{ParseRequest, Reply, Request};

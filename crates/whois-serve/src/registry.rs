@@ -22,7 +22,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use whois_parser::{LineCache, ParseEngine, WhoisParser};
+use whois_parser::{
+    DecodeCounters, DecodeTier, LineCache, ParseEngine, WhoisParser, DEFAULT_BYPASS_FLOOR,
+};
 
 /// The currently active model: an immutable snapshot shared by every
 /// request that started while it was current.
@@ -43,37 +45,72 @@ pub struct ModelRegistry {
     load_failures: AtomicU64,
     engine_workers: usize,
     line_cache: Arc<LineCache>,
+    /// Decode tier for this and every subsequently installed engine.
+    decode_tier: DecodeTier,
+    /// Fast-tier outcome counters, shared across model swaps so `STATS`
+    /// reports service-lifetime totals.
+    decode_counters: Arc<DecodeCounters>,
 }
 
 impl ModelRegistry {
     /// Start with `parser` as generation 1. `engine_workers` is passed
     /// through to the engine for this and every subsequently installed
     /// model (0 = available parallelism). The line cache is created at
-    /// [`whois_parser::DEFAULT_LINE_CACHE_CAPACITY`].
+    /// [`whois_parser::DEFAULT_LINE_CACHE_CAPACITY`] with the adaptive
+    /// bypass enabled, and uncached records decode on the fast tier —
+    /// the serving defaults.
     pub fn new(parser: WhoisParser, version: impl Into<String>, engine_workers: usize) -> Self {
         Self::with_line_cache(
             parser,
             version,
             engine_workers,
-            Arc::new(LineCache::with_default_capacity()),
+            Arc::new(LineCache::with_default_capacity().with_bypass_floor(DEFAULT_BYPASS_FLOOR)),
         )
     }
 
     /// [`new`](Self::new) with a caller-provided line cache — the shared
     /// L2 every installed model's engine memoizes into. Capacity 0
-    /// disables memoization entirely.
+    /// disables memoization entirely. Decodes default to the fast tier.
     pub fn with_line_cache(
         parser: WhoisParser,
         version: impl Into<String>,
         engine_workers: usize,
         line_cache: Arc<LineCache>,
     ) -> Self {
+        Self::with_decode_tier(
+            parser,
+            version,
+            engine_workers,
+            line_cache,
+            DecodeTier::Fast,
+        )
+    }
+
+    /// [`with_line_cache`](Self::with_line_cache) with an explicit
+    /// [`DecodeTier`] for records that miss or bypass the line cache
+    /// (the `--decode-tier` serve flag lands here). Install compiles the
+    /// requested tier for every engine; parse output is byte-identical
+    /// either way.
+    pub fn with_decode_tier(
+        parser: WhoisParser,
+        version: impl Into<String>,
+        engine_workers: usize,
+        line_cache: Arc<LineCache>,
+        decode_tier: DecodeTier,
+    ) -> Self {
         // The cache is born at generation 1, matching the first model.
         line_cache.set_generation(1);
+        let decode_counters = Arc::new(DecodeCounters::new());
         let active = Arc::new(ActiveModel {
             version: version.into(),
             generation: 1,
-            engine: ParseEngine::with_line_cache(parser, engine_workers, line_cache.clone()),
+            engine: ParseEngine::with_decode_tier(
+                parser,
+                engine_workers,
+                line_cache.clone(),
+                decode_tier,
+                decode_counters.clone(),
+            ),
         });
         ModelRegistry {
             active: RwLock::new(active),
@@ -82,7 +119,20 @@ impl ModelRegistry {
             load_failures: AtomicU64::new(0),
             engine_workers,
             line_cache,
+            decode_tier,
+            decode_counters,
         }
+    }
+
+    /// The decode tier every installed engine is built with.
+    pub fn decode_tier(&self) -> DecodeTier {
+        self.decode_tier
+    }
+
+    /// Service-lifetime fast-tier outcome counters (shared across
+    /// swaps).
+    pub fn decode_counters(&self) -> &Arc<DecodeCounters> {
+        &self.decode_counters
     }
 
     /// Snapshot the active model. Cheap: one read lock + `Arc` clone.
@@ -108,10 +158,12 @@ impl ModelRegistry {
         let fresh = Arc::new(ActiveModel {
             version: version.into(),
             generation,
-            engine: ParseEngine::with_line_cache(
+            engine: ParseEngine::with_decode_tier(
                 parser,
                 self.engine_workers,
                 self.line_cache.clone(),
+                self.decode_tier,
+                self.decode_counters.clone(),
             ),
         });
         *self.active.write() = fresh;
@@ -335,6 +387,40 @@ mod tests {
     }
 
     #[test]
+    fn fast_tier_registry_is_byte_identical_and_shares_counters_across_swaps() {
+        let parser = tiny_parser(7);
+        // Disabled line cache: every record exercises the decode tier.
+        let registry = ModelRegistry::with_decode_tier(
+            parser.clone(),
+            "v1",
+            1,
+            Arc::new(LineCache::disabled()),
+            DecodeTier::Fast,
+        );
+        assert_eq!(registry.decode_tier(), DecodeTier::Fast);
+        assert!(registry.current().engine.fast_tier_active());
+        let raw = whois_model::RawRecord::new(
+            "x.com",
+            "Domain Name: X.COM\nRegistrar: R\nRegistrant Name: J. Doe\n",
+        );
+        assert_eq!(
+            registry.current().engine.parse_one(&raw),
+            parser.parse(&raw)
+        );
+        let seen = registry.decode_counters().fast_decodes()
+            + registry.decode_counters().exact_fallbacks();
+        assert!(seen > 0, "decode outcomes are counted");
+        // The same counters keep accumulating across a hot swap.
+        let parser2 = tiny_parser(8);
+        let want2 = parser2.parse(&raw);
+        registry.install(parser2, "v2");
+        assert_eq!(registry.current().engine.parse_one(&raw), want2);
+        let after = registry.decode_counters().fast_decodes()
+            + registry.decode_counters().exact_fallbacks();
+        assert!(after > seen, "counters survive the swap");
+    }
+
+    #[test]
     fn newest_model_file_picks_greatest_name() {
         let dir = std::env::temp_dir().join(format!("whois-serve-reg-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -367,7 +453,10 @@ mod tests {
         // A valid one is installed.
         let parser = tiny_parser(4);
         std::fs::write(dir.join("model-0003.json"), parser.to_json().unwrap()).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        // Generous: the watcher retries torn mid-write reads, and on a
+        // loaded single-core test host the poll thread can be starved
+        // for seconds at a time.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
         while registry.current().version != "model-0003" && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(10));
         }

@@ -43,7 +43,7 @@
 use crate::cache::{cache_key, ShardedCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ModelRegistry;
-use crate::stats::{HealthSnapshot, QuarantineEntry, ServeStats, StatsSnapshot};
+use crate::stats::{DecodeTierStats, HealthSnapshot, QuarantineEntry, ServeStats, StatsSnapshot};
 use crate::wire::{ParseRequest, Reply, Request};
 use bytes::BytesMut;
 use crossbeam::channel;
@@ -425,6 +425,7 @@ impl ServiceCtx {
 
     fn snapshot(&self) -> StatsSnapshot {
         let model = self.registry.current();
+        let counters = self.registry.decode_counters();
         self.stats.snapshot(
             &model.version,
             model.generation,
@@ -434,6 +435,12 @@ impl ServiceCtx {
             self.registry.line_cache().stats(),
             self.registry.load_failures(),
             self.quarantine.lock().iter().cloned().collect(),
+            DecodeTierStats {
+                tier: self.registry.decode_tier().name().to_string(),
+                fast_decodes: counters.fast_decodes(),
+                exact_fallbacks: counters.exact_fallbacks(),
+                fallback_rate: counters.fallback_rate(),
+            },
         )
     }
 
@@ -451,6 +458,7 @@ impl ServiceCtx {
             model_swaps: self.registry.swaps(),
             draining: self.shutdown.load(Ordering::SeqCst),
             connections: self.stats.connection_gauges(),
+            decode_tier: self.registry.decode_tier().name().to_string(),
         }
     }
 }

@@ -142,6 +142,7 @@ impl ServeStats {
         line_cache: LineCacheStats,
         model_load_failures: u64,
         quarantine: Vec<QuarantineEntry>,
+        decode: DecodeTierStats,
     ) -> StatsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -178,8 +179,24 @@ impl ServeStats {
             quarantine_len: quarantine.len() as u64,
             quarantine,
             connections: self.connection_gauges(),
+            decode,
         }
     }
+}
+
+/// Fast-tier decode outcomes for the `STATS` verb: which tier the
+/// registry builds engines with, and how often fast decodes stuck
+/// versus fell back to the exact engine under the margin guard.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecodeTierStats {
+    /// Configured tier (`"fast"` / `"exact"`).
+    pub tier: String,
+    /// Level decodes completed on the fast tier.
+    pub fast_decodes: u64,
+    /// Level decodes re-run on the exact engine (margin under guard).
+    pub exact_fallbacks: u64,
+    /// `exact_fallbacks / (fast_decodes + exact_fallbacks)`.
+    pub fallback_rate: f64,
 }
 
 /// Live connection gauges: how many sockets the serving core holds and
@@ -242,6 +259,10 @@ pub struct HealthSnapshot {
     /// older servers (which omit the field) deserializable.
     #[serde(default)]
     pub connections: ConnectionGauges,
+    /// Configured decode tier (`"fast"` / `"exact"`; appended after
+    /// `connections`, empty in replies from older servers).
+    #[serde(default)]
+    pub decode_tier: String,
 }
 
 /// The `STATS` verb's payload.
@@ -313,6 +334,10 @@ pub struct StatsSnapshot {
     /// replies omit it and deserialize to zeros).
     #[serde(default)]
     pub connections: ConnectionGauges,
+    /// Fast-tier decode outcomes (appended after `connections`; older
+    /// replies omit it and deserialize to the zeroed default).
+    #[serde(default)]
+    pub decode: DecodeTierStats,
 }
 
 #[cfg(test)]
@@ -350,7 +375,22 @@ mod tests {
             domain: "poison.com".into(),
             body_hash: format!("{:016x}", 0xDEAD_BEEFu64),
         }];
-        let snap = stats.snapshot("model-0001", 3, 2, 17, 4, line_cache, 2, quarantine);
+        let snap = stats.snapshot(
+            "model-0001",
+            3,
+            2,
+            17,
+            4,
+            line_cache,
+            2,
+            quarantine,
+            DecodeTierStats {
+                tier: "fast".into(),
+                fast_decodes: 10,
+                exact_fallbacks: 1,
+                fallback_rate: 1.0 / 11.0,
+            },
+        );
         assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
         assert_eq!(snap.model_generation, 3);
         assert_eq!(snap.cache_len, 17);
@@ -369,8 +409,17 @@ mod tests {
         // A reply from a pre-line-cache server omits that field and
         // everything after it; the serde defaults keep the client
         // compatible.
-        let snap =
-            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+        );
         let json = serde_json::to_string(&snap).unwrap();
         // `line_cache` and the robustness fields serialize last; chop
         // them off at the text level.
@@ -378,6 +427,36 @@ mod tests {
         let stripped = format!("{}}}", &json[..start]);
         let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn old_snapshot_without_decode_field_still_deserializes() {
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let start = json.find(",\"decode\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap, "missing decode stats default to zero");
+    }
+
+    #[test]
+    fn old_health_without_decode_tier_still_deserializes() {
+        let health = HealthSnapshot::default();
+        let json = serde_json::to_string(&health).unwrap();
+        let start = json.find(",\"decode_tier\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: HealthSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, health, "missing decode tier defaults to empty");
     }
 
     #[test]
@@ -393,6 +472,7 @@ mod tests {
             model_generation: 2,
             model_swaps: 1,
             draining: false,
+            decode_tier: "fast".into(),
             connections: ConnectionGauges {
                 open: 3,
                 reading: 1,
@@ -427,15 +507,33 @@ mod tests {
             ),
             (1, 1, 1, 1)
         );
-        let snap =
-            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+        );
         assert_eq!(snap.connections, ConnectionGauges::default());
     }
 
     #[test]
     fn old_snapshot_without_connection_gauges_still_deserializes() {
-        let snap =
-            ServeStats::default().snapshot("v", 1, 0, 0, 1, LineCacheStats::default(), 0, vec![]);
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+        );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"connections\"").unwrap();
         let stripped = format!("{}}}", &json[..start]);

@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use crate::classes::word_classes;
+use crate::classes::{word_classes_into, WordClass};
 use crate::context::context_lines;
 use crate::markers::{indent_of, line_markers};
 use crate::separator::split_title_value;
@@ -66,6 +66,8 @@ pub struct AnnotateScratch {
     /// Current line's word features, captured as they are emitted.
     cur_w: Vec<String>,
     cur_w_len: usize,
+    /// Reusable word-class detection buffer.
+    classes: Vec<WordClass>,
 }
 
 impl AnnotateScratch {
@@ -196,7 +198,14 @@ impl AnnotateScratch {
         sink.begin_line(line);
 
         // Layout markers.
-        for m in line_markers(line, preceded_by_blank, prev_indent).feature_strings() {
+        let markers = line_markers(line, preceded_by_blank, prev_indent);
+        let mut marker_names = [""; 6];
+        let mut n_markers = 0;
+        markers.for_each_feature(|m| {
+            marker_names[n_markers] = m;
+            n_markers += 1;
+        });
+        for m in &marker_names[..n_markers] {
             self.emit(sink, &["m:", m]);
         }
 
@@ -218,11 +227,14 @@ impl AnnotateScratch {
         self.word = word;
 
         // Word classes, on each side of the separator.
+        let mut classes = std::mem::take(&mut self.classes);
         for (text, side) in [(title, "@T"), (value, "@V")] {
-            for c in word_classes(text) {
+            word_classes_into(text, &mut classes);
+            for &c in &classes {
                 self.emit(sink, &["c:", c.name(), side]);
             }
         }
+        self.classes = classes;
     }
 
     /// Emit the `p:` context features from the previous line, close the

@@ -64,7 +64,38 @@ fn is_all_digits(s: &str) -> bool {
     !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
 }
 
+fn keep_in_segment(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'+'
+}
+
 fn strip_punct(s: &str) -> &str {
+    // Byte-wise trim with a fallback to the Unicode predicate the moment
+    // a non-ASCII byte shows up at either end (a non-ASCII alphanumeric
+    // must not be trimmed, and that can't be judged from one byte).
+    let b = s.as_bytes();
+    let (mut i, mut j) = (0, b.len());
+    while i < j {
+        if keep_in_segment(b[i]) {
+            break;
+        }
+        if !b[i].is_ascii() {
+            return strip_punct_slow(s);
+        }
+        i += 1;
+    }
+    while j > i {
+        if keep_in_segment(b[j - 1]) {
+            break;
+        }
+        if !b[j - 1].is_ascii() {
+            return strip_punct_slow(s);
+        }
+        j -= 1;
+    }
+    &s[i..j]
+}
+
+fn strip_punct_slow(s: &str) -> &str {
     s.trim_matches(|c: char| !c.is_alphanumeric() && c != '+')
 }
 
@@ -81,11 +112,14 @@ fn is_email(s: &str) -> bool {
     !host.is_empty() && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic())
 }
 
+fn has_prefix_ignore_case(s: &str, prefix: &[u8]) -> bool {
+    s.len() >= prefix.len() && s.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix)
+}
+
 fn is_url(s: &str) -> bool {
-    let lc = s.to_ascii_lowercase();
-    lc.starts_with("http://")
-        || lc.starts_with("https://")
-        || (lc.starts_with("www.") && lc.len() > 6)
+    has_prefix_ignore_case(s, b"http://")
+        || has_prefix_ignore_case(s, b"https://")
+        || (has_prefix_ignore_case(s, b"www.") && s.len() > 6)
 }
 
 fn is_ipv4(s: &str) -> bool {
@@ -144,15 +178,18 @@ fn is_phone(s: &str) -> bool {
 fn is_date(s: &str) -> bool {
     // yyyy-mm-dd / yyyy/mm/dd / yyyy.mm.dd and dd-mon-yyyy variants.
     for sep in ['-', '/', '.'] {
-        let parts: Vec<&str> = s.split(sep).collect();
-        if parts.len() == 3 {
-            let [a, b, c] = [parts[0], parts[1], parts[2]];
-            let year_first = a.len() == 4 && is_all_digits(a);
-            let year_last = c.len() == 4 && is_all_digits(c);
-            let mid_ok = is_all_digits(b) && b.len() <= 2 || lexicon::is_month(b);
-            if mid_ok && (year_first && is_part_ok(c) || year_last && is_part_ok(a)) {
-                return true;
-            }
+        let mut parts = s.split(sep);
+        let (Some(a), Some(b), Some(c)) = (parts.next(), parts.next(), parts.next()) else {
+            continue;
+        };
+        if parts.next().is_some() {
+            continue;
+        }
+        let year_first = a.len() == 4 && is_all_digits(a);
+        let year_last = c.len() == 4 && is_all_digits(c);
+        let mid_ok = is_all_digits(b) && b.len() <= 2 || lexicon::is_month(b);
+        if mid_ok && (year_first && is_part_ok(c) || year_last && is_part_ok(a)) {
+            return true;
         }
     }
     false
@@ -183,62 +220,142 @@ fn is_postcode_like(s: &str) -> bool {
     has_alpha && has_digit && s.chars().all(|c| c.is_ascii_alphanumeric())
 }
 
+/// Every word class, in the `Ord` (= report) order.
+const ALL_CLASSES: [WordClass; 12] = [
+    WordClass::FiveDigit,
+    WordClass::Email,
+    WordClass::Phone,
+    WordClass::Url,
+    WordClass::Date,
+    WordClass::Year,
+    WordClass::IpAddr,
+    WordClass::Country,
+    WordClass::Numeric,
+    WordClass::AllCaps,
+    WordClass::DomainName,
+    WordClass::PostcodeLike,
+];
+
 /// Detect every word class present in `text` (one side of a line).
 ///
 /// Classes are detected per whitespace segment, except [`WordClass::Country`]
 /// which also matches multi-word country names against the entire trimmed
 /// text.
 pub fn word_classes(text: &str) -> Vec<WordClass> {
-    let mut found = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    word_classes_into(text, &mut out);
+    out
+}
+
+/// [`word_classes`] into a caller-owned buffer — the allocation-free hot
+/// path. `out` is cleared first; classes are appended deduplicated in
+/// `Ord` order, exactly as [`word_classes`] reports them.
+pub fn word_classes_into(text: &str, out: &mut Vec<WordClass>) {
+    out.clear();
+    let mut found = 0u16;
+    let mut add = |c: WordClass| found |= 1 << c as u16;
     let trimmed = text.trim();
     if lexicon::is_country_name(trimmed) {
-        found.insert(WordClass::Country);
+        add(WordClass::Country);
     }
     for raw in trimmed.split_whitespace() {
         let seg = strip_punct(raw);
         if seg.is_empty() {
             continue;
         }
-        if is_all_digits(seg) {
-            found.insert(WordClass::Numeric);
-            if seg.len() == 5 {
-                found.insert(WordClass::FiveDigit);
+        // One pass of byte statistics; every detector below is gated by
+        // a cheap precondition derived from them, so the expensive
+        // scanners only run on segments that could possibly match.
+        let mut digits = 0usize;
+        let mut alpha = 0usize;
+        let mut upper = 0usize;
+        let mut dots = 0usize;
+        let mut ats = 0usize;
+        let mut seps = 0usize; // '-', '/', '.' — date/ipv4 shapes
+        let mut ascii = true;
+        let mut alnum_dot_dash = true; // domain-name charset
+        for &b in seg.as_bytes() {
+            match b {
+                b'0'..=b'9' => digits += 1,
+                b'A'..=b'Z' => {
+                    alpha += 1;
+                    upper += 1;
+                }
+                b'a'..=b'z' => alpha += 1,
+                b'.' => {
+                    dots += 1;
+                    seps += 1;
+                }
+                b'-' => seps += 1,
+                b'/' => {
+                    seps += 1;
+                    alnum_dot_dash = false;
+                }
+                b'@' => {
+                    ats += 1;
+                    alnum_dot_dash = false;
+                }
+                _ => {
+                    alnum_dot_dash = false;
+                    if !b.is_ascii() {
+                        ascii = false;
+                    }
+                }
+            }
+        }
+        let len = seg.len();
+        if digits == len {
+            add(WordClass::Numeric);
+            if len == 5 {
+                add(WordClass::FiveDigit);
             }
             if is_year(seg) {
-                found.insert(WordClass::Year);
+                add(WordClass::Year);
             }
         }
-        if is_email(seg) {
-            found.insert(WordClass::Email);
+        if ats >= 1 && is_email(seg) {
+            add(WordClass::Email);
         }
         if is_url(raw) || is_url(seg) {
-            found.insert(WordClass::Url);
+            add(WordClass::Url);
         }
-        if is_date(seg) {
-            found.insert(WordClass::Date);
+        let date = seps >= 2 && digits >= 4 && len >= 8 && is_date(seg);
+        if date {
+            add(WordClass::Date);
         }
-        if is_ipv4(seg) {
-            found.insert(WordClass::IpAddr);
-        } else if is_domain_name(seg) && !is_date(seg) {
-            found.insert(WordClass::DomainName);
-        }
-        if is_phone(seg) && !is_date(seg) && !is_ipv4(seg) {
-            found.insert(WordClass::Phone);
-        }
-        if lexicon::is_country_code(seg) || lexicon::is_country_name(seg) {
-            found.insert(WordClass::Country);
-        }
-        if is_postcode_like(seg) {
-            found.insert(WordClass::PostcodeLike);
-        }
-        if seg.len() >= 2
-            && seg.chars().all(|c| c.is_ascii_alphabetic())
-            && seg.chars().all(|c| c.is_ascii_uppercase())
+        let ipv4 = dots == 3 && digits + dots == len && digits >= 4 && is_ipv4(seg);
+        if ipv4 {
+            add(WordClass::IpAddr);
+        } else if !date
+            && ascii
+            && alnum_dot_dash
+            && dots >= 1
+            && alpha >= 2
+            && ats == 0
+            && is_domain_name(seg)
         {
-            found.insert(WordClass::AllCaps);
+            add(WordClass::DomainName);
+        }
+        if !date && !ipv4 && digits >= 7 && is_phone(seg) {
+            add(WordClass::Phone);
+        }
+        if (len == 2 && alpha == 2 && lexicon::is_country_code(seg))
+            || (alpha > 0 && lexicon::is_country_name(seg))
+        {
+            add(WordClass::Country);
+        }
+        if (((4..=8).contains(&len) && ascii) || seps == 1) && is_postcode_like(seg) {
+            add(WordClass::PostcodeLike);
+        }
+        if len >= 2 && upper == len {
+            add(WordClass::AllCaps);
         }
     }
-    found.into_iter().collect()
+    for c in ALL_CLASSES {
+        if found & (1 << c as u16) != 0 {
+            out.push(c);
+        }
+    }
 }
 
 #[cfg(test)]

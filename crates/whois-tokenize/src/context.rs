@@ -50,7 +50,10 @@ pub fn line_hash(line: &str) -> u64 {
 /// symbol-only lines only shape the following line's markers).
 #[inline]
 pub fn is_labelable(line: &str) -> bool {
-    line.chars().any(|c| c.is_alphanumeric())
+    // ASCII fast path; only consult the Unicode tables when the line has
+    // non-ASCII bytes and no ASCII alphanumerics.
+    line.bytes().any(|b| b.is_ascii_alphanumeric())
+        || (!line.is_ascii() && line.chars().any(|c| c.is_alphanumeric()))
 }
 
 /// The 64-bit context key of a labelable line: a function of its own

@@ -99,22 +99,61 @@ pub const MONTHS: &[&str] = &[
     "december",
 ];
 
+/// Country names bucketed by byte length, so a lookup only compares
+/// against same-length candidates (this runs per segment on the hot
+/// tokenization path).
+fn country_name_candidates(len: usize) -> &'static [&'static str] {
+    use std::sync::OnceLock;
+    static BUCKETS: OnceLock<Vec<Vec<&'static str>>> = OnceLock::new();
+    let buckets = BUCKETS.get_or_init(|| {
+        let max = COUNTRY_NAMES.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut v = vec![Vec::new(); max + 1];
+        for &c in COUNTRY_NAMES {
+            v[c.len()].push(c);
+        }
+        v
+    });
+    buckets.get(len).map(Vec::as_slice).unwrap_or(&[])
+}
+
 /// True if `s` (case-insensitive) is a known country name.
 pub fn is_country_name(s: &str) -> bool {
-    let lc = s.trim().to_ascii_lowercase();
-    COUNTRY_NAMES.contains(&lc.as_str())
+    let t = s.trim();
+    country_name_candidates(t.len())
+        .iter()
+        .any(|c| c.eq_ignore_ascii_case(t))
 }
 
 /// True if `s` is a known two-letter country code (exact, upper-case or
 /// lower-case).
 pub fn is_country_code(s: &str) -> bool {
-    let t = s.trim();
-    t.len() == 2 && COUNTRY_CODES.contains(&t.to_ascii_uppercase().as_str())
+    use std::sync::OnceLock;
+    static BITMAP: OnceLock<[u64; 11]> = OnceLock::new();
+    let bitmap = BITMAP.get_or_init(|| {
+        let mut bits = [0u64; 11];
+        for code in COUNTRY_CODES {
+            let b = code.as_bytes();
+            let idx = (b[0] - b'A') as usize * 26 + (b[1] - b'A') as usize;
+            bits[idx / 64] |= 1 << (idx % 64);
+        }
+        bits
+    });
+    let t = s.trim().as_bytes();
+    if t.len() != 2 {
+        return false;
+    }
+    let (a, b) = (t[0].to_ascii_uppercase(), t[1].to_ascii_uppercase());
+    if !a.is_ascii_uppercase() || !b.is_ascii_uppercase() {
+        return false;
+    }
+    let idx = (a - b'A') as usize * 26 + (b - b'A') as usize;
+    bitmap[idx / 64] & (1 << (idx % 64)) != 0
 }
 
 /// True if `s` (case-insensitive) is a month name or abbreviation.
 pub fn is_month(s: &str) -> bool {
-    MONTHS.contains(&s.trim().to_ascii_lowercase().as_str())
+    let t = s.trim();
+    MONTHS.iter().any(|m| m.eq_ignore_ascii_case(t))
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub use annotate::{
     annotate_record, annotate_record_into, annotate_record_lines, annotate_record_lines_into,
     AnnotateScratch, LineObservation,
 };
-pub use classes::{word_classes, WordClass};
+pub use classes::{word_classes, word_classes_into, WordClass};
 pub use context::{
     context_hash, context_lines, is_labelable, line_hash, ContextLine, ContextLines,
 };

@@ -33,25 +33,31 @@ impl Markers {
     /// `IND`) for this line.
     pub fn feature_strings(&self) -> Vec<&'static str> {
         let mut out = Vec::new();
+        self.for_each_feature(|m| out.push(m));
+        out
+    }
+
+    /// Visit the marker feature strings without allocating, in
+    /// [`feature_strings`](Self::feature_strings) order.
+    pub fn for_each_feature(&self, mut f: impl FnMut(&'static str)) {
         if self.newline_before {
-            out.push("NL");
+            f("NL");
         }
         if self.shift_left {
-            out.push("SHL");
+            f("SHL");
         }
         if self.shift_right {
-            out.push("SHR");
+            f("SHR");
         }
         if self.symbol_start {
-            out.push("SYM");
+            f("SYM");
         }
         if self.has_tab {
-            out.push("TAB");
+            f("TAB");
         }
         if self.indented {
-            out.push("IND");
+            f("IND");
         }
-        out
     }
 }
 

@@ -12,7 +12,18 @@
 pub fn for_each_word(text: &str, buf: &mut String, mut f: impl FnMut(&str)) {
     buf.clear();
     for c in text.chars() {
-        if c.is_alphanumeric() {
+        // ASCII fast path: skip the Unicode alphanumeric/lowercase
+        // tables for the overwhelmingly common case. For ASCII the two
+        // branches agree exactly (`to_lowercase` of an ASCII char is its
+        // `to_ascii_lowercase`).
+        if c.is_ascii() {
+            if c.is_ascii_alphanumeric() {
+                buf.push(c.to_ascii_lowercase());
+            } else if !buf.is_empty() {
+                f(buf);
+                buf.clear();
+            }
+        } else if c.is_alphanumeric() {
             for lc in c.to_lowercase() {
                 buf.push(lc);
             }

@@ -11,6 +11,7 @@
 //!                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]
 //!                     [--upstream host:port] [--timeout MS]
 //!                     [--mode event|blocking] [--conns-per-ip N]
+//!                     [--decode-tier fast|exact]
 //! whoisml query       --addr 127.0.0.1:PORT [--timeout MS]
 //!                     (--domain d [--input record.txt] | --stats 1 | --health 1)
 //! ```
@@ -37,6 +38,11 @@
 //!   every connection through one epoll event-loop thread; `blocking`
 //!   is the legacy thread-per-connection path. `--conns-per-ip N` caps
 //!   concurrent connections per source IP at accept time.
+//!   `--decode-tier` picks the engine for records that miss (or bypass)
+//!   the line cache: `fast` (default) decodes on the compiled
+//!   pruned/quantized tier with an exact re-decode under the margin
+//!   guard, `exact` always uses the f64 reference engine; output is
+//!   byte-identical either way.
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
@@ -109,6 +115,7 @@ fn usage_and_exit() -> ! {
          \x20                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]\n\
          \x20                     [--upstream host:port] [--timeout MS]\n\
          \x20                     [--mode event|blocking] [--conns-per-ip N]\n\
+         \x20                     [--decode-tier fast|exact]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
          \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)"
     );
@@ -336,15 +343,34 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         .unwrap_or_else(|| "model".into());
 
     // Line-memoization cache shared by every installed model's engine
-    // (0 disables it); hot swaps invalidate it by generation bump.
+    // (0 disables it); hot swaps invalidate it by generation bump. The
+    // adaptive bypass steers uniform (cache-hostile) traffic straight to
+    // the decode tier.
     let line_cache_capacity: usize =
         flags.get_or("line-cache", whoisml::parser::DEFAULT_LINE_CACHE_CAPACITY);
-    let line_cache = std::sync::Arc::new(whoisml::parser::LineCache::new(
-        line_cache_capacity,
-        whoisml::parser::DEFAULT_LINE_CACHE_SHARDS,
-    ));
-    let registry = std::sync::Arc::new(ModelRegistry::with_line_cache(
-        parser, version, 1, line_cache,
+    let line_cache = std::sync::Arc::new(
+        whoisml::parser::LineCache::new(
+            line_cache_capacity,
+            whoisml::parser::DEFAULT_LINE_CACHE_SHARDS,
+        )
+        .with_bypass_floor(whoisml::parser::DEFAULT_BYPASS_FLOOR),
+    );
+    // --decode-tier picks the engine for uncached records: the compiled
+    // fast tier (default; byte-identical, low-margin records re-decode
+    // exactly) or the f64 exact engine.
+    let decode_tier = match flags.get("decode-tier") {
+        None | Some("fast") => whoisml::parser::DecodeTier::Fast,
+        Some("exact") => whoisml::parser::DecodeTier::Exact,
+        Some(other) => {
+            return Err(format!("bad --decode-tier {other} (expected fast|exact)"));
+        }
+    };
+    let registry = std::sync::Arc::new(ModelRegistry::with_decode_tier(
+        parser,
+        version,
+        1,
+        line_cache,
+        decode_tier,
     ));
     let watcher = model_dir.map(|dir| {
         let poll_ms: u64 = flags.get_or("poll-ms", 1000);
@@ -416,7 +442,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {} | decode-tier {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
@@ -426,6 +452,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             whoisml::net::ServingMode::EventLoop => "event",
             whoisml::net::ServingMode::Blocking => "blocking",
         },
+        registry.decode_tier().name(),
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
