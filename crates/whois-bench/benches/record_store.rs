@@ -1,0 +1,242 @@
+//! The disk tier's cost model: append (spill), lookup (disk hit),
+//! recovery (reopen + index rebuild), and compaction.
+//!
+//! The record store sits under the serve cache, so its three hot
+//! numbers are the spill cost a cache eviction pays, the lookup cost a
+//! RAM miss pays, and the reopen cost a restart pays before it can
+//! serve warm. Compaction is the background tax. This bench measures
+//! all four on generated WHOIS bodies and writes
+//! `results/BENCH_record_store.json` with records/sec and reopen
+//! latency per store size. `WHOIS_BENCH_SMOKE=1` swaps in a
+//! seconds-long correctness check: write → reopen → every record
+//! survives byte-identical → compaction preserves the live set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::path::PathBuf;
+use std::time::Instant;
+use whois_bench::*;
+use whois_store::{cache_key, RecordStore};
+
+/// Records per measured store (summary mode sweeps multiples).
+const STORE_RECORDS: usize = 2000;
+const MODEL: &str = "bench-model";
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("whois-store-bench-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Generated (domain, body, body_key) triples — realistic WHOIS record
+/// shapes and sizes, not synthetic padding.
+fn records(n: usize) -> Vec<(String, String, u64)> {
+    corpus(31, n)
+        .iter()
+        .map(|d| {
+            let domain = d.facts.domain.clone();
+            let body = d.rendered.text();
+            let key = cache_key(0, &domain, &body);
+            (domain, body, key)
+        })
+        .collect()
+}
+
+/// Fill a fresh store: every body as a raw record, every serialized
+/// "reply" as a parsed entry (the spill path writes both shapes).
+fn fill(dir: &PathBuf, recs: &[(String, String, u64)]) -> RecordStore {
+    let store = RecordStore::open_for_model(dir, MODEL, 0, false).unwrap();
+    for (domain, body, key) in recs {
+        store.put_raw(domain, body).unwrap();
+        store.put_parsed(*key, body).unwrap();
+    }
+    store
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: correctness, not speed — write, kill, reopen,
+/// verify byte-identity, compact, verify again.
+fn smoke() {
+    let dir = bench_dir("smoke");
+    let recs = records(150);
+    {
+        let store = fill(&dir, &recs);
+        store.sync().unwrap();
+    }
+    let store = RecordStore::open_for_model(&dir, MODEL, 0, false).unwrap();
+    for (domain, body, key) in &recs {
+        assert_eq!(
+            store.get_raw(domain).as_deref(),
+            Some(body.as_str()),
+            "smoke: raw record must survive reopen byte-identical"
+        );
+        assert_eq!(
+            store.get_parsed(*key).as_deref(),
+            Some(body.as_str()),
+            "smoke: parsed record must survive reopen byte-identical"
+        );
+    }
+    assert!(store.verify().ok(), "smoke: reopened store must verify");
+    // Overwrite half the raw tier to create dead bytes, then compact.
+    for (domain, _, _) in recs.iter().take(recs.len() / 2) {
+        store.put_raw(domain, "Domain Name: REWRITTEN\n").unwrap();
+    }
+    let report = store.compact().unwrap();
+    assert!(
+        report.bytes_after <= report.bytes_before,
+        "smoke: compaction must not grow the store"
+    );
+    for (domain, _, _) in recs.iter().take(recs.len() / 2) {
+        assert_eq!(
+            store.get_raw(domain).as_deref(),
+            Some("Domain Name: REWRITTEN\n"),
+            "smoke: compaction keeps last-write-wins values"
+        );
+    }
+    assert!(store.verify().ok(), "smoke: compacted store must verify");
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("[record_store] smoke ok: reopen byte-identical, compaction preserves live set");
+}
+
+fn bench_record_store(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let recs = records(STORE_RECORDS);
+
+    let mut group = c.benchmark_group("record_store");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(recs.len() as u64));
+
+    group.bench_function(BenchmarkId::new("append", recs.len()), |b| {
+        b.iter_batched(
+            || bench_dir("append"),
+            |dir| {
+                let store = fill(&dir, &recs);
+                let n = store.stats().raw_entries;
+                let _ = std::fs::remove_dir_all(&dir);
+                n
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    let dir = bench_dir("lookup");
+    let store = fill(&dir, &recs);
+    group.bench_function(BenchmarkId::new("get_parsed", recs.len()), |b| {
+        b.iter(|| {
+            recs.iter()
+                .map(|(_, _, key)| store.get_parsed(*key).map_or(0, |v| v.len()))
+                .sum::<usize>()
+        })
+    });
+    drop(store);
+    group.bench_function(BenchmarkId::new("reopen", recs.len()), |b| {
+        b.iter(|| {
+            RecordStore::open_for_model(&dir, MODEL, 0, false)
+                .unwrap()
+                .stats()
+                .raw_entries
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+
+    write_summary();
+}
+
+/// Best-of-3 wall-clock records/sec for one run of `f` (after a
+/// warm-up run).
+fn best_rate(records: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            records as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary() {
+    let mut entries = String::new();
+    for scale in [1usize, 4] {
+        let n = STORE_RECORDS * scale;
+        let recs = records(n);
+
+        // Append: records/sec to build a fresh store of n entries.
+        let dir = bench_dir(&format!("sum-append-{n}"));
+        let append_rate = {
+            let start = Instant::now();
+            let store = fill(&dir, &recs);
+            let rate = n as f64 / start.elapsed().as_secs_f64();
+            store.sync().unwrap();
+            rate
+        };
+        let total_bytes = {
+            let store = RecordStore::open_readonly(&dir).unwrap();
+            store.stats().total_bytes
+        };
+
+        // Lookup: warm-index get_parsed sweep.
+        let store = RecordStore::open_for_model(&dir, MODEL, 0, false).unwrap();
+        let get_rate = best_rate(n, || {
+            let total: usize = recs
+                .iter()
+                .map(|(_, _, key)| store.get_parsed(*key).map_or(0, |v| v.len()))
+                .sum();
+            criterion::black_box(total);
+        });
+        drop(store);
+
+        // Reopen: the restart tax — segment scan + index rebuild.
+        let mut reopen_ms = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let store = RecordStore::open_for_model(&dir, MODEL, 0, false).unwrap();
+            reopen_ms = reopen_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            criterion::black_box(store.stats().raw_entries);
+        }
+
+        // Compaction: overwrite half the raw tier, then rewrite.
+        let store = RecordStore::open_for_model(&dir, MODEL, 0, false).unwrap();
+        for (domain, _, _) in recs.iter().take(n / 2) {
+            store.put_raw(domain, "Domain Name: REWRITTEN\n").unwrap();
+        }
+        let start = Instant::now();
+        let report = store.compact().unwrap();
+        let compact_ms = start.elapsed().as_secs_f64() * 1e3;
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"records\": {n}, \"store_bytes\": {total_bytes}, \
+             \"append_records_per_sec\": {append_rate:.1}, \
+             \"get_parsed_records_per_sec\": {get_rate:.1}, \
+             \"reopen_ms\": {reopen_ms:.2}, \
+             \"compact_ms\": {compact_ms:.2}, \
+             \"compact_bytes_before\": {}, \"compact_bytes_after\": {}}}",
+            report.bytes_before, report.bytes_after,
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let summary = format!(
+        "{{\n  \"bench\": \"record_store\",\n  \"available_cores\": {cores},\n  \
+         \"sync\": false,\n  \"runs\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_record_store.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[record_store] summary written to {path}"),
+        Err(e) => eprintln!("[record_store] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_record_store);
+criterion_main!(benches);

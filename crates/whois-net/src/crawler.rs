@@ -40,6 +40,7 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use whois_store::RecordStore;
 
 /// Crawler configuration.
 #[derive(Clone, Debug)]
@@ -450,6 +451,33 @@ impl Crawler {
             .filter_map(|d| by_domain.get(&d.to_lowercase()).map(|&r| r.clone()))
             .collect();
         Ok(report)
+    }
+
+    /// [`crawl`](Self::crawl), sinking each fetched body into a
+    /// [`RecordStore`] as it completes: the thick record when the
+    /// referral step succeeded, else the thin record. Raw bodies are
+    /// generation-free in the store, so everything persisted here
+    /// survives model swaps and is parseable by any future model.
+    ///
+    /// Store write failures are counted, not fatal — a crawl burns
+    /// upstream query budget and should not die because one disk append
+    /// failed; the report and the sink count let the caller decide.
+    /// Returns the report and the number of bodies newly persisted
+    /// (identical re-crawls dedup to zero).
+    pub fn crawl_into_store(
+        self: &Arc<Self>,
+        domains: &[String],
+        store: &RecordStore,
+    ) -> (CrawlReport, u64) {
+        let mut sunk = 0u64;
+        let report = self.crawl_each(domains, |r| {
+            if let Some(body) = r.thick.as_deref().or(r.thin.as_deref()) {
+                if matches!(store.put_raw(&r.domain, body), Ok(true)) {
+                    sunk += 1;
+                }
+            }
+        });
+        (report, sunk)
     }
 
     /// Crawl one domain: thin, referral, thick.

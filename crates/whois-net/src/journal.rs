@@ -18,6 +18,11 @@
 //!   payload        the CrawlResult as JSON
 //! ```
 //!
+//! The framing itself (len/crc header, torn-tail detection) lives in
+//! [`whois_store::frame`] — this journal was its first user, and the
+//! record store's segments generalize it; only the `WCJ1` magic and the
+//! JSON payload schema are journal-specific.
+//!
 //! A crash can tear the final frame (short write, bad CRC, truncated
 //! JSON). [`CrawlJournal::open`] replays the longest valid prefix,
 //! truncates the file back to it, and positions the next append there —
@@ -28,23 +33,13 @@ use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use whois_store::frame;
+
+// Re-exported where it always lived; the implementation moved to the
+// shared framing module.
+pub use whois_store::frame::crc32;
 
 const MAGIC: &[u8; 4] = b"WCJ1";
-/// Cap on one frame's payload (defensive: a corrupt length field must
-/// not trigger a giant allocation).
-const MAX_FRAME: u32 = 64 << 20;
-
-/// CRC-32 (IEEE 802.3), bitwise; fast enough for KiB-scale records.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
-        }
-    }
-    !crc
-}
 
 /// An open crawl journal.
 pub struct CrawlJournal {
@@ -133,11 +128,9 @@ impl CrawlJournal {
         let payload = serde_json::to_string(result)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
             .into_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
+        let mut framed = Vec::with_capacity(payload.len() + frame::FRAME_HEADER);
+        frame::append_frame(&mut framed, &payload);
+        self.file.write_all(&framed)?;
         self.file.flush()?;
         if self.sync {
             self.file.sync_data()?;
@@ -181,21 +174,9 @@ impl CrawlJournal {
 /// Decode one frame from `bytes`; `None` if it is incomplete or corrupt
 /// (both mean: torn tail, stop here).
 fn decode_frame(bytes: &[u8]) -> Option<(CrawlResult, usize)> {
-    if bytes.len() < 8 {
-        return None;
-    }
-    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
-    if len > MAX_FRAME {
-        return None;
-    }
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    let end = 8usize.checked_add(len as usize)?;
-    let payload = bytes.get(8..end)?;
-    if crc32(payload) != crc {
-        return None;
-    }
+    let (payload, consumed) = frame::decode_frame(bytes)?;
     let result: CrawlResult = serde_json::from_slice(payload).ok()?;
-    Some((result, end))
+    Some((result, consumed))
 }
 
 #[cfg(test)]

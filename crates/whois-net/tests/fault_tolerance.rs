@@ -158,6 +158,40 @@ fn crash_resume_equals_uninterrupted_with_zero_duplicate_queries() {
 }
 
 #[test]
+fn crawl_into_store_sinks_best_bodies_and_dedups_recrawls() {
+    let n = 8;
+    let eco = ecosystem(n, ServerConfig::default(), ServerConfig::default());
+    let crawler = Arc::new(Crawler::new(
+        eco.registry.addr(),
+        eco.resolver.clone(),
+        quick_cfg(),
+    ));
+    let dir = std::env::temp_dir().join(format!("whois-crawl-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = whois_store::RecordStore::open_for_model(&dir, "any-model", 0, false).unwrap();
+
+    let (report, sunk) = crawler.crawl_into_store(&eco.domains, &store);
+    assert_eq!(report.count(CrawlStatus::Full), n);
+    assert_eq!(sunk, n as u64, "every full crawl persists one body");
+    for r in &report.results {
+        // The thick record is the best body; it must be what was stored.
+        assert_eq!(
+            store.get_raw(&r.domain).as_deref(),
+            r.thick.as_deref(),
+            "{}: stored body must be the thick record",
+            r.domain
+        );
+    }
+
+    // An identical re-crawl finds every body already on disk.
+    let (_, resunk) = crawler.crawl_into_store(&eco.domains, &store);
+    assert_eq!(resunk, 0, "unchanged bodies dedup to zero new writes");
+    assert_eq!(store.stats().raw_entries, n as u64);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn cancel_mid_crawl_then_resume_finishes_every_domain() {
     let n = 30;
     let path = tmp("cancel-resume");

@@ -18,72 +18,29 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+// The key function lives in `whois-store` now, shared with the disk
+// tier so RAM and disk agree byte-for-byte on what "the same record"
+// means; re-exported here so existing callers keep compiling.
+pub use whois_store::key::cache_key;
 
 /// Slot sentinel for the intrusive LRU list.
 const NIL: usize = usize::MAX;
-
-#[derive(Clone, Copy)]
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(FNV_OFFSET)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-}
-
-/// Cache key for one (model generation, domain, record body) triple.
-///
-/// The body is normalized line-by-line without allocating: line endings
-/// (`\r\n` vs `\n`) are unified, trailing whitespace is dropped, and
-/// leading/trailing blank lines are ignored — the differences WHOIS
-/// transports introduce between byte-wise different but semantically
-/// identical bodies. The domain is lower-cased to match
-/// [`RawRecord::new`](whois_model::RawRecord::new) and the generation is
-/// mixed in so a model swap invalidates every prior entry without any
-/// coordination.
-pub fn cache_key(generation: u64, domain: &str, body: &str) -> u64 {
-    let mut h = Fnv::new();
-    h.write(&generation.to_le_bytes());
-    for b in domain.bytes() {
-        h.write(&[b.to_ascii_lowercase()]);
-    }
-    h.write(&[0xff]); // domain/body separator outside both alphabets
-    let mut pending_blank = 0usize;
-    let mut seen_content = false;
-    for line in body.lines() {
-        let trimmed = line.trim_end();
-        if trimmed.is_empty() {
-            pending_blank += 1;
-            continue;
-        }
-        if seen_content {
-            // Interior blank runs are structure (block separators): keep
-            // their count, normalized to the run length.
-            for _ in 0..pending_blank {
-                h.write(b"\n");
-            }
-        }
-        pending_blank = 0;
-        seen_content = true;
-        h.write(trimmed.as_bytes());
-        h.write(b"\n");
-    }
-    h.0
-}
 
 /// One LRU node in a shard's slab.
 struct Entry {
     key: u64,
     value: Arc<String>,
+    /// Opaque spill tag carried alongside the value — the serve layer
+    /// stores the generation-free body key here so an evicted entry
+    /// can be written to the disk tier (the LRU key alone is a one-way
+    /// hash; domain and body are long gone by eviction time). 0 means
+    /// "not spillable".
+    spill: u64,
+    /// Model generation the value was produced under, carried so the
+    /// spill path can refuse victims parsed by a since-replaced model
+    /// (an old-generation entry evicted *after* a hot swap must not
+    /// leak onto disk under the new generation's fence).
+    spill_gen: u64,
     prev: usize,
     next: usize,
 }
@@ -146,26 +103,41 @@ impl Shard {
         Some(self.slab[idx].value.clone())
     }
 
-    fn insert(&mut self, key: u64, value: Arc<String>) {
+    fn insert(
+        &mut self,
+        key: u64,
+        spill: u64,
+        spill_gen: u64,
+        value: Arc<String>,
+    ) -> Option<(u64, u64, Arc<String>)> {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].value = value;
+            self.slab[idx].spill = spill;
+            self.slab[idx].spill_gen = spill_gen;
             if idx != self.head {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             self.unlink(victim);
             self.map.remove(&self.slab[victim].key);
             self.free.push(victim);
+            let v = &self.slab[victim];
+            if v.spill != 0 {
+                evicted = Some((v.spill, v.spill_gen, v.value.clone()));
+            }
         }
         let idx = match self.free.pop() {
             Some(slot) => {
                 self.slab[slot] = Entry {
                     key,
                     value,
+                    spill,
+                    spill_gen,
                     prev: NIL,
                     next: NIL,
                 };
@@ -175,6 +147,8 @@ impl Shard {
                 self.slab.push(Entry {
                     key,
                     value,
+                    spill,
+                    spill_gen,
                     prev: NIL,
                     next: NIL,
                 });
@@ -183,6 +157,27 @@ impl Shard {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        evicted
+    }
+
+    /// Hand out every resident entry's `(spill, generation, value)` and
+    /// empty the shard (graceful-shutdown path: spill the whole hot
+    /// tier).
+    fn drain(&mut self) -> Vec<(u64, u64, Arc<String>)> {
+        let out = self
+            .map
+            .values()
+            .filter(|&&idx| self.slab[idx].spill != 0)
+            .map(|&idx| {
+                (
+                    self.slab[idx].spill,
+                    self.slab[idx].spill_gen,
+                    self.slab[idx].value.clone(),
+                )
+            })
+            .collect();
+        self.clear();
+        out
     }
 
     fn clear(&mut self) {
@@ -226,7 +221,34 @@ impl ShardedCache {
 
     /// Insert (or refresh) a cached reply.
     pub fn insert(&self, key: u64, value: Arc<String>) {
-        self.shard(key).lock().insert(key, value);
+        self.shard(key).lock().insert(key, 0, 0, value);
+    }
+
+    /// Insert (or refresh) a cached reply carrying a spill tag — the
+    /// generation-free body key the disk tier needs — and the model
+    /// generation the value was parsed under. If the insert evicts a
+    /// spillable entry, its `(spill, generation, value)` triple is
+    /// returned so the caller can write it to the cold tier (or drop
+    /// it, if its generation is no longer current).
+    pub fn insert_with_spill(
+        &self,
+        key: u64,
+        spill: u64,
+        spill_gen: u64,
+        value: Arc<String>,
+    ) -> Option<(u64, u64, Arc<String>)> {
+        self.shard(key).lock().insert(key, spill, spill_gen, value)
+    }
+
+    /// Remove and return every spillable resident entry (shutdown
+    /// path: the whole hot tier goes to disk so the next process
+    /// starts warm).
+    pub fn drain_spillable(&self) -> Vec<(u64, u64, Arc<String>)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().drain());
+        }
+        out
     }
 
     /// Entries currently cached across all shards.
@@ -324,6 +346,40 @@ mod tests {
         }
         assert!(cache.len() > 32, "keys should spread across shards");
         cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_surfaces_spillable_victims() {
+        let cache = ShardedCache::new(2, 1);
+        assert!(cache.insert_with_spill(1, 101, 7, v("one")).is_none());
+        assert!(cache.insert_with_spill(2, 102, 7, v("two")).is_none());
+        // Key 1 is LRU; inserting key 3 must hand it back for spilling,
+        // generation intact.
+        let (spill, spill_gen, value) = cache.insert_with_spill(3, 103, 8, v("three")).unwrap();
+        assert_eq!(spill, 101);
+        assert_eq!(spill_gen, 7);
+        assert_eq!(value.as_str(), "one");
+        // Plain inserts are not spillable: evicting one returns None.
+        cache.insert(4, v("four")); // evicts 2 (spillable) first
+        let evicted = cache.insert_with_spill(5, 105, 8, v("five"));
+        assert!(
+            evicted.is_none() || evicted.unwrap().0 != 0,
+            "spill tag 0 never surfaces"
+        );
+    }
+
+    #[test]
+    fn drain_spillable_empties_the_cache() {
+        let cache = ShardedCache::new(8, 2);
+        cache.insert_with_spill(1, 11, 3, v("a"));
+        cache.insert_with_spill(2, 22, 4, v("b"));
+        cache.insert(3, v("untagged"));
+        let mut drained = cache.drain_spillable();
+        drained.sort_by_key(|(s, _, _)| *s);
+        assert_eq!(drained.len(), 2, "untagged entries are not spilled");
+        assert_eq!((drained[0].0, drained[0].1), (11, 3));
+        assert_eq!((drained[1].0, drained[1].1), (22, 4));
         assert!(cache.is_empty());
     }
 

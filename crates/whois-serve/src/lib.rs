@@ -32,6 +32,11 @@
 //! - **Panic containment** ([`service`]): a parse that panics costs one
 //!   request, not a worker — the record is quarantined by (domain, body
 //!   hash) and refused thereafter, and the service keeps answering.
+//! - **Disk tier** ([`ServeConfig::store`](service::ServeConfig)): an
+//!   optional `whois_store::RecordStore` under the LRU — evictions
+//!   spill down, misses fill up, model swaps fence stored parses by
+//!   persistent generation, and a restarted daemon reopens the
+//!   segments and answers its first requests at warm-cache hit rates.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -58,10 +63,10 @@ pub mod wire;
 pub use cache::{cache_key, ShardedCache};
 pub use client::{ClientError, ServeClient, DEFAULT_TIMEOUT};
 pub use queue::{BoundedQueue, PushError};
-pub use registry::{newest_model_file, ActiveModel, ModelRegistry, ModelWatcher};
-pub use service::{DrainReport, ParseService, ServeConfig, UpstreamConfig};
+pub use registry::{newest_model_file, ActiveModel, InstallHook, ModelRegistry, ModelWatcher};
+pub use service::{DrainReport, ParseService, ServeConfig, StoreTierConfig, UpstreamConfig};
 pub use stats::{
     ConnectionGauges, DecodeTierStats, HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot,
-    StatsSnapshot,
+    StatsSnapshot, StoreTierStats,
 };
 pub use wire::{ParseRequest, Reply, Request};

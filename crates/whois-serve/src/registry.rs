@@ -37,12 +37,17 @@ pub struct ActiveModel {
     pub engine: ParseEngine,
 }
 
+/// Callback invoked after a model swap lands: `(version, generation)`.
+/// The disk tier hangs off this to fence its stored parses.
+pub type InstallHook = Box<dyn Fn(&str, u64) + Send + Sync>;
+
 /// Registry holding the active model and performing atomic swaps.
 pub struct ModelRegistry {
     active: RwLock<Arc<ActiveModel>>,
     generation: AtomicU64,
     swaps: AtomicU64,
     load_failures: AtomicU64,
+    install_hooks: RwLock<Vec<InstallHook>>,
     engine_workers: usize,
     line_cache: Arc<LineCache>,
     /// Decode tier for this and every subsequently installed engine.
@@ -117,6 +122,7 @@ impl ModelRegistry {
             generation: AtomicU64::new(1),
             swaps: AtomicU64::new(0),
             load_failures: AtomicU64::new(0),
+            install_hooks: RwLock::new(Vec::new()),
             engine_workers,
             line_cache,
             decode_tier,
@@ -166,9 +172,23 @@ impl ModelRegistry {
                 self.decode_counters.clone(),
             ),
         });
+        let version = fresh.version.clone();
         *self.active.write() = fresh;
         self.swaps.fetch_add(1, Ordering::SeqCst);
+        for hook in self.install_hooks.read().iter() {
+            hook(&version, generation);
+        }
         generation
+    }
+
+    /// Register a callback to run after every future [`install`]
+    /// (after the swap is visible to readers). The disk store uses
+    /// this to bump its persistent generation the instant a new model
+    /// goes live, so stale on-disk parses can never surface.
+    ///
+    /// [`install`]: Self::install
+    pub fn on_install(&self, hook: InstallHook) {
+        self.install_hooks.write().push(hook);
     }
 
     /// Load a serialized [`WhoisParser`] from `path` and install it,

@@ -59,6 +59,7 @@ use whois_model::RawRecord;
 use whois_net::event::{Poller, Waker};
 use whois_net::proto::{self, ReplyKind};
 use whois_net::{KeyedRateLimiter, RateLimitConfig, ServingMode, WhoisClient};
+use whois_store::{Compactor, RecordStore};
 
 /// Where `FETCH` requests go: a WHOIS registry plus the referral
 /// resolver, exactly like [`whois_net::Crawler`]'s view of the world.
@@ -70,6 +71,36 @@ pub struct UpstreamConfig {
     pub resolver: HashMap<String, SocketAddr>,
     /// Client used for upstream queries.
     pub client: WhoisClient,
+}
+
+/// Disk-tier configuration: where the cold tier lives and how it is
+/// maintained.
+#[derive(Clone, Debug)]
+pub struct StoreTierConfig {
+    /// Store directory (created if missing).
+    pub dir: std::path::PathBuf,
+    /// Post-compaction disk cap in bytes (0 = unbounded).
+    pub cap_bytes: u64,
+    /// How often the background compactor checks the store.
+    pub compact_interval: Duration,
+    /// Per-append fsync. Off by default: spilled entries are
+    /// re-derivable cache contents, so the crash-loss window is an
+    /// acceptable trade for not fsyncing on the serving path; a
+    /// graceful shutdown syncs everything.
+    pub sync: bool,
+}
+
+impl StoreTierConfig {
+    /// Defaults for `dir`: unbounded, 2 s compaction checks, no
+    /// per-append fsync.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        StoreTierConfig {
+            dir: dir.into(),
+            cap_bytes: 0,
+            compact_interval: Duration::from_secs(2),
+            sync: false,
+        }
+    }
 }
 
 /// Service configuration.
@@ -104,6 +135,10 @@ pub struct ServeConfig {
     /// survivability tests rig a poison record without needing a real
     /// parser bug.
     pub panic_trigger: Option<String>,
+    /// Disk-backed cold tier under the result cache (absent → RAM
+    /// only). Evictions spill to it, misses fill from it, and a
+    /// restart over the same directory starts warm.
+    pub store: Option<StoreTierConfig>,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +155,7 @@ impl Default for ServeConfig {
             upstream: None,
             quarantine_capacity: 64,
             panic_trigger: None,
+            store: None,
         }
     }
 }
@@ -202,6 +238,8 @@ struct ServiceCtx {
     workers_alive: AtomicU64,
     /// Ring of records whose parse panicked, oldest first.
     quarantine: Mutex<VecDeque<QuarantineEntry>>,
+    /// Disk tier under the result cache (absent → RAM only).
+    store: Option<Arc<RecordStore>>,
 }
 
 impl ServiceCtx {
@@ -322,7 +360,10 @@ impl ServiceCtx {
         }
     }
 
-    /// Cache-before-parse: the headline serving optimization.
+    /// Cache-before-parse: the headline serving optimization. With a
+    /// disk tier attached the order is RAM cache → store → parse; a
+    /// disk hit is promoted into RAM, and whatever that promotion
+    /// evicts spills back down.
     fn parse_reply(&self, domain: &str, text: &str) -> Arc<String> {
         let model = self.registry.current();
         let key = cache_key(model.generation, domain, text);
@@ -335,9 +376,13 @@ impl ServiceCtx {
         }
         ServeStats::inc(&self.stats.cache_misses);
 
+        // The generation-free body key: the quarantine hash, and the
+        // disk tier's key (the store fences generations itself).
+        let body_key = cache_key(0, domain, text);
+
         // Quarantine check — keyed model-independently (generation 0),
         // so a poison record stays quarantined across model swaps.
-        let body_hash = format!("{:016x}", cache_key(0, domain, text));
+        let body_hash = format!("{body_key:016x}");
         if self.is_quarantined(domain, &body_hash) {
             ServeStats::inc(&self.stats.errors);
             return Arc::new(
@@ -347,6 +392,19 @@ impl ServiceCtx {
                 )
                 .encode(),
             );
+        }
+
+        // Disk tier: a stored reply (written under the current store
+        // generation, i.e. this model) is byte-identical to a fresh
+        // parse by construction — the spill wrote the serialized line.
+        if let Some(store) = &self.store {
+            if let Some(line) = store.get_parsed(body_key) {
+                ServeStats::inc(&self.stats.disk_hits);
+                let line = Arc::new(line);
+                self.promote(key, body_key, model.generation, &line);
+                return line;
+            }
+            ServeStats::inc(&self.stats.disk_misses);
         }
 
         // Panic containment: a parse that panics must cost one request,
@@ -379,8 +437,42 @@ impl ServiceCtx {
         let t = Instant::now();
         let line = Arc::new(Reply::record(&model.version, record).encode());
         self.stats.serialize.record(t.elapsed());
-        self.cache.insert(key, line.clone());
+        self.promote(key, body_key, model.generation, &line);
         line
+    }
+
+    /// Insert a reply into the RAM cache; with a disk tier attached
+    /// the entry is tagged with its body key and model generation so it
+    /// can spill on eviction, and whatever this insert evicts spills
+    /// now.
+    fn promote(&self, key: u64, body_key: u64, generation: u64, line: &Arc<String>) {
+        match &self.store {
+            None => self.cache.insert(key, line.clone()),
+            Some(_) => {
+                if let Some((spill, spill_gen, value)) =
+                    self.cache
+                        .insert_with_spill(key, body_key, generation, line.clone())
+                {
+                    self.spill(spill, spill_gen, &value);
+                }
+            }
+        }
+    }
+
+    /// Write one evicted (or drained) reply to the disk tier — unless
+    /// it was parsed under a since-replaced model, in which case it is
+    /// dropped: the store's generation fence must never be laundered by
+    /// a stale RAM entry evicted after a hot swap.
+    /// Best-effort: a full disk degrades the cold tier, not serving.
+    fn spill(&self, body_key: u64, generation: u64, value: &Arc<String>) {
+        if generation != self.registry.current().generation {
+            return;
+        }
+        if let Some(store) = &self.store {
+            if matches!(store.put_parsed(body_key, value), Ok(true)) {
+                ServeStats::inc(&self.stats.store_spills);
+            }
+        }
     }
 
     fn is_quarantined(&self, domain: &str, body_hash: &str) -> bool {
@@ -414,7 +506,15 @@ impl ServiceCtx {
         let body = fetch_body(up, domain);
         self.stats.fetch.record(t.elapsed());
         match body {
-            Ok(text) => self.parse_reply(domain, &text),
+            Ok(text) => {
+                // Sink the fetched body into the cold tier (best
+                // effort): the crawl corpus accumulates on disk even
+                // when it arrives via FETCH.
+                if let Some(store) = &self.store {
+                    let _ = store.put_raw(domain, &text);
+                }
+                self.parse_reply(domain, &text)
+            }
             Err(message) => {
                 ServeStats::inc(&self.stats.fetch_failures);
                 ServeStats::inc(&self.stats.errors);
@@ -441,6 +541,8 @@ impl ServiceCtx {
                 exact_fallbacks: counters.exact_fallbacks(),
                 fallback_rate: counters.fallback_rate(),
             },
+            self.stats
+                .store_tier(self.store.as_ref().map(|s| s.stats())),
         )
     }
 
@@ -459,6 +561,9 @@ impl ServiceCtx {
             draining: self.shutdown.load(Ordering::SeqCst),
             connections: self.stats.connection_gauges(),
             decode_tier: self.registry.decode_tier().name().to_string(),
+            store: self
+                .stats
+                .store_tier(self.store.as_ref().map(|s| s.stats())),
         }
     }
 }
@@ -506,6 +611,7 @@ pub struct ParseService {
     waker: Option<Arc<Waker>>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
+    compactor: Option<Compactor>,
     report: Option<DrainReport>,
 }
 
@@ -529,6 +635,33 @@ impl ParseService {
         // allocations.
         registry.current().engine.warm(workers);
         let mode = cfg.mode;
+
+        // Open the disk tier before serving starts: recovery (torn-tail
+        // truncation, index rebuild) happens here, and a model-version
+        // mismatch with the stored manifest fences old parses. Future
+        // hot swaps fence via the install hook.
+        let store = match &cfg.store {
+            None => None,
+            Some(tier) => {
+                let store = Arc::new(RecordStore::open_for_model(
+                    &tier.dir,
+                    &registry.current().version,
+                    tier.cap_bytes,
+                    tier.sync,
+                )?);
+                let hook_store = Arc::clone(&store);
+                registry.on_install(Box::new(move |version, _generation| {
+                    let _ = hook_store.bump_generation(version);
+                }));
+                Some(store)
+            }
+        };
+        let compactor = store.as_ref().map(|s| {
+            Compactor::start(
+                Arc::clone(s),
+                cfg.store.as_ref().expect("store config").compact_interval,
+            )
+        });
         let ctx = Arc::new(ServiceCtx {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -546,6 +679,7 @@ impl ParseService {
             // request; the drop guard in worker_loop decrements.
             workers_alive: AtomicU64::new(workers as u64),
             quarantine: Mutex::new(VecDeque::new()),
+            store,
             cfg,
         });
 
@@ -589,6 +723,7 @@ impl ParseService {
             waker,
             accept_thread: Some(accept_thread),
             worker_threads,
+            compactor,
             report: None,
         })
     }
@@ -611,6 +746,11 @@ impl ParseService {
     /// Entries in the result cache.
     pub fn cache_len(&self) -> usize {
         self.ctx.cache.len()
+    }
+
+    /// The disk tier, when one is attached.
+    pub fn store(&self) -> Option<&Arc<RecordStore>> {
+        self.ctx.store.as_ref()
     }
 
     /// Graceful drain: stop admitting, finish everything admitted,
@@ -636,6 +776,21 @@ impl ParseService {
         }
         if let Some(a) = self.accept_thread.take() {
             let _ = a.join();
+        }
+        // With a disk tier attached, spill the entire hot tier before
+        // the process dies — this is what makes the *next* process
+        // start at warm-cache hit rates. Workers and the loop are
+        // gone, so the cache is quiescent.
+        if let Some(compactor) = self.compactor.take() {
+            compactor.stop();
+        }
+        if self.ctx.store.is_some() {
+            for (body_key, generation, value) in self.ctx.cache.drain_spillable() {
+                self.ctx.spill(body_key, generation, &value);
+            }
+            if let Some(store) = &self.ctx.store {
+                let _ = store.sync();
+            }
         }
         let report = DrainReport {
             drained: queued,

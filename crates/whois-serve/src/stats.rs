@@ -79,6 +79,12 @@ pub struct ServeStats {
     /// Parses that panicked inside a worker (contained, record
     /// quarantined).
     pub panics: AtomicU64,
+    /// Cache evictions (and shutdown drains) written to the disk tier.
+    pub store_spills: AtomicU64,
+    /// RAM-cache misses answered from the disk tier.
+    pub disk_hits: AtomicU64,
+    /// RAM-cache misses the disk tier also missed (parse required).
+    pub disk_misses: AtomicU64,
     /// Connections currently open (gauge).
     pub conns_open: AtomicU64,
     /// Connections currently reading request bytes (gauge; event loop
@@ -143,6 +149,7 @@ impl ServeStats {
         model_load_failures: u64,
         quarantine: Vec<QuarantineEntry>,
         decode: DecodeTierStats,
+        store: StoreTierStats,
     ) -> StatsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -180,8 +187,59 @@ impl ServeStats {
             quarantine,
             connections: self.connection_gauges(),
             decode,
+            store,
         }
     }
+
+    /// Fill the serving-side counters of a [`StoreTierStats`] (the
+    /// store-side gauges come from [`whois_store::StoreStats`]).
+    pub fn store_tier(&self, disk: Option<whois_store::StoreStats>) -> StoreTierStats {
+        match disk {
+            None => StoreTierStats::default(),
+            Some(s) => StoreTierStats {
+                enabled: true,
+                segments: s.segments,
+                live_bytes: s.live_bytes,
+                dead_bytes: s.dead_bytes,
+                parsed_entries: s.parsed_entries,
+                raw_entries: s.raw_entries,
+                compactions: s.compactions,
+                last_recovery_truncated: s.last_recovery_truncated,
+                spills: self.store_spills.load(Ordering::Relaxed),
+                disk_hits: self.disk_hits.load(Ordering::Relaxed),
+                disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Disk-tier section of `STATS`/`HEALTH`: segment/byte gauges from the
+/// store plus the serving-side spill and hit/miss counters. All zeros
+/// (and `enabled: false`) when the daemon runs without `--store`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreTierStats {
+    /// Whether a disk tier is attached.
+    pub enabled: bool,
+    /// Segment files in the store.
+    pub segments: u64,
+    /// Bytes of live (indexed) entries.
+    pub live_bytes: u64,
+    /// Reclaimable bytes (superseded / generation-fenced entries).
+    pub dead_bytes: u64,
+    /// Live parsed replies on disk.
+    pub parsed_entries: u64,
+    /// Live raw records on disk.
+    pub raw_entries: u64,
+    /// Compaction passes over the store's lifetime.
+    pub compactions: u64,
+    /// Bytes dropped by torn-tail truncation at the last open.
+    pub last_recovery_truncated: u64,
+    /// Cache evictions (and shutdown drains) written to disk.
+    pub spills: u64,
+    /// RAM misses answered from disk.
+    pub disk_hits: u64,
+    /// RAM misses the disk also missed.
+    pub disk_misses: u64,
 }
 
 /// Fast-tier decode outcomes for the `STATS` verb: which tier the
@@ -263,6 +321,10 @@ pub struct HealthSnapshot {
     /// `connections`, empty in replies from older servers).
     #[serde(default)]
     pub decode_tier: String,
+    /// Disk-tier gauges and counters (appended after `decode_tier`;
+    /// older replies omit it and deserialize to the disabled default).
+    #[serde(default)]
+    pub store: StoreTierStats,
 }
 
 /// The `STATS` verb's payload.
@@ -338,6 +400,10 @@ pub struct StatsSnapshot {
     /// replies omit it and deserialize to the zeroed default).
     #[serde(default)]
     pub decode: DecodeTierStats,
+    /// Disk-tier gauges and counters (appended after `decode`; older
+    /// replies omit it and deserialize to the disabled default).
+    #[serde(default)]
+    pub store: StoreTierStats,
 }
 
 #[cfg(test)]
@@ -390,6 +456,19 @@ mod tests {
                 exact_fallbacks: 1,
                 fallback_rate: 1.0 / 11.0,
             },
+            StoreTierStats {
+                enabled: true,
+                segments: 2,
+                live_bytes: 4096,
+                dead_bytes: 128,
+                parsed_entries: 9,
+                raw_entries: 3,
+                compactions: 1,
+                last_recovery_truncated: 0,
+                spills: 5,
+                disk_hits: 4,
+                disk_misses: 6,
+            },
         );
         assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
         assert_eq!(snap.model_generation, 3);
@@ -399,6 +478,8 @@ mod tests {
         assert_eq!(snap.model_load_failures, 2);
         assert_eq!(snap.quarantine_len, 1);
         assert_eq!(snap.quarantine[0].domain, "poison.com");
+        assert!(snap.store.enabled);
+        assert_eq!(snap.store.spills, 5);
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
@@ -419,6 +500,7 @@ mod tests {
             0,
             vec![],
             DecodeTierStats::default(),
+            StoreTierStats::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         // `line_cache` and the robustness fields serialize last; chop
@@ -441,12 +523,72 @@ mod tests {
             0,
             vec![],
             DecodeTierStats::default(),
+            StoreTierStats::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"decode\"").unwrap();
         let stripped = format!("{}}}", &json[..start]);
         let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, snap, "missing decode stats default to zero");
+    }
+
+    #[test]
+    fn old_snapshot_without_store_section_still_deserializes() {
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+            StoreTierStats::default(),
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let start = json.find(",\"store\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap, "missing store section defaults to disabled");
+    }
+
+    #[test]
+    fn old_health_without_store_section_still_deserializes() {
+        let health = HealthSnapshot::default();
+        let json = serde_json::to_string(&health).unwrap();
+        let start = json.find(",\"store\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: HealthSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, health, "missing store section defaults to disabled");
+    }
+
+    #[test]
+    fn store_tier_merges_disk_gauges_with_serve_counters() {
+        let stats = ServeStats::default();
+        ServeStats::inc(&stats.store_spills);
+        ServeStats::inc(&stats.disk_hits);
+        ServeStats::inc(&stats.disk_hits);
+        ServeStats::inc(&stats.disk_misses);
+        assert_eq!(stats.store_tier(None), StoreTierStats::default());
+        let tier = stats.store_tier(Some(whois_store::StoreStats {
+            segments: 3,
+            total_bytes: 9000,
+            live_bytes: 8000,
+            dead_bytes: 1000,
+            parsed_entries: 40,
+            raw_entries: 2,
+            generation: 7,
+            compactions: 2,
+            last_recovery_truncated: 13,
+        }));
+        assert!(tier.enabled);
+        assert_eq!(tier.segments, 3);
+        assert_eq!(tier.live_bytes, 8000);
+        assert_eq!(tier.dead_bytes, 1000);
+        assert_eq!(tier.compactions, 2);
+        assert_eq!(tier.last_recovery_truncated, 13);
+        assert_eq!((tier.spills, tier.disk_hits, tier.disk_misses), (1, 2, 1));
     }
 
     #[test]
@@ -473,6 +615,11 @@ mod tests {
             model_swaps: 1,
             draining: false,
             decode_tier: "fast".into(),
+            store: StoreTierStats {
+                enabled: true,
+                segments: 1,
+                ..StoreTierStats::default()
+            },
             connections: ConnectionGauges {
                 open: 3,
                 reading: 1,
@@ -517,6 +664,7 @@ mod tests {
             0,
             vec![],
             DecodeTierStats::default(),
+            StoreTierStats::default(),
         );
         assert_eq!(snap.connections, ConnectionGauges::default());
     }
@@ -533,6 +681,7 @@ mod tests {
             0,
             vec![],
             DecodeTierStats::default(),
+            StoreTierStats::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"connections\"").unwrap();

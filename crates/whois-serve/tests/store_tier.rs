@@ -1,0 +1,238 @@
+//! Disk-tier integration tests: with a corpus larger than the hot
+//! tier, the store-backed service answers byte-identically to a
+//! store-less one; a restarted daemon reopens the segments and serves
+//! its first epoch at warm-cache hit rates; a model swap fences stored
+//! parses while raw records survive.
+
+use std::sync::Arc;
+use std::time::Duration;
+use whois_model::{BlockLabel, RegistrantLabel};
+use whois_parser::{ParserConfig, TrainExample, WhoisParser};
+use whois_serve::{ModelRegistry, ParseService, ServeClient, ServeConfig, StoreTierConfig};
+
+fn train_parser(seed: u64, docs: usize) -> WhoisParser {
+    let corpus = whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(seed, docs));
+    let first: Vec<TrainExample<BlockLabel>> = corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    WhoisParser::train(&first, &second, &ParserConfig::default())
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("whois-store-tier-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Service with a deliberately tiny hot tier (forces evictions) and an
+/// optional disk tier under it.
+fn start_service(store_dir: Option<&std::path::Path>, cache_capacity: usize) -> ParseService {
+    let registry = Arc::new(ModelRegistry::new(train_parser(11, 40), "model-0001", 1));
+    ParseService::start(
+        registry,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity,
+            store: store_dir.map(|dir| StoreTierConfig {
+                // Long interval: tests drive compaction implicitly via
+                // shutdown, never mid-assertion.
+                compact_interval: Duration::from_secs(3600),
+                ..StoreTierConfig::new(dir)
+            }),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap()
+}
+
+fn corpus_requests(seed: u64, docs: usize) -> Vec<(String, String)> {
+    whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(seed, docs))
+        .iter()
+        .map(|d| (d.facts.domain.clone(), d.rendered.text()))
+        .collect()
+}
+
+/// Drive every request once, returning the raw reply lines.
+fn sweep(client: &mut ServeClient, requests: &[(String, String)]) -> Vec<String> {
+    requests
+        .iter()
+        .map(|(domain, text)| {
+            let req = whois_serve::Request::Parse(whois_serve::ParseRequest {
+                domain: domain.clone(),
+                text: text.clone(),
+            });
+            client.request_line(&req.encode()).unwrap()
+        })
+        .collect()
+}
+
+/// With a corpus well past the hot-tier capacity, a store-backed
+/// service and a store-less one must answer every request — first
+/// sight, RAM hit, and disk hit alike — byte-identically.
+#[test]
+fn store_backed_replies_are_byte_identical_to_storeless() {
+    let dir = tmp_dir("differential");
+    let requests = corpus_requests(42, 48);
+    // Hot tier holds ~1/3 of the corpus: pass 1 evicts (and spills),
+    // pass 2 exercises the disk-fill path on the store-backed side.
+    let mut plain = start_service(None, 16);
+    let mut tiered = start_service(Some(&dir), 16);
+    let mut plain_client = ServeClient::connect(plain.addr()).unwrap();
+    let mut tiered_client = ServeClient::connect(tiered.addr()).unwrap();
+
+    for pass in 0..2 {
+        let plain_lines = sweep(&mut plain_client, &requests);
+        let tiered_lines = sweep(&mut tiered_client, &requests);
+        for (i, (p, t)) in plain_lines.iter().zip(&tiered_lines).enumerate() {
+            assert_eq!(p, t, "pass {pass}, request {i}: replies diverged");
+        }
+    }
+
+    let stats = tiered_client.stats().unwrap();
+    assert!(stats.store.enabled);
+    assert!(
+        stats.store.spills > 0,
+        "a corpus past the hot-tier cap must spill evictions: {stats:?}"
+    );
+    assert!(
+        stats.store.disk_hits > 0,
+        "pass 2 must fill some RAM misses from disk: {stats:?}"
+    );
+    let plain_stats = plain_client.stats().unwrap();
+    assert!(!plain_stats.store.enabled);
+    assert_eq!(plain_stats.store.spills, 0);
+
+    plain.shutdown();
+    tiered.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the service partway through a run, restart it over the same
+/// store directory, and replay: the first post-restart epoch must hit
+/// (RAM or disk, no re-parse) at ≥ 90% of the pre-restart steady-state
+/// rate, even though the RAM cache starts empty.
+#[test]
+fn restart_over_store_serves_first_epoch_warm() {
+    let dir = tmp_dir("warm-restart");
+    let requests = corpus_requests(7, 40);
+
+    // Run to steady state: pass 1 populates, pass 2 measures.
+    let steady_rate;
+    {
+        let mut service = start_service(Some(&dir), 16);
+        let mut client = ServeClient::connect(service.addr()).unwrap();
+        sweep(&mut client, &requests);
+        let before = client.stats().unwrap();
+        sweep(&mut client, &requests);
+        let after = client.stats().unwrap();
+        let pass2_requests = (after.requests - before.requests) as f64;
+        let pass2_parses = (after.parses - before.parses) as f64;
+        steady_rate = 1.0 - pass2_parses / pass2_requests;
+        // Graceful shutdown drains the hot tier into the store — this,
+        // plus the spills that already happened, is the warm state.
+        service.shutdown();
+    }
+
+    let mut service = start_service(Some(&dir), 16);
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    let restart_stats = service.stats();
+    assert!(
+        restart_stats.store.parsed_entries > 0,
+        "restart must reopen a populated store: {restart_stats:?}"
+    );
+
+    sweep(&mut client, &requests);
+    let first_epoch = client.stats().unwrap();
+    let first_rate = 1.0 - first_epoch.parses as f64 / first_epoch.requests as f64;
+    assert!(
+        first_rate >= 0.9 * steady_rate,
+        "first post-restart epoch hit rate {first_rate:.3} fell below \
+         90% of pre-restart steady state {steady_rate:.3}"
+    );
+    assert!(
+        first_epoch.store.disk_hits > 0,
+        "warm restart must be fed from disk: {first_epoch:?}"
+    );
+
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A model swap must fence every stored parse (no stale replies from
+/// disk) while the store itself — and its raw records — survive.
+#[test]
+fn model_swap_invalidates_stored_parses_and_keeps_raw_records() {
+    let dir = tmp_dir("model-swap");
+    let requests = corpus_requests(23, 24);
+
+    let mut service = start_service(Some(&dir), 8);
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+    sweep(&mut client, &requests);
+    let store = service.store().unwrap().clone();
+    store
+        .put_raw("survivor.com", "Domain Name: SURVIVOR.COM\n")
+        .unwrap();
+    let generation_before = store.generation();
+    let parsed_before = store.stats().parsed_entries;
+    assert!(parsed_before > 0, "sweep past the cap must spill parses");
+
+    // Hot-swap a different model: the install hook must bump the
+    // store's persistent generation, orphaning every parsed entry.
+    service
+        .registry()
+        .install(train_parser(29, 40), "model-0002");
+    assert_eq!(store.generation(), generation_before + 1);
+    let stats = service.stats();
+    assert_eq!(
+        stats.store.parsed_entries, 0,
+        "stored parses must be fenced at swap: {stats:?}"
+    );
+    assert_eq!(
+        store.get_raw("survivor.com").as_deref(),
+        Some("Domain Name: SURVIVOR.COM\n"),
+        "raw records are model-independent and must survive the swap"
+    );
+
+    // Replies after the swap come from the new model (fresh parses),
+    // and re-sweeping repopulates the disk tier under the new fence.
+    let disk_hits_before = service.stats().store.disk_hits;
+    sweep(&mut client, &requests);
+    let after = service.stats();
+    assert_eq!(
+        after.store.disk_hits, disk_hits_before,
+        "no post-swap reply may be served from pre-swap parses"
+    );
+    service.shutdown();
+
+    // Compaction reclaims the orphaned pre-swap parses (dead weight)
+    // while preserving every live entry — including the raw tier.
+    let reopened = whois_store::RecordStore::open_readonly(&dir).unwrap();
+    let live_parsed = reopened.stats().parsed_entries;
+    reopened.compact().unwrap();
+    let final_stats = reopened.stats();
+    assert_eq!(
+        final_stats.parsed_entries, live_parsed,
+        "compaction must keep exactly the live (new-generation) parses"
+    );
+    assert_eq!(final_stats.dead_bytes, 0);
+    assert!(final_stats.raw_entries >= 1);
+    assert!(reopened.get_raw("survivor.com").is_some());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

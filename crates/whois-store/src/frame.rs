@@ -1,0 +1,123 @@
+//! CRC-framed append-only encoding, shared by the crawl journal (WCJ1)
+//! and the record store's segments (WSS1).
+//!
+//! One frame is:
+//!
+//! ```text
+//! len:  u32 LE   payload byte count
+//! crc:  u32 LE   CRC-32 (IEEE) of the payload
+//! payload
+//! ```
+//!
+//! Decoding stops at the first incomplete or corrupt frame — both mean
+//! "torn tail, truncate here". A corrupt length field is bounded by
+//! [`MAX_FRAME`] so it can never trigger a giant allocation.
+
+/// Cap on one frame's payload (defensive: a corrupt length field must
+/// not trigger a giant allocation).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Bytes of framing overhead per payload (len + crc).
+pub const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3), bitwise; fast enough for KiB-scale records.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
+
+/// Append one framed payload to `out`.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    out.reserve(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode one frame from the front of `bytes`, returning the payload
+/// and the total bytes consumed; `None` if the frame is incomplete or
+/// corrupt (both mean: torn tail, stop here).
+pub fn decode_frame(bytes: &[u8]) -> Option<(&[u8], usize)> {
+    if bytes.len() < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if len > MAX_FRAME {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let end = FRAME_HEADER.checked_add(len as usize)?;
+    let payload = bytes.get(FRAME_HEADER..end)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some((payload, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"hello");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"world!");
+        let (p0, c0) = decode_frame(&buf).unwrap();
+        assert_eq!(p0, b"hello");
+        let (p1, c1) = decode_frame(&buf[c0..]).unwrap();
+        assert_eq!(p1, b"");
+        let (p2, c2) = decode_frame(&buf[c0 + c1..]).unwrap();
+        assert_eq!(p2, b"world!");
+        assert_eq!(c0 + c1 + c2, buf.len());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"payload bytes");
+        for cut in 0..buf.len() {
+            assert!(decode_frame(&buf[..cut]).is_none(), "cut at {cut}");
+        }
+        assert!(decode_frame(&buf).is_some());
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"some payload");
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            // Either the frame fails to decode, or (a flipped length
+            // bit) it no longer consumes the same payload.
+            if let Some((p, _)) = decode_frame(&bad) {
+                assert_ne!(p, b"some payload".as_slice(), "flip at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(decode_frame(&buf).is_none());
+    }
+}

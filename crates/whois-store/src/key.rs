@@ -1,0 +1,154 @@
+//! Store keying: 64-bit FNV-1a over (model generation, domain,
+//! normalized record body).
+//!
+//! This is the *same* key the serve-layer result cache uses (it moved
+//! here so both tiers share one definition): the record body is
+//! normalized line-by-line without allocating — `\r\n` vs `\n` unified,
+//! trailing whitespace dropped, leading/trailing blank lines ignored,
+//! interior blank runs kept (block separators are structure) — the
+//! domain is lower-cased, and the generation is mixed in first so a
+//! model swap makes every prior key unreachable without coordination.
+//!
+//! The disk tier composes its index key in two steps so entries can be
+//! spilled without re-hashing the (long-gone) body: [`cache_key`] with
+//! generation 0 yields a *generation-free* body key, and
+//! [`parsed_key`] folds the store's own persistent generation over it.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a.
+#[derive(Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Start a fresh hash.
+    pub fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    /// Fold bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+/// Cache key for one (model generation, domain, record body) triple —
+/// the serve result cache's key function (see module docs for the
+/// normalization rules).
+pub fn cache_key(generation: u64, domain: &str, body: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&generation.to_le_bytes());
+    for b in domain.bytes() {
+        h.write(&[b.to_ascii_lowercase()]);
+    }
+    h.write(&[0xff]); // domain/body separator outside both alphabets
+    let mut pending_blank = 0usize;
+    let mut seen_content = false;
+    for line in body.lines() {
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            pending_blank += 1;
+            continue;
+        }
+        if seen_content {
+            // Interior blank runs are structure (block separators): keep
+            // their count, normalized to the run length.
+            for _ in 0..pending_blank {
+                h.write(b"\n");
+            }
+        }
+        pending_blank = 0;
+        seen_content = true;
+        h.write(trimmed.as_bytes());
+        h.write(b"\n");
+    }
+    h.finish()
+}
+
+/// Disk-index key for a parsed entry: the store's persistent model
+/// generation folded over a generation-free body key
+/// (`cache_key(0, domain, body)`). Spills carry only the body key, so
+/// the store can key them under whatever generation is current at
+/// spill time.
+pub fn parsed_key(generation: u64, body_key: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&generation.to_le_bytes());
+    h.write(&body_key.to_le_bytes());
+    h.finish()
+}
+
+/// Disk-index key for a raw record: FNV over the lower-cased domain.
+/// Raw lookups verify the stored domain byte-for-byte, so a collision
+/// reads as a miss, never as the wrong record.
+pub fn raw_key(domain: &str) -> u64 {
+    let mut h = Fnv::new();
+    for b in domain.bytes() {
+        h.write(&[b.to_ascii_lowercase()]);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_key_normalizes_transport_noise() {
+        let a = cache_key(0, "example.com", "Domain Name: X\r\nRegistrar: Y\r\n");
+        let b = cache_key(0, "example.com", "Domain Name: X\nRegistrar: Y");
+        let c = cache_key(0, "EXAMPLE.COM", "Domain Name: X   \nRegistrar: Y\n\n\n");
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cache_key_keeps_meaningful_differences() {
+        let base = cache_key(0, "example.com", "Domain Name: X\nRegistrar: Y\n");
+        assert_ne!(
+            base,
+            cache_key(0, "example.com", "Domain Name: X\nRegistrar: Z\n")
+        );
+        assert_ne!(
+            base,
+            cache_key(0, "other.com", "Domain Name: X\nRegistrar: Y\n")
+        );
+        assert_ne!(
+            base,
+            cache_key(1, "example.com", "Domain Name: X\nRegistrar: Y\n")
+        );
+        assert_ne!(
+            base,
+            cache_key(0, "example.com", "Domain Name: X\n\nRegistrar: Y\n"),
+            "interior blank line is structure"
+        );
+    }
+
+    #[test]
+    fn parsed_key_varies_with_generation_and_body() {
+        let k0 = cache_key(0, "a.com", "Domain Name: A\n");
+        assert_ne!(parsed_key(1, k0), parsed_key(2, k0));
+        let other = cache_key(0, "a.com", "Domain Name: B\n");
+        assert_ne!(parsed_key(1, k0), parsed_key(1, other));
+    }
+
+    #[test]
+    fn raw_key_is_case_insensitive() {
+        assert_eq!(raw_key("Example.COM"), raw_key("example.com"));
+        assert_ne!(raw_key("example.com"), raw_key("example.org"));
+    }
+}

@@ -1,0 +1,37 @@
+//! whois-store: the disk-backed cold tier under the serving cache.
+//!
+//! The paper's corpus — ~102 million domains, 2.5 billion WHOIS
+//! records — dwarfs anything the RAM-resident serve cache can hold,
+//! and before this crate a daemon restart meant a stone-cold cache.
+//! This is a single-writer, log-structured store of CRC-framed
+//! append-only segments (the WCJ1 crawl-journal framing from
+//! `whois-net`, generalized) holding raw record bodies and serialized
+//! parse replies:
+//!
+//! - **Segments** ([`segment`]) are `"WSS1"`-tagged runs of framed
+//!   entries; sealed segments are immutable and memory-mapped
+//!   ([`mmap`]), one active segment per process run takes appends.
+//! - **Keys** ([`key`]) are the serve cache's 64-bit FNV scheme over
+//!   (model generation, domain, normalized body) — shared here so the
+//!   RAM and disk tiers agree byte-for-byte on what "the same record"
+//!   means.
+//! - **The store** ([`store`]) layers a rebuildable in-memory index, a
+//!   crash-safe JSON manifest (temp + rename + dir fsync), torn-tail
+//!   truncation on open, and background compaction with atomic
+//!   manifest swap over those segments. Parsed entries are fenced by a
+//!   *persistent* model generation (bumped on model swaps, surviving
+//!   restarts); raw records are generation-free and outlive every
+//!   swap.
+//!
+//! `whois-serve` spills cache evictions here and fills misses from
+//! here, so a restarted daemon reopens its segments and answers its
+//! first requests at warm-cache hit rates.
+
+pub mod frame;
+pub mod key;
+pub mod mmap;
+pub mod segment;
+pub mod store;
+
+pub use key::{cache_key, parsed_key, raw_key, Fnv};
+pub use store::{CompactionReport, Compactor, RecordStore, StoreStats, VerifyReport};

@@ -1,0 +1,140 @@
+//! Read-only file mapping for sealed segments.
+//!
+//! Sealed segments are immutable once written, so mapping them keeps
+//! the resident set proportional to the *hot* fraction of the store —
+//! the kernel pages record bytes in on demand and can drop them under
+//! pressure — instead of the store's full size. On non-unix targets
+//! (or if `mmap` fails) the segment is read into an owned buffer
+//! instead; everything downstream sees the same `&[u8]`.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    pub const MAP_FAILED: *mut core::ffi::c_void = usize::MAX as *mut core::ffi::c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: RawFd,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+/// A file's contents, memory-mapped when possible.
+pub enum MappedFile {
+    /// A live `mmap(2)` mapping; unmapped on drop.
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Fallback: the file read into memory.
+    Owned(Vec<u8>),
+}
+
+// The mapping is read-only and private; the pointer never aliases
+// mutable state, so sharing it across threads is sound.
+#[cfg(unix)]
+unsafe impl Send for MappedFile {}
+#[cfg(unix)]
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Map (or read) the file at `path` read-only.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            // Zero-length mmap is EINVAL; an empty segment is just empty.
+            if len > 0 {
+                let ptr = unsafe {
+                    sys::mmap(
+                        core::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr != sys::MAP_FAILED {
+                    return Ok(MappedFile::Mapped {
+                        ptr: ptr as *const u8,
+                        len,
+                    });
+                }
+            } else {
+                return Ok(MappedFile::Owned(Vec::new()));
+            }
+        }
+        let mut bytes = Vec::with_capacity(len);
+        file.read_to_end(&mut bytes)?;
+        Ok(MappedFile::Owned(bytes))
+    }
+
+    /// The file's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            MappedFile::Mapped { ptr, len } => unsafe { core::slice::from_raw_parts(*ptr, *len) },
+            MappedFile::Owned(v) => v,
+        }
+    }
+}
+
+impl Deref for MappedFile {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MappedFile::Mapped { ptr, len } = *self {
+            unsafe {
+                sys::munmap(ptr as *mut core::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_reads_back() {
+        let path = std::env::temp_dir().join(format!("whois-store-mmap-{}", std::process::id()));
+        std::fs::write(&path, b"segment bytes here").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(&*map, b"segment bytes here");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path =
+            std::env::temp_dir().join(format!("whois-store-mmap-empty-{}", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        let map = MappedFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,1045 @@
+//! The record store: a single-writer, log-structured collection of
+//! CRC-framed segments under one directory, with an in-memory FNV
+//! index, crash-safe recovery, and background compaction.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! MANIFEST        JSON: generation, model version, segment list
+//! seg-NNNNNNNN.wss  CRC-framed entry runs (see segment.rs)
+//! ```
+//!
+//! ## Invariants
+//!
+//! - The manifest is the source of truth: segment files it does not
+//!   list are compaction leftovers and are deleted on open.
+//! - Sealed segments are immutable and memory-mapped; exactly one
+//!   *active* segment (created lazily per process run) accepts
+//!   appends, mirrored in an in-memory tail so reads never touch the
+//!   file being written.
+//! - A crash mid-append tears at most the final frame of the active
+//!   segment; open truncates back to the last whole frame, so every
+//!   acknowledged (`put_*` returned `Ok`) entry survives.
+//! - Compaction rewrites live entries into a fresh segment, fsyncs it,
+//!   then atomically swaps the manifest (temp file + rename + dir
+//!   sync). A crash at any point leaves either the old or the new
+//!   manifest — never a mix — and stray files from the losing side are
+//!   swept on the next open.
+//! - The store keeps its own persistent model generation (the serve
+//!   registry's resets every restart): parsed entries are keyed under
+//!   it, [`RecordStore::bump_generation`] advances it on model swaps
+//!   (old parses become dead weight for the compactor), and raw
+//!   records are generation-free and survive every swap.
+
+use crate::frame::FRAME_HEADER;
+use crate::key::parsed_key;
+use crate::key::raw_key;
+use crate::segment::{self, EntryKind, Segment, MAGIC};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const MANIFEST: &str = "MANIFEST";
+const MANIFEST_TMP: &str = "MANIFEST.tmp";
+/// Fixed per-entry overhead: frame header + kind + generation + key +
+/// two length fields.
+const ENTRY_OVERHEAD: u64 = (FRAME_HEADER + 1 + 8 + 8 + 4 + 4) as u64;
+/// Compact when at least this many dead bytes have accumulated...
+const COMPACT_DEAD_FLOOR: u64 = 256 << 10;
+/// ...and they are at least this fraction of the store (1/2).
+const COMPACT_DEAD_RATIO: u64 = 2;
+
+/// On-disk manifest (JSON, swapped atomically).
+#[derive(Serialize, Deserialize, Clone)]
+struct Manifest {
+    format: String,
+    generation: u64,
+    model_version: String,
+    segments: Vec<u64>,
+    next_segment: u64,
+    compactions: u64,
+}
+
+impl Manifest {
+    fn fresh(model_version: &str) -> Self {
+        Manifest {
+            format: "wss-manifest-v1".to_string(),
+            generation: 1,
+            model_version: model_version.to_string(),
+            segments: Vec::new(),
+            next_segment: 0,
+            compactions: 0,
+        }
+    }
+}
+
+/// Where one live entry's frame starts.
+#[derive(Clone, Copy)]
+struct Loc {
+    seg: u64,
+    off: u64,
+    frame_len: u64,
+}
+
+/// The active (append-only) segment of this process run.
+struct Active {
+    id: u64,
+    file: File,
+    /// In-memory mirror of the file (magic + frames) so reads of
+    /// just-written entries never touch the file mid-append.
+    tail: Vec<u8>,
+}
+
+struct Inner {
+    manifest: Manifest,
+    sealed: Vec<Segment>,
+    active: Option<Active>,
+    /// parsed_key(generation, body_key) -> live parsed entry.
+    parsed: HashMap<u64, Loc>,
+    /// raw_key(domain) -> live raw entry.
+    raw: HashMap<u64, Loc>,
+    /// Sum of all segment file sizes (magic + frames, live and dead).
+    total_bytes: u64,
+    /// Sum of the framed sizes of currently indexed entries.
+    live_bytes: u64,
+    /// Bytes dropped by torn-tail truncation at the last open.
+    last_recovery_truncated: u64,
+}
+
+impl Inner {
+    /// Reclaimable bytes: everything that is neither a live frame nor
+    /// per-segment magic.
+    fn dead_bytes(&self) -> u64 {
+        let overhead = (self.manifest.segments.len() * MAGIC.len()) as u64;
+        self.total_bytes.saturating_sub(self.live_bytes + overhead)
+    }
+
+    fn segment_bytes(&self, id: u64) -> Option<&[u8]> {
+        if let Some(active) = &self.active {
+            if active.id == id {
+                return Some(&active.tail);
+            }
+        }
+        self.sealed.iter().find(|s| s.id == id).map(|s| s.bytes())
+    }
+
+    fn read_loc(&self, loc: Loc) -> Option<segment::EntryRef<'_>> {
+        let bytes = self.segment_bytes(loc.seg)?;
+        let (payload, _) = crate::frame::decode_frame(bytes.get(loc.off as usize..)?)?;
+        segment::decode_entry(payload)
+    }
+}
+
+/// Point-in-time store statistics (serialized by `whoisml store stat`
+/// and embedded in the serve STATS snapshot).
+#[derive(Serialize, Deserialize, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    pub segments: u64,
+    pub total_bytes: u64,
+    pub live_bytes: u64,
+    pub dead_bytes: u64,
+    pub parsed_entries: u64,
+    pub raw_entries: u64,
+    pub generation: u64,
+    pub compactions: u64,
+    pub last_recovery_truncated: u64,
+}
+
+/// What one compaction pass did.
+#[derive(Serialize, Clone, Debug)]
+pub struct CompactionReport {
+    pub segments_before: u64,
+    pub segments_after: u64,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+    pub evicted_parsed: u64,
+    pub evicted_raw: u64,
+}
+
+/// Full-scan verification result (`whoisml store verify`).
+#[derive(Serialize, Clone, Debug)]
+pub struct VerifyReport {
+    pub segments: u64,
+    pub entries: u64,
+    pub bytes_scanned: u64,
+    pub torn_bytes: u64,
+    pub index_parsed: u64,
+    pub index_raw: u64,
+    /// Indexed entries whose frame failed to decode or whose key
+    /// disagrees with the stored entry — always 0 for a healthy store.
+    pub index_mismatches: u64,
+}
+
+impl VerifyReport {
+    pub fn ok(&self) -> bool {
+        self.index_mismatches == 0
+    }
+}
+
+/// The disk tier. Single writer (interior mutex), any number of
+/// reading threads; all methods take `&self`.
+pub struct RecordStore {
+    dir: PathBuf,
+    cap_bytes: u64,
+    sync: bool,
+    inner: Mutex<Inner>,
+}
+
+impl RecordStore {
+    /// Open (creating if missing) the store in `dir`, keyed for
+    /// `model_version`. If the directory was last written under a
+    /// different model version, the persistent generation is bumped so
+    /// stale parsed entries can never surface; raw records carry over
+    /// regardless. `cap_bytes` bounds the post-compaction disk
+    /// footprint (0 = unbounded). `sync` controls per-append fsync.
+    pub fn open_for_model(
+        dir: impl AsRef<Path>,
+        model_version: &str,
+        cap_bytes: u64,
+        sync: bool,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let manifest_path = dir.join(MANIFEST);
+        let mut manifest = if manifest_path.exists() {
+            let bytes = fs::read(&manifest_path)?;
+            serde_json::from_slice::<Manifest>(&bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        } else {
+            let m = Manifest::fresh(model_version);
+            persist_manifest(&dir, &m, sync)?;
+            m
+        };
+
+        if manifest.format != "wss-manifest-v1" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported store manifest format {:?}", manifest.format),
+            ));
+        }
+
+        let mut dirty = false;
+        if manifest.model_version != model_version {
+            manifest.generation += 1;
+            manifest.model_version = model_version.to_string();
+            dirty = true;
+        }
+
+        // Sweep compaction leftovers: the manifest temp file and any
+        // segment file the manifest does not list.
+        let _ = fs::remove_file(dir.join(MANIFEST_TMP));
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("seg-") && name.ends_with(".wss") {
+                let listed = manifest
+                    .segments
+                    .iter()
+                    .any(|&id| segment::file_name(id) == *name);
+                if !listed {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        // Recover each listed segment: truncate torn tails back to the
+        // last whole frame, then map read-only.
+        let mut truncated = 0u64;
+        let mut sealed = Vec::with_capacity(manifest.segments.len());
+        for &id in &manifest.segments {
+            truncated += recover_segment(&dir, id)?;
+            sealed.push(Segment::open(&dir, id)?);
+        }
+
+        if dirty {
+            persist_manifest(&dir, &manifest, sync)?;
+        }
+
+        // Rebuild the index, last write wins (segments are in creation
+        // order, offsets in append order). Parsed entries from older
+        // generations are dead weight until compaction.
+        let mut parsed = HashMap::new();
+        let mut raw = HashMap::new();
+        let mut total_bytes = 0u64;
+        let mut live_bytes = 0u64;
+        for seg in &sealed {
+            total_bytes += seg.len();
+            let (entries, _) = seg.scan();
+            for (off, entry) in entries {
+                let frame_len =
+                    ENTRY_OVERHEAD + entry.domain.len() as u64 + entry.value.len() as u64;
+                let loc = Loc {
+                    seg: seg.id,
+                    off,
+                    frame_len,
+                };
+                let slot = match entry.kind {
+                    EntryKind::Parsed => {
+                        if entry.generation != manifest.generation {
+                            continue;
+                        }
+                        parsed.insert(parsed_key(entry.generation, entry.key), loc)
+                    }
+                    EntryKind::Raw => raw.insert(entry.key, loc),
+                };
+                live_bytes += frame_len;
+                if let Some(old) = slot {
+                    live_bytes -= old.frame_len;
+                }
+            }
+        }
+
+        Ok(RecordStore {
+            dir,
+            cap_bytes,
+            sync,
+            inner: Mutex::new(Inner {
+                manifest,
+                sealed,
+                active: None,
+                parsed,
+                raw,
+                total_bytes,
+                live_bytes,
+                last_recovery_truncated: truncated,
+            }),
+        })
+    }
+
+    /// [`open_for_model`](Self::open_for_model) with a version-agnostic
+    /// model tag — offline tools (`whoisml store stat`/`verify`) that
+    /// must not disturb the stored generation use this.
+    pub fn open_readonly(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let manifest_path = dir.join(MANIFEST);
+        let version = if manifest_path.exists() {
+            let bytes = fs::read(&manifest_path)?;
+            serde_json::from_slice::<Manifest>(&bytes)
+                .map(|m| m.model_version)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        } else {
+            String::new()
+        };
+        Self::open_for_model(dir, &version, 0, true)
+    }
+
+    /// Replace the disk cap (`0` = unbounded) — for offline `compact`
+    /// invocations that want a tighter bound than the store was opened
+    /// with. The cap is enforced at compaction, not on open.
+    pub fn with_cap(mut self, cap_bytes: u64) -> Self {
+        self.cap_bytes = cap_bytes;
+        self
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The persistent model generation parsed entries are keyed under.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().manifest.generation
+    }
+
+    /// Store a parsed reply under its generation-free body key
+    /// (`cache_key(0, domain, body)`). Returns `Ok(false)` if an entry
+    /// for this key and the current generation is already on disk.
+    pub fn put_parsed(&self, body_key: u64, value: &str) -> io::Result<bool> {
+        let mut inner = self.inner.lock();
+        let generation = inner.manifest.generation;
+        let key = parsed_key(generation, body_key);
+        if inner.parsed.contains_key(&key) {
+            return Ok(false);
+        }
+        let loc = self.append_entry(
+            &mut inner,
+            EntryKind::Parsed,
+            generation,
+            body_key,
+            "",
+            value,
+        )?;
+        inner.live_bytes += loc.frame_len;
+        inner.parsed.insert(key, loc);
+        Ok(true)
+    }
+
+    /// Store a raw record body for `domain`, replacing any previous
+    /// one. Returns `Ok(false)` if the identical body is already
+    /// stored (no bytes written).
+    pub fn put_raw(&self, domain: &str, body: &str) -> io::Result<bool> {
+        let lower = domain.to_lowercase();
+        let key = raw_key(&lower);
+        let mut inner = self.inner.lock();
+        if let Some(&loc) = inner.raw.get(&key) {
+            if let Some(entry) = inner.read_loc(loc) {
+                if entry.domain == lower && entry.value == body {
+                    return Ok(false);
+                }
+            }
+        }
+        let loc = self.append_entry(&mut inner, EntryKind::Raw, 0, key, &lower, body)?;
+        inner.live_bytes += loc.frame_len;
+        if let Some(old) = inner.raw.insert(key, loc) {
+            inner.live_bytes -= old.frame_len;
+        }
+        Ok(true)
+    }
+
+    /// Fetch the stored reply for a generation-free body key, if one
+    /// exists under the current generation.
+    pub fn get_parsed(&self, body_key: u64) -> Option<String> {
+        let inner = self.inner.lock();
+        let key = parsed_key(inner.manifest.generation, body_key);
+        let loc = *inner.parsed.get(&key)?;
+        inner.read_loc(loc).map(|e| e.value.to_string())
+    }
+
+    /// Fetch the stored raw record body for `domain`, verifying the
+    /// stored domain byte-for-byte (a hash collision reads as a miss).
+    pub fn get_raw(&self, domain: &str) -> Option<String> {
+        let lower = domain.to_lowercase();
+        let inner = self.inner.lock();
+        let loc = *inner.raw.get(&raw_key(&lower))?;
+        let entry = inner.read_loc(loc)?;
+        (entry.domain == lower).then(|| entry.value.to_string())
+    }
+
+    /// Advance the persistent generation (a model swap): every stored
+    /// parse becomes unreachable dead weight, raw records are
+    /// untouched. Persisted before returning so a crash immediately
+    /// after a swap can never resurrect old-model parses.
+    pub fn bump_generation(&self, model_version: &str) -> io::Result<u64> {
+        let mut inner = self.inner.lock();
+        inner.manifest.generation += 1;
+        inner.manifest.model_version = model_version.to_string();
+        let dead: u64 = inner.parsed.values().map(|l| l.frame_len).sum();
+        inner.live_bytes -= dead;
+        inner.parsed.clear();
+        persist_manifest(&self.dir, &inner.manifest, self.sync)?;
+        Ok(inner.manifest.generation)
+    }
+
+    /// Fsync the active segment (graceful-shutdown barrier for stores
+    /// opened with `sync == false`).
+    pub fn sync(&self) -> io::Result<()> {
+        let inner = self.inner.lock();
+        if let Some(active) = &inner.active {
+            active.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Whether enough dead bytes (or cap overrun) have accumulated to
+    /// make a compaction pass worthwhile.
+    pub fn needs_compaction(&self) -> bool {
+        let inner = self.inner.lock();
+        let dead = inner.dead_bytes();
+        (dead >= COMPACT_DEAD_FLOOR && dead * COMPACT_DEAD_RATIO >= inner.total_bytes)
+            || (self.cap_bytes > 0 && inner.total_bytes > self.cap_bytes)
+    }
+
+    /// Rewrite live entries into one fresh segment and atomically swap
+    /// the manifest. If a byte cap is set and live data exceeds it,
+    /// the oldest parsed entries are evicted first (they can always be
+    /// re-derived), then the oldest raw records.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let segments_before = inner.sealed.len() as u64 + u64::from(inner.active.is_some());
+        let bytes_before = inner.total_bytes;
+
+        // Live entries in segment/offset order (oldest first), copied
+        // out before any file is touched.
+        struct Live {
+            kind: EntryKind,
+            generation: u64,
+            key: u64,
+            domain: String,
+            value: String,
+            frame_len: u64,
+        }
+        let mut live: Vec<Live> = Vec::with_capacity(inner.parsed.len() + inner.raw.len());
+        let ids: Vec<u64> = inner.manifest.segments.clone();
+        for id in ids {
+            let Some(bytes) = inner.segment_bytes(id) else {
+                continue;
+            };
+            let (entries, _) = segment::scan_bytes(bytes);
+            for (off, entry) in entries {
+                let index_key = match entry.kind {
+                    EntryKind::Parsed => parsed_key(entry.generation, entry.key),
+                    EntryKind::Raw => entry.key,
+                };
+                let map = match entry.kind {
+                    EntryKind::Parsed => &inner.parsed,
+                    EntryKind::Raw => &inner.raw,
+                };
+                let is_live = map
+                    .get(&index_key)
+                    .is_some_and(|l| l.seg == id && l.off == off);
+                if is_live {
+                    live.push(Live {
+                        kind: entry.kind,
+                        generation: entry.generation,
+                        key: entry.key,
+                        domain: entry.domain.to_string(),
+                        value: entry.value.to_string(),
+                        frame_len: ENTRY_OVERHEAD
+                            + entry.domain.len() as u64
+                            + entry.value.len() as u64,
+                    });
+                }
+            }
+        }
+
+        // Cap enforcement: evict oldest-first, parsed before raw.
+        let mut evicted_parsed = 0u64;
+        let mut evicted_raw = 0u64;
+        if self.cap_bytes > 0 {
+            let mut total: u64 = MAGIC.len() as u64 + live.iter().map(|l| l.frame_len).sum::<u64>();
+            for pass in [EntryKind::Parsed, EntryKind::Raw] {
+                let mut i = 0;
+                while total > self.cap_bytes && i < live.len() {
+                    if live[i].kind == pass {
+                        let victim = live.remove(i);
+                        total -= victim.frame_len;
+                        match pass {
+                            EntryKind::Parsed => evicted_parsed += 1,
+                            EntryKind::Raw => evicted_raw += 1,
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        // Write the replacement segment, fully durable before the
+        // manifest ever mentions it.
+        let new_id = inner.manifest.next_segment;
+        let new_path = self.dir.join(segment::file_name(new_id));
+        let mut buf = MAGIC.to_vec();
+        let mut offsets = Vec::with_capacity(live.len());
+        for l in &live {
+            offsets.push(buf.len() as u64);
+            buf.extend_from_slice(&segment::frame_entry(
+                l.kind,
+                l.generation,
+                l.key,
+                &l.domain,
+                &l.value,
+            ));
+        }
+        {
+            let mut f = File::create(&new_path)?;
+            f.write_all(&buf)?;
+            f.sync_data()?;
+        }
+
+        let old_files: Vec<PathBuf> = inner
+            .manifest
+            .segments
+            .iter()
+            .map(|&id| self.dir.join(segment::file_name(id)))
+            .collect();
+
+        let mut manifest = inner.manifest.clone();
+        manifest.segments = vec![new_id];
+        manifest.next_segment = new_id + 1;
+        manifest.compactions += 1;
+        persist_manifest(&self.dir, &manifest, self.sync)?;
+
+        // The swap is committed; old segments are garbage now.
+        for path in old_files {
+            let _ = fs::remove_file(path);
+        }
+
+        let new_seg = Segment::open(&self.dir, new_id)?;
+        let mut parsed = HashMap::new();
+        let mut raw = HashMap::new();
+        let mut live_bytes = 0u64;
+        for (l, off) in live.iter().zip(offsets) {
+            let loc = Loc {
+                seg: new_id,
+                off,
+                frame_len: l.frame_len,
+            };
+            match l.kind {
+                EntryKind::Parsed => {
+                    parsed.insert(parsed_key(l.generation, l.key), loc);
+                }
+                EntryKind::Raw => {
+                    raw.insert(l.key, loc);
+                }
+            }
+            live_bytes += l.frame_len;
+        }
+        inner.manifest = manifest;
+        inner.total_bytes = new_seg.len();
+        inner.live_bytes = live_bytes;
+        inner.sealed = vec![new_seg];
+        inner.active = None;
+        inner.parsed = parsed;
+        inner.raw = raw;
+
+        Ok(CompactionReport {
+            segments_before,
+            segments_after: 1,
+            bytes_before,
+            bytes_after: inner.total_bytes,
+            evicted_parsed,
+            evicted_raw,
+        })
+    }
+
+    /// Full scan of every segment: CRC-check all frames and cross-check
+    /// the index against what is actually on disk.
+    pub fn verify(&self) -> VerifyReport {
+        let inner = self.inner.lock();
+        let mut entries = 0u64;
+        let mut bytes_scanned = 0u64;
+        let mut torn_bytes = 0u64;
+        for &id in &inner.manifest.segments {
+            if let Some(bytes) = inner.segment_bytes(id) {
+                bytes_scanned += bytes.len() as u64;
+                let (found, torn) = segment::scan_bytes(bytes);
+                entries += found.len() as u64;
+                torn_bytes += torn;
+            }
+        }
+        let mut index_mismatches = 0u64;
+        for (&key, &loc) in &inner.parsed {
+            let ok = inner.read_loc(loc).is_some_and(|e| {
+                e.kind == EntryKind::Parsed && parsed_key(e.generation, e.key) == key
+            });
+            if !ok {
+                index_mismatches += 1;
+            }
+        }
+        for (&key, &loc) in &inner.raw {
+            let ok = inner
+                .read_loc(loc)
+                .is_some_and(|e| e.kind == EntryKind::Raw && e.key == key);
+            if !ok {
+                index_mismatches += 1;
+            }
+        }
+        VerifyReport {
+            segments: inner.manifest.segments.len() as u64,
+            entries,
+            bytes_scanned,
+            torn_bytes,
+            index_parsed: inner.parsed.len() as u64,
+            index_raw: inner.raw.len() as u64,
+            index_mismatches,
+        }
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            segments: inner.manifest.segments.len() as u64,
+            total_bytes: inner.total_bytes,
+            live_bytes: inner.live_bytes,
+            dead_bytes: inner.dead_bytes(),
+            parsed_entries: inner.parsed.len() as u64,
+            raw_entries: inner.raw.len() as u64,
+            generation: inner.manifest.generation,
+            compactions: inner.manifest.compactions,
+            last_recovery_truncated: inner.last_recovery_truncated,
+        }
+    }
+
+    /// Append one framed entry to the active segment (creating it — and
+    /// registering it in the manifest — on first use this run).
+    fn append_entry(
+        &self,
+        inner: &mut Inner,
+        kind: EntryKind,
+        generation: u64,
+        key: u64,
+        domain: &str,
+        value: &str,
+    ) -> io::Result<Loc> {
+        if inner.active.is_none() {
+            let id = inner.manifest.next_segment;
+            let path = self.dir.join(segment::file_name(id));
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            file.write_all(MAGIC)?;
+            if self.sync {
+                file.sync_data()?;
+            }
+            // The manifest must list the segment before any entry is
+            // acknowledged, or recovery would sweep it as a stray.
+            let mut manifest = inner.manifest.clone();
+            manifest.segments.push(id);
+            manifest.next_segment = id + 1;
+            persist_manifest(&self.dir, &manifest, self.sync)?;
+            inner.manifest = manifest;
+            inner.total_bytes += MAGIC.len() as u64;
+            inner.active = Some(Active {
+                id,
+                file,
+                tail: MAGIC.to_vec(),
+            });
+        }
+        let sync = self.sync;
+        let active = inner.active.as_mut().unwrap();
+        let framed = segment::frame_entry(kind, generation, key, domain, value);
+        let off = active.tail.len() as u64;
+        active.file.write_all(&framed)?;
+        active.file.flush()?;
+        if sync {
+            active.file.sync_data()?;
+        }
+        active.tail.extend_from_slice(&framed);
+        inner.total_bytes += framed.len() as u64;
+        Ok(Loc {
+            seg: active.id,
+            off,
+            frame_len: framed.len() as u64,
+        })
+    }
+}
+
+/// Truncate a listed segment back to its last whole frame (or recreate
+/// it empty if even the magic is torn). Returns the bytes dropped.
+fn recover_segment(dir: &Path, id: u64) -> io::Result<u64> {
+    let path = dir.join(segment::file_name(id));
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        // Listed but missing: the crash hit between manifest persist
+        // and the first append ever reaching disk. Recreate empty.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let valid_end = if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        // Torn inside the magic itself — nothing to salvage.
+        fs::write(&path, MAGIC)?;
+        return Ok(bytes.len() as u64);
+    } else {
+        let (_, torn) = segment::scan_bytes(&bytes);
+        bytes.len() as u64 - torn
+    };
+    let dropped = bytes.len() as u64 - valid_end;
+    if dropped > 0 {
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(valid_end)?;
+        file.sync_data()?;
+    }
+    Ok(dropped)
+}
+
+/// Write the manifest durably: temp file, fsync, rename over the old
+/// one, fsync the directory. Readers see the old or the new manifest,
+/// never a partial one.
+fn persist_manifest(dir: &Path, manifest: &Manifest, sync: bool) -> io::Result<()> {
+    let tmp = dir.join(MANIFEST_TMP);
+    let json = serde_json::to_string_pretty(manifest)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        .into_bytes();
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&json)?;
+        if sync {
+            f.sync_data()?;
+        }
+    }
+    fs::rename(&tmp, dir.join(MANIFEST))?;
+    if sync {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Background compaction driver: polls [`RecordStore::needs_compaction`]
+/// on an interval and compacts when it fires.
+pub struct Compactor {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Compactor {
+    /// Spawn the compaction thread.
+    pub fn start(store: Arc<RecordStore>, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("whois-store-compactor".to_string())
+            .spawn(move || {
+                // Poll in short slices so stop() returns promptly even
+                // with multi-second intervals.
+                let slice = Duration::from_millis(25);
+                let mut elapsed = Duration::ZERO;
+                while !stop2.load(Ordering::Relaxed) {
+                    std::thread::sleep(slice);
+                    elapsed += slice;
+                    if elapsed < interval {
+                        continue;
+                    }
+                    elapsed = Duration::ZERO;
+                    if store.needs_compaction() {
+                        let _ = store.compact();
+                    }
+                }
+            })
+            .expect("spawn compactor thread");
+        Compactor {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::cache_key;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("whois-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_within_one_run() {
+        let dir = tmp_dir("roundtrip");
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        let k = cache_key(0, "a.com", "Domain Name: A\n");
+        assert!(store.put_parsed(k, "PARSED a.com\n").unwrap());
+        assert!(!store.put_parsed(k, "PARSED a.com\n").unwrap(), "dedup");
+        assert_eq!(store.get_parsed(k).as_deref(), Some("PARSED a.com\n"));
+        assert!(store.put_raw("A.com", "Domain Name: A\n").unwrap());
+        assert_eq!(store.get_raw("a.COM").as_deref(), Some("Domain Name: A\n"));
+        assert!(store.get_parsed(k ^ 1).is_none());
+        assert!(store.get_raw("b.com").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let dir = tmp_dir("reopen");
+        let k = cache_key(0, "a.com", "body\n");
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+            store.put_parsed(k, "reply-a\n").unwrap();
+            store.put_raw("b.com", "raw-b\n").unwrap();
+            store.sync().unwrap();
+        }
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert_eq!(store.get_parsed(k).as_deref(), Some("reply-a\n"));
+        assert_eq!(store.get_raw("b.com").as_deref(), Some("raw-b\n"));
+        let stats = store.stats();
+        assert_eq!(stats.parsed_entries, 1);
+        assert_eq!(stats.raw_entries, 1);
+        assert_eq!(stats.last_recovery_truncated, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn model_swap_keeps_raw_drops_parsed() {
+        let dir = tmp_dir("swap");
+        let k = cache_key(0, "a.com", "body\n");
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+            store.put_parsed(k, "old-model-reply\n").unwrap();
+            store.put_raw("a.com", "body\n").unwrap();
+            store.sync().unwrap();
+        }
+        // Same store, different model: generation bumps at open.
+        let store = RecordStore::open_for_model(&dir, "m2", 0, false).unwrap();
+        assert!(store.get_parsed(k).is_none(), "old parse fenced off");
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        // In-process swap does the same.
+        store.put_parsed(k, "m2-reply\n").unwrap();
+        assert_eq!(store.get_parsed(k).as_deref(), Some("m2-reply\n"));
+        let g = store.bump_generation("m3").unwrap();
+        assert!(g >= 3);
+        assert!(store.get_parsed(k).is_none());
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_whole_frame() {
+        let dir = tmp_dir("torn");
+        let keys: Vec<u64> = (0..4)
+            .map(|i| cache_key(0, "d.com", &format!("b{i}")))
+            .collect();
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+            for (i, &k) in keys.iter().enumerate() {
+                store.put_parsed(k, &format!("reply-{i}\n")).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        // Tear the active segment mid-final-frame.
+        let seg = dir.join(segment::file_name(0));
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        let stats = store.stats();
+        assert!(stats.last_recovery_truncated > 0);
+        assert_eq!(stats.parsed_entries, 3, "only the torn entry is lost");
+        for (i, &k) in keys.iter().enumerate().take(3) {
+            assert_eq!(
+                store.get_parsed(k).as_deref(),
+                Some(&*format!("reply-{i}\n"))
+            );
+        }
+        assert!(store.get_parsed(keys[3]).is_none());
+        // The store stays appendable after recovery.
+        assert!(store.put_parsed(keys[3], "reply-3 again\n").unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_weight_and_preserves_live() {
+        let dir = tmp_dir("compact");
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        let k = cache_key(0, "a.com", "body\n");
+        store.put_parsed(k, "reply\n").unwrap();
+        for i in 0..50 {
+            store
+                .put_raw("churn.com", &format!("version {i}\n"))
+                .unwrap();
+        }
+        store.put_raw("keep.com", "kept body\n").unwrap();
+        let before = store.stats();
+        assert!(before.dead_bytes > 0);
+        let report = store.compact().unwrap();
+        assert!(report.bytes_after < report.bytes_before);
+        let after = store.stats();
+        assert_eq!(after.dead_bytes, 0);
+        assert_eq!(after.segments, 1);
+        assert_eq!(store.get_parsed(k).as_deref(), Some("reply\n"));
+        assert_eq!(store.get_raw("churn.com").as_deref(), Some("version 49\n"));
+        assert_eq!(store.get_raw("keep.com").as_deref(), Some("kept body\n"));
+        // Still writable and reopenable after compaction.
+        store.put_raw("post.com", "post-compaction\n").unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert_eq!(
+            store.get_raw("post.com").as_deref(),
+            Some("post-compaction\n")
+        );
+        assert_eq!(store.get_parsed(k).as_deref(), Some("reply\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cap_evicts_parsed_before_raw_oldest_first() {
+        let dir = tmp_dir("cap");
+        let store = RecordStore::open_for_model(&dir, "m1", 600, false).unwrap();
+        let filler = "x".repeat(80);
+        let keys: Vec<u64> = (0..6)
+            .map(|i| cache_key(0, "d.com", &format!("p{i}")))
+            .collect();
+        for &k in &keys {
+            store.put_parsed(k, &filler).unwrap();
+        }
+        store.put_raw("raw.com", &filler).unwrap();
+        assert!(store.needs_compaction(), "over cap");
+        let report = store.compact().unwrap();
+        assert!(report.evicted_parsed > 0);
+        assert_eq!(report.evicted_raw, 0, "raw outlives parsed under cap");
+        assert!(store.stats().total_bytes <= 600);
+        assert_eq!(store.get_raw("raw.com").as_deref(), Some(filler.as_str()));
+        // The survivors are the *newest* parsed entries.
+        assert!(store.get_parsed(keys[0]).is_none());
+        assert!(store.get_parsed(*keys.last().unwrap()).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stray_segments_are_swept_on_open() {
+        let dir = tmp_dir("stray");
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+            store.put_raw("a.com", "body\n").unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a compaction that crashed after writing its output
+        // but before the manifest swap.
+        let stray = dir.join(segment::file_name(99));
+        fs::write(&stray, MAGIC).unwrap();
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert!(!stray.exists(), "stray segment swept");
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_clean_store() {
+        let dir = tmp_dir("verify");
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        store.put_raw("a.com", "body\n").unwrap();
+        store
+            .put_parsed(cache_key(0, "a.com", "body\n"), "reply\n")
+            .unwrap();
+        let report = store.verify();
+        assert!(report.ok());
+        assert_eq!(report.entries, 2);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.index_parsed, 1);
+        assert_eq!(report.index_raw, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compactor_thread_compacts_and_stops() {
+        let dir = tmp_dir("compactor");
+        let store = Arc::new(RecordStore::open_for_model(&dir, "m1", 0, false).unwrap());
+        // Manufacture > 256 KiB of dead bytes.
+        let big = "y".repeat(64 << 10);
+        for i in 0..8 {
+            store.put_raw("same.com", &format!("{big}{i}")).unwrap();
+        }
+        assert!(store.needs_compaction());
+        let compactor = Compactor::start(Arc::clone(&store), Duration::from_millis(50));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while store.stats().compactions == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        compactor.stop();
+        assert!(store.stats().compactions >= 1, "compactor never fired");
+        assert!(store.get_raw("same.com").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

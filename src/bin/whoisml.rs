@@ -92,6 +92,7 @@ fn main() {
         "inspect" => cmd_inspect(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "store" => cmd_store(&args[1..], &flags),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command: {other}")),
     };
@@ -116,8 +117,10 @@ fn usage_and_exit() -> ! {
          \x20                     [--upstream host:port] [--timeout MS]\n\
          \x20                     [--mode event|blocking] [--conns-per-ip N]\n\
          \x20                     [--decode-tier fast|exact]\n\
+         \x20                     [--store dir/ [--store-cap BYTES]]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
-         \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)"
+         \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)\n\
+         \x20 whoisml store       stat|verify|compact --dir store/ [--cap BYTES]"
     );
     std::process::exit(2);
 }
@@ -422,6 +425,21 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("bad --conns-per-ip {v}: {e}"))
         })
         .transpose()?;
+    // --store enables the disk tier under the LRU: evictions spill down,
+    // misses fill up, and a restart reopens the segments warm.
+    let store = flags
+        .get("store")
+        .map(|dir| {
+            let mut tier = whoisml::serve::StoreTierConfig::new(dir);
+            if let Some(cap) = flags.get("store-cap") {
+                tier.cap_bytes = cap
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad --store-cap {cap}: {e}"))?;
+            }
+            Ok::<_, String>(tier)
+        })
+        .transpose()?;
+    let store_enabled = store.is_some();
     let mut cfg = ServeConfig {
         mode,
         max_conns_per_ip,
@@ -429,6 +447,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         queue_capacity: flags.get_or("queue", 64),
         cache_capacity: flags.get_or("cache", 4096),
         upstream,
+        store,
         ..Default::default()
     };
     if let Some(t) = timeout {
@@ -442,7 +461,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {} | decode-tier {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {} | decode-tier {} | store {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
@@ -453,6 +472,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             whoisml::net::ServingMode::Blocking => "blocking",
         },
         registry.decode_tier().name(),
+        if store_enabled { "on" } else { "off" },
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -506,6 +526,61 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         "{}",
         serde_json::to_string_pretty(&record).map_err(|e| e.to_string())?
     );
+    Ok(())
+}
+
+/// `whoisml store stat|verify|compact --dir store/ [--cap BYTES]`:
+/// offline inspection and maintenance of a record-store directory.
+///
+/// `stat` and `verify` open the store read-only (safe against a running
+/// daemon's segments — sealed files are immutable); `compact` takes
+/// single-writer ownership and must not race a live daemon on the same
+/// directory.
+fn cmd_store(args: &[String], flags: &Flags) -> Result<(), String> {
+    let action = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("store needs an action: stat|verify|compact")?;
+    let dir = std::path::PathBuf::from(flags.require("dir")?);
+    match action {
+        "stat" => {
+            let store = whoisml::store::RecordStore::open_readonly(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&store.stats()).map_err(|e| e.to_string())?
+            );
+        }
+        "verify" => {
+            let store = whoisml::store::RecordStore::open_readonly(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            let report = store.verify();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+            if !report.ok() {
+                return Err("store verification failed".into());
+            }
+        }
+        "compact" => {
+            let cap: u64 = flags.get_or("cap", 0);
+            let store = whoisml::store::RecordStore::open_readonly(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?
+                .with_cap(cap);
+            let report = store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+        }
+        other => {
+            return Err(format!(
+                "bad store action {other} (expected stat|verify|compact)"
+            ))
+        }
+    }
     Ok(())
 }
 

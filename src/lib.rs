@@ -54,6 +54,7 @@
 //! | [`gen`] | `whois-gen` | calibrated synthetic corpus generator |
 //! | [`net`] | `whois-net` | RFC 3912 stack + §4.1 crawler |
 //! | [`serve`] | `whois-serve` | long-running parse service: cache, hot-reload, admission control |
+//! | [`store`] | `whois-store` | disk-backed tiered record store: crash-safe segments, compaction |
 //! | [`survey`] | `whois-survey` | §6 tables and figures |
 
 pub use whois_crf as crf;
@@ -63,6 +64,7 @@ pub use whois_net as net;
 pub use whois_parser as parser;
 pub use whois_rules as rules;
 pub use whois_serve as serve;
+pub use whois_store as store;
 pub use whois_survey as survey;
 pub use whois_templates as templates;
 pub use whois_tokenize as tokenize;
