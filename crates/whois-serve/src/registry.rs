@@ -158,6 +158,13 @@ impl ModelRegistry {
     /// memoized under the old model become unreachable at that instant
     /// (no sweep), while the still-running old engine keeps its own
     /// generation and keeps hitting its own entries until it drains.
+    ///
+    /// Install hooks run while the write lock is still held, so no
+    /// reader can obtain the new model before every hook has finished.
+    /// The disk tier depends on that fence: if the new model were
+    /// visible before its `bump_generation` hook persisted, a request
+    /// racing the install could serve an old-model parse from disk and
+    /// re-promote it under the new generation.
     pub fn install(&self, parser: WhoisParser, version: impl Into<String>) -> u64 {
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         self.line_cache.set_generation(generation);
@@ -173,18 +180,24 @@ impl ModelRegistry {
             ),
         });
         let version = fresh.version.clone();
-        *self.active.write() = fresh;
-        self.swaps.fetch_add(1, Ordering::SeqCst);
-        for hook in self.install_hooks.read().iter() {
-            hook(&version, generation);
+        {
+            let mut active = self.active.write();
+            *active = fresh;
+            for hook in self.install_hooks.read().iter() {
+                hook(&version, generation);
+            }
         }
+        self.swaps.fetch_add(1, Ordering::SeqCst);
         generation
     }
 
-    /// Register a callback to run after every future [`install`]
-    /// (after the swap is visible to readers). The disk store uses
-    /// this to bump its persistent generation the instant a new model
-    /// goes live, so stale on-disk parses can never surface.
+    /// Register a callback to run on every future [`install`], after
+    /// the swap but *before* it becomes visible: hooks run under the
+    /// registry's write lock, so `current()` returns the new model
+    /// only once every hook has completed. The disk store uses this to
+    /// bump its persistent generation, guaranteeing no request can
+    /// pair the new model with an unfenced store. Keep hooks brief —
+    /// readers block on `current()` while they run.
     ///
     /// [`install`]: Self::install
     pub fn on_install(&self, hook: InstallHook) {
@@ -438,6 +451,47 @@ mod tests {
         let after = registry.decode_counters().fast_decodes()
             + registry.decode_counters().exact_fallbacks();
         assert!(after > seen, "counters survive the swap");
+    }
+
+    #[test]
+    fn install_hooks_complete_before_new_model_is_visible() {
+        // Regression: install() used to publish the new model and only
+        // then run hooks, so a racing request could pair the new model
+        // with a store whose generation fence hadn't landed yet. The
+        // hook now runs under the write lock; a reader must never
+        // observe a model generation ahead of the hook-maintained
+        // fence.
+        let registry = Arc::new(ModelRegistry::new(tiny_parser(9), "v1", 1));
+        let fence = Arc::new(AtomicU64::new(1));
+        let hook_fence = fence.clone();
+        registry.on_install(Box::new(move |_, generation| {
+            // Simulate the disk tier's manifest persist: slow enough
+            // that an unfenced reader would race past us.
+            std::thread::sleep(Duration::from_millis(40));
+            hook_fence.store(generation, Ordering::SeqCst);
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let registry = registry.clone();
+            let fence = fence.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let model_generation = registry.current().generation;
+                    let fenced = fence.load(Ordering::SeqCst);
+                    assert!(
+                        fenced >= model_generation,
+                        "saw generation-{model_generation} model while the \
+                         install hook had only fenced {fenced}"
+                    );
+                }
+            })
+        };
+        registry.install(tiny_parser(10), "v2");
+        registry.install(tiny_parser(12), "v3");
+        stop.store(true, Ordering::SeqCst);
+        reader.join().unwrap();
+        assert_eq!(fence.load(Ordering::SeqCst), 3);
     }
 
     #[test]

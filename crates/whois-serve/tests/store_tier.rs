@@ -219,11 +219,19 @@ fn model_swap_invalidates_stored_parses_and_keeps_raw_records() {
         "no post-swap reply may be served from pre-swap parses"
     );
     service.shutdown();
+    // Release the single-writer lock (held via the service's store
+    // Arc and our clone of it) before reopening for maintenance.
+    drop(service);
+    drop(store);
 
-    // Compaction reclaims the orphaned pre-swap parses (dead weight)
-    // while preserving every live entry — including the raw tier.
-    let reopened = whois_store::RecordStore::open_readonly(&dir).unwrap();
-    let live_parsed = reopened.stats().parsed_entries;
+    // An inspection-only open sees the store without locking it, then
+    // compaction — a writable open under the manifest's own model
+    // version — reclaims the orphaned pre-swap parses (dead weight)
+    // while preserving every live entry, including the raw tier.
+    let inspected = whois_store::RecordStore::open_readonly(&dir).unwrap();
+    let live_parsed = inspected.stats().parsed_entries;
+    drop(inspected);
+    let reopened = whois_store::RecordStore::open_existing(&dir, 0, true).unwrap();
     reopened.compact().unwrap();
     let final_stats = reopened.stats();
     assert_eq!(

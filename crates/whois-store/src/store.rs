@@ -11,12 +11,22 @@
 //!
 //! ## Invariants
 //!
+//! - One writer at a time: every writable open takes an exclusive
+//!   advisory lock on a `LOCK` file for the store's lifetime, so a
+//!   daemon and an offline `whoisml store compact` can never interleave
+//!   appends, sweeps, or truncations. Read-only opens
+//!   ([`RecordStore::open_readonly`]) take no lock and never mutate the
+//!   directory — not even recovery — so they are safe against a live
+//!   writer.
 //! - The manifest is the source of truth: segment files it does not
-//!   list are compaction leftovers and are deleted on open.
-//! - Sealed segments are immutable and memory-mapped; exactly one
-//!   *active* segment (created lazily per process run) accepts
-//!   appends, mirrored in an in-memory tail so reads never touch the
-//!   file being written.
+//!   list are compaction leftovers and are deleted on (writable) open.
+//! - Sealed segments are immutable and memory-mapped; at most one
+//!   *active* segment (created lazily, re-created after each seal)
+//!   accepts appends, mirrored in an in-memory tail so reads never
+//!   touch the file being written. The active segment is sealed — and
+//!   its tail mirror dropped — once it reaches a size threshold, so the
+//!   writer's heap holds at most one segment's worth of the cold tier
+//!   no matter how large the store grows.
 //! - A crash mid-append tears at most the final frame of the active
 //!   segment; open truncates back to the last whole frame, so every
 //!   acknowledged (`put_*` returned `Ok`) entry survives.
@@ -31,14 +41,14 @@
 //!   (old parses become dead weight for the compactor), and raw
 //!   records are generation-free and survive every swap.
 
-use crate::frame::FRAME_HEADER;
+use crate::frame::{FRAME_HEADER, MAX_FRAME};
 use crate::key::parsed_key;
 use crate::key::raw_key;
 use crate::segment::{self, EntryKind, Segment, MAGIC};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::fs::{self, File, OpenOptions};
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions, TryLockError};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,6 +57,9 @@ use std::time::Duration;
 
 const MANIFEST: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
+const MANIFEST_FORMAT: &str = "wss-manifest-v1";
+/// Single-writer advisory lock file (exclusively locked, never read).
+const LOCK_FILE: &str = "LOCK";
 /// Fixed per-entry overhead: frame header + kind + generation + key +
 /// two length fields.
 const ENTRY_OVERHEAD: u64 = (FRAME_HEADER + 1 + 8 + 8 + 4 + 4) as u64;
@@ -54,6 +67,10 @@ const ENTRY_OVERHEAD: u64 = (FRAME_HEADER + 1 + 8 + 8 + 4 + 4) as u64;
 const COMPACT_DEAD_FLOOR: u64 = 256 << 10;
 /// ...and they are at least this fraction of the store (1/2).
 const COMPACT_DEAD_RATIO: u64 = 2;
+/// Seal the active segment (drop its heap mirror, remap read-only)
+/// once it reaches this size, bounding writer RAM on spill-heavy
+/// workloads that never trigger compaction.
+const DEFAULT_SEAL_BYTES: u64 = 16 << 20;
 
 /// On-disk manifest (JSON, swapped atomically).
 #[derive(Serialize, Deserialize, Clone)]
@@ -69,7 +86,7 @@ struct Manifest {
 impl Manifest {
     fn fresh(model_version: &str) -> Self {
         Manifest {
-            format: "wss-manifest-v1".to_string(),
+            format: MANIFEST_FORMAT.to_string(),
             generation: 1,
             model_version: model_version.to_string(),
             segments: Vec::new(),
@@ -98,7 +115,7 @@ struct Active {
 
 struct Inner {
     manifest: Manifest,
-    sealed: Vec<Segment>,
+    sealed: Vec<Arc<Segment>>,
     active: Option<Active>,
     /// parsed_key(generation, body_key) -> live parsed entry.
     parsed: HashMap<u64, Loc>,
@@ -188,7 +205,28 @@ pub struct RecordStore {
     dir: PathBuf,
     cap_bytes: u64,
     sync: bool,
+    /// Inspection-only open: every mutating method fails, and opening
+    /// never touched the directory.
+    readonly: bool,
+    /// Seal the active segment once its file reaches this many bytes.
+    seal_bytes: u64,
+    /// Exclusive advisory lock on `LOCK`, held for the store's
+    /// lifetime by writable opens; the OS releases it on drop or
+    /// process death. `None` for read-only opens.
+    _lock: Option<File>,
+    /// Serializes compaction passes; `get_*`/`put_*` proceed under
+    /// `inner` while one runs.
+    compact_lock: Mutex<()>,
     inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for RecordStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordStore")
+            .field("dir", &self.dir)
+            .field("readonly", &self.readonly)
+            .finish_non_exhaustive()
+    }
 }
 
 impl RecordStore {
@@ -206,6 +244,10 @@ impl RecordStore {
     ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
+        // Single-writer fence, taken before recovery mutates anything:
+        // a second writable open (this process or another) fails fast
+        // instead of truncating segments a live writer is appending to.
+        let lock = acquire_write_lock(&dir)?;
 
         let manifest_path = dir.join(MANIFEST);
         let mut manifest = if manifest_path.exists() {
@@ -218,12 +260,7 @@ impl RecordStore {
             m
         };
 
-        if manifest.format != "wss-manifest-v1" {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported store manifest format {:?}", manifest.format),
-            ));
-        }
+        check_format(&manifest)?;
 
         let mut dirty = false;
         if manifest.model_version != model_version {
@@ -256,51 +293,23 @@ impl RecordStore {
         let mut sealed = Vec::with_capacity(manifest.segments.len());
         for &id in &manifest.segments {
             truncated += recover_segment(&dir, id)?;
-            sealed.push(Segment::open(&dir, id)?);
+            sealed.push(Arc::new(Segment::open(&dir, id)?));
         }
 
         if dirty {
             persist_manifest(&dir, &manifest, sync)?;
         }
 
-        // Rebuild the index, last write wins (segments are in creation
-        // order, offsets in append order). Parsed entries from older
-        // generations are dead weight until compaction.
-        let mut parsed = HashMap::new();
-        let mut raw = HashMap::new();
-        let mut total_bytes = 0u64;
-        let mut live_bytes = 0u64;
-        for seg in &sealed {
-            total_bytes += seg.len();
-            let (entries, _) = seg.scan();
-            for (off, entry) in entries {
-                let frame_len =
-                    ENTRY_OVERHEAD + entry.domain.len() as u64 + entry.value.len() as u64;
-                let loc = Loc {
-                    seg: seg.id,
-                    off,
-                    frame_len,
-                };
-                let slot = match entry.kind {
-                    EntryKind::Parsed => {
-                        if entry.generation != manifest.generation {
-                            continue;
-                        }
-                        parsed.insert(parsed_key(entry.generation, entry.key), loc)
-                    }
-                    EntryKind::Raw => raw.insert(entry.key, loc),
-                };
-                live_bytes += frame_len;
-                if let Some(old) = slot {
-                    live_bytes -= old.frame_len;
-                }
-            }
-        }
+        let (parsed, raw, total_bytes, live_bytes) = build_index(&sealed, manifest.generation);
 
         Ok(RecordStore {
             dir,
             cap_bytes,
             sync,
+            readonly: false,
+            seal_bytes: DEFAULT_SEAL_BYTES,
+            _lock: Some(lock),
+            compact_lock: Mutex::new(()),
             inner: Mutex::new(Inner {
                 manifest,
                 sealed,
@@ -314,28 +323,69 @@ impl RecordStore {
         })
     }
 
-    /// [`open_for_model`](Self::open_for_model) with a version-agnostic
-    /// model tag — offline tools (`whoisml store stat`/`verify`) that
-    /// must not disturb the stored generation use this.
+    /// Open the store for inspection only. The directory is **never
+    /// mutated** — no write lock, no torn-tail truncation, no
+    /// stray-file sweep, no manifest rewrite — so `whoisml store
+    /// stat|verify` can safely run against a live daemon's directory.
+    /// Listed segments that are missing or unreadable (a concurrent
+    /// compaction swapped them away mid-open) are skipped, and a torn
+    /// tail simply ends that segment's scan. Every mutating method
+    /// fails with [`io::ErrorKind::PermissionDenied`]. Fails if `dir`
+    /// holds no manifest.
     pub fn open_readonly(dir: impl AsRef<Path>) -> io::Result<Self> {
-        let dir = dir.as_ref();
-        let manifest_path = dir.join(MANIFEST);
-        let version = if manifest_path.exists() {
-            let bytes = fs::read(&manifest_path)?;
-            serde_json::from_slice::<Manifest>(&bytes)
-                .map(|m| m.model_version)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
-        } else {
-            String::new()
-        };
-        Self::open_for_model(dir, &version, 0, true)
+        let dir = dir.as_ref().to_path_buf();
+        let bytes = fs::read(dir.join(MANIFEST))?;
+        let manifest = serde_json::from_slice::<Manifest>(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        check_format(&manifest)?;
+        let mut sealed = Vec::with_capacity(manifest.segments.len());
+        for &id in &manifest.segments {
+            if let Ok(seg) = Segment::open(&dir, id) {
+                sealed.push(Arc::new(seg));
+            }
+        }
+        let (parsed, raw, total_bytes, live_bytes) = build_index(&sealed, manifest.generation);
+        Ok(RecordStore {
+            dir,
+            cap_bytes: 0,
+            sync: false,
+            readonly: true,
+            seal_bytes: DEFAULT_SEAL_BYTES,
+            _lock: None,
+            compact_lock: Mutex::new(()),
+            inner: Mutex::new(Inner {
+                manifest,
+                sealed,
+                active: None,
+                parsed,
+                raw,
+                total_bytes,
+                live_bytes,
+                last_recovery_truncated: 0,
+            }),
+        })
     }
 
-    /// Replace the disk cap (`0` = unbounded) — for offline `compact`
-    /// invocations that want a tighter bound than the store was opened
-    /// with. The cap is enforced at compaction, not on open.
-    pub fn with_cap(mut self, cap_bytes: u64) -> Self {
-        self.cap_bytes = cap_bytes;
+    /// Open an existing store for writing under the manifest's own
+    /// recorded model version — the persistent generation is left
+    /// untouched. Offline maintenance (`whoisml store compact`) uses
+    /// this; it takes the single-writer lock like any writable open,
+    /// so it fails fast against a running daemon instead of corrupting
+    /// its segments. Fails if `dir` holds no manifest.
+    pub fn open_existing(dir: impl AsRef<Path>, cap_bytes: u64, sync: bool) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let bytes = fs::read(dir.join(MANIFEST))?;
+        let version = serde_json::from_slice::<Manifest>(&bytes)
+            .map(|m| m.model_version)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Self::open_for_model(dir, &version, cap_bytes, sync)
+    }
+
+    /// Replace the size at which the active segment is sealed and
+    /// remapped read-only (tests use tiny thresholds to exercise
+    /// multi-segment stores cheaply).
+    pub fn with_seal_bytes(mut self, seal_bytes: u64) -> Self {
+        self.seal_bytes = seal_bytes;
         self
     }
 
@@ -353,6 +403,7 @@ impl RecordStore {
     /// (`cache_key(0, domain, body)`). Returns `Ok(false)` if an entry
     /// for this key and the current generation is already on disk.
     pub fn put_parsed(&self, body_key: u64, value: &str) -> io::Result<bool> {
+        self.require_writable()?;
         let mut inner = self.inner.lock();
         let generation = inner.manifest.generation;
         let key = parsed_key(generation, body_key);
@@ -376,6 +427,7 @@ impl RecordStore {
     /// one. Returns `Ok(false)` if the identical body is already
     /// stored (no bytes written).
     pub fn put_raw(&self, domain: &str, body: &str) -> io::Result<bool> {
+        self.require_writable()?;
         let lower = domain.to_lowercase();
         let key = raw_key(&lower);
         let mut inner = self.inner.lock();
@@ -418,6 +470,7 @@ impl RecordStore {
     /// untouched. Persisted before returning so a crash immediately
     /// after a swap can never resurrect old-model parses.
     pub fn bump_generation(&self, model_version: &str) -> io::Result<u64> {
+        self.require_writable()?;
         let mut inner = self.inner.lock();
         inner.manifest.generation += 1;
         inner.manifest.model_version = model_version.to_string();
@@ -451,37 +504,69 @@ impl RecordStore {
     /// the manifest. If a byte cap is set and live data exceeds it,
     /// the oldest parsed entries are evicted first (they can always be
     /// re-derived), then the oldest raw records.
+    ///
+    /// The expensive work — scanning every segment, rewriting and
+    /// fsyncing the replacement — runs with **no store lock held**: the
+    /// pass seals the active segment, snapshots the (now immutable)
+    /// segments and index, writes the new segment unlocked, then
+    /// re-validates under the lock. An entry overwritten mid-pass keeps
+    /// pointing at its newer copy (the rewritten duplicate becomes dead
+    /// weight for the next pass), so serving is blocked only for the
+    /// brief swap, never for the rewrite.
     pub fn compact(&self) -> io::Result<CompactionReport> {
-        let mut inner = self.inner.lock();
-        let inner = &mut *inner;
-        let segments_before = inner.sealed.len() as u64 + u64::from(inner.active.is_some());
-        let bytes_before = inner.total_bytes;
+        self.require_writable()?;
+        // One pass at a time; a concurrent caller queues behind it.
+        let _pass = self.compact_lock.lock();
 
-        // Live entries in segment/offset order (oldest first), copied
-        // out before any file is touched.
-        struct Live {
+        // Phase 1 (locked): seal the active segment so every snapshot
+        // segment is immutable, snapshot segments + index, and reserve
+        // the output id — an append during the pass must not collide
+        // with it. (If we crash, the reserved file is unlisted and the
+        // next open sweeps it.)
+        let (snap_segments, snap_ids, snap_parsed, snap_raw, new_id, segments_before, bytes_before);
+        {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            segments_before = inner.sealed.len() as u64 + u64::from(inner.active.is_some());
+            bytes_before = inner.total_bytes;
+            self.seal_active(inner)?;
+            snap_segments = inner.sealed.clone();
+            snap_ids = inner.manifest.segments.clone();
+            snap_parsed = inner.parsed.clone();
+            snap_raw = inner.raw.clone();
+            new_id = inner.manifest.next_segment;
+            inner.manifest.next_segment += 1;
+        }
+        let snap_set: HashSet<u64> = snap_ids.iter().copied().collect();
+
+        // Phase 2 (unlocked): collect live entries oldest-first
+        // (borrowing straight from the snapshot maps — nothing is
+        // copied to the heap beyond the write buffer), enforce the
+        // cap, and write + fsync the replacement segment, fully
+        // durable before the manifest ever mentions it.
+        struct Live<'a> {
             kind: EntryKind,
             generation: u64,
             key: u64,
-            domain: String,
-            value: String,
+            index_key: u64,
+            domain: &'a str,
+            value: &'a str,
             frame_len: u64,
         }
-        let mut live: Vec<Live> = Vec::with_capacity(inner.parsed.len() + inner.raw.len());
-        let ids: Vec<u64> = inner.manifest.segments.clone();
-        for id in ids {
-            let Some(bytes) = inner.segment_bytes(id) else {
+        let mut live: Vec<Live<'_>> = Vec::with_capacity(snap_parsed.len() + snap_raw.len());
+        for &id in &snap_ids {
+            let Some(seg) = snap_segments.iter().find(|s| s.id == id) else {
                 continue;
             };
-            let (entries, _) = segment::scan_bytes(bytes);
+            let (entries, _) = seg.scan();
             for (off, entry) in entries {
                 let index_key = match entry.kind {
                     EntryKind::Parsed => parsed_key(entry.generation, entry.key),
                     EntryKind::Raw => entry.key,
                 };
                 let map = match entry.kind {
-                    EntryKind::Parsed => &inner.parsed,
-                    EntryKind::Raw => &inner.raw,
+                    EntryKind::Parsed => &snap_parsed,
+                    EntryKind::Raw => &snap_raw,
                 };
                 let is_live = map
                     .get(&index_key)
@@ -491,8 +576,9 @@ impl RecordStore {
                         kind: entry.kind,
                         generation: entry.generation,
                         key: entry.key,
-                        domain: entry.domain.to_string(),
-                        value: entry.value.to_string(),
+                        index_key,
+                        domain: entry.domain,
+                        value: entry.value,
                         frame_len: ENTRY_OVERHEAD
                             + entry.domain.len() as u64
                             + entry.value.len() as u64,
@@ -502,98 +588,111 @@ impl RecordStore {
         }
 
         // Cap enforcement: evict oldest-first, parsed before raw.
+        let mut evicted: Vec<(EntryKind, u64)> = Vec::new();
         let mut evicted_parsed = 0u64;
         let mut evicted_raw = 0u64;
         if self.cap_bytes > 0 {
             let mut total: u64 = MAGIC.len() as u64 + live.iter().map(|l| l.frame_len).sum::<u64>();
             for pass in [EntryKind::Parsed, EntryKind::Raw] {
-                let mut i = 0;
-                while total > self.cap_bytes && i < live.len() {
-                    if live[i].kind == pass {
-                        let victim = live.remove(i);
-                        total -= victim.frame_len;
+                live.retain(|l| {
+                    if total > self.cap_bytes && l.kind == pass {
+                        total -= l.frame_len;
+                        evicted.push((l.kind, l.index_key));
                         match pass {
                             EntryKind::Parsed => evicted_parsed += 1,
                             EntryKind::Raw => evicted_raw += 1,
                         }
+                        false
                     } else {
-                        i += 1;
+                        true
                     }
-                }
+                });
             }
         }
 
-        // Write the replacement segment, fully durable before the
-        // manifest ever mentions it.
-        let new_id = inner.manifest.next_segment;
         let new_path = self.dir.join(segment::file_name(new_id));
-        let mut buf = MAGIC.to_vec();
         let mut offsets = Vec::with_capacity(live.len());
-        for l in &live {
-            offsets.push(buf.len() as u64);
-            buf.extend_from_slice(&segment::frame_entry(
-                l.kind,
-                l.generation,
-                l.key,
-                &l.domain,
-                &l.value,
-            ));
-        }
         {
-            let mut f = File::create(&new_path)?;
-            f.write_all(&buf)?;
+            let mut w = io::BufWriter::new(File::create(&new_path)?);
+            w.write_all(MAGIC)?;
+            let mut off = MAGIC.len() as u64;
+            for l in &live {
+                let framed = segment::frame_entry(l.kind, l.generation, l.key, l.domain, l.value);
+                offsets.push(off);
+                w.write_all(&framed)?;
+                off += framed.len() as u64;
+            }
+            let f = w.into_inner().map_err(|e| e.into_error())?;
             f.sync_data()?;
         }
+        let new_seg = Arc::new(Segment::open(&self.dir, new_id)?);
 
-        let old_files: Vec<PathBuf> = inner
-            .manifest
+        // Phase 3 (locked): re-point index entries still served from a
+        // snapshot segment at their rewritten copies, drop cap
+        // evictions the same guarded way, and commit the manifest.
+        // Entries appended or overwritten during phase 2 live in
+        // post-seal segments — their index locations are left alone.
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        for (l, &off) in live.iter().zip(&offsets) {
+            let map = match l.kind {
+                EntryKind::Parsed => &mut inner.parsed,
+                EntryKind::Raw => &mut inner.raw,
+            };
+            if let Some(cur) = map.get_mut(&l.index_key) {
+                if snap_set.contains(&cur.seg) {
+                    *cur = Loc {
+                        seg: new_id,
+                        off,
+                        frame_len: l.frame_len,
+                    };
+                }
+            }
+        }
+        for (kind, index_key) in &evicted {
+            let map = match kind {
+                EntryKind::Parsed => &mut inner.parsed,
+                EntryKind::Raw => &mut inner.raw,
+            };
+            if map
+                .get(index_key)
+                .is_some_and(|cur| snap_set.contains(&cur.seg))
+            {
+                map.remove(index_key);
+            }
+        }
+
+        // The new segment precedes every post-seal segment in the list
+        // (manifest order is age order — the rebuild-on-open scan
+        // relies on last-write-wins).
+        let mut manifest = inner.manifest.clone();
+        let survivors: Vec<u64> = manifest
             .segments
             .iter()
-            .map(|&id| self.dir.join(segment::file_name(id)))
+            .copied()
+            .filter(|id| !snap_set.contains(id))
             .collect();
-
-        let mut manifest = inner.manifest.clone();
-        manifest.segments = vec![new_id];
-        manifest.next_segment = new_id + 1;
+        manifest.segments = std::iter::once(new_id).chain(survivors).collect();
+        manifest.next_segment = manifest.next_segment.max(new_id + 1);
         manifest.compactions += 1;
         persist_manifest(&self.dir, &manifest, self.sync)?;
 
-        // The swap is committed; old segments are garbage now.
-        for path in old_files {
-            let _ = fs::remove_file(path);
+        // The swap is committed; the snapshot segments are garbage.
+        for &id in &snap_ids {
+            let _ = fs::remove_file(self.dir.join(segment::file_name(id)));
         }
 
-        let new_seg = Segment::open(&self.dir, new_id)?;
-        let mut parsed = HashMap::new();
-        let mut raw = HashMap::new();
-        let mut live_bytes = 0u64;
-        for (l, off) in live.iter().zip(offsets) {
-            let loc = Loc {
-                seg: new_id,
-                off,
-                frame_len: l.frame_len,
-            };
-            match l.kind {
-                EntryKind::Parsed => {
-                    parsed.insert(parsed_key(l.generation, l.key), loc);
-                }
-                EntryKind::Raw => {
-                    raw.insert(l.key, loc);
-                }
-            }
-            live_bytes += l.frame_len;
-        }
         inner.manifest = manifest;
-        inner.total_bytes = new_seg.len();
-        inner.live_bytes = live_bytes;
-        inner.sealed = vec![new_seg];
-        inner.active = None;
-        inner.parsed = parsed;
-        inner.raw = raw;
+        inner.sealed.retain(|s| !snap_set.contains(&s.id));
+        inner.sealed.insert(0, new_seg);
+        inner.total_bytes = inner.sealed.iter().map(|s| s.len()).sum::<u64>()
+            + inner.active.as_ref().map_or(0, |a| a.tail.len() as u64);
+        inner.live_bytes = inner.parsed.values().map(|l| l.frame_len).sum::<u64>()
+            + inner.raw.values().map(|l| l.frame_len).sum::<u64>();
 
         Ok(CompactionReport {
             segments_before,
-            segments_after: 1,
+            segments_after: inner.manifest.segments.len() as u64,
             bytes_before,
             bytes_after: inner.total_bytes,
             evicted_parsed,
@@ -660,8 +759,36 @@ impl RecordStore {
         }
     }
 
+    /// Fail every mutating call on an inspection-only store.
+    fn require_writable(&self) -> io::Result<()> {
+        if self.readonly {
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                format!("{}: store opened read-only", self.dir.display()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Seal the active segment: fsync it, drop the heap tail mirror,
+    /// and remap it read-only alongside the other sealed segments. The
+    /// next append starts a fresh active segment.
+    fn seal_active(&self, inner: &mut Inner) -> io::Result<()> {
+        match &inner.active {
+            Some(active) => active.file.sync_data()?,
+            None => return Ok(()),
+        }
+        let active = inner.active.take().expect("checked above");
+        let id = active.id;
+        drop(active);
+        inner.sealed.push(Arc::new(Segment::open(&self.dir, id)?));
+        Ok(())
+    }
+
     /// Append one framed entry to the active segment (creating it — and
-    /// registering it in the manifest — on first use this run).
+    /// registering it in the manifest — on first use since open or the
+    /// last seal), sealing the segment afterwards if it has reached the
+    /// size threshold.
     fn append_entry(
         &self,
         inner: &mut Inner,
@@ -671,6 +798,19 @@ impl RecordStore {
         domain: &str,
         value: &str,
     ) -> io::Result<Loc> {
+        // Refuse what `decode_frame` would reject on reopen: an
+        // oversized frame acknowledged here would read as a torn tail
+        // and silently truncate every entry acknowledged after it.
+        let payload_len = 1 + 8 + 8 + 4 + domain.len() + 4 + value.len();
+        if payload_len > MAX_FRAME as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "entry for {domain:?} is {payload_len} payload bytes, \
+                     over the {MAX_FRAME}-byte frame cap"
+                ),
+            ));
+        }
         if inner.active.is_none() {
             let id = inner.manifest.next_segment;
             let path = self.dir.join(segment::file_name(id));
@@ -706,13 +846,90 @@ impl RecordStore {
             active.file.sync_data()?;
         }
         active.tail.extend_from_slice(&framed);
-        inner.total_bytes += framed.len() as u64;
-        Ok(Loc {
+        let loc = Loc {
             seg: active.id,
             off,
             frame_len: framed.len() as u64,
-        })
+        };
+        let full = active.tail.len() as u64 >= self.seal_bytes;
+        inner.total_bytes += framed.len() as u64;
+        if full {
+            self.seal_active(inner)?;
+        }
+        Ok(loc)
     }
+}
+
+/// Take the single-writer lock: an exclusive advisory lock on `LOCK`
+/// in the store directory, held until the returned handle drops. Both
+/// locks on one open file description, so a second writable open in
+/// the *same* process conflicts too.
+fn acquire_write_lock(dir: &Path) -> io::Result<File> {
+    let lock = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .write(true)
+        .open(dir.join(LOCK_FILE))?;
+    match lock.try_lock() {
+        Ok(()) => Ok(lock),
+        Err(TryLockError::WouldBlock) => Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "store is locked by another writer (a daemon or an offline \
+             `whoisml store compact`)",
+        )),
+        Err(TryLockError::Error(e)) => Err(e),
+    }
+}
+
+fn check_format(manifest: &Manifest) -> io::Result<()> {
+    if manifest.format != MANIFEST_FORMAT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported store manifest format {:?}", manifest.format),
+        ));
+    }
+    Ok(())
+}
+
+/// Rebuild the index from sealed segments, last write wins (segments
+/// in manifest order, offsets in append order). Parsed entries from
+/// other generations are dead weight until compaction. Returns
+/// `(parsed, raw, total_bytes, live_bytes)`.
+#[allow(clippy::type_complexity)]
+fn build_index(
+    sealed: &[Arc<Segment>],
+    generation: u64,
+) -> (HashMap<u64, Loc>, HashMap<u64, Loc>, u64, u64) {
+    let mut parsed = HashMap::new();
+    let mut raw = HashMap::new();
+    let mut total_bytes = 0u64;
+    let mut live_bytes = 0u64;
+    for seg in sealed {
+        total_bytes += seg.len();
+        let (entries, _) = seg.scan();
+        for (off, entry) in entries {
+            let frame_len = ENTRY_OVERHEAD + entry.domain.len() as u64 + entry.value.len() as u64;
+            let loc = Loc {
+                seg: seg.id,
+                off,
+                frame_len,
+            };
+            let slot = match entry.kind {
+                EntryKind::Parsed => {
+                    if entry.generation != generation {
+                        continue;
+                    }
+                    parsed.insert(parsed_key(entry.generation, entry.key), loc)
+                }
+                EntryKind::Raw => raw.insert(entry.key, loc),
+            };
+            live_bytes += frame_len;
+            if let Some(old) = slot {
+                live_bytes -= old.frame_len;
+            }
+        }
+    }
+    (parsed, raw, total_bytes, live_bytes)
 }
 
 /// Truncate a listed segment back to its last whole frame (or recreate
@@ -1019,6 +1236,207 @@ mod tests {
         assert_eq!(report.torn_bytes, 0);
         assert_eq!(report.index_parsed, 1);
         assert_eq!(report.index_raw, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_acknowledged() {
+        let dir = tmp_dir("oversized");
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        store.put_raw("ok.com", "fits\n").unwrap();
+        // Release builds must refuse this too: an acked over-cap frame
+        // would decode as a torn tail on reopen, silently truncating
+        // it and everything acknowledged after it.
+        let huge = "x".repeat(crate::frame::MAX_FRAME as usize + 1);
+        let err = store.put_raw("big.com", &huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = store
+            .put_parsed(cache_key(0, "big.com", "b"), &huge)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        store.put_raw("after.com", "still fine\n").unwrap();
+        drop(store);
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert_eq!(store.stats().last_recovery_truncated, 0);
+        assert_eq!(store.get_raw("ok.com").as_deref(), Some("fits\n"));
+        assert_eq!(store.get_raw("after.com").as_deref(), Some("still fine\n"));
+        assert!(store.get_raw("big.com").is_none());
+        assert!(store.verify().ok());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn active_segment_seals_at_threshold() {
+        let dir = tmp_dir("seal");
+        let body = "b".repeat(512);
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false)
+                .unwrap()
+                .with_seal_bytes(4 << 10);
+            for i in 0..40 {
+                store.put_raw(&format!("d{i}.com"), &body).unwrap();
+            }
+            let stats = store.stats();
+            assert!(
+                stats.segments > 1,
+                "the size threshold must seal mid-run: {stats:?}"
+            );
+            for i in 0..40 {
+                assert_eq!(
+                    store.get_raw(&format!("d{i}.com")).as_deref(),
+                    Some(body.as_str()),
+                    "entry d{i} must survive its segment sealing"
+                );
+            }
+            assert!(store.verify().ok());
+        }
+        // A store sealed mid-run reopens like any other, and
+        // compaction folds the segments back into one.
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert_eq!(store.stats().raw_entries, 40);
+        let report = store.compact().unwrap();
+        assert!(report.segments_before > 1);
+        assert_eq!(store.stats().segments, 1);
+        assert_eq!(store.get_raw("d0.com").as_deref(), Some(body.as_str()));
+        assert_eq!(store.get_raw("d39.com").as_deref(), Some(body.as_str()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readonly_open_never_mutates_and_rejects_writes() {
+        let dir = tmp_dir("readonly");
+        let k = cache_key(0, "a.com", "body\n");
+        {
+            let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+            store.put_raw("a.com", "body\n").unwrap();
+            store.put_parsed(k, "reply\n").unwrap();
+            store.sync().unwrap();
+        }
+        // Plant everything a *writable* open would clean up: a stray
+        // segment, a manifest temp file, and a torn tail.
+        let stray = dir.join(segment::file_name(77));
+        fs::write(&stray, MAGIC).unwrap();
+        fs::write(dir.join(MANIFEST_TMP), b"half-written").unwrap();
+        let seg0 = dir.join(segment::file_name(0));
+        let clean_len = fs::read(&seg0).unwrap().len();
+        let mut torn = fs::read(&seg0).unwrap();
+        torn.extend_from_slice(&[0xAB; 5]);
+        fs::write(&seg0, &torn).unwrap();
+
+        let store = RecordStore::open_readonly(&dir).unwrap();
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        assert_eq!(store.get_parsed(k).as_deref(), Some("reply\n"));
+        assert!(store.verify().ok());
+        for err in [
+            store.put_raw("b.com", "x").unwrap_err(),
+            store.put_parsed(1, "x").unwrap_err(),
+            store.bump_generation("m2").unwrap_err(),
+            store.compact().unwrap_err(),
+        ] {
+            assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        }
+        drop(store);
+        assert!(stray.exists(), "read-only open must not sweep strays");
+        assert!(
+            dir.join(MANIFEST_TMP).exists(),
+            "read-only open must not delete the manifest temp"
+        );
+        assert_eq!(
+            fs::read(&seg0).unwrap().len(),
+            torn.len(),
+            "read-only open must not truncate torn tails"
+        );
+
+        // A writable open still recovers and sweeps all of it.
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert!(!stray.exists());
+        assert!(!dir.join(MANIFEST_TMP).exists());
+        assert_eq!(fs::read(&seg0).unwrap().len(), clean_len);
+        assert!(store.stats().last_recovery_truncated > 0);
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_writer_is_locked_out_while_readers_are_not() {
+        let dir = tmp_dir("lock");
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        store.put_raw("a.com", "body\n").unwrap();
+        let err = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let err = RecordStore::open_existing(&dir, 0, false).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Inspection needs no lock and sees the live writer's data.
+        let ro = RecordStore::open_readonly(&dir).unwrap();
+        assert_eq!(ro.get_raw("a.com").as_deref(), Some("body\n"));
+        drop(ro);
+        drop(store);
+        // The lock dies with the writer: maintenance can take over.
+        let store = RecordStore::open_existing(&dir, 0, false).unwrap();
+        store.compact().unwrap();
+        assert_eq!(store.get_raw("a.com").as_deref(), Some("body\n"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn puts_racing_a_compaction_survive() {
+        let dir = tmp_dir("race");
+        let store = Arc::new(RecordStore::open_for_model(&dir, "m1", 0, false).unwrap());
+        // Build a store with dead weight (every key overwritten once).
+        for round in 0..2 {
+            for i in 0..200 {
+                store
+                    .put_raw(&format!("d{i}.com"), &format!("r{round}-{i}"))
+                    .unwrap();
+            }
+        }
+        // Overwrite half the keys and add new ones while a compaction
+        // pass runs: whatever the interleaving, last write must win
+        // and nothing may be lost.
+        let compactor = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || store.compact().unwrap())
+        };
+        for i in 0..100 {
+            store
+                .put_raw(&format!("d{i}.com"), &format!("mid-{i}"))
+                .unwrap();
+        }
+        for i in 200..300 {
+            store
+                .put_raw(&format!("d{i}.com"), &format!("new-{i}"))
+                .unwrap();
+        }
+        compactor.join().unwrap();
+        for i in 0..100 {
+            assert_eq!(
+                store.get_raw(&format!("d{i}.com")).as_deref(),
+                Some(format!("mid-{i}").as_str())
+            );
+        }
+        for i in 100..200 {
+            assert_eq!(
+                store.get_raw(&format!("d{i}.com")).as_deref(),
+                Some(format!("r1-{i}").as_str())
+            );
+        }
+        for i in 200..300 {
+            assert_eq!(
+                store.get_raw(&format!("d{i}.com")).as_deref(),
+                Some(format!("new-{i}").as_str())
+            );
+        }
+        assert!(store.verify().ok());
+        store.sync().unwrap();
+        drop(store);
+        // Everything above survives a reopen (the manifest kept the
+        // compacted segment *and* the mid-pass active segment, oldest
+        // first).
+        let store = RecordStore::open_for_model(&dir, "m1", 0, false).unwrap();
+        assert_eq!(store.stats().raw_entries, 300);
+        assert_eq!(store.get_raw("d0.com").as_deref(), Some("mid-0"));
+        assert_eq!(store.get_raw("d150.com").as_deref(), Some("r1-150"));
+        assert_eq!(store.get_raw("d250.com").as_deref(), Some("new-250"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -532,10 +532,11 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
 /// `whoisml store stat|verify|compact --dir store/ [--cap BYTES]`:
 /// offline inspection and maintenance of a record-store directory.
 ///
-/// `stat` and `verify` open the store read-only (safe against a running
-/// daemon's segments — sealed files are immutable); `compact` takes
-/// single-writer ownership and must not race a live daemon on the same
-/// directory.
+/// `stat` and `verify` open the store strictly read-only — they never
+/// truncate, sweep, or rewrite anything in the directory — so they are
+/// safe to run against a live daemon. `compact` opens for writing
+/// under the store's single-writer lock (without touching the
+/// persistent generation) and fails fast if a daemon holds the lock.
 fn cmd_store(args: &[String], flags: &Flags) -> Result<(), String> {
     let action = args
         .iter()
@@ -566,9 +567,8 @@ fn cmd_store(args: &[String], flags: &Flags) -> Result<(), String> {
         }
         "compact" => {
             let cap: u64 = flags.get_or("cap", 0);
-            let store = whoisml::store::RecordStore::open_readonly(&dir)
-                .map_err(|e| format!("{}: {e}", dir.display()))?
-                .with_cap(cap);
+            let store = whoisml::store::RecordStore::open_existing(&dir, cap, true)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
             let report = store.compact().map_err(|e| e.to_string())?;
             println!(
                 "{}",
