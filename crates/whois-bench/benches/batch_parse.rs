@@ -85,8 +85,9 @@ fn write_summary(parser: &WhoisParser, raws: &[RawRecord]) {
         ));
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
-        "{{\n  \"bench\": \"batch_parse\",\n  \"records\": {},\n  \"available_cores\": {cores},\n  \
+        "{{\n  \"bench\": \"batch_parse\",\n  \"records\": {},\n  \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \
          \"naive_records_per_sec\": {naive:.1},\n  \"engine\": [\n{engine_entries}\n  ]\n}}\n",
         raws.len()
     );

@@ -24,7 +24,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whois_bench::{corpus, first_level_examples, second_level_examples};
+use whois_bench::{corpus, first_level_examples, kernel_level_name, second_level_examples};
 use whois_net::event::{Interest, Poller};
 use whois_net::{Chunk, EventConn, ServingMode};
 use whois_parser::{ParserConfig, WhoisParser};
@@ -318,8 +318,9 @@ fn write_summary() {
             })
             .collect();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
-        "{{\n  \"bench\": \"connections\",\n  \"available_cores\": {cores},\n  \
+        "{{\n  \"bench\": \"connections\",\n  \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \
          \"levels\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );

@@ -20,7 +20,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whois_bench::corpus;
+use whois_bench::{corpus, kernel_level_name};
 use whois_net::{
     BreakerConfig, Crawler, CrawlerConfig, FaultConfig, InMemoryStore, ServerConfig, WhoisClient,
     WhoisServer,
@@ -193,10 +193,11 @@ fn write_summary() {
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
         "{{\n  \"bench\": \"crawl_faults\",\n  \"zone_size\": {ZONE_SIZE},\n  \
          \"retries\": 3,\n  \"salvage_passes\": 2,\n  \"breaker_threshold\": 5,\n  \
-         \"available_cores\": {cores},\n  \"runs\": [\n{entries}\n  ]\n}}\n"
+         \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \"runs\": [\n{entries}\n  ]\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Instant;
-use whois_bench::{corpus, first_level_examples};
+use whois_bench::{corpus, first_level_examples, kernel_level_name};
 use whois_crf::{Crf, Instance, NaiveObjective, Objective};
 use whois_model::Label;
 use whois_parser::{Encoder, FeatureOptions};
@@ -181,9 +181,10 @@ fn write_summary() {
         ));
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
         "{{\n  \"bench\": \"crf_training\",\n  \"records\": {},\n  \"dim\": {},\n  \
-         \"available_cores\": {cores},\n  \"objective_evals\": [\n{entries}\n  ]\n}}\n",
+         \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \"objective_evals\": [\n{entries}\n  ]\n}}\n",
         data.len(),
         crf.dim()
     );

@@ -165,9 +165,10 @@ fn write_summary(parser: &WhoisParser) {
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
         "{{\n  \"bench\": \"decode_tier\",\n  \"records\": {CORPUS_RECORDS},\n  \
-         \"skewed_pool\": {SKEWED_POOL},\n  \"available_cores\": {cores},\n  \
+         \"skewed_pool\": {SKEWED_POOL},\n  \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \
          \"line_cache\": \"disabled\",\n  \"runs\": [\n{entries}\n  ]\n}}\n"
     );
     let path = concat!(

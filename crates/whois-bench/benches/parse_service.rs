@@ -212,9 +212,10 @@ fn write_summary(parser: &WhoisParser, raws: &[RawRecord], lines: &Arc<Vec<Strin
     }
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
         "{{\n  \"bench\": \"parse_service\",\n  \"records\": {},\n  \"sweeps\": {SWEEPS},\n  \
-         \"available_cores\": {cores},\n  \"uncached_engine_records_per_sec\": {uncached:.1},\n  \
+         \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \"uncached_engine_records_per_sec\": {uncached:.1},\n  \
          \"service\": [\n{entries}\n  ]\n}}\n",
         raws.len()
     );

@@ -223,8 +223,9 @@ fn write_summary() {
         ));
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
     let summary = format!(
-        "{{\n  \"bench\": \"record_store\",\n  \"available_cores\": {cores},\n  \
+        "{{\n  \"bench\": \"record_store\",\n  \"available_cores\": {cores},\n  \"kernel\": \"{kernel}\",\n  \
          \"sync\": false,\n  \"runs\": [\n{entries}\n  ]\n}}\n"
     );
     let path = concat!(

@@ -1,0 +1,246 @@
+//! SIMD kernel levels: the same fast-decode and training workloads run
+//! at every dispatchable [`KernelLevel`], scalar included.
+//!
+//! The kernels in `whois-crf::kernels` are bit-exact across levels by
+//! construction, so this bench is pure speed: it compiles the fast tier
+//! and the training objective per level via the explicit-level
+//! constructors (`FastParser::compile_with_kernel` /
+//! `Objective::with_kernel`) and reports records/sec and evals/sec per
+//! level, plus each level's speedup over scalar, to
+//! `results/BENCH_simd_kernels.json`. The `kernel` header field records
+//! what runtime dispatch picked on this host (honoring
+//! `WHOIS_FORCE_SCALAR=1`).
+//!
+//! `WHOIS_BENCH_SMOKE=1` swaps in a seconds-long correctness check:
+//! every supported level's parse output and objective value/gradient
+//! are bit-identical to scalar's.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Instant;
+use whois_bench::{corpus, first_level_examples, kernel_level_name, second_level_examples};
+use whois_crf::{Crf, Instance, KernelLevel, Objective};
+use whois_model::{Label, RawRecord};
+use whois_parser::{
+    DecodeCounters, DecodeTier, Encoder, FeatureOptions, LineCache, ParseEngine, ParserConfig,
+    WhoisParser,
+};
+
+/// Records in the uniform decode corpus (every record distinct).
+const CORPUS_RECORDS: usize = 1200;
+const L2: f64 = 1e-3;
+
+fn supported_levels() -> Vec<KernelLevel> {
+    KernelLevel::ALL
+        .into_iter()
+        .filter(|l| l.is_supported())
+        .collect()
+}
+
+fn trained_parser() -> WhoisParser {
+    let train = corpus(13, 300);
+    WhoisParser::train(
+        &first_level_examples(&train),
+        &second_level_examples(&train),
+        &ParserConfig::default(),
+    )
+}
+
+fn uniform_corpus(n: usize) -> Vec<RawRecord> {
+    corpus(97, n).iter().map(|d| d.raw()).collect()
+}
+
+/// Uncached fast-tier engine pinned to one kernel level.
+fn engine_at(parser: &WhoisParser, level: KernelLevel) -> ParseEngine {
+    ParseEngine::with_decode_tier(
+        parser.clone(),
+        1,
+        Arc::new(LineCache::disabled()),
+        DecodeTier::Fast,
+        Arc::new(DecodeCounters::new()),
+    )
+    .with_kernel_level(level)
+}
+
+/// Training objective inputs on the first-level feature space.
+fn train_instances(seed: u64, n: usize) -> (Crf, Vec<Instance>) {
+    let domains = corpus(seed, n);
+    let examples = first_level_examples(&domains);
+    let encoder = Encoder::fit(
+        examples.iter().map(|e| e.text.as_str()),
+        FeatureOptions::default(),
+        1,
+    );
+    let crf = Crf::new(
+        whois_model::BlockLabel::COUNT,
+        encoder.dictionary().len(),
+        &encoder.pair_eligibility(),
+    );
+    let data = examples
+        .iter()
+        .map(|e| {
+            Instance::new(
+                encoder.encode_text(&e.text),
+                e.labels.iter().map(|l| l.index()).collect(),
+            )
+        })
+        .collect();
+    (crf, data)
+}
+
+fn weights(dim: usize) -> Vec<f64> {
+    (0..dim).map(|i| ((i as f64) * 0.37).sin() * 0.1).collect()
+}
+
+/// `WHOIS_BENCH_SMOKE=1`: bit-identity across levels instead of speed.
+fn smoke() {
+    let parser = trained_parser();
+    let records = uniform_corpus(60);
+    let scalar = engine_at(&parser, KernelLevel::Scalar);
+    let want = scalar.parse_batch(&records);
+    let (crf, data) = train_instances(11, 12);
+    let w = weights(crf.dim());
+    let mut g_scalar = vec![0.0; crf.dim()];
+    let mut obj_scalar = Objective::with_kernel(crf.clone(), &data, L2, 1, KernelLevel::Scalar);
+    let f_scalar = obj_scalar.eval(&w, &mut g_scalar);
+    for level in supported_levels() {
+        let engine = engine_at(&parser, level);
+        assert_eq!(
+            engine.parse_batch(&records),
+            want,
+            "smoke: {} parse output must be bit-identical to scalar",
+            level.name()
+        );
+        let mut g = vec![0.0; crf.dim()];
+        let mut obj = Objective::with_kernel(crf.clone(), &data, L2, 1, level);
+        let f = obj.eval(&w, &mut g);
+        assert_eq!(
+            f.to_bits(),
+            f_scalar.to_bits(),
+            "smoke: {} objective must be bit-identical to scalar",
+            level.name()
+        );
+        for (i, (a, b)) in g.iter().zip(&g_scalar).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "smoke: {} gradient[{i}] must be bit-identical to scalar",
+                level.name()
+            );
+        }
+    }
+    eprintln!(
+        "[simd_kernels] smoke ok: {} levels bit-identical to scalar (active: {})",
+        supported_levels().len(),
+        kernel_level_name()
+    );
+}
+
+fn bench_simd_kernels(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    let parser = trained_parser();
+    let records = uniform_corpus(CORPUS_RECORDS);
+    let mut group = c.benchmark_group("simd_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(records.len() as u64));
+    for level in supported_levels() {
+        let engine = engine_at(&parser, level);
+        group.bench_function(BenchmarkId::new("fast_decode", level.name()), |b| {
+            b.iter(|| engine.parse_batch(&records).len())
+        });
+    }
+    let (crf, data) = train_instances(11, 200);
+    let w = weights(crf.dim());
+    for level in supported_levels() {
+        group.bench_function(BenchmarkId::new("engine_eval", level.name()), |b| {
+            let mut obj = Objective::with_kernel(crf.clone(), &data, L2, 1, level);
+            let mut g = vec![0.0; crf.dim()];
+            b.iter(|| obj.eval(&w, &mut g))
+        });
+    }
+    group.finish();
+
+    write_summary(&parser);
+}
+
+/// Best-of-3 wall-clock rate for `units` of work per run, after warm-up.
+fn best_rate(units: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            units as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn write_summary(parser: &WhoisParser) {
+    let records = uniform_corpus(CORPUS_RECORDS);
+    let (crf, data) = train_instances(11, 200);
+    let w = weights(crf.dim());
+    let evals = 5;
+
+    let mut decode_rates = Vec::new();
+    let mut eval_rates = Vec::new();
+    for level in supported_levels() {
+        let engine = engine_at(parser, level);
+        decode_rates.push((
+            level,
+            best_rate(records.len(), || {
+                criterion::black_box(engine.parse_batch(&records));
+            }),
+        ));
+        let mut obj = Objective::with_kernel(crf.clone(), &data, L2, 1, level);
+        let mut g = vec![0.0; crf.dim()];
+        eval_rates.push((
+            level,
+            best_rate(evals, || {
+                for _ in 0..evals {
+                    criterion::black_box(obj.eval(&w, &mut g));
+                }
+            }),
+        ));
+    }
+    let scalar_decode = decode_rates[0].1;
+    let scalar_eval = eval_rates[0].1;
+    let mut entries = String::new();
+    for ((level, decode), (_, eval)) in decode_rates.iter().zip(&eval_rates) {
+        if !entries.is_empty() {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\"level\": \"{}\", \"fast_decode_records_per_sec\": {decode:.1}, \
+             \"decode_speedup_vs_scalar\": {:.3}, \"engine_evals_per_sec\": {eval:.2}, \
+             \"eval_speedup_vs_scalar\": {:.3}}}",
+            level.name(),
+            decode / scalar_decode,
+            eval / scalar_eval,
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
+    let summary = format!(
+        "{{\n  \"bench\": \"simd_kernels\",\n  \"records\": {CORPUS_RECORDS},\n  \
+         \"train_records\": {},\n  \"dim\": {},\n  \"available_cores\": {cores},\n  \
+         \"kernel\": \"{kernel}\",\n  \"levels\": [\n{entries}\n  ]\n}}\n",
+        data.len(),
+        crf.dim(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_simd_kernels.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[simd_kernels] summary written to {path}"),
+        Err(e) => eprintln!("[simd_kernels] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+criterion_group!(benches, bench_simd_kernels);
+criterion_main!(benches);

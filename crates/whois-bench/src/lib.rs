@@ -60,6 +60,14 @@ impl Args {
     }
 }
 
+/// Stable name of the process-wide SIMD kernel level
+/// (`"scalar"`/`"sse2"`/`"avx2"`), recorded in every `BENCH_*.json`
+/// header so results are comparable across hosts and under
+/// `WHOIS_FORCE_SCALAR=1`.
+pub fn kernel_level_name() -> &'static str {
+    whois_crf::kernels::KernelLevel::active().name()
+}
+
 /// Generate the standard experiment corpus.
 pub fn corpus(seed: u64, count: usize) -> Vec<GeneratedDomain> {
     generate_corpus(GenConfig::new(seed, count))

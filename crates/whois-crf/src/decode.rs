@@ -29,6 +29,7 @@
 //! (margin 0) always fall back, so `f32` tie-breaking never decides a
 //! label.
 
+use crate::kernels::{self, KernelLevel};
 use crate::model::Crf;
 
 /// Sentinel offset: the feature has no compiled stripe/block (pruned,
@@ -56,6 +57,9 @@ pub struct DecodeModel {
     pair_off: Vec<u32>,
     pruned_emit: usize,
     pruned_pair: usize,
+    /// SIMD level resolved at compile time (bit-exact across levels; see
+    /// [`crate::kernels`]).
+    kernel: KernelLevel,
 }
 
 /// Reusable buffers for batched Viterbi decoding.
@@ -64,6 +68,8 @@ pub struct DecodeScratch {
     v: Vec<f32>,
     back: Vec<u32>,
     gap: Vec<f32>,
+    best: Vec<f32>,
+    second: Vec<f32>,
     /// The decoded state path of the last
     /// [`viterbi_batch_into`](DecodeModel::viterbi_batch_into) call.
     pub path: Vec<usize>,
@@ -78,8 +84,16 @@ impl DecodeScratch {
 
 impl DecodeModel {
     /// Compile `crf` into the fast tier. `O(dim)` — run once per model
-    /// install, not per record.
+    /// install, not per record. Scoring and decoding run on the
+    /// process-wide [`KernelLevel::active`] SIMD level.
     pub fn compile(crf: &Crf) -> Self {
+        Self::compile_with_kernel(crf, KernelLevel::active())
+    }
+
+    /// Compile with an explicit kernel level — the differential-testing
+    /// hook (levels are bit-exact, so this never changes output, only
+    /// speed). Unsupported levels degrade to scalar.
+    pub fn compile_with_kernel(crf: &Crf, kernel: KernelLevel) -> Self {
         let n = crf.num_states();
         let nn = n * n;
         let w = crf.weights();
@@ -130,12 +144,18 @@ impl DecodeModel {
             pair_off,
             pruned_emit,
             pruned_pair,
+            kernel,
         }
     }
 
     /// Number of states `n`.
     pub fn num_states(&self) -> usize {
         self.n
+    }
+
+    /// The SIMD kernel level this model scores and decodes with.
+    pub fn kernel_level(&self) -> KernelLevel {
+        self.kernel
     }
 
     /// Size of the observation-feature dictionary `F`.
@@ -211,16 +231,12 @@ impl DecodeModel {
         let off = self.emit_off[f as usize];
         if off != NO_SLOT {
             let stripe = &self.stripes[off as usize..off as usize + self.n];
-            for (e, s) in emit.iter_mut().zip(stripe) {
-                *e += *s;
-            }
+            kernels::add_assign_f32(self.kernel, emit, stripe);
         }
         let poff = self.pair_off[f as usize];
         if poff != NO_SLOT {
             let block = &self.pair_blocks[poff as usize..poff as usize + self.n * self.n];
-            for (e, b) in edge.iter_mut().zip(block) {
-                *e += *b;
-            }
+            kernels::add_assign_f32(self.kernel, edge, block);
         }
     }
 
@@ -257,12 +273,18 @@ impl DecodeModel {
         let v = &mut scratch.v;
         let back = &mut scratch.back;
         let gap = &mut scratch.gap;
+        let best = &mut scratch.best;
+        let second = &mut scratch.second;
         v.clear();
         v.resize(t_len * n, 0.0);
         back.clear();
         back.resize(t_len * n, 0);
         gap.clear();
         gap.resize(t_len * n, f32::INFINITY);
+        best.clear();
+        best.resize(n, 0.0);
+        second.clear();
+        second.resize(n, 0.0);
 
         let r0 = rows[0] as usize;
         v[..n].copy_from_slice(&emit_bank[r0 * n..r0 * n + n]);
@@ -272,24 +294,21 @@ impl DecodeModel {
             let emit = &emit_bank[r * n..r * n + n];
             let (prev_rows, cur_rows) = v.split_at_mut(t * n);
             let prev = &prev_rows[(t - 1) * n..];
+            // One lane per target state j, predecessors i in ascending
+            // order with first-max tie-breaking (mirroring
+            // `numerics::arg_max`) — bit-identical in every kernel level.
+            kernels::maxplus_step_f32(
+                self.kernel,
+                prev,
+                edge,
+                best,
+                second,
+                &mut back[t * n..(t + 1) * n],
+            );
+            let gap_row = &mut gap[t * n..(t + 1) * n];
             for j in 0..n {
-                // First-max tie-breaking, mirroring `numerics::arg_max`.
-                let mut best = prev[0] + edge[j];
-                let mut best_i = 0u32;
-                let mut second = f32::NEG_INFINITY;
-                for (i, &p) in prev.iter().enumerate().skip(1) {
-                    let s = p + edge[i * n + j];
-                    if s > best {
-                        second = best;
-                        best = s;
-                        best_i = i as u32;
-                    } else if s > second {
-                        second = s;
-                    }
-                }
-                back[t * n + j] = best_i;
-                cur_rows[j] = best + emit[j];
-                gap[t * n + j] = best - second; // INFINITY when n == 1
+                cur_rows[j] = best[j] + emit[j];
+                gap_row[j] = best[j] - second[j]; // INFINITY when n == 1
             }
         }
 

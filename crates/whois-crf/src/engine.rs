@@ -12,10 +12,14 @@
 //!    (boilerplate, shared registrar templates), so each shard *interns*
 //!    its unique observation feature-sets once; records become sequences
 //!    of line ids.
-//! 2. **Per-iteration potentials.** Each iteration computes emission (and,
-//!    for pair-eligible lines, edge) potentials once **per unique line**
-//!    and gathers them into each record's score table — `O(U·F̄·n)` feature
-//!    work instead of `O(T_total·F̄·n)`.
+//! 2. **Per-iteration potentials, exponentiated once.** Each iteration
+//!    computes emission (and, for pair-eligible lines, edge) potentials
+//!    once **per unique line** — `O(U·F̄·n)` feature work instead of
+//!    `O(T_total·F̄·n)` — and exponentiates them once per unique line
+//!    (max-shifted for range safety). The per-record forward–backward
+//!    then runs in the probability domain with per-step rescaling
+//!    (Rabiner scaling), so the DP is pure multiply–adds instead of a
+//!    `log_sum_exp` per lattice cell.
 //! 3. **Precomputed observed counts.** The observed feature counts of the
 //!    gradient (`expected − observed`) are accumulated once at
 //!    construction as a sparse vector and subtracted analytically after
@@ -34,8 +38,8 @@
 //! evaluations at the same point are bit-identical: shard partition,
 //! in-shard record order, and the worker-id merge order are all fixed.
 
-use crate::inference::{backward_into, edge_marginals_into, forward_into, node_marginals_into};
-use crate::model::{Crf, ScoreTable};
+use crate::kernels::{self, KernelLevel};
+use crate::model::Crf;
 use crate::sequence::Instance;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -138,15 +142,30 @@ impl Shard {
 /// capacity across optimizer iterations.
 #[derive(Clone, Debug, Default)]
 pub struct TrainScratch {
-    /// Per-unique-line emission potentials, `U × n`.
+    /// Per-unique-line emission potentials, `U × n` (log domain; gold-path
+    /// scores read these directly).
     emit_pot: Vec<f64>,
     /// Per-pair-line edge potentials (base transitions + pair weights),
-    /// `U_pair × n × n`.
+    /// `U_pair × n × n` (log domain).
     pair_pot: Vec<f64>,
-    /// Gathered potentials of the record being processed.
-    table: ScoreTable,
+    /// `exp(emit_pot - emit_off)` per unique line, `U × n` — the
+    /// probability-domain emission factors the scaled DP multiplies with.
+    emit_exp: Vec<f64>,
+    /// Per-unique-line max emission potential (the log offset folded back
+    /// into `log Z`), `U`.
+    emit_off: Vec<f64>,
+    /// `exp(pair_pot - pair_off)` per pair line, `U_pair × n × n`.
+    pair_exp: Vec<f64>,
+    /// Per-pair-line max edge potential, `U_pair`.
+    pair_off: Vec<f64>,
+    /// `exp(base_trans - trans_off)`, `n × n`.
+    trans_exp: Vec<f64>,
+    /// Scaled forward lattice `â` (each row normalized to sum 1).
     alpha: Vec<f64>,
+    /// Scaled backward lattice `β̂` (Rabiner scaling: shares `scale`).
     beta: Vec<f64>,
+    /// Per-step normalizers `c_t`; `log Z = Σ ln c_t + Σ offsets`.
+    scale: Vec<f64>,
     /// Node marginals of the current record.
     nm: Vec<f64>,
     /// Edge marginals of the current record.
@@ -164,12 +183,22 @@ pub struct TrainScratch {
 /// accumulating `Σ ll_r` (returned) and, when `grad` is given, the
 /// **expected** feature counts of the summed negative log-likelihood into
 /// it (the observed part is handled sparsely by the caller).
+///
+/// The per-record DP runs in the probability domain with per-step
+/// rescaling (Rabiner scaling) over factors exponentiated **once per
+/// unique line**: each factor row/block is shifted by its max before
+/// `exp` (the offsets are added back into `log Z` analytically and
+/// cancel out of all marginals), so entries stay in `(0, 1]` and the
+/// recurrences are pure multiply–adds. This trades the `O(T·n²)`
+/// `exp`/`ln` calls of log-space forward–backward for `O(U·n + U_p·n²)`
+/// exponentiations plus one `ln` per position.
 fn eval_shard(
     crf: &Crf,
     w: &[f64],
     shard: &Shard,
     s: &mut TrainScratch,
     grad: Option<&mut [f64]>,
+    kernel: KernelLevel,
 ) -> f64 {
     let n = crf.num_states();
     let nn = n * n;
@@ -177,19 +206,31 @@ fn eval_shard(
     let base_trans = &w[..nn];
 
     // Phase 1: per-unique-line potentials (the dedup win — each repeated
-    // line's feature weights are summed once per iteration).
+    // line's feature weights are summed once per iteration), plus their
+    // max-shifted probability-domain factors for the scaled DP.
     s.emit_pot.clear();
     s.emit_pot.resize(u * n, 0.0);
     s.pair_pot.clear();
     s.pair_pot.resize(shard.num_pair_lines * nn, 0.0);
+    s.emit_exp.clear();
+    s.emit_exp.resize(u * n, 0.0);
+    s.emit_off.clear();
+    s.emit_off.resize(u, 0.0);
+    s.pair_exp.clear();
+    s.pair_exp.resize(shard.num_pair_lines * nn, 0.0);
+    s.pair_off.clear();
+    s.pair_off.resize(shard.num_pair_lines, 0.0);
     for line in 0..u {
         let feats = shard.feats(line);
         let row = &mut s.emit_pot[line * n..(line + 1) * n];
         for &f in feats {
             let base = crf.emit_index(f, 0);
-            for (rj, wj) in row.iter_mut().zip(&w[base..base + n]) {
-                *rj += *wj;
-            }
+            kernels::add_assign_f64(kernel, row, &w[base..base + n]);
+        }
+        let off = row.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        s.emit_off[line] = off;
+        for (dst, &v) in s.emit_exp[line * n..(line + 1) * n].iter_mut().zip(&*row) {
+            *dst = (v - off).exp();
         }
         let p = shard.line_pair[line];
         if p != NO_PAIR_LINE {
@@ -197,13 +238,23 @@ fn eval_shard(
             block.copy_from_slice(base_trans);
             for &f in feats {
                 if let Some(pbase) = crf.pair_index(f, 0, 0) {
-                    for (e, pw) in block.iter_mut().zip(&w[pbase..pbase + nn]) {
-                        *e += *pw;
-                    }
+                    kernels::add_assign_f64(kernel, block, &w[pbase..pbase + nn]);
                 }
+            }
+            let off = block.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            s.pair_off[p as usize] = off;
+            for (dst, &v) in s.pair_exp[p as usize * nn..(p as usize + 1) * nn]
+                .iter_mut()
+                .zip(&*block)
+            {
+                *dst = (v - off).exp();
             }
         }
     }
+    let trans_off = base_trans.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    s.trans_exp.clear();
+    s.trans_exp
+        .extend(base_trans.iter().map(|&v| (v - trans_off).exp()));
 
     let want_grad = grad.is_some();
     if want_grad {
@@ -215,7 +266,8 @@ fn eval_shard(
         s.trans_sum.resize(nn, 0.0);
     }
 
-    // Phase 2: per-record DP over gathered potentials.
+    // Phase 2: per-record scaled forward(–backward) directly over the
+    // shared per-line factors — no per-record score-table gather.
     let mut ll = 0.0;
     for r in 0..shard.num_records() {
         let (lines, labels) = shard.record(r);
@@ -223,64 +275,135 @@ fn eval_shard(
         if t_len == 0 {
             continue;
         }
-        s.table.n = n;
-        s.table.len = t_len;
-        s.table.emit.clear();
-        s.table.emit.reserve(t_len * n);
-        for &lid in lines {
-            let lid = lid as usize;
-            s.table
-                .emit
-                .extend_from_slice(&s.emit_pot[lid * n..(lid + 1) * n]);
-        }
-        s.table.trans.clear();
-        if t_len > 1 {
-            s.table.trans.reserve((t_len - 1) * nn);
-            for &lid in &lines[1..] {
-                let p = shard.line_pair[lid as usize];
-                if p == NO_PAIR_LINE {
-                    s.table.trans.extend_from_slice(base_trans);
-                } else {
-                    s.table
-                        .trans
-                        .extend_from_slice(&s.pair_pot[p as usize * nn..(p as usize + 1) * nn]);
+        s.alpha.clear();
+        s.alpha.resize(t_len * n, 0.0);
+        s.scale.clear();
+        s.scale.resize(t_len, 0.0);
+        s.tmp.clear();
+        s.tmp.resize(n, 0.0);
+
+        // Scaled forward: â_t is normalized to sum 1, c_t collects the
+        // normalizers, the max offsets go straight into log Z.
+        let l0 = lines[0] as usize;
+        let first = &mut s.alpha[..n];
+        first.copy_from_slice(&s.emit_exp[l0 * n..(l0 + 1) * n]);
+        let c0: f64 = first.iter().sum();
+        let inv = 1.0 / c0;
+        first.iter_mut().for_each(|v| *v *= inv);
+        s.scale[0] = c0;
+        let mut log_z = c0.ln() + s.emit_off[l0];
+        for t in 1..t_len {
+            let lid = lines[t] as usize;
+            let p = shard.line_pair[lid];
+            let (edge, edge_off) = if p == NO_PAIR_LINE {
+                (&s.trans_exp[..], trans_off)
+            } else {
+                (
+                    &s.pair_exp[p as usize * nn..(p as usize + 1) * nn],
+                    s.pair_off[p as usize],
+                )
+            };
+            let (prev_rows, cur_rows) = s.alpha.split_at_mut(t * n);
+            let prev = &prev_rows[(t - 1) * n..];
+            let cur = &mut cur_rows[..n];
+            s.tmp.iter_mut().for_each(|v| *v = 0.0);
+            for (i, &ai) in prev.iter().enumerate() {
+                let row = &edge[i * n..(i + 1) * n];
+                for (acc, &e) in s.tmp.iter_mut().zip(row) {
+                    *acc += ai * e;
                 }
             }
+            let emit = &s.emit_exp[lid * n..(lid + 1) * n];
+            let mut c = 0.0;
+            for ((dst, &m), &e) in cur.iter_mut().zip(&s.tmp).zip(emit) {
+                let v = m * e;
+                *dst = v;
+                c += v;
+            }
+            let inv = 1.0 / c;
+            cur.iter_mut().for_each(|v| *v *= inv);
+            s.scale[t] = c;
+            log_z += c.ln() + edge_off + s.emit_off[lid];
         }
 
-        let log_z = forward_into(&s.table, &mut s.alpha, &mut s.tmp);
-        // Gold-path score straight off the gathered potentials.
+        // Gold-path score straight off the log-domain potentials.
         let mut path = 0.0;
         for (t, &gold) in labels.iter().enumerate() {
+            let lid = lines[t] as usize;
             let gold = gold as usize;
-            path += s.table.emit_at(t)[gold];
+            path += s.emit_pot[lid * n + gold];
             if t > 0 {
-                path += s.table.trans_at(t)[labels[t - 1] as usize * n + gold];
+                let prev = labels[t - 1] as usize;
+                let p = shard.line_pair[lid];
+                path += if p == NO_PAIR_LINE {
+                    base_trans[prev * n + gold]
+                } else {
+                    s.pair_pot[p as usize * nn + prev * n + gold]
+                };
             }
         }
         ll += path - log_z;
 
         if want_grad {
-            backward_into(&s.table, &mut s.beta, &mut s.tmp);
-            node_marginals_into(&s.table, &s.alpha, log_z, &s.beta, &mut s.nm);
-            edge_marginals_into(&s.table, &s.alpha, log_z, &s.beta, &mut s.em);
+            // Fused scaled backward + marginals: β̂ shares the forward
+            // normalizers, so `nm = â∘β̂` and the edge marginal of step
+            // t+1 falls out of the same products that build β̂_t.
+            s.beta.clear();
+            s.beta.resize(t_len * n, 1.0);
+            s.nm.clear();
+            s.nm.resize(t_len * n, 0.0);
+            s.em.clear();
+            s.em.resize(t_len.saturating_sub(1) * nn, 0.0);
+            s.nm[(t_len - 1) * n..].copy_from_slice(&s.alpha[(t_len - 1) * n..]);
+            for t in (0..t_len - 1).rev() {
+                let step = t + 1;
+                let lid = lines[step] as usize;
+                let p = shard.line_pair[lid];
+                let edge = if p == NO_PAIR_LINE {
+                    &s.trans_exp[..]
+                } else {
+                    &s.pair_exp[p as usize * nn..(p as usize + 1) * nn]
+                };
+                let emit = &s.emit_exp[lid * n..(lid + 1) * n];
+                let inv_c = 1.0 / s.scale[step];
+                let (beta_head, beta_tail) = s.beta.split_at_mut(step * n);
+                let beta_next = &beta_tail[..n];
+                let beta_cur = &mut beta_head[t * n..];
+                for ((dst, &e), &b) in s.tmp.iter_mut().zip(emit).zip(beta_next) {
+                    *dst = e * b * inv_c;
+                }
+                let em_block = &mut s.em[t * nn..(t + 1) * nn];
+                for (i, bi) in beta_cur.iter_mut().enumerate() {
+                    let row = &edge[i * n..(i + 1) * n];
+                    let ai = s.alpha[t * n + i];
+                    let em_row = &mut em_block[i * n..(i + 1) * n];
+                    let mut sum = 0.0;
+                    for ((dst, &e), &m) in em_row.iter_mut().zip(&s.tmp).zip(row) {
+                        let contrib = m * e;
+                        *dst = ai * contrib;
+                        sum += contrib;
+                    }
+                    *bi = sum;
+                }
+                for ((dst, &a), &b) in s.nm[t * n..(t + 1) * n]
+                    .iter_mut()
+                    .zip(&s.alpha[t * n..(t + 1) * n])
+                    .zip(&*beta_cur)
+                {
+                    *dst = a * b;
+                }
+            }
             for (t, &lid) in lines.iter().enumerate() {
                 let acc = &mut s.line_node_sum[lid as usize * n..(lid as usize + 1) * n];
-                for (a, m) in acc.iter_mut().zip(&s.nm[t * n..(t + 1) * n]) {
-                    *a += *m;
-                }
+                kernels::add_assign_f64(kernel, acc, &s.nm[t * n..(t + 1) * n]);
             }
             for (t, &lid) in lines.iter().enumerate().skip(1) {
                 let block = &s.em[(t - 1) * nn..t * nn];
-                for (a, e) in s.trans_sum.iter_mut().zip(block) {
-                    *a += *e;
-                }
+                kernels::add_assign_f64(kernel, &mut s.trans_sum, block);
                 let p = shard.line_pair[lid as usize];
                 if p != NO_PAIR_LINE {
                     let acc = &mut s.line_edge_sum[p as usize * nn..(p as usize + 1) * nn];
-                    for (a, e) in acc.iter_mut().zip(block) {
-                        *a += *e;
-                    }
+                    kernels::add_assign_f64(kernel, acc, block);
                 }
             }
         }
@@ -290,25 +413,19 @@ fn eval_shard(
     // gradient — once per unique line, not once per occurrence.
     if let Some(grad) = grad {
         grad.fill(0.0);
-        for (g, a) in grad[..nn].iter_mut().zip(&s.trans_sum) {
-            *g += *a;
-        }
+        kernels::add_assign_f64(kernel, &mut grad[..nn], &s.trans_sum);
         for line in 0..u {
             let node = &s.line_node_sum[line * n..(line + 1) * n];
             for &f in shard.feats(line) {
                 let base = crf.emit_index(f, 0);
-                for (g, a) in grad[base..base + n].iter_mut().zip(node) {
-                    *g += *a;
-                }
+                kernels::add_assign_f64(kernel, &mut grad[base..base + n], node);
             }
             let p = shard.line_pair[line];
             if p != NO_PAIR_LINE {
                 let edge = &s.line_edge_sum[p as usize * nn..(p as usize + 1) * nn];
                 for &f in shard.feats(line) {
                     if let Some(pbase) = crf.pair_index(f, 0, 0) {
-                        for (g, a) in grad[pbase..pbase + nn].iter_mut().zip(edge) {
-                            *g += *a;
-                        }
+                        kernels::add_assign_f64(kernel, &mut grad[pbase..pbase + nn], edge);
                     }
                 }
             }
@@ -376,6 +493,7 @@ pub struct TrainEngine {
     crf: Crf,
     l2: f64,
     threads: usize,
+    kernel: KernelLevel,
     num_records: usize,
     observed: Vec<(usize, f64)>,
     /// Inline path (threads == 1): shard + scratch evaluated on the
@@ -399,7 +517,24 @@ impl TrainEngine {
     /// * `threads` — worker count; `0` means use available parallelism.
     ///   Capped at the record count; with one worker everything runs on
     ///   the calling thread and no threads are spawned.
+    ///
+    /// Accumulation loops run on the process-wide
+    /// [`KernelLevel::active`] SIMD level.
     pub fn new(crf: Crf, data: &[Instance], l2: f64, threads: usize) -> Self {
+        Self::with_kernel(crf, data, l2, threads, KernelLevel::active())
+    }
+
+    /// [`TrainEngine::new`] with an explicit kernel level — the
+    /// differential-testing/bench hook (levels are bit-exact, so this
+    /// never changes results, only speed). Unsupported levels degrade to
+    /// scalar.
+    pub fn with_kernel(
+        crf: Crf,
+        data: &[Instance],
+        l2: f64,
+        threads: usize,
+        kernel: KernelLevel,
+    ) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -413,6 +548,7 @@ impl TrainEngine {
             crf,
             l2,
             threads,
+            kernel,
             num_records: data.len(),
             observed,
             local: None,
@@ -458,6 +594,7 @@ impl TrainEngine {
                                 &shard,
                                 &mut scratch,
                                 Some(&mut grad),
+                                kernel,
                             );
                             Reply {
                                 worker,
@@ -467,7 +604,8 @@ impl TrainEngine {
                         }
                         Job::MeanLl => {
                             let w = shared.weights.read();
-                            let ll = eval_shard(&shared.layout, &w, &shard, &mut scratch, None);
+                            let ll =
+                                eval_shard(&shared.layout, &w, &shard, &mut scratch, None, kernel);
                             Reply {
                                 worker,
                                 ll,
@@ -501,6 +639,11 @@ impl TrainEngine {
     /// Effective worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The SIMD kernel level the accumulation loops run on.
+    pub fn kernel_level(&self) -> KernelLevel {
+        self.kernel
     }
 
     /// The model structure (with whatever weights were last evaluated).
@@ -538,7 +681,7 @@ impl TrainEngine {
         let mut total_ll = 0.0;
 
         if let Some((shard, scratch, local_grad)) = &mut self.local {
-            total_ll = eval_shard(&self.crf, w, shard, scratch, Some(local_grad));
+            total_ll = eval_shard(&self.crf, w, shard, scratch, Some(local_grad), self.kernel);
             grad.copy_from_slice(local_grad);
         } else {
             let k = self.job_txs.len();
@@ -560,9 +703,7 @@ impl TrainEngine {
             grad.fill(0.0);
             for worker in 0..k {
                 total_ll += lls[worker];
-                for (g, l) in grad.iter_mut().zip(&self.grad_bufs[worker]) {
-                    *g += *l;
-                }
+                kernels::add_assign_f64(self.kernel, grad, &self.grad_bufs[worker]);
             }
         }
 
@@ -571,9 +712,7 @@ impl TrainEngine {
             grad[idx] -= c;
         }
         // Scale to mean NLL and add the L2 term.
-        for (g, &wi) in grad.iter_mut().zip(w) {
-            *g = *g / r + self.l2 * wi;
-        }
+        kernels::finish_grad_f64(self.kernel, grad, w, r, self.l2);
         -total_ll / r + 0.5 * self.l2 * w.iter().map(|x| x * x).sum::<f64>()
     }
 
@@ -584,7 +723,7 @@ impl TrainEngine {
         let r = self.num_records.max(1) as f64;
         let mut total_ll = 0.0;
         if let Some((shard, scratch, _)) = &mut self.local {
-            total_ll = eval_shard(&self.crf, w, shard, scratch, None);
+            total_ll = eval_shard(&self.crf, w, shard, scratch, None, self.kernel);
         } else {
             let k = self.job_txs.len();
             for tx in &self.job_txs {

@@ -1,0 +1,761 @@
+//! Runtime-dispatched SIMD kernels for the hot float loops.
+//!
+//! Every dense float loop the profiler cares about — `f32` stripe and
+//! pair-block accumulation in the fast decode tier, the batched-Viterbi
+//! max-plus step, and the `f64` potential/expectation accumulation of the
+//! training engine — funnels through this module. Three implementation
+//! levels exist:
+//!
+//! * **`scalar`** — portable Rust, the *oracle*: every other level must
+//!   produce bit-identical output, and it is the only level compiled on
+//!   non-x86 targets.
+//! * **`sse2`** — 128-bit lanes (4×f32 / 2×f64), baseline on x86-64.
+//! * **`avx2`** — 256-bit lanes (8×f32 / 4×f64), selected when the CPU
+//!   reports AVX2 at startup.
+//!
+//! ## Bit-exactness
+//!
+//! The kernels are chosen so that vectorization cannot reassociate any
+//! floating-point operation:
+//!
+//! * Element-wise ops (`acc[k] += src[k]`, `x[k] *= s`,
+//!   `g[k] = g[k]/r + l2*w[k]`) perform exactly one rounding per slot in
+//!   every level — lane grouping changes nothing.
+//! * The max-plus step ([`maxplus_step_f32`]) iterates predecessor states
+//!   `i` in ascending order in every level; each target-state lane `j`
+//!   sees the same sequence of `prev[i] + edge[i*n+j]` adds and the same
+//!   first-max tie-breaking comparisons as the scalar loop.
+//!
+//! Reductions that *would* reassociate (log-sum-exp, dot products, the L2
+//! norm) deliberately stay scalar. This is what lets the line cache and
+//! the fast tier keep their bit-identical row-reassembly contracts (see
+//! [`Crf::emission_row_into`](crate::model::Crf::emission_row_into))
+//! regardless of the host CPU.
+//!
+//! ## Dispatch
+//!
+//! [`KernelLevel::active`] picks the best supported level once per
+//! process (honoring the `WHOIS_FORCE_SCALAR=1` override for differential
+//! testing); `DecodeModel`, `TrainEngine`, and friends capture it at
+//! construction and report it through `STATS`/`HEALTH` and the bench
+//! JSON. Every kernel also accepts an explicit level so tests and benches
+//! can pin implementations; passing an unsupported level silently runs
+//! the scalar oracle, which keeps the API safe on any host.
+
+use std::sync::OnceLock;
+
+/// A SIMD implementation level. Ordering is by capability: `Scalar <
+/// Sse2 < Avx2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelLevel {
+    /// Portable scalar Rust — the oracle, and the only level off x86.
+    Scalar,
+    /// 128-bit SSE2 lanes (x86/x86-64).
+    Sse2,
+    /// 256-bit AVX2 lanes (x86/x86-64).
+    Avx2,
+}
+
+impl KernelLevel {
+    /// All levels, weakest first.
+    pub const ALL: [KernelLevel; 3] = [KernelLevel::Scalar, KernelLevel::Sse2, KernelLevel::Avx2];
+
+    /// Stable lower-case name, used in `STATS`/`HEALTH` and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelLevel::Scalar => "scalar",
+            KernelLevel::Sse2 => "sse2",
+            KernelLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the running CPU can execute this level.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelLevel::Scalar => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelLevel::Sse2 => is_x86_feature_detected!("sse2"),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelLevel::Avx2 => is_x86_feature_detected!("avx2"),
+            #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+            _ => false,
+        }
+    }
+
+    /// Detect the best supported level, honoring `WHOIS_FORCE_SCALAR=1`.
+    /// Uncached — prefer [`KernelLevel::active`] outside of tests.
+    pub fn detect() -> KernelLevel {
+        if std::env::var("WHOIS_FORCE_SCALAR").is_ok_and(|v| v == "1") {
+            return KernelLevel::Scalar;
+        }
+        if KernelLevel::Avx2.is_supported() {
+            KernelLevel::Avx2
+        } else if KernelLevel::Sse2.is_supported() {
+            KernelLevel::Sse2
+        } else {
+            KernelLevel::Scalar
+        }
+    }
+
+    /// The process-wide level: [`KernelLevel::detect`] run once and
+    /// cached. Engines capture this at construction, so the level (and
+    /// the `WHOIS_FORCE_SCALAR` override) is fixed for the process
+    /// lifetime — hot swaps never change numeric behavior mid-flight.
+    pub fn active() -> KernelLevel {
+        static ACTIVE: OnceLock<KernelLevel> = OnceLock::new();
+        *ACTIVE.get_or_init(KernelLevel::detect)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar oracles.
+// ---------------------------------------------------------------------
+
+fn add_assign_f32_scalar(acc: &mut [f32], src: &[f32]) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a += *s;
+    }
+}
+
+fn add_assign_f64_scalar(acc: &mut [f64], src: &[f64]) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a += *s;
+    }
+}
+
+fn scale_f64_scalar(xs: &mut [f64], s: f64) {
+    for x in xs.iter_mut() {
+        *x *= s;
+    }
+}
+
+fn finish_grad_f64_scalar(grad: &mut [f64], w: &[f64], r: f64, l2: f64) {
+    for (g, &wi) in grad.iter_mut().zip(w) {
+        *g = *g / r + l2 * wi;
+    }
+}
+
+fn maxplus_step_f32_scalar(
+    prev: &[f32],
+    edge: &[f32],
+    best: &mut [f32],
+    second: &mut [f32],
+    back: &mut [u32],
+) {
+    let n = prev.len();
+    for j in 0..n {
+        best[j] = prev[0] + edge[j];
+        second[j] = f32::NEG_INFINITY;
+        back[j] = 0;
+    }
+    for i in 1..n {
+        let p = prev[i];
+        let row = &edge[i * n..(i + 1) * n];
+        for j in 0..n {
+            let s = p + row[j];
+            if s > best[j] {
+                second[j] = best[j];
+                best[j] = s;
+                back[j] = i as u32;
+            } else if s > second[j] {
+                second[j] = s;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// x86 / x86-64 SIMD implementations.
+// ---------------------------------------------------------------------
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_assign_f32_sse2(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm_storeu_ps(
+                a.add(k),
+                _mm_add_ps(_mm_loadu_ps(a.add(k)), _mm_loadu_ps(s.add(k))),
+            );
+            k += 4;
+        }
+        while k < n {
+            *a.add(k) += *s.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign_f32_avx2(acc: &mut [f32], src: &[f32]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut k = 0;
+        while k + 8 <= n {
+            _mm256_storeu_ps(
+                a.add(k),
+                _mm256_add_ps(_mm256_loadu_ps(a.add(k)), _mm256_loadu_ps(s.add(k))),
+            );
+            k += 8;
+        }
+        if k + 4 <= n {
+            _mm_storeu_ps(
+                a.add(k),
+                _mm_add_ps(_mm_loadu_ps(a.add(k)), _mm_loadu_ps(s.add(k))),
+            );
+            k += 4;
+        }
+        while k < n {
+            *a.add(k) += *s.add(k);
+            k += 1;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_assign_f64_sse2(acc: &mut [f64], src: &[f64]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut k = 0;
+        while k + 2 <= n {
+            _mm_storeu_pd(
+                a.add(k),
+                _mm_add_pd(_mm_loadu_pd(a.add(k)), _mm_loadu_pd(s.add(k))),
+            );
+            k += 2;
+        }
+        if k < n {
+            *a.add(k) += *s.add(k);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign_f64_avx2(acc: &mut [f64], src: &[f64]) {
+        let n = acc.len();
+        let a = acc.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm256_storeu_pd(
+                a.add(k),
+                _mm256_add_pd(_mm256_loadu_pd(a.add(k)), _mm256_loadu_pd(s.add(k))),
+            );
+            k += 4;
+        }
+        if k + 2 <= n {
+            _mm_storeu_pd(
+                a.add(k),
+                _mm_add_pd(_mm_loadu_pd(a.add(k)), _mm_loadu_pd(s.add(k))),
+            );
+            k += 2;
+        }
+        if k < n {
+            *a.add(k) += *s.add(k);
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scale_f64_sse2(xs: &mut [f64], s: f64) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let sv = _mm_set1_pd(s);
+        let mut k = 0;
+        while k + 2 <= n {
+            _mm_storeu_pd(p.add(k), _mm_mul_pd(_mm_loadu_pd(p.add(k)), sv));
+            k += 2;
+        }
+        if k < n {
+            *p.add(k) *= s;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_f64_avx2(xs: &mut [f64], s: f64) {
+        let n = xs.len();
+        let p = xs.as_mut_ptr();
+        let sv = _mm256_set1_pd(s);
+        let mut k = 0;
+        while k + 4 <= n {
+            _mm256_storeu_pd(p.add(k), _mm256_mul_pd(_mm256_loadu_pd(p.add(k)), sv));
+            k += 4;
+        }
+        if k + 2 <= n {
+            _mm_storeu_pd(
+                p.add(k),
+                _mm_mul_pd(_mm_loadu_pd(p.add(k)), _mm256_castpd256_pd128(sv)),
+            );
+            k += 2;
+        }
+        if k < n {
+            *p.add(k) *= s;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn finish_grad_f64_sse2(grad: &mut [f64], w: &[f64], r: f64, l2: f64) {
+        let n = grad.len();
+        let g = grad.as_mut_ptr();
+        let wp = w.as_ptr();
+        let rv = _mm_set1_pd(r);
+        let lv = _mm_set1_pd(l2);
+        let mut k = 0;
+        while k + 2 <= n {
+            let q = _mm_div_pd(_mm_loadu_pd(g.add(k)), rv);
+            let p = _mm_mul_pd(lv, _mm_loadu_pd(wp.add(k)));
+            _mm_storeu_pd(g.add(k), _mm_add_pd(q, p));
+            k += 2;
+        }
+        if k < n {
+            *g.add(k) = *g.add(k) / r + l2 * *wp.add(k);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn finish_grad_f64_avx2(grad: &mut [f64], w: &[f64], r: f64, l2: f64) {
+        let n = grad.len();
+        let g = grad.as_mut_ptr();
+        let wp = w.as_ptr();
+        let rv = _mm256_set1_pd(r);
+        let lv = _mm256_set1_pd(l2);
+        let mut k = 0;
+        while k + 4 <= n {
+            let q = _mm256_div_pd(_mm256_loadu_pd(g.add(k)), rv);
+            let p = _mm256_mul_pd(lv, _mm256_loadu_pd(wp.add(k)));
+            _mm256_storeu_pd(g.add(k), _mm256_add_pd(q, p));
+            k += 4;
+        }
+        while k < n {
+            *g.add(k) = *g.add(k) / r + l2 * *wp.add(k);
+            k += 1;
+        }
+    }
+
+    /// 128-bit blend: `mask ? a : b` per lane (SSE2 has no `blendv`).
+    #[inline]
+    unsafe fn sel_ps(mask: __m128, a: __m128, b: __m128) -> __m128 {
+        _mm_or_ps(_mm_and_ps(mask, a), _mm_andnot_ps(mask, b))
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn maxplus_step_f32_sse2(
+        prev: &[f32],
+        edge: &[f32],
+        best: &mut [f32],
+        second: &mut [f32],
+        back: &mut [u32],
+    ) {
+        let n = prev.len();
+        let neg_inf = _mm_set1_ps(f32::NEG_INFINITY);
+        let p0 = _mm_set1_ps(prev[0]);
+        let mut k = 0;
+        while k + 4 <= n {
+            let s = _mm_add_ps(p0, _mm_loadu_ps(edge.as_ptr().add(k)));
+            _mm_storeu_ps(best.as_mut_ptr().add(k), s);
+            _mm_storeu_ps(second.as_mut_ptr().add(k), neg_inf);
+            _mm_storeu_si128(
+                back.as_mut_ptr().add(k) as *mut __m128i,
+                _mm_setzero_si128(),
+            );
+            k += 4;
+        }
+        while k < n {
+            best[k] = prev[0] + edge[k];
+            second[k] = f32::NEG_INFINITY;
+            back[k] = 0;
+            k += 1;
+        }
+        for i in 1..n {
+            let p = prev[i];
+            let pv = _mm_set1_ps(p);
+            let iv = _mm_set1_epi32(i as i32);
+            let row = edge.as_ptr().add(i * n);
+            let mut k = 0;
+            while k + 4 <= n {
+                let s = _mm_add_ps(pv, _mm_loadu_ps(row.add(k)));
+                let b = _mm_loadu_ps(best.as_ptr().add(k));
+                let sec = _mm_loadu_ps(second.as_ptr().add(k));
+                let gt_b = _mm_cmpgt_ps(s, b);
+                let gt_s = _mm_cmpgt_ps(s, sec);
+                let sec_new = sel_ps(gt_b, b, sel_ps(gt_s, s, sec));
+                let b_new = sel_ps(gt_b, s, b);
+                let m = _mm_castps_si128(gt_b);
+                let bk = _mm_loadu_si128(back.as_ptr().add(k) as *const __m128i);
+                let bk_new = _mm_or_si128(_mm_and_si128(m, iv), _mm_andnot_si128(m, bk));
+                _mm_storeu_ps(second.as_mut_ptr().add(k), sec_new);
+                _mm_storeu_ps(best.as_mut_ptr().add(k), b_new);
+                _mm_storeu_si128(back.as_mut_ptr().add(k) as *mut __m128i, bk_new);
+                k += 4;
+            }
+            while k < n {
+                let s = p + *row.add(k);
+                if s > best[k] {
+                    second[k] = best[k];
+                    best[k] = s;
+                    back[k] = i as u32;
+                } else if s > second[k] {
+                    second[k] = s;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn maxplus_step_f32_avx2(
+        prev: &[f32],
+        edge: &[f32],
+        best: &mut [f32],
+        second: &mut [f32],
+        back: &mut [u32],
+    ) {
+        let n = prev.len();
+        let neg_inf8 = _mm256_set1_ps(f32::NEG_INFINITY);
+        let p0v8 = _mm256_set1_ps(prev[0]);
+        let mut k = 0;
+        while k + 8 <= n {
+            let s = _mm256_add_ps(p0v8, _mm256_loadu_ps(edge.as_ptr().add(k)));
+            _mm256_storeu_ps(best.as_mut_ptr().add(k), s);
+            _mm256_storeu_ps(second.as_mut_ptr().add(k), neg_inf8);
+            _mm256_storeu_si256(
+                back.as_mut_ptr().add(k) as *mut __m256i,
+                _mm256_setzero_si256(),
+            );
+            k += 8;
+        }
+        if k + 4 <= n {
+            let s = _mm_add_ps(
+                _mm256_castps256_ps128(p0v8),
+                _mm_loadu_ps(edge.as_ptr().add(k)),
+            );
+            _mm_storeu_ps(best.as_mut_ptr().add(k), s);
+            _mm_storeu_ps(second.as_mut_ptr().add(k), _mm256_castps256_ps128(neg_inf8));
+            _mm_storeu_si128(
+                back.as_mut_ptr().add(k) as *mut __m128i,
+                _mm_setzero_si128(),
+            );
+            k += 4;
+        }
+        while k < n {
+            best[k] = prev[0] + edge[k];
+            second[k] = f32::NEG_INFINITY;
+            back[k] = 0;
+            k += 1;
+        }
+        for i in 1..n {
+            let p = prev[i];
+            let pv8 = _mm256_set1_ps(p);
+            let iv8 = _mm256_set1_epi32(i as i32);
+            let row = edge.as_ptr().add(i * n);
+            let mut k = 0;
+            while k + 8 <= n {
+                let s = _mm256_add_ps(pv8, _mm256_loadu_ps(row.add(k)));
+                let b = _mm256_loadu_ps(best.as_ptr().add(k));
+                let sec = _mm256_loadu_ps(second.as_ptr().add(k));
+                let gt_b = _mm256_cmp_ps(s, b, _CMP_GT_OQ);
+                let gt_s = _mm256_cmp_ps(s, sec, _CMP_GT_OQ);
+                let sec_new = _mm256_blendv_ps(_mm256_blendv_ps(sec, s, gt_s), b, gt_b);
+                let b_new = _mm256_blendv_ps(b, s, gt_b);
+                let m = _mm256_castps_si256(gt_b);
+                let bk = _mm256_loadu_si256(back.as_ptr().add(k) as *const __m256i);
+                let bk_new = _mm256_blendv_epi8(bk, iv8, m);
+                _mm256_storeu_ps(second.as_mut_ptr().add(k), sec_new);
+                _mm256_storeu_ps(best.as_mut_ptr().add(k), b_new);
+                _mm256_storeu_si256(back.as_mut_ptr().add(k) as *mut __m256i, bk_new);
+                k += 8;
+            }
+            if k + 4 <= n {
+                let pv = _mm256_castps256_ps128(pv8);
+                let iv = _mm256_castsi256_si128(iv8);
+                let s = _mm_add_ps(pv, _mm_loadu_ps(row.add(k)));
+                let b = _mm_loadu_ps(best.as_ptr().add(k));
+                let sec = _mm_loadu_ps(second.as_ptr().add(k));
+                let gt_b = _mm_cmpgt_ps(s, b);
+                let gt_s = _mm_cmpgt_ps(s, sec);
+                let sec_new = sel_ps(gt_b, b, sel_ps(gt_s, s, sec));
+                let b_new = sel_ps(gt_b, s, b);
+                let m = _mm_castps_si128(gt_b);
+                let bk = _mm_loadu_si128(back.as_ptr().add(k) as *const __m128i);
+                let bk_new = _mm_or_si128(_mm_and_si128(m, iv), _mm_andnot_si128(m, bk));
+                _mm_storeu_ps(second.as_mut_ptr().add(k), sec_new);
+                _mm_storeu_ps(best.as_mut_ptr().add(k), b_new);
+                _mm_storeu_si128(back.as_mut_ptr().add(k) as *mut __m128i, bk_new);
+                k += 4;
+            }
+            while k < n {
+                let s = p + *row.add(k);
+                if s > best[k] {
+                    second[k] = best[k];
+                    best[k] = s;
+                    back[k] = i as u32;
+                } else if s > second[k] {
+                    second[k] = s;
+                }
+                k += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch wrappers.
+// ---------------------------------------------------------------------
+
+/// Resolve a requested level to one that is safe to execute here:
+/// unsupported levels (and any level off x86) degrade to the scalar
+/// oracle, so callers may pass `KernelLevel::Avx2` unconditionally.
+#[inline]
+fn effective(level: KernelLevel) -> KernelLevel {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if level == KernelLevel::Avx2 && !is_x86_feature_detected!("avx2") {
+            return KernelLevel::Scalar;
+        }
+        if level == KernelLevel::Sse2 && !is_x86_feature_detected!("sse2") {
+            return KernelLevel::Scalar;
+        }
+        level
+    }
+    #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+    {
+        let _ = level;
+        KernelLevel::Scalar
+    }
+}
+
+/// `acc[k] += src[k]` — one add and one rounding per slot in every level.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn add_assign_f32(level: KernelLevel, acc: &mut [f32], src: &[f32]) {
+    assert_eq!(acc.len(), src.len(), "add_assign_f32 length mismatch");
+    match effective(level) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Sse2 => unsafe { x86::add_assign_f32_sse2(acc, src) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Avx2 => unsafe { x86::add_assign_f32_avx2(acc, src) },
+        _ => add_assign_f32_scalar(acc, src),
+    }
+}
+
+/// `acc[k] += src[k]` in `f64` — one add and one rounding per slot.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn add_assign_f64(level: KernelLevel, acc: &mut [f64], src: &[f64]) {
+    assert_eq!(acc.len(), src.len(), "add_assign_f64 length mismatch");
+    match effective(level) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Sse2 => unsafe { x86::add_assign_f64_sse2(acc, src) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Avx2 => unsafe { x86::add_assign_f64_avx2(acc, src) },
+        _ => add_assign_f64_scalar(acc, src),
+    }
+}
+
+/// `xs[k] *= s` — one multiply and one rounding per slot.
+#[inline]
+pub fn scale_f64(level: KernelLevel, xs: &mut [f64], s: f64) {
+    match effective(level) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Sse2 => unsafe { x86::scale_f64_sse2(xs, s) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Avx2 => unsafe { x86::scale_f64_avx2(xs, s) },
+        _ => scale_f64_scalar(xs, s),
+    }
+}
+
+/// `grad[k] = grad[k]/r + l2*w[k]` — the gradient finish of
+/// [`TrainEngine::eval`](crate::engine::TrainEngine::eval): divide, then
+/// multiply, then add, each rounded once (no FMA contraction in any
+/// level).
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn finish_grad_f64(level: KernelLevel, grad: &mut [f64], w: &[f64], r: f64, l2: f64) {
+    assert_eq!(grad.len(), w.len(), "finish_grad_f64 length mismatch");
+    match effective(level) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Sse2 => unsafe { x86::finish_grad_f64_sse2(grad, w, r, l2) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Avx2 => unsafe { x86::finish_grad_f64_avx2(grad, w, r, l2) },
+        _ => finish_grad_f64_scalar(grad, w, r, l2),
+    }
+}
+
+/// One batched-Viterbi time step over an `n × n` edge block: for every
+/// target state `j`, compute over predecessor states `i` (ascending, with
+/// first-max tie-breaking exactly like `numerics::arg_max`)
+///
+/// ```text
+/// best[j]   = max_i  prev[i] + edge[i*n + j]
+/// back[j]   = argmax_i ...            (smallest winning i)
+/// second[j] = runner-up score         (NEG_INFINITY when n == 1)
+/// ```
+///
+/// Each lane `j` performs the same adds and comparisons in the same `i`
+/// order in every level, so outputs are bit-identical across levels.
+///
+/// # Panics
+/// Panics if `prev` is empty or the slice lengths disagree
+/// (`edge.len() == n²`, the three outputs `n` each).
+#[inline]
+pub fn maxplus_step_f32(
+    level: KernelLevel,
+    prev: &[f32],
+    edge: &[f32],
+    best: &mut [f32],
+    second: &mut [f32],
+    back: &mut [u32],
+) {
+    let n = prev.len();
+    assert!(n > 0, "maxplus_step_f32 needs at least one state");
+    assert_eq!(edge.len(), n * n, "edge block must be n×n");
+    assert_eq!(best.len(), n, "best row must be n long");
+    assert_eq!(second.len(), n, "second row must be n long");
+    assert_eq!(back.len(), n, "back row must be n long");
+    match effective(level) {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Sse2 => unsafe { x86::maxplus_step_f32_sse2(prev, edge, best, second, back) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        KernelLevel::Avx2 => unsafe { x86::maxplus_step_f32_avx2(prev, edge, best, second, back) },
+        _ => maxplus_step_f32_scalar(prev, edge, best, second, back),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s(len: usize, seed: u64) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                (((i as u64 + seed).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f32 / 1024.0)
+                    - 8.0
+            })
+            .collect()
+    }
+
+    fn f64s(len: usize, seed: u64) -> Vec<f64> {
+        f32s(len, seed)
+            .into_iter()
+            .map(|x| x as f64 * 1.7)
+            .collect()
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelLevel::Scalar.name(), "scalar");
+        assert_eq!(KernelLevel::Sse2.name(), "sse2");
+        assert_eq!(KernelLevel::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn active_is_supported_and_stable() {
+        let a = KernelLevel::active();
+        assert!(a.is_supported());
+        assert_eq!(a, KernelLevel::active());
+    }
+
+    #[test]
+    fn scalar_is_always_supported() {
+        assert!(KernelLevel::Scalar.is_supported());
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_at_every_length() {
+        for level in KernelLevel::ALL {
+            for len in 0..=33 {
+                let src32 = f32s(len, 7);
+                let mut a32 = f32s(len, 3);
+                let mut b32 = a32.clone();
+                add_assign_f32(KernelLevel::Scalar, &mut a32, &src32);
+                add_assign_f32(level, &mut b32, &src32);
+                assert_eq!(a32, b32, "f32 level {level:?} len {len}");
+
+                let src64 = f64s(len, 7);
+                let mut a64 = f64s(len, 3);
+                let mut b64 = a64.clone();
+                add_assign_f64(KernelLevel::Scalar, &mut a64, &src64);
+                add_assign_f64(level, &mut b64, &src64);
+                assert_eq!(a64, b64, "f64 level {level:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn finish_and_scale_match_scalar() {
+        for level in KernelLevel::ALL {
+            for len in 0..=17 {
+                let w = f64s(len, 11);
+                let mut a = f64s(len, 5);
+                let mut b = a.clone();
+                finish_grad_f64(KernelLevel::Scalar, &mut a, &w, 37.0, 0.03);
+                finish_grad_f64(level, &mut b, &w, 37.0, 0.03);
+                assert_eq!(a, b, "finish level {level:?} len {len}");
+
+                let mut a = f64s(len, 9);
+                let mut b = a.clone();
+                scale_f64(KernelLevel::Scalar, &mut a, 0.731);
+                scale_f64(level, &mut b, 0.731);
+                assert_eq!(a, b, "scale level {level:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn maxplus_matches_scalar_and_breaks_ties_first() {
+        for level in KernelLevel::ALL {
+            for n in 1..=19 {
+                let prev = f32s(n, 2);
+                let edge = f32s(n * n, 13);
+                let mut b1 = vec![0.0; n];
+                let mut s1 = vec![0.0; n];
+                let mut k1 = vec![0u32; n];
+                let mut b2 = b1.clone();
+                let mut s2 = s1.clone();
+                let mut k2 = k1.clone();
+                maxplus_step_f32(KernelLevel::Scalar, &prev, &edge, &mut b1, &mut s1, &mut k1);
+                maxplus_step_f32(level, &prev, &edge, &mut b2, &mut s2, &mut k2);
+                assert_eq!(b1, b2, "best level {level:?} n {n}");
+                assert_eq!(s1, s2, "second level {level:?} n {n}");
+                assert_eq!(k1, k2, "back level {level:?} n {n}");
+            }
+            // All-equal scores: every lane must keep predecessor 0.
+            let n = 9;
+            let prev = vec![1.0f32; n];
+            let edge = vec![0.5f32; n * n];
+            let mut b = vec![0.0; n];
+            let mut s = vec![0.0; n];
+            let mut k = vec![0u32; n];
+            maxplus_step_f32(level, &prev, &edge, &mut b, &mut s, &mut k);
+            assert!(k.iter().all(|&i| i == 0), "ties go to i=0 at {level:?}");
+            assert!(b.iter().all(|&x| x == 1.5));
+            assert!(s.iter().all(|&x| x == 1.5));
+        }
+    }
+
+    #[test]
+    fn maxplus_single_state_reports_neg_inf_second() {
+        for level in KernelLevel::ALL {
+            let mut b = [0.0f32];
+            let mut s = [0.0f32];
+            let mut k = [0u32];
+            maxplus_step_f32(level, &[2.0], &[3.0], &mut b, &mut s, &mut k);
+            assert_eq!(b[0], 5.0);
+            assert_eq!(s[0], f32::NEG_INFINITY);
+            assert_eq!(k[0], 0);
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //!   observed feature counts precomputed once — mirroring the paper's
 //!   parallelized L-BFGS; the optimizers are a limited-memory BFGS
 //!   (two-loop recursion, Armijo backtracking) and a sparse SGD.
+//! * **Kernels** ([`kernels`]): runtime-dispatched SIMD (SSE2/AVX2 via
+//!   `std::arch`, with a portable scalar oracle) for the dense float
+//!   loops shared by the fast decode tier and the training engine —
+//!   bit-exact across levels by construction.
 //! * **Diagnostics** ([`diagnostics`]): brute-force enumeration of tiny
 //!   chains and finite-difference gradient checking, used heavily by the
 //!   property-based test suite.
@@ -36,6 +40,7 @@ pub mod decode;
 pub mod diagnostics;
 pub mod engine;
 pub mod inference;
+pub mod kernels;
 pub mod lbfgs;
 pub mod model;
 pub mod numerics;
@@ -52,6 +57,7 @@ pub use inference::{
     backward, backward_into, edge_marginals, edge_marginals_into, forward, forward_into,
     node_marginals, node_marginals_into, viterbi, viterbi_into,
 };
+pub use kernels::KernelLevel;
 pub use model::{Crf, ScoreTable};
 pub use objective::{NaiveObjective, Objective};
 pub use scratch::InferenceScratch;

@@ -28,6 +28,7 @@
 //! `y_{t-1}`) follow the paper's convention: at the first position only
 //! emission features apply.
 
+use crate::kernels::{self, KernelLevel};
 use crate::sequence::Sequence;
 use serde::{Deserialize, Serialize};
 
@@ -237,6 +238,7 @@ impl Crf {
             self.dim(),
             "weight vector has wrong dimension"
         );
+        let kernel = KernelLevel::active();
         let n = self.num_states;
         let t_len = seq.len();
         out.n = n;
@@ -261,28 +263,20 @@ impl Crf {
                     self.num_obs_features
                 );
                 let base = self.emit_index(f, 0);
-                for j in 0..n {
-                    emit_row[j] += weights[base + j];
-                }
+                kernels::add_assign_f64(kernel, emit_row, &weights[base..base + n]);
                 // Pair features contribute to the edge entering position t
                 // (they condition on y_{t-1}); position 0 has no such edge.
                 if t > 0 {
                     if let Some(pbase) = self.pair_index(f, 0, 0) {
                         let edge = &mut out.trans[(t - 1) * n * n..t * n * n];
-                        for (e, w) in edge.iter_mut().zip(&weights[pbase..pbase + n * n]) {
-                            *e += *w;
-                        }
+                        kernels::add_assign_f64(kernel, edge, &weights[pbase..pbase + n * n]);
                     }
                 }
             }
         }
         if scale != 1.0 {
-            for e in out.emit.iter_mut() {
-                *e *= scale;
-            }
-            for e in out.trans.iter_mut() {
-                *e *= scale;
-            }
+            kernels::scale_f64(kernel, &mut out.emit, scale);
+            kernels::scale_f64(kernel, &mut out.trans, scale);
         }
     }
 
@@ -294,11 +288,15 @@ impl Crf {
     /// additions in the same feature order — so a memoized row copied
     /// into a [`ScoreTable`] is bit-identical to the one that method
     /// would have built. This is the contract the line cache
-    /// (`whois-parser`) relies on.
+    /// (`whois-parser`) relies on. The accumulation runs on the
+    /// process-wide SIMD kernel ([`crate::kernels`]), whose levels are
+    /// element-wise bit-exact, so the contract holds on every CPU and
+    /// under `WHOIS_FORCE_SCALAR`.
     ///
     /// # Panics
     /// Panics if `feats` contains a feature id `>= F`.
     pub fn emission_row_into(&self, feats: &[u32], row: &mut Vec<f64>) {
+        let kernel = KernelLevel::active();
         let n = self.num_states;
         row.clear();
         row.resize(n, 0.0);
@@ -309,9 +307,7 @@ impl Crf {
                 self.num_obs_features
             );
             let base = self.emit_index(f, 0);
-            for (j, r) in row.iter_mut().enumerate() {
-                *r += self.weights[base + j];
-            }
+            kernels::add_assign_f64(kernel, row, &self.weights[base..base + n]);
         }
     }
 
@@ -329,6 +325,7 @@ impl Crf {
     /// # Panics
     /// Panics if `feats` contains a feature id `>= F`.
     pub fn edge_row_into(&self, feats: &[u32], row: &mut Vec<f64>) {
+        let kernel = KernelLevel::active();
         let n = self.num_states;
         row.clear();
         row.extend_from_slice(&self.weights[..n * n]);
@@ -339,9 +336,7 @@ impl Crf {
                 self.num_obs_features
             );
             if let Some(pbase) = self.pair_index(f, 0, 0) {
-                for (e, w) in row.iter_mut().zip(&self.weights[pbase..pbase + n * n]) {
-                    *e += *w;
-                }
+                kernels::add_assign_f64(kernel, row, &self.weights[pbase..pbase + n * n]);
             }
         }
     }

@@ -51,6 +51,25 @@ impl Objective {
         }
     }
 
+    /// [`Objective::new`] with an explicit SIMD kernel level (bit-exact
+    /// across levels; the differential-testing/bench hook).
+    pub fn with_kernel(
+        crf: Crf,
+        data: &[Instance],
+        l2: f64,
+        threads: usize,
+        kernel: crate::kernels::KernelLevel,
+    ) -> Self {
+        Objective {
+            engine: TrainEngine::with_kernel(crf, data, l2, threads, kernel),
+        }
+    }
+
+    /// The SIMD kernel level the engine's accumulation loops run on.
+    pub fn kernel_level(&self) -> crate::kernels::KernelLevel {
+        self.engine.kernel_level()
+    }
+
     /// Model dimensionality.
     pub fn dim(&self) -> usize {
         self.engine.dim()

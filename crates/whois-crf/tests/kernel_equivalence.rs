@@ -1,0 +1,163 @@
+//! Property tests pinning every SIMD kernel level to the scalar oracle
+//! **bit for bit**.
+//!
+//! The kernels in [`whois_crf::kernels`] are element-wise (one IEEE
+//! rounding per slot in every level) or reproduce the scalar iteration
+//! order exactly (the max-plus step), so SSE2/AVX2 must return the same
+//! bits as scalar on every input — not merely close values. These tests
+//! drive every dispatchable level over every remainder length from 0 to
+//! twice the widest lane count (so full vectors, the 4-lane middle step,
+//! and every scalar tail are all hit), with values drawn from finite
+//! ranges that include denormals. Unsupported levels degrade to scalar
+//! inside the dispatcher, so running all of [`KernelLevel::ALL`] is safe
+//! on any host.
+
+use proptest::prelude::*;
+use whois_crf::kernels::{self, KernelLevel};
+
+/// Finite `f32`s: moderate magnitudes plus positive/negative denormals
+/// (and zeros), the rounding-hostile corner of the format.
+fn val_f32() -> impl Strategy<Value = f32> {
+    (0u8..3, -1e3f32..1e3f32, 0u32..0x0080_0000).prop_map(|(which, normal, denorm)| match which {
+        0 => normal,
+        1 => f32::from_bits(denorm),
+        _ => f32::from_bits(denorm | 0x8000_0000),
+    })
+}
+
+/// Finite `f64`s with denormals, mirroring [`val_f32`].
+fn val_f64() -> impl Strategy<Value = f64> {
+    (0u8..3, -1e3f64..1e3f64, 0u64..(1u64 << 52)).prop_map(|(which, normal, denorm)| match which {
+        0 => normal,
+        1 => f64::from_bits(denorm),
+        _ => f64::from_bits(denorm | (1u64 << 63)),
+    })
+}
+
+/// Two equal-length `f32` vectors covering every remainder length
+/// 0..=2·(AVX2 f32 lanes) = 0..=16.
+fn pair_f32() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (0usize..=16).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(val_f32(), len),
+            proptest::collection::vec(val_f32(), len),
+        )
+    })
+}
+
+/// Two equal-length `f64` vectors covering every remainder length
+/// 0..=2·(AVX2 f64 lanes) = 0..=8.
+fn pair_f64() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..=8).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(val_f64(), len),
+            proptest::collection::vec(val_f64(), len),
+        )
+    })
+}
+
+fn bits32(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn bits64(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_assign_f32_is_bit_exact_at_every_level((acc, src) in pair_f32()) {
+        let mut want = acc.clone();
+        kernels::add_assign_f32(KernelLevel::Scalar, &mut want, &src);
+        for &level in &KernelLevel::ALL {
+            let mut got = acc.clone();
+            kernels::add_assign_f32(level, &mut got, &src);
+            prop_assert_eq!(bits32(&got), bits32(&want), "level {}", level.name());
+        }
+    }
+
+    #[test]
+    fn add_assign_f64_is_bit_exact_at_every_level((acc, src) in pair_f64()) {
+        let mut want = acc.clone();
+        kernels::add_assign_f64(KernelLevel::Scalar, &mut want, &src);
+        for &level in &KernelLevel::ALL {
+            let mut got = acc.clone();
+            kernels::add_assign_f64(level, &mut got, &src);
+            prop_assert_eq!(bits64(&got), bits64(&want), "level {}", level.name());
+        }
+    }
+
+    #[test]
+    fn scale_f64_is_bit_exact_at_every_level(
+        (xs, _) in pair_f64(),
+        s in val_f64(),
+    ) {
+        let mut want = xs.clone();
+        kernels::scale_f64(KernelLevel::Scalar, &mut want, s);
+        for &level in &KernelLevel::ALL {
+            let mut got = xs.clone();
+            kernels::scale_f64(level, &mut got, s);
+            prop_assert_eq!(bits64(&got), bits64(&want), "level {}", level.name());
+        }
+    }
+
+    #[test]
+    fn finish_grad_f64_is_bit_exact_at_every_level(
+        (grad, w) in pair_f64(),
+        r in 1.0f64..1e6,
+        l2 in 0.0f64..10.0,
+    ) {
+        let mut want = grad.clone();
+        kernels::finish_grad_f64(KernelLevel::Scalar, &mut want, &w, r, l2);
+        for &level in &KernelLevel::ALL {
+            let mut got = grad.clone();
+            kernels::finish_grad_f64(level, &mut got, &w, r, l2);
+            prop_assert_eq!(bits64(&got), bits64(&want), "level {}", level.name());
+        }
+    }
+
+    /// The max-plus step must match scalar in scores *and* in argmax
+    /// backpointers — including the first-predecessor-wins tie rule —
+    /// for every state count (full 8-lane vectors, the 4-lane step, and
+    /// scalar tails). Duplicated values make ties common.
+    #[test]
+    fn maxplus_step_f32_is_bit_exact_at_every_level(
+        n in 1usize..=19,
+        seed_vals in proptest::collection::vec(val_f32(), 1..=8),
+    ) {
+        // Build prev (n) and edge (n·n) from a small value pool so
+        // repeated entries force tie-breaking through the argmax.
+        let prev: Vec<f32> = (0..n).map(|i| seed_vals[i % seed_vals.len()]).collect();
+        let edge: Vec<f32> = (0..n * n)
+            .map(|i| seed_vals[(i * 7 + 3) % seed_vals.len()])
+            .collect();
+
+        let mut want_best = vec![0.0f32; n];
+        let mut want_second = vec![0.0f32; n];
+        let mut want_back = vec![0u32; n];
+        kernels::maxplus_step_f32(
+            KernelLevel::Scalar,
+            &prev,
+            &edge,
+            &mut want_best,
+            &mut want_second,
+            &mut want_back,
+        );
+        for &level in &KernelLevel::ALL {
+            let mut best = vec![0.0f32; n];
+            let mut second = vec![0.0f32; n];
+            let mut back = vec![0u32; n];
+            kernels::maxplus_step_f32(level, &prev, &edge, &mut best, &mut second, &mut back);
+            prop_assert_eq!(bits32(&best), bits32(&want_best), "best, level {}", level.name());
+            prop_assert_eq!(
+                bits32(&second),
+                bits32(&want_second),
+                "second, level {}",
+                level.name()
+            );
+            prop_assert_eq!(back.clone(), want_back.clone(), "back, level {}", level.name());
+        }
+    }
+}

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use whois_crf::InferenceScratch;
+use whois_crf::{InferenceScratch, KernelLevel};
 use whois_model::{ParsedRecord, RawRecord};
 use whois_tokenize::AnnotateScratch;
 
@@ -272,10 +272,15 @@ impl ParseEngine {
         tier: DecodeTier,
         counters: Arc<DecodeCounters>,
     ) -> Self {
+        // Clamp to the host's actual parallelism: oversubscribing a
+        // small host with more batch threads than cores only adds
+        // scheduling churn (the `batch_parse` bench measured 0.89x at
+        // `workers=4` on one core).
+        let available = std::thread::available_parallelism().map_or(1, |n| n.get());
         let workers = if workers == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            available
         } else {
-            workers
+            workers.min(available)
         };
         let generation = cache.generation();
         let fast = match tier {
@@ -301,6 +306,27 @@ impl ParseEngine {
     pub fn with_margin_guard(mut self, guard: f32) -> Self {
         self.guard = guard;
         self
+    }
+
+    /// Recompile the fast tier with an explicit [`KernelLevel`]
+    /// (testing/benchmarking hook; levels are bit-exact, so this never
+    /// changes parse output, only speed). No-op when the engine has no
+    /// fast tier; the exact `f64` path always dispatches on the
+    /// process-wide [`KernelLevel::active`].
+    pub fn with_kernel_level(mut self, kernel: KernelLevel) -> Self {
+        if self.fast.is_some() {
+            self.fast = FastParser::compile_with_kernel(&self.parser, kernel);
+        }
+        self
+    }
+
+    /// The SIMD kernel level this engine's decodes dispatch to: the fast
+    /// tier's compiled level when one is active, otherwise the
+    /// process-wide [`KernelLevel::active`].
+    pub fn kernel_level(&self) -> KernelLevel {
+        self.fast
+            .as_ref()
+            .map_or_else(KernelLevel::active, FastParser::kernel_level)
     }
 
     /// The requested decode tier.
@@ -516,7 +542,10 @@ mod tests {
             let (batch, stats) = engine.parse_batch_with_stats(&records);
             assert_eq!(batch, sequential, "workers = {workers}");
             assert_eq!(stats.records, records.len());
-            assert_eq!(stats.workers, workers.min(records.len()));
+            // Requested workers are clamped to the host's cores before
+            // the per-batch record clamp.
+            assert_eq!(stats.workers, engine.workers().min(records.len()));
+            assert!(engine.workers() <= workers);
         }
     }
 

@@ -38,7 +38,7 @@
 use crate::level::LevelParser;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
-use whois_crf::{DecodeModel, DecodeScratch, NO_SLOT};
+use whois_crf::{kernels, DecodeModel, DecodeScratch, KernelLevel, NO_SLOT};
 use whois_model::Label;
 use whois_tokenize::{context_lines, for_each_word, line_markers, split_title_value, WordClass};
 
@@ -233,12 +233,21 @@ impl FastLevel {
     pub fn compile<L: Label + Serialize + DeserializeOwned>(
         level: &LevelParser<L>,
     ) -> Option<FastLevel> {
+        Self::compile_with_kernel(level, KernelLevel::active())
+    }
+
+    /// [`compile`](Self::compile) with an explicit [`KernelLevel`]
+    /// (testing/benchmarking hook; unsupported levels degrade to scalar).
+    pub fn compile_with_kernel<L: Label + Serialize + DeserializeOwned>(
+        level: &LevelParser<L>,
+        kernel: KernelLevel,
+    ) -> Option<FastLevel> {
         let enc = level.encoder();
         if !enc.options().title_value {
             return None;
         }
         let dict = enc.dictionary();
-        let decode = DecodeModel::compile(level.crf());
+        let decode = DecodeModel::compile_with_kernel(level.crf(), kernel);
 
         // Load factor ≤ 1/4 even if every dictionary entry is a `p:`
         // feature needing a synthetic `w:` slot.
@@ -284,6 +293,11 @@ impl FastLevel {
     /// The compiled decode model.
     pub fn decode_model(&self) -> &DecodeModel {
         &self.decode
+    }
+
+    /// The SIMD kernel level this level's scoring dispatches to.
+    pub fn kernel_level(&self) -> KernelLevel {
+        self.decode.kernel_level()
     }
 
     #[inline]
@@ -474,7 +488,8 @@ impl FastLevel {
     }
 }
 
-/// Accumulate a stripe and/or pair block by compiled offset.
+/// Accumulate a stripe and/or pair block by compiled offset, through the
+/// model's dispatched SIMD kernel (bit-exact across kernel levels).
 #[inline]
 fn add_offsets(
     decode: &DecodeModel,
@@ -483,17 +498,14 @@ fn add_offsets(
     emit: &mut [f32],
     edge: &mut [f32],
 ) {
+    let kernel = decode.kernel_level();
     if emit_off != NO_SLOT {
         let stripe = &decode.stripes()[emit_off as usize..emit_off as usize + emit.len()];
-        for (e, s) in emit.iter_mut().zip(stripe) {
-            *e += *s;
-        }
+        kernels::add_assign_f32(kernel, emit, stripe);
     }
     if pair_off != NO_SLOT {
         let block = &decode.pair_blocks()[pair_off as usize..pair_off as usize + edge.len()];
-        for (e, b) in edge.iter_mut().zip(block) {
-            *e += *b;
-        }
+        kernels::add_assign_f32(kernel, edge, block);
     }
 }
 
@@ -508,10 +520,24 @@ impl FastParser {
     /// Compile both levels, or `None` when either is outside the fast
     /// tier's envelope.
     pub fn compile(parser: &crate::WhoisParser) -> Option<FastParser> {
+        Self::compile_with_kernel(parser, KernelLevel::active())
+    }
+
+    /// [`compile`](Self::compile) with an explicit [`KernelLevel`]
+    /// (testing/benchmarking hook; unsupported levels degrade to scalar).
+    pub fn compile_with_kernel(
+        parser: &crate::WhoisParser,
+        kernel: KernelLevel,
+    ) -> Option<FastParser> {
         Some(FastParser {
-            first: FastLevel::compile(parser.first_level())?,
-            second: FastLevel::compile(parser.second_level())?,
+            first: FastLevel::compile_with_kernel(parser.first_level(), kernel)?,
+            second: FastLevel::compile_with_kernel(parser.second_level(), kernel)?,
         })
+    }
+
+    /// The SIMD kernel level the compiled tiers dispatch to.
+    pub fn kernel_level(&self) -> KernelLevel {
+        self.first.kernel_level()
     }
 
     /// The compiled first (block) level.

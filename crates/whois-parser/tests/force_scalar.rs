@@ -1,0 +1,141 @@
+//! End-to-end byte-identity under `WHOIS_FORCE_SCALAR=1`.
+//!
+//! This file is its own test binary — its own process — so forcing the
+//! override here cannot leak into other suites. Every test sets the
+//! variable before the first kernel touch; `KernelLevel::active()` then
+//! caches the forced scalar level for the whole process. Explicitly
+//! compiled levels bypass the process default (that is their point), so
+//! one process can compare forced-scalar output against every SIMD
+//! level byte for byte.
+
+use std::sync::Arc;
+use whois_gen::corpus::{generate_corpus, GenConfig};
+use whois_model::{BlockLabel, RawRecord, RegistrantLabel};
+use whois_parser::{
+    DecodeCounters, DecodeTier, KernelLevel, LineCache, ParseEngine, ParserConfig, TrainExample,
+    WhoisParser,
+};
+
+/// Install the override and confirm the process-wide level honors it.
+/// Safe to call from every test: all callers set the same value, and
+/// `active()` caches on first use.
+fn force_scalar() {
+    std::env::set_var("WHOIS_FORCE_SCALAR", "1");
+    assert_eq!(
+        KernelLevel::active(),
+        KernelLevel::Scalar,
+        "WHOIS_FORCE_SCALAR=1 must pin the active kernel to scalar"
+    );
+}
+
+fn train_on(seed: u64, count: usize, split: usize) -> (WhoisParser, Vec<RawRecord>) {
+    let corpus = generate_corpus(GenConfig::new(seed, count));
+    let (train, test) = corpus.split_at(split);
+    let first: Vec<TrainExample<BlockLabel>> = train
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = train
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            if reg.is_empty() {
+                return None;
+            }
+            Some(TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    let raws: Vec<RawRecord> = test.iter().map(|d| d.raw()).collect();
+    (parser, raws)
+}
+
+/// A fast-tier engine with the line cache disabled, so every record
+/// exercises the decode tier (and its kernels).
+fn fast_engine(parser: WhoisParser, workers: usize) -> ParseEngine {
+    ParseEngine::with_decode_tier(
+        parser,
+        workers,
+        Arc::new(LineCache::disabled()),
+        DecodeTier::Fast,
+        Arc::new(DecodeCounters::new()),
+    )
+}
+
+/// Forced-scalar fast-tier parses are byte-identical to the exact `f64`
+/// engine for every requested worker count 1–4.
+#[test]
+fn forced_scalar_replies_are_byte_identical_across_workers() {
+    force_scalar();
+    let (parser, records) = train_on(211, 120, 90);
+    let want: Vec<String> = records
+        .iter()
+        .map(|r| serde_json::to_string(&parser.parse(r)).unwrap())
+        .collect();
+    for workers in 1..=4 {
+        let engine = fast_engine(parser.clone(), workers);
+        assert_eq!(engine.kernel_level(), KernelLevel::Scalar);
+        let got: Vec<String> = engine
+            .parse_batch(&records)
+            .iter()
+            .map(|p| serde_json::to_string(p).unwrap())
+            .collect();
+        assert_eq!(got, want, "workers = {workers}");
+    }
+}
+
+/// Every explicitly compiled SIMD level produces the same bytes as the
+/// forced-scalar engine — the on/off differential in one process.
+#[test]
+fn explicit_simd_levels_match_forced_scalar_bytes() {
+    force_scalar();
+    let (parser, records) = train_on(212, 110, 80);
+    let scalar = fast_engine(parser.clone(), 1);
+    let want: Vec<String> = scalar
+        .parse_batch(&records)
+        .iter()
+        .map(|p| serde_json::to_string(p).unwrap())
+        .collect();
+    for &level in &KernelLevel::ALL {
+        for workers in 1..=4 {
+            let engine = fast_engine(parser.clone(), workers).with_kernel_level(level);
+            let got: Vec<String> = engine
+                .parse_batch(&records)
+                .iter()
+                .map(|p| serde_json::to_string(p).unwrap())
+                .collect();
+            assert_eq!(got, want, "level {} workers {workers}", level.name());
+        }
+    }
+}
+
+/// A model hot swap (new parser through the same records) stays
+/// byte-identical between forced scalar and every explicit SIMD level.
+#[test]
+fn hot_swap_stays_byte_identical_under_forced_scalar() {
+    force_scalar();
+    let (parser_v1, records) = train_on(213, 100, 70);
+    let (parser_v2, _) = train_on(214, 100, 70);
+    for parser in [parser_v1, parser_v2] {
+        let want: Vec<String> = fast_engine(parser.clone(), 2)
+            .parse_batch(&records)
+            .iter()
+            .map(|p| serde_json::to_string(p).unwrap())
+            .collect();
+        for &level in &KernelLevel::ALL {
+            let engine = fast_engine(parser.clone(), 2).with_kernel_level(level);
+            let got: Vec<String> = engine
+                .parse_batch(&records)
+                .iter()
+                .map(|p| serde_json::to_string(p).unwrap())
+                .collect();
+            assert_eq!(got, want, "level {} after swap", level.name());
+        }
+    }
+}

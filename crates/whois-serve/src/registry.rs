@@ -141,6 +141,12 @@ impl ModelRegistry {
         &self.decode_counters
     }
 
+    /// The SIMD kernel level the active engine's decodes dispatch to
+    /// (surfaced in `STATS`/`HEALTH`).
+    pub fn kernel_level(&self) -> whois_parser::KernelLevel {
+        self.current().engine.kernel_level()
+    }
+
     /// Snapshot the active model. Cheap: one read lock + `Arc` clone.
     pub fn current(&self) -> Arc<ActiveModel> {
         self.active.read().clone()

@@ -540,6 +540,7 @@ impl ServiceCtx {
                 fast_decodes: counters.fast_decodes(),
                 exact_fallbacks: counters.exact_fallbacks(),
                 fallback_rate: counters.fallback_rate(),
+                kernel: self.registry.kernel_level().name().to_string(),
             },
             self.stats
                 .store_tier(self.store.as_ref().map(|s| s.stats())),
@@ -564,6 +565,7 @@ impl ServiceCtx {
             store: self
                 .stats
                 .store_tier(self.store.as_ref().map(|s| s.stats())),
+            kernel: self.registry.kernel_level().name().to_string(),
         }
     }
 }

@@ -255,6 +255,10 @@ pub struct DecodeTierStats {
     pub exact_fallbacks: u64,
     /// `exact_fallbacks / (fast_decodes + exact_fallbacks)`.
     pub fallback_rate: f64,
+    /// Active SIMD kernel level (`"scalar"`/`"sse2"`/`"avx2"`; appended
+    /// after `fallback_rate`, empty in replies from older servers).
+    #[serde(default)]
+    pub kernel: String,
 }
 
 /// Live connection gauges: how many sockets the serving core holds and
@@ -325,6 +329,10 @@ pub struct HealthSnapshot {
     /// older replies omit it and deserialize to the disabled default).
     #[serde(default)]
     pub store: StoreTierStats,
+    /// Active SIMD kernel level (appended after `store`; empty in
+    /// replies from older servers).
+    #[serde(default)]
+    pub kernel: String,
 }
 
 /// The `STATS` verb's payload.
@@ -455,6 +463,7 @@ mod tests {
                 fast_decodes: 10,
                 exact_fallbacks: 1,
                 fallback_rate: 1.0 / 11.0,
+                kernel: "avx2".into(),
             },
             StoreTierStats {
                 enabled: true,
@@ -592,6 +601,28 @@ mod tests {
     }
 
     #[test]
+    fn old_decode_stats_without_kernel_still_deserialize() {
+        // `kernel` is the last DecodeTierStats field; replies from
+        // pre-kernel servers omit it.
+        let decode = DecodeTierStats::default();
+        let json = serde_json::to_string(&decode).unwrap();
+        let start = json.find(",\"kernel\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: DecodeTierStats = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, decode, "missing kernel defaults to empty");
+    }
+
+    #[test]
+    fn old_health_without_kernel_still_deserializes() {
+        let health = HealthSnapshot::default();
+        let json = serde_json::to_string(&health).unwrap();
+        let start = json.find(",\"kernel\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: HealthSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, health, "missing kernel defaults to empty");
+    }
+
+    #[test]
     fn old_health_without_decode_tier_still_deserializes() {
         let health = HealthSnapshot::default();
         let json = serde_json::to_string(&health).unwrap();
@@ -615,6 +646,7 @@ mod tests {
             model_swaps: 1,
             draining: false,
             decode_tier: "fast".into(),
+            kernel: "sse2".into(),
             store: StoreTierStats {
                 enabled: true,
                 segments: 1,

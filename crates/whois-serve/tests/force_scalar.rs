@@ -1,0 +1,99 @@
+//! Serving-level differential under `WHOIS_FORCE_SCALAR=1`: parse
+//! replies from a live service whose kernels are pinned to scalar must
+//! be byte-identical to the same model compiled at every SIMD level —
+//! before and after a hot swap.
+//!
+//! Own test binary — own process — so the override cannot leak into
+//! other suites.
+
+use std::sync::Arc;
+use whois_model::{BlockLabel, RawRecord, RegistrantLabel};
+use whois_parser::{
+    DecodeCounters, DecodeTier, KernelLevel, LineCache, ParseEngine, ParserConfig, TrainExample,
+    WhoisParser,
+};
+use whois_serve::{ModelRegistry, ParseService, ServeClient, ServeConfig};
+
+fn force_scalar() {
+    std::env::set_var("WHOIS_FORCE_SCALAR", "1");
+    assert_eq!(KernelLevel::active(), KernelLevel::Scalar);
+}
+
+fn train_on(seed: u64, count: usize, split: usize) -> (WhoisParser, Vec<RawRecord>) {
+    let corpus = whois_gen::corpus::generate_corpus(whois_gen::corpus::GenConfig::new(seed, count));
+    let (train, test) = corpus.split_at(split);
+    let first: Vec<TrainExample<BlockLabel>> = train
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect();
+    let second: Vec<TrainExample<RegistrantLabel>> = train
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    let parser = WhoisParser::train(&first, &second, &ParserConfig::default());
+    (parser, test.iter().map(|d| d.raw()).collect())
+}
+
+/// Reference bytes: the same parser compiled for the fast tier at an
+/// explicit SIMD level, line cache off so the kernels always run.
+fn simd_reference(parser: &WhoisParser, level: KernelLevel, records: &[RawRecord]) -> Vec<String> {
+    let engine = ParseEngine::with_decode_tier(
+        parser.clone(),
+        1,
+        Arc::new(LineCache::disabled()),
+        DecodeTier::Fast,
+        Arc::new(DecodeCounters::new()),
+    )
+    .with_kernel_level(level);
+    records
+        .iter()
+        .map(|r| serde_json::to_string(&engine.parse_one(r)).unwrap())
+        .collect()
+}
+
+#[test]
+fn scalar_service_replies_match_every_simd_level_across_a_hot_swap() {
+    force_scalar();
+    let (parser_v1, records) = train_on(311, 90, 60);
+    let (parser_v2, _) = train_on(312, 90, 60);
+    let registry = Arc::new(ModelRegistry::new(parser_v1.clone(), "model-0001", 1));
+    assert_eq!(registry.kernel_level(), KernelLevel::Scalar);
+    let service = ParseService::start(registry.clone(), ServeConfig::default(), 0).unwrap();
+    let mut client = ServeClient::connect(service.addr()).unwrap();
+
+    for (version, parser) in [("model-0001", &parser_v1), ("model-0002", &parser_v2)] {
+        if version != "model-0001" {
+            registry.install(parser.clone(), version);
+        }
+        let replies: Vec<String> = records
+            .iter()
+            .map(|r| {
+                let reply = client.parse(&r.domain, &r.text).unwrap();
+                assert_eq!(reply.model.as_deref(), Some(version));
+                serde_json::to_string(&reply.record.expect("reply carries a record")).unwrap()
+            })
+            .collect();
+        for &level in &KernelLevel::ALL {
+            assert_eq!(
+                replies,
+                simd_reference(parser, level, &records),
+                "{version} vs level {}",
+                level.name()
+            );
+        }
+        // The service reports the forced level over the wire.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.decode.kernel, "scalar");
+        let health = client.health().unwrap();
+        assert_eq!(health.kernel, "scalar");
+    }
+}

@@ -11,7 +11,7 @@
 //!                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]
 //!                     [--upstream host:port] [--timeout MS]
 //!                     [--mode event|blocking] [--conns-per-ip N]
-//!                     [--decode-tier fast|exact]
+//!                     [--decode-tier fast|exact] [--no-cache-bypass]
 //! whoisml query       --addr 127.0.0.1:PORT [--timeout MS]
 //!                     (--domain d [--input record.txt] | --stats 1 | --health 1)
 //! ```
@@ -42,7 +42,9 @@
 //!   the line cache: `fast` (default) decodes on the compiled
 //!   pruned/quantized tier with an exact re-decode under the margin
 //!   guard, `exact` always uses the f64 reference engine; output is
-//!   byte-identical either way.
+//!   byte-identical either way. The line cache's adaptive bypass (steer
+//!   cache-hostile uniform traffic straight to the decode tier) is on by
+//!   default; `--no-cache-bypass` disables it.
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
@@ -116,7 +118,7 @@ fn usage_and_exit() -> ! {
          \x20                     [--port P] [--workers N] [--cache N] [--line-cache N] [--queue N]\n\
          \x20                     [--upstream host:port] [--timeout MS]\n\
          \x20                     [--mode event|blocking] [--conns-per-ip N]\n\
-         \x20                     [--decode-tier fast|exact]\n\
+         \x20                     [--decode-tier fast|exact] [--no-cache-bypass]\n\
          \x20                     [--store dir/ [--store-cap BYTES]]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
          \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)\n\
@@ -134,8 +136,20 @@ impl Flags {
         let mut i = 0;
         while i < args.len() {
             if let Some(k) = args[i].strip_prefix("--") {
-                pairs.push((k.to_string(), args.get(i + 1).cloned().unwrap_or_default()));
-                i += 2;
+                // A following `--token` is the next flag, not this one's
+                // value: bare boolean flags (`--no-cache-bypass`) parse
+                // with an empty value instead of swallowing their
+                // neighbor.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        pairs.push((k.to_string(), v.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        pairs.push((k.to_string(), String::new()));
+                        i += 1;
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -348,16 +362,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     // Line-memoization cache shared by every installed model's engine
     // (0 disables it); hot swaps invalidate it by generation bump. The
     // adaptive bypass steers uniform (cache-hostile) traffic straight to
-    // the decode tier.
+    // the decode tier; --no-cache-bypass pins every record through the
+    // cache.
     let line_cache_capacity: usize =
         flags.get_or("line-cache", whoisml::parser::DEFAULT_LINE_CACHE_CAPACITY);
-    let line_cache = std::sync::Arc::new(
-        whoisml::parser::LineCache::new(
-            line_cache_capacity,
-            whoisml::parser::DEFAULT_LINE_CACHE_SHARDS,
-        )
-        .with_bypass_floor(whoisml::parser::DEFAULT_BYPASS_FLOOR),
+    let cache_bypass = flags.get("no-cache-bypass").is_none();
+    let mut line_cache = whoisml::parser::LineCache::new(
+        line_cache_capacity,
+        whoisml::parser::DEFAULT_LINE_CACHE_SHARDS,
     );
+    if cache_bypass {
+        line_cache = line_cache.with_bypass_floor(whoisml::parser::DEFAULT_BYPASS_FLOOR);
+    }
+    let line_cache = std::sync::Arc::new(line_cache);
     // --decode-tier picks the engine for uncached records: the compiled
     // fast tier (default; byte-identical, low-margin records re-decode
     // exactly) or the f64 exact engine.
@@ -461,17 +478,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | line-cache {} | queue {} | mode {} | decode-tier {} | store {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} (bypass {}) | queue {} | mode {} | decode-tier {} | kernel {} | store {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
         line_cache_capacity,
+        if cache_bypass { "on" } else { "off" },
         flags.get_or::<usize>("queue", 64),
         match mode {
             whoisml::net::ServingMode::EventLoop => "event",
             whoisml::net::ServingMode::Blocking => "blocking",
         },
         registry.decode_tier().name(),
+        registry.kernel_level().name(),
         if store_enabled { "on" } else { "off" },
     );
     loop {
