@@ -1,0 +1,377 @@
+//! The closed continual-learning loop under a schema-drift ramp:
+//! accuracy before / during / after self-healing, and the serving-path
+//! overhead of the drift monitor.
+//!
+//! The scenario mirrors `whois-serve/tests/drift_loop.rs` at full size:
+//! a loop-enabled and a loop-disabled daemon serve the same traffic —
+//! clean batches, then an abrupt ramp to 90% drift-mutated records
+//! (§2.3's "large registrar modifying their schema significantly").
+//! The loop detects the sustained low-confidence regime, queues the
+//! offending records crash-safely, relabels them with the
+//! rule/template baselines, refits from the incumbent's weights, gates
+//! the candidate on the golden set, and hot-swaps. The summary
+//! (`results/BENCH_drift_loop.json`) records per-phase field accuracy,
+//! the recovery ratio, the wall-clock of the retrain cycle, and the
+//! zero-dropped-request count for both daemons.
+//!
+//! The criterion group measures what the loop costs when nothing is
+//! wrong: `observe_parse` on confident records (the drift monitor's
+//! per-record serving overhead) and on low-confidence records (monitor
+//! plus a crash-safe queue append).
+//!
+//! `WHOIS_BENCH_SMOKE=1` swaps in a seconds-long correctness run of the
+//! same scenario: the loop must deploy exactly one gated retrain,
+//! recover to ≥90% of pre-drift accuracy with zero dropped or failed
+//! requests, and leave the baseline degraded. The smoke run writes the
+//! same summary file.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whois_bench::kernel_level_name;
+use whois_gen::corpus::{generate_corpus, DriftRamp, GenConfig};
+use whois_model::{BlockLabel, Label, RegistrantLabel};
+use whois_parser::{ParserConfig, TrainExample, WhoisParser};
+use whois_serve::{
+    ModelRegistry, ParseService, RetrainConfig, RetrainHub, RetrainOutcome, ServeClient,
+    ServeConfig,
+};
+use whois_templates::TemplateParser;
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("whois-drift-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn first_level(corpus: &[whois_gen::corpus::GeneratedDomain]) -> Vec<TrainExample<BlockLabel>> {
+    corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+fn train_parser(corpus: &[whois_gen::corpus::GeneratedDomain]) -> WhoisParser {
+    let first = first_level(corpus);
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    WhoisParser::train(&first, &second, &ParserConfig::default())
+}
+
+fn templates_from(corpus: &[whois_gen::corpus::GeneratedDomain]) -> TemplateParser {
+    let mut templates = TemplateParser::new();
+    for d in corpus {
+        let text = d.rendered.text();
+        let lines: Vec<&str> = whois_model::non_empty_lines(&text);
+        templates.add_example(d.registrar.name, &lines, &d.block_labels().labels());
+    }
+    templates
+}
+
+/// Field accuracy of one served batch: the fraction of ground-truth
+/// labeled lines the reply filed under the right block. Failed or
+/// record-less replies count toward `failures`.
+fn batch_accuracy(
+    client: &mut ServeClient,
+    docs: &[whois_gen::corpus::GeneratedDomain],
+    failures: &mut u64,
+) -> f64 {
+    let mut lines = 0usize;
+    let mut correct = 0usize;
+    for d in docs {
+        let text = d.rendered.text();
+        let record = match client.parse(&d.facts.domain, &text) {
+            Ok(reply) => match reply.record {
+                Some(record) => record,
+                None => {
+                    *failures += 1;
+                    continue;
+                }
+            },
+            Err(_) => {
+                *failures += 1;
+                continue;
+            }
+        };
+        let truth = d.block_labels();
+        for (line, label) in truth.texts().iter().zip(truth.labels()) {
+            lines += 1;
+            if record
+                .blocks
+                .get(label.name())
+                .is_some_and(|bucket| bucket.iter().any(|l| l == line))
+            {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / lines.max(1) as f64
+}
+
+/// One full drift-ramp scenario at the given scale.
+struct ScenarioResult {
+    train_docs: usize,
+    batch_size: usize,
+    pre_drift: f64,
+    degraded: f64,
+    recovered: f64,
+    baseline_after: f64,
+    retrain_ms: f64,
+    labeled: u64,
+    queue_acked: u64,
+    deployed: u64,
+    looped_failures: u64,
+    baseline_failures: u64,
+    sheds: u64,
+}
+
+impl ScenarioResult {
+    fn recovery_ratio(&self) -> f64 {
+        self.recovered / self.pre_drift.max(1e-12)
+    }
+}
+
+fn run_scenario(tag: &str, train_docs: usize, batch_size: usize) -> ScenarioResult {
+    let dir = bench_dir(tag);
+    let base_seed = 0x10_5EED;
+    let clean = generate_corpus(GenConfig::new(base_seed, train_docs));
+    let parser = train_parser(&clean);
+    let golden = first_level(&generate_corpus(GenConfig::new(base_seed + 1, 30)));
+
+    let cfg = RetrainConfig {
+        window: 24,
+        low_confidence: 0.8,
+        drift_fraction: 0.5,
+        min_batch: 8,
+        max_batch: 96,
+        // The scenario drives ticks by hand; park the background loop.
+        interval: Duration::from_secs(3600),
+        golden_first: golden,
+        templates: templates_from(&clean),
+        ..RetrainConfig::new(dir.clone())
+    };
+
+    let looped_registry = Arc::new(ModelRegistry::new(parser.clone(), "model-0001", 1));
+    let mut looped = ParseService::start(
+        looped_registry,
+        ServeConfig {
+            workers: 2,
+            retrain: Some(cfg),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let mut baseline = ParseService::start(
+        Arc::new(ModelRegistry::new(parser, "model-0001", 1)),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let retrainer = looped.retrainer().expect("loop configured").clone();
+
+    let mut looped_client = ServeClient::connect(looped.addr()).unwrap();
+    let mut baseline_client = ServeClient::connect(baseline.addr()).unwrap();
+    let mut looped_failures = 0u64;
+    let mut baseline_failures = 0u64;
+
+    let ramp = DriftRamp::new(2, 1, 0.9);
+    let traffic = |batch: usize| -> Vec<whois_gen::corpus::GeneratedDomain> {
+        generate_corpus(ramp.config_at(base_seed + 100, batch_size, batch))
+    };
+
+    // Clean traffic, then drift, then the timed retrain cycle, then
+    // post-swap traffic.
+    let mut pre_drift = 0.0;
+    for batch in 0..2 {
+        let docs = traffic(batch);
+        pre_drift = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+        retrainer.tick();
+    }
+    let mut degraded = 1.0f64;
+    for batch in 2..5 {
+        let docs = traffic(batch);
+        let acc = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        degraded = degraded.min(acc);
+        batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+    }
+    let start = Instant::now();
+    let outcome = retrainer.tick();
+    let retrain_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        matches!(outcome, RetrainOutcome::Deployed(_)),
+        "drift + full queue must produce a gated deploy, got {outcome:?}"
+    );
+    let mut recovered = 0.0;
+    let mut baseline_after = 0.0;
+    for batch in 5..7 {
+        let docs = traffic(batch);
+        recovered = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        baseline_after = batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+    }
+
+    let snap = looped.retrain_hub().unwrap().snapshot();
+    let sheds = looped_client.stats().unwrap().sheds;
+    let result = ScenarioResult {
+        train_docs,
+        batch_size,
+        pre_drift,
+        degraded,
+        recovered,
+        baseline_after,
+        retrain_ms,
+        labeled: snap.labeled,
+        queue_acked: snap.queue_acked,
+        deployed: snap.deployed,
+        looped_failures,
+        baseline_failures,
+        sheds,
+    };
+    drop(looped_client);
+    drop(baseline_client);
+    looped.shutdown();
+    baseline.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn summary_entry(r: &ScenarioResult) -> String {
+    format!(
+        "    {{\"train_docs\": {}, \"batch_size\": {}, \
+         \"pre_drift_accuracy\": {:.4}, \"degraded_accuracy\": {:.4}, \
+         \"recovered_accuracy\": {:.4}, \"baseline_after_accuracy\": {:.4}, \
+         \"recovery_ratio\": {:.4}, \"retrain_ms\": {:.1}, \
+         \"labeled\": {}, \"queue_acked\": {}, \"deployed\": {}, \
+         \"looped_failures\": {}, \"baseline_failures\": {}, \"sheds\": {}}}",
+        r.train_docs,
+        r.batch_size,
+        r.pre_drift,
+        r.degraded,
+        r.recovered,
+        r.baseline_after,
+        r.recovery_ratio(),
+        r.retrain_ms,
+        r.labeled,
+        r.queue_acked,
+        r.deployed,
+        r.looped_failures,
+        r.baseline_failures,
+        r.sheds,
+    )
+}
+
+fn write_summary(results: &[ScenarioResult]) {
+    let entries: Vec<String> = results.iter().map(summary_entry).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_level_name();
+    let summary = format!(
+        "{{\n  \"bench\": \"drift_loop\",\n  \"available_cores\": {cores},\n  \
+         \"kernel\": \"{kernel}\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/BENCH_drift_loop.json"
+    );
+    match std::fs::write(path, &summary) {
+        Ok(()) => eprintln!("[drift_loop] summary written to {path}"),
+        Err(e) => eprintln!("[drift_loop] could not write {path}: {e}"),
+    }
+    eprint!("{summary}");
+}
+
+/// The smoke run asserts the acceptance envelope on the small scale.
+fn assert_scenario(r: &ScenarioResult) {
+    assert!(
+        r.pre_drift > 0.9,
+        "clean traffic parses well: {}",
+        r.pre_drift
+    );
+    assert_eq!(r.deployed, 1, "exactly one gated deploy");
+    assert!(
+        r.recovered >= 0.9 * r.pre_drift,
+        "loop must recover to ≥90% of pre-drift accuracy: {} vs {}",
+        r.recovered,
+        r.pre_drift
+    );
+    assert!(
+        r.baseline_after <= r.pre_drift - 0.05,
+        "baseline stays degraded: {} vs pre-drift {}",
+        r.baseline_after,
+        r.pre_drift
+    );
+    assert!(
+        r.recovered > r.baseline_after,
+        "the loop must out-parse the baseline"
+    );
+    assert_eq!(r.looped_failures, 0, "zero dropped requests (looped)");
+    assert_eq!(r.baseline_failures, 0, "zero dropped requests (baseline)");
+    assert_eq!(r.sheds, 0, "zero sheds during the whole timeline");
+}
+
+fn smoke() {
+    let result = run_scenario("smoke", 90, 40);
+    assert_scenario(&result);
+    write_summary(std::slice::from_ref(&result));
+    eprintln!(
+        "[drift_loop] smoke ok: recovery ratio {:.3} (pre {:.4} → degraded {:.4} → \
+         recovered {:.4}), baseline stayed at {:.4}, 0 dropped requests",
+        result.recovery_ratio(),
+        result.pre_drift,
+        result.degraded,
+        result.recovered,
+        result.baseline_after,
+    );
+}
+
+fn bench_drift_loop(c: &mut Criterion) {
+    if std::env::var_os("WHOIS_BENCH_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
+    // Serving-path overhead of the hub when nothing is wrong: the
+    // monitor alone (confident records) and monitor + crash-safe queue
+    // append (low-confidence records).
+    let dir = bench_dir("observe");
+    let hub = RetrainHub::open(&RetrainConfig::new(dir.clone())).unwrap();
+    let body = "Domain Name: EXAMPLE.COM\nRegistrar: Example Registrar, LLC\n";
+    let mut group = c.benchmark_group("drift_loop");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("observe_confident", |b| {
+        b.iter(|| hub.observe_parse("example.com", body, criterion::black_box(0.97)))
+    });
+    group.bench_function("observe_low_queued", |b| {
+        b.iter(|| hub.observe_parse("example.com", body, criterion::black_box(0.05)))
+    });
+    group.finish();
+    drop(hub);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The macro summary: the full ramp scenario at two scales.
+    let results = vec![
+        run_scenario("sum-small", 90, 40),
+        run_scenario("sum-large", 180, 80),
+    ];
+    write_summary(&results);
+}
+
+criterion_group!(benches, bench_drift_loop);
+criterion_main!(benches);

@@ -62,4 +62,4 @@ pub use model::{Crf, ScoreTable};
 pub use objective::{NaiveObjective, Objective};
 pub use scratch::InferenceScratch;
 pub use sequence::{Instance, Sequence};
-pub use train::{train, TrainConfig, TrainReport, TrainerKind};
+pub use train::{train, train_warm, TrainConfig, TrainReport, TrainerKind};

@@ -31,6 +31,11 @@ pub struct GenConfig {
     /// Fraction of domains rendered through a drift-mutated variant of
     /// their registrar's template (schema-change experiments; default 0).
     pub drift_fraction: f64,
+    /// Seed of the drift mutation itself, independent of `seed`: batches
+    /// generated with different master seeds but the same `drift_seed`
+    /// see the *same* schema change — a registrar redesigns its format
+    /// once, then every record it sponsors shows the new layout.
+    pub drift_seed: u64,
     /// TLD to generate under (`"com"` unless exercising Table 2).
     pub tld: String,
 }
@@ -41,6 +46,7 @@ impl Default for GenConfig {
             seed: 0x_c0ffee,
             count: 1000,
             drift_fraction: 0.0,
+            drift_seed: 0xd41f7,
             tld: "com".to_string(),
         }
     }
@@ -381,7 +387,7 @@ impl CorpusGenerator {
             let family = registrar.family;
             if !self.drifted_templates.contains_key(family) {
                 let base = self.templates.get(family).expect("family exists").clone();
-                let mutated = drift::mutate(&base, self.cfg.seed ^ 0xd41f7);
+                let mutated = drift::mutate(&base, self.cfg.drift_seed);
                 self.drifted_templates.insert(family.to_string(), mutated);
             }
             self.drifted_templates[family].render(&facts)
@@ -415,6 +421,51 @@ impl Iterator for CorpusGenerator {
 /// experiments; the survey pipeline streams instead).
 pub fn generate_corpus(cfg: GenConfig) -> Vec<GeneratedDomain> {
     CorpusGenerator::new(cfg).collect()
+}
+
+/// A stepwise drift schedule for closed-loop harnesses: traffic starts
+/// clean, then a registrar schema change (§2.3) ramps in linearly over
+/// `ramp` batches and holds at `peak` — the timeline the drift monitor
+/// and retrain loop are exercised against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftRamp {
+    /// Batches of clean (pre-drift) traffic.
+    pub clean: usize,
+    /// Batches over which the drifted fraction rises linearly to `peak`.
+    pub ramp: usize,
+    /// Drifted fraction held once the ramp completes (clamped to [0, 1]).
+    pub peak: f64,
+}
+
+impl DriftRamp {
+    /// Construct a ramp; `peak` is clamped into `[0, 1]`.
+    pub fn new(clean: usize, ramp: usize, peak: f64) -> Self {
+        DriftRamp {
+            clean,
+            ramp,
+            peak: peak.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The drifted fraction in effect for batch `batch` (0-based).
+    pub fn fraction_at(&self, batch: usize) -> f64 {
+        if batch < self.clean {
+            0.0
+        } else if self.ramp == 0 || batch >= self.clean + self.ramp {
+            self.peak
+        } else {
+            self.peak * (batch - self.clean + 1) as f64 / self.ramp as f64
+        }
+    }
+
+    /// A [`GenConfig`] for batch `batch`: a batch-distinct seed (so each
+    /// batch carries fresh domains) with this ramp's drift fraction.
+    pub fn config_at(&self, base_seed: u64, count: usize, batch: usize) -> GenConfig {
+        GenConfig {
+            drift_fraction: self.fraction_at(batch),
+            ..GenConfig::new(base_seed.wrapping_add(batch as u64), count)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -554,6 +605,26 @@ mod tests {
             }
         }
         assert!(compared);
+    }
+
+    #[test]
+    fn drift_ramp_schedule_is_clean_then_linear_then_held() {
+        let ramp = DriftRamp::new(3, 4, 0.8);
+        assert_eq!(ramp.fraction_at(0), 0.0);
+        assert_eq!(ramp.fraction_at(2), 0.0, "clean phase");
+        assert!((ramp.fraction_at(3) - 0.2).abs() < 1e-12, "first ramp step");
+        assert!((ramp.fraction_at(6) - 0.8).abs() < 1e-12, "ramp completes");
+        assert_eq!(ramp.fraction_at(100), 0.8, "held at peak");
+        // Monotone non-decreasing throughout.
+        for b in 1..20 {
+            assert!(ramp.fraction_at(b) >= ramp.fraction_at(b - 1));
+        }
+        // Degenerate ramps are well-defined.
+        assert_eq!(DriftRamp::new(0, 0, 2.0).fraction_at(0), 1.0, "clamped");
+        let cfg = ramp.config_at(100, 10, 5);
+        assert_eq!(cfg.seed, 105);
+        assert_eq!(cfg.count, 10);
+        assert!((cfg.drift_fraction - 0.6).abs() < 1e-12);
     }
 
     #[test]

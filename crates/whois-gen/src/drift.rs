@@ -5,12 +5,25 @@
 //! that template parsers break under such drift while the statistical
 //! parser adapts with a handful of labeled examples (§2.3, §5.3).
 //! [`mutate`] derives a drifted variant of a template: field titles are
-//! re-worded, the separator changes, block order shifts, and a new banner
-//! appears — the kinds of changes registrars actually make.
+//! re-worded, the separator changes, block order shifts, the date format
+//! flips (`2015-01-02` → `02-Jan-2015`), adjacent fields merge onto one
+//! line, and a new banner appears — the kinds of changes registrars
+//! actually make.
 
-use crate::style::{Element, Template};
+use crate::style::{DateStyle, Element, Field, Template};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use whois_model::ContactKind;
+
+/// All date styles the generator knows, for the date-format mutation.
+const DATE_STYLES: &[DateStyle] = &[
+    DateStyle::Iso,
+    DateStyle::IsoT,
+    DateStyle::DayMonYear,
+    DateStyle::Slash,
+    DateStyle::Dot,
+    DateStyle::IsoSpace,
+];
 
 /// Title-word substitutions applied by the retitle mutation.
 const SYNONYMS: &[(&str, &str)] = &[
@@ -91,7 +104,50 @@ pub fn mutate(base: &Template, seed: u64) -> Template {
         elements[..lead].rotate_left(k);
     }
 
-    // 4. Prepend a new banner.
+    // 4. Change the date format (§2.3: e.g. `2015-01-02` → `02-Jan-2015`).
+    // Always drawn so every seed's variant stays deterministic; applied
+    // with p=0.7.
+    let new_dates = DATE_STYLES[rng.random_range(0..DATE_STYLES.len())];
+    let dates = if rng.random_bool(0.7) && new_dates != base.dates {
+        new_dates
+    } else {
+        base.dates
+    };
+
+    // 5. Merge one adjacent pair of same-label titled fields onto a
+    // single line (p=0.6) — registrars collapse related fields like
+    // creation/expiry dates.
+    if rng.random_bool(0.6) {
+        if let Some(at) = pick_merge_site(&elements, &mut rng) {
+            let second = elements.remove(at + 1);
+            let first = std::mem::replace(&mut elements[at], Element::Blank);
+            if let (
+                Element::Titled {
+                    title,
+                    sep,
+                    field,
+                    indent,
+                },
+                Element::Titled {
+                    title: second_title,
+                    field: second_field,
+                    ..
+                },
+            ) = (first, second)
+            {
+                elements[at] = Element::Merged {
+                    title,
+                    sep,
+                    first: field,
+                    second_title,
+                    second: second_field,
+                    indent,
+                };
+            }
+        }
+    }
+
+    // 6. Prepend a new banner.
     elements.insert(
         0,
         Element::Banner(format!(
@@ -101,10 +157,110 @@ pub fn mutate(base: &Template, seed: u64) -> Template {
         )),
     );
 
+    // 7. Flip titled contact blocks into a context header followed by
+    // bare value lines (p=0.7) — the "large registrar modifying their
+    // schema significantly" of §2.3: key/value contact fields replaced
+    // wholesale by a legacy-style address block. Ground truth is
+    // preserved (headers carry their block's label, bare lines keep the
+    // field's), but every title word the model learned disappears.
+    if rng.random_bool(0.7) {
+        flip_contact_blocks(&mut elements);
+    }
+
     Template {
         family: format!("{}+drift", base.family),
-        dates: base.dates,
+        dates,
         elements,
+    }
+}
+
+/// Header text introducing a flipped contact block; the wording matches
+/// what real registrars use (and what the rule base's contextual-header
+/// rules recognize).
+fn contact_header(kind: ContactKind) -> &'static str {
+    match kind {
+        ContactKind::Registrant => "Registrant:",
+        ContactKind::Admin => "Administrative Contact:",
+        ContactKind::Tech => "Technical Contact:",
+        ContactKind::Billing => "Billing Contact:",
+    }
+}
+
+/// Replace every run of two or more adjacent `Titled` contact fields of
+/// the same [`ContactKind`] with a context header plus bare value lines.
+/// A header is not inserted when the run already follows one for the
+/// same contact (contextual formats keep their existing header).
+fn flip_contact_blocks(elements: &mut Vec<Element>) {
+    let mut out: Vec<Element> = Vec::with_capacity(elements.len() + 4);
+    let mut i = 0;
+    while i < elements.len() {
+        let kind = match &elements[i] {
+            Element::Titled {
+                field: Field::Contact(kind, _),
+                ..
+            } => Some(*kind),
+            _ => None,
+        };
+        let run = match kind {
+            Some(kind) => elements[i..]
+                .iter()
+                .take_while(|e| {
+                    matches!(
+                        e,
+                        Element::Titled { field: Field::Contact(k, _), .. } if *k == kind
+                    )
+                })
+                .count(),
+            None => 0,
+        };
+        if run >= 2 {
+            let kind = kind.unwrap();
+            let preceded_by_header =
+                matches!(out.last(), Some(Element::Header { of, .. }) if *of == kind);
+            if !preceded_by_header {
+                out.push(Element::Header {
+                    text: contact_header(kind).to_string(),
+                    of: kind,
+                });
+            }
+            for el in &elements[i..i + run] {
+                if let Element::Titled { field, .. } = el {
+                    out.push(Element::Bare {
+                        field: field.clone(),
+                        indent: 4,
+                    });
+                }
+            }
+            i += run;
+        } else {
+            out.push(elements[i].clone());
+            i += 1;
+        }
+    }
+    *elements = out;
+}
+
+/// Index of the first element of a randomly chosen adjacent `Titled`
+/// pair whose fields share a block label (merging across labels would
+/// make the line's ground truth ambiguous). `None` when no such pair
+/// exists.
+fn pick_merge_site(elements: &[Element], rng: &mut ChaCha8Rng) -> Option<usize> {
+    let candidates: Vec<usize> = elements
+        .windows(2)
+        .enumerate()
+        .filter_map(|(i, pair)| match (&pair[0], &pair[1]) {
+            (Element::Titled { field: a, .. }, Element::Titled { field: b, .. })
+                if a.block_label() == b.block_label() =>
+            {
+                Some(i)
+            }
+            _ => None,
+        })
+        .collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.random_range(0..candidates.len())])
     }
 }
 
@@ -132,13 +288,131 @@ mod tests {
         let r0 = base.render(&facts);
         let r1 = drifted.render(&facts);
         assert_ne!(r0.text(), r1.text(), "format must change");
-        // Same multiset of block labels (information preserved), modulo the
-        // one extra null banner.
-        let mut l0: Vec<_> = r0.block_labels().labels();
-        let mut l1: Vec<_> = r1.block_labels().labels();
-        l0.sort_by_key(|l| format!("{l:?}"));
-        l1.sort_by_key(|l| format!("{l:?}"));
-        assert_eq!(l1.len(), l0.len() + 1, "one banner added");
+        // The drift adds one null banner, may collapse one adjacent
+        // field pair onto a single line, and a contact-block flip adds
+        // at most one header line per contact block (four kinds); no
+        // other label is gained or lost.
+        let l0 = r0.block_labels().labels();
+        let l1 = r1.block_labels().labels();
+        assert!(
+            (l0.len() - 1..=l0.len() + 5).contains(&l1.len()),
+            "banner +1, flip headers +<=4, a merge -<=1: {} -> {}",
+            l0.len(),
+            l1.len()
+        );
+    }
+
+    #[test]
+    fn mutate_is_deterministic_for_every_family_and_seed() {
+        // Satellite: same seed → bit-identical drifted template, across
+        // the whole family set and a spread of seeds (the retrain-loop
+        // harness depends on replayable drift).
+        let facts = sample_facts();
+        for base in crate::families::com_families() {
+            for seed in [0u64, 1, 7, 99, 0xDEAD_BEEF] {
+                let a = mutate(&base, seed);
+                let b = mutate(&base, seed);
+                assert_eq!(a, b, "{} seed {seed} not deterministic", base.family);
+                assert_eq!(a.render(&facts).text(), b.render(&facts).text());
+            }
+        }
+    }
+
+    #[test]
+    fn some_seed_changes_the_date_format() {
+        let base = family_by_name("icann-standard").unwrap();
+        let changed = (0..32u64).any(|seed| mutate(&base, seed).dates != base.dates);
+        assert!(changed, "date-format mutation never fired in 32 seeds");
+    }
+
+    #[test]
+    fn some_seed_flips_a_contact_block_to_bare_lines() {
+        let base = family_by_name("icann-standard").unwrap();
+        let flipped = (0..32u64).any(|seed| {
+            mutate(&base, seed)
+                .elements
+                .iter()
+                .any(|e| matches!(e, Element::Bare { .. }))
+        });
+        assert!(flipped, "contact-block flip never fired in 32 seeds");
+    }
+
+    #[test]
+    fn flipped_contact_block_keeps_header_context_and_labels() {
+        // When the flip fires, the bare lines are introduced by a header
+        // of the matching contact kind, and the rendered record still
+        // aligns line-for-line with its ground truth.
+        let base = family_by_name("icann-standard").unwrap();
+        let facts = sample_facts();
+        let seed = (0..64u64)
+            .find(|&s| {
+                mutate(&base, s)
+                    .elements
+                    .iter()
+                    .any(|e| matches!(e, Element::Bare { .. }))
+            })
+            .expect("some seed flips");
+        let drifted = mutate(&base, seed);
+        let mut kinds = Vec::new();
+        for el in &drifted.elements {
+            match el {
+                Element::Header { of, .. } => kinds.push(*of),
+                Element::Bare { field, .. } => {
+                    let Field::Contact(kind, _) = field else {
+                        panic!("flip only produces contact bares");
+                    };
+                    assert_eq!(Some(kind), kinds.last(), "bare line under wrong header");
+                }
+                _ => {}
+            }
+        }
+        let r = drifted.render(&facts);
+        assert_eq!(r.to_raw().lines().len(), r.block_labels().len());
+    }
+
+    #[test]
+    fn some_seed_merges_adjacent_fields() {
+        let base = family_by_name("icann-standard").unwrap();
+        let merged = (0..32u64).any(|seed| {
+            mutate(&base, seed)
+                .elements
+                .iter()
+                .any(|e| matches!(e, Element::Merged { .. }))
+        });
+        assert!(merged, "adjacent-field merge never fired in 32 seeds");
+    }
+
+    #[test]
+    fn every_mutation_preserves_label_alignment() {
+        // Satellite: label preservation — whatever combination of
+        // mutations fires, every rendered line still has exactly one
+        // ground-truth label (the chunker invariant) and registrant
+        // lines keep their second-level labels.
+        let facts = sample_facts();
+        for base in crate::families::com_families() {
+            for seed in 0..16u64 {
+                let drifted = mutate(&base, seed);
+                let r = drifted.render(&facts);
+                assert_eq!(
+                    r.to_raw().lines().len(),
+                    r.block_labels().len(),
+                    "family {} seed {seed} misaligns",
+                    drifted.family
+                );
+                let reg = r.registrant_labels();
+                let reg_lines = r
+                    .lines
+                    .iter()
+                    .filter(|l| l.block == Some(whois_model::BlockLabel::Registrant))
+                    .count();
+                assert_eq!(
+                    reg.len(),
+                    reg_lines,
+                    "family {} seed {seed}: registrant sub-labels misalign",
+                    drifted.family
+                );
+            }
+        }
     }
 
     #[test]

@@ -358,6 +358,26 @@ pub enum Element {
         /// Its gold label.
         label: BlockLabel,
     },
+    /// Two formerly adjacent titled fields collapsed onto one line — a
+    /// paper-observed drift (§2.3): registrars merge related fields
+    /// (`Creation Date: ...  Expiry Date: ...`). Both fields must carry
+    /// the same block label so the merged line's ground truth stays
+    /// single-valued. When one side's value is absent the line degrades
+    /// to the present side alone; when both are absent it is skipped.
+    Merged {
+        /// First field's title.
+        title: String,
+        /// Separator between each title and its value.
+        sep: String,
+        /// First (label-carrying) field.
+        first: Field,
+        /// Second field's title.
+        second_title: String,
+        /// Second field, rendered after the first on the same line.
+        second: Field,
+        /// Leading indentation in spaces.
+        indent: usize,
+    },
 }
 
 /// A complete registrar record format.
@@ -440,6 +460,37 @@ impl Template {
                     });
                 }
                 Element::Literal { text, label } => lines.push(labeled_line(text.clone(), *label)),
+                Element::Merged {
+                    title,
+                    sep,
+                    first,
+                    second_title,
+                    second,
+                    indent,
+                } => {
+                    debug_assert_eq!(
+                        first.block_label(),
+                        second.block_label(),
+                        "merged fields must share a block label"
+                    );
+                    let ind = " ".repeat(*indent);
+                    match (
+                        first.value(facts, self.dates),
+                        second.value(facts, self.dates),
+                    ) {
+                        (Some(a), Some(b)) => {
+                            let text = format!("{ind}{title}{sep}{a}  {second_title}{sep}{b}");
+                            lines.push(field_line(text, first));
+                        }
+                        (Some(a), None) => {
+                            lines.push(field_line(format!("{ind}{title}{sep}{a}"), first));
+                        }
+                        (None, Some(b)) => {
+                            lines.push(field_line(format!("{ind}{second_title}{sep}{b}"), second));
+                        }
+                        (None, None) => {}
+                    }
+                }
             }
         }
         // Lines without any alphanumeric character are not labelable: clear
@@ -758,6 +809,53 @@ mod tests {
         assert_eq!(r.lines[3].registrant, Some(RegistrantLabel::City));
         let reg = r.registrant_labels();
         assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn merged_fields_render_one_line_one_label() {
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![Element::Merged {
+                title: "Creation Date".into(),
+                sep: ": ".into(),
+                first: Field::Created,
+                second_title: "Expiry Date".into(),
+                second: Field::Expires,
+                indent: 0,
+            }],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines.len(), 1, "two fields share one line");
+        assert_eq!(
+            r.lines[0].text,
+            "Creation Date: 2011-08-09  Expiry Date: 2016-08-09"
+        );
+        assert_eq!(r.lines[0].block, Some(BlockLabel::Date));
+        assert_eq!(r.block_labels().len(), 1);
+    }
+
+    #[test]
+    fn merged_field_degrades_when_one_side_is_absent() {
+        // Registrant fax is absent in the sample facts: the merged line
+        // falls back to the email alone, keeping its own labels.
+        let t = Template {
+            family: "test".into(),
+            dates: DateStyle::Iso,
+            elements: vec![Element::Merged {
+                title: "Fax".into(),
+                sep: ": ".into(),
+                first: Field::Contact(ContactKind::Registrant, ContactField::Fax),
+                second_title: "Email".into(),
+                second: Field::Contact(ContactKind::Registrant, ContactField::Email),
+                indent: 0,
+            }],
+        };
+        let r = t.render(&sample_facts());
+        assert_eq!(r.lines.len(), 1);
+        assert_eq!(r.lines[0].text, "Email: john.smith@example.org");
+        assert_eq!(r.lines[0].block, Some(BlockLabel::Registrant));
+        assert_eq!(r.lines[0].registrant, Some(RegistrantLabel::Email));
     }
 
     #[test]

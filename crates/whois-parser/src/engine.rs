@@ -426,6 +426,29 @@ impl ParseEngine {
         parsed
     }
 
+    /// [`parse_one`](Self::parse_one) that also exports the per-record
+    /// confidence the serving drift monitor feeds on. Routes around the
+    /// line cache (the memoized path decodes without marginals): the
+    /// fast tier's decode margin when one is active, otherwise the mean
+    /// first-level posterior marginal on the exact engine — see
+    /// [`WhoisParser::parse_fast_confident`]. The parse output matches
+    /// [`parse_one`](Self::parse_one) byte for byte.
+    pub fn parse_one_confident(&self, record: &RawRecord) -> (ParsedRecord, f64) {
+        let mut scratch = self.checkout();
+        let out = match &self.fast {
+            Some(fast) => self.parser.parse_fast_confident(
+                record,
+                &mut scratch,
+                fast,
+                self.guard,
+                &self.counters,
+            ),
+            None => self.parser.parse_with_confidence(record, &mut scratch),
+        };
+        self.checkin(scratch);
+        out
+    }
+
     /// Parse a batch in parallel, preserving input order.
     pub fn parse_batch(&self, records: &[RawRecord]) -> Vec<ParsedRecord> {
         self.parse_batch_with_stats(records).0
@@ -632,6 +655,65 @@ mod tests {
         assert!(stats.entries > 0 && stats.hit_rate > 0.0);
         let none = uncached.line_cache().stats();
         assert_eq!((none.l1_hits, none.l2_hits, none.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn parse_one_confident_matches_parse_and_scores_sanely() {
+        let (engine, test) = trained_engine(1);
+        // Exercise both routes: the exact-tier engine and a fast-tier one.
+        let fast = ParseEngine::with_decode_tier(
+            engine.parser().clone(),
+            1,
+            Arc::new(LineCache::disabled()),
+            DecodeTier::Fast,
+            Arc::new(DecodeCounters::new()),
+        );
+        assert!(fast.fast_tier_active());
+        let mut high = 0usize;
+        for d in test.iter().take(20) {
+            let raw = d.raw();
+            let want = engine.parser().parse(&raw);
+            for eng in [&engine, &fast] {
+                let (parsed, confidence) = eng.parse_one_confident(&raw);
+                assert_eq!(parsed, want, "confident parse must not change output");
+                assert!(
+                    (0.0..=1.0).contains(&confidence),
+                    "confidence {confidence} out of range"
+                );
+                if confidence > 0.5 {
+                    high += 1;
+                }
+            }
+        }
+        assert!(
+            high >= 30,
+            "held-out in-format records should be confident: {high}/40"
+        );
+    }
+
+    #[test]
+    fn drifted_records_score_lower_confidence_than_clean() {
+        // The drift monitor's premise: a schema the model never saw
+        // yields lower per-record confidence than the training schemas.
+        let (engine, _) = trained_engine(1);
+        let clean = generate_corpus(GenConfig::new(555, 60));
+        let drifted = generate_corpus(GenConfig {
+            drift_fraction: 1.0,
+            ..GenConfig::new(555, 60)
+        });
+        let mean = |set: &[GeneratedDomain]| {
+            let sum: f64 = set
+                .iter()
+                .map(|d| engine.parse_one_confident(&d.raw()).1)
+                .sum();
+            sum / set.len() as f64
+        };
+        let clean_mean = mean(&clean);
+        let drifted_mean = mean(&drifted);
+        assert!(
+            drifted_mean < clean_mean,
+            "drifted {drifted_mean} should score below clean {clean_mean}"
+        );
     }
 
     #[test]

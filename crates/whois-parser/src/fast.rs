@@ -325,6 +325,22 @@ impl FastLevel {
         fs: &mut FastScratch,
         guard: f32,
     ) -> Option<Vec<L>> {
+        self.predict_scored(text, fs, guard)
+            .map(|(labels, _)| labels)
+    }
+
+    /// [`predict`](Self::predict) that also surfaces the decode margin —
+    /// the unnormalized log-score gap between the best and runner-up
+    /// Viterbi decisions, already computed by the batched decoder. The
+    /// drift monitor maps it to a `[0, 1)` confidence via
+    /// `margin / (margin + 1)`: a record the model has firmly memorized
+    /// decodes with a wide gap, a drifted schema with a narrow one.
+    pub fn predict_scored<L: Label>(
+        &self,
+        text: &str,
+        fs: &mut FastScratch,
+        guard: f32,
+    ) -> Option<(Vec<L>, f32)> {
         let n = self.decode.num_states();
         debug_assert_eq!(n, L::COUNT);
         let nn = n * n;
@@ -369,7 +385,10 @@ impl FastLevel {
         if margin < guard {
             return None;
         }
-        Some(fs.dec.path.iter().map(|&j| L::from_index(j)).collect())
+        Some((
+            fs.dec.path.iter().map(|&j| L::from_index(j)).collect(),
+            margin,
+        ))
     }
 
     /// Score one fresh line context into the last bank rows: stream the

@@ -59,4 +59,4 @@ pub use line_cache::{
     DEFAULT_LINE_CACHE_SHARDS,
 };
 pub use parser::WhoisParser;
-pub use whois_crf::KernelLevel;
+pub use whois_crf::{KernelLevel, TrainConfig};

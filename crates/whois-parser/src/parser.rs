@@ -96,7 +96,88 @@ impl WhoisParser {
                 }
             };
         align_blocks(lines.len(), &mut blocks);
+        let registrant =
+            self.second_level_pass(&lines, &blocks, scratch, Some((fast, guard, counters)));
+        extract::assemble(&record.domain, &lines, &blocks, &registrant)
+    }
 
+    /// [`parse_fast`](Self::parse_fast) that also exports a per-record
+    /// **confidence** in `[0, 1]` for the serving drift monitor. On a
+    /// successful fast first-level decode the confidence is the decode
+    /// margin mapped through `margin / (margin + 1)`; when the margin
+    /// guard forces the exact engine, it is the mean of the first
+    /// level's per-line posterior marginals (eq. 12). Both scales sit
+    /// near 1 on schemas the model knows and sag on drifted ones, which
+    /// is all a sustained-low-confidence detector needs.
+    pub fn parse_fast_confident(
+        &self,
+        record: &RawRecord,
+        scratch: &mut ParseScratch,
+        fast: &FastParser,
+        guard: f32,
+        counters: &DecodeCounters,
+    ) -> (ParsedRecord, f64) {
+        let lines = record.lines();
+        let (mut blocks, confidence) =
+            match fast
+                .first
+                .predict_scored::<BlockLabel>(&record.text, &mut scratch.fast, guard)
+            {
+                Some((b, margin)) => {
+                    counters.record(false);
+                    (b, (margin as f64 / (margin as f64 + 1.0)).clamp(0.0, 1.0))
+                }
+                None => {
+                    counters.record(true);
+                    let scored = self
+                        .first
+                        .predict_with_confidence_with(&record.text, scratch);
+                    let confidence = mean_confidence(&scored);
+                    (scored.into_iter().map(|(l, _)| l).collect(), confidence)
+                }
+            };
+        align_blocks(lines.len(), &mut blocks);
+        let registrant =
+            self.second_level_pass(&lines, &blocks, scratch, Some((fast, guard, counters)));
+        (
+            extract::assemble(&record.domain, &lines, &blocks, &registrant),
+            confidence,
+        )
+    }
+
+    /// Exact-tier parse that exports the same per-record confidence as
+    /// [`parse_fast_confident`](Self::parse_fast_confident): the mean
+    /// first-level posterior marginal along the decoded path.
+    pub fn parse_with_confidence(
+        &self,
+        record: &RawRecord,
+        scratch: &mut ParseScratch,
+    ) -> (ParsedRecord, f64) {
+        let lines = record.lines();
+        let scored = self
+            .first
+            .predict_with_confidence_with(&record.text, scratch);
+        let confidence = mean_confidence(&scored);
+        let mut blocks: Vec<BlockLabel> = scored.into_iter().map(|(l, _)| l).collect();
+        align_blocks(lines.len(), &mut blocks);
+        let registrant = self.second_level_pass(&lines, &blocks, scratch, None);
+        (
+            extract::assemble(&record.domain, &lines, &blocks, &registrant),
+            confidence,
+        )
+    }
+
+    /// The shared second-level stage: collect the registrant block's
+    /// lines and label them, on the fast tier when one is supplied
+    /// (falling back under the margin guard) or the exact engine
+    /// otherwise.
+    fn second_level_pass(
+        &self,
+        lines: &[&str],
+        blocks: &[BlockLabel],
+        scratch: &mut ParseScratch,
+        fast: Option<(&FastParser, f32, &DecodeCounters)>,
+    ) -> Vec<(String, RegistrantLabel)> {
         let mut reg_idx = std::mem::take(&mut scratch.reg_idx);
         reg_idx.clear();
         reg_idx.extend(
@@ -117,20 +198,24 @@ impl WhoisParser {
                 }
                 block_text.push_str(lines[i]);
             }
-            let sub =
-                match fast
-                    .second
-                    .predict::<RegistrantLabel>(&block_text, &mut scratch.fast, guard)
-                {
-                    Some(s) => {
-                        counters.record(false);
-                        s
+            let sub = match fast {
+                Some((f, guard, counters)) => {
+                    match f
+                        .second
+                        .predict::<RegistrantLabel>(&block_text, &mut scratch.fast, guard)
+                    {
+                        Some(s) => {
+                            counters.record(false);
+                            s
+                        }
+                        None => {
+                            counters.record(true);
+                            self.second.predict_with(&block_text, scratch)
+                        }
                     }
-                    None => {
-                        counters.record(true);
-                        self.second.predict_with(&block_text, scratch)
-                    }
-                };
+                }
+                None => self.second.predict_with(&block_text, scratch),
+            };
             scratch.block_text = block_text;
             reg_idx
                 .iter()
@@ -139,8 +224,7 @@ impl WhoisParser {
                 .collect()
         };
         scratch.reg_idx = reg_idx;
-
-        extract::assemble(&record.domain, &lines, &blocks, &registrant)
+        registrant
     }
 
     fn parse_impl(
@@ -272,6 +356,15 @@ impl WhoisParser {
 /// [`BlockLabel::Other`] (the catch-all block), surplus labels dropped,
 /// so a drifted build degrades per-line instead of corrupting the whole
 /// record.
+/// Mean posterior marginal along a scored path; 1.0 for an empty record
+/// (nothing to be unsure about).
+fn mean_confidence<L>(scored: &[(L, f64)]) -> f64 {
+    if scored.is_empty() {
+        return 1.0;
+    }
+    scored.iter().map(|(_, c)| *c).sum::<f64>() / scored.len() as f64
+}
+
 fn align_blocks(num_lines: usize, blocks: &mut Vec<BlockLabel>) {
     debug_assert_eq!(
         num_lines,

@@ -6,6 +6,7 @@
 //! tests can assert byte-identity of cached versus uncached replies
 //! without any decode/re-encode laundering in between.
 
+use crate::retrain::RetrainSnapshot;
 use crate::stats::{HealthSnapshot, StatsSnapshot};
 use crate::wire::{ParseRequest, Reply, Request};
 use bytes::BytesMut;
@@ -142,6 +143,16 @@ impl ServeClient {
         reply
             .health
             .ok_or_else(|| ClientError::Protocol("HEALTH reply without health payload".into()))
+    }
+
+    /// Drift-monitor and retrain-loop state (answered inline, like
+    /// `HEALTH`; `enabled: false` when the server runs without the
+    /// loop).
+    pub fn retrain_status(&mut self) -> Result<RetrainSnapshot, ClientError> {
+        let reply = expect_ok(self.round_trip(&Request::Retrain)?)?;
+        reply
+            .retrain
+            .ok_or_else(|| ClientError::Protocol("RETRAIN reply without retrain payload".into()))
     }
 }
 

@@ -37,6 +37,14 @@
 //!   spill down, misses fill up, model swaps fence stored parses by
 //!   persistent generation, and a restarted daemon reopens the
 //!   segments and answers its first requests at warm-cache hit rates.
+//! - **Closed-loop continual learning** ([`retrain`]): a per-record
+//!   confidence monitor detects sustained schema drift, low-confidence
+//!   records queue into a crash-safe retrain queue, and a background
+//!   loop labels them with the rule/template baselines, refits from the
+//!   incumbent's weights, gates the candidate on a retained golden set,
+//!   deploys through the hot-swap path, and rolls back automatically if
+//!   post-swap confidence collapses. Surface: the `RETRAIN` verb and a
+//!   `retrain` section in `STATS`/`HEALTH`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -56,6 +64,7 @@ pub mod cache;
 pub mod client;
 pub mod queue;
 pub mod registry;
+pub mod retrain;
 pub mod service;
 pub mod stats;
 pub mod wire;
@@ -64,6 +73,10 @@ pub use cache::{cache_key, ShardedCache};
 pub use client::{ClientError, ServeClient, DEFAULT_TIMEOUT};
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{newest_model_file, ActiveModel, InstallHook, ModelRegistry, ModelWatcher};
+pub use retrain::{
+    DriftMonitor, QueuedRecord, RetrainConfig, RetrainHub, RetrainLoop, RetrainOutcome,
+    RetrainQueue, RetrainSnapshot, Retrainer,
+};
 pub use service::{DrainReport, ParseService, ServeConfig, StoreTierConfig, UpstreamConfig};
 pub use stats::{
     ConnectionGauges, DecodeTierStats, HealthSnapshot, QuarantineEntry, ServeStats, StageSnapshot,

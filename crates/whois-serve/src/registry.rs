@@ -262,6 +262,27 @@ pub fn newest_model_file(dir: &Path) -> Option<PathBuf> {
         .max()
 }
 
+/// Poll delay after `failures` consecutive load failures on the same
+/// file: `interval * 2^min(failures, 6)` plus up to 25% jitter, so a
+/// fleet of watchers staring at the same bad upload doesn't retry in
+/// lockstep. Zero failures → the plain interval, no jitter.
+fn backoff_delay(interval: Duration, failures: u32) -> Duration {
+    if failures == 0 {
+        return interval;
+    }
+    let scaled = interval.saturating_mul(1u32 << failures.min(6));
+    // Cheap decorrelation without a PRNG dependency: hash the clock.
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0)
+        .hash(&mut h);
+    let jitter_cap = (scaled.as_millis() as u64 / 4).max(1);
+    scaled + Duration::from_millis(h.finish() % jitter_cap)
+}
+
 /// Background thread polling a model directory for new versions.
 pub struct ModelWatcher {
     stop: Arc<AtomicBool>,
@@ -275,6 +296,13 @@ impl ModelWatcher {
     /// half-written upload can't take the service down — and a slow
     /// upload is picked up once it finishes. Publishing via
     /// write-to-temp-then-rename avoids the retry window entirely.
+    ///
+    /// Repeated failures on the *same* file back off exponentially
+    /// (capped at 64× the poll interval) with a little jitter, so a
+    /// permanently corrupt upload costs a handful of load attempts per
+    /// minute instead of one per poll — the failure count stays visible
+    /// in `HEALTH` as `model_load_failures`. The backoff resets the
+    /// moment a different newest file appears or a load succeeds.
     pub fn start(
         registry: Arc<ModelRegistry>,
         dir: impl Into<PathBuf>,
@@ -288,11 +316,17 @@ impl ModelWatcher {
             .spawn(move || {
                 let mut last_seen: Option<PathBuf> = None;
                 let mut last_failed: Option<PathBuf> = None;
+                let mut failures: u32 = 0;
                 while !stop_flag.load(Ordering::SeqCst) {
                     if let Some(newest) = newest_model_file(&dir) {
                         let is_new = last_seen.as_ref() != Some(&newest)
                             && file_version(&newest) != registry.current().version;
                         if is_new {
+                            if last_failed.as_ref() != Some(&newest) {
+                                // A different file: whatever we were
+                                // backing off from is moot.
+                                failures = 0;
+                            }
                             match registry.install_file(&newest) {
                                 Ok(generation) => {
                                     eprintln!(
@@ -301,6 +335,7 @@ impl ModelWatcher {
                                     );
                                     last_seen = Some(newest);
                                     last_failed = None;
+                                    failures = 0;
                                 }
                                 Err(e) => {
                                     if last_failed.as_ref() != Some(&newest) {
@@ -309,12 +344,16 @@ impl ModelWatcher {
                                         );
                                         last_failed = Some(newest);
                                     }
+                                    failures = failures.saturating_add(1);
                                 }
                             }
                         }
                     }
-                    // Sleep in small steps so stop() is prompt.
-                    let mut remaining = interval;
+                    // Sleep in small steps so stop() is prompt. Repeated
+                    // failures stretch the sleep exponentially (with
+                    // jitter) so a permanently bad file doesn't get
+                    // hammered every poll.
+                    let mut remaining = backoff_delay(interval, failures);
                     while !remaining.is_zero() && !stop_flag.load(Ordering::SeqCst) {
                         let step = remaining.min(Duration::from_millis(10));
                         std::thread::sleep(step);
@@ -498,6 +537,52 @@ mod tests {
         stop.store(true, Ordering::SeqCst);
         reader.join().unwrap();
         assert_eq!(fence.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn backoff_delay_grows_exponentially_with_bounded_jitter() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 0), base, "no failures, no backoff");
+        for failures in 1..=10u32 {
+            let scaled = base * (1 << failures.min(6));
+            let cap = scaled + Duration::from_millis((scaled.as_millis() as u64 / 4).max(1));
+            for _ in 0..8 {
+                let d = backoff_delay(base, failures);
+                assert!(d >= scaled, "{failures} failures: {d:?} < {scaled:?}");
+                assert!(d <= cap, "{failures} failures: {d:?} > {cap:?}");
+            }
+        }
+        // The exponent is capped: 20 failures sleep no longer than 7.
+        assert!(backoff_delay(base, 20) <= backoff_delay(base, 6) * 2);
+    }
+
+    #[test]
+    fn watcher_backs_off_on_repeated_corrupt_loads() {
+        let dir = std::env::temp_dir().join(format!(
+            "whois-serve-backoff-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("model-0002.json"), "not json").unwrap();
+
+        let registry = Arc::new(ModelRegistry::new(tiny_parser(11), "model-0001", 1));
+        let watcher = ModelWatcher::start(registry.clone(), &dir, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(400));
+        watcher.stop();
+
+        let failures = registry.load_failures();
+        assert!(failures >= 1, "the corrupt file is attempted at least once");
+        // Without backoff a 5 ms poll would attempt ~80 loads in 400 ms;
+        // exponential backoff (5, 10, 20, 40, 80, 160 ms ... + jitter)
+        // bounds it to a handful. Scheduling delays only *reduce* the
+        // count, so the bound is load-robust.
+        assert!(
+            failures <= 8,
+            "backoff should bound retries, saw {failures}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 use crate::cache::{cache_key, ShardedCache};
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::ModelRegistry;
+use crate::retrain::{RetrainConfig, RetrainHub, RetrainLoop, RetrainSnapshot, Retrainer};
 use crate::stats::{DecodeTierStats, HealthSnapshot, QuarantineEntry, ServeStats, StatsSnapshot};
 use crate::wire::{ParseRequest, Reply, Request};
 use bytes::BytesMut;
@@ -139,6 +140,13 @@ pub struct ServeConfig {
     /// only). Evictions spill to it, misses fill from it, and a
     /// restart over the same directory starts warm.
     pub store: Option<StoreTierConfig>,
+    /// Closed-loop continual learning (absent → off): every served
+    /// parse reports its confidence to a drift monitor, sustained
+    /// low-confidence regimes queue records into a crash-safe retrain
+    /// queue, and a background loop labels, refits, gates, and
+    /// hot-swaps — with automatic rollback if post-swap confidence
+    /// collapses.
+    pub retrain: Option<RetrainConfig>,
 }
 
 impl Default for ServeConfig {
@@ -156,6 +164,7 @@ impl Default for ServeConfig {
             quarantine_capacity: 64,
             panic_trigger: None,
             store: None,
+            retrain: None,
         }
     }
 }
@@ -240,6 +249,8 @@ struct ServiceCtx {
     quarantine: Mutex<VecDeque<QuarantineEntry>>,
     /// Disk tier under the result cache (absent → RAM only).
     store: Option<Arc<RecordStore>>,
+    /// Drift monitor + retrain queue (absent → the loop is off).
+    retrain: Option<Arc<RetrainHub>>,
 }
 
 impl ServiceCtx {
@@ -254,6 +265,9 @@ impl ServiceCtx {
             // liveness probe must respond even when every parse worker
             // is wedged or the queue is full.
             Request::Health => Arc::new(Reply::health(self.health_snapshot()).encode()),
+            // Inline for the same reason as HEALTH: drift state must be
+            // observable even when the workers are saturated.
+            Request::Retrain => Arc::new(Reply::retrain(self.retrain_snapshot()).encode()),
             Request::Parse(req) => {
                 ServeStats::inc(&self.stats.parse_requests);
                 self.submit(Work::Parse(req))
@@ -312,6 +326,9 @@ impl ServiceCtx {
             }
             Request::Health => {
                 Admission::Immediate(Arc::new(Reply::health(self.health_snapshot()).encode()))
+            }
+            Request::Retrain => {
+                Admission::Immediate(Arc::new(Reply::retrain(self.retrain_snapshot()).encode()))
             }
             Request::Parse(req) => {
                 ServeStats::inc(&self.stats.parse_requests);
@@ -418,11 +435,22 @@ impl ServiceCtx {
             if trigger.is_some_and(|t| t.eq_ignore_ascii_case(domain)) {
                 panic!("rigged parse panic for {domain}");
             }
-            model.engine.parse_one(&RawRecord::new(domain, text))
+            match &self.retrain {
+                // With the loop on, the parse also reports how sure the
+                // model was — the marginal-confidence signal the drift
+                // monitor runs on.
+                Some(_) => {
+                    let (record, confidence) = model
+                        .engine
+                        .parse_one_confident(&RawRecord::new(domain, text));
+                    (record, Some(confidence))
+                }
+                None => (model.engine.parse_one(&RawRecord::new(domain, text)), None),
+            }
         }));
         self.stats.parse.record(t.elapsed());
-        let record = match parsed {
-            Ok(record) => record,
+        let (record, confidence) = match parsed {
+            Ok(pair) => pair,
             Err(_) => {
                 ServeStats::inc(&self.stats.panics);
                 ServeStats::inc(&self.stats.errors);
@@ -433,6 +461,9 @@ impl ServiceCtx {
             }
         };
         ServeStats::inc(&self.stats.parses);
+        if let (Some(hub), Some(confidence)) = (&self.retrain, confidence) {
+            hub.observe_parse(domain, text, confidence);
+        }
 
         let t = Instant::now();
         let line = Arc::new(Reply::record(&model.version, record).encode());
@@ -544,7 +575,15 @@ impl ServiceCtx {
             },
             self.stats
                 .store_tier(self.store.as_ref().map(|s| s.stats())),
+            self.retrain_snapshot(),
         )
+    }
+
+    fn retrain_snapshot(&self) -> RetrainSnapshot {
+        self.retrain
+            .as_ref()
+            .map(|hub| hub.snapshot())
+            .unwrap_or_default()
     }
 
     fn health_snapshot(&self) -> HealthSnapshot {
@@ -566,6 +605,7 @@ impl ServiceCtx {
                 .stats
                 .store_tier(self.store.as_ref().map(|s| s.stats())),
             kernel: self.registry.kernel_level().name().to_string(),
+            retrain: self.retrain_snapshot(),
         }
     }
 }
@@ -614,6 +654,11 @@ pub struct ParseService {
     accept_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
     compactor: Option<Compactor>,
+    /// The background retrain loop (present when the loop is on).
+    retrain_loop: Option<RetrainLoop>,
+    /// The loop's decision core, exposed for harnesses that drive ticks
+    /// directly.
+    retrainer: Option<Arc<Retrainer>>,
     report: Option<DrainReport>,
 }
 
@@ -664,6 +709,14 @@ impl ParseService {
                 cfg.store.as_ref().expect("store config").compact_interval,
             )
         });
+        // Open the retrain hub before serving starts: queue recovery
+        // (torn-tail truncation, ack-watermark clamp) happens here, so
+        // records queued by a killed predecessor survive into this
+        // process's loop.
+        let retrain_hub = match &cfg.retrain {
+            None => None,
+            Some(rc) => Some(Arc::new(RetrainHub::open(rc)?)),
+        };
         let ctx = Arc::new(ServiceCtx {
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
             queue: BoundedQueue::new(cfg.queue_capacity),
@@ -682,6 +735,7 @@ impl ParseService {
             workers_alive: AtomicU64::new(workers as u64),
             quarantine: Mutex::new(VecDeque::new()),
             store,
+            retrain: retrain_hub.clone(),
             cfg,
         });
 
@@ -719,6 +773,21 @@ impl ParseService {
         }
         .expect("spawn accept thread");
 
+        let retrainer = match (&ctx.cfg.retrain, retrain_hub) {
+            (Some(rc), Some(hub)) => Some(Arc::new(Retrainer::new(
+                ctx.registry.clone(),
+                hub,
+                rc.clone(),
+            ))),
+            _ => None,
+        };
+        let retrain_loop = retrainer.as_ref().map(|r| {
+            RetrainLoop::start(
+                r.clone(),
+                ctx.cfg.retrain.as_ref().expect("retrain config").interval,
+            )
+        });
+
         Ok(ParseService {
             addr,
             ctx,
@@ -726,6 +795,8 @@ impl ParseService {
             accept_thread: Some(accept_thread),
             worker_threads,
             compactor,
+            retrain_loop,
+            retrainer,
             report: None,
         })
     }
@@ -755,6 +826,18 @@ impl ParseService {
         self.ctx.store.as_ref()
     }
 
+    /// The retrain hub (monitor + queue), when the loop is configured.
+    pub fn retrain_hub(&self) -> Option<&Arc<RetrainHub>> {
+        self.ctx.retrain.as_ref()
+    }
+
+    /// The retrain loop's decision core, when the loop is configured —
+    /// harnesses drive [`Retrainer::tick`] directly to prove the gate
+    /// and rollback without racing the background thread.
+    pub fn retrainer(&self) -> Option<&Arc<Retrainer>> {
+        self.retrainer.as_ref()
+    }
+
     /// Graceful drain: stop admitting, finish everything admitted,
     /// report what drained versus what was shed on the way down.
     /// Idempotent — repeat calls return the first report.
@@ -763,6 +846,11 @@ impl ParseService {
             return report;
         }
         self.ctx.shutdown.store(true, Ordering::SeqCst);
+        // Stop the retrain loop before draining: a hot swap mid-drain
+        // would be harmless (installs are atomic) but pointless.
+        if let Some(loop_) = self.retrain_loop.take() {
+            loop_.stop();
+        }
         let queued = self.ctx.queue.len() as u64;
         let sheds_before = self.ctx.stats.sheds.load(Ordering::Relaxed);
         self.ctx.queue.close();

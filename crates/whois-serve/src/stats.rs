@@ -5,6 +5,7 @@
 //! reads a consistent-enough view for the `STATS` protocol verb without
 //! stopping the world.
 
+use crate::retrain::RetrainSnapshot;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -150,6 +151,7 @@ impl ServeStats {
         quarantine: Vec<QuarantineEntry>,
         decode: DecodeTierStats,
         store: StoreTierStats,
+        retrain: RetrainSnapshot,
     ) -> StatsSnapshot {
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -188,6 +190,7 @@ impl ServeStats {
             connections: self.connection_gauges(),
             decode,
             store,
+            retrain,
         }
     }
 
@@ -333,6 +336,10 @@ pub struct HealthSnapshot {
     /// replies from older servers).
     #[serde(default)]
     pub kernel: String,
+    /// Drift-monitor and retrain-loop state (appended after `kernel`;
+    /// older replies omit it and deserialize to the disabled default).
+    #[serde(default)]
+    pub retrain: RetrainSnapshot,
 }
 
 /// The `STATS` verb's payload.
@@ -412,6 +419,10 @@ pub struct StatsSnapshot {
     /// replies omit it and deserialize to the disabled default).
     #[serde(default)]
     pub store: StoreTierStats,
+    /// Drift-monitor and retrain-loop state (appended after `store`;
+    /// older replies omit it and deserialize to the disabled default).
+    #[serde(default)]
+    pub retrain: RetrainSnapshot,
 }
 
 #[cfg(test)]
@@ -478,6 +489,27 @@ mod tests {
                 disk_hits: 4,
                 disk_misses: 6,
             },
+            RetrainSnapshot {
+                enabled: true,
+                records_seen: 100,
+                low_confidence: 12,
+                window_len: 48,
+                window_mean: 0.91,
+                drifting: false,
+                queue_len: 3,
+                queue_dropped: 0,
+                queue_acked: 9,
+                attempts: 2,
+                deployed: 1,
+                rejected: 1,
+                rollbacks: 0,
+                labeled: 8,
+                label_dropped: 1,
+                probation: true,
+                incumbent_accuracy: 0.97,
+                candidate_accuracy: 0.98,
+                last_outcome: "deployed".into(),
+            },
         );
         assert!((snap.cache_hit_rate - 0.9).abs() < 1e-9);
         assert_eq!(snap.model_generation, 3);
@@ -489,6 +521,9 @@ mod tests {
         assert_eq!(snap.quarantine[0].domain, "poison.com");
         assert!(snap.store.enabled);
         assert_eq!(snap.store.spills, 5);
+        assert!(snap.retrain.enabled);
+        assert_eq!(snap.retrain.deployed, 1);
+        assert_eq!(snap.retrain.last_outcome, "deployed");
         let json = serde_json::to_string(&snap).unwrap();
         let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
@@ -510,6 +545,7 @@ mod tests {
             vec![],
             DecodeTierStats::default(),
             StoreTierStats::default(),
+            RetrainSnapshot::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         // `line_cache` and the robustness fields serialize last; chop
@@ -533,6 +569,7 @@ mod tests {
             vec![],
             DecodeTierStats::default(),
             StoreTierStats::default(),
+            RetrainSnapshot::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"decode\"").unwrap();
@@ -554,6 +591,7 @@ mod tests {
             vec![],
             DecodeTierStats::default(),
             StoreTierStats::default(),
+            RetrainSnapshot::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"store\"").unwrap();
@@ -623,6 +661,41 @@ mod tests {
     }
 
     #[test]
+    fn old_snapshot_without_retrain_section_still_deserializes() {
+        let snap = ServeStats::default().snapshot(
+            "v",
+            1,
+            0,
+            0,
+            1,
+            LineCacheStats::default(),
+            0,
+            vec![],
+            DecodeTierStats::default(),
+            StoreTierStats::default(),
+            RetrainSnapshot::default(),
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let start = json.find(",\"retrain\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: StatsSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, snap, "missing retrain section defaults to disabled");
+    }
+
+    #[test]
+    fn old_health_without_retrain_section_still_deserializes() {
+        let health = HealthSnapshot {
+            retrain: RetrainSnapshot::default(),
+            ..HealthSnapshot::default()
+        };
+        let json = serde_json::to_string(&health).unwrap();
+        let start = json.find(",\"retrain\"").unwrap();
+        let stripped = format!("{}}}", &json[..start]);
+        let back: HealthSnapshot = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, health, "missing retrain section defaults to disabled");
+    }
+
+    #[test]
     fn old_health_without_decode_tier_still_deserializes() {
         let health = HealthSnapshot::default();
         let json = serde_json::to_string(&health).unwrap();
@@ -658,6 +731,12 @@ mod tests {
                 queued: 1,
                 writing: 1,
                 idle_closed: 2,
+            },
+            retrain: RetrainSnapshot {
+                enabled: true,
+                drifting: true,
+                queue_len: 7,
+                ..RetrainSnapshot::default()
             },
         };
         let json = serde_json::to_string(&health).unwrap();
@@ -697,6 +776,7 @@ mod tests {
             vec![],
             DecodeTierStats::default(),
             StoreTierStats::default(),
+            RetrainSnapshot::default(),
         );
         assert_eq!(snap.connections, ConnectionGauges::default());
     }
@@ -714,6 +794,7 @@ mod tests {
             vec![],
             DecodeTierStats::default(),
             StoreTierStats::default(),
+            RetrainSnapshot::default(),
         );
         let json = serde_json::to_string(&snap).unwrap();
         let start = json.find(",\"connections\"").unwrap();

@@ -8,6 +8,7 @@
 //! FETCH example.com
 //! STATS
 //! HEALTH
+//! RETRAIN
 //! ```
 //!
 //! Every reply is one JSON line. Replies to `PARSE`/`FETCH` carry the
@@ -26,6 +27,7 @@
 use serde::{Deserialize, Serialize};
 use whois_model::ParsedRecord;
 
+use crate::retrain::RetrainSnapshot;
 use crate::stats::{HealthSnapshot, StatsSnapshot};
 
 /// Payload of a `PARSE` request.
@@ -49,6 +51,9 @@ pub enum Request {
     /// Report liveness (answered inline, never queued — works even when
     /// every parse worker is wedged).
     Health,
+    /// Report drift-monitor and retrain-loop state (answered inline,
+    /// like `HEALTH`).
+    Retrain,
 }
 
 impl Request {
@@ -76,6 +81,7 @@ impl Request {
             }
             "STATS" => Ok(Request::Stats),
             "HEALTH" => Ok(Request::Health),
+            "RETRAIN" => Ok(Request::Retrain),
             other => Err(format!("unknown verb: {other}")),
         }
     }
@@ -90,6 +96,7 @@ impl Request {
             Request::Fetch(domain) => format!("FETCH {domain}"),
             Request::Stats => "STATS".to_string(),
             Request::Health => "HEALTH".to_string(),
+            Request::Retrain => "RETRAIN".to_string(),
         }
     }
 }
@@ -118,6 +125,10 @@ pub struct Reply {
     /// later; nothing is wrong with the request itself.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub shed: bool,
+    /// `RETRAIN` payload (appended after `shed`; older servers never
+    /// emit it and older clients ignore it).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retrain: Option<RetrainSnapshot>,
 }
 
 impl Reply {
@@ -131,6 +142,7 @@ impl Reply {
             health: None,
             error: None,
             shed: false,
+            retrain: None,
         }
     }
 
@@ -144,6 +156,7 @@ impl Reply {
             health: None,
             error: None,
             shed: false,
+            retrain: None,
         }
     }
 
@@ -157,6 +170,21 @@ impl Reply {
             health: Some(snapshot),
             error: None,
             shed: false,
+            retrain: None,
+        }
+    }
+
+    /// `RETRAIN` reply.
+    pub fn retrain(snapshot: RetrainSnapshot) -> Reply {
+        Reply {
+            ok: true,
+            model: None,
+            record: None,
+            stats: None,
+            health: None,
+            error: None,
+            shed: false,
+            retrain: Some(snapshot),
         }
     }
 
@@ -170,6 +198,7 @@ impl Reply {
             health: None,
             error: Some(message.into()),
             shed,
+            retrain: None,
         }
     }
 
@@ -214,6 +243,14 @@ mod tests {
             Request::decode(&Request::Health.encode()).unwrap(),
             Request::Health
         ));
+        assert!(matches!(
+            Request::decode("retrain").unwrap(),
+            Request::Retrain
+        ));
+        assert!(matches!(
+            Request::decode(&Request::Retrain.encode()).unwrap(),
+            Request::Retrain
+        ));
     }
 
     #[test]
@@ -253,5 +290,22 @@ mod tests {
         assert_eq!(back.health, Some(snapshot));
         // Replies without a health payload omit the field entirely.
         assert!(!Reply::error("x", false).encode().contains("health"));
+    }
+
+    #[test]
+    fn retrain_reply_roundtrip() {
+        let snapshot = RetrainSnapshot {
+            enabled: true,
+            drifting: true,
+            queue_len: 4,
+            ..RetrainSnapshot::default()
+        };
+        let line = Reply::retrain(snapshot.clone()).encode();
+        let back = Reply::decode(&line).unwrap();
+        assert!(back.ok);
+        assert_eq!(back.retrain, Some(snapshot));
+        // Non-retrain replies omit the field, so older clients that
+        // deny unknown fields never see it.
+        assert!(!Reply::error("x", false).encode().contains("retrain"));
     }
 }

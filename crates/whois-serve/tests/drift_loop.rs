@@ -1,0 +1,514 @@
+//! The closed-loop continual-learning suite: crash-safe retrain queue,
+//! the golden-set deployment gate, post-swap rollback, and a scaled
+//! version of the drift-ramp recovery harness (the full-size run lives
+//! in `whois-bench/benches/drift_loop.rs`).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use whois_gen::corpus::{generate_corpus, DriftRamp, GenConfig};
+use whois_model::{BlockLabel, Label, RegistrantLabel};
+use whois_parser::{ParserConfig, TrainExample, WhoisParser};
+use whois_serve::{
+    ModelRegistry, ParseService, RetrainConfig, RetrainOutcome, RetrainQueue, ServeClient,
+    ServeConfig,
+};
+use whois_templates::TemplateParser;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "whois-drift-loop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn first_level(corpus: &[whois_gen::corpus::GeneratedDomain]) -> Vec<TrainExample<BlockLabel>> {
+    corpus
+        .iter()
+        .map(|d| TrainExample {
+            text: d.rendered.text(),
+            labels: d.block_labels().labels(),
+        })
+        .collect()
+}
+
+fn train_parser(seed: u64, docs: usize) -> WhoisParser {
+    let corpus = generate_corpus(GenConfig::new(seed, docs));
+    let first = first_level(&corpus);
+    let second: Vec<TrainExample<RegistrantLabel>> = corpus
+        .iter()
+        .filter_map(|d| {
+            let reg = d.registrant_labels();
+            (!reg.is_empty()).then(|| TrainExample {
+                text: reg.texts().join("\n"),
+                labels: reg.labels(),
+            })
+        })
+        .collect();
+    WhoisParser::train(&first, &second, &ParserConfig::default())
+}
+
+/// Per-registrar templates learned from a clean corpus — the §2.3
+/// baseline the labeling stage cross-checks the rule labeler against.
+fn templates_from(corpus: &[whois_gen::corpus::GeneratedDomain]) -> TemplateParser {
+    let mut templates = TemplateParser::new();
+    for d in corpus {
+        let text = d.rendered.text();
+        let lines: Vec<&str> = whois_model::non_empty_lines(&text);
+        templates.add_example(d.registrar.name, &lines, &d.block_labels().labels());
+    }
+    templates
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe queue: kill/reopen keeps exactly the acknowledged prefix.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of pushes and acks (each step pushes then acks
+    /// an arbitrary amount), "killed" (dropped without any shutdown
+    /// step) at an arbitrary point and reopened, yields exactly the
+    /// unacknowledged suffix — acked records never reappear,
+    /// fully-pushed unacked records never vanish.
+    #[test]
+    fn queue_reopen_preserves_exactly_the_acked_prefix(
+        steps in proptest::collection::vec((0usize..5, 0usize..7), 1..16),
+    ) {
+        let dir = tmp_dir("prop");
+        let mut pushed = 0usize;
+        let mut acked = 0usize;
+        {
+            let q = RetrainQueue::open(&dir, 10_000).unwrap();
+            for (push_n, ack_n) in steps {
+                for _ in 0..push_n {
+                    prop_assert!(q.push(
+                        &format!("d{pushed}.com"),
+                        &format!("Domain Name: D{pushed}.COM\n"),
+                    ));
+                    pushed += 1;
+                }
+                let n = ack_n.min(pushed - acked);
+                q.ack(n);
+                acked += n;
+            }
+        } // kill: no flush, no close protocol
+
+        let q = RetrainQueue::open(&dir, 10_000).unwrap();
+        let survivors: Vec<String> = q.take(usize::MAX).into_iter().map(|r| r.domain).collect();
+        let expect: Vec<String> = (acked..pushed).map(|i| format!("d{i}.com")).collect();
+        prop_assert_eq!(survivors, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The deployment gate and post-swap rollback.
+// ---------------------------------------------------------------------
+
+fn retrain_config(dir: PathBuf, golden: Vec<TrainExample<BlockLabel>>) -> RetrainConfig {
+    RetrainConfig {
+        window: 16,
+        low_confidence: 0.8,
+        drift_fraction: 0.5,
+        rollback_mean: 0.4,
+        probation: 64,
+        min_batch: 8,
+        max_batch: 96,
+        // The tests drive ticks by hand; park the background thread.
+        interval: Duration::from_secs(3600),
+        golden_first: golden,
+        ..RetrainConfig::new(dir)
+    }
+}
+
+#[test]
+fn gate_rejects_and_quarantines_a_worse_candidate() {
+    let dir = tmp_dir("gate");
+    let golden = first_level(&generate_corpus(GenConfig::new(91, 30)));
+    let registry = Arc::new(ModelRegistry::new(train_parser(90, 60), "model-0001", 1));
+    let service = ParseService::start(
+        registry.clone(),
+        ServeConfig {
+            workers: 1,
+            retrain: Some(retrain_config(dir.clone(), golden.clone())),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let retrainer = service.retrainer().expect("loop configured").clone();
+
+    // Poison a candidate: refit the incumbent on the golden set with
+    // every label forced to Null. Whatever the optimizer makes of that,
+    // it scores worse than the incumbent on the same golden set.
+    let poisoned_examples: Vec<TrainExample<BlockLabel>> = golden
+        .iter()
+        .map(|ex| TrainExample {
+            text: ex.text.clone(),
+            labels: vec![BlockLabel::Null; ex.labels.len()],
+        })
+        .collect();
+    let mut poisoned = registry.current().engine.parser().clone();
+    poisoned.retrain_first_level(&poisoned_examples, &ParserConfig::default());
+
+    let before = registry.current();
+    assert_eq!(
+        retrainer.consider(poisoned),
+        RetrainOutcome::Rejected,
+        "a worse-than-incumbent candidate must not deploy"
+    );
+    let after = registry.current();
+    assert_eq!(after.version, before.version, "incumbent keeps serving");
+    assert_eq!(after.generation, before.generation);
+    assert_eq!(registry.swaps(), 0, "no swap happened");
+
+    let snap = retrainer.hub().snapshot();
+    assert_eq!(snap.rejected, 1);
+    assert_eq!(snap.deployed, 0);
+    assert!(
+        snap.candidate_accuracy < snap.incumbent_accuracy,
+        "gate saw candidate {} vs incumbent {}",
+        snap.candidate_accuracy,
+        snap.incumbent_accuracy
+    );
+    assert!(
+        snap.last_outcome.starts_with("rejected"),
+        "{}",
+        snap.last_outcome
+    );
+
+    // The rejected candidate is quarantined on disk for post-mortem.
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .collect();
+    assert_eq!(quarantined.len(), 1, "candidate JSON lands in quarantine");
+
+    // An equal-or-better candidate (the incumbent itself) passes.
+    let clone = registry.current().engine.parser().clone();
+    assert!(matches!(
+        retrainer.consider(clone),
+        RetrainOutcome::Deployed(_)
+    ));
+    assert_eq!(registry.swaps(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn post_swap_confidence_collapse_rolls_back_to_previous_model() {
+    let dir = tmp_dir("rollback");
+    let golden = first_level(&generate_corpus(GenConfig::new(96, 30)));
+    let registry = Arc::new(ModelRegistry::new(train_parser(95, 60), "model-0001", 1));
+    let mut cfg = retrain_config(dir.clone(), golden);
+    cfg.gate = false; // let a (secretly bad) candidate through
+    let service = ParseService::start(
+        registry.clone(),
+        ServeConfig {
+            workers: 1,
+            retrain: Some(cfg),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let retrainer = service.retrainer().expect("loop configured").clone();
+    let hub = retrainer.hub().clone();
+
+    let candidate = registry.current().engine.parser().clone();
+    let deployed = retrainer.consider(candidate);
+    assert!(matches!(deployed, RetrainOutcome::Deployed(_)));
+    assert!(hub.snapshot().probation, "fresh deploy is on probation");
+    let deployed_version = registry.current().version.clone();
+    assert!(deployed_version.contains("+retrain-"), "{deployed_version}");
+
+    // A healthy window during probation does NOT roll back.
+    for _ in 0..16 {
+        hub.observe_parse("ok.com", "Domain Name: OK.COM\n", 0.95);
+    }
+    assert_eq!(retrainer.tick(), RetrainOutcome::Skipped);
+    assert_eq!(registry.current().version, deployed_version);
+
+    // Confidence collapse during probation: the monitor window fills
+    // with near-zero confidences, and the next tick reinstalls the
+    // model the deploy replaced.
+    for _ in 0..16 {
+        hub.observe_parse("bad.com", "???????\n", 0.05);
+    }
+    assert_eq!(retrainer.tick(), RetrainOutcome::RolledBack);
+    let restored = registry.current();
+    assert!(
+        restored.version.starts_with("model-0001") && restored.version.contains("+rb"),
+        "rollback reinstalls the previous model: {}",
+        restored.version
+    );
+    let snap = hub.snapshot();
+    assert_eq!(snap.rollbacks, 1);
+    assert!(!snap.probation, "rollback ends the probation");
+    assert!(
+        snap.last_outcome.starts_with("rolled back"),
+        "{}",
+        snap.last_outcome
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// The scaled closed-loop recovery harness.
+// ---------------------------------------------------------------------
+
+/// Field accuracy of served replies against generator ground truth: the
+/// fraction of non-empty record lines filed under their true first-level
+/// block label.
+fn batch_accuracy(
+    client: &mut ServeClient,
+    batch: &[whois_gen::corpus::GeneratedDomain],
+    failures: &mut u64,
+) -> f64 {
+    let mut lines = 0usize;
+    let mut correct = 0usize;
+    for d in batch {
+        let text = d.rendered.text();
+        let reply = match client.parse(&d.facts.domain, &text) {
+            Ok(reply) => reply,
+            Err(_) => {
+                *failures += 1;
+                continue;
+            }
+        };
+        let record = match reply.record {
+            Some(record) => record,
+            None => {
+                *failures += 1;
+                continue;
+            }
+        };
+        let truth = d.block_labels();
+        for (line, label) in truth.texts().iter().zip(truth.labels()) {
+            lines += 1;
+            if record
+                .blocks
+                .get(label.name())
+                .is_some_and(|bucket| bucket.iter().any(|l| l == line))
+            {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / lines.max(1) as f64
+}
+
+/// Drive the same drift ramp through a loop-enabled and a loop-disabled
+/// service. The enabled loop must detect the sustained low-confidence
+/// regime, retrain from queued records, deploy through the gate, and
+/// recover to ≥90% of pre-drift accuracy — with zero dropped or failed
+/// requests on either service — while the baseline stays degraded.
+#[test]
+fn closed_loop_recovers_from_schema_drift_while_baseline_stays_degraded() {
+    let dir = tmp_dir("loop");
+    let base_seed = 0x10_5EED;
+    let clean = generate_corpus(GenConfig::new(base_seed, 90));
+    let parser = {
+        let first = first_level(&clean);
+        let second: Vec<TrainExample<RegistrantLabel>> = clean
+            .iter()
+            .filter_map(|d| {
+                let reg = d.registrant_labels();
+                (!reg.is_empty()).then(|| TrainExample {
+                    text: reg.texts().join("\n"),
+                    labels: reg.labels(),
+                })
+            })
+            .collect();
+        WhoisParser::train(&first, &second, &ParserConfig::default())
+    };
+    let golden = first_level(&generate_corpus(GenConfig::new(base_seed + 1, 30)));
+
+    let mut cfg = retrain_config(dir.clone(), golden);
+    cfg.window = 24;
+    cfg.templates = templates_from(&clean);
+
+    let looped_registry = Arc::new(ModelRegistry::new(parser.clone(), "model-0001", 1));
+    let looped = ParseService::start(
+        looped_registry.clone(),
+        ServeConfig {
+            workers: 2,
+            retrain: Some(cfg),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let baseline = ParseService::start(
+        Arc::new(ModelRegistry::new(parser, "model-0001", 1)),
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let retrainer = looped.retrainer().expect("loop configured").clone();
+
+    let mut looped_client = ServeClient::connect(looped.addr()).unwrap();
+    let mut baseline_client = ServeClient::connect(baseline.addr()).unwrap();
+    let mut looped_failures = 0u64;
+    let mut baseline_failures = 0u64;
+
+    // Traffic: 2 clean batches, then an abrupt ramp to 90% drifted.
+    let ramp = DriftRamp::new(2, 1, 0.9);
+    let batch_size = 40;
+    let traffic = |batch: usize| -> Vec<whois_gen::corpus::GeneratedDomain> {
+        generate_corpus(ramp.config_at(base_seed + 100, batch_size, batch))
+    };
+
+    // Phase 1 — clean traffic: high accuracy, no drift declared.
+    let mut pre_drift = 0.0;
+    for batch in 0..2 {
+        let docs = traffic(batch);
+        pre_drift = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+        assert_eq!(retrainer.tick(), RetrainOutcome::Skipped);
+    }
+    assert!(pre_drift > 0.9, "clean traffic parses well: {pre_drift}");
+    assert!(!looped.retrain_hub().unwrap().snapshot().drifting);
+
+    // Phase 2 — drifted traffic: confidence sags, the monitor declares
+    // drift, the queue fills.
+    let mut degraded = 1.0f64;
+    for batch in 2..5 {
+        let docs = traffic(batch);
+        let acc = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        degraded = degraded.min(acc);
+        batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+    }
+    let snap = looped.retrain_hub().unwrap().snapshot();
+    assert!(
+        snap.drifting,
+        "sustained low confidence must be declared as drift: {snap:?}"
+    );
+    assert!(
+        snap.queue_len >= 8,
+        "low-confidence records queue for retraining: {snap:?}"
+    );
+    assert!(
+        degraded < pre_drift,
+        "drift degrades the incumbent: {degraded} vs {pre_drift}"
+    );
+
+    // Phase 3 — the loop retrains, gates, and hot-swaps.
+    let outcome = retrainer.tick();
+    assert!(
+        matches!(outcome, RetrainOutcome::Deployed(_)),
+        "drift + full queue must produce a gated deploy, got {outcome:?}"
+    );
+    let snap = looped.retrain_hub().unwrap().snapshot();
+    assert_eq!(snap.deployed, 1);
+    assert!(snap.labeled > 0, "labelers agreed on queued records");
+    assert!(looped_registry.current().version.contains("+retrain-"));
+
+    // Phase 4 — post-swap drifted traffic: the loop-enabled service
+    // recovers; the baseline stays degraded.
+    let mut recovered = 0.0;
+    let mut baseline_after = 0.0;
+    for batch in 5..7 {
+        let docs = traffic(batch);
+        recovered = batch_accuracy(&mut looped_client, &docs, &mut looped_failures);
+        baseline_after = batch_accuracy(&mut baseline_client, &docs, &mut baseline_failures);
+    }
+    assert!(
+        recovered >= 0.9 * pre_drift,
+        "loop must recover to ≥90% of pre-drift accuracy: \
+         recovered {recovered:.4} vs pre-drift {pre_drift:.4}"
+    );
+    // "Stays degraded" is calibrated against the paper's own robustness
+    // claim: a clean-trained CRF degrades *gracefully* under drift (the
+    // tier-1 suites pin its line error under 10%), so the baseline loses
+    // several points of field accuracy — it does not collapse. Require a
+    // sustained loss of at least five points, and the loop to claw back
+    // over half of that gap.
+    assert!(
+        baseline_after <= pre_drift - 0.05,
+        "without the loop the baseline stays degraded: \
+         {baseline_after:.4} vs pre-drift {pre_drift:.4}"
+    );
+    assert!(
+        recovered >= baseline_after + 0.5 * (pre_drift - baseline_after),
+        "the loop must close most of the drift gap: recovered \
+         {recovered:.4}, baseline {baseline_after:.4}, pre-drift {pre_drift:.4}"
+    );
+
+    // Zero-downtime: every request on both services was answered.
+    assert_eq!(looped_failures, 0, "no dropped/failed requests (looped)");
+    assert_eq!(
+        baseline_failures, 0,
+        "no dropped/failed requests (baseline)"
+    );
+    let stats = looped_client.stats().unwrap();
+    assert_eq!(stats.sheds, 0);
+    assert!(stats.retrain.enabled);
+    assert_eq!(stats.retrain.deployed, 1);
+
+    // The RETRAIN verb surfaces the same state over the wire.
+    let status = looped_client.retrain_status().unwrap();
+    assert!(status.enabled);
+    assert_eq!(status.deployed, 1);
+    assert!(
+        status.last_outcome.starts_with("deployed"),
+        "{}",
+        status.last_outcome
+    );
+    // A loop-less server answers the verb with the disabled default.
+    let status = baseline_client.retrain_status().unwrap();
+    assert!(!status.enabled);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The queue a killed daemon leaves behind feeds the successor's loop:
+/// records queued by process 1 survive into process 2's hub.
+#[test]
+fn retrain_queue_survives_a_service_restart() {
+    let dir = tmp_dir("restart");
+    let golden = first_level(&generate_corpus(GenConfig::new(71, 30)));
+    let parser = train_parser(70, 60);
+    {
+        let registry = Arc::new(ModelRegistry::new(parser.clone(), "model-0001", 1));
+        let service = ParseService::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                retrain: Some(retrain_config(dir.clone(), golden.clone())),
+                ..Default::default()
+            },
+            0,
+        )
+        .unwrap();
+        let hub = service.retrain_hub().unwrap();
+        hub.observe_parse("a.com", "Mystery: A\n", 0.1);
+        hub.observe_parse("b.com", "Mystery: B\n", 0.1);
+        assert_eq!(hub.queue().len(), 2);
+        // Dropped without shutdown having any say over the queue files.
+    }
+    let registry = Arc::new(ModelRegistry::new(parser, "model-0001", 1));
+    let service = ParseService::start(
+        registry,
+        ServeConfig {
+            workers: 1,
+            retrain: Some(retrain_config(dir.clone(), golden)),
+            ..Default::default()
+        },
+        0,
+    )
+    .unwrap();
+    let hub = service.retrain_hub().unwrap();
+    assert_eq!(hub.queue().len(), 2, "queued records survive the restart");
+    let domains: Vec<String> = hub.queue().take(10).into_iter().map(|r| r.domain).collect();
+    assert_eq!(domains, vec!["a.com", "b.com"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,8 +12,11 @@
 //!                     [--upstream host:port] [--timeout MS]
 //!                     [--mode event|blocking] [--conns-per-ip N]
 //!                     [--decode-tier fast|exact] [--no-cache-bypass]
+//!                     [--retrain dir/ [--retrain-window N] [--retrain-threshold F]
+//!                      [--retrain-interval-ms MS] [--retrain-golden N] [--retrain-seed S]]
 //! whoisml query       --addr 127.0.0.1:PORT [--timeout MS]
-//!                     (--domain d [--input record.txt] | --stats 1 | --health 1)
+//!                     (--domain d [--input record.txt] | --stats 1 | --health 1 | --retrain 1)
+//! whoisml retrain     status --addr 127.0.0.1:PORT [--timeout MS]
 //! ```
 //!
 //! * `gen` writes a labeled JSONL corpus (one [`CorpusLine`] per record)
@@ -45,10 +48,22 @@
 //!   byte-identical either way. The line cache's adaptive bypass (steer
 //!   cache-hostile uniform traffic straight to the decode tier) is on by
 //!   default; `--no-cache-bypass` disables it.
+//!   `--retrain dir/` switches on the closed continual-learning loop:
+//!   per-record confidence feeds a drift monitor, sustained
+//!   low-confidence records queue crash-safely under `dir/`, and a
+//!   background loop relabels them with the rule/template baselines,
+//!   refits from the incumbent's weights, gates the candidate on a
+//!   synthetic golden set (`--retrain-golden N` records from seed
+//!   `--retrain-seed`), hot-swaps survivors, and rolls back if
+//!   post-swap confidence collapses.
 //! * `query` is the matching client: `--domain` alone issues a `FETCH`
 //!   through the server's upstream WHOIS, `--domain` plus `--input`
 //!   sends the record body for a `PARSE`, `--stats 1` prints serving
-//!   statistics, `--health 1` prints the liveness snapshot.
+//!   statistics (including the `retrain` section), `--health 1` prints
+//!   the liveness snapshot, `--retrain 1` prints the drift/retrain
+//!   snapshot alone.
+//! * `retrain status` asks a running daemon for the same snapshot the
+//!   `RETRAIN` verb returns (`enabled: false` on a loop-less server).
 //!
 //! Both `serve` and `query` take `--timeout MS`: for `query` it bounds
 //! connect/read/write on the client socket; for `serve` it is the
@@ -95,6 +110,7 @@ fn main() {
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
         "store" => cmd_store(&args[1..], &flags),
+        "retrain" => cmd_retrain(&args[1..], &flags),
         "--help" | "-h" | "help" => usage_and_exit(),
         other => Err(format!("unknown command: {other}")),
     };
@@ -120,8 +136,11 @@ fn usage_and_exit() -> ! {
          \x20                     [--mode event|blocking] [--conns-per-ip N]\n\
          \x20                     [--decode-tier fast|exact] [--no-cache-bypass]\n\
          \x20                     [--store dir/ [--store-cap BYTES]]\n\
+         \x20                     [--retrain dir/ [--retrain-window N] [--retrain-threshold F]\n\
+         \x20                      [--retrain-interval-ms MS] [--retrain-golden N] [--retrain-seed S]]\n\
          \x20 whoisml query       --addr 127.0.0.1:PORT [--timeout MS]\n\
-         \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1)\n\
+         \x20                     (--domain d [--input record.txt] | --stats 1 | --health 1 | --retrain 1)\n\
+         \x20 whoisml retrain     status --addr 127.0.0.1:PORT [--timeout MS]\n\
          \x20 whoisml store       stat|verify|compact --dir store/ [--cap BYTES]"
     );
     std::process::exit(2);
@@ -457,6 +476,34 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         })
         .transpose()?;
     let store_enabled = store.is_some();
+    // --retrain enables the closed continual-learning loop. The gate's
+    // golden set and the labeler cross-check templates come from the
+    // calibrated synthetic generator, so the loop runs without any
+    // hand-labeled data.
+    let retrain_dir = match flags.get("retrain") {
+        Some("") => return Err("--retrain needs a queue/quarantine directory".into()),
+        other => other,
+    };
+    let retrain = retrain_dir.map(|dir| {
+        let mut rc = whoisml::serve::RetrainConfig::new(dir);
+        rc.window = flags.get_or("retrain-window", rc.window);
+        rc.low_confidence = flags.get_or("retrain-threshold", rc.low_confidence);
+        let interval_ms: u64 = flags.get_or("retrain-interval-ms", rc.interval.as_millis() as u64);
+        rc.interval = std::time::Duration::from_millis(interval_ms.max(1));
+        let golden_count: usize = flags.get_or("retrain-golden", 200);
+        let golden_seed: u64 = flags.get_or("retrain-seed", 0x90_1d);
+        let mut templates = whoisml::templates::TemplateParser::new();
+        for d in &generate_corpus(GenConfig::new(golden_seed, golden_count)) {
+            let text = d.rendered.text();
+            let labels = d.block_labels().labels();
+            let lines = whoisml::model::non_empty_lines(&text);
+            templates.add_example(d.registrar.name, &lines, &labels);
+            rc.golden_first.push(TrainExample { text, labels });
+        }
+        rc.templates = templates;
+        rc
+    });
+    let retrain_enabled = retrain.is_some();
     let mut cfg = ServeConfig {
         mode,
         max_conns_per_ip,
@@ -465,6 +512,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         cache_capacity: flags.get_or("cache", 4096),
         upstream,
         store,
+        retrain,
         ..Default::default()
     };
     if let Some(t) = timeout {
@@ -478,7 +526,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     eprintln!(
-        "whois-serve: model {} | {} workers | cache {} | line-cache {} (bypass {}) | queue {} | mode {} | decode-tier {} | kernel {} | store {}",
+        "whois-serve: model {} | {} workers | cache {} | line-cache {} (bypass {}) | queue {} | mode {} | decode-tier {} | kernel {} | store {} | retrain {}",
         registry.current().version,
         service.stats().workers,
         flags.get_or::<usize>("cache", 4096),
@@ -492,6 +540,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         registry.decode_tier().name(),
         registry.kernel_level().name(),
         if store_enabled { "on" } else { "off" },
+        if retrain_enabled { "on" } else { "off" },
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -528,6 +577,14 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         println!(
             "{}",
             serde_json::to_string_pretty(&stats).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    if flags.get("retrain").is_some() {
+        let status = client.retrain_status().map_err(|e| e.to_string())?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&status).map_err(|e| e.to_string())?
         );
         return Ok(());
     }
@@ -600,6 +657,40 @@ fn cmd_store(args: &[String], flags: &Flags) -> Result<(), String> {
             ))
         }
     }
+    Ok(())
+}
+
+/// `whoisml retrain status --addr 127.0.0.1:PORT [--timeout MS]`: ask a
+/// running daemon for its drift-monitor and retrain-loop snapshot (the
+/// `RETRAIN` verb). A loop-less server answers with `enabled: false`.
+fn cmd_retrain(args: &[String], flags: &Flags) -> Result<(), String> {
+    use whoisml::serve::ServeClient;
+
+    let action = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or("retrain needs an action: status")?;
+    if action != "status" {
+        return Err(format!("bad retrain action {action} (expected status)"));
+    }
+    let addr: std::net::SocketAddr = flags
+        .require("addr")?
+        .parse()
+        .map_err(|e| format!("bad --addr: {e}"))?;
+    let timeout = match flags.get("timeout") {
+        Some(v) => std::time::Duration::from_millis(
+            v.parse::<u64>()
+                .map_err(|e| format!("bad --timeout {v}: {e}"))?,
+        ),
+        None => whoisml::serve::DEFAULT_TIMEOUT,
+    };
+    let mut client = ServeClient::connect_timeout(addr, timeout).map_err(|e| e.to_string())?;
+    let status = client.retrain_status().map_err(|e| e.to_string())?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&status).map_err(|e| e.to_string())?
+    );
     Ok(())
 }
 
